@@ -1,0 +1,32 @@
+//! Baseline pattern summarizers for LogR's evaluation (paper §7.2, §8).
+//!
+//! The paper compares naive mixture encodings against two state-of-the-art
+//! pattern-based summarizers. Neither ships usable source (Laserlight lives
+//! inside a patched PostgreSQL available on request; MTV is a research
+//! binary), so both are **reimplemented from their papers**:
+//!
+//! * [`laserlight`] — El Gebaly et al., *Interpretable and Informative
+//!   Explanations of Outcomes* (PVLDB 8(1), 2014): greedy explanation
+//!   tables over binary-augmented data, max-ent estimates by iterative
+//!   scaling, candidate sampling with the paper's default sample size (16);
+//! * [`mtv`] — Mampaey et al., *Summarizing Data Succinctly with the Most
+//!   Informative Itemsets* (TKDD 6(4), 2012): BIC-scored greedy itemset
+//!   selection over an exact max-ent model (via LogR's pattern-equivalence
+//!   class systems), with the original's practical cap of 15 itemsets;
+//! * [`mixtures`] — the LogR paper's §8.1.3 generalizations: run either
+//!   summarizer per cluster (**Mixture Fixed**: a global pattern budget
+//!   split by the Appendix D.3 weights; **Mixture Scaled**: one pattern per
+//!   naive-encoding feature), combining errors per §5.2.
+
+pub mod laserlight;
+pub mod mixtures;
+pub mod mtv;
+
+pub use laserlight::{
+    laserlight_error_of_naive, Laserlight, LaserlightConfig, LaserlightSummary,
+};
+pub use mixtures::{
+    laserlight_mixture_fixed, laserlight_mixture_scaled, mixture_weights_d3, mtv_mixture_fixed,
+    mtv_mixture_scaled, MixtureRun,
+};
+pub use mtv::{mtv_error_of_naive, Mtv, MtvConfig, MtvSummary};

@@ -1,0 +1,347 @@
+//! Mixture generalizations of Laserlight and MTV (paper §8.1.3).
+//!
+//! The LogR paper generalizes both baselines to partitioned data: cluster
+//! the rows, run the summarizer per cluster, and combine errors per §5.2.
+//! Two pattern-budget regimes:
+//!
+//! * **Mixture Fixed** — a global pattern budget split across clusters with
+//!   the Appendix D.3 weights `wᵢ ∝ (mᵢ/nᵢ)·e(E_Lᵢ)` (distinct rows ×
+//!   naive reproduction error, normalized by the cluster's feature count) —
+//!   comparable to the classical algorithms;
+//! * **Mixture Scaled** — each cluster gets one pattern per feature of its
+//!   naive encoding (so total verbosity matches the naive mixture
+//!   encoding) — comparable to LogR's naive mixtures. MTV's replicated
+//!   15-pattern cap clamps its per-cluster budget, mirroring §8.1.4's
+//!   "not strictly on equal footing" caveat.
+//!
+//! Both combined-error conventions are reported: the additive total
+//! (`Σᵢ errᵢ`, the true mixture-model loss) and the §5.2 literal weighted
+//! average (`Σᵢ (|Dᵢ|/|D|)·errᵢ`).
+
+use crate::laserlight::{Laserlight, LaserlightConfig};
+use crate::mtv::{Mtv, MtvConfig, MtvError, MTV_PATTERN_CAP};
+use logr_cluster::{kmeans_binary, Clustering, KMeansConfig};
+use logr_core::error::naive_error;
+use logr_feature::{LabeledDataset, QueryVector};
+
+/// Result of a per-cluster baseline run.
+#[derive(Debug, Clone)]
+pub struct MixtureRun {
+    /// Number of non-empty clusters.
+    pub k: usize,
+    /// Patterns mined per cluster.
+    pub patterns_per_cluster: Vec<usize>,
+    /// Per-cluster errors (each summarizer's own measure).
+    pub cluster_errors: Vec<f64>,
+    /// Row count per cluster.
+    pub cluster_totals: Vec<u64>,
+    /// `Σᵢ errᵢ` — the mixture model's total loss.
+    pub combined_sum: f64,
+    /// `Σᵢ (|Dᵢ|/|D|)·errᵢ` — the §5.2 weighted average.
+    pub combined_weighted: f64,
+}
+
+impl MixtureRun {
+    fn from_parts(errors: Vec<f64>, totals: Vec<u64>, patterns: Vec<usize>) -> Self {
+        let grand: u64 = totals.iter().sum();
+        let combined_sum = errors.iter().sum();
+        let combined_weighted = if grand == 0 {
+            0.0
+        } else {
+            errors
+                .iter()
+                .zip(&totals)
+                .map(|(e, &t)| e * t as f64 / grand as f64)
+                .sum()
+        };
+        MixtureRun {
+            k: errors.len(),
+            patterns_per_cluster: patterns,
+            cluster_errors: errors,
+            cluster_totals: totals,
+            combined_sum,
+            combined_weighted,
+        }
+    }
+}
+
+/// Cluster a labeled dataset's rows (labels excluded from the distance) with
+/// weighted k-means.
+pub fn cluster_dataset(data: &LabeledDataset, k: usize, seed: u64) -> Clustering {
+    if data.distinct() == 0 {
+        return Clustering::new(1, Vec::new());
+    }
+    if k <= 1 || data.distinct() == 1 {
+        return Clustering::trivial(data.distinct());
+    }
+    let points: Vec<&QueryVector> = data.rows().iter().map(|r| &r.vector).collect();
+    let weights: Vec<f64> = data.rows().iter().map(|r| r.weight as f64).collect();
+    kmeans_binary(&points, &weights, data.n_features(), KMeansConfig::new(k, seed)).0
+}
+
+/// Appendix D.3 pattern-budget weights: `wᵢ ∝ (mᵢ/nᵢ)·e(E_Lᵢ)`, normalized.
+///
+/// `mᵢ` = distinct rows, `nᵢ` = features occurring in the cluster,
+/// `e(E_Lᵢ)` = the cluster's naive-encoding Reproduction Error. Degenerate
+/// all-zero weights fall back to uniform.
+pub fn mixture_weights_d3(data: &LabeledDataset, clustering: &Clustering) -> Vec<f64> {
+    let groups: Vec<Vec<usize>> =
+        clustering.members().into_iter().filter(|g| !g.is_empty()).collect();
+    let mut weights = Vec::with_capacity(groups.len());
+    for group in &groups {
+        let cluster = data.subset(group);
+        let log = cluster.to_query_log();
+        let m = cluster.distinct() as f64;
+        let n = cluster.marginals().iter().filter(|&&p| p > 0.0).count().max(1) as f64;
+        let e = naive_error(&log);
+        weights.push((m / n) * e);
+    }
+    let total: f64 = weights.iter().sum();
+    if total <= 0.0 {
+        let uniform = 1.0 / weights.len().max(1) as f64;
+        weights.iter_mut().for_each(|w| *w = uniform);
+    } else {
+        weights.iter_mut().for_each(|w| *w /= total);
+    }
+    weights
+}
+
+/// Split an integer budget by weights, at least one pattern per cluster.
+fn split_budget(total: usize, weights: &[f64]) -> Vec<usize> {
+    let k = weights.len();
+    if k == 0 {
+        return Vec::new();
+    }
+    let mut out: Vec<usize> =
+        weights.iter().map(|w| ((total as f64) * w).floor() as usize).collect();
+    // Distribute the remainder to the heaviest clusters; floor ≥ 1 each.
+    let mut assigned: usize = out.iter().sum();
+    let mut order: Vec<usize> = (0..k).collect();
+    order.sort_by(|&a, &b| weights[b].total_cmp(&weights[a]));
+    let mut idx = 0;
+    while assigned < total {
+        out[order[idx % k]] += 1;
+        assigned += 1;
+        idx += 1;
+    }
+    for o in &mut out {
+        if *o == 0 {
+            *o = 1;
+        }
+    }
+    out
+}
+
+/// Laserlight **Mixture Fixed**: a global pattern budget split by the D.3
+/// weights (paper Fig. 8).
+pub fn laserlight_mixture_fixed(
+    data: &LabeledDataset,
+    k: usize,
+    total_patterns: usize,
+    seed: u64,
+) -> MixtureRun {
+    let clustering = cluster_dataset(data, k, seed);
+    let weights = mixture_weights_d3(data, &clustering);
+    let budgets = split_budget(total_patterns, &weights);
+    run_laserlight_per_cluster(data, &clustering, &budgets, seed)
+}
+
+/// Laserlight **Mixture Scaled**: per-cluster budget = the cluster's naive
+/// verbosity (paper Fig. 9a).
+pub fn laserlight_mixture_scaled(data: &LabeledDataset, k: usize, seed: u64) -> MixtureRun {
+    let clustering = cluster_dataset(data, k, seed);
+    let budgets = naive_verbosities(data, &clustering);
+    run_laserlight_per_cluster(data, &clustering, &budgets, seed)
+}
+
+/// MTV **Mixture Fixed** (paper's omitted-but-analogous Fig. 8 variant).
+pub fn mtv_mixture_fixed(
+    data: &LabeledDataset,
+    k: usize,
+    total_patterns: usize,
+    seed: u64,
+) -> Result<MixtureRun, MtvError> {
+    let clustering = cluster_dataset(data, k, seed);
+    let weights = mixture_weights_d3(data, &clustering);
+    let budgets: Vec<usize> = split_budget(total_patterns, &weights)
+        .into_iter()
+        .map(|b| b.min(MTV_PATTERN_CAP))
+        .collect();
+    run_mtv_per_cluster(data, &clustering, &budgets)
+}
+
+/// MTV **Mixture Scaled**, clamped to the 15-pattern cap (paper Fig. 9b and
+/// the §8.1.4 equal-footing caveat).
+pub fn mtv_mixture_scaled(
+    data: &LabeledDataset,
+    k: usize,
+    seed: u64,
+) -> Result<MixtureRun, MtvError> {
+    let clustering = cluster_dataset(data, k, seed);
+    let budgets: Vec<usize> = naive_verbosities(data, &clustering)
+        .into_iter()
+        .map(|b| b.min(MTV_PATTERN_CAP))
+        .collect();
+    run_mtv_per_cluster(data, &clustering, &budgets)
+}
+
+/// Per-cluster naive-encoding verbosity (# features occurring).
+fn naive_verbosities(data: &LabeledDataset, clustering: &Clustering) -> Vec<usize> {
+    clustering
+        .members()
+        .into_iter()
+        .filter(|g| !g.is_empty())
+        .map(|g| {
+            data.subset(&g)
+                .marginals()
+                .iter()
+                .filter(|&&p| p > 0.0)
+                .count()
+                .max(1)
+        })
+        .collect()
+}
+
+fn run_laserlight_per_cluster(
+    data: &LabeledDataset,
+    clustering: &Clustering,
+    budgets: &[usize],
+    seed: u64,
+) -> MixtureRun {
+    let groups: Vec<Vec<usize>> =
+        clustering.members().into_iter().filter(|g| !g.is_empty()).collect();
+    let mut errors = Vec::with_capacity(groups.len());
+    let mut totals = Vec::with_capacity(groups.len());
+    let mut patterns = Vec::with_capacity(groups.len());
+    for (ci, group) in groups.iter().enumerate() {
+        let cluster = data.subset(group);
+        let budget = budgets.get(ci).copied().unwrap_or(1);
+        let summary =
+            Laserlight::new(LaserlightConfig::new(budget, seed ^ ci as u64)).summarize(&cluster);
+        errors.push(summary.error);
+        totals.push(cluster.total());
+        patterns.push(summary.patterns.len());
+    }
+    MixtureRun::from_parts(errors, totals, patterns)
+}
+
+fn run_mtv_per_cluster(
+    data: &LabeledDataset,
+    clustering: &Clustering,
+    budgets: &[usize],
+) -> Result<MixtureRun, MtvError> {
+    let groups: Vec<Vec<usize>> =
+        clustering.members().into_iter().filter(|g| !g.is_empty()).collect();
+    let mut errors = Vec::with_capacity(groups.len());
+    let mut totals = Vec::with_capacity(groups.len());
+    let mut patterns = Vec::with_capacity(groups.len());
+    for (ci, group) in groups.iter().enumerate() {
+        let cluster = data.subset(group);
+        let budget = budgets.get(ci).copied().unwrap_or(1).min(MTV_PATTERN_CAP);
+        let summary = Mtv::new(MtvConfig::new(budget)).summarize(&cluster)?;
+        errors.push(summary.error);
+        totals.push(cluster.total());
+        patterns.push(summary.itemsets.len());
+    }
+    Ok(MixtureRun::from_parts(errors, totals, patterns))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use logr_feature::FeatureId;
+
+    fn qv(ids: &[u32]) -> QueryVector {
+        QueryVector::new(ids.iter().map(|&i| FeatureId(i)).collect())
+    }
+
+    /// Two feature-disjoint sub-populations with their own label rules.
+    fn two_population_data() -> LabeledDataset {
+        let mut d = LabeledDataset::new(8);
+        d.push(qv(&[0, 1]), true, 20);
+        d.push(qv(&[0, 2]), true, 20);
+        d.push(qv(&[1, 2]), false, 20);
+        d.push(qv(&[4, 5]), false, 20);
+        d.push(qv(&[4, 6]), false, 20);
+        d.push(qv(&[5, 6]), true, 20);
+        d
+    }
+
+    #[test]
+    fn d3_weights_normalized() {
+        let d = two_population_data();
+        let clustering = cluster_dataset(&d, 2, 3);
+        let w = mixture_weights_d3(&d, &clustering);
+        assert_eq!(w.len(), 2);
+        assert!((w.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+        assert!(w.iter().all(|&x| x >= 0.0));
+    }
+
+    #[test]
+    fn split_budget_reaches_total_and_floors() {
+        let b = split_budget(10, &[0.8, 0.1, 0.1]);
+        assert_eq!(b.len(), 3);
+        assert!(b.iter().sum::<usize>() >= 10);
+        assert!(b.iter().all(|&x| x >= 1));
+        assert!(b[0] >= b[1]);
+    }
+
+    #[test]
+    fn laserlight_fixed_improves_with_clusters() {
+        let d = two_population_data();
+        let k1 = laserlight_mixture_fixed(&d, 1, 6, 5);
+        let k2 = laserlight_mixture_fixed(&d, 2, 6, 5);
+        // Fig. 8a shape: partitioned runs do at least as well.
+        assert!(
+            k2.combined_sum <= k1.combined_sum + 1e-6,
+            "k2 {} vs k1 {}",
+            k2.combined_sum,
+            k1.combined_sum
+        );
+        assert_eq!(k1.k, 1);
+        assert_eq!(k2.k, 2);
+    }
+
+    #[test]
+    fn laserlight_scaled_budgets_match_verbosity() {
+        let d = two_population_data();
+        let clustering = cluster_dataset(&d, 2, 5);
+        let verbosities = naive_verbosities(&d, &clustering);
+        let run = laserlight_mixture_scaled(&d, 2, 5);
+        assert_eq!(run.patterns_per_cluster.len(), verbosities.len());
+        for (mined, &budget) in run.patterns_per_cluster.iter().zip(&verbosities) {
+            assert!(*mined <= budget, "mined {mined} over budget {budget}");
+        }
+    }
+
+    #[test]
+    fn mtv_scaled_respects_cap() {
+        let d = two_population_data();
+        let run = mtv_mixture_scaled(&d, 2, 5).unwrap();
+        assert!(run.patterns_per_cluster.iter().all(|&p| p <= MTV_PATTERN_CAP));
+        assert_eq!(run.k, 2);
+    }
+
+    #[test]
+    fn mtv_fixed_runs_and_combines() {
+        let d = two_population_data();
+        let run = mtv_mixture_fixed(&d, 2, 8, 5).unwrap();
+        assert_eq!(run.cluster_errors.len(), run.k);
+        assert!(run.combined_sum > 0.0);
+        assert!(run.combined_weighted <= run.combined_sum + 1e-9);
+    }
+
+    #[test]
+    fn weighted_error_at_k1_equals_total() {
+        let d = two_population_data();
+        let run = laserlight_mixture_fixed(&d, 1, 4, 2);
+        assert!((run.combined_weighted - run.combined_sum).abs() < 1e-9);
+    }
+
+    #[test]
+    fn cluster_totals_partition_the_data() {
+        let d = two_population_data();
+        let run = laserlight_mixture_fixed(&d, 3, 6, 1);
+        assert_eq!(run.cluster_totals.iter().sum::<u64>(), d.total());
+    }
+}

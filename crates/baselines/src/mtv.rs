@@ -1,0 +1,485 @@
+//! MTV: most informative itemsets (Mampaey, Vreeken, Tatti — TKDD 2012;
+//! reimplemented for the LogR evaluation).
+//!
+//! MTV summarizes binary transaction data with a small itemset collection
+//! `C`, scored by BIC: the negative log-likelihood of the data under the
+//! max-ent model constrained by the itemsets' frequencies, plus a
+//! `|C|/2 · ln|D|` verbosity penalty. For moment-matched max-ent models the
+//! log-likelihood is `−|D| · H(model)`, so the error we report is
+//!
+//! ```text
+//! MTV error = |D| · H(ρ̂) + ½ · |C| · ln |D|
+//! ```
+//!
+//! (the LogR paper's §8.1.1 formula, written with the entropy-sign
+//! convention that makes the measure decrease as the model improves).
+//!
+//! Max-ent inference runs on LogR's pattern-equivalence class systems,
+//! decomposed by connected components — which also reproduces the
+//! original's practical limitation: inference cost explodes with
+//! overlapping itemsets, and the original binary *quits with an error above
+//! 15 patterns* (LogR §7.2.2). We enforce the same cap.
+
+use logr_core::maxent::{ClassSystem, MaxEntError};
+#[cfg(test)]
+use logr_core::maxent::GeneralEncoding;
+use logr_feature::{FeatureId, LabeledDataset, QueryVector};
+use logr_math::binary_entropy;
+use std::collections::HashMap;
+use std::fmt;
+
+/// The original implementation's pattern cap (LogR §7.2.2).
+pub const MTV_PATTERN_CAP: usize = 15;
+
+/// MTV failure modes.
+#[derive(Debug, Clone, PartialEq)]
+pub enum MtvError {
+    /// Asked for more patterns than the (replicated) cap — the original
+    /// "quits with error message if requested to mine over 15 patterns".
+    TooManyPatterns {
+        /// Requested count.
+        requested: usize,
+    },
+    /// Max-ent inference failed.
+    Inference(MaxEntError),
+}
+
+impl fmt::Display for MtvError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MtvError::TooManyPatterns { requested } => write!(
+                f,
+                "MTV: refusing to mine {requested} patterns (cap {MTV_PATTERN_CAP}, \
+                 max-ent inference becomes intractable)"
+            ),
+            MtvError::Inference(e) => write!(f, "MTV: max-ent inference failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for MtvError {}
+
+impl From<MaxEntError> for MtvError {
+    fn from(e: MaxEntError) -> Self {
+        MtvError::Inference(e)
+    }
+}
+
+/// MTV configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct MtvConfig {
+    /// Itemsets to mine (must be ≤ [`MTV_PATTERN_CAP`]).
+    pub n_patterns: usize,
+    /// Minimum support threshold for candidates (LogR §D.2 uses 0.05).
+    pub min_support: f64,
+    /// Maximum itemset size.
+    pub max_itemset_size: usize,
+    /// Candidates evaluated per greedy step (support-ranked).
+    pub candidate_limit: usize,
+}
+
+impl MtvConfig {
+    /// Defaults matching the LogR paper's experiment settings.
+    pub fn new(n_patterns: usize) -> Self {
+        MtvConfig { n_patterns, min_support: 0.05, max_itemset_size: 3, candidate_limit: 150 }
+    }
+}
+
+/// A mined MTV summary.
+#[derive(Debug, Clone)]
+pub struct MtvSummary {
+    /// Selected itemsets with their supports, in selection order.
+    pub itemsets: Vec<(QueryVector, f64)>,
+    /// Final MTV error (BIC).
+    pub error: f64,
+    /// Model entropy (nats) of the final max-ent model.
+    pub model_entropy: f64,
+    /// BIC after each greedy step (index 0 = empty collection).
+    pub error_trajectory: Vec<f64>,
+}
+
+/// The MTV miner.
+pub struct Mtv {
+    config: MtvConfig,
+}
+
+impl Mtv {
+    /// Miner with the given configuration.
+    pub fn new(config: MtvConfig) -> Self {
+        Mtv { config }
+    }
+
+    /// Mine the most informative itemsets of the dataset (labels ignored —
+    /// MTV summarizes the transactions themselves).
+    pub fn summarize(&self, data: &LabeledDataset) -> Result<MtvSummary, MtvError> {
+        if self.config.n_patterns > MTV_PATTERN_CAP {
+            return Err(MtvError::TooManyPatterns { requested: self.config.n_patterns });
+        }
+        let total = data.total();
+        if total == 0 {
+            return Ok(MtvSummary {
+                itemsets: Vec::new(),
+                error: 0.0,
+                model_entropy: 0.0,
+                error_trajectory: vec![0.0],
+            });
+        }
+        let n = total as f64;
+        let nf = data.n_features();
+        let penalty_per_pattern = 0.5 * n.ln();
+
+        let candidates = self.mine_candidates(data);
+        let mut selected: Vec<QueryVector> = Vec::new();
+        // Connected components of the selected itemsets, kept incrementally:
+        // evaluating a candidate only re-solves the (small) component it
+        // touches — the same locality the class-system decomposition gives —
+        // instead of the whole model.
+        let mut components: Vec<MtvComponent> = Vec::new();
+        let mut current_entropy = nf as f64 * std::f64::consts::LN_2; // uniform model
+        let mut error_trajectory = vec![n * current_entropy];
+
+        // Inference blow-up guard: a candidate that would chain overlapping
+        // itemsets into a component larger than this is skipped — the same
+        // practical limit that makes the original refuse large collections.
+        const MAX_COMPONENT: usize = 8;
+
+        // Lazy-greedy caching: a candidate's entropy delta depends only on
+        // the components it bridges, so it stays valid until a selection
+        // merges a component sharing features with it. `None` = needs
+        // (re)evaluation; `Some(f64::INFINITY)` = permanently skipped.
+        let mut deltas: Vec<Option<f64>> = vec![None; candidates.len()];
+
+        while selected.len() < self.config.n_patterns {
+            for (ci, cand) in candidates.iter().enumerate() {
+                if deltas[ci].is_some() {
+                    continue;
+                }
+                if selected.contains(cand) {
+                    deltas[ci] = Some(f64::INFINITY);
+                    continue;
+                }
+                deltas[ci] = Some(
+                    evaluate_candidate(data, cand, &components, MAX_COMPONENT)
+                        .unwrap_or(f64::INFINITY),
+                );
+            }
+            let Some((best_ci, best_delta)) = deltas
+                .iter()
+                .enumerate()
+                .filter_map(|(i, d)| d.map(|v| (i, v)))
+                .min_by(|a, b| a.1.total_cmp(&b.1))
+            else {
+                break;
+            };
+            // BIC gain: likelihood improvement minus the verbosity penalty.
+            let gain = -n * best_delta - penalty_per_pattern;
+            if !gain.is_finite() || gain <= 0.0 {
+                break;
+            }
+            let winner = candidates[best_ci].clone();
+            // Re-solve the winner's merge to update the component list.
+            let bridged = bridged_components(&winner, &components);
+            let mut merged_patterns: Vec<QueryVector> = bridged
+                .iter()
+                .flat_map(|&i| components[i].patterns.iter().cloned())
+                .collect();
+            merged_patterns.push(winner.clone());
+            let Ok(merged) = MtvComponent::solve(data, merged_patterns) else { break };
+
+            selected.push(winner);
+            let mut keep = Vec::with_capacity(components.len());
+            for (i, comp) in components.drain(..).enumerate() {
+                if !bridged.contains(&i) {
+                    keep.push(comp);
+                }
+            }
+            // Invalidate candidates touching the merged component's span.
+            let merged_span: QueryVector = merged
+                .patterns
+                .iter()
+                .fold(QueryVector::empty(), |acc, p| acc.union(p));
+            for (ci, cand) in candidates.iter().enumerate() {
+                if cand.intersection_size(&merged_span) > 0 {
+                    deltas[ci] = None;
+                }
+            }
+            deltas[best_ci] = Some(f64::INFINITY);
+            keep.push(merged);
+            components = keep;
+            current_entropy += best_delta;
+            error_trajectory
+                .push(n * current_entropy + penalty_per_pattern * selected.len() as f64);
+        }
+
+        let itemsets = selected
+            .iter()
+            .map(|p| (p.clone(), data.support(p) as f64 / n))
+            .collect();
+        Ok(MtvSummary {
+            itemsets,
+            error: n * current_entropy + penalty_per_pattern * selected.len() as f64,
+            model_entropy: current_entropy,
+            error_trajectory,
+        })
+    }
+
+    /// Frequent itemsets (pairs, extended to requested size) above the
+    /// support threshold, most frequent first.
+    fn mine_candidates(&self, data: &LabeledDataset) -> Vec<QueryVector> {
+        let total = data.total() as f64;
+        let min_count = (self.config.min_support * total).ceil() as u64;
+        let mut pair_support: HashMap<(FeatureId, FeatureId), u64> = HashMap::new();
+        for r in data.rows() {
+            let ids = r.vector.ids();
+            for (i, &a) in ids.iter().enumerate() {
+                for &b in &ids[i + 1..] {
+                    *pair_support.entry((a, b)).or_insert(0) += r.weight;
+                }
+            }
+        }
+        let mut pairs: Vec<((FeatureId, FeatureId), u64)> = pair_support
+            .into_iter()
+            .filter(|&(_, c)| c >= min_count)
+            .collect();
+        pairs.sort_by(|x, y| y.1.cmp(&x.1).then(x.0.cmp(&y.0)));
+        pairs.truncate(self.config.candidate_limit);
+
+        let mut out: Vec<QueryVector> =
+            pairs.iter().map(|&((a, b), _)| QueryVector::new(vec![a, b])).collect();
+
+        if self.config.max_itemset_size >= 3 {
+            let mut seen: HashMap<QueryVector, ()> = HashMap::new();
+            for &((a, b), _) in pairs.iter().take(32) {
+                let base = QueryVector::new(vec![a, b]);
+                let mut ext: HashMap<FeatureId, u64> = HashMap::new();
+                for r in data.rows() {
+                    if r.vector.contains_all(&base) {
+                        for f in r.vector.iter() {
+                            if f != a && f != b {
+                                *ext.entry(f).or_insert(0) += r.weight;
+                            }
+                        }
+                    }
+                }
+                let mut exts: Vec<(FeatureId, u64)> = ext
+                    .into_iter()
+                    .filter(|&(_, c)| c >= min_count)
+                    .collect();
+                exts.sort_by(|x, y| y.1.cmp(&x.1).then(x.0.cmp(&y.0)));
+                for (f, _) in exts.into_iter().take(3) {
+                    let t = QueryVector::new(vec![a, b, f]);
+                    if seen.insert(t.clone(), ()).is_none() {
+                        out.push(t);
+                    }
+                }
+            }
+        }
+        out.truncate(self.config.candidate_limit);
+        out
+    }
+}
+
+/// One solved connected component of the model's itemsets.
+struct MtvComponent {
+    patterns: Vec<QueryVector>,
+    /// Entropy over the component's own projected space, nats.
+    entropy_proj: f64,
+    /// Features the component covers.
+    covered: usize,
+}
+
+impl MtvComponent {
+    fn solve(data: &LabeledDataset, patterns: Vec<QueryVector>) -> Result<Self, MaxEntError> {
+        let total = data.total().max(1) as f64;
+        let targets: Vec<f64> =
+            patterns.iter().map(|p| data.support(p) as f64 / total).collect();
+        let cs = ClassSystem::build(&patterns)?;
+        let q = cs.maxent(&targets)?;
+        let entropy_proj = cs.entropy(&q, cs.n_projected());
+        Ok(MtvComponent { patterns, entropy_proj, covered: cs.n_projected() })
+    }
+}
+
+/// Indices of components sharing features with the candidate.
+fn bridged_components(cand: &QueryVector, components: &[MtvComponent]) -> Vec<usize> {
+    components
+        .iter()
+        .enumerate()
+        .filter(|(_, comp)| comp.patterns.iter().any(|p| p.intersection_size(cand) > 0))
+        .map(|(i, _)| i)
+        .collect()
+}
+
+/// Entropy delta of adding `cand`: swap its bridged components for the
+/// merged solve, adjusting uniform padding for newly covered features.
+/// `None` when the merge would exceed the component cap or inference fails.
+fn evaluate_candidate(
+    data: &LabeledDataset,
+    cand: &QueryVector,
+    components: &[MtvComponent],
+    max_component: usize,
+) -> Option<f64> {
+    let bridged = bridged_components(cand, components);
+    let merged_count = 1 + bridged.iter().map(|&i| components[i].patterns.len()).sum::<usize>();
+    if merged_count > max_component {
+        return None;
+    }
+    let mut merged_patterns: Vec<QueryVector> = bridged
+        .iter()
+        .flat_map(|&i| components[i].patterns.iter().cloned())
+        .collect();
+    merged_patterns.push(cand.clone());
+    let merged = MtvComponent::solve(data, merged_patterns).ok()?;
+    let old_proj: f64 = bridged.iter().map(|&i| components[i].entropy_proj).sum();
+    let old_covered: usize = bridged.iter().map(|&i| components[i].covered).sum();
+    Some(
+        merged.entropy_proj
+            - old_proj
+            - (merged.covered - old_covered) as f64 * std::f64::consts::LN_2,
+    )
+}
+
+/// Entropy of the max-ent model constrained by the itemsets' supports, over
+/// a `universe_size`-feature space (uniform on unconstrained features).
+/// Used by tests as the non-incremental reference.
+#[cfg(test)]
+fn model_entropy(
+    data: &LabeledDataset,
+    itemsets: &[QueryVector],
+    universe_size: usize,
+) -> Result<f64, MaxEntError> {
+    let total = data.total().max(1) as f64;
+    let targets: Vec<f64> = itemsets
+        .iter()
+        .map(|p| data.support(p) as f64 / total)
+        .collect();
+    GeneralEncoding::new(itemsets.to_vec(), targets, universe_size).entropy()
+}
+
+/// MTV error of the *naive encoding* (LogR §8.1.1): model entropy is the
+/// sum of feature entropies; verbosity is the number of supported features.
+pub fn mtv_error_of_naive(data: &LabeledDataset) -> f64 {
+    let n = data.total() as f64;
+    if n == 0.0 {
+        return 0.0;
+    }
+    let marginals = data.marginals();
+    let h: f64 = marginals.iter().map(|&p| binary_entropy(p)).sum();
+    let verbosity = marginals.iter().filter(|&&p| p > 0.0).count();
+    n * h + 0.5 * verbosity as f64 * n.ln()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn qv(ids: &[u32]) -> QueryVector {
+        QueryVector::new(ids.iter().map(|&i| FeatureId(i)).collect())
+    }
+
+    /// Features 0,1 perfectly correlated; 2,3 noise.
+    fn correlated_data() -> LabeledDataset {
+        let mut d = LabeledDataset::new(4);
+        d.push(qv(&[0, 1, 2]), true, 25);
+        d.push(qv(&[0, 1]), false, 25);
+        d.push(qv(&[2]), true, 25);
+        d.push(qv(&[3]), false, 25);
+        d
+    }
+
+    #[test]
+    fn cap_replicates_original_behavior() {
+        let d = correlated_data();
+        let result = Mtv::new(MtvConfig::new(16)).summarize(&d);
+        assert!(matches!(result, Err(MtvError::TooManyPatterns { requested: 16 })));
+    }
+
+    #[test]
+    fn finds_the_correlated_itemset() {
+        let d = correlated_data();
+        let s = Mtv::new(MtvConfig::new(5)).summarize(&d).unwrap();
+        assert!(!s.itemsets.is_empty());
+        assert!(
+            s.itemsets.iter().any(|(p, _)| p.contains_all(&qv(&[0, 1]))),
+            "itemsets: {:?}",
+            s.itemsets
+        );
+    }
+
+    #[test]
+    fn error_trajectory_nonincreasing_in_likelihood_terms() {
+        let d = correlated_data();
+        let s = Mtv::new(MtvConfig::new(5)).summarize(&d).unwrap();
+        // BIC can tick up with the penalty, but the greedy only accepts
+        // positive-gain steps, so the trajectory decreases.
+        for w in s.error_trajectory.windows(2) {
+            assert!(w[1] <= w[0] + 1e-6, "{:?}", s.error_trajectory);
+        }
+    }
+
+    #[test]
+    fn more_itemsets_reduce_model_entropy() {
+        let d = correlated_data();
+        let s1 = Mtv::new(MtvConfig::new(1)).summarize(&d).unwrap();
+        let s4 = Mtv::new(MtvConfig::new(4)).summarize(&d).unwrap();
+        assert!(s4.model_entropy <= s1.model_entropy + 1e-9);
+    }
+
+    #[test]
+    fn naive_error_formula() {
+        let mut d = LabeledDataset::new(2);
+        d.push(qv(&[0]), true, 2);
+        d.push(qv(&[1]), false, 2);
+        // marginals (0.5, 0.5): H = 2·ln2; verbosity 2.
+        let e = mtv_error_of_naive(&d);
+        let expect = 4.0 * 2.0 * std::f64::consts::LN_2 + 0.5 * 2.0 * 4.0f64.ln();
+        assert!((e - expect).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_dataset_is_zero() {
+        let d = LabeledDataset::new(4);
+        let s = Mtv::new(MtvConfig::new(3)).summarize(&d).unwrap();
+        assert_eq!(s.error, 0.0);
+        assert_eq!(mtv_error_of_naive(&d), 0.0);
+    }
+
+    #[test]
+    fn min_support_filters_candidates() {
+        let mut d = LabeledDataset::new(4);
+        d.push(qv(&[0, 1]), true, 99);
+        d.push(qv(&[2, 3]), true, 1); // support 1% < 5% threshold
+        let config = MtvConfig { min_support: 0.05, ..MtvConfig::new(5) };
+        let s = Mtv::new(config).summarize(&d).unwrap();
+        assert!(
+            s.itemsets.iter().all(|(p, _)| !p.contains_all(&qv(&[2, 3]))),
+            "rare itemset selected: {:?}",
+            s.itemsets
+        );
+    }
+
+    #[test]
+    fn deterministic() {
+        let d = correlated_data();
+        let a = Mtv::new(MtvConfig::new(3)).summarize(&d).unwrap();
+        let b = Mtv::new(MtvConfig::new(3)).summarize(&d).unwrap();
+        assert_eq!(a.error, b.error);
+    }
+
+    #[test]
+    fn incremental_entropy_matches_full_reference() {
+        // The component-local greedy bookkeeping must agree with solving
+        // the whole model from scratch on the final itemset collection.
+        let d = correlated_data();
+        let s = Mtv::new(MtvConfig::new(5)).summarize(&d).unwrap();
+        let itemsets: Vec<QueryVector> = s.itemsets.iter().map(|(p, _)| p.clone()).collect();
+        if !itemsets.is_empty() {
+            let reference = model_entropy(&d, &itemsets, d.n_features()).unwrap();
+            assert!(
+                (s.model_entropy - reference).abs() < 1e-6,
+                "incremental {} vs reference {reference}",
+                s.model_entropy
+            );
+        }
+    }
+}

@@ -1,0 +1,39 @@
+//! Ablation: clustering multiplicity-weighted distinct vectors versus the
+//! exploded log. The weighted form is an exact-equivalence optimization —
+//! this bench shows how much it buys on a skewed workload.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use logr_cluster::{kmeans_binary, KMeansConfig};
+use logr_feature::QueryVector;
+use logr_workload::{generate_pocketdata, PocketDataConfig};
+
+fn bench_dedup(c: &mut Criterion) {
+    let (log, _) = generate_pocketdata(&PocketDataConfig::small(1)).ingest();
+    let nf = log.num_features();
+
+    // Weighted distinct form.
+    let distinct: Vec<&QueryVector> = log.entries().iter().map(|(v, _)| v).collect();
+    let weights: Vec<f64> = log.entries().iter().map(|&(_, c)| c as f64).collect();
+
+    // Exploded form, capped so the bench stays tractable.
+    let mut exploded: Vec<&QueryVector> = Vec::new();
+    for (v, count) in log.entries() {
+        for _ in 0..(*count).min(40) {
+            exploded.push(v);
+        }
+    }
+    let unit = vec![1.0; exploded.len()];
+
+    let mut group = c.benchmark_group("kmeans_k6");
+    group.sample_size(10);
+    group.bench_function("weighted_distinct", |b| {
+        b.iter(|| kmeans_binary(black_box(&distinct), &weights, nf, KMeansConfig::new(6, 0)))
+    });
+    group.bench_function(format!("exploded_{}_points", exploded.len()), |b| {
+        b.iter(|| kmeans_binary(black_box(&exploded), &unit, nf, KMeansConfig::new(6, 0)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_dedup);
+criterion_main!(benches);

@@ -1,0 +1,32 @@
+//! Ablation: the distance measure inside the same spectral pipeline
+//! (paper take-away §6.1.1: Hamming offers the best Error/runtime
+//! trade-off). Runtime here; the Error side lives in `repro fig2`.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use logr_cluster::{distance_matrix, Distance};
+use logr_feature::QueryVector;
+use logr_workload::{generate_pocketdata, PocketDataConfig};
+
+fn bench_distances(c: &mut Criterion) {
+    let (log, _) = generate_pocketdata(&PocketDataConfig::small(1)).ingest();
+    let points: Vec<&QueryVector> = log.entries().iter().map(|(v, _)| v).collect();
+    let nf = log.num_features();
+
+    let mut group = c.benchmark_group("distance_matrix");
+    for metric in [
+        Distance::Euclidean,
+        Distance::Manhattan,
+        Distance::Minkowski(4.0),
+        Distance::Hamming,
+        Distance::Chebyshev,
+        Distance::Canberra,
+    ] {
+        group.bench_function(metric.label(), |b| {
+            b.iter(|| distance_matrix(black_box(&points), metric, nf))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_distances);
+criterion_main!(benches);

@@ -1,0 +1,27 @@
+//! Per-pattern mining cost of the baselines (Fig. 7 as a microbenchmark).
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use logr_baselines::{Laserlight, LaserlightConfig, Mtv, MtvConfig};
+use logr_workload::{generate_income, generate_mushroom, IncomeConfig, MushroomConfig};
+
+fn bench_baselines(c: &mut Criterion) {
+    let income = generate_income(&IncomeConfig::small(1));
+    let mushroom = generate_mushroom(&MushroomConfig::small(1));
+
+    let mut group = c.benchmark_group("miners");
+    group.sample_size(10);
+    for &n in &[2usize, 5, 10] {
+        group.bench_with_input(BenchmarkId::new("laserlight_income", n), &n, |b, &n| {
+            b.iter(|| {
+                Laserlight::new(LaserlightConfig::new(n, 0)).summarize(black_box(&income))
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("mtv_mushroom", n), &n, |b, &n| {
+            b.iter(|| Mtv::new(MtvConfig::new(n)).summarize(black_box(&mushroom)).unwrap())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_baselines);
+criterion_main!(benches);

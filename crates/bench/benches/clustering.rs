@@ -1,0 +1,27 @@
+//! Clustering method costs at fixed K — the Fig. 2c comparison as a
+//! microbenchmark.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use logr_cluster::{cluster_log, ClusterMethod, Distance};
+use logr_workload::{generate_usbank, UsBankConfig};
+
+fn bench_clustering(c: &mut Criterion) {
+    let (log, _) = generate_usbank(&UsBankConfig::small(1)).ingest();
+    let mut group = c.benchmark_group("cluster_k8");
+    group.sample_size(10);
+    for method in [
+        ClusterMethod::KMeansEuclidean,
+        ClusterMethod::Spectral(Distance::Hamming),
+        ClusterMethod::Spectral(Distance::Manhattan),
+        ClusterMethod::Spectral(Distance::Minkowski(4.0)),
+        ClusterMethod::Hierarchical(Distance::Hamming),
+    ] {
+        group.bench_function(method.label(), |b| {
+            b.iter(|| cluster_log(black_box(&log), 8, method, 0))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_clustering);
+criterion_main!(benches);

@@ -1,0 +1,45 @@
+//! Encoding-side costs: naive encoding construction, mixture building,
+//! entropy, and the marginal-estimation fast path that motivates LogR.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use logr_cluster::{cluster_log, ClusterMethod};
+use logr_core::{empirical_entropy, NaiveEncoding, NaiveMixtureEncoding};
+use logr_feature::{FeatureId, QueryLog, QueryVector};
+use logr_workload::{generate_usbank, UsBankConfig};
+
+fn bank_log() -> QueryLog {
+    generate_usbank(&UsBankConfig::small(1)).ingest().0
+}
+
+fn bench_encoding(c: &mut Criterion) {
+    let log = bank_log();
+    let clustering = cluster_log(&log, 8, ClusterMethod::KMeansEuclidean, 0);
+
+    c.bench_function("naive_encoding_build", |b| {
+        b.iter(|| NaiveEncoding::from_log(black_box(&log)))
+    });
+    c.bench_function("empirical_entropy", |b| {
+        b.iter(|| empirical_entropy(black_box(&log)))
+    });
+    c.bench_function("mixture_build_k8", |b| {
+        b.iter(|| NaiveMixtureEncoding::build(black_box(&log), &clustering))
+    });
+
+    let mixture = NaiveMixtureEncoding::build(&log, &clustering);
+    let pattern = {
+        // A 2-feature pattern over the busiest features.
+        let marginals = log.marginals();
+        let mut order: Vec<usize> = (0..marginals.len()).collect();
+        order.sort_by(|&a, &b| marginals[b].total_cmp(&marginals[a]));
+        QueryVector::new(vec![FeatureId(order[0] as u32), FeatureId(order[1] as u32)])
+    };
+    c.bench_function("estimate_count_from_summary", |b| {
+        b.iter(|| mixture.estimate_count(black_box(&pattern)))
+    });
+    c.bench_function("true_count_from_log", |b| {
+        b.iter(|| log.support(black_box(&pattern)))
+    });
+}
+
+criterion_group!(benches, bench_encoding);
+criterion_main!(benches);

@@ -1,0 +1,32 @@
+//! Max-ent inference cost versus pattern count — the blow-up that motivates
+//! both MTV's 15-pattern cap and LogR's avoidance of pattern search.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use logr_core::maxent::ClassSystem;
+use logr_feature::{FeatureId, QueryVector};
+
+fn chain_patterns(m: usize) -> Vec<QueryVector> {
+    // Overlapping chain b_i = {i, i+1}: worst-case single component.
+    (0..m)
+        .map(|i| QueryVector::new(vec![FeatureId(i as u32), FeatureId(i as u32 + 1)]))
+        .collect()
+}
+
+fn bench_maxent(c: &mut Criterion) {
+    let mut group = c.benchmark_group("maxent_chain");
+    for &m in &[2usize, 4, 6, 8, 10, 12] {
+        let patterns = chain_patterns(m);
+        let targets: Vec<f64> = (0..m).map(|i| 0.2 + 0.5 * (i as f64 / m as f64)).collect();
+        group.bench_with_input(BenchmarkId::new("build", m), &m, |b, _| {
+            b.iter(|| ClassSystem::build(black_box(&patterns)).unwrap())
+        });
+        let cs = ClassSystem::build(&patterns).unwrap();
+        group.bench_with_input(BenchmarkId::new("ipf", m), &m, |b, _| {
+            b.iter(|| cs.maxent(black_box(&targets)).unwrap())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_maxent);
+criterion_main!(benches);

@@ -1,0 +1,54 @@
+//! Reproduction driver: one subcommand per table/figure of the paper.
+//!
+//! ```text
+//! repro <experiment> [--scale quick|default|full]
+//! experiments: table1 fig2 fig3 fig4 fig5 table2 fig6 fig7 fig8 fig9 fig10 all
+//! ```
+
+use logr_bench::{run_experiment, Scale};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut experiment: Option<String> = None;
+    let mut scale = Scale::Default;
+
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--scale" => {
+                i += 1;
+                let Some(value) = args.get(i) else {
+                    eprintln!("--scale requires a value (quick|default|full)");
+                    std::process::exit(2);
+                };
+                match Scale::parse(value) {
+                    Some(s) => scale = s,
+                    None => {
+                        eprintln!("unknown scale '{value}' (quick|default|full)");
+                        std::process::exit(2);
+                    }
+                }
+            }
+            "--help" | "-h" => {
+                println!(
+                    "usage: repro <experiment> [--scale quick|default|full]\n\
+                     experiments: table1 fig2 fig3 fig4 fig5 table2 fig6 fig7 fig8 fig9 fig10 all"
+                );
+                return;
+            }
+            other if experiment.is_none() => experiment = Some(other.to_string()),
+            other => {
+                eprintln!("unexpected argument '{other}'");
+                std::process::exit(2);
+            }
+        }
+        i += 1;
+    }
+
+    let experiment = experiment.unwrap_or_else(|| "all".to_string());
+    println!("LogR reproduction harness — experiment '{experiment}' at {scale:?} scale");
+    if let Err(e) = run_experiment(&experiment, scale) {
+        eprintln!("error: {e}");
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,120 @@
+//! Shared dataset construction for the harness, with a scale knob.
+
+use logr_feature::{IngestStats, LabeledDataset, QueryLog};
+use logr_workload::{
+    generate_income, generate_mushroom, generate_pocketdata, generate_usbank, IncomeConfig,
+    MushroomConfig, PocketDataConfig, UsBankConfig,
+};
+
+/// How big to run the experiments.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scale {
+    /// Smoke-test sizes (seconds end-to-end).
+    Quick,
+    /// Laptop-friendly defaults: paper-scale query totals, reduced trial
+    /// counts and sweep densities.
+    Default,
+    /// Paper-scale everything (larger constant-variant counts, row counts,
+    /// trials). Expect long runtimes, as the paper's own were.
+    Full,
+}
+
+impl Scale {
+    /// Parse from a CLI flag.
+    pub fn parse(s: &str) -> Option<Scale> {
+        match s {
+            "quick" => Some(Scale::Quick),
+            "default" => Some(Scale::Default),
+            "full" => Some(Scale::Full),
+            _ => None,
+        }
+    }
+
+    /// Clustering trials to average (paper: 10).
+    pub fn trials(self) -> usize {
+        match self {
+            Scale::Quick => 1,
+            Scale::Default => 3,
+            Scale::Full => 10,
+        }
+    }
+
+    /// Cluster-count sweep for Fig. 2/3/5 (paper: 1..30).
+    pub fn k_sweep(self) -> Vec<usize> {
+        match self {
+            Scale::Quick => vec![1, 2, 4, 6],
+            Scale::Default => vec![1, 2, 3, 4, 6, 8, 10, 14, 18, 22, 26, 30],
+            Scale::Full => (1..=30).collect(),
+        }
+    }
+}
+
+/// The PocketData-Google+ synthetic log + its ingest statistics.
+pub fn pocketdata(scale: Scale) -> (QueryLog, IngestStats) {
+    let config = match scale {
+        Scale::Quick => PocketDataConfig::small(1),
+        _ => PocketDataConfig::default(),
+    };
+    generate_pocketdata(&config).ingest()
+}
+
+/// The US-bank synthetic log + its ingest statistics.
+pub fn usbank(scale: Scale) -> (QueryLog, IngestStats) {
+    let config = match scale {
+        Scale::Quick => UsBankConfig::small(1),
+        Scale::Default => UsBankConfig::default(),
+        Scale::Full => UsBankConfig::paper_scale(),
+    };
+    generate_usbank(&config).ingest()
+}
+
+/// The census-income synthetic dataset.
+pub fn income(scale: Scale) -> LabeledDataset {
+    let config = match scale {
+        Scale::Quick => IncomeConfig::small(1),
+        Scale::Default => IncomeConfig::default(),
+        Scale::Full => IncomeConfig::paper_scale(),
+    };
+    generate_income(&config)
+}
+
+/// The mushroom synthetic dataset (always full size — it is small).
+pub fn mushroom(scale: Scale) -> LabeledDataset {
+    let config = match scale {
+        Scale::Quick => MushroomConfig::small(1),
+        _ => MushroomConfig::default(),
+    };
+    generate_mushroom(&config)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scale_parsing() {
+        assert_eq!(Scale::parse("quick"), Some(Scale::Quick));
+        assert_eq!(Scale::parse("default"), Some(Scale::Default));
+        assert_eq!(Scale::parse("full"), Some(Scale::Full));
+        assert_eq!(Scale::parse("nope"), None);
+    }
+
+    #[test]
+    fn sweeps_grow_with_scale() {
+        assert!(Scale::Quick.k_sweep().len() < Scale::Default.k_sweep().len());
+        assert!(Scale::Default.k_sweep().len() <= Scale::Full.k_sweep().len());
+        assert!(Scale::Quick.trials() <= Scale::Full.trials());
+    }
+
+    #[test]
+    fn quick_datasets_materialize() {
+        let (p, pstats) = pocketdata(Scale::Quick);
+        assert!(p.total_queries() > 0);
+        assert_eq!(pstats.parse_errors, 0);
+        let (u, ustats) = usbank(Scale::Quick);
+        assert!(u.total_queries() > 0);
+        assert_eq!(ustats.parse_errors, 0);
+        assert!(income(Scale::Quick).total() > 0);
+        assert!(mushroom(Scale::Quick).total() > 0);
+    }
+}

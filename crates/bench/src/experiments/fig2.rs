@@ -1,0 +1,61 @@
+//! Figure 2: Error (a), Total Verbosity (b) and runtime (c) versus the
+//! number of clusters, for the four clustering configurations of §6.1
+//! (spectral Minkowski-4 / Manhattan / Hamming, KMeans-Euclidean) on both
+//! datasets — plus hierarchical-Hamming as the §6.1.1 monotonic extension.
+//!
+//! Paper claims to reproduce: more clusters ⇒ lower Error (a) and higher
+//! Verbosity (b); KMeans orders of magnitude faster (c); Hamming converges
+//! fastest on PocketData; US bank needs more clusters than PocketData.
+
+use crate::datasets::{self, Scale};
+use crate::report::{f, time_it, Table};
+use logr_cluster::{cluster_log, ClusterMethod, Distance};
+use logr_core::NaiveMixtureEncoding;
+use logr_feature::QueryLog;
+
+/// Run the experiment.
+pub fn run(scale: Scale) -> Result<(), String> {
+    let (pocket, _) = datasets::pocketdata(scale);
+    let (bank, _) = datasets::usbank(scale);
+
+    let mut table = Table::new(
+        "Figure 2: Error / Verbosity / Runtime v. number of clusters",
+        &["dataset", "method", "k", "error", "verbosity", "runtime_s"],
+    );
+    for (name, log) in [("PocketData", &pocket), ("USbank", &bank)] {
+        sweep(name, log, scale, &mut table);
+    }
+    table.print();
+    table.write_csv("fig2");
+    Ok(())
+}
+
+fn sweep(name: &str, log: &QueryLog, scale: Scale, table: &mut Table) {
+    let mut methods = ClusterMethod::paper_lineup().to_vec();
+    methods.push(ClusterMethod::Hierarchical(Distance::Hamming));
+    for method in methods {
+        for &k in &scale.k_sweep() {
+            let trials = scale.trials();
+            let (mut err_sum, mut verb_sum, mut time_sum) = (0.0, 0.0, 0.0);
+            for trial in 0..trials {
+                let ((error, verbosity), secs) = time_it(|| {
+                    let clustering = cluster_log(log, k, method, trial as u64);
+                    let mixture = NaiveMixtureEncoding::build(log, &clustering);
+                    (mixture.error(), mixture.total_verbosity())
+                });
+                err_sum += error;
+                verb_sum += verbosity as f64;
+                time_sum += secs;
+            }
+            let t = trials as f64;
+            table.row_strings(vec![
+                name.to_string(),
+                method.label(),
+                k.to_string(),
+                f(err_sum / t),
+                f(verb_sum / t),
+                f(time_sum / t),
+            ]);
+        }
+    }
+}

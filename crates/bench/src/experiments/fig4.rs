@@ -1,0 +1,231 @@
+//! Figure 4: validating the Reproduction Error metric (§7.1).
+//!
+//! * (a)/(b) — containment captures Deviation: over pairs of encodings
+//!   `E2 ⊃ E1`, the Deviation difference `d(E1) − d(E2)` is positive for
+//!   virtually all pairs, binned by the overlap proxy `d(E2 \ E1)`;
+//! * (c)/(d) — Error correlates with Deviation across encodings of 1–3
+//!   patterns;
+//! * (e)/(f) — Error of a naive encoding extended by one pattern correlates
+//!   (near-linearly, negatively) with the pattern's `corr_rank`.
+//!
+//! Encodings are built per §7.1: features with marginals in [0.01, 0.99]
+//! form the universe; patterns combine 2–3 of them; encodings are subsets
+//! of a shared pattern pool. **All Deviations are estimated on the pool's
+//! single pattern-equivalence quotient** (an encoding = the subset of
+//! active constraints), so the KL values are directly comparable — the
+//! apples-to-apples discipline the paper gets for free by sampling the full
+//! space. Deviation is Monte-Carlo (the paper used 10⁶ samples; the sample
+//! count here scales with `--scale`).
+
+use crate::datasets::{self, Scale};
+use crate::report::{f, Table};
+use logr_core::maxent::{ClassSystem, GeneralEncoding};
+use logr_core::sampling::{estimate_deviation, quotient_distribution};
+use logr_core::{corr_rank, refine::refined_component_error, NaiveEncoding};
+use logr_feature::{FeatureId, QueryLog, QueryVector};
+
+/// Shared pattern-pool size (the quotient has up to 2^POOL classes).
+const POOL: usize = 8;
+
+/// Run the experiment.
+pub fn run(scale: Scale) -> Result<(), String> {
+    let (pocket, _) = datasets::pocketdata(scale);
+    let (bank, _) = datasets::usbank(scale);
+    let samples = match scale {
+        Scale::Quick => 40,
+        Scale::Default => 150,
+        Scale::Full => 1_000,
+    };
+
+    let mut ab = Table::new(
+        "Figure 4a/b: containment captures Deviation (bins of d(E2\\E1))",
+        &["dataset", "bin_d_diff", "pairs", "median_dev_drop", "q1", "q3", "frac_positive"],
+    );
+    let mut cd = Table::new(
+        "Figure 4c/d: Error captures Deviation",
+        &["dataset", "n_patterns", "error", "deviation"],
+    );
+    let mut ef = Table::new(
+        "Figure 4e/f: Error captures corr_rank (naive + 1 pattern)",
+        &["dataset", "n_features", "corr_rank", "error"],
+    );
+
+    for (name, log) in [("US bank", &bank), ("PocketData", &pocket)] {
+        run_dataset(name, log, samples, &mut ab, &mut cd, &mut ef);
+    }
+    ab.print();
+    ab.write_csv("fig4ab");
+    cd.print();
+    cd.write_csv("fig4cd");
+    ef.print();
+    ef.write_csv("fig4ef");
+    Ok(())
+}
+
+fn run_dataset(
+    name: &str,
+    log: &QueryLog,
+    samples: usize,
+    ab: &mut Table,
+    cd: &mut Table,
+    ef: &mut Table,
+) {
+    let entries = log.all_entry_indices();
+    // §7.1 feature selection: marginals within [0.01, 0.99]; keep the most
+    // balanced dozen so the pattern pool stays informative.
+    let marginals = log.marginals();
+    let mut balanced: Vec<(usize, f64)> = marginals
+        .iter()
+        .enumerate()
+        .filter(|&(_, &p)| (0.01..=0.99).contains(&p))
+        .map(|(i, &p)| (i, (p - 0.5).abs()))
+        .collect();
+    balanced.sort_by(|a, b| a.1.total_cmp(&b.1).then(a.0.cmp(&b.0)));
+    let universe_ids: Vec<FeatureId> =
+        balanced.iter().take(12).map(|&(i, _)| FeatureId(i as u32)).collect();
+    if universe_ids.len() < 4 {
+        return;
+    }
+    let universe = QueryVector::new(universe_ids.clone());
+
+    // Shared pattern pool: the most frequent co-occurring pairs/triples.
+    let mut scored: Vec<(QueryVector, u64)> = Vec::new();
+    for (ai, &a) in universe_ids.iter().enumerate() {
+        for &b in &universe_ids[ai + 1..] {
+            let p = QueryVector::new(vec![a, b]);
+            let s = log.support(&p);
+            if s > 0 {
+                scored.push((p, s));
+            }
+        }
+    }
+    for chunk in universe_ids.chunks(3) {
+        if chunk.len() == 3 {
+            let p = QueryVector::new(chunk.to_vec());
+            let s = log.support(&p);
+            if s > 0 {
+                scored.push((p, s));
+            }
+        }
+    }
+    scored.sort_by(|a, b| b.1.cmp(&a.1));
+    let pool: Vec<QueryVector> = scored.into_iter().take(POOL).map(|(p, _)| p).collect();
+    if pool.len() < 3 {
+        return;
+    }
+
+    // One quotient for everything.
+    let Ok(cs) = ClassSystem::build(&pool) else { return };
+    let truth = quotient_distribution(&cs, log, &entries);
+    let total = log.total_queries().max(1) as f64;
+    let targets: Vec<f64> = pool.iter().map(|p| log.support(p) as f64 / total).collect();
+
+    // Encodings = subsets of the pool with 1..=3 patterns, as bitmasks.
+    let mut encodings: Vec<u32> = Vec::new();
+    for mask in 1u32..(1 << pool.len()) {
+        let k = mask.count_ones();
+        if (1..=3).contains(&k) {
+            encodings.push(mask);
+        }
+    }
+
+    // Deviation of each encoding on the shared quotient.
+    let deviation_of = |mask: u32, seed: u64| -> f64 {
+        let active: Vec<Option<f64>> = targets
+            .iter()
+            .enumerate()
+            .map(|(j, &t)| if mask & (1 << j) != 0 { Some(t) } else { None })
+            .collect();
+        estimate_deviation(&cs, &active, &truth, samples, seed).mean
+    };
+    let deviations: Vec<f64> = encodings
+        .iter()
+        .map(|&mask| deviation_of(mask, mask as u64))
+        .collect();
+
+    // (c)/(d): Error (max-ent over the §7.1 universe) vs Deviation.
+    for (&mask, &dev) in encodings.iter().zip(&deviations) {
+        if !dev.is_finite() {
+            continue;
+        }
+        let pats: Vec<QueryVector> = pool
+            .iter()
+            .enumerate()
+            .filter(|(j, _)| mask & (1 << *j) != 0)
+            .map(|(_, p)| p.clone())
+            .collect();
+        let tgts: Vec<f64> = targets
+            .iter()
+            .enumerate()
+            .filter(|(j, _)| mask & (1 << *j) != 0)
+            .map(|(_, &t)| t)
+            .collect();
+        if let Ok(err) = GeneralEncoding::new(pats, tgts, universe.len())
+            .reproduction_error(log, &entries, &universe)
+        {
+            cd.row_strings(vec![
+                name.to_string(),
+                mask.count_ones().to_string(),
+                f(err),
+                f(dev),
+            ]);
+        }
+    }
+
+    // (a)/(b): immediate containment pairs E2 = E1 ∪ {b}, all measured on
+    // the shared quotient; binned by d({b}).
+    let index_of = |mask: u32| encodings.iter().position(|&m| m == mask);
+    let mut pairs: Vec<(f64, f64)> = Vec::new(); // (d({b}), d(E1) − d(E2))
+    for (i2, &mask2) in encodings.iter().enumerate() {
+        if mask2.count_ones() < 2 {
+            continue;
+        }
+        let d2 = deviations[i2];
+        if !d2.is_finite() {
+            continue;
+        }
+        for j in 0..pool.len() {
+            let bit = 1u32 << j;
+            if mask2 & bit == 0 {
+                continue;
+            }
+            let mask1 = mask2 & !bit;
+            let (Some(i1), Some(ib)) = (index_of(mask1), index_of(bit)) else { continue };
+            let (d1, db) = (deviations[i1], deviations[ib]);
+            if d1.is_finite() && db.is_finite() {
+                pairs.push((db, d1 - d2));
+            }
+        }
+    }
+    pairs.sort_by(|a, b| a.0.total_cmp(&b.0));
+    let n_bins = 6usize;
+    if !pairs.is_empty() {
+        let per_bin = pairs.len().div_ceil(n_bins);
+        for bin in pairs.chunks(per_bin) {
+            let mut drops: Vec<f64> = bin.iter().map(|&(_, d)| d).collect();
+            drops.sort_by(f64::total_cmp);
+            let q = |frac: f64| drops[((drops.len() - 1) as f64 * frac) as usize];
+            let positive =
+                drops.iter().filter(|&&d| d > -1e-9).count() as f64 / drops.len() as f64;
+            let bin_label = bin.iter().map(|&(x, _)| x).sum::<f64>() / bin.len() as f64;
+            ab.row_strings(vec![
+                name.to_string(),
+                f(bin_label),
+                bin.len().to_string(),
+                f(q(0.5)),
+                f(q(0.25)),
+                f(q(0.75)),
+                f(positive),
+            ]);
+        }
+    }
+
+    // (e)/(f): naive encoding extended by one pool pattern.
+    let naive = NaiveEncoding::from_log(log);
+    for p in &pool {
+        let rank = corr_rank(log, &entries, p, &naive);
+        if let Ok(err) = refined_component_error(log, &entries, &naive, &[(p.clone(), rank)]) {
+            ef.row_strings(vec![name.to_string(), p.len().to_string(), f(rank), f(err)]);
+        }
+    }
+}

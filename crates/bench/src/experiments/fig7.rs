@@ -1,0 +1,48 @@
+//! Figure 7: baseline runtime versus number of patterns mined.
+//!
+//! Paper claim to reproduce: runtime grows superlinearly with the pattern
+//! count for both Laserlight (Income) and MTV (Mushroom).
+
+use crate::datasets::{self, Scale};
+use crate::report::{f, time_it, Table};
+use logr_baselines::{Laserlight, LaserlightConfig, Mtv, MtvConfig};
+
+/// Run the experiment.
+pub fn run(scale: Scale) -> Result<(), String> {
+    let income = datasets::income(scale);
+    let mushroom = datasets::mushroom(scale);
+    let ll_counts: Vec<usize> = match scale {
+        Scale::Quick => vec![2, 4, 6],
+        Scale::Default => vec![10, 25, 50, 75, 100],
+        Scale::Full => vec![10, 50, 100, 200, 400, 700],
+    };
+    let mtv_counts: Vec<usize> = match scale {
+        Scale::Quick => vec![1, 2, 3],
+        _ => vec![1, 3, 5, 8, 11, 15],
+    };
+
+    let mut a = Table::new(
+        "Figure 7a: Laserlight run time v. # patterns (Income)",
+        &["n_patterns", "runtime_s"],
+    );
+    for &n in &ll_counts {
+        let (_, secs) =
+            time_it(|| Laserlight::new(LaserlightConfig::new(n, 0)).summarize(&income));
+        a.row_strings(vec![n.to_string(), f(secs)]);
+    }
+    a.print();
+    a.write_csv("fig7a");
+
+    let mut b = Table::new(
+        "Figure 7b: MTV run time v. # patterns (Mushroom)",
+        &["n_patterns", "runtime_s"],
+    );
+    for &n in &mtv_counts {
+        let (result, secs) = time_it(|| Mtv::new(MtvConfig::new(n)).summarize(&mushroom));
+        result.map_err(|e| e.to_string())?;
+        b.row_strings(vec![n.to_string(), f(secs)]);
+    }
+    b.print();
+    b.write_csv("fig7b");
+    Ok(())
+}

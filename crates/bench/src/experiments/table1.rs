@@ -1,0 +1,59 @@
+//! Table 1: summary statistics of the two query-log datasets, computed by
+//! running the full ingestion pipeline on the synthetic logs, side by side
+//! with the paper's published values.
+
+use crate::datasets::{self, Scale};
+use crate::report::Table;
+
+/// Paper values for (PocketData, US bank), by row.
+const PAPER: &[(&str, u64, u64)] = &[
+    ("# Queries", 629_582, 1_244_243),
+    ("# Distinct queries", 605, 188_184),
+    ("# Distinct queries (w/o const)", 605, 1_712),
+    ("# Distinct conjunctive queries", 135, 1_494),
+    ("# Distinct re-writable queries", 605, 1_712),
+    ("Max query multiplicity", 48_651, 208_742),
+    ("# Distinct features", 863, 144_708),
+    ("# Distinct features (w/o const)", 863, 5_290),
+];
+
+/// Run the experiment.
+pub fn run(scale: Scale) -> Result<(), String> {
+    let (pocket_log, pocket) = datasets::pocketdata(scale);
+    let (bank_log, bank) = datasets::usbank(scale);
+
+    let measured: Vec<(u64, u64)> = vec![
+        (pocket.parsed_selects, bank.parsed_selects),
+        (pocket.distinct_raw as u64, bank.distinct_raw as u64),
+        (pocket.distinct_anonymized as u64, bank.distinct_anonymized as u64),
+        (pocket.distinct_conjunctive as u64, bank.distinct_conjunctive as u64),
+        (pocket.distinct_rewritable as u64, bank.distinct_rewritable as u64),
+        (pocket.max_multiplicity, bank.max_multiplicity),
+        (pocket.features_with_const as u64, bank.features_with_const as u64),
+        (pocket_log.num_features() as u64, bank_log.num_features() as u64),
+    ];
+
+    let mut table = Table::new(
+        "Table 1: Summary of data sets (paper value | measured on synthetic)",
+        &["Statistic", "PocketData (paper)", "PocketData", "US bank (paper)", "US bank"],
+    );
+    for ((name, p_paper, b_paper), (p_meas, b_meas)) in PAPER.iter().zip(measured) {
+        table.row_strings(vec![
+            name.to_string(),
+            p_paper.to_string(),
+            p_meas.to_string(),
+            b_paper.to_string(),
+            b_meas.to_string(),
+        ]);
+    }
+    table.row_strings(vec![
+        "Average features per query".into(),
+        "14.78".into(),
+        format!("{:.2}", pocket_log.avg_features_per_query()),
+        "16.56".into(),
+        format!("{:.2}", bank_log.avg_features_per_query()),
+    ]);
+    table.print();
+    table.write_csv("table1");
+    Ok(())
+}

@@ -1,0 +1,57 @@
+//! Table 2: summary statistics of the alternative-application datasets
+//! (Income for Laserlight, Mushroom for MTV), paper vs synthetic.
+
+use crate::datasets::{self, Scale};
+use crate::report::Table;
+
+/// Run the experiment.
+pub fn run(scale: Scale) -> Result<(), String> {
+    let income = datasets::income(scale);
+    let mushroom = datasets::mushroom(scale);
+
+    let income_attrs = 9;
+    let mushroom_attrs = 21;
+
+    let mut table = Table::new(
+        "Table 2: Data sets of alternative applications (paper | measured)",
+        &["Statistic", "Income (paper)", "Income", "Mushroom (paper)", "Mushroom"],
+    );
+    table.row_strings(vec![
+        "# Distinct data tuples".into(),
+        "777493".into(),
+        income.distinct().to_string(),
+        "8124".into(),
+        mushroom.distinct().to_string(),
+    ]);
+    table.row_strings(vec![
+        "# Features per tuple".into(),
+        "9".into(),
+        income_attrs.to_string(),
+        "21".into(),
+        mushroom_attrs.to_string(),
+    ]);
+    table.row_strings(vec![
+        "# Distinct features".into(),
+        "783".into(),
+        income.n_features().to_string(),
+        "95".into(),
+        mushroom.n_features().to_string(),
+    ]);
+    table.row_strings(vec![
+        "Binary classification feature".into(),
+        "> 100,000?".into(),
+        format!("income>100k (rate {:.2})", income.label_rate()),
+        "Edibility".into(),
+        format!("edible (rate {:.2})", mushroom.label_rate()),
+    ]);
+    table.row_strings(vec![
+        "Total rows".into(),
+        "777493".into(),
+        income.total().to_string(),
+        "8124".into(),
+        mushroom.total().to_string(),
+    ]);
+    table.print();
+    table.write_csv("table2");
+    Ok(())
+}

@@ -1,0 +1,153 @@
+//! Output plumbing: aligned text tables and CSV files under `results/`.
+
+use std::fmt::Display;
+use std::fs;
+use std::io::Write;
+use std::path::PathBuf;
+use std::time::Instant;
+
+/// A simple aligned text table that doubles as a CSV writer.
+#[derive(Debug, Clone)]
+pub struct Table {
+    title: String,
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// New table with a title and column headers.
+    pub fn new(title: &str, headers: &[&str]) -> Self {
+        Table {
+            title: title.to_string(),
+            headers: headers.iter().map(|h| h.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Append a row (stringifies each cell).
+    pub fn row(&mut self, cells: &[&dyn Display]) {
+        assert_eq!(cells.len(), self.headers.len(), "cell count mismatch");
+        self.rows.push(cells.iter().map(|c| c.to_string()).collect());
+    }
+
+    /// Append a row of pre-rendered strings.
+    pub fn row_strings(&mut self, cells: Vec<String>) {
+        assert_eq!(cells.len(), self.headers.len(), "cell count mismatch");
+        self.rows.push(cells);
+    }
+
+    /// Print to stdout with aligned columns.
+    pub fn print(&self) {
+        let mut widths: Vec<usize> = self.headers.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (w, cell) in widths.iter_mut().zip(row) {
+                *w = (*w).max(cell.len());
+            }
+        }
+        let line_len: usize = widths.iter().sum::<usize>() + 3 * widths.len();
+        println!("\n== {} ==", self.title);
+        let fmt_row = |cells: &[String]| {
+            let mut line = String::new();
+            for (cell, w) in cells.iter().zip(&widths) {
+                line.push_str(&format!("{cell:>w$}   ", w = w));
+            }
+            line.trim_end().to_string()
+        };
+        println!("{}", fmt_row(&self.headers));
+        println!("{}", "-".repeat(line_len.min(160)));
+        let stdout = std::io::stdout();
+        let mut lock = stdout.lock();
+        for row in &self.rows {
+            writeln!(lock, "{}", fmt_row(row)).ok();
+        }
+    }
+
+    /// Write as CSV under `results/<name>.csv`.
+    pub fn write_csv(&self, name: &str) {
+        let dir = results_dir();
+        let path = dir.join(format!("{name}.csv"));
+        let mut out = String::new();
+        out.push_str(&self.headers.join(","));
+        out.push('\n');
+        for row in &self.rows {
+            let escaped: Vec<String> = row
+                .iter()
+                .map(|c| {
+                    if c.contains(',') || c.contains('"') {
+                        format!("\"{}\"", c.replace('"', "\"\""))
+                    } else {
+                        c.clone()
+                    }
+                })
+                .collect();
+            out.push_str(&escaped.join(","));
+            out.push('\n');
+        }
+        if let Err(e) = fs::write(&path, out) {
+            eprintln!("warning: could not write {}: {e}", path.display());
+        } else {
+            println!("   → {}", path.display());
+        }
+    }
+}
+
+/// The `results/` directory (created on demand).
+pub fn results_dir() -> PathBuf {
+    let dir = PathBuf::from("results");
+    let _ = fs::create_dir_all(&dir);
+    dir
+}
+
+/// Wall-clock time of a closure, in seconds.
+pub fn time_it<T>(f: impl FnOnce() -> T) -> (T, f64) {
+    let start = Instant::now();
+    let out = f();
+    (out, start.elapsed().as_secs_f64())
+}
+
+/// Format a float compactly (4 significant decimals).
+pub fn f(v: f64) -> String {
+    if v == 0.0 {
+        "0".into()
+    } else if v.abs() >= 1000.0 || (v.abs() < 0.01 && v.abs() > 0.0) {
+        format!("{v:.4e}")
+    } else {
+        format!("{v:.4}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_roundtrip() {
+        let mut t = Table::new("demo", &["a", "b"]);
+        t.row(&[&1, &"x"]);
+        t.row_strings(vec!["2".into(), "y,z".into()]);
+        assert_eq!(t.rows.len(), 2);
+        t.print(); // smoke: no panic
+    }
+
+    #[test]
+    #[should_panic(expected = "cell count mismatch")]
+    fn row_width_checked() {
+        let mut t = Table::new("demo", &["a", "b"]);
+        t.row(&[&1]);
+    }
+
+    #[test]
+    fn float_formatting() {
+        assert_eq!(f(0.0), "0");
+        assert_eq!(f(1.5), "1.5000");
+        assert!(f(12345.0).contains('e'));
+        assert!(f(0.0001).contains('e'));
+    }
+
+    #[test]
+    fn timing_returns_value() {
+        let (v, secs) = time_it(|| 42);
+        assert_eq!(v, 42);
+        assert!(secs >= 0.0);
+    }
+}

@@ -1,0 +1,111 @@
+//! Shared clustering result type.
+
+/// A partition of `n` items into at most `k` clusters.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Clustering {
+    /// Number of clusters (some may be empty before [`Clustering::compact`]).
+    pub k: usize,
+    /// `assignments[i]` is the cluster of item `i`, in `0..k`.
+    pub assignments: Vec<usize>,
+}
+
+impl Clustering {
+    /// Build from raw assignments.
+    ///
+    /// # Panics
+    /// Panics if any assignment is `>= k`.
+    pub fn new(k: usize, assignments: Vec<usize>) -> Self {
+        assert!(assignments.iter().all(|&a| a < k), "assignment out of range");
+        Clustering { k, assignments }
+    }
+
+    /// Single-cluster partition of `n` items.
+    pub fn trivial(n: usize) -> Self {
+        Clustering { k: 1, assignments: vec![0; n] }
+    }
+
+    /// Number of items.
+    pub fn len(&self) -> usize {
+        self.assignments.len()
+    }
+
+    /// True if there are no items.
+    pub fn is_empty(&self) -> bool {
+        self.assignments.is_empty()
+    }
+
+    /// Item indices grouped per cluster (empty clusters included).
+    pub fn members(&self) -> Vec<Vec<usize>> {
+        let mut groups = vec![Vec::new(); self.k];
+        for (i, &c) in self.assignments.iter().enumerate() {
+            groups[c].push(i);
+        }
+        groups
+    }
+
+    /// Item count per cluster.
+    pub fn sizes(&self) -> Vec<usize> {
+        let mut sizes = vec![0; self.k];
+        for &c in &self.assignments {
+            sizes[c] += 1;
+        }
+        sizes
+    }
+
+    /// Number of non-empty clusters.
+    pub fn non_empty(&self) -> usize {
+        self.sizes().iter().filter(|&&s| s > 0).count()
+    }
+
+    /// Renumber clusters to remove empty ones; returns the compacted
+    /// clustering.
+    pub fn compact(&self) -> Clustering {
+        let sizes = self.sizes();
+        let mut remap = vec![usize::MAX; self.k];
+        let mut next = 0;
+        for (c, &s) in sizes.iter().enumerate() {
+            if s > 0 {
+                remap[c] = next;
+                next += 1;
+            }
+        }
+        Clustering {
+            k: next,
+            assignments: self.assignments.iter().map(|&c| remap[c]).collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn members_and_sizes() {
+        let c = Clustering::new(3, vec![0, 2, 0, 2]);
+        assert_eq!(c.members(), vec![vec![0, 2], vec![], vec![1, 3]]);
+        assert_eq!(c.sizes(), vec![2, 0, 2]);
+        assert_eq!(c.non_empty(), 2);
+        assert_eq!(c.len(), 4);
+    }
+
+    #[test]
+    fn compact_removes_empty_clusters() {
+        let c = Clustering::new(3, vec![0, 2, 0, 2]).compact();
+        assert_eq!(c.k, 2);
+        assert_eq!(c.assignments, vec![0, 1, 0, 1]);
+    }
+
+    #[test]
+    fn trivial_is_single_cluster() {
+        let c = Clustering::trivial(5);
+        assert_eq!(c.k, 1);
+        assert_eq!(c.sizes(), vec![5]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn new_rejects_bad_assignment() {
+        Clustering::new(2, vec![0, 2]);
+    }
+}

@@ -1,0 +1,185 @@
+//! Distance measures on binary query vectors (paper §6.1).
+//!
+//! On binary vectors every lᵖ distance is a function of the symmetric-
+//! difference cardinality `d = |x ⊕ y|`: Manhattan is `d`, Euclidean is
+//! `√d`, Minkowski-p is `d^(1/p)`. The paper's Hamming distance is the
+//! *normalized* mismatch rate `Count(x≠y) / (Count(x≠y) + Count(x=y))
+//! = d / n`. Chebyshev and Canberra (evaluated and dropped by the paper's
+//! footnote 1) are included for completeness: on binary data Chebyshev is
+//! the 0/1 indicator of inequality and Canberra coincides with Manhattan.
+
+use logr_feature::QueryVector;
+use logr_math::Matrix;
+
+/// A distance measure over binary feature vectors.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Distance {
+    /// l₂: `√d`.
+    Euclidean,
+    /// l₁: `d`.
+    Manhattan,
+    /// lᵖ: `d^(1/p)`. The paper uses `p = 4`.
+    Minkowski(f64),
+    /// Normalized mismatch rate `d / n` (needs the universe size).
+    Hamming,
+    /// l∞ on binary data: 1 if the vectors differ at all, else 0.
+    Chebyshev,
+    /// Canberra; coincides with Manhattan on binary data.
+    Canberra,
+}
+
+impl Distance {
+    /// Distance between two binary vectors in a universe of `n` features.
+    pub fn between(self, a: &QueryVector, b: &QueryVector, n: usize) -> f64 {
+        let d = a.symmetric_difference_size(b) as f64;
+        match self {
+            Distance::Euclidean => d.sqrt(),
+            Distance::Manhattan | Distance::Canberra => d,
+            Distance::Minkowski(p) => {
+                debug_assert!(p >= 1.0, "Minkowski order must be ≥ 1");
+                d.powf(1.0 / p)
+            }
+            Distance::Hamming => {
+                if n == 0 {
+                    0.0
+                } else {
+                    d / n as f64
+                }
+            }
+            Distance::Chebyshev => {
+                if d > 0.0 {
+                    1.0
+                } else {
+                    0.0
+                }
+            }
+        }
+    }
+
+    /// Canonical label used in harness output.
+    pub fn label(self) -> String {
+        match self {
+            Distance::Euclidean => "euclidean".into(),
+            Distance::Manhattan => "manhattan".into(),
+            Distance::Minkowski(p) => format!("minkowski{p}"),
+            Distance::Hamming => "hamming".into(),
+            Distance::Chebyshev => "chebyshev".into(),
+            Distance::Canberra => "canberra".into(),
+        }
+    }
+}
+
+/// Full pairwise distance matrix over a set of vectors.
+pub fn distance_matrix(vectors: &[&QueryVector], metric: Distance, n_features: usize) -> Matrix {
+    let n = vectors.len();
+    let mut m = Matrix::zeros(n, n);
+    for i in 0..n {
+        for j in (i + 1)..n {
+            let d = metric.between(vectors[i], vectors[j], n_features);
+            m[(i, j)] = d;
+            m[(j, i)] = d;
+        }
+    }
+    m
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use logr_feature::FeatureId;
+
+    fn qv(ids: &[u32]) -> QueryVector {
+        QueryVector::new(ids.iter().map(|&i| FeatureId(i)).collect())
+    }
+
+    #[test]
+    fn euclidean_is_sqrt_of_mismatches() {
+        let a = qv(&[0, 1, 2]);
+        let b = qv(&[2, 3]); // symmetric difference {0,1,3}, d = 3
+        assert!((Distance::Euclidean.between(&a, &b, 10) - 3.0f64.sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn manhattan_counts_mismatches() {
+        let a = qv(&[0, 1]);
+        let b = qv(&[1, 2]);
+        assert_eq!(Distance::Manhattan.between(&a, &b, 10), 2.0);
+        assert_eq!(Distance::Canberra.between(&a, &b, 10), 2.0);
+    }
+
+    #[test]
+    fn minkowski_generalizes() {
+        let a = qv(&[0, 1, 2, 3]);
+        let b = qv(&[]);
+        // d = 4: l1 = 4, l2 = 2, l4 = 4^(1/4) = √2.
+        assert_eq!(Distance::Minkowski(1.0).between(&a, &b, 8), 4.0);
+        assert!((Distance::Minkowski(2.0).between(&a, &b, 8) - 2.0).abs() < 1e-12);
+        assert!(
+            (Distance::Minkowski(4.0).between(&a, &b, 8) - 2.0f64.sqrt()).abs() < 1e-12
+        );
+    }
+
+    #[test]
+    fn hamming_is_normalized() {
+        let a = qv(&[0, 1]);
+        let b = qv(&[2, 3]);
+        // d = 4 mismatches over n = 8 positions.
+        assert!((Distance::Hamming.between(&a, &b, 8) - 0.5).abs() < 1e-12);
+        assert_eq!(Distance::Hamming.between(&a, &a, 8), 0.0);
+        assert_eq!(Distance::Hamming.between(&a, &b, 0), 0.0);
+    }
+
+    #[test]
+    fn chebyshev_is_indicator() {
+        let a = qv(&[0]);
+        let b = qv(&[1]);
+        assert_eq!(Distance::Chebyshev.between(&a, &b, 4), 1.0);
+        assert_eq!(Distance::Chebyshev.between(&a, &a, 4), 0.0);
+    }
+
+    #[test]
+    fn identity_and_symmetry_all_metrics() {
+        let a = qv(&[0, 2, 5]);
+        let b = qv(&[1, 2]);
+        for m in [
+            Distance::Euclidean,
+            Distance::Manhattan,
+            Distance::Minkowski(4.0),
+            Distance::Hamming,
+            Distance::Chebyshev,
+            Distance::Canberra,
+        ] {
+            assert_eq!(m.between(&a, &a, 8), 0.0, "{:?} identity", m);
+            assert_eq!(m.between(&a, &b, 8), m.between(&b, &a, 8), "{:?} symmetry", m);
+            assert!(m.between(&a, &b, 8) > 0.0, "{:?} positivity", m);
+        }
+    }
+
+    #[test]
+    fn triangle_inequality_spot_check() {
+        let a = qv(&[0, 1]);
+        let b = qv(&[1, 2]);
+        let c = qv(&[2, 3]);
+        for m in [Distance::Euclidean, Distance::Manhattan, Distance::Hamming] {
+            let ab = m.between(&a, &b, 8);
+            let bc = m.between(&b, &c, 8);
+            let ac = m.between(&a, &c, 8);
+            assert!(ac <= ab + bc + 1e-12, "{:?} triangle", m);
+        }
+    }
+
+    #[test]
+    fn distance_matrix_is_symmetric_with_zero_diagonal() {
+        let vs = [qv(&[0]), qv(&[0, 1]), qv(&[2])];
+        let refs: Vec<&QueryVector> = vs.iter().collect();
+        let m = distance_matrix(&refs, Distance::Manhattan, 4);
+        for i in 0..3 {
+            assert_eq!(m[(i, i)], 0.0);
+            for j in 0..3 {
+                assert_eq!(m[(i, j)], m[(j, i)]);
+            }
+        }
+        assert_eq!(m[(0, 1)], 1.0);
+        assert_eq!(m[(0, 2)], 2.0);
+    }
+}

@@ -1,0 +1,351 @@
+//! Weighted k-means with k-means++ seeding.
+//!
+//! Two front ends share one Lloyd loop:
+//!
+//! * [`kmeans_dense`] — points are dense rows (used on spectral embeddings);
+//! * [`kmeans_binary`] — points are sparse binary query vectors with
+//!   multiplicity weights; centroids stay dense. Distances use the
+//!   expansion `‖x − c‖² = |x| − 2·Σ_{i∈x} cᵢ + ‖c‖²`, so a step costs
+//!   `O(k · Σ|x|)` rather than `O(k · n · dims)`.
+//!
+//! Weighting by multiplicity makes clustering the distinct-query set
+//! equivalent to clustering the exploded log (same objective, same optima).
+
+use crate::assign::Clustering;
+use logr_feature::QueryVector;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// K-means configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct KMeansConfig {
+    /// Number of clusters.
+    pub k: usize,
+    /// Maximum Lloyd iterations.
+    pub max_iters: usize,
+    /// RNG seed for k-means++ initialization.
+    pub seed: u64,
+}
+
+impl KMeansConfig {
+    /// Config with default iteration budget (100).
+    pub fn new(k: usize, seed: u64) -> Self {
+        KMeansConfig { k, max_iters: 100, seed }
+    }
+}
+
+/// Weighted k-means over dense points. Returns the clustering and the final
+/// weighted inertia (sum of squared distances to assigned centroids).
+///
+/// # Panics
+/// Panics if `points` is empty, weights length mismatches, or `k == 0`.
+pub fn kmeans_dense(
+    points: &[Vec<f64>],
+    weights: &[f64],
+    config: KMeansConfig,
+) -> (Clustering, f64) {
+    assert!(!points.is_empty(), "kmeans over empty point set");
+    assert_eq!(points.len(), weights.len(), "weights length mismatch");
+    assert!(config.k > 0, "k must be positive");
+    let k = config.k.min(points.len());
+    let dims = points[0].len();
+    let mut rng = StdRng::seed_from_u64(config.seed);
+
+    let mut centroids = plus_plus_init_dense(points, weights, k, &mut rng);
+    let mut assignments = vec![0usize; points.len()];
+    let mut inertia = f64::INFINITY;
+
+    for _ in 0..config.max_iters {
+        // Assignment step.
+        let mut new_inertia = 0.0;
+        for (i, p) in points.iter().enumerate() {
+            let (best, d2) = nearest_dense(p, &centroids);
+            assignments[i] = best;
+            new_inertia += weights[i] * d2;
+        }
+        // Update step.
+        let mut sums = vec![vec![0.0; dims]; k];
+        let mut wsum = vec![0.0; k];
+        for (i, p) in points.iter().enumerate() {
+            let c = assignments[i];
+            wsum[c] += weights[i];
+            for (s, &v) in sums[c].iter_mut().zip(p) {
+                *s += weights[i] * v;
+            }
+        }
+        for c in 0..k {
+            if wsum[c] > 0.0 {
+                for s in &mut sums[c] {
+                    *s /= wsum[c];
+                }
+                centroids[c] = sums[c].clone();
+            } else {
+                // Empty cluster: reseed at the point farthest from its centroid.
+                let far = (0..points.len())
+                    .max_by(|&a, &b| {
+                        dist2_dense(&points[a], &centroids[assignments[a]])
+                            .total_cmp(&dist2_dense(&points[b], &centroids[assignments[b]]))
+                    })
+                    .expect("non-empty points");
+                centroids[c] = points[far].clone();
+            }
+        }
+        if (inertia - new_inertia).abs() < 1e-10 * (1.0 + inertia.abs()) {
+            inertia = new_inertia;
+            break;
+        }
+        inertia = new_inertia;
+    }
+    (Clustering::new(k, assignments), inertia)
+}
+
+/// Weighted k-means over sparse binary vectors (Euclidean distance).
+/// Returns the clustering and the final weighted inertia.
+///
+/// # Panics
+/// Panics if `points` is empty or `k == 0`.
+pub fn kmeans_binary(
+    points: &[&QueryVector],
+    weights: &[f64],
+    n_features: usize,
+    config: KMeansConfig,
+) -> (Clustering, f64) {
+    assert!(!points.is_empty(), "kmeans over empty point set");
+    assert_eq!(points.len(), weights.len(), "weights length mismatch");
+    assert!(config.k > 0, "k must be positive");
+    let k = config.k.min(points.len());
+    let mut rng = StdRng::seed_from_u64(config.seed);
+
+    // k-means++ over sparse points.
+    let mut centroid_ids = vec![pick_weighted(weights, &mut rng)];
+    let mut d2 = vec![f64::INFINITY; points.len()];
+    while centroid_ids.len() < k {
+        let latest = *centroid_ids.last().expect("non-empty");
+        for (i, p) in points.iter().enumerate() {
+            let d = p.symmetric_difference_size(points[latest]) as f64;
+            if d < d2[i] {
+                d2[i] = d;
+            }
+        }
+        let scores: Vec<f64> = d2.iter().zip(weights).map(|(d, w)| d * w).collect();
+        let total: f64 = scores.iter().sum();
+        let next = if total > 0.0 {
+            pick_weighted(&scores, &mut rng)
+        } else {
+            rng.gen_range(0..points.len())
+        };
+        centroid_ids.push(next);
+    }
+    let mut centroids: Vec<Vec<f64>> = centroid_ids
+        .iter()
+        .map(|&i| to_dense(points[i], n_features))
+        .collect();
+
+    let mut assignments = vec![0usize; points.len()];
+    let mut inertia = f64::INFINITY;
+
+    for _ in 0..config.max_iters {
+        let sq_norms: Vec<f64> = centroids
+            .iter()
+            .map(|c| c.iter().map(|v| v * v).sum::<f64>())
+            .collect();
+        let mut new_inertia = 0.0;
+        for (i, p) in points.iter().enumerate() {
+            let mut best = 0;
+            let mut best_d2 = f64::INFINITY;
+            for (c, centroid) in centroids.iter().enumerate() {
+                let dot: f64 = p.iter().map(|id| centroid[id.index()]).sum();
+                let d2 = (p.len() as f64 - 2.0 * dot + sq_norms[c]).max(0.0);
+                if d2 < best_d2 {
+                    best_d2 = d2;
+                    best = c;
+                }
+            }
+            assignments[i] = best;
+            new_inertia += weights[i] * best_d2;
+        }
+        // Update centroids.
+        let mut sums = vec![vec![0.0; n_features]; k];
+        let mut wsum = vec![0.0; k];
+        for (i, p) in points.iter().enumerate() {
+            let c = assignments[i];
+            wsum[c] += weights[i];
+            for id in p.iter() {
+                sums[c][id.index()] += weights[i];
+            }
+        }
+        for c in 0..k {
+            if wsum[c] > 0.0 {
+                for s in &mut sums[c] {
+                    *s /= wsum[c];
+                }
+                centroids[c] = std::mem::take(&mut sums[c]);
+            } else {
+                let far = rng.gen_range(0..points.len());
+                centroids[c] = to_dense(points[far], n_features);
+            }
+        }
+        if (inertia - new_inertia).abs() < 1e-10 * (1.0 + inertia.abs()) {
+            inertia = new_inertia;
+            break;
+        }
+        inertia = new_inertia;
+    }
+    (Clustering::new(k, assignments), inertia)
+}
+
+fn to_dense(v: &QueryVector, n: usize) -> Vec<f64> {
+    let mut out = vec![0.0; n];
+    for id in v.iter() {
+        out[id.index()] = 1.0;
+    }
+    out
+}
+
+fn dist2_dense(a: &[f64], b: &[f64]) -> f64 {
+    a.iter().zip(b).map(|(x, y)| (x - y) * (x - y)).sum()
+}
+
+fn nearest_dense(p: &[f64], centroids: &[Vec<f64>]) -> (usize, f64) {
+    let mut best = 0;
+    let mut best_d2 = f64::INFINITY;
+    for (c, centroid) in centroids.iter().enumerate() {
+        let d2 = dist2_dense(p, centroid);
+        if d2 < best_d2 {
+            best_d2 = d2;
+            best = c;
+        }
+    }
+    (best, best_d2)
+}
+
+fn plus_plus_init_dense(
+    points: &[Vec<f64>],
+    weights: &[f64],
+    k: usize,
+    rng: &mut StdRng,
+) -> Vec<Vec<f64>> {
+    let mut centroids = vec![points[pick_weighted(weights, rng)].clone()];
+    let mut d2 = vec![f64::INFINITY; points.len()];
+    while centroids.len() < k {
+        let latest = centroids.last().expect("non-empty");
+        for (i, p) in points.iter().enumerate() {
+            let d = dist2_dense(p, latest);
+            if d < d2[i] {
+                d2[i] = d;
+            }
+        }
+        let scores: Vec<f64> = d2.iter().zip(weights).map(|(d, w)| d * w).collect();
+        let total: f64 = scores.iter().sum();
+        let next =
+            if total > 0.0 { pick_weighted(&scores, rng) } else { rng.gen_range(0..points.len()) };
+        centroids.push(points[next].clone());
+    }
+    centroids
+}
+
+/// Sample an index proportionally to non-negative weights.
+fn pick_weighted(weights: &[f64], rng: &mut StdRng) -> usize {
+    let total: f64 = weights.iter().sum();
+    if total <= 0.0 {
+        return rng.gen_range(0..weights.len());
+    }
+    let mut target = rng.gen::<f64>() * total;
+    for (i, &w) in weights.iter().enumerate() {
+        target -= w;
+        if target <= 0.0 {
+            return i;
+        }
+    }
+    weights.len() - 1
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use logr_feature::FeatureId;
+
+    fn qv(ids: &[u32]) -> QueryVector {
+        QueryVector::new(ids.iter().map(|&i| FeatureId(i)).collect())
+    }
+
+    #[test]
+    fn dense_separates_two_obvious_blobs() {
+        let points = vec![
+            vec![0.0, 0.0],
+            vec![0.1, 0.0],
+            vec![0.0, 0.1],
+            vec![5.0, 5.0],
+            vec![5.1, 5.0],
+            vec![5.0, 5.1],
+        ];
+        let weights = vec![1.0; 6];
+        let (c, inertia) = kmeans_dense(&points, &weights, KMeansConfig::new(2, 1));
+        assert_eq!(c.assignments[0], c.assignments[1]);
+        assert_eq!(c.assignments[0], c.assignments[2]);
+        assert_eq!(c.assignments[3], c.assignments[4]);
+        assert_eq!(c.assignments[3], c.assignments[5]);
+        assert_ne!(c.assignments[0], c.assignments[3]);
+        assert!(inertia < 0.1);
+    }
+
+    #[test]
+    fn binary_separates_disjoint_workloads() {
+        // Two workloads with disjoint feature sets (paper §5 motivation).
+        let vs = [qv(&[0, 1, 2]), qv(&[0, 1]), qv(&[1, 2]), qv(&[10, 11]), qv(&[10, 12])];
+        let refs: Vec<&QueryVector> = vs.iter().collect();
+        let weights = vec![1.0; 5];
+        let (c, _) = kmeans_binary(&refs, &weights, 16, KMeansConfig::new(2, 7));
+        assert_eq!(c.assignments[0], c.assignments[1]);
+        assert_eq!(c.assignments[0], c.assignments[2]);
+        assert_eq!(c.assignments[3], c.assignments[4]);
+        assert_ne!(c.assignments[0], c.assignments[3]);
+    }
+
+    #[test]
+    fn k_clamped_to_point_count() {
+        let vs = [qv(&[0]), qv(&[1])];
+        let refs: Vec<&QueryVector> = vs.iter().collect();
+        let (c, inertia) = kmeans_binary(&refs, &[1.0, 1.0], 4, KMeansConfig::new(10, 0));
+        assert_eq!(c.k, 2);
+        assert!(inertia < 1e-9);
+    }
+
+    #[test]
+    fn k1_groups_everything() {
+        let points = vec![vec![0.0], vec![1.0], vec![2.0]];
+        let (c, _) = kmeans_dense(&points, &[1.0; 3], KMeansConfig::new(1, 0));
+        assert!(c.assignments.iter().all(|&a| a == 0));
+    }
+
+    #[test]
+    fn weights_pull_centroids() {
+        // A heavy point at 0 and light points at 1: with k = 1 the centroid
+        // sits near 0, so inertia is dominated by the light points.
+        let points = vec![vec![0.0], vec![1.0]];
+        let (_, heavy0) = kmeans_dense(&points, &[100.0, 1.0], KMeansConfig::new(1, 0));
+        let (_, balanced) = kmeans_dense(&points, &[1.0, 1.0], KMeansConfig::new(1, 0));
+        // Weighted inertia with the heavy point is below the unweighted
+        // two-point inertia scaled by total weight.
+        assert!(heavy0 / 101.0 < balanced / 2.0);
+    }
+
+    #[test]
+    fn deterministic_for_fixed_seed() {
+        let vs = [qv(&[0, 1]), qv(&[1, 2]), qv(&[5, 6]), qv(&[6, 7])];
+        let refs: Vec<&QueryVector> = vs.iter().collect();
+        let (a, _) = kmeans_binary(&refs, &[1.0; 4], 10, KMeansConfig::new(2, 42));
+        let (b, _) = kmeans_binary(&refs, &[1.0; 4], 10, KMeansConfig::new(2, 42));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn binary_inertia_decreases_with_k() {
+        let vs: Vec<QueryVector> = (0..12u32).map(|i| qv(&[i, i + 1, i + 2])).collect();
+        let refs: Vec<&QueryVector> = vs.iter().collect();
+        let weights = vec![1.0; refs.len()];
+        let (_, i2) = kmeans_binary(&refs, &weights, 16, KMeansConfig::new(2, 3));
+        let (_, i6) = kmeans_binary(&refs, &weights, 16, KMeansConfig::new(6, 3));
+        assert!(i6 <= i2 + 1e-9, "inertia should not grow with k: {i2} -> {i6}");
+    }
+}

@@ -1,0 +1,37 @@
+//! Clustering substrate for LogR.
+//!
+//! LogR constructs pattern *mixture* encodings by partitioning the log and
+//! encoding each partition separately (paper §5, §6.1). The partitioning is
+//! plain clustering of query feature vectors; the paper evaluates four
+//! strategies — KMeans with Euclidean distance and spectral clustering with
+//! Manhattan, Minkowski (p = 4) and Hamming distances — plus hierarchical
+//! clustering as the monotonic alternative (§6.1.1).
+//!
+//! All algorithms operate on **distinct** query vectors weighted by
+//! multiplicity, which yields the same partitions as clustering the raw log
+//! while keeping costs proportional to the distinct count.
+//!
+//! * [`distance`] — the §6.1 distance measures on binary vectors;
+//! * [`kmeans`] — weighted Lloyd iteration with k-means++ seeding (dense and
+//!   sparse-binary front ends);
+//! * [`spectral`] — Ng–Jordan–Weiss spectral clustering over an RBF affinity
+//!   of any distance, eigenvectors via Lanczos;
+//! * [`hierarchical`] — agglomerative average-linkage clustering (nearest-
+//!   neighbor-chain), with monotonic dendrogram cuts;
+//! * [`assign`] — the shared [`Clustering`] result type;
+//! * [`method`] — the [`method::ClusterMethod`] façade used by the
+//!   compressor and the reproduction harness.
+
+pub mod assign;
+pub mod distance;
+pub mod hierarchical;
+pub mod kmeans;
+pub mod method;
+pub mod spectral;
+
+pub use assign::Clustering;
+pub use distance::{distance_matrix, Distance};
+pub use hierarchical::{hierarchical_cluster, Dendrogram};
+pub use kmeans::{kmeans_binary, kmeans_dense, KMeansConfig};
+pub use method::{cluster_log, ClusterMethod};
+pub use spectral::{spectral_cluster, SpectralConfig};

@@ -1,0 +1,138 @@
+//! Clustering method façade used by the compressor and the harness.
+//!
+//! Wraps the §6.1 strategy matrix — KMeans-Euclidean plus spectral
+//! clustering over Manhattan / Minkowski-4 / Hamming — and the hierarchical
+//! alternative behind one enum, operating directly on a [`QueryLog`]'s
+//! distinct entries with multiplicity weights.
+
+use crate::assign::Clustering;
+use crate::distance::Distance;
+use crate::hierarchical::hierarchical_cluster;
+use crate::kmeans::{kmeans_binary, KMeansConfig};
+use crate::spectral::{spectral_cluster, SpectralConfig};
+use logr_feature::{QueryLog, QueryVector};
+
+/// A log-partitioning strategy from the paper's evaluation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ClusterMethod {
+    /// KMeans with Euclidean distance (the paper's fastest option).
+    KMeansEuclidean,
+    /// Spectral clustering over the given distance.
+    Spectral(Distance),
+    /// Agglomerative average-linkage clustering over the given distance
+    /// (monotonic cuts; §6.1.1 "Hierarchical Clustering").
+    Hierarchical(Distance),
+}
+
+impl ClusterMethod {
+    /// The four configurations of Figure 2, in the paper's plotting order.
+    pub fn paper_lineup() -> [ClusterMethod; 4] {
+        [
+            ClusterMethod::Spectral(Distance::Minkowski(4.0)),
+            ClusterMethod::Spectral(Distance::Manhattan),
+            ClusterMethod::Spectral(Distance::Hamming),
+            ClusterMethod::KMeansEuclidean,
+        ]
+    }
+
+    /// Harness label (matches the paper's legend naming).
+    pub fn label(&self) -> String {
+        match self {
+            ClusterMethod::KMeansEuclidean => "KmeansEuclidean".into(),
+            ClusterMethod::Spectral(d) => d.label(),
+            ClusterMethod::Hierarchical(d) => format!("hierarchical-{}", d.label()),
+        }
+    }
+}
+
+/// Partition a log's distinct queries into `k` clusters.
+///
+/// Entries are weighted by multiplicity, so the result equals clustering the
+/// exploded log. Returns the trivial clustering for `k <= 1` or an empty log.
+pub fn cluster_log(log: &QueryLog, k: usize, method: ClusterMethod, seed: u64) -> Clustering {
+    let n = log.distinct_count();
+    if n == 0 {
+        return Clustering::new(1, Vec::new());
+    }
+    if k <= 1 || n == 1 {
+        return Clustering::trivial(n);
+    }
+    let points: Vec<&QueryVector> = log.entries().iter().map(|(v, _)| v).collect();
+    let weights: Vec<f64> = log.entries().iter().map(|&(_, c)| c as f64).collect();
+    let nf = log.num_features();
+    match method {
+        ClusterMethod::KMeansEuclidean => {
+            kmeans_binary(&points, &weights, nf, KMeansConfig::new(k, seed)).0
+        }
+        ClusterMethod::Spectral(metric) => {
+            spectral_cluster(&points, &weights, nf, SpectralConfig::new(k, metric, seed))
+        }
+        ClusterMethod::Hierarchical(metric) => {
+            hierarchical_cluster(&points, &weights, nf, metric).cut(k)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use logr_feature::LogIngest;
+
+    fn two_workload_log() -> QueryLog {
+        let mut ingest = LogIngest::new();
+        for _ in 0..5 {
+            ingest.ingest("SELECT id FROM Messages WHERE status = ?");
+            ingest.ingest("SELECT id, body FROM Messages WHERE status = ?");
+            ingest.ingest("SELECT balance FROM accounts WHERE owner = ?");
+            ingest.ingest("SELECT balance, branch FROM accounts WHERE owner = ?");
+        }
+        ingest.finish().0
+    }
+
+    #[test]
+    fn all_methods_partition_the_log() {
+        let log = two_workload_log();
+        for method in [
+            ClusterMethod::KMeansEuclidean,
+            ClusterMethod::Spectral(Distance::Manhattan),
+            ClusterMethod::Spectral(Distance::Minkowski(4.0)),
+            ClusterMethod::Spectral(Distance::Hamming),
+            ClusterMethod::Hierarchical(Distance::Hamming),
+        ] {
+            let c = cluster_log(&log, 2, method, 17);
+            assert_eq!(c.len(), log.distinct_count(), "{}", method.label());
+            // The messaging and banking workloads are feature-disjoint; all
+            // methods must separate them at k = 2.
+            assert_eq!(c.assignments[0], c.assignments[1], "{}", method.label());
+            assert_eq!(c.assignments[2], c.assignments[3], "{}", method.label());
+            assert_ne!(c.assignments[0], c.assignments[2], "{}", method.label());
+        }
+    }
+
+    #[test]
+    fn k1_is_trivial_for_all_methods() {
+        let log = two_workload_log();
+        for method in ClusterMethod::paper_lineup() {
+            let c = cluster_log(&log, 1, method, 0);
+            assert_eq!(c.k, 1);
+        }
+    }
+
+    #[test]
+    fn labels_are_stable() {
+        assert_eq!(ClusterMethod::KMeansEuclidean.label(), "KmeansEuclidean");
+        assert_eq!(ClusterMethod::Spectral(Distance::Hamming).label(), "hamming");
+        assert_eq!(ClusterMethod::Spectral(Distance::Minkowski(4.0)).label(), "minkowski4");
+        assert_eq!(
+            ClusterMethod::Hierarchical(Distance::Manhattan).label(),
+            "hierarchical-manhattan"
+        );
+    }
+
+    #[test]
+    fn empty_log_is_handled() {
+        let log = QueryLog::new();
+        let c = cluster_log(&log, 3, ClusterMethod::KMeansEuclidean, 0);
+        assert!(c.is_empty());
+    }
+}

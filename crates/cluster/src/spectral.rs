@@ -1,0 +1,213 @@
+//! Spectral clustering (Ng–Jordan–Weiss) over a pluggable distance.
+//!
+//! The paper runs sklearn's `SpectralClustering` with precomputed Manhattan,
+//! Minkowski-4 and Hamming distances (§6.1). This implementation follows the
+//! same recipe:
+//!
+//! 1. pairwise distance matrix on distinct query vectors;
+//! 2. RBF affinity `A = exp(−d² / 2σ²)` with a self-tuning `σ` (median of
+//!    positive distances) unless one is supplied;
+//! 3. normalized affinity `M = D^{-1/2} A D^{-1/2}` (whose top eigenvectors
+//!    are the bottom eigenvectors of the normalized Laplacian);
+//! 4. top-k eigenvectors via Lanczos;
+//! 5. row-normalize the embedding and run weighted k-means on it.
+
+use crate::assign::Clustering;
+use crate::distance::{distance_matrix, Distance};
+use crate::kmeans::{kmeans_dense, KMeansConfig};
+use logr_feature::QueryVector;
+use logr_math::{lanczos_topk, Matrix};
+
+/// Spectral clustering configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct SpectralConfig {
+    /// Number of clusters.
+    pub k: usize,
+    /// Distance measure feeding the affinity.
+    pub metric: Distance,
+    /// RBF bandwidth; `None` = median heuristic.
+    pub sigma: Option<f64>,
+    /// RNG seed (Lanczos start vector and k-means init).
+    pub seed: u64,
+}
+
+impl SpectralConfig {
+    /// Config with the median-σ heuristic.
+    pub fn new(k: usize, metric: Distance, seed: u64) -> Self {
+        SpectralConfig { k, metric, sigma: None, seed }
+    }
+}
+
+/// Cluster sparse binary vectors spectrally. `weights` are multiplicities.
+///
+/// # Panics
+/// Panics if `points` is empty or `k == 0`.
+pub fn spectral_cluster(
+    points: &[&QueryVector],
+    weights: &[f64],
+    n_features: usize,
+    config: SpectralConfig,
+) -> Clustering {
+    assert!(!points.is_empty(), "spectral clustering over empty point set");
+    assert_eq!(points.len(), weights.len(), "weights length mismatch");
+    assert!(config.k > 0, "k must be positive");
+    let n = points.len();
+    let k = config.k.min(n);
+    if k == 1 {
+        return Clustering::trivial(n);
+    }
+
+    let dist = distance_matrix(points, config.metric, n_features);
+    let sigma = config.sigma.unwrap_or_else(|| median_positive(&dist)).max(1e-9);
+
+    // RBF affinity with zero diagonal (NJW).
+    let mut affinity = Matrix::zeros(n, n);
+    for i in 0..n {
+        for j in 0..n {
+            if i != j {
+                let d = dist[(i, j)];
+                affinity[(i, j)] = (-d * d / (2.0 * sigma * sigma)).exp();
+            }
+        }
+    }
+
+    // Normalized affinity M = D^{-1/2} A D^{-1/2}.
+    let mut inv_sqrt_deg = vec![0.0; n];
+    for i in 0..n {
+        let deg: f64 = affinity.row(i).iter().sum();
+        inv_sqrt_deg[i] = 1.0 / deg.max(1e-12).sqrt();
+    }
+    let mut m = affinity;
+    for i in 0..n {
+        for j in 0..n {
+            m[(i, j)] *= inv_sqrt_deg[i] * inv_sqrt_deg[j];
+        }
+    }
+
+    let pairs = lanczos_topk(&m, k, config.seed);
+
+    // Embedding rows = top-k eigenvector components, row-normalized.
+    let mut embedding = vec![vec![0.0; pairs.len()]; n];
+    for (c, pair) in pairs.iter().enumerate() {
+        for (row, &v) in embedding.iter_mut().zip(&pair.vector) {
+            row[c] = v;
+        }
+    }
+    for row in &mut embedding {
+        let norm: f64 = row.iter().map(|v| v * v).sum::<f64>().sqrt();
+        if norm > 1e-12 {
+            for v in row.iter_mut() {
+                *v /= norm;
+            }
+        }
+    }
+
+    let (clustering, _) = kmeans_dense(&embedding, weights, KMeansConfig::new(k, config.seed));
+    clustering
+}
+
+/// Median of strictly positive entries of a symmetric matrix.
+fn median_positive(m: &Matrix) -> f64 {
+    let mut vals: Vec<f64> = Vec::with_capacity(m.rows() * (m.rows() - 1) / 2);
+    for i in 0..m.rows() {
+        for j in (i + 1)..m.cols() {
+            if m[(i, j)] > 0.0 {
+                vals.push(m[(i, j)]);
+            }
+        }
+    }
+    if vals.is_empty() {
+        return 1.0;
+    }
+    vals.sort_by(f64::total_cmp);
+    vals[vals.len() / 2]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use logr_feature::FeatureId;
+
+    fn qv(ids: &[u32]) -> QueryVector {
+        QueryVector::new(ids.iter().map(|&i| FeatureId(i)).collect())
+    }
+
+    fn two_workloads() -> Vec<QueryVector> {
+        // Disjoint feature supports: the anti-correlation structure that
+        // motivates mixtures in paper §5.
+        vec![
+            qv(&[0, 1, 2]),
+            qv(&[0, 1]),
+            qv(&[1, 2]),
+            qv(&[0, 2]),
+            qv(&[10, 11, 12]),
+            qv(&[10, 11]),
+            qv(&[11, 12]),
+            qv(&[10, 12]),
+        ]
+    }
+
+    #[test]
+    fn separates_disjoint_workloads_all_metrics() {
+        let vs = two_workloads();
+        let refs: Vec<&QueryVector> = vs.iter().collect();
+        let weights = vec![1.0; refs.len()];
+        for metric in [Distance::Manhattan, Distance::Minkowski(4.0), Distance::Hamming] {
+            let c = spectral_cluster(&refs, &weights, 16, SpectralConfig::new(2, metric, 11));
+            let first = c.assignments[0];
+            assert!(
+                c.assignments[..4].iter().all(|&a| a == first),
+                "{metric:?}: first workload split: {:?}",
+                c.assignments
+            );
+            let second = c.assignments[4];
+            assert!(
+                c.assignments[4..].iter().all(|&a| a == second),
+                "{metric:?}: second workload split: {:?}",
+                c.assignments
+            );
+            assert_ne!(first, second, "{metric:?}: workloads merged");
+        }
+    }
+
+    #[test]
+    fn k1_is_trivial() {
+        let vs = two_workloads();
+        let refs: Vec<&QueryVector> = vs.iter().collect();
+        let weights = vec![1.0; refs.len()];
+        let c = spectral_cluster(&refs, &weights, 16, SpectralConfig::new(1, Distance::Hamming, 0));
+        assert_eq!(c.k, 1);
+    }
+
+    #[test]
+    fn deterministic_for_fixed_seed() {
+        let vs = two_workloads();
+        let refs: Vec<&QueryVector> = vs.iter().collect();
+        let weights = vec![1.0; refs.len()];
+        let cfg = SpectralConfig::new(2, Distance::Hamming, 99);
+        let a = spectral_cluster(&refs, &weights, 16, cfg);
+        let b = spectral_cluster(&refs, &weights, 16, cfg);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn explicit_sigma_accepted() {
+        let vs = two_workloads();
+        let refs: Vec<&QueryVector> = vs.iter().collect();
+        let weights = vec![1.0; refs.len()];
+        let cfg = SpectralConfig { k: 2, metric: Distance::Manhattan, sigma: Some(2.0), seed: 5 };
+        let c = spectral_cluster(&refs, &weights, 16, cfg);
+        assert_eq!(c.len(), refs.len());
+        assert!(c.non_empty() >= 1);
+    }
+
+    #[test]
+    fn handles_duplicate_points() {
+        let vs = [qv(&[0]), qv(&[0]), qv(&[0]), qv(&[5]), qv(&[5])];
+        let refs: Vec<&QueryVector> = vs.iter().collect();
+        let weights = vec![1.0; refs.len()];
+        let c = spectral_cluster(&refs, &weights, 8, SpectralConfig::new(2, Distance::Hamming, 1));
+        assert_eq!(c.assignments[0], c.assignments[1]);
+        assert_eq!(c.assignments[3], c.assignments[4]);
+    }
+}

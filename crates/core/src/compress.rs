@@ -1,0 +1,316 @@
+//! The LogR compressor front end (paper §6).
+//!
+//! Ties the pipeline together: cluster the log's distinct queries, build the
+//! naive mixture encoding, optionally refine with correlated patterns. The
+//! "tunable parameter" of the paper's abstract is the
+//! [`CompressionObjective`]: fix the cluster count, target an Error bound,
+//! or cap Total Verbosity — the compressor walks K upward until the target
+//! holds.
+
+use crate::mixture::NaiveMixtureEncoding;
+use crate::refine::{refine_mixture, RefineConfig, RefinedMixture};
+use logr_cluster::{cluster_log, ClusterMethod, Clustering, Distance};
+use logr_feature::{Feature, QueryLog, QueryVector};
+
+/// What the compressor optimizes for.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum CompressionObjective {
+    /// Use exactly this many clusters.
+    FixedK(usize),
+    /// Smallest K whose generalized Error is at most the bound
+    /// (give up at `max_k`).
+    MaxError {
+        /// Error bound in nats.
+        bound: f64,
+        /// Largest K to try.
+        max_k: usize,
+    },
+    /// Largest K whose Total Verbosity stays within the budget.
+    MaxVerbosity {
+        /// Verbosity budget (total patterns stored).
+        budget: usize,
+        /// Largest K to try.
+        max_k: usize,
+    },
+}
+
+/// LogR compression configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct LogRConfig {
+    /// Clustering strategy. The paper's take-away (§6.1.1): Hamming offers
+    /// the best Error/runtime trade-off, KMeans the fastest runtime.
+    pub method: ClusterMethod,
+    /// The compactness/fidelity knob.
+    pub objective: CompressionObjective,
+    /// RNG seed (clustering init).
+    pub seed: u64,
+    /// Optional §6.4 refinement stage.
+    pub refine: Option<RefineConfig>,
+}
+
+impl Default for LogRConfig {
+    fn default() -> Self {
+        LogRConfig {
+            method: ClusterMethod::Spectral(Distance::Hamming),
+            objective: CompressionObjective::FixedK(8),
+            seed: 0,
+            refine: None,
+        }
+    }
+}
+
+/// The LogR compressor.
+#[derive(Debug, Clone, Default)]
+pub struct LogR {
+    config: LogRConfig,
+}
+
+impl LogR {
+    /// Compressor with an explicit configuration.
+    pub fn new(config: LogRConfig) -> Self {
+        LogR { config }
+    }
+
+    /// Convenience: fixed-K compressor with the default (spectral Hamming)
+    /// clustering.
+    pub fn with_clusters(k: usize) -> Self {
+        LogR::new(LogRConfig { objective: CompressionObjective::FixedK(k), ..Default::default() })
+    }
+
+    /// Compress a log into a pattern mixture summary.
+    pub fn compress(&self, log: &QueryLog) -> LogRSummary {
+        let clustering = match self.config.objective {
+            CompressionObjective::FixedK(k) => {
+                cluster_log(log, k, self.config.method, self.config.seed)
+            }
+            CompressionObjective::MaxError { bound, max_k } => {
+                let mut best = cluster_log(log, 1, self.config.method, self.config.seed);
+                for k in 2..=max_k.max(1) {
+                    if NaiveMixtureEncoding::build(log, &best).error() <= bound {
+                        break;
+                    }
+                    best = cluster_log(log, k, self.config.method, self.config.seed);
+                }
+                best
+            }
+            CompressionObjective::MaxVerbosity { budget, max_k } => {
+                let mut best = cluster_log(log, 1, self.config.method, self.config.seed);
+                for k in 2..=max_k.max(1) {
+                    let candidate = cluster_log(log, k, self.config.method, self.config.seed);
+                    if NaiveMixtureEncoding::build(log, &candidate).total_verbosity() > budget {
+                        break;
+                    }
+                    best = candidate;
+                }
+                best
+            }
+        };
+        let mixture = NaiveMixtureEncoding::build(log, &clustering);
+        let refined = self.config.refine.as_ref().map(|cfg| refine_mixture(log, &mixture, cfg));
+        LogRSummary { clustering, mixture, refined }
+    }
+}
+
+impl LogR {
+    /// Multi-resolution compression via hierarchical clustering
+    /// (§6.1.1's "more dynamic control over the Error/Verbosity
+    /// tradeoff"): one dendrogram is built, then cut at every requested
+    /// K — so the returned summaries are **nested** (each coarser summary
+    /// merges whole clusters of the finer one), and the cost of the sweep
+    /// is one clustering, not `|ks|`.
+    pub fn compress_multiresolution(
+        &self,
+        log: &QueryLog,
+        ks: &[usize],
+    ) -> Vec<LogRSummary> {
+        use logr_cluster::{hierarchical_cluster, Distance};
+        let metric = match self.config.method {
+            ClusterMethod::Hierarchical(d) | ClusterMethod::Spectral(d) => d,
+            ClusterMethod::KMeansEuclidean => Distance::Euclidean,
+        };
+        if log.distinct_count() == 0 {
+            return Vec::new();
+        }
+        let points: Vec<&QueryVector> = log.entries().iter().map(|(v, _)| v).collect();
+        let weights: Vec<f64> = log.entries().iter().map(|&(_, c)| c as f64).collect();
+        let dendrogram = hierarchical_cluster(&points, &weights, log.num_features(), metric);
+        ks.iter()
+            .map(|&k| {
+                let clustering = dendrogram.cut(k.max(1));
+                let mixture = NaiveMixtureEncoding::build(log, &clustering);
+                let refined =
+                    self.config.refine.as_ref().map(|cfg| refine_mixture(log, &mixture, cfg));
+                LogRSummary { clustering, mixture, refined }
+            })
+            .collect()
+    }
+}
+
+/// A compressed log: the clustering, the mixture encoding, and (optionally)
+/// the refinement.
+#[derive(Debug, Clone)]
+pub struct LogRSummary {
+    /// Partition of the log's distinct queries.
+    pub clustering: Clustering,
+    /// The naive mixture encoding.
+    pub mixture: NaiveMixtureEncoding,
+    /// §6.4 refinement output, if requested.
+    pub refined: Option<RefinedMixture>,
+}
+
+impl LogRSummary {
+    /// Generalized Reproduction Error (refined if refinement ran).
+    pub fn error(&self) -> f64 {
+        self.refined.as_ref().map_or_else(|| self.mixture.error(), |r| r.error)
+    }
+
+    /// Total Verbosity (refined if refinement ran).
+    pub fn total_verbosity(&self) -> usize {
+        self.refined
+            .as_ref()
+            .map_or_else(|| self.mixture.total_verbosity(), |r| r.total_verbosity)
+    }
+
+    /// Estimate how many log queries contain all the given features
+    /// (`est[Γ_b]`, §6.2). Features not in the codebook contribute zero
+    /// support, so unknown features yield 0.
+    pub fn estimate_count_features(&self, log: &QueryLog, features: &[Feature]) -> f64 {
+        let mut ids = Vec::with_capacity(features.len());
+        for f in features {
+            match log.codebook().get(f) {
+                Some(id) => ids.push(id),
+                None => return 0.0,
+            }
+        }
+        self.mixture.estimate_count(&QueryVector::new(ids))
+    }
+
+    /// Estimate a pattern's count from raw feature ids.
+    pub fn estimate_count(&self, pattern: &QueryVector) -> f64 {
+        self.mixture.estimate_count(pattern)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use logr_feature::LogIngest;
+
+    fn mixed_log() -> QueryLog {
+        let mut ingest = LogIngest::new();
+        for _ in 0..20 {
+            ingest.ingest("SELECT id, body FROM messages WHERE status = ?");
+            ingest.ingest("SELECT id FROM messages WHERE status = ? AND kind = ?");
+            ingest.ingest("SELECT balance FROM accounts WHERE owner = ?");
+            ingest.ingest("SELECT balance, branch FROM accounts WHERE owner = ? AND open = ?");
+        }
+        ingest.finish().0
+    }
+
+    #[test]
+    fn fixed_k_compression() {
+        let log = mixed_log();
+        let summary = LogR::with_clusters(2).compress(&log);
+        assert_eq!(summary.mixture.k(), 2);
+        // Two feature-disjoint workloads at k=2 → near-perfect mixture.
+        let single = NaiveMixtureEncoding::single(&log);
+        assert!(summary.error() < single.error());
+    }
+
+    #[test]
+    fn max_error_objective_reaches_bound() {
+        let log = mixed_log();
+        let config = LogRConfig {
+            objective: CompressionObjective::MaxError { bound: 0.05, max_k: 8 },
+            ..Default::default()
+        };
+        let summary = LogR::new(config).compress(&log);
+        assert!(summary.error() <= 0.05 + 1e-9, "error {}", summary.error());
+    }
+
+    #[test]
+    fn max_verbosity_objective_respects_budget() {
+        let log = mixed_log();
+        let single_verbosity = NaiveMixtureEncoding::single(&log).total_verbosity();
+        let budget = single_verbosity + 4;
+        let config = LogRConfig {
+            objective: CompressionObjective::MaxVerbosity { budget, max_k: 8 },
+            ..Default::default()
+        };
+        let summary = LogR::new(config).compress(&log);
+        assert!(
+            summary.total_verbosity() <= budget,
+            "verbosity {} over budget {budget}",
+            summary.total_verbosity()
+        );
+    }
+
+    #[test]
+    fn estimate_counts_by_feature() {
+        let log = mixed_log();
+        let summary = LogR::with_clusters(2).compress(&log);
+        let est = summary.estimate_count_features(
+            &log,
+            &[Feature::from_table("messages"), Feature::where_atom("status = ?")],
+        );
+        // All 40 messaging queries touch messages+status.
+        assert!((est - 40.0).abs() < 1.0, "est {est}");
+        // Unknown feature → 0.
+        assert_eq!(
+            summary.estimate_count_features(&log, &[Feature::from_table("nope")]),
+            0.0
+        );
+    }
+
+    #[test]
+    fn refinement_reduces_or_preserves_error() {
+        let log = mixed_log();
+        let config = LogRConfig {
+            objective: CompressionObjective::FixedK(2),
+            refine: Some(RefineConfig::default()),
+            ..Default::default()
+        };
+        let refined = LogR::new(config).compress(&log);
+        let unrefined = LogR::with_clusters(2).compress(&log);
+        assert!(refined.error() <= unrefined.error() + 1e-9);
+        assert!(refined.refined.is_some());
+    }
+
+    #[test]
+    fn multiresolution_summaries_are_nested_and_monotone() {
+        let log = mixed_log();
+        let compressor = LogR::new(LogRConfig {
+            method: ClusterMethod::Hierarchical(Distance::Hamming),
+            ..Default::default()
+        });
+        let ks = [1usize, 2, 4];
+        let summaries = compressor.compress_multiresolution(&log, &ks);
+        assert_eq!(summaries.len(), 3);
+        // Verbosity grows, and each coarser clustering merges whole finer
+        // clusters (nestedness from the shared dendrogram).
+        for w in summaries.windows(2) {
+            assert!(w[0].total_verbosity() <= w[1].total_verbosity());
+            let coarse = &w[0].clustering;
+            let fine = &w[1].clustering;
+            let mut map = std::collections::HashMap::new();
+            for i in 0..fine.len() {
+                let entry = map.entry(fine.assignments[i]).or_insert(coarse.assignments[i]);
+                assert_eq!(*entry, coarse.assignments[i], "summaries not nested");
+            }
+        }
+        // The k=4 summary separates the workloads at least as well as k=1.
+        assert!(summaries[2].error() <= summaries[0].error() + 1e-9);
+    }
+
+    #[test]
+    fn kmeans_method_works_too() {
+        let log = mixed_log();
+        let config = LogRConfig {
+            method: ClusterMethod::KMeansEuclidean,
+            objective: CompressionObjective::FixedK(2),
+            ..Default::default()
+        };
+        let summary = LogR::new(config).compress(&log);
+        assert_eq!(summary.mixture.k(), 2);
+    }
+}

@@ -1,0 +1,225 @@
+//! Workload drift detection (paper §2 "Online Database Monitoring", §5).
+//!
+//! Two complementary monitors built on pattern mixture summaries:
+//!
+//! * [`feature_drift`] — compare a baseline log against a monitoring
+//!   window: per-feature Jensen–Shannon divergence of the marginal
+//!   profiles, plus the features that appeared or vanished. Cheap enough
+//!   to run continuously — it only touches marginal vectors, never the
+//!   logs themselves.
+//! * [`query_typicality`] — score a single query against a baseline
+//!   mixture: the per-feature geometric mean of its mixture probability,
+//!   so scores are comparable across query lengths. Queries that straddle
+//!   anti-correlated workloads (the §5 phantom queries) score near zero.
+
+use crate::mixture::NaiveMixtureEncoding;
+use logr_feature::{FeatureId, QueryLog, QueryVector};
+
+/// Outcome of comparing a monitoring window against a baseline.
+#[derive(Debug, Clone)]
+pub struct DriftReport {
+    /// Mean per-feature Jensen–Shannon divergence (nats; 0 = identical).
+    pub overall: f64,
+    /// Features ranked by divergence, descending: `(baseline id, JS)`.
+    pub per_feature: Vec<(FeatureId, f64)>,
+    /// Window features never seen in the baseline (highest-signal events
+    /// for injection detection).
+    pub new_features: Vec<String>,
+    /// Baseline features absent from the window.
+    pub vanished_features: Vec<FeatureId>,
+}
+
+impl DriftReport {
+    /// True when nothing moved beyond the tolerance.
+    pub fn is_stable(&self, tolerance: f64) -> bool {
+        self.overall <= tolerance && self.new_features.is_empty()
+    }
+}
+
+/// Jensen–Shannon divergence between two Bernoulli marginals, in nats.
+fn js_bernoulli(p: f64, q: f64) -> f64 {
+    let m = 0.5 * (p + q);
+    0.5 * (kl_bernoulli(p, m) + kl_bernoulli(q, m))
+}
+
+fn kl_bernoulli(p: f64, q: f64) -> f64 {
+    let term = |a: f64, b: f64| {
+        if a <= 0.0 {
+            0.0
+        } else {
+            a * (a / b.max(1e-300)).ln()
+        }
+    };
+    term(p, q) + term(1.0 - p, 1.0 - q)
+}
+
+/// Compare a monitoring window against a baseline log.
+///
+/// Window features are matched to baseline ids by feature identity
+/// (class + canonical text), so the two logs may use different codebooks.
+pub fn feature_drift(baseline: &QueryLog, window: &QueryLog) -> DriftReport {
+    let base_marginals = baseline.marginals();
+    let win_marginals = window.marginals();
+
+    let mut per_feature: Vec<(FeatureId, f64)> = Vec::new();
+    let mut vanished: Vec<FeatureId> = Vec::new();
+    let mut matched_window_ids = vec![false; window.num_features()];
+
+    for (base_id, feature) in baseline.codebook().iter() {
+        let p = base_marginals[base_id.index()];
+        let q = match window.codebook().get(feature) {
+            Some(win_id) => {
+                matched_window_ids[win_id.index()] = true;
+                win_marginals[win_id.index()]
+            }
+            None => 0.0,
+        };
+        if p > 0.0 && q == 0.0 {
+            vanished.push(base_id);
+        }
+        per_feature.push((base_id, js_bernoulli(p, q)));
+    }
+
+    let new_features: Vec<String> = window
+        .codebook()
+        .iter()
+        .filter(|(id, _)| {
+            !matched_window_ids[id.index()] && win_marginals[id.index()] > 0.0
+        })
+        .map(|(_, f)| f.to_string())
+        .collect();
+
+    let overall = if per_feature.is_empty() {
+        0.0
+    } else {
+        per_feature.iter().map(|&(_, d)| d).sum::<f64>() / per_feature.len() as f64
+    };
+    per_feature.sort_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
+
+    DriftReport { overall, per_feature, new_features, vanished_features: vanished }
+}
+
+/// Per-feature geometric-mean probability of a query under a baseline
+/// mixture. 1.0 ≈ perfectly typical; 0 = impossible (contains a feature or
+/// combination no component admits). The empty query scores 0 (nothing to
+/// judge).
+pub fn query_typicality(mixture: &NaiveMixtureEncoding, query: &QueryVector) -> f64 {
+    if query.is_empty() {
+        return 0.0;
+    }
+    let p = mixture.probability(query);
+    if p <= 0.0 {
+        return 0.0;
+    }
+    p.powf(1.0 / query.len() as f64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use logr_cluster::Clustering;
+    use logr_feature::LogIngest;
+
+    fn baseline_log() -> QueryLog {
+        let mut ingest = LogIngest::new();
+        for _ in 0..50 {
+            ingest.ingest("SELECT id, body FROM messages WHERE status = ?");
+            ingest.ingest("SELECT balance FROM accounts WHERE owner = ?");
+        }
+        ingest.finish().0
+    }
+
+    #[test]
+    fn identical_windows_are_stable() {
+        let base = baseline_log();
+        let window = baseline_log();
+        let report = feature_drift(&base, &window);
+        assert!(report.overall < 1e-12, "overall {}", report.overall);
+        assert!(report.new_features.is_empty());
+        assert!(report.vanished_features.is_empty());
+        assert!(report.is_stable(1e-9));
+    }
+
+    #[test]
+    fn injected_workload_surfaces_new_features() {
+        let base = baseline_log();
+        let mut ingest = LogIngest::new();
+        for _ in 0..50 {
+            ingest.ingest("SELECT id, body FROM messages WHERE status = ?");
+        }
+        ingest.ingest("SELECT password_hash FROM credentials"); // injected
+        let (window, _) = ingest.finish();
+
+        let report = feature_drift(&base, &window);
+        assert!(!report.is_stable(1e-9));
+        assert!(
+            report.new_features.iter().any(|f| f.contains("credentials")),
+            "new features: {:?}",
+            report.new_features
+        );
+        // The vanished accounts-workload features are reported too.
+        assert!(!report.vanished_features.is_empty());
+    }
+
+    #[test]
+    fn drift_magnitude_tracks_shift_size() {
+        let base = baseline_log();
+        // Small shift: 60/40 instead of 50/50.
+        let mut small = LogIngest::new();
+        for _ in 0..60 {
+            small.ingest("SELECT id, body FROM messages WHERE status = ?");
+        }
+        for _ in 0..40 {
+            small.ingest("SELECT balance FROM accounts WHERE owner = ?");
+        }
+        // Large shift: 95/5.
+        let mut large = LogIngest::new();
+        for _ in 0..95 {
+            large.ingest("SELECT id, body FROM messages WHERE status = ?");
+        }
+        for _ in 0..5 {
+            large.ingest("SELECT balance FROM accounts WHERE owner = ?");
+        }
+        let d_small = feature_drift(&base, &small.finish().0).overall;
+        let d_large = feature_drift(&base, &large.finish().0).overall;
+        assert!(d_small < d_large, "small {d_small} not below large {d_large}");
+    }
+
+    #[test]
+    fn typicality_separates_phantoms() {
+        use logr_feature::FeatureId;
+        let qv = |ids: &[u32]| QueryVector::new(ids.iter().map(|&i| FeatureId(i)).collect());
+        let mut log = QueryLog::new();
+        log.add_vector(qv(&[0, 1]), 10);
+        log.add_vector(qv(&[2, 3]), 10);
+        let mixture = NaiveMixtureEncoding::build(&log, &Clustering::new(2, vec![0, 1]));
+
+        let typical = query_typicality(&mixture, &qv(&[0, 1]));
+        let phantom = query_typicality(&mixture, &qv(&[0, 2]));
+        assert!(typical > 0.5, "typical query scored {typical}");
+        assert_eq!(phantom, 0.0, "cross-workload phantom must score 0");
+        assert_eq!(query_typicality(&mixture, &QueryVector::empty()), 0.0);
+    }
+
+    #[test]
+    fn typicality_length_normalized() {
+        use logr_feature::FeatureId;
+        let qv = |ids: &[u32]| QueryVector::new(ids.iter().map(|&i| FeatureId(i)).collect());
+        let mut log = QueryLog::new();
+        log.add_vector(qv(&[0, 1, 2, 3]), 10);
+        let mixture = NaiveMixtureEncoding::single(&log);
+        // Certain features: both the short prefix pattern and the full
+        // query are fully typical regardless of length.
+        let short = query_typicality(&mixture, &qv(&[0, 1, 2, 3]));
+        assert!((short - 1.0).abs() < 1e-9, "got {short}");
+    }
+
+    #[test]
+    fn js_divergence_properties() {
+        assert_eq!(js_bernoulli(0.5, 0.5), 0.0);
+        assert!(js_bernoulli(0.1, 0.9) > js_bernoulli(0.4, 0.6));
+        // Symmetric and bounded by ln 2.
+        assert!((js_bernoulli(0.2, 0.7) - js_bernoulli(0.7, 0.2)).abs() < 1e-12);
+        assert!(js_bernoulli(0.0, 1.0) <= std::f64::consts::LN_2 + 1e-12);
+    }
+}

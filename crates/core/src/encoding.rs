@@ -1,0 +1,285 @@
+//! Pattern-based encodings (paper §2.3) and the naive encoding (§3.2).
+//!
+//! A *pattern based encoding* is a partial map from patterns (feature sets)
+//! to their marginal probabilities in the log. The *naive encoding* is the
+//! special case holding exactly the single-feature patterns with non-zero
+//! marginal; its maximum-entropy distribution factorizes into independent
+//! Bernoullis (§4.1 Eq. 1), giving closed forms for entropy, query
+//! probability and pattern-marginal estimation (§6.2).
+
+use logr_feature::{FeatureId, QueryLog, QueryVector};
+use logr_math::binary_entropy;
+
+/// A general pattern encoding: patterns mapped to marginals.
+///
+/// `E[b] = p(Q ⊇ b | L)`. Verbosity is the number of mapped patterns.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PatternEncoding {
+    patterns: Vec<(QueryVector, f64)>,
+}
+
+impl PatternEncoding {
+    /// Empty encoding (conveys no information).
+    pub fn new() -> Self {
+        PatternEncoding { patterns: Vec::new() }
+    }
+
+    /// Build from explicit pattern/marginal pairs.
+    pub fn from_pairs(patterns: Vec<(QueryVector, f64)>) -> Self {
+        PatternEncoding { patterns }
+    }
+
+    /// Build by measuring each pattern's true marginal in (a subset of) a log.
+    pub fn measure(log: &QueryLog, entries: &[usize], patterns: &[QueryVector]) -> Self {
+        let total = log.total_for(entries).max(1) as f64;
+        let pairs = patterns
+            .iter()
+            .map(|b| (b.clone(), log.support_for(b, entries) as f64 / total))
+            .collect();
+        PatternEncoding { patterns: pairs }
+    }
+
+    /// Add one pattern with its marginal.
+    pub fn insert(&mut self, pattern: QueryVector, marginal: f64) {
+        self.patterns.push((pattern, marginal));
+    }
+
+    /// Mapped patterns with marginals.
+    pub fn patterns(&self) -> &[(QueryVector, f64)] {
+        &self.patterns
+    }
+
+    /// Verbosity `|E|` — the number of mapped patterns.
+    pub fn verbosity(&self) -> usize {
+        self.patterns.len()
+    }
+
+    /// True if this encoding's pattern set is a subset of `other`'s
+    /// (with matching marginals). Subset encodings admit *larger* spaces
+    /// Ω_E, so this is the containment order of §4.2 reversed:
+    /// `self ⊆ other ⇒ other ≤Ω self`.
+    pub fn is_subset_of(&self, other: &PatternEncoding) -> bool {
+        self.patterns.iter().all(|(b, m)| {
+            other
+                .patterns
+                .iter()
+                .any(|(ob, om)| ob == b && (om - m).abs() < 1e-12)
+        })
+    }
+}
+
+impl Default for PatternEncoding {
+    fn default() -> Self {
+        PatternEncoding::new()
+    }
+}
+
+/// The naive encoding of (a partition of) a log: one marginal per feature
+/// with non-zero support (§3.2), plus the closed forms of §4.1/§6.2.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NaiveEncoding {
+    /// Dense marginals indexed by feature id (length = feature universe).
+    marginals: Vec<f64>,
+    /// Features with non-zero marginal — the encoding's domain.
+    support: Vec<FeatureId>,
+}
+
+impl NaiveEncoding {
+    /// Build from the whole log.
+    pub fn from_log(log: &QueryLog) -> Self {
+        NaiveEncoding::from_marginals(log.marginals())
+    }
+
+    /// Build from a subset of log entries (one mixture component).
+    pub fn from_log_subset(log: &QueryLog, entries: &[usize]) -> Self {
+        NaiveEncoding::from_marginals(log.marginals_for(entries))
+    }
+
+    /// Build from precomputed per-feature marginals.
+    pub fn from_marginals(marginals: Vec<f64>) -> Self {
+        let support = marginals
+            .iter()
+            .enumerate()
+            .filter(|&(_, &p)| p > 0.0)
+            .map(|(i, _)| FeatureId(i as u32))
+            .collect();
+        NaiveEncoding { marginals, support }
+    }
+
+    /// Marginal probability of one feature.
+    pub fn marginal(&self, f: FeatureId) -> f64 {
+        self.marginals.get(f.index()).copied().unwrap_or(0.0)
+    }
+
+    /// Dense marginal vector (indexed by feature id).
+    pub fn marginals(&self) -> &[f64] {
+        &self.marginals
+    }
+
+    /// Features with non-zero marginal, ascending by id.
+    pub fn support(&self) -> &[FeatureId] {
+        &self.support
+    }
+
+    /// Verbosity: one pattern per supported feature (§3.2).
+    pub fn verbosity(&self) -> usize {
+        self.support.len()
+    }
+
+    /// Entropy of the maximum-entropy (independent-Bernoulli) distribution:
+    /// `H(ρ_E) = Σᵢ h(pᵢ)` in nats. Features outside the support contribute
+    /// zero.
+    pub fn entropy(&self) -> f64 {
+        self.support.iter().map(|&f| binary_entropy(self.marginal(f))).sum()
+    }
+
+    /// Closed-form probability of drawing exactly `q` under independence
+    /// (§4.1 Eq. 1): `ρ_E(q) = Πᵢ p(Xᵢ = xᵢ)`.
+    ///
+    /// The product runs over the full feature universe; absent features
+    /// contribute `1 − pᵢ`.
+    pub fn probability(&self, q: &QueryVector) -> f64 {
+        let mut prob = 1.0;
+        // Features present in q.
+        for id in q.iter() {
+            prob *= self.marginal(id);
+        }
+        // Features absent from q but supported by the encoding.
+        for &f in &self.support {
+            if !q.contains(f) {
+                prob *= 1.0 - self.marginal(f);
+            }
+        }
+        // Any feature present in q with marginal 0 already zeroed `prob`.
+        prob
+    }
+
+    /// Closed-form marginal estimate `ρ_E(Q ⊇ b) = Π_{i∈b} pᵢ` (§6.2).
+    pub fn estimate_marginal(&self, pattern: &QueryVector) -> f64 {
+        pattern.iter().map(|id| self.marginal(id)).product()
+    }
+
+    /// Estimated occurrence count `est[Γ_b(L)] = |L| · Π pᵢ` (§6.2).
+    pub fn estimate_count(&self, pattern: &QueryVector, log_size: u64) -> f64 {
+        log_size as f64 * self.estimate_marginal(pattern)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use logr_feature::LogIngest;
+    use logr_math::binary_entropy;
+
+    fn qv(ids: &[u32]) -> QueryVector {
+        QueryVector::new(ids.iter().map(|&i| FeatureId(i)).collect())
+    }
+
+    /// The §5.1 toy log: 3 queries over 4 features with naive encoding
+    /// (2/3, 1/3, 1, 1/3).
+    fn toy_log() -> QueryLog {
+        let mut ingest = LogIngest::new();
+        ingest.ingest("SELECT id FROM Messages WHERE status = ?");
+        ingest.ingest("SELECT id FROM Messages");
+        ingest.ingest("SELECT sms_type FROM Messages");
+        ingest.finish().0
+    }
+
+    #[test]
+    fn naive_encoding_of_toy_log() {
+        let log = toy_log();
+        let e = NaiveEncoding::from_log(&log);
+        assert_eq!(e.verbosity(), 4);
+        let mut ms = e.marginals().to_vec();
+        ms.sort_by(f64::total_cmp);
+        assert!((ms[0] - 1.0 / 3.0).abs() < 1e-12);
+        assert!((ms[3] - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn example_4_probability_of_query_1() {
+        // Paper Example 4: under independence, p(query 1) = 4/27 ≈ 0.148.
+        let log = toy_log();
+        let e = NaiveEncoding::from_log(&log);
+        let q1 = &log.entries()[0].0; // SELECT id FROM Messages WHERE status = ?
+        let p = e.probability(q1);
+        assert!((p - 4.0 / 27.0).abs() < 1e-12, "p = {p}");
+    }
+
+    #[test]
+    fn example_4_phantom_query_probability() {
+        // SELECT sms_type FROM Messages WHERE status = ? — not in the log,
+        // but naive encoding gives it probability 1/27 ≈ 0.037.
+        let log = toy_log();
+        let e = NaiveEncoding::from_log(&log);
+        let cb = log.codebook();
+        let sms = cb.get(&logr_feature::Feature::select("sms_type")).unwrap();
+        let msgs = cb.get(&logr_feature::Feature::from_table("Messages")).unwrap();
+        let status = cb.get(&logr_feature::Feature::where_atom("status = ?")).unwrap();
+        let phantom = QueryVector::new(vec![sms, msgs, status]);
+        assert!((e.probability(&phantom) - 1.0 / 27.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn entropy_is_sum_of_binary_entropies() {
+        let e = NaiveEncoding::from_marginals(vec![0.5, 1.0, 0.25, 0.0]);
+        let expect = binary_entropy(0.5) + binary_entropy(0.25);
+        assert!((e.entropy() - expect).abs() < 1e-12);
+        assert_eq!(e.verbosity(), 3); // marginal-0 feature excluded
+    }
+
+    #[test]
+    fn probabilities_sum_to_one_over_universe() {
+        // 3 supported features: sum ρ(q) over all 8 subsets must be 1.
+        let e = NaiveEncoding::from_marginals(vec![0.3, 0.9, 0.5]);
+        let mut total = 0.0;
+        for mask in 0..8u32 {
+            let ids: Vec<FeatureId> =
+                (0..3).filter(|i| mask & (1 << i) != 0).map(FeatureId).collect();
+            total += e.probability(&QueryVector::new(ids));
+        }
+        assert!((total - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn marginal_estimates_multiply() {
+        let e = NaiveEncoding::from_marginals(vec![0.5, 0.4, 1.0]);
+        assert!((e.estimate_marginal(&qv(&[0, 1])) - 0.2).abs() < 1e-12);
+        assert!((e.estimate_marginal(&qv(&[2])) - 1.0).abs() < 1e-12);
+        assert_eq!(e.estimate_marginal(&QueryVector::empty()), 1.0);
+        assert!((e.estimate_count(&qv(&[0, 1]), 100) - 20.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn unknown_feature_has_zero_marginal() {
+        let e = NaiveEncoding::from_marginals(vec![0.5]);
+        assert_eq!(e.marginal(FeatureId(7)), 0.0);
+        assert_eq!(e.estimate_marginal(&qv(&[0, 7])), 0.0);
+    }
+
+    #[test]
+    fn pattern_encoding_measures_true_marginals() {
+        let log = toy_log();
+        let cb = log.codebook();
+        let id = cb.get(&logr_feature::Feature::select("id")).unwrap();
+        let status = cb.get(&logr_feature::Feature::where_atom("status = ?")).unwrap();
+        let all = log.all_entry_indices();
+        let e = PatternEncoding::measure(
+            &log,
+            &all,
+            &[QueryVector::new(vec![id]), QueryVector::new(vec![id, status])],
+        );
+        assert_eq!(e.verbosity(), 2);
+        assert!((e.patterns()[0].1 - 2.0 / 3.0).abs() < 1e-12);
+        assert!((e.patterns()[1].1 - 1.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn subset_order_detected() {
+        let a = PatternEncoding::from_pairs(vec![(qv(&[0]), 0.5)]);
+        let b = PatternEncoding::from_pairs(vec![(qv(&[0]), 0.5), (qv(&[1]), 0.25)]);
+        assert!(a.is_subset_of(&b));
+        assert!(!b.is_subset_of(&a));
+        assert!(PatternEncoding::new().is_subset_of(&a));
+    }
+}

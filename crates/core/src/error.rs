@@ -1,0 +1,150 @@
+//! Reproduction Error (paper §4.1).
+//!
+//! `e(E) = H(ρ_E) − H(ρ*)`: the entropy surplus of the encoding's
+//! maximum-entropy distribution over the true log distribution. For naive
+//! encodings both terms have closed forms; Lemma 1 guarantees the measure
+//! respects the containment order over encodings, and §7.1 validates that it
+//! tracks Deviation.
+
+use crate::encoding::NaiveEncoding;
+use logr_feature::QueryLog;
+use logr_math::xlogx;
+
+/// Entropy of the empirical log distribution `H(ρ*)` in nats.
+pub fn empirical_entropy(log: &QueryLog) -> f64 {
+    empirical_entropy_for(log, &log.all_entry_indices())
+}
+
+/// Empirical entropy of a subset of log entries (one mixture component).
+pub fn empirical_entropy_for(log: &QueryLog, entries: &[usize]) -> f64 {
+    let total = log.total_for(entries);
+    if total == 0 {
+        return 0.0;
+    }
+    let t = total as f64;
+    -entries
+        .iter()
+        .map(|&i| {
+            let c = log.entries()[i].1 as f64;
+            xlogx(c / t)
+        })
+        .sum::<f64>()
+}
+
+/// Reproduction Error of the naive encoding of the whole log.
+pub fn naive_error(log: &QueryLog) -> f64 {
+    naive_error_for(log, &log.all_entry_indices())
+}
+
+/// Reproduction Error of the naive encoding of a log subset:
+/// `e = Σᵢ h(pᵢ) − H(ρ*)`.
+///
+/// Non-negative up to floating-point slack: the independent-Bernoulli
+/// distribution is the maximum-entropy member of the space containing ρ*.
+pub fn naive_error_for(log: &QueryLog, entries: &[usize]) -> f64 {
+    let encoding = NaiveEncoding::from_log_subset(log, entries);
+    encoding.entropy() - empirical_entropy_for(log, entries)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use logr_feature::{FeatureId, LogIngest, QueryVector};
+
+    fn qv(ids: &[u32]) -> QueryVector {
+        QueryVector::new(ids.iter().map(|&i| FeatureId(i)).collect())
+    }
+
+    #[test]
+    fn entropy_of_uniform_log() {
+        let mut log = QueryLog::new();
+        log.add_vector(qv(&[0]), 1);
+        log.add_vector(qv(&[1]), 1);
+        log.add_vector(qv(&[2]), 1);
+        log.add_vector(qv(&[3]), 1);
+        assert!((empirical_entropy(&log) - (4.0f64).ln()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn entropy_of_degenerate_log_is_zero() {
+        let mut log = QueryLog::new();
+        log.add_vector(qv(&[0, 1]), 100);
+        assert_eq!(empirical_entropy(&log), 0.0);
+    }
+
+    #[test]
+    fn entropy_respects_multiplicities() {
+        // p = (0.5, 0.25, 0.25).
+        let mut log = QueryLog::new();
+        log.add_vector(qv(&[0]), 2);
+        log.add_vector(qv(&[1]), 1);
+        log.add_vector(qv(&[2]), 1);
+        let expect = -(0.5f64.ln() * 0.5 + 0.25f64.ln() * 0.25 * 2.0);
+        assert!((empirical_entropy(&log) - expect).abs() < 1e-12);
+    }
+
+    #[test]
+    fn reproduction_error_nonnegative() {
+        let mut ingest = LogIngest::new();
+        ingest.ingest("SELECT id FROM Messages WHERE status = ?");
+        ingest.ingest("SELECT id FROM Messages");
+        ingest.ingest("SELECT sms_type FROM Messages");
+        let (log, _) = ingest.finish();
+        assert!(naive_error(&log) >= -1e-12);
+    }
+
+    #[test]
+    fn independent_log_has_zero_error() {
+        // Partition 1 of §5.1: {(1,0,1,1), (1,0,1,0)} — the only fractional
+        // feature (status = ?) really is independent, so Error = 0.
+        let mut log = QueryLog::new();
+        log.add_vector(qv(&[0, 2, 3]), 1);
+        log.add_vector(qv(&[0, 2]), 1);
+        let e = naive_error(&log);
+        assert!(e.abs() < 1e-12, "error = {e}");
+    }
+
+    #[test]
+    fn correlated_log_has_positive_error() {
+        // Features 0 and 1 perfectly correlated: independence is wrong by
+        // exactly one bit (ln 2).
+        let mut log = QueryLog::new();
+        log.add_vector(qv(&[0, 1]), 1);
+        log.add_vector(qv(&[]), 1);
+        let e = naive_error(&log);
+        assert!((e - std::f64::consts::LN_2).abs() < 1e-12, "error = {e}");
+    }
+
+    #[test]
+    fn partitioning_single_cluster_matches_whole_log() {
+        let mut log = QueryLog::new();
+        log.add_vector(qv(&[0, 1]), 3);
+        log.add_vector(qv(&[1, 2]), 2);
+        let all = log.all_entry_indices();
+        assert_eq!(naive_error(&log), naive_error_for(&log, &all));
+        assert_eq!(empirical_entropy(&log), empirical_entropy_for(&log, &all));
+    }
+
+    #[test]
+    fn perfect_partition_has_zero_error_components() {
+        // §5.1: splitting the toy log into its two workloads zeroes Error.
+        let mut log = QueryLog::new();
+        log.add_vector(qv(&[0, 2, 3]), 1); // id, Messages, status=?
+        log.add_vector(qv(&[0, 2]), 1); // id, Messages
+        log.add_vector(qv(&[1, 2]), 1); // sms_type, Messages
+        let e1 = naive_error_for(&log, &[0, 1]);
+        let e2 = naive_error_for(&log, &[2]);
+        assert!(e1.abs() < 1e-12);
+        assert!(e2.abs() < 1e-12);
+        // While the unpartitioned log has positive error.
+        assert!(naive_error(&log) > 0.1);
+    }
+
+    #[test]
+    fn empty_subset_is_zero() {
+        let mut log = QueryLog::new();
+        log.add_vector(qv(&[0]), 1);
+        assert_eq!(empirical_entropy_for(&log, &[]), 0.0);
+        assert_eq!(naive_error_for(&log, &[]), 0.0);
+    }
+}

@@ -1,0 +1,272 @@
+//! Human-readable rendering of pattern mixture summaries (paper §2.3.2,
+//! Fig. 1, Fig. 10 / Appendix E).
+//!
+//! Each mixture component renders as a pseudo-SQL template whose elements
+//! are annotated (and shaded) by their marginal frequency in the partition —
+//! the "correlation-ignorant" visualization of Fig. 1a, repeated per cluster
+//! as in Fig. 10. Features below a visibility threshold are omitted, mirroring
+//! the paper's "features with marginal too small will be invisible".
+
+use crate::mixture::NaiveMixtureEncoding;
+use logr_feature::{Codebook, FeatureClass, FeatureId};
+
+/// Rendering options.
+#[derive(Debug, Clone, Copy)]
+pub struct RenderConfig {
+    /// Features with marginal below this are omitted (paper: "invisible").
+    pub min_marginal: f64,
+    /// Annotate each element with its percentage.
+    pub show_percentages: bool,
+    /// Shade elements with Unicode blocks by marginal quartile.
+    pub shading: bool,
+}
+
+impl Default for RenderConfig {
+    fn default() -> Self {
+        RenderConfig { min_marginal: 0.05, show_percentages: true, shading: true }
+    }
+}
+
+/// Shade glyph for a marginal (quartile buckets, Fig. 1a's grey levels).
+fn shade(p: f64) -> &'static str {
+    if p >= 0.95 {
+        "█"
+    } else if p >= 0.75 {
+        "▓"
+    } else if p >= 0.40 {
+        "▒"
+    } else {
+        "░"
+    }
+}
+
+/// Render one mixture component as an annotated pseudo-SQL template.
+pub fn render_component(
+    mixture: &NaiveMixtureEncoding,
+    component_idx: usize,
+    codebook: &Codebook,
+    config: &RenderConfig,
+) -> String {
+    let component = &mixture.components()[component_idx];
+    let encoding = &component.encoding;
+
+    let mut by_class: Vec<(FeatureClass, Vec<(FeatureId, f64)>)> = vec![
+        (FeatureClass::Select, Vec::new()),
+        (FeatureClass::From, Vec::new()),
+        (FeatureClass::Where, Vec::new()),
+        (FeatureClass::GroupBy, Vec::new()),
+        (FeatureClass::OrderBy, Vec::new()),
+    ];
+    for &f in encoding.support() {
+        let p = encoding.marginal(f);
+        if p < config.min_marginal {
+            continue;
+        }
+        let class = codebook.feature(f).class;
+        if let Some(slot) = by_class.iter_mut().find(|(c, _)| *c == class) {
+            slot.1.push((f, p));
+        }
+    }
+    for (_, items) in &mut by_class {
+        items.sort_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
+    }
+
+    let annotate = |f: FeatureId, p: f64| -> String {
+        let text = &codebook.feature(f).text;
+        let mut out = String::new();
+        if config.shading {
+            out.push_str(shade(p));
+        }
+        out.push_str(text);
+        if config.show_percentages && p < 0.995 {
+            out.push_str(&format!(" [{:.0}%]", p * 100.0));
+        }
+        out
+    };
+
+    let mut lines = Vec::new();
+    lines.push(format!(
+        "-- cluster {} | {} queries ({:.1}% of log) | error {:.4} | verbosity {}",
+        component_idx,
+        component.total,
+        component.weight * 100.0,
+        component.error,
+        encoding.verbosity(),
+    ));
+    let section = |label: &str, items: &[(FeatureId, f64)], sep: &str| -> Option<String> {
+        if items.is_empty() {
+            return None;
+        }
+        let rendered: Vec<String> = items.iter().map(|&(f, p)| annotate(f, p)).collect();
+        Some(format!("{label} {}", rendered.join(sep)))
+    };
+    if let Some(s) = section("SELECT", &by_class[0].1, ", ") {
+        lines.push(s);
+    }
+    if let Some(s) = section("FROM", &by_class[1].1, ", ") {
+        lines.push(s);
+    }
+    if let Some(s) = section("WHERE", &by_class[2].1, " AND ") {
+        lines.push(s);
+    }
+    if let Some(s) = section("GROUP BY", &by_class[3].1, ", ") {
+        lines.push(s);
+    }
+    if let Some(s) = section("ORDER BY", &by_class[4].1, ", ") {
+        lines.push(s);
+    }
+    lines.join("\n")
+}
+
+/// Render the *correlation-aware* view of one component (Fig. 1b):
+/// each refined pattern prints as a mini-query whose elements are
+/// "highlighted together", annotated with the pattern's frequency in the
+/// partition.
+///
+/// `patterns` are (pattern, frequency-in-partition) pairs — typically the
+/// per-component output of [`crate::refine::refine_mixture`] with
+/// frequencies re-measured, or any pattern encoding worth showing.
+pub fn render_patterns(
+    patterns: &[(logr_feature::QueryVector, f64)],
+    codebook: &Codebook,
+) -> String {
+    let mut lines = Vec::with_capacity(patterns.len());
+    for (pattern, freq) in patterns {
+        let mut select = Vec::new();
+        let mut from = Vec::new();
+        let mut where_ = Vec::new();
+        for f in pattern.iter() {
+            let feature = codebook.feature(f);
+            match feature.class {
+                FeatureClass::Select => select.push(feature.text.clone()),
+                FeatureClass::From => from.push(feature.text.clone()),
+                _ => where_.push(feature.text.clone()),
+            }
+        }
+        let mut q = String::from("SELECT ");
+        if select.is_empty() {
+            q.push('…');
+        } else {
+            q.push_str(&select.join(", "));
+        }
+        if !from.is_empty() {
+            q.push_str(&format!(" FROM {}", from.join(", ")));
+        }
+        if !where_.is_empty() {
+            q.push_str(&format!(" WHERE {}", where_.join(" AND ")));
+        }
+        lines.push(format!("{} {q}  [{:.0}%]", shade(*freq), freq * 100.0));
+    }
+    lines.join("\n")
+}
+
+/// Render a whole mixture, components ordered by descending weight
+/// (Fig. 10's per-cluster layout).
+pub fn render_mixture(
+    mixture: &NaiveMixtureEncoding,
+    codebook: &Codebook,
+    config: &RenderConfig,
+) -> String {
+    let mut order: Vec<usize> = (0..mixture.k()).collect();
+    order.sort_by(|&a, &b| {
+        mixture.components()[b]
+            .weight
+            .total_cmp(&mixture.components()[a].weight)
+    });
+    order
+        .into_iter()
+        .map(|i| render_component(mixture, i, codebook, config))
+        .collect::<Vec<_>>()
+        .join("\n\n")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use logr_cluster::Clustering;
+    use logr_feature::LogIngest;
+
+    fn summary() -> (logr_feature::QueryLog, NaiveMixtureEncoding) {
+        let mut ingest = LogIngest::new();
+        for _ in 0..19 {
+            ingest.ingest("SELECT id, body FROM messages WHERE status = ?");
+        }
+        ingest.ingest("SELECT id FROM messages WHERE status = ? AND kind = ?");
+        for _ in 0..5 {
+            ingest.ingest("SELECT balance FROM accounts WHERE owner = ?");
+        }
+        let (log, _) = ingest.finish();
+        let clustering = Clustering::new(2, vec![0, 0, 1]);
+        let mixture = NaiveMixtureEncoding::build(&log, &clustering);
+        (log, mixture)
+    }
+
+    #[test]
+    fn renders_clause_sections() {
+        let (log, mixture) = summary();
+        let text = render_component(&mixture, 0, log.codebook(), &RenderConfig::default());
+        assert!(text.contains("SELECT"), "{text}");
+        assert!(text.contains("FROM"), "{text}");
+        assert!(text.contains("WHERE"), "{text}");
+        assert!(text.contains("messages"), "{text}");
+        assert!(text.contains("status = ?"), "{text}");
+    }
+
+    #[test]
+    fn rare_features_are_invisible() {
+        let (log, mixture) = summary();
+        let config = RenderConfig { min_marginal: 0.2, ..Default::default() };
+        let text = render_component(&mixture, 0, log.codebook(), &config);
+        // `kind = ?` occurs in 1/20 messaging queries → hidden at 20%.
+        assert!(!text.contains("kind = ?"), "{text}");
+        let config_low = RenderConfig { min_marginal: 0.01, ..Default::default() };
+        let text_low = render_component(&mixture, 0, log.codebook(), &config_low);
+        assert!(text_low.contains("kind = ?"), "{text_low}");
+    }
+
+    #[test]
+    fn percentages_annotate_fractional_marginals() {
+        let (log, mixture) = summary();
+        let config = RenderConfig { min_marginal: 0.01, shading: false, show_percentages: true };
+        let text = render_component(&mixture, 0, log.codebook(), &config);
+        assert!(text.contains("[95%]") || text.contains("[5%]"), "{text}");
+        // Certain features carry no percentage tag.
+        assert!(!text.contains("messages ["), "{text}");
+    }
+
+    #[test]
+    fn shading_reflects_marginal_buckets() {
+        assert_eq!(shade(1.0), "█");
+        assert_eq!(shade(0.8), "▓");
+        assert_eq!(shade(0.5), "▒");
+        assert_eq!(shade(0.1), "░");
+    }
+
+    #[test]
+    fn pattern_rendering_groups_by_clause() {
+        use logr_feature::{Codebook, Feature, QueryVector};
+        let mut cb = Codebook::new();
+        let id = cb.intern(Feature::select("id"));
+        let tbl = cb.intern(Feature::from_table("messages"));
+        let atom = cb.intern(Feature::where_atom("status = ?"));
+        let pattern = QueryVector::new(vec![id, tbl, atom]);
+        let text = render_patterns(&[(pattern, 0.8)], &cb);
+        assert!(text.contains("SELECT id FROM messages WHERE status = ?"), "{text}");
+        assert!(text.contains("[80%]"), "{text}");
+        // A pattern with no SELECT features gets the placeholder.
+        let where_only = QueryVector::new(vec![tbl, atom]);
+        let text2 = render_patterns(&[(where_only, 0.4)], &cb);
+        assert!(text2.contains("SELECT …"), "{text2}");
+    }
+
+    #[test]
+    fn mixture_rendering_orders_by_weight() {
+        let (log, mixture) = summary();
+        let text = render_mixture(&mixture, log.codebook(), &RenderConfig::default());
+        let msg_pos = text.find("messages").expect("messaging cluster rendered");
+        let acct_pos = text.find("accounts").expect("accounts cluster rendered");
+        // Messaging cluster has 20/25 queries — rendered first.
+        assert!(msg_pos < acct_pos, "{text}");
+        assert_eq!(text.matches("-- cluster").count(), 2);
+    }
+}

@@ -1,0 +1,176 @@
+//! Lossless encodings (paper §3.1, Proposition 1, Appendix B).
+//!
+//! Proposition 1: given the full marginal map `E_max`, the probability of
+//! drawing *exactly* a query `q` is computable. Appendix B's telescoping
+//! construction is, on binary vectors, inclusion–exclusion over the
+//! features absent from `q`:
+//!
+//! ```text
+//! p(X = q) = Σ_{S ⊆ U \ q} (−1)^{|S|} · p(Q ⊇ q ∪ S)
+//! ```
+//!
+//! This module implements that reconstruction over a (small) projected
+//! feature universe via a superset Möbius transform, which both proves the
+//! proposition computationally (the tests recover the exact projected log
+//! distribution from marginals alone) and documents *why* lossless
+//! encodings are hopeless at scale: the marginal table is `2^|U|`.
+
+use logr_feature::{FeatureId, QueryLog, QueryVector};
+
+/// Hard cap on the projected universe (the table is `2^|U|`).
+pub const MAX_LOSSLESS_UNIVERSE: usize = 20;
+
+/// Reconstruct exact point probabilities of the log distribution projected
+/// onto `universe`, using only pattern marginals (Proposition 1).
+///
+/// Returns `(projected query, probability)` for every non-zero atom.
+///
+/// # Panics
+/// Panics if `universe` exceeds [`MAX_LOSSLESS_UNIVERSE`] features.
+pub fn exact_point_probabilities(
+    log: &QueryLog,
+    entries: &[usize],
+    universe: &QueryVector,
+) -> Vec<(QueryVector, f64)> {
+    let u = universe.len();
+    assert!(
+        u <= MAX_LOSSLESS_UNIVERSE,
+        "lossless reconstruction needs 2^|U| marginals; |U| = {u} exceeds the cap"
+    );
+    let total = log.total_for(entries);
+    if total == 0 {
+        return Vec::new();
+    }
+    let features: Vec<FeatureId> = universe.iter().collect();
+    let n_masks = 1usize << u;
+
+    // Marginal table: m[mask] = p(Q ⊇ features(mask)).
+    let mut table = vec![0.0f64; n_masks];
+    for (mask, slot) in table.iter_mut().enumerate() {
+        let pattern: QueryVector = features
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| mask & (1 << i) != 0)
+            .map(|(_, &f)| f)
+            .collect();
+        *slot = log.support_for(&pattern, entries) as f64 / total as f64;
+    }
+
+    // Superset Möbius transform: p_exact[S] = Σ_{T ⊇ S} (−1)^{|T\S|}·m[T].
+    for bit in 0..u {
+        for mask in 0..n_masks {
+            if mask & (1 << bit) == 0 {
+                table[mask] -= table[mask | (1 << bit)];
+            }
+        }
+    }
+
+    table
+        .into_iter()
+        .enumerate()
+        .filter(|&(_, p)| p > 1e-12)
+        .map(|(mask, p)| {
+            let q: QueryVector = features
+                .iter()
+                .enumerate()
+                .filter(|(i, _)| mask & (1 << i) != 0)
+                .map(|(_, &f)| f)
+                .collect();
+            (q, p)
+        })
+        .collect()
+}
+
+/// Number of marginals a lossless encoding of the universe needs (`2^|U|` —
+/// the Verbosity cost Proposition 1 trades for exactness).
+pub fn lossless_verbosity(universe: &QueryVector) -> u128 {
+    1u128 << universe.len().min(127)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashMap;
+
+    fn qv(ids: &[u32]) -> QueryVector {
+        QueryVector::new(ids.iter().map(|&i| FeatureId(i)).collect())
+    }
+
+    /// Projected empirical distribution computed directly, as the oracle.
+    fn oracle(log: &QueryLog, universe: &QueryVector) -> HashMap<QueryVector, f64> {
+        let total = log.total_queries() as f64;
+        let mut out: HashMap<QueryVector, f64> = HashMap::new();
+        for (v, c) in log.entries() {
+            *out.entry(v.intersection(universe)).or_insert(0.0) += *c as f64 / total;
+        }
+        out
+    }
+
+    fn check_reconstruction(log: &QueryLog, universe: &QueryVector) {
+        let all = log.all_entry_indices();
+        let reconstructed = exact_point_probabilities(log, &all, universe);
+        let truth = oracle(log, universe);
+        // Every reconstructed atom matches the oracle…
+        for (q, p) in &reconstructed {
+            let t = truth.get(q).copied().unwrap_or(0.0);
+            assert!((p - t).abs() < 1e-9, "atom {q:?}: reconstructed {p} vs true {t}");
+        }
+        // …and nothing was missed.
+        assert_eq!(reconstructed.len(), truth.values().filter(|&&p| p > 1e-12).count());
+        let total: f64 = reconstructed.iter().map(|&(_, p)| p).sum();
+        assert!((total - 1.0).abs() < 1e-9, "probabilities sum to {total}");
+    }
+
+    #[test]
+    fn proposition_1_on_toy_log() {
+        // The §5.1 toy log: marginals alone recover the exact distribution.
+        let mut log = QueryLog::new();
+        log.add_vector(qv(&[0, 2, 3]), 1);
+        log.add_vector(qv(&[0, 2]), 1);
+        log.add_vector(qv(&[1, 2]), 1);
+        check_reconstruction(&log, &qv(&[0, 1, 2, 3]));
+    }
+
+    #[test]
+    fn reconstruction_on_skewed_multiplicities() {
+        let mut log = QueryLog::new();
+        log.add_vector(qv(&[0, 1]), 97);
+        log.add_vector(qv(&[1, 2]), 2);
+        log.add_vector(qv(&[]), 1);
+        check_reconstruction(&log, &qv(&[0, 1, 2]));
+    }
+
+    #[test]
+    fn projection_marginalizes_correctly() {
+        // Universe smaller than the vectors: distinct queries can collapse.
+        let mut log = QueryLog::new();
+        log.add_vector(qv(&[0, 5]), 1);
+        log.add_vector(qv(&[0, 6]), 1);
+        log.add_vector(qv(&[1]), 2);
+        check_reconstruction(&log, &qv(&[0, 1]));
+        // Projected onto {0,1}: {0} has probability 1/2 (two sources).
+        let atoms = exact_point_probabilities(&log, &log.all_entry_indices(), &qv(&[0, 1]));
+        let p0 = atoms.iter().find(|(q, _)| *q == qv(&[0])).map(|&(_, p)| p).unwrap();
+        assert!((p0 - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn verbosity_is_exponential() {
+        assert_eq!(lossless_verbosity(&qv(&[0, 1, 2])), 8);
+        assert_eq!(lossless_verbosity(&QueryVector::empty()), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds the cap")]
+    fn oversized_universe_rejected() {
+        let ids: Vec<u32> = (0..=MAX_LOSSLESS_UNIVERSE as u32).collect();
+        let log = QueryLog::new();
+        exact_point_probabilities(&log, &[], &qv(&ids));
+    }
+
+    #[test]
+    fn empty_log_reconstructs_nothing() {
+        let log = QueryLog::new();
+        assert!(exact_point_probabilities(&log, &[], &qv(&[0])).is_empty());
+    }
+}

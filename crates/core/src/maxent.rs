@@ -1,0 +1,639 @@
+//! Maximum-entropy inference for general pattern encodings.
+//!
+//! Computing Reproduction Error for an arbitrary pattern encoding needs the
+//! maximum-entropy distribution ρ_E over the (exponentially large) query
+//! space subject to the encoding's marginal constraints (§4.1). Appendix C.1
+//! observes that queries sharing a *containment signature* against the
+//! encoding's patterns are interchangeable — they form equivalence classes,
+//! and the max-ent distribution is uniform within each class. This module:
+//!
+//! * builds the class system exactly, with class cardinalities obtained by
+//!   inclusion–exclusion over pattern unions (no enumeration of the query
+//!   space);
+//! * solves for the max-ent class distribution by iterative proportional
+//!   fitting — the "iterative scaling" route the paper cites (Darroch &
+//!   Ratcliff) as the alternative to its CVX solver;
+//! * decomposes mixed encodings (e.g. a naive encoding refined with extra
+//!   patterns, §6.4) into independent connected components so the practical
+//!   cost stays proportional to the largest overlapping pattern group —
+//!   the same structural limit the original MTV implementation exposes.
+//!
+//! All sizes are kept in the *projected* space spanned by the union of
+//! pattern features (n′ of them); the `2^(F−n′)` multiplier common to every
+//! class enters entropies as the additive constant `(F−n′)·ln 2`.
+
+use logr_feature::{FeatureId, QueryLog, QueryVector};
+use logr_math::xlogx;
+use std::collections::HashMap;
+use std::fmt;
+
+/// Hard cap on patterns per connected component (the classic max-ent
+/// blow-up; MTV's own implementation stops at 15).
+pub const MAX_PATTERNS_PER_COMPONENT: usize = 20;
+
+/// Failure modes of max-ent inference.
+#[derive(Debug, Clone, PartialEq)]
+pub enum MaxEntError {
+    /// A connected component had more patterns than the cap.
+    TooManyPatterns {
+        /// Patterns in the offending component.
+        count: usize,
+        /// The configured cap.
+        cap: usize,
+    },
+    /// Iterative scaling failed to reach tolerance.
+    DidNotConverge {
+        /// Final worst constraint violation.
+        residual: f64,
+    },
+    /// A constraint was unsatisfiable (e.g. marginal 1 on an empty class).
+    Infeasible,
+}
+
+impl fmt::Display for MaxEntError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MaxEntError::TooManyPatterns { count, cap } => {
+                write!(f, "component has {count} patterns, cap is {cap}")
+            }
+            MaxEntError::DidNotConverge { residual } => {
+                write!(f, "iterative scaling did not converge (residual {residual:.3e})")
+            }
+            MaxEntError::Infeasible => write!(f, "constraints are infeasible"),
+        }
+    }
+}
+
+impl std::error::Error for MaxEntError {}
+
+/// One equivalence class: a containment signature and its cardinality in the
+/// projected feature space.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Class {
+    /// Bit `j` set ⇔ every member contains pattern `j`.
+    pub signature: u32,
+    /// Number of projected queries in the class (within `{0,1}^{n′}`).
+    pub size: f64,
+}
+
+/// The pattern-equivalence class system of an encoding (Appendix C.1).
+#[derive(Debug, Clone)]
+pub struct ClassSystem {
+    patterns: Vec<QueryVector>,
+    classes: Vec<Class>,
+    class_of_signature: HashMap<u32, usize>,
+    /// Features appearing in at least one pattern (the projected space).
+    projected_features: Vec<FeatureId>,
+}
+
+impl ClassSystem {
+    /// Build the class system for a set of patterns.
+    ///
+    /// `patterns` must be non-empty feature sets. Fails when more than
+    /// [`MAX_PATTERNS_PER_COMPONENT`] patterns are given (callers should
+    /// decompose into connected components first — see [`GeneralEncoding`]).
+    pub fn build(patterns: &[QueryVector]) -> Result<ClassSystem, MaxEntError> {
+        let m = patterns.len();
+        if m > MAX_PATTERNS_PER_COMPONENT {
+            return Err(MaxEntError::TooManyPatterns { count: m, cap: MAX_PATTERNS_PER_COMPONENT });
+        }
+        // Compact the union of pattern features to bit positions.
+        let mut feat_index: HashMap<FeatureId, usize> = HashMap::new();
+        let mut projected_features = Vec::new();
+        for p in patterns {
+            for f in p.iter() {
+                feat_index.entry(f).or_insert_with(|| {
+                    projected_features.push(f);
+                    projected_features.len() - 1
+                });
+            }
+        }
+        let n_prime = projected_features.len();
+        assert!(n_prime <= 128, "pattern unions above 128 features unsupported");
+        let masks: Vec<u128> = patterns
+            .iter()
+            .map(|p| {
+                p.iter()
+                    .map(|f| 1u128 << feat_index[&f])
+                    .fold(0u128, |acc, bit| acc | bit)
+            })
+            .collect();
+
+        // u[T] = |{q ∈ {0,1}^{n'} : q ⊇ ∪_{j∈T} b_j}| = 2^(n' − |∪ masks|).
+        let subsets = 1usize << m;
+        let mut union_bits = vec![0u32; subsets];
+        for t in 1..subsets {
+            let low = t.trailing_zeros() as usize;
+            let rest = t & (t - 1);
+            let mask = masks[low]
+                | masks
+                    .iter()
+                    .enumerate()
+                    .filter(|(j, _)| rest & (1 << j) != 0)
+                    .fold(0u128, |acc, (_, &mk)| acc | mk);
+            // Recomputing the union per subset is O(m·2^m); m ≤ 20 keeps it
+            // cheap and avoids storing 2^m u128 masks.
+            union_bits[t] = mask.count_ones();
+        }
+        let u: Vec<f64> = union_bits
+            .iter()
+            .map(|&bits| 2f64.powi(n_prime as i32 - bits as i32))
+            .collect();
+
+        // size(S) = Σ_{T ⊇ S} (−1)^{|T\S|} u[T]  — superset Möbius transform.
+        let mut size = u;
+        for j in 0..m {
+            for t in 0..subsets {
+                if t & (1 << j) == 0 {
+                    size[t] -= size[t | (1 << j)];
+                }
+            }
+        }
+
+        let mut classes = Vec::new();
+        let mut class_of_signature = HashMap::new();
+        for (sig, &s) in size.iter().enumerate() {
+            // Tolerate tiny negative FP residue from the transform.
+            if s > 0.5 {
+                class_of_signature.insert(sig as u32, classes.len());
+                classes.push(Class { signature: sig as u32, size: s.round() });
+            }
+        }
+
+        Ok(ClassSystem { patterns: patterns.to_vec(), classes, class_of_signature, projected_features })
+    }
+
+    /// The encoding's patterns.
+    pub fn patterns(&self) -> &[QueryVector] {
+        &self.patterns
+    }
+
+    /// Non-empty classes.
+    pub fn classes(&self) -> &[Class] {
+        &self.classes
+    }
+
+    /// Number of projected features `n′`.
+    pub fn n_projected(&self) -> usize {
+        self.projected_features.len()
+    }
+
+    /// Features spanned by the patterns.
+    pub fn projected_features(&self) -> &[FeatureId] {
+        &self.projected_features
+    }
+
+    /// Containment signature of an arbitrary query vector.
+    pub fn signature_of(&self, q: &QueryVector) -> u32 {
+        let mut sig = 0u32;
+        for (j, p) in self.patterns.iter().enumerate() {
+            if q.contains_all(p) {
+                sig |= 1 << j;
+            }
+        }
+        sig
+    }
+
+    /// Class index of a signature, if the class is non-empty.
+    pub fn class_index(&self, signature: u32) -> Option<usize> {
+        self.class_of_signature.get(&signature).copied()
+    }
+
+    /// Max-ent class distribution subject to `p(Q ⊇ b_j) = targets[j]`.
+    ///
+    /// Returns per-class probabilities summing to 1 (over the projected
+    /// space; the full-space distribution is uniform within classes).
+    pub fn maxent(&self, targets: &[f64]) -> Result<Vec<f64>, MaxEntError> {
+        assert_eq!(targets.len(), self.patterns.len(), "target per pattern required");
+        let total_size: f64 = self.classes.iter().map(|c| c.size).sum();
+        // Start from the unconstrained max-ent (uniform over queries).
+        let mut q: Vec<f64> = self.classes.iter().map(|c| c.size / total_size).collect();
+
+        // Feasibility screen: a target > 0 needs some class carrying the bit.
+        for (j, &t) in targets.iter().enumerate() {
+            let capacity: f64 = self
+                .classes
+                .iter()
+                .zip(&q)
+                .filter(|(c, _)| c.signature & (1 << j) != 0)
+                .map(|(c, _)| c.size)
+                .sum();
+            if t > 0.0 && capacity == 0.0 {
+                return Err(MaxEntError::Infeasible);
+            }
+        }
+
+        let tol = 1e-10;
+        let max_rounds = 20_000;
+        let mut residual = f64::INFINITY;
+        let mut checkpoint = f64::INFINITY;
+        for round in 0..max_rounds {
+            // Stall detection: boundary solutions converge sublinearly
+            // (~1/round); once progress per 64 rounds drops below 10%,
+            // further rounds buy almost nothing — bail and let the
+            // acceptance threshold below decide.
+            if round % 64 == 0 {
+                if residual.is_finite() && residual > checkpoint * 0.90 {
+                    break;
+                }
+                checkpoint = residual;
+            }
+            residual = 0.0;
+            for (j, &t) in targets.iter().enumerate() {
+                let bit = 1u32 << j;
+                let mj: f64 = self
+                    .classes
+                    .iter()
+                    .zip(&q)
+                    .filter(|(c, _)| c.signature & bit != 0)
+                    .map(|(_, &p)| p)
+                    .sum();
+                residual = residual.max((mj - t).abs());
+                // IPF step on the binary partition {contains b_j, doesn't}.
+                let (scale_in, scale_out) = if t <= 0.0 {
+                    (0.0, if mj < 1.0 { 1.0 / (1.0 - mj) } else { 1.0 })
+                } else if t >= 1.0 {
+                    (if mj > 0.0 { 1.0 / mj } else { 1.0 }, 0.0)
+                } else if mj <= 0.0 || mj >= 1.0 {
+                    // Degenerate current state; nudge toward feasibility.
+                    (1.0, 1.0)
+                } else {
+                    (t / mj, (1.0 - t) / (1.0 - mj))
+                };
+                for (c, p) in self.classes.iter().zip(q.iter_mut()) {
+                    *p *= if c.signature & bit != 0 { scale_in } else { scale_out };
+                }
+            }
+            if residual < tol {
+                return Ok(q);
+            }
+        }
+        if residual < 1e-3 {
+            // Boundary solutions (classes forced to zero mass by equalities
+            // among targets) make IPF converge sublinearly (~1/rounds); the
+            // entropy error is O(residual), negligible for every downstream
+            // use, so accept the near-converged point.
+            return Ok(q);
+        }
+        Err(MaxEntError::DidNotConverge { residual })
+    }
+
+    /// Entropy (nats) of the full-space max-ent distribution given the class
+    /// probabilities, over a universe of `universe_size` features:
+    /// `H = −Σ q·ln q + Σ q·ln size + (F − n′)·ln 2`.
+    pub fn entropy(&self, q: &[f64], universe_size: usize) -> f64 {
+        assert!(universe_size >= self.n_projected(), "universe smaller than pattern span");
+        let h_classes: f64 = -q.iter().map(|&p| xlogx(p)).sum::<f64>();
+        let spread: f64 = self
+            .classes
+            .iter()
+            .zip(q)
+            .map(|(c, &p)| p * c.size.ln())
+            .sum();
+        h_classes + spread + (universe_size - self.n_projected()) as f64 * std::f64::consts::LN_2
+    }
+}
+
+/// A general encoding: patterns with target marginals over a feature
+/// universe, solved per connected component.
+#[derive(Debug, Clone)]
+pub struct GeneralEncoding {
+    patterns: Vec<QueryVector>,
+    targets: Vec<f64>,
+    universe_size: usize,
+}
+
+impl GeneralEncoding {
+    /// Build from pattern/marginal pairs over a universe of
+    /// `universe_size` features.
+    pub fn new(patterns: Vec<QueryVector>, targets: Vec<f64>, universe_size: usize) -> Self {
+        assert_eq!(patterns.len(), targets.len(), "target per pattern required");
+        GeneralEncoding { patterns, targets, universe_size }
+    }
+
+    /// Measure pattern marginals from (a subset of) a log.
+    pub fn measure(
+        log: &QueryLog,
+        entries: &[usize],
+        patterns: Vec<QueryVector>,
+        universe_size: usize,
+    ) -> Self {
+        let total = log.total_for(entries).max(1) as f64;
+        let targets = patterns
+            .iter()
+            .map(|b| log.support_for(b, entries) as f64 / total)
+            .collect();
+        GeneralEncoding::new(patterns, targets, universe_size)
+    }
+
+    /// The encoding's patterns.
+    pub fn patterns(&self) -> &[QueryVector] {
+        &self.patterns
+    }
+
+    /// Verbosity — number of patterns.
+    pub fn verbosity(&self) -> usize {
+        self.patterns.len()
+    }
+
+    /// Partition pattern indices into connected components by shared
+    /// features.
+    pub fn components(&self) -> Vec<Vec<usize>> {
+        let n = self.patterns.len();
+        let mut parent: Vec<usize> = (0..n).collect();
+        fn find(parent: &mut [usize], mut x: usize) -> usize {
+            while parent[x] != x {
+                parent[x] = parent[parent[x]];
+                x = parent[x];
+            }
+            x
+        }
+        let mut owner: HashMap<FeatureId, usize> = HashMap::new();
+        for (i, p) in self.patterns.iter().enumerate() {
+            for f in p.iter() {
+                match owner.get(&f) {
+                    Some(&j) => {
+                        let (ri, rj) = (find(&mut parent, i), find(&mut parent, j));
+                        if ri != rj {
+                            parent[ri] = rj;
+                        }
+                    }
+                    None => {
+                        owner.insert(f, i);
+                    }
+                }
+            }
+        }
+        let mut groups: HashMap<usize, Vec<usize>> = HashMap::new();
+        for i in 0..n {
+            let r = find(&mut parent, i);
+            groups.entry(r).or_default().push(i);
+        }
+        let mut out: Vec<Vec<usize>> = groups.into_values().collect();
+        out.sort_by_key(|g| g[0]);
+        out
+    }
+
+    /// Entropy (nats) of the max-ent distribution: component entropies plus
+    /// `ln 2` per unconstrained feature.
+    pub fn entropy(&self) -> Result<f64, MaxEntError> {
+        let mut covered = 0usize;
+        let mut h = 0.0;
+        for comp in self.components() {
+            let pats: Vec<QueryVector> = comp.iter().map(|&i| self.patterns[i].clone()).collect();
+            let tgts: Vec<f64> = comp.iter().map(|&i| self.targets[i]).collect();
+            let cs = ClassSystem::build(&pats)?;
+            let q = cs.maxent(&tgts)?;
+            // Component entropy in its own projected space (no universe
+            // padding — we add the global padding once below).
+            h += cs.entropy(&q, cs.n_projected());
+            covered += cs.n_projected();
+        }
+        assert!(covered <= self.universe_size, "patterns exceed universe");
+        Ok(h + (self.universe_size - covered) as f64 * std::f64::consts::LN_2)
+    }
+
+    /// Reproduction Error against (a subset of) a log, both sides projected
+    /// onto the universe: `e(E) = H(ρ_E) − H(ρ*|universe)`.
+    ///
+    /// `universe` must contain every pattern feature; the empirical entropy
+    /// is computed on queries projected onto `universe`.
+    pub fn reproduction_error(
+        &self,
+        log: &QueryLog,
+        entries: &[usize],
+        universe: &QueryVector,
+    ) -> Result<f64, MaxEntError> {
+        assert_eq!(universe.len(), self.universe_size, "universe size mismatch");
+        Ok(self.entropy()? - projected_entropy(log, entries, universe))
+    }
+}
+
+/// Empirical entropy of the log distribution projected onto a feature
+/// universe (queries truncated to `universe`, then re-aggregated).
+pub fn projected_entropy(log: &QueryLog, entries: &[usize], universe: &QueryVector) -> f64 {
+    let total = log.total_for(entries);
+    if total == 0 {
+        return 0.0;
+    }
+    let mut agg: HashMap<QueryVector, u64> = HashMap::new();
+    for &i in entries {
+        let (v, c) = &log.entries()[i];
+        *agg.entry(v.intersection(universe)).or_insert(0) += c;
+    }
+    let t = total as f64;
+    -agg.values().map(|&c| xlogx(c as f64 / t)).sum::<f64>()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use logr_math::binary_entropy;
+
+    fn qv(ids: &[u32]) -> QueryVector {
+        QueryVector::new(ids.iter().map(|&i| FeatureId(i)).collect())
+    }
+
+    #[test]
+    fn single_pattern_class_sizes() {
+        // One pattern of 2 features: classes {contains} size 1, {not} size 3.
+        let cs = ClassSystem::build(&[qv(&[0, 1])]).unwrap();
+        assert_eq!(cs.n_projected(), 2);
+        let mut sizes: Vec<(u32, f64)> =
+            cs.classes().iter().map(|c| (c.signature, c.size)).collect();
+        sizes.sort_by(|a, b| a.0.cmp(&b.0).then(a.1.total_cmp(&b.1)));
+        assert_eq!(sizes, vec![(0, 3.0), (1, 1.0)]);
+    }
+
+    #[test]
+    fn overlapping_patterns_class_sizes() {
+        // b0 = {0,1}, b1 = {1,2} over n' = 3 (8 projected queries):
+        // both ⊇: {0,1,2} → 1; only b0: {0,1} → 1; only b1: {1,2} → 1;
+        // neither: remaining 5.
+        let cs = ClassSystem::build(&[qv(&[0, 1]), qv(&[1, 2])]).unwrap();
+        let mut sizes: Vec<(u32, f64)> =
+            cs.classes().iter().map(|c| (c.signature, c.size)).collect();
+        sizes.sort_by(|a, b| a.0.cmp(&b.0).then(a.1.total_cmp(&b.1)));
+        assert_eq!(sizes, vec![(0, 5.0), (1, 1.0), (2, 1.0), (3, 1.0)]);
+        let total: f64 = cs.classes().iter().map(|c| c.size).sum();
+        assert_eq!(total, 8.0);
+    }
+
+    #[test]
+    fn nested_patterns_empty_class_dropped() {
+        // b1 ⊆ b0 means "contains b0 but not b1" is empty.
+        let cs = ClassSystem::build(&[qv(&[0, 1]), qv(&[0])]).unwrap();
+        assert!(cs.class_index(0b01).is_none(), "impossible class must be dropped");
+        assert!(cs.class_index(0b11).is_some());
+    }
+
+    #[test]
+    fn signature_of_matches_containment() {
+        let cs = ClassSystem::build(&[qv(&[0, 1]), qv(&[2])]).unwrap();
+        assert_eq!(cs.signature_of(&qv(&[0, 1, 2])), 0b11);
+        assert_eq!(cs.signature_of(&qv(&[0, 1])), 0b01);
+        assert_eq!(cs.signature_of(&qv(&[2, 7])), 0b10);
+        assert_eq!(cs.signature_of(&qv(&[0])), 0);
+    }
+
+    #[test]
+    fn maxent_single_pattern_matches_closed_form() {
+        // One pattern, target θ: classes get θ and 1−θ; entropy over the
+        // projected space is h(θ) + θ·ln1 + (1−θ)·ln3.
+        let cs = ClassSystem::build(&[qv(&[0, 1])]).unwrap();
+        let q = cs.maxent(&[0.25]).unwrap();
+        let idx_in = cs.class_index(1).unwrap();
+        let idx_out = cs.class_index(0).unwrap();
+        assert!((q[idx_in] - 0.25).abs() < 1e-9);
+        assert!((q[idx_out] - 0.75).abs() < 1e-9);
+        let h = cs.entropy(&q, 2);
+        let expect = binary_entropy(0.25) + 0.75 * 3f64.ln();
+        assert!((h - expect).abs() < 1e-9);
+    }
+
+    #[test]
+    fn maxent_satisfies_overlapping_constraints() {
+        let cs = ClassSystem::build(&[qv(&[0, 1]), qv(&[1, 2])]).unwrap();
+        let targets = [0.4, 0.3];
+        let q = cs.maxent(&targets).unwrap();
+        for (j, &t) in targets.iter().enumerate() {
+            let m: f64 = cs
+                .classes()
+                .iter()
+                .zip(&q)
+                .filter(|(c, _)| c.signature & (1 << j) != 0)
+                .map(|(_, &p)| p)
+                .sum();
+            assert!((m - t).abs() < 1e-8, "constraint {j}: {m} vs {t}");
+        }
+        assert!((q.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+        assert!(q.iter().all(|&p| p >= 0.0));
+    }
+
+    #[test]
+    fn maxent_extreme_targets() {
+        let cs = ClassSystem::build(&[qv(&[0])]).unwrap();
+        let q1 = cs.maxent(&[1.0]).unwrap();
+        let idx_in = cs.class_index(1).unwrap();
+        assert!((q1[idx_in] - 1.0).abs() < 1e-9);
+        let q0 = cs.maxent(&[0.0]).unwrap();
+        assert!(q0[idx_in].abs() < 1e-12);
+    }
+
+    #[test]
+    fn maxent_entropy_uniform_when_half() {
+        // Pattern = single feature at θ = 0.5 over universe 1: uniform, ln 2.
+        let cs = ClassSystem::build(&[qv(&[0])]).unwrap();
+        let q = cs.maxent(&[0.5]).unwrap();
+        assert!((cs.entropy(&q, 1) - std::f64::consts::LN_2).abs() < 1e-9);
+        // Padding features add ln 2 each.
+        assert!((cs.entropy(&q, 3) - 3.0 * std::f64::consts::LN_2).abs() < 1e-9);
+    }
+
+    #[test]
+    fn too_many_patterns_rejected() {
+        let patterns: Vec<QueryVector> = (0..21).map(|i| qv(&[i])).collect();
+        assert!(matches!(
+            ClassSystem::build(&patterns),
+            Err(MaxEntError::TooManyPatterns { count: 21, .. })
+        ));
+    }
+
+    #[test]
+    fn components_split_disjoint_patterns() {
+        let enc = GeneralEncoding::new(
+            vec![qv(&[0, 1]), qv(&[1, 2]), qv(&[5, 6]), qv(&[9])],
+            vec![0.1, 0.2, 0.3, 0.4],
+            12,
+        );
+        let comps = enc.components();
+        assert_eq!(comps.len(), 3);
+        assert_eq!(comps[0], vec![0, 1]);
+        assert_eq!(comps[1], vec![2]);
+        assert_eq!(comps[2], vec![3]);
+    }
+
+    #[test]
+    fn general_entropy_matches_naive_for_singletons() {
+        // Encoding of singleton patterns = naive encoding: entropy must be
+        // the sum of binary entropies (plus ln 2 padding for the
+        // unconstrained universe feature).
+        let enc = GeneralEncoding::new(
+            vec![qv(&[0]), qv(&[1])],
+            vec![0.25, 0.7],
+            3,
+        );
+        let h = enc.entropy().unwrap();
+        let expect = binary_entropy(0.25) + binary_entropy(0.7) + std::f64::consts::LN_2;
+        assert!((h - expect).abs() < 1e-9);
+    }
+
+    #[test]
+    fn projected_entropy_marginalizes() {
+        let mut log = QueryLog::new();
+        log.add_vector(qv(&[0, 1]), 1);
+        log.add_vector(qv(&[0, 2]), 1);
+        let all = log.all_entry_indices();
+        // Projected onto {0}: both queries collapse → entropy 0.
+        assert_eq!(projected_entropy(&log, &all, &qv(&[0])), 0.0);
+        // Projected onto {1}: {1} vs {} → ln 2.
+        assert!((projected_entropy(&log, &all, &qv(&[1])) - std::f64::consts::LN_2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn reproduction_error_zero_for_exact_encoding() {
+        // Universe = {0}: log is Bernoulli(0.5) on feature 0; encoding with
+        // pattern {0} at 0.5 reproduces it exactly → error 0.
+        let mut log = QueryLog::new();
+        log.add_vector(qv(&[0]), 1);
+        log.add_vector(qv(&[]), 1);
+        let all = log.all_entry_indices();
+        let enc = GeneralEncoding::measure(&log, &all, vec![qv(&[0])], 1);
+        let e = enc.reproduction_error(&log, &all, &qv(&[0])).unwrap();
+        assert!(e.abs() < 1e-9, "error = {e}");
+    }
+
+    #[test]
+    fn adding_patterns_never_increases_error() {
+        // Lemma 1: E1 ⊆ E2 ⇒ Ω_E2 ⊆ Ω_E1 ⇒ e(E2) ≤ e(E1).
+        let mut log = QueryLog::new();
+        log.add_vector(qv(&[0, 1]), 3);
+        log.add_vector(qv(&[0]), 2);
+        log.add_vector(qv(&[1]), 1);
+        log.add_vector(qv(&[]), 2);
+        let all = log.all_entry_indices();
+        let universe = qv(&[0, 1]);
+        let e1 = GeneralEncoding::measure(&log, &all, vec![qv(&[0])], 2)
+            .reproduction_error(&log, &all, &universe)
+            .unwrap();
+        let e2 = GeneralEncoding::measure(&log, &all, vec![qv(&[0]), qv(&[1])], 2)
+            .reproduction_error(&log, &all, &universe)
+            .unwrap();
+        let e3 = GeneralEncoding::measure(&log, &all, vec![qv(&[0]), qv(&[1]), qv(&[0, 1])], 2)
+            .reproduction_error(&log, &all, &universe)
+            .unwrap();
+        assert!(e2 <= e1 + 1e-9, "e2={e2} e1={e1}");
+        assert!(e3 <= e2 + 1e-9, "e3={e3} e2={e2}");
+        // Full pattern set identifies the distribution exactly.
+        assert!(e3.abs() < 1e-6, "e3 = {e3}");
+    }
+
+    #[test]
+    fn infeasible_target_detected() {
+        // Nested patterns: "contains {0} but not {0,1}" feasible, but a
+        // target demanding p(⊇{0,1}) > p(⊇{0}) is inconsistent; IPF cannot
+        // satisfy it. We detect hard infeasibility (positive target on an
+        // empty class).
+        let cs = ClassSystem::build(&[qv(&[0]), qv(&[0])]).unwrap();
+        // Identical patterns: classes 00 and 11 only; targets disagree.
+        let result = cs.maxent(&[0.3, 0.7]);
+        match result {
+            Err(_) => {}
+            Ok(q) => {
+                // If IPF "converged", the shared marginal can't match both.
+                let idx = cs.class_index(0b11).unwrap();
+                assert!((q[idx] - 0.3).abs() > 1e-6 || (q[idx] - 0.7).abs() > 1e-6);
+            }
+        }
+    }
+}

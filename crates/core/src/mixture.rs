@@ -1,0 +1,262 @@
+//! Pattern mixture encodings (paper §5).
+//!
+//! A mixture encoding stores one naive encoding per log partition, weighted
+//! by the partition's share of the log. Generalized Reproduction Error is
+//! the weighted sum of component errors (§5.2); Total Verbosity is the sum
+//! of component verbosities; workload statistics mix component estimates
+//! (§6.2).
+
+use crate::encoding::NaiveEncoding;
+use crate::error::{empirical_entropy_for, naive_error_for};
+use logr_cluster::Clustering;
+use logr_feature::{QueryLog, QueryVector};
+
+/// One component of a mixture: a partition of the log with its naive
+/// encoding.
+#[derive(Debug, Clone)]
+pub struct MixtureComponent {
+    /// Indices into the log's distinct entries.
+    pub entries: Vec<usize>,
+    /// Total query count (with multiplicities) in this partition.
+    pub total: u64,
+    /// Share of the whole log: `wᵢ = |Lᵢ| / |L|`.
+    pub weight: f64,
+    /// The component's naive encoding.
+    pub encoding: NaiveEncoding,
+    /// The component's Reproduction Error `e(Sᵢ)`.
+    pub error: f64,
+    /// The component's empirical entropy `H(ρ*ᵢ)`.
+    pub empirical_entropy: f64,
+}
+
+/// A naive mixture encoding: the simplified pattern-mixture family that LogR
+/// compression searches over (§5.1, §6.1).
+#[derive(Debug, Clone)]
+pub struct NaiveMixtureEncoding {
+    components: Vec<MixtureComponent>,
+    total: u64,
+}
+
+impl NaiveMixtureEncoding {
+    /// Build from a log and a clustering of its distinct entries.
+    ///
+    /// Empty clusters are dropped.
+    ///
+    /// # Panics
+    /// Panics if the clustering length differs from the log's distinct
+    /// count.
+    pub fn build(log: &QueryLog, clustering: &Clustering) -> Self {
+        assert_eq!(
+            clustering.len(),
+            log.distinct_count(),
+            "clustering must cover the log's distinct entries"
+        );
+        let total = log.total_queries();
+        let components = clustering
+            .members()
+            .into_iter()
+            .filter(|entries| !entries.is_empty())
+            .map(|entries| {
+                let part_total = log.total_for(&entries);
+                MixtureComponent {
+                    weight: if total == 0 { 0.0 } else { part_total as f64 / total as f64 },
+                    total: part_total,
+                    encoding: NaiveEncoding::from_log_subset(log, &entries),
+                    error: naive_error_for(log, &entries),
+                    empirical_entropy: empirical_entropy_for(log, &entries),
+                    entries,
+                }
+            })
+            .collect();
+        NaiveMixtureEncoding { components, total }
+    }
+
+    /// Single-component mixture (the plain naive encoding of the log).
+    pub fn single(log: &QueryLog) -> Self {
+        NaiveMixtureEncoding::build(log, &Clustering::trivial(log.distinct_count()))
+    }
+
+    /// The mixture components.
+    pub fn components(&self) -> &[MixtureComponent] {
+        &self.components
+    }
+
+    /// Number of (non-empty) components.
+    pub fn k(&self) -> usize {
+        self.components.len()
+    }
+
+    /// Total queries in the encoded log.
+    pub fn total_queries(&self) -> u64 {
+        self.total
+    }
+
+    /// Generalized Reproduction Error: `Σᵢ wᵢ · e(Sᵢ)` (§5.2).
+    pub fn error(&self) -> f64 {
+        self.components.iter().map(|c| c.weight * c.error).sum()
+    }
+
+    /// Total Verbosity: `Σᵢ |Sᵢ|` (§5.2).
+    pub fn total_verbosity(&self) -> usize {
+        self.components.iter().map(|c| c.encoding.verbosity()).sum()
+    }
+
+    /// Mixture estimate of a pattern's occurrence count (§6.2):
+    /// `est[Γ_b] = Σᵢ |Lᵢ| · Π_{f∈b} pᵢ(f)`.
+    pub fn estimate_count(&self, pattern: &QueryVector) -> f64 {
+        self.components
+            .iter()
+            .map(|c| c.encoding.estimate_count(pattern, c.total))
+            .sum()
+    }
+
+    /// Mixture estimate of a pattern's marginal probability.
+    pub fn estimate_marginal(&self, pattern: &QueryVector) -> f64 {
+        if self.total == 0 {
+            return 0.0;
+        }
+        self.estimate_count(pattern) / self.total as f64
+    }
+
+    /// Mixture probability of drawing exactly `q`:
+    /// `ρ_S(q) = Σᵢ wᵢ · ρ_{Sᵢ}(q)` (§5.2).
+    pub fn probability(&self, q: &QueryVector) -> f64 {
+        self.components.iter().map(|c| c.weight * c.encoding.probability(q)).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use logr_feature::FeatureId;
+
+    fn qv(ids: &[u32]) -> QueryVector {
+        QueryVector::new(ids.iter().map(|&i| FeatureId(i)).collect())
+    }
+
+    /// The §5.1 toy log (features: 0 = id, 1 = sms_type, 2 = Messages,
+    /// 3 = status=?).
+    fn toy_log() -> QueryLog {
+        let mut log = QueryLog::new();
+        log.add_vector(qv(&[0, 2, 3]), 1);
+        log.add_vector(qv(&[0, 2]), 1);
+        log.add_vector(qv(&[1, 2]), 1);
+        log
+    }
+
+    #[test]
+    fn single_mixture_equals_naive_encoding() {
+        let log = toy_log();
+        let m = NaiveMixtureEncoding::single(&log);
+        assert_eq!(m.k(), 1);
+        assert_eq!(m.total_verbosity(), 4);
+        assert!((m.error() - crate::error::naive_error(&log)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn section_5_1_partition_has_zero_error() {
+        // Partition {q1, q2} | {q3} — the paper's worked example: Error = 0.
+        let log = toy_log();
+        let clustering = Clustering::new(2, vec![0, 0, 1]);
+        let m = NaiveMixtureEncoding::build(&log, &clustering);
+        assert_eq!(m.k(), 2);
+        assert!(m.error().abs() < 1e-12, "error = {}", m.error());
+        // Verbosity: partition 1 has features {0,2,3}, partition 2 {1,2}.
+        assert_eq!(m.total_verbosity(), 5);
+        // Weights 2/3 and 1/3.
+        assert!((m.components()[0].weight - 2.0 / 3.0).abs() < 1e-12);
+        assert!((m.components()[1].weight - 1.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn splitting_shared_features_raises_verbosity() {
+        // Feature 2 (Messages) occurs in both partitions: splitting adds 1
+        // to Total Verbosity (paper §6.1.1 observation).
+        let log = toy_log();
+        let single = NaiveMixtureEncoding::single(&log);
+        let split = NaiveMixtureEncoding::build(&log, &Clustering::new(2, vec![0, 0, 1]));
+        assert_eq!(split.total_verbosity(), single.total_verbosity() + 1);
+    }
+
+    #[test]
+    fn best_partition_beats_single_encoding() {
+        // The paper's §6.1 premise: a good partition reduces Error — but a
+        // *bad* partition can raise it (cluster assignments are
+        // non-monotonic, §6.1.1), so only the minimum is guaranteed.
+        let log = toy_log();
+        let single = NaiveMixtureEncoding::single(&log).error();
+        let best = [vec![0, 0, 1], vec![0, 1, 0], vec![0, 1, 1]]
+            .into_iter()
+            .map(|a| NaiveMixtureEncoding::build(&log, &Clustering::new(2, a)).error())
+            .fold(f64::INFINITY, f64::min);
+        assert!(best <= single + 1e-9, "best 2-partition {best} vs single {single}");
+        // And the workload-aligned split is exactly the best one.
+        let aligned = NaiveMixtureEncoding::build(&log, &Clustering::new(2, vec![0, 0, 1]));
+        assert!((aligned.error() - best).abs() < 1e-12);
+    }
+
+    #[test]
+    fn estimate_count_mixes_partitions() {
+        let log = toy_log();
+        let m = NaiveMixtureEncoding::build(&log, &Clustering::new(2, vec![0, 0, 1]));
+        // Pattern {status=?}: partition 1 estimates 2·(1/2) = 1; partition 2
+        // has marginal 0 → total 1 = true count.
+        assert!((m.estimate_count(&qv(&[3])) - 1.0).abs() < 1e-12);
+        // Pattern {id, Messages}: partition 1: 2·1·1 = 2; partition 2: 0.
+        assert!((m.estimate_count(&qv(&[0, 2])) - 2.0).abs() < 1e-12);
+        // Pattern {Messages}: 2 + 1 = 3.
+        assert!((m.estimate_count(&qv(&[2])) - 3.0).abs() < 1e-12);
+        assert!((m.estimate_marginal(&qv(&[2])) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_error_mixture_estimates_exactly() {
+        // With zero generalized error, every pattern marginal within a
+        // partition is exact for patterns the partitions determine.
+        let log = toy_log();
+        let m = NaiveMixtureEncoding::build(&log, &Clustering::new(2, vec![0, 0, 1]));
+        for (pattern, true_count) in
+            [(qv(&[0]), 2.0), (qv(&[1]), 1.0), (qv(&[2]), 3.0), (qv(&[3]), 1.0), (qv(&[0, 3]), 1.0)]
+        {
+            let est = m.estimate_count(&pattern);
+            assert!(
+                (est - true_count).abs() < 1e-9,
+                "pattern {pattern:?}: est {est} vs true {true_count}"
+            );
+        }
+    }
+
+    #[test]
+    fn probability_mixes_components() {
+        let log = toy_log();
+        let m = NaiveMixtureEncoding::build(&log, &Clustering::new(2, vec![0, 0, 1]));
+        // q3 = {1,2} is partition 2's only query: ρ(q3) = w2·1 = 1/3.
+        assert!((m.probability(&qv(&[1, 2])) - 1.0 / 3.0).abs() < 1e-12);
+        // q1 = {0,2,3}: partition 1 gives 1/2 → w1·1/2 = 1/3 (true prob).
+        assert!((m.probability(&qv(&[0, 2, 3])) - 1.0 / 3.0).abs() < 1e-12);
+        // Cross-partition phantom {0,1,2} has probability 0 in both.
+        assert_eq!(m.probability(&qv(&[0, 1, 2])), 0.0);
+    }
+
+    #[test]
+    fn empty_clusters_dropped() {
+        let log = toy_log();
+        let m = NaiveMixtureEncoding::build(&log, &Clustering::new(5, vec![0, 0, 4]));
+        assert_eq!(m.k(), 2);
+        let w: f64 = m.components().iter().map(|c| c.weight).sum();
+        assert!((w - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn component_bookkeeping_consistent() {
+        let log = toy_log();
+        let m = NaiveMixtureEncoding::build(&log, &Clustering::new(2, vec![0, 1, 1]));
+        let totals: u64 = m.components().iter().map(|c| c.total).sum();
+        assert_eq!(totals, log.total_queries());
+        for c in m.components() {
+            assert!(c.error >= -1e-12);
+            assert!(c.empirical_entropy >= 0.0);
+            assert_eq!(c.total, log.total_for(&c.entries));
+        }
+    }
+}

@@ -1,0 +1,416 @@
+//! Sampling the space Ω_E and the idealized loss measures (paper §3.3,
+//! Appendix C).
+//!
+//! An encoding `E` admits a whole space Ω_E of query distributions. The
+//! paper's two idealized measures are defined over that space:
+//!
+//! * **Deviation** `d(E) = E[DKL(ρ*‖P_E)]` — estimated here by Monte Carlo:
+//!   draw random distributions from Ω_E (two-step sampling over pattern-
+//!   equivalence classes + projection onto the constraint hyperplane,
+//!   Algorithm 1 + Appendix C.2) and average the KL divergence from the true
+//!   distribution;
+//! * **Ambiguity** `I(E) = log |Ω_E|` under the uninformed prior — tracked
+//!   through the *dimension* of the feasible affine subspace, a closed-form
+//!   monotone proxy: containment `Ω_E1 ⊆ Ω_E2` implies
+//!   `dim(Ω_E1) ≤ dim(Ω_E2)`.
+//!
+//! KL divergences are computed on the pattern-equivalence *quotient* space
+//! (queries identified up to containment signature, uniform within class).
+//! This is the same space the paper's own sampler manipulates, and it keeps
+//! every sampled distribution absolutely continuous w.r.t. the true one on a
+//! finite support.
+
+use crate::maxent::ClassSystem;
+use logr_feature::{QueryLog, QueryVector};
+use logr_math::{sample_constrained, Matrix};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::HashMap;
+
+/// Result of a Monte-Carlo Deviation estimate.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DeviationEstimate {
+    /// Mean KL divergence over accepted samples (nats).
+    pub mean: f64,
+    /// Sample standard deviation.
+    pub std_dev: f64,
+    /// Number of accepted samples.
+    pub samples: usize,
+}
+
+/// The true log distribution quotiented by a class system: per projected
+/// query vector, its class and probability.
+#[derive(Debug, Clone)]
+pub struct QuotientDistribution {
+    /// `(class index, probability)` per distinct projected query.
+    pub atoms: Vec<(usize, f64)>,
+}
+
+/// Project (a subset of) a log onto a class system's quotient space.
+///
+/// Queries are truncated to the patterns' feature span, aggregated, and
+/// tagged with their containment signature class.
+pub fn quotient_distribution(
+    cs: &ClassSystem,
+    log: &QueryLog,
+    entries: &[usize],
+) -> QuotientDistribution {
+    let universe = QueryVector::new(cs.projected_features().to_vec());
+    let total = log.total_for(entries).max(1) as f64;
+    let mut agg: HashMap<QueryVector, f64> = HashMap::new();
+    for &i in entries {
+        let (v, c) = &log.entries()[i];
+        *agg.entry(v.intersection(&universe)).or_insert(0.0) += *c as f64 / total;
+    }
+    let atoms = agg
+        .into_iter()
+        .map(|(v, p)| {
+            let class = cs
+                .class_index(cs.signature_of(&v))
+                .expect("projected log query must fall in a non-empty class");
+            (class, p)
+        })
+        .collect();
+    QuotientDistribution { atoms }
+}
+
+/// Draw one random distribution over the class system's classes from Ω_E
+/// (Algorithm 1 + the Appendix C.2 projection).
+///
+/// `targets[j] = Some(θ)` constrains pattern `j`'s marginal to θ;
+/// `None` leaves it unconstrained — that is how a *sub*-encoding's space is
+/// sampled on the quotient of a richer class system, which is what makes
+/// Deviations of `E1 ⊂ E2` directly comparable (Fig. 4a/b).
+///
+/// Returns per-class probabilities satisfying the active constraints within
+/// `tol`, or `None` if the projection failed to reach feasibility (rare;
+/// caller should redraw).
+pub fn sample_distribution(
+    cs: &ClassSystem,
+    targets: &[Option<f64>],
+    rng: &mut StdRng,
+    tol: f64,
+) -> Option<Vec<f64>> {
+    let n = cs.classes().len();
+    // Step 1–2 of Algorithm 1: uniform random probabilities over non-empty
+    // classes, normalized.
+    let mut start: Vec<f64> = (0..n).map(|_| rng.gen::<f64>()).collect();
+    let total: f64 = start.iter().sum();
+    for v in &mut start {
+        *v /= total;
+    }
+    // Constraint matrix: one row per *active* pattern, plus normalization.
+    let active: Vec<(usize, f64)> = targets
+        .iter()
+        .enumerate()
+        .filter_map(|(j, t)| t.map(|v| (j, v)))
+        .collect();
+    let m = active.len();
+    let mut a = Matrix::zeros(m + 1, n);
+    let mut b = vec![0.0; m + 1];
+    for (row, &(j, theta)) in active.iter().enumerate() {
+        for (i, class) in cs.classes().iter().enumerate() {
+            if class.signature & (1 << j) != 0 {
+                a[(row, i)] = 1.0;
+            }
+        }
+        b[row] = theta;
+    }
+    for i in 0..n {
+        a[(m, i)] = 1.0;
+    }
+    b[m] = 1.0;
+
+    let (x, residual) = sample_constrained(&a, &b, &start, 200, tol).ok()?;
+    if residual <= tol.max(1e-7) {
+        Some(x)
+    } else {
+        None
+    }
+}
+
+/// Monte-Carlo estimate of Deviation `d(E)` (§3.3) on the quotient space.
+///
+/// For each sample ρ, computes `DKL(ρ*‖ρ)` where the sampled distribution
+/// spreads class mass uniformly within the class:
+/// `DKL = Σ_y p(y) · ln(p(y) · size(class(y)) / q(class(y)))`.
+pub fn estimate_deviation(
+    cs: &ClassSystem,
+    targets: &[Option<f64>],
+    truth: &QuotientDistribution,
+    n_samples: usize,
+    seed: u64,
+) -> DeviationEstimate {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut kls = Vec::with_capacity(n_samples);
+    let mut attempts = 0;
+    while kls.len() < n_samples && attempts < n_samples * 4 {
+        attempts += 1;
+        let Some(q) = sample_distribution(cs, targets, &mut rng, 1e-9) else {
+            continue;
+        };
+        let mut kl = 0.0;
+        let mut finite = true;
+        for &(class, p) in &truth.atoms {
+            if p <= 0.0 {
+                continue;
+            }
+            let density = q[class] / cs.classes()[class].size;
+            if density <= 0.0 {
+                finite = false;
+                break;
+            }
+            kl += p * (p / density).ln();
+        }
+        if finite && kl.is_finite() {
+            kls.push(kl);
+        }
+    }
+    if kls.is_empty() {
+        return DeviationEstimate { mean: f64::INFINITY, std_dev: 0.0, samples: 0 };
+    }
+    let mean = kls.iter().sum::<f64>() / kls.len() as f64;
+    let var = kls.iter().map(|k| (k - mean) * (k - mean)).sum::<f64>()
+        / (kls.len().max(2) - 1) as f64;
+    DeviationEstimate { mean, std_dev: var.sqrt(), samples: kls.len() }
+}
+
+/// Dimension of the feasible affine subspace of Ω_E: the number of free
+/// parameters left after the pattern constraints — a closed-form monotone
+/// proxy for Ambiguity `I(E) = log |Ω_E|` (§3.3, Lemma 2).
+///
+/// Computed as `(#non-empty classes − 1) − rank(A)` where `A` stacks one
+/// indicator row per pattern (the normalization constraint accounts for the
+/// −1).
+pub fn ambiguity_dimension(cs: &ClassSystem) -> usize {
+    let n = cs.classes().len();
+    let m = cs.patterns().len();
+    if n == 0 {
+        return 0;
+    }
+    // Row-reduce the m × n indicator matrix to find its rank relative to the
+    // all-ones row (normalization).
+    let mut rows: Vec<Vec<f64>> = Vec::with_capacity(m + 1);
+    rows.push(vec![1.0; n]);
+    for j in 0..m {
+        rows.push(
+            cs.classes()
+                .iter()
+                .map(|c| if c.signature & (1 << j) != 0 { 1.0 } else { 0.0 })
+                .collect(),
+        );
+    }
+    let rank = matrix_rank(&mut rows);
+    n - rank
+}
+
+/// Gaussian-elimination rank of a small dense row set.
+fn matrix_rank(rows: &mut [Vec<f64>]) -> usize {
+    let nrows = rows.len();
+    if nrows == 0 {
+        return 0;
+    }
+    let ncols = rows[0].len();
+    let mut rank = 0;
+    let mut col = 0;
+    while rank < nrows && col < ncols {
+        // Find pivot.
+        let pivot = (rank..nrows).max_by(|&a, &b| rows[a][col].abs().total_cmp(&rows[b][col].abs()));
+        let Some(p) = pivot else { break };
+        if rows[p][col].abs() < 1e-9 {
+            col += 1;
+            continue;
+        }
+        rows.swap(rank, p);
+        let lead = rows[rank][col];
+        for r in (rank + 1)..nrows {
+            let f = rows[r][col] / lead;
+            if f != 0.0 {
+                for c in col..ncols {
+                    let v = rows[rank][c];
+                    rows[r][c] -= f * v;
+                }
+            }
+        }
+        rank += 1;
+        col += 1;
+    }
+    rank
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use logr_feature::FeatureId;
+
+    fn qv(ids: &[u32]) -> QueryVector {
+        QueryVector::new(ids.iter().map(|&i| FeatureId(i)).collect())
+    }
+
+    fn correlated_log() -> QueryLog {
+        // Features 0,1 strongly correlated; 2 independent.
+        let mut log = QueryLog::new();
+        log.add_vector(qv(&[0, 1]), 4);
+        log.add_vector(qv(&[0, 1, 2]), 3);
+        log.add_vector(qv(&[2]), 2);
+        log.add_vector(qv(&[]), 1);
+        log
+    }
+
+    #[test]
+    fn sampled_distributions_satisfy_constraints() {
+        let cs = ClassSystem::build(&[qv(&[0, 1]), qv(&[2])]).unwrap();
+        let targets = [Some(0.7), Some(0.5)];
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..20 {
+            let q = sample_distribution(&cs, &targets, &mut rng, 1e-9).expect("feasible draw");
+            assert!((q.iter().sum::<f64>() - 1.0).abs() < 1e-6);
+            for (j, t) in targets.iter().enumerate() {
+                let m: f64 = cs
+                    .classes()
+                    .iter()
+                    .zip(&q)
+                    .filter(|(c, _)| c.signature & (1 << j) != 0)
+                    .map(|(_, &p)| p)
+                    .sum();
+                assert!((m - t.unwrap()).abs() < 1e-6, "constraint {j}");
+            }
+            assert!(q.iter().all(|&p| p >= -1e-12));
+        }
+    }
+
+    #[test]
+    fn single_pattern_quotient_is_fully_determined() {
+        // One pattern over 2 classes + normalization: zero degrees of
+        // freedom — every draw is the same point.
+        let cs = ClassSystem::build(&[qv(&[0, 1])]).unwrap();
+        let mut rng = StdRng::seed_from_u64(7);
+        let a = sample_distribution(&cs, &[Some(0.5)], &mut rng, 1e-9).unwrap();
+        let b = sample_distribution(&cs, &[Some(0.5)], &mut rng, 1e-9).unwrap();
+        let diff: f64 = a.iter().zip(&b).map(|(x, y)| (x - y).abs()).sum();
+        assert!(diff < 1e-6, "determined quotient should not vary: {a:?} vs {b:?}");
+        assert_eq!(ambiguity_dimension(&cs), 0);
+    }
+
+    #[test]
+    fn samples_vary_across_draws() {
+        // Two disjoint patterns: 4 classes, 3 constraints → 1 free dim.
+        let cs = ClassSystem::build(&[qv(&[0, 1]), qv(&[2, 3])]).unwrap();
+        let mut rng = StdRng::seed_from_u64(7);
+        let t = [Some(0.5), Some(0.25)];
+        let a = sample_distribution(&cs, &t, &mut rng, 1e-9).unwrap();
+        let b = sample_distribution(&cs, &t, &mut rng, 1e-9).unwrap();
+        let diff: f64 = a.iter().zip(&b).map(|(x, y)| (x - y).abs()).sum();
+        assert!(diff > 1e-6, "draws identical: {a:?}");
+        assert!(ambiguity_dimension(&cs) >= 1);
+    }
+
+    #[test]
+    fn inactive_constraints_widen_the_space() {
+        // Sampling with the second constraint deactivated explores a larger
+        // space: the second pattern's marginal varies across draws.
+        let cs = ClassSystem::build(&[qv(&[0, 1]), qv(&[2])]).unwrap();
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut marginals = Vec::new();
+        for _ in 0..10 {
+            let q = sample_distribution(&cs, &[Some(0.5), None], &mut rng, 1e-9).unwrap();
+            let m: f64 = cs
+                .classes()
+                .iter()
+                .zip(&q)
+                .filter(|(c, _)| c.signature & 0b10 != 0)
+                .map(|(_, &p)| p)
+                .sum();
+            marginals.push(m);
+        }
+        let min = marginals.iter().cloned().fold(f64::INFINITY, f64::min);
+        let max = marginals.iter().cloned().fold(0.0f64, f64::max);
+        assert!(max - min > 0.01, "unconstrained marginal did not vary: {marginals:?}");
+    }
+
+    #[test]
+    fn quotient_distribution_aggregates() {
+        let log = correlated_log();
+        let cs = ClassSystem::build(&[qv(&[0, 1])]).unwrap();
+        let qd = quotient_distribution(&cs, &log, &log.all_entry_indices());
+        // Projected onto {0,1}: {0,1} (prob 0.7) and {} (prob 0.3).
+        assert_eq!(qd.atoms.len(), 2);
+        let total: f64 = qd.atoms.iter().map(|&(_, p)| p).sum();
+        assert!((total - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn deviation_estimate_is_finite_and_positive() {
+        let log = correlated_log();
+        let all = log.all_entry_indices();
+        let cs = ClassSystem::build(&[qv(&[0, 1]), qv(&[2])]).unwrap();
+        let total = log.total_queries() as f64;
+        let target = [
+            Some(log.support(&qv(&[0, 1])) as f64 / total),
+            Some(log.support(&qv(&[2])) as f64 / total),
+        ];
+        let truth = quotient_distribution(&cs, &log, &all);
+        let d = estimate_deviation(&cs, &target, &truth, 50, 42);
+        assert!(d.samples >= 40, "too many rejected samples: {}", d.samples);
+        assert!(d.mean.is_finite());
+        assert!(d.mean > 0.0);
+    }
+
+    #[test]
+    fn containment_implies_lower_deviation_on_average() {
+        // E2 ⊃ E1 ⇒ Ω_E2 ⊆ Ω_E1 ⇒ expected deviation shrinks (Fig. 4a/b).
+        // Both spaces are sampled on E2's quotient so the KLs are
+        // comparable; E1 is E2 with its second constraint deactivated.
+        let log = correlated_log();
+        let all = log.all_entry_indices();
+        let total = log.total_queries() as f64;
+
+        let p01 = log.support(&qv(&[0, 1])) as f64 / total;
+        let p2 = log.support(&qv(&[2])) as f64 / total;
+
+        let cs = ClassSystem::build(&[qv(&[0, 1]), qv(&[2])]).unwrap();
+        let truth = quotient_distribution(&cs, &log, &all);
+        let d1 = estimate_deviation(&cs, &[Some(p01), None], &truth, 80, 3);
+        let d2 = estimate_deviation(&cs, &[Some(p01), Some(p2)], &truth, 80, 3);
+        assert!(
+            d2.mean <= d1.mean + 1e-9,
+            "richer encoding deviates more: d2 {} vs d1 {}",
+            d2.mean,
+            d1.mean
+        );
+    }
+
+    #[test]
+    fn ambiguity_dimension_shrinks_with_patterns() {
+        // On a fixed quotient, adding constraints can only shrink the
+        // feasible dimension (Lemma 2's monotonicity).
+        let cs2 = ClassSystem::build(&[qv(&[0, 1]), qv(&[2, 3])]).unwrap();
+        let cs3 = ClassSystem::build(&[qv(&[0, 1]), qv(&[2, 3]), qv(&[0, 2])]).unwrap();
+        let d2 = ambiguity_dimension(&cs2);
+        let d3_quotient = ambiguity_dimension(&cs3);
+        assert!(d2 >= 1, "two disjoint patterns leave freedom: {d2}");
+        // cs3 has a finer quotient (more classes) but also more constraints;
+        // the meaningful comparison holds per quotient: both are valid
+        // dimensions, and cs2's sub-encoding on cs3's quotient has more
+        // freedom than cs3 itself.
+        let n3 = cs3.classes().len();
+        assert!(d3_quotient < n3);
+    }
+
+    #[test]
+    fn ambiguity_dimension_zero_for_fully_determined() {
+        // One feature, one pattern: classes {1}, {0}; constraints fix both.
+        let cs = ClassSystem::build(&[qv(&[0])]).unwrap();
+        assert_eq!(ambiguity_dimension(&cs), 0);
+    }
+
+    #[test]
+    fn rank_helper() {
+        let mut rows = vec![vec![1.0, 2.0], vec![2.0, 4.0], vec![0.0, 1.0]];
+        assert_eq!(matrix_rank(&mut rows), 2);
+        let mut id = vec![vec![1.0, 0.0], vec![0.0, 1.0]];
+        assert_eq!(matrix_rank(&mut id), 2);
+        let mut zero = vec![vec![0.0, 0.0]];
+        assert_eq!(matrix_rank(&mut zero), 0);
+    }
+}

@@ -1,0 +1,170 @@
+//! Pattern synthesis and marginal-deviation diagnostics (paper §6.3).
+//!
+//! Two empirical checks that a naive mixture encoding approximates log
+//! statistics well:
+//!
+//! * **Synthesis error** — synthesize random patterns from each component's
+//!   independence model and measure the fraction that do *not* occur in the
+//!   partition (`1 − M/N`). A faithful encoding synthesizes mostly real
+//!   patterns.
+//! * **Marginal deviation** — for each distinct query of a partition
+//!   (treated as the worst-case pattern it contains), the relative error
+//!   `|est − true| / true` of the encoding's marginal estimate, summed per
+//!   cluster and weight-averaged across clusters.
+
+use crate::mixture::NaiveMixtureEncoding;
+use logr_feature::{FeatureId, QueryLog, QueryVector};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Synthesis error of a naive mixture encoding (§6.3, Fig. 3a).
+///
+/// From each component, draw `n_per_partition` random patterns by sampling
+/// each supported feature independently with its marginal probability; a
+/// synthesized pattern "exists" if some query of the partition contains it.
+/// Component errors are weight-averaged.
+pub fn synthesis_error(
+    log: &QueryLog,
+    mixture: &NaiveMixtureEncoding,
+    n_per_partition: usize,
+    seed: u64,
+) -> f64 {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut total = 0.0;
+    for component in mixture.components() {
+        let support = component.encoding.support();
+        let mut misses = 0usize;
+        for _ in 0..n_per_partition {
+            let pattern: QueryVector = support
+                .iter()
+                .copied()
+                .filter(|&f| rng.gen::<f64>() < component.encoding.marginal(f))
+                .collect::<Vec<FeatureId>>()
+                .into_iter()
+                .collect();
+            if log.support_for(&pattern, &component.entries) == 0 {
+                misses += 1;
+            }
+        }
+        let err = if n_per_partition == 0 { 0.0 } else { misses as f64 / n_per_partition as f64 };
+        total += component.weight * err;
+    }
+    total
+}
+
+/// Marginal deviation of a naive mixture encoding (§6.3, Fig. 3b).
+///
+/// Treats every distinct query of each partition as a pattern (the worst
+/// case over its sub-patterns), measures `|est − true| / true` under the
+/// component's encoding, sums within the cluster and weight-averages across
+/// clusters.
+pub fn marginal_deviation(log: &QueryLog, mixture: &NaiveMixtureEncoding) -> f64 {
+    let mut total = 0.0;
+    for component in mixture.components() {
+        if component.total == 0 {
+            continue;
+        }
+        let part_total = component.total as f64;
+        let mut dev = 0.0;
+        for &i in &component.entries {
+            let (v, c) = &log.entries()[i];
+            let true_marginal = log.support_for(v, &component.entries) as f64 / part_total;
+            let est = component.encoding.estimate_marginal(v);
+            if true_marginal > 0.0 {
+                dev += ((est - true_marginal).abs() / true_marginal) * (*c as f64 / part_total);
+            }
+        }
+        total += component.weight * dev;
+    }
+    total
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use logr_cluster::Clustering;
+
+    fn qv(ids: &[u32]) -> QueryVector {
+        QueryVector::new(ids.iter().map(|&i| FeatureId(i)).collect())
+    }
+
+    fn two_workload_log() -> QueryLog {
+        let mut log = QueryLog::new();
+        // Workload A over features 0–2, workload B over 10–12.
+        log.add_vector(qv(&[0, 1]), 5);
+        log.add_vector(qv(&[0, 1, 2]), 5);
+        log.add_vector(qv(&[10, 11]), 5);
+        log.add_vector(qv(&[10, 11, 12]), 5);
+        log
+    }
+
+    #[test]
+    fn perfect_partition_synthesizes_real_patterns() {
+        let log = two_workload_log();
+        let split = NaiveMixtureEncoding::build(&log, &Clustering::new(2, vec![0, 0, 1, 1]));
+        let err = synthesis_error(&log, &split, 500, 9);
+        // Within each partition features {0,1} / {10,11} are certain and
+        // only one feature is Bernoulli(1/2): every synthesized pattern is a
+        // subset of an existing query.
+        assert!(err < 1e-9, "synthesis error {err}");
+    }
+
+    #[test]
+    fn single_encoding_synthesizes_phantoms() {
+        let log = two_workload_log();
+        let single = NaiveMixtureEncoding::single(&log);
+        let err = synthesis_error(&log, &single, 500, 9);
+        // Cross-workload feature mixes (e.g. {0, 10}) never occur in the
+        // log, so the unpartitioned encoding synthesizes many phantoms.
+        assert!(err > 0.3, "synthesis error unexpectedly low: {err}");
+    }
+
+    #[test]
+    fn synthesis_error_decreases_with_partitioning() {
+        let log = two_workload_log();
+        let single = synthesis_error(&log, &NaiveMixtureEncoding::single(&log), 400, 5);
+        let split = synthesis_error(
+            &log,
+            &NaiveMixtureEncoding::build(&log, &Clustering::new(2, vec![0, 0, 1, 1])),
+            400,
+            5,
+        );
+        assert!(split <= single, "split {split} vs single {single}");
+    }
+
+    #[test]
+    fn marginal_deviation_zero_for_exact_partition() {
+        let log = two_workload_log();
+        let split = NaiveMixtureEncoding::build(&log, &Clustering::new(2, vec![0, 0, 1, 1]));
+        let dev = marginal_deviation(&log, &split);
+        assert!(dev < 1e-9, "deviation {dev}");
+    }
+
+    #[test]
+    fn marginal_deviation_positive_for_single_encoding() {
+        let log = two_workload_log();
+        let dev = marginal_deviation(&log, &NaiveMixtureEncoding::single(&log));
+        assert!(dev > 0.1, "deviation unexpectedly low: {dev}");
+    }
+
+    #[test]
+    fn deviation_tracks_error_ordering() {
+        // The §6.3 claim: both diagnostics correlate with Reproduction
+        // Error across partitionings.
+        let log = two_workload_log();
+        let single = NaiveMixtureEncoding::single(&log);
+        let split = NaiveMixtureEncoding::build(&log, &Clustering::new(2, vec![0, 0, 1, 1]));
+        assert!(split.error() < single.error());
+        assert!(marginal_deviation(&log, &split) <= marginal_deviation(&log, &single));
+        assert!(
+            synthesis_error(&log, &split, 300, 2) <= synthesis_error(&log, &single, 300, 2)
+        );
+    }
+
+    #[test]
+    fn zero_samples_is_zero_error() {
+        let log = two_workload_log();
+        let single = NaiveMixtureEncoding::single(&log);
+        assert_eq!(synthesis_error(&log, &single, 0, 0), 0.0);
+    }
+}

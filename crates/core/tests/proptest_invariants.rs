@@ -1,0 +1,179 @@
+//! Property tests for LogR's core invariants on randomly generated logs:
+//!
+//! * Reproduction Error is non-negative (independence is max-ent);
+//! * generalized mixture error equals the weighted component sum;
+//! * single-feature marginal estimates are exact;
+//! * Lemma 1: adding patterns to an encoding never increases max-ent error;
+//! * class systems exactly tile the projected space.
+
+use logr_cluster::Clustering;
+use logr_core::lossless::exact_point_probabilities;
+use logr_core::maxent::{ClassSystem, GeneralEncoding};
+use logr_core::{empirical_entropy, naive_error, NaiveEncoding, NaiveMixtureEncoding};
+use logr_feature::{FeatureId, QueryLog, QueryVector};
+use proptest::prelude::*;
+
+const UNIVERSE: u32 = 10;
+
+fn arb_log() -> impl Strategy<Value = QueryLog> {
+    prop::collection::vec(
+        (prop::collection::vec(0..UNIVERSE, 0..6), 1u64..20),
+        1..12,
+    )
+    .prop_map(|entries| {
+        let mut log = QueryLog::new();
+        for (ids, count) in entries {
+            log.add_vector(QueryVector::new(ids.into_iter().map(FeatureId).collect()), count);
+        }
+        log.reserve_universe(UNIVERSE as usize);
+        log
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    #[test]
+    fn reproduction_error_nonnegative(log in arb_log()) {
+        prop_assert!(naive_error(&log) >= -1e-9);
+    }
+
+    #[test]
+    fn empirical_entropy_bounded_by_distinct(log in arb_log()) {
+        let h = empirical_entropy(&log);
+        prop_assert!(h >= -1e-12);
+        prop_assert!(h <= (log.distinct_count() as f64).ln() + 1e-9);
+    }
+
+    #[test]
+    fn mixture_error_is_weighted_sum(log in arb_log(), split in any::<u64>()) {
+        let n = log.distinct_count();
+        let assignments: Vec<usize> = (0..n).map(|i| ((split >> (i % 60)) & 1) as usize).collect();
+        let mixture = NaiveMixtureEncoding::build(&log, &Clustering::new(2, assignments));
+        let recombined: f64 = mixture
+            .components()
+            .iter()
+            .map(|c| c.weight * c.error)
+            .sum();
+        prop_assert!((mixture.error() - recombined).abs() < 1e-9);
+        let weights: f64 = mixture.components().iter().map(|c| c.weight).sum();
+        prop_assert!((weights - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn single_feature_estimates_exact(log in arb_log()) {
+        let encoding = NaiveEncoding::from_log(&log);
+        let total = log.total_queries();
+        for f in 0..UNIVERSE {
+            let pattern = QueryVector::new(vec![FeatureId(f)]);
+            let est = encoding.estimate_count(&pattern, total);
+            let truth = log.support(&pattern) as f64;
+            prop_assert!((est - truth).abs() < 1e-6, "feature {f}: {est} vs {truth}");
+        }
+    }
+
+    #[test]
+    fn mixture_single_feature_estimates_exact(log in arb_log(), split in any::<u64>()) {
+        let n = log.distinct_count();
+        let assignments: Vec<usize> = (0..n).map(|i| ((split >> (i % 60)) & 1) as usize).collect();
+        let mixture = NaiveMixtureEncoding::build(&log, &Clustering::new(2, assignments));
+        for f in 0..UNIVERSE {
+            let pattern = QueryVector::new(vec![FeatureId(f)]);
+            let est = mixture.estimate_count(&pattern);
+            let truth = log.support(&pattern) as f64;
+            prop_assert!((est - truth).abs() < 1e-6, "feature {f}: {est} vs {truth}");
+        }
+    }
+
+    #[test]
+    fn lemma1_adding_patterns_monotone(log in arb_log()) {
+        // Universe: two busiest features; patterns over them.
+        let marginals = log.marginals();
+        let mut busy: Vec<usize> = (0..marginals.len()).collect();
+        busy.sort_by(|&a, &b| marginals[b].total_cmp(&marginals[a]));
+        let (fa, fb) = (FeatureId(busy[0] as u32), FeatureId(busy[1] as u32));
+        let universe = QueryVector::new(vec![fa, fb]);
+        let entries = log.all_entry_indices();
+
+        let e1 = GeneralEncoding::measure(&log, &entries, vec![QueryVector::new(vec![fa])], 2)
+            .reproduction_error(&log, &entries, &universe);
+        let e2 = GeneralEncoding::measure(
+            &log,
+            &entries,
+            vec![QueryVector::new(vec![fa]), QueryVector::new(vec![fb])],
+            2,
+        )
+        .reproduction_error(&log, &entries, &universe);
+        if let (Ok(e1), Ok(e2)) = (e1, e2) {
+            prop_assert!(e2 <= e1 + 1e-6, "adding a pattern raised error: {e1} -> {e2}");
+        }
+    }
+
+    #[test]
+    fn class_system_tiles_projected_space(
+        p1 in prop::collection::vec(0..6u32, 1..4),
+        p2 in prop::collection::vec(0..6u32, 1..4),
+    ) {
+        let patterns = vec![
+            QueryVector::new(p1.into_iter().map(FeatureId).collect()),
+            QueryVector::new(p2.into_iter().map(FeatureId).collect()),
+        ];
+        let cs = ClassSystem::build(&patterns).unwrap();
+        let total: f64 = cs.classes().iter().map(|c| c.size).sum();
+        prop_assert!((total - 2f64.powi(cs.n_projected() as i32)).abs() < 1e-6,
+            "classes don't tile: {total} vs 2^{}", cs.n_projected());
+        // Every query's signature lands in a non-empty class.
+        for mask in 0..(1u32 << cs.n_projected().min(6)) {
+            let ids: Vec<FeatureId> = cs
+                .projected_features()
+                .iter()
+                .enumerate()
+                .filter(|(i, _)| mask & (1 << i) != 0)
+                .map(|(_, &f)| f)
+                .collect();
+            let q = QueryVector::new(ids);
+            prop_assert!(cs.class_index(cs.signature_of(&q)).is_some());
+        }
+    }
+
+    #[test]
+    fn proposition_1_reconstructs_any_log(log in arb_log()) {
+        // Lossless reconstruction from marginals matches the projected
+        // empirical distribution exactly (paper Prop. 1 / Appendix B).
+        let universe = QueryVector::new((0..UNIVERSE).map(FeatureId).collect());
+        let atoms = exact_point_probabilities(&log, &log.all_entry_indices(), &universe);
+        let total: f64 = atoms.iter().map(|&(_, p)| p).sum();
+        prop_assert!((total - 1.0).abs() < 1e-9, "sum {total}");
+        let t = log.total_queries() as f64;
+        for (q, p) in atoms {
+            let truth = log
+                .entries()
+                .iter()
+                .filter(|(v, _)| v.intersection(&universe) == q)
+                .map(|&(_, c)| c as f64 / t)
+                .sum::<f64>();
+            prop_assert!((p - truth).abs() < 1e-9, "atom {:?}: {p} vs {truth}", q);
+        }
+    }
+
+    #[test]
+    fn probability_normalized_over_support(log in arb_log()) {
+        // Sum of naive-encoding probabilities over all subsets of a small
+        // support equals 1.
+        let encoding = NaiveEncoding::from_log(&log);
+        if encoding.verbosity() <= 8 && encoding.verbosity() > 0 {
+            let support: Vec<FeatureId> = encoding.support().to_vec();
+            let mut total = 0.0;
+            for mask in 0..(1u32 << support.len()) {
+                let ids: Vec<FeatureId> = support
+                    .iter()
+                    .enumerate()
+                    .filter(|(i, _)| mask & (1 << i) != 0)
+                    .map(|(_, &f)| f)
+                    .collect();
+                total += encoding.probability(&QueryVector::new(ids));
+            }
+            prop_assert!((total - 1.0).abs() < 1e-6, "probabilities sum to {total}");
+        }
+    }
+}

@@ -1,0 +1,95 @@
+//! Robustness properties of the portable summary format: round trips are
+//! exact, and corrupted input must produce errors — never panics, never a
+//! silently wrong summary that still claims the original totals.
+
+use logr_cluster::Clustering;
+use logr_core::mixture::NaiveMixtureEncoding;
+use logr_core::portable::PortableSummary;
+use logr_feature::{Feature, FeatureId, QueryLog, QueryVector};
+use proptest::prelude::*;
+
+fn arb_log() -> impl Strategy<Value = QueryLog> {
+    prop::collection::vec(
+        (prop::collection::vec(0..12u32, 1..5), 1u64..50),
+        1..10,
+    )
+    .prop_map(|rows| {
+        let mut log = QueryLog::new();
+        // Intern real features so the codebook round-trips.
+        for i in 0..12 {
+            log.codebook_mut().intern(Feature::where_atom(format!("col{i} = ?")));
+        }
+        for (ids, count) in rows {
+            log.add_vector(QueryVector::new(ids.into_iter().map(FeatureId).collect()), count);
+        }
+        log
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn round_trip_preserves_everything(log in arb_log(), split in any::<u64>()) {
+        let n = log.distinct_count();
+        let assignments: Vec<usize> =
+            (0..n).map(|i| ((split >> (i % 60)) & 1) as usize).collect();
+        let mixture = NaiveMixtureEncoding::build(&log, &Clustering::new(2, assignments));
+        let portable = PortableSummary::from_mixture(&mixture, &log);
+
+        let mut buf = Vec::new();
+        portable.write_to(&mut buf).unwrap();
+        let loaded = PortableSummary::read_from(buf.as_slice()).unwrap();
+
+        prop_assert_eq!(loaded.total_queries, portable.total_queries);
+        prop_assert_eq!(loaded.components.len(), portable.components.len());
+        prop_assert_eq!(loaded.total_verbosity(), portable.total_verbosity());
+        // Estimates agree on every single-feature pattern.
+        for i in 0..12 {
+            let features = [Feature::where_atom(format!("col{i} = ?"))];
+            let a = portable.estimate_count(&features);
+            let b = loaded.estimate_count(&features);
+            prop_assert!((a - b).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn truncation_never_panics(log in arb_log(), cut in 0.0f64..1.0) {
+        let mixture = NaiveMixtureEncoding::single(&log);
+        let portable = PortableSummary::from_mixture(&mixture, &log);
+        let mut buf = Vec::new();
+        portable.write_to(&mut buf).unwrap();
+        let cut_at = ((buf.len() as f64) * cut) as usize;
+        // Either a clean parse of a prefix-complete file or an error —
+        // never a panic.
+        let _ = PortableSummary::read_from(&buf[..cut_at]);
+    }
+
+    #[test]
+    fn byte_corruption_never_panics(log in arb_log(), pos in any::<usize>(), byte in any::<u8>()) {
+        let mixture = NaiveMixtureEncoding::single(&log);
+        let portable = PortableSummary::from_mixture(&mixture, &log);
+        let mut buf = Vec::new();
+        portable.write_to(&mut buf).unwrap();
+        if buf.is_empty() {
+            return Ok(());
+        }
+        let idx = pos % buf.len();
+        buf[idx] = byte;
+        match String::from_utf8(buf) {
+            Ok(text) => {
+                // Must not panic; errors are fine, and a successful parse
+                // must still carry internally consistent structure.
+                if let Ok(loaded) = PortableSummary::read_from(text.as_bytes()) {
+                    prop_assert!(loaded.components.len() <= 64);
+                    for (_, pairs) in &loaded.components {
+                        for &(_, p) in pairs {
+                            prop_assert!((0.0..=1.0 + 1e-9).contains(&p));
+                        }
+                    }
+                }
+            }
+            Err(_) => { /* invalid UTF-8 cannot even reach the parser */ }
+        }
+    }
+}

@@ -1,0 +1,204 @@
+//! Dense bitset mirror of [`crate::vector::QueryVector`].
+//!
+//! Clustering distance kernels touch every pair of distinct queries; for
+//! those inner loops a dense `u64`-block bitset with popcount-based set
+//! operations beats the sparse merge once vectors are materialized per
+//! dataset. The two representations are interconvertible and agree on all
+//! set operations (property-tested in `vector` round-trip tests).
+
+use crate::codebook::FeatureId;
+use crate::vector::QueryVector;
+
+/// Fixed-width dense bitset over the feature universe.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct BitVec {
+    bits: Vec<u64>,
+    len: usize,
+}
+
+impl BitVec {
+    /// All-zeros bitset over a universe of `len` features.
+    pub fn zeros(len: usize) -> Self {
+        BitVec { bits: vec![0; len.div_ceil(64)], len }
+    }
+
+    /// Build from a sparse vector given the universe size.
+    ///
+    /// # Panics
+    /// Panics if any id is outside the universe.
+    pub fn from_query_vector(v: &QueryVector, universe: usize) -> Self {
+        let mut b = BitVec::zeros(universe);
+        for id in v.iter() {
+            b.set(id.index());
+        }
+        b
+    }
+
+    /// Convert back to a sparse vector.
+    pub fn to_query_vector(&self) -> QueryVector {
+        self.iter_ones().map(|i| FeatureId(i as u32)).collect()
+    }
+
+    /// Universe size in bits.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when the universe is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Set bit `i`.
+    ///
+    /// # Panics
+    /// Panics if `i` is out of range.
+    #[inline]
+    pub fn set(&mut self, i: usize) {
+        assert!(i < self.len, "bit index {i} out of range {}", self.len);
+        self.bits[i / 64] |= 1 << (i % 64);
+    }
+
+    /// Clear bit `i`.
+    ///
+    /// # Panics
+    /// Panics if `i` is out of range.
+    #[inline]
+    pub fn clear(&mut self, i: usize) {
+        assert!(i < self.len, "bit index {i} out of range {}", self.len);
+        self.bits[i / 64] &= !(1 << (i % 64));
+    }
+
+    /// Read bit `i`.
+    ///
+    /// # Panics
+    /// Panics if `i` is out of range.
+    #[inline]
+    pub fn get(&self, i: usize) -> bool {
+        assert!(i < self.len, "bit index {i} out of range {}", self.len);
+        self.bits[i / 64] & (1 << (i % 64)) != 0
+    }
+
+    /// Number of set bits.
+    pub fn count_ones(&self) -> usize {
+        self.bits.iter().map(|b| b.count_ones() as usize).sum()
+    }
+
+    /// `|self ∧ other|` — intersection size.
+    ///
+    /// # Panics
+    /// Panics on universe mismatch.
+    pub fn and_count(&self, other: &BitVec) -> usize {
+        assert_eq!(self.len, other.len, "universe mismatch");
+        self.bits
+            .iter()
+            .zip(&other.bits)
+            .map(|(a, b)| (a & b).count_ones() as usize)
+            .sum()
+    }
+
+    /// `|self ∨ other|` — union size.
+    pub fn or_count(&self, other: &BitVec) -> usize {
+        assert_eq!(self.len, other.len, "universe mismatch");
+        self.bits
+            .iter()
+            .zip(&other.bits)
+            .map(|(a, b)| (a | b).count_ones() as usize)
+            .sum()
+    }
+
+    /// `|self ⊕ other|` — Hamming distance.
+    pub fn xor_count(&self, other: &BitVec) -> usize {
+        assert_eq!(self.len, other.len, "universe mismatch");
+        self.bits
+            .iter()
+            .zip(&other.bits)
+            .map(|(a, b)| (a ^ b).count_ones() as usize)
+            .sum()
+    }
+
+    /// Containment: every set bit of `other` is set here.
+    pub fn contains_all(&self, other: &BitVec) -> bool {
+        assert_eq!(self.len, other.len, "universe mismatch");
+        self.bits.iter().zip(&other.bits).all(|(a, b)| b & !a == 0)
+    }
+
+    /// Iterate indexes of set bits in ascending order.
+    pub fn iter_ones(&self) -> impl Iterator<Item = usize> + '_ {
+        self.bits.iter().enumerate().flat_map(|(block_idx, &block)| {
+            let mut b = block;
+            std::iter::from_fn(move || {
+                if b == 0 {
+                    return None;
+                }
+                let tz = b.trailing_zeros() as usize;
+                b &= b - 1;
+                Some(block_idx * 64 + tz)
+            })
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn qv(ids: &[u32]) -> QueryVector {
+        QueryVector::new(ids.iter().map(|&i| FeatureId(i)).collect())
+    }
+
+    #[test]
+    fn set_get_clear() {
+        let mut b = BitVec::zeros(130);
+        assert!(!b.get(129));
+        b.set(129);
+        assert!(b.get(129));
+        b.clear(129);
+        assert!(!b.get(129));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_panics() {
+        BitVec::zeros(10).get(10);
+    }
+
+    #[test]
+    fn round_trip_with_query_vector() {
+        let v = qv(&[0, 5, 63, 64, 127]);
+        let b = BitVec::from_query_vector(&v, 128);
+        assert_eq!(b.to_query_vector(), v);
+        assert_eq!(b.count_ones(), 5);
+    }
+
+    #[test]
+    fn set_ops_match_sparse() {
+        let a = qv(&[1, 2, 3, 70]);
+        let b = qv(&[3, 70, 99]);
+        let da = BitVec::from_query_vector(&a, 100);
+        let db = BitVec::from_query_vector(&b, 100);
+        assert_eq!(da.and_count(&db), a.intersection_size(&b));
+        assert_eq!(da.or_count(&db), a.union_size(&b));
+        assert_eq!(da.xor_count(&db), a.symmetric_difference_size(&b));
+        assert_eq!(da.contains_all(&db), a.contains_all(&b));
+        let sub = BitVec::from_query_vector(&qv(&[1, 70]), 100);
+        assert!(da.contains_all(&sub));
+    }
+
+    #[test]
+    fn iter_ones_crosses_block_boundaries() {
+        let mut b = BitVec::zeros(200);
+        for i in [0, 63, 64, 65, 128, 199] {
+            b.set(i);
+        }
+        assert_eq!(b.iter_ones().collect::<Vec<_>>(), vec![0, 63, 64, 65, 128, 199]);
+    }
+
+    #[test]
+    fn empty_universe() {
+        let b = BitVec::zeros(0);
+        assert!(b.is_empty());
+        assert_eq!(b.count_ones(), 0);
+        assert_eq!(b.iter_ones().count(), 0);
+    }
+}

@@ -1,0 +1,128 @@
+//! The codebook: a bidirectional feature ↔ id mapping.
+//!
+//! "LogR-compressed data relies on a codebook based on structural elements
+//! like SELECT items, FROM tables, or conjunctive WHERE clauses. This
+//! codebook provides a bi-directional mapping from SQL queries to a
+//! bit-vector encoding and back again" (paper §1). Interning features as
+//! dense `u32` ids is what makes vectors, patterns and marginal tables
+//! cheap downstream.
+
+use crate::feature::Feature;
+use std::collections::HashMap;
+
+/// Dense identifier of an interned [`Feature`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct FeatureId(pub u32);
+
+impl FeatureId {
+    /// The id as a usize index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// Interning table assigning dense ids to features, with reverse lookup.
+#[derive(Debug, Clone, Default)]
+pub struct Codebook {
+    features: Vec<Feature>,
+    index: HashMap<Feature, FeatureId>,
+}
+
+impl Codebook {
+    /// Empty codebook.
+    pub fn new() -> Self {
+        Codebook::default()
+    }
+
+    /// Intern a feature, returning its (possibly pre-existing) id.
+    pub fn intern(&mut self, feature: Feature) -> FeatureId {
+        if let Some(&id) = self.index.get(&feature) {
+            return id;
+        }
+        let id = FeatureId(self.features.len() as u32);
+        self.features.push(feature.clone());
+        self.index.insert(feature, id);
+        id
+    }
+
+    /// Look up an already-interned feature.
+    pub fn get(&self, feature: &Feature) -> Option<FeatureId> {
+        self.index.get(feature).copied()
+    }
+
+    /// Reverse lookup: the feature behind an id.
+    ///
+    /// # Panics
+    /// Panics if the id was not produced by this codebook.
+    pub fn feature(&self, id: FeatureId) -> &Feature {
+        &self.features[id.index()]
+    }
+
+    /// Number of distinct interned features.
+    pub fn len(&self) -> usize {
+        self.features.len()
+    }
+
+    /// True when nothing has been interned.
+    pub fn is_empty(&self) -> bool {
+        self.features.is_empty()
+    }
+
+    /// Iterate `(id, feature)` pairs in id order.
+    pub fn iter(&self) -> impl Iterator<Item = (FeatureId, &Feature)> {
+        self.features.iter().enumerate().map(|(i, f)| (FeatureId(i as u32), f))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::feature::FeatureClass;
+
+    #[test]
+    fn intern_is_idempotent() {
+        let mut cb = Codebook::new();
+        let a = cb.intern(Feature::select("x"));
+        let b = cb.intern(Feature::select("x"));
+        assert_eq!(a, b);
+        assert_eq!(cb.len(), 1);
+    }
+
+    #[test]
+    fn ids_are_dense_and_ordered() {
+        let mut cb = Codebook::new();
+        let a = cb.intern(Feature::select("x"));
+        let b = cb.intern(Feature::from_table("t"));
+        let c = cb.intern(Feature::where_atom("x = ?"));
+        assert_eq!((a.0, b.0, c.0), (0, 1, 2));
+    }
+
+    #[test]
+    fn bidirectional_round_trip() {
+        let mut cb = Codebook::new();
+        let f = Feature::where_atom("status = ?");
+        let id = cb.intern(f.clone());
+        assert_eq!(cb.feature(id), &f);
+        assert_eq!(cb.get(&f), Some(id));
+        assert_eq!(cb.get(&Feature::select("nope")), None);
+    }
+
+    #[test]
+    fn class_distinguishes_same_text() {
+        let mut cb = Codebook::new();
+        let a = cb.intern(Feature::new(FeatureClass::Select, "x"));
+        let b = cb.intern(Feature::new(FeatureClass::GroupBy, "x"));
+        assert_ne!(a, b);
+        assert_eq!(cb.len(), 2);
+    }
+
+    #[test]
+    fn iter_yields_in_id_order() {
+        let mut cb = Codebook::new();
+        cb.intern(Feature::select("a"));
+        cb.intern(Feature::select("b"));
+        let collected: Vec<_> = cb.iter().map(|(id, f)| (id.0, f.text.clone())).collect();
+        assert_eq!(collected, vec![(0, "a".to_string()), (1, "b".to_string())]);
+    }
+}

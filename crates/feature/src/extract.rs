@@ -1,0 +1,173 @@
+//! Feature extraction: conjunctive query → feature set (paper §2.2).
+//!
+//! The extractor consumes the regularizer's [`ConjunctiveQuery`] branches
+//! and interns one feature per structural element. The base scheme is
+//! Aligon et al. (SELECT / FROM / WHERE); [`ExtractConfig::with_extensions`]
+//! additionally captures GROUP BY and ORDER BY elements à la Makiyama
+//! et al., which the paper cites as a richer alternative (§2.2).
+
+use crate::codebook::Codebook;
+use crate::feature::Feature;
+use crate::vector::QueryVector;
+use logr_sql::{ConjunctiveQuery, SelectItem};
+
+/// Extraction options.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Default)]
+pub struct ExtractConfig {
+    /// Capture ⟨expr, GROUPBY⟩ and ⟨expr `[DESC]`, ORDERBY⟩ features
+    /// (Makiyama-scheme extension). Off by default — the paper's
+    /// experiments use the plain Aligon scheme.
+    pub extensions: bool,
+}
+
+
+impl ExtractConfig {
+    /// Plain Aligon scheme.
+    pub fn aligon() -> Self {
+        ExtractConfig::default()
+    }
+
+    /// Aligon + GROUP BY / ORDER BY extension.
+    pub fn with_extensions() -> Self {
+        ExtractConfig { extensions: true }
+    }
+}
+
+/// Extract and intern the features of one conjunctive query.
+///
+/// Returns the query's sparse feature vector; new features are appended to
+/// `codebook`.
+pub fn extract_features(
+    query: &ConjunctiveQuery,
+    codebook: &mut Codebook,
+    config: ExtractConfig,
+) -> QueryVector {
+    let mut ids = Vec::with_capacity(
+        query.select.len() + query.tables.len() + query.conjuncts.len() + 4,
+    );
+
+    for item in &query.select {
+        let text = match item {
+            SelectItem::Wildcard => "*".to_string(),
+            SelectItem::QualifiedWildcard(name) => format!("{name}.*"),
+            // Aliases are presentation, not structure: drop them so
+            // `a AS x` and `a AS y` featurize identically.
+            SelectItem::Expr { expr, .. } => expr.to_string(),
+        };
+        ids.push(codebook.intern(Feature::select(text)));
+    }
+    for table in &query.tables {
+        ids.push(codebook.intern(Feature::from_table(table.clone())));
+    }
+    for conjunct in &query.conjuncts {
+        ids.push(codebook.intern(Feature::where_atom(conjunct.to_string())));
+    }
+    if config.extensions {
+        for g in &query.group_by {
+            ids.push(codebook.intern(Feature::new(
+                crate::feature::FeatureClass::GroupBy,
+                g.to_string(),
+            )));
+        }
+        for o in &query.order_by {
+            ids.push(codebook.intern(Feature::new(
+                crate::feature::FeatureClass::OrderBy,
+                o.to_string(),
+            )));
+        }
+    }
+
+    QueryVector::new(ids)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use logr_sql::{anonymize_statement, parse_select, regularize};
+
+    fn conjunctive(sql: &str) -> Vec<ConjunctiveQuery> {
+        let mut stmt = parse_select(sql).unwrap();
+        anonymize_statement(&mut stmt);
+        regularize(&stmt).unwrap().branches
+    }
+
+    #[test]
+    fn paper_example_has_six_features() {
+        // Example 1 of the paper.
+        let branches = conjunctive(
+            "SELECT _id, sms_type, _time FROM Messages WHERE status = ? AND transport_type = ?",
+        );
+        let mut cb = Codebook::new();
+        let v = extract_features(&branches[0], &mut cb, ExtractConfig::aligon());
+        assert_eq!(v.len(), 6);
+        let texts: Vec<String> = v.iter().map(|id| cb.feature(id).to_string()).collect();
+        assert!(texts.contains(&"⟨sms_type, SELECT⟩".to_string()));
+        assert!(texts.contains(&"⟨Messages, FROM⟩".to_string()));
+        assert!(texts.contains(&"⟨status = ?, WHERE⟩".to_string()));
+        assert!(texts.contains(&"⟨transport_type = ?, WHERE⟩".to_string()));
+    }
+
+    #[test]
+    fn shared_features_share_ids() {
+        let mut cb = Codebook::new();
+        let q1 = &conjunctive("SELECT _id FROM Messages WHERE status = ?")[0];
+        let q2 = &conjunctive("SELECT _time FROM Messages WHERE status = ?")[0];
+        let v1 = extract_features(q1, &mut cb, ExtractConfig::aligon());
+        let v2 = extract_features(q2, &mut cb, ExtractConfig::aligon());
+        // Messages + status=? shared; _id vs _time distinct.
+        assert_eq!(v1.intersection_size(&v2), 2);
+        assert_eq!(cb.len(), 4);
+    }
+
+    #[test]
+    fn aliases_do_not_change_features() {
+        let mut cb = Codebook::new();
+        let a = extract_features(
+            &conjunctive("SELECT a AS x FROM t")[0],
+            &mut cb,
+            ExtractConfig::aligon(),
+        );
+        let b = extract_features(
+            &conjunctive("SELECT a AS y FROM t")[0],
+            &mut cb,
+            ExtractConfig::aligon(),
+        );
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn extensions_capture_group_and_order() {
+        let mut cb = Codebook::new();
+        let q = &conjunctive("SELECT a FROM t GROUP BY a ORDER BY a DESC")[0];
+        let base = extract_features(q, &mut cb, ExtractConfig::aligon());
+        let ext = extract_features(q, &mut cb, ExtractConfig::with_extensions());
+        assert_eq!(base.len(), 2);
+        assert_eq!(ext.len(), 4);
+        assert!(ext.contains_all(&base));
+    }
+
+    #[test]
+    fn wildcards_featurize() {
+        let mut cb = Codebook::new();
+        let v = extract_features(&conjunctive("SELECT * FROM t")[0], &mut cb, ExtractConfig::aligon());
+        assert_eq!(v.len(), 2);
+        assert!(cb.get(&Feature::select("*")).is_some());
+    }
+
+    #[test]
+    fn commutative_queries_have_equal_vectors() {
+        let mut cb = Codebook::new();
+        let a = extract_features(
+            &conjunctive("SELECT a, b FROM t WHERE x = ? AND y = ?")[0],
+            &mut cb,
+            ExtractConfig::aligon(),
+        );
+        let b = extract_features(
+            &conjunctive("SELECT b, a FROM t WHERE y = ? AND x = ?")[0],
+            &mut cb,
+            ExtractConfig::aligon(),
+        );
+        assert_eq!(a, b);
+    }
+}

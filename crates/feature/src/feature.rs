@@ -1,0 +1,119 @@
+//! The Aligon et al. feature scheme (paper §2.2).
+//!
+//! Each feature is a structural query element tagged with the clause it
+//! appears in. Example 1 of the paper: `SELECT _id, sms_type, _time FROM
+//! Messages WHERE status=? AND transport_type=?` has six features —
+//! ⟨_id, SELECT⟩, ⟨sms_type, SELECT⟩, ⟨_time, SELECT⟩, ⟨Messages, FROM⟩,
+//! ⟨status=?, WHERE⟩ and ⟨transport_type=?, WHERE⟩.
+
+use std::fmt;
+
+/// The clause a feature was extracted from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum FeatureClass {
+    /// Projected column / expression.
+    Select,
+    /// Source table or derived table.
+    From,
+    /// Conjunctive WHERE atom.
+    Where,
+    /// GROUP BY expression (Makiyama-scheme extension, optional).
+    GroupBy,
+    /// ORDER BY key (Makiyama-scheme extension, optional).
+    OrderBy,
+}
+
+impl FeatureClass {
+    /// Short uppercase label used in feature rendering.
+    pub fn label(self) -> &'static str {
+        match self {
+            FeatureClass::Select => "SELECT",
+            FeatureClass::From => "FROM",
+            FeatureClass::Where => "WHERE",
+            FeatureClass::GroupBy => "GROUPBY",
+            FeatureClass::OrderBy => "ORDERBY",
+        }
+    }
+}
+
+impl fmt::Display for FeatureClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.label())
+    }
+}
+
+/// A single query feature: canonical text plus its clause class.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Feature {
+    /// Clause class. Ordered first so features sort by clause.
+    pub class: FeatureClass,
+    /// Canonical text (printed by the SQL printer, so two spellings of the
+    /// same atom coincide).
+    pub text: String,
+}
+
+impl Feature {
+    /// Construct a feature.
+    pub fn new(class: FeatureClass, text: impl Into<String>) -> Self {
+        Feature { class, text: text.into() }
+    }
+
+    /// ⟨column, SELECT⟩ convenience constructor.
+    pub fn select(text: impl Into<String>) -> Self {
+        Feature::new(FeatureClass::Select, text)
+    }
+
+    /// ⟨table, FROM⟩ convenience constructor.
+    pub fn from_table(text: impl Into<String>) -> Self {
+        Feature::new(FeatureClass::From, text)
+    }
+
+    /// ⟨atom, WHERE⟩ convenience constructor.
+    pub fn where_atom(text: impl Into<String>) -> Self {
+        Feature::new(FeatureClass::Where, text)
+    }
+}
+
+impl fmt::Display for Feature {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "⟨{}, {}⟩", self.text, self.class)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_matches_paper_notation() {
+        assert_eq!(Feature::select("_id").to_string(), "⟨_id, SELECT⟩");
+        assert_eq!(Feature::from_table("Messages").to_string(), "⟨Messages, FROM⟩");
+        assert_eq!(Feature::where_atom("status = ?").to_string(), "⟨status = ?, WHERE⟩");
+    }
+
+    #[test]
+    fn features_order_by_clause_then_text() {
+        let mut fs = [Feature::where_atom("a = ?"),
+            Feature::select("z"),
+            Feature::from_table("t"),
+            Feature::select("a")];
+        fs.sort();
+        assert_eq!(
+            fs.iter().map(|f| f.class).collect::<Vec<_>>(),
+            vec![
+                FeatureClass::Select,
+                FeatureClass::Select,
+                FeatureClass::From,
+                FeatureClass::Where
+            ]
+        );
+        assert_eq!(fs[0].text, "a");
+        assert_eq!(fs[1].text, "z");
+    }
+
+    #[test]
+    fn equality_is_class_sensitive() {
+        assert_ne!(Feature::select("x"), Feature::where_atom("x"));
+        assert_eq!(Feature::select("x"), Feature::select("x"));
+    }
+}

@@ -1,0 +1,263 @@
+//! Labeled binary datasets — the input shape of the itemset-summarization
+//! baselines (paper §8).
+//!
+//! Laserlight consumes multi-dimensional binary data augmented with a binary
+//! outcome attribute; MTV consumes plain binary transactions. Both are
+//! covered by a bag of (feature vector, label, multiplicity) rows.
+
+use crate::codebook::FeatureId;
+use crate::vector::QueryVector;
+use std::collections::HashMap;
+
+/// One distinct row of a labeled dataset.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LabeledRow {
+    /// The binary feature vector.
+    pub vector: QueryVector,
+    /// The augmented binary attribute (Laserlight's `v(t)`).
+    pub label: bool,
+    /// Multiplicity.
+    pub weight: u64,
+}
+
+/// A bag of labeled binary rows over a fixed feature universe.
+#[derive(Debug, Clone, Default)]
+pub struct LabeledDataset {
+    rows: Vec<LabeledRow>,
+    index: HashMap<(QueryVector, bool), usize>,
+    n_features: usize,
+    /// Human-readable names per feature id (optional; empty = unnamed).
+    feature_names: Vec<String>,
+}
+
+impl LabeledDataset {
+    /// Empty dataset over `n_features` features.
+    pub fn new(n_features: usize) -> Self {
+        LabeledDataset {
+            rows: Vec::new(),
+            index: HashMap::new(),
+            n_features,
+            feature_names: Vec::new(),
+        }
+    }
+
+    /// Attach feature names (length must match the universe).
+    ///
+    /// # Panics
+    /// Panics on length mismatch.
+    pub fn with_feature_names(mut self, names: Vec<String>) -> Self {
+        assert_eq!(names.len(), self.n_features, "one name per feature");
+        self.feature_names = names;
+        self
+    }
+
+    /// Add a row (merges with an identical existing row).
+    pub fn push(&mut self, vector: QueryVector, label: bool, weight: u64) {
+        if weight == 0 {
+            return;
+        }
+        if let Some(&last) = vector.ids().last() {
+            assert!(last.index() < self.n_features, "feature id outside universe");
+        }
+        if let Some(&i) = self.index.get(&(vector.clone(), label)) {
+            self.rows[i].weight += weight;
+            return;
+        }
+        self.index.insert((vector.clone(), label), self.rows.len());
+        self.rows.push(LabeledRow { vector, label, weight });
+    }
+
+    /// The distinct rows.
+    pub fn rows(&self) -> &[LabeledRow] {
+        &self.rows
+    }
+
+    /// Feature universe size.
+    pub fn n_features(&self) -> usize {
+        self.n_features
+    }
+
+    /// Name of a feature (empty string when unnamed).
+    pub fn feature_name(&self, f: FeatureId) -> &str {
+        self.feature_names.get(f.index()).map(String::as_str).unwrap_or("")
+    }
+
+    /// Total row count including multiplicities.
+    pub fn total(&self) -> u64 {
+        self.rows.iter().map(|r| r.weight).sum()
+    }
+
+    /// Number of distinct (vector, label) rows.
+    pub fn distinct(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Weighted fraction of rows with `label = true`.
+    pub fn label_rate(&self) -> f64 {
+        let total = self.total();
+        if total == 0 {
+            return 0.0;
+        }
+        let pos: u64 = self.rows.iter().filter(|r| r.label).map(|r| r.weight).sum();
+        pos as f64 / total as f64
+    }
+
+    /// Weighted support of a pattern (rows containing all its features).
+    pub fn support(&self, pattern: &QueryVector) -> u64 {
+        self.rows
+            .iter()
+            .filter(|r| r.vector.contains_all(pattern))
+            .map(|r| r.weight)
+            .sum()
+    }
+
+    /// Weighted label rate among rows containing the pattern; `None` when
+    /// no row matches.
+    pub fn label_rate_within(&self, pattern: &QueryVector) -> Option<f64> {
+        let mut matched = 0u64;
+        let mut pos = 0u64;
+        for r in &self.rows {
+            if r.vector.contains_all(pattern) {
+                matched += r.weight;
+                if r.label {
+                    pos += r.weight;
+                }
+            }
+        }
+        if matched == 0 {
+            None
+        } else {
+            Some(pos as f64 / matched as f64)
+        }
+    }
+
+    /// Per-feature marginal probabilities.
+    pub fn marginals(&self) -> Vec<f64> {
+        let total = self.total();
+        let mut counts = vec![0u64; self.n_features];
+        for r in &self.rows {
+            for f in r.vector.iter() {
+                counts[f.index()] += r.weight;
+            }
+        }
+        counts
+            .into_iter()
+            .map(|c| if total == 0 { 0.0 } else { c as f64 / total as f64 })
+            .collect()
+    }
+
+    /// Restrict to a subset of row indices (multiplicities preserved).
+    pub fn subset(&self, row_indices: &[usize]) -> LabeledDataset {
+        let mut out = LabeledDataset::new(self.n_features);
+        out.feature_names = self.feature_names.clone();
+        for &i in row_indices {
+            let r = &self.rows[i];
+            out.push(r.vector.clone(), r.label, r.weight);
+        }
+        out
+    }
+
+    /// View as an unlabeled [`crate::log::QueryLog`]-style bag: distinct
+    /// vectors with multiplicities (labels folded away). Used when feeding
+    /// the dataset to LogR's own machinery (naive encodings, clustering).
+    pub fn to_query_log(&self) -> crate::log::QueryLog {
+        let mut log = crate::log::QueryLog::new();
+        for r in &self.rows {
+            log.add_vector(r.vector.clone(), r.weight);
+        }
+        // Make the universe explicit even if high feature ids never occur.
+        if self.n_features > 0 {
+            log.reserve_universe(self.n_features);
+        }
+        log
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn qv(ids: &[u32]) -> QueryVector {
+        QueryVector::new(ids.iter().map(|&i| FeatureId(i)).collect())
+    }
+
+    fn sample() -> LabeledDataset {
+        let mut d = LabeledDataset::new(4);
+        d.push(qv(&[0, 1]), true, 3);
+        d.push(qv(&[0]), false, 2);
+        d.push(qv(&[2]), true, 1);
+        d
+    }
+
+    #[test]
+    fn totals_and_rates() {
+        let d = sample();
+        assert_eq!(d.total(), 6);
+        assert_eq!(d.distinct(), 3);
+        assert!((d.label_rate() - 4.0 / 6.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn push_merges_identical_rows() {
+        let mut d = sample();
+        d.push(qv(&[0, 1]), true, 2);
+        assert_eq!(d.distinct(), 3);
+        assert_eq!(d.total(), 8);
+        // Same vector, different label: separate row.
+        d.push(qv(&[0, 1]), false, 1);
+        assert_eq!(d.distinct(), 4);
+    }
+
+    #[test]
+    fn support_and_conditional_rate() {
+        let d = sample();
+        assert_eq!(d.support(&qv(&[0])), 5);
+        assert_eq!(d.label_rate_within(&qv(&[0])), Some(0.6));
+        assert_eq!(d.label_rate_within(&qv(&[0, 1])), Some(1.0));
+        assert_eq!(d.label_rate_within(&qv(&[3])), None);
+    }
+
+    #[test]
+    fn marginals_weighted() {
+        let d = sample();
+        let m = d.marginals();
+        assert!((m[0] - 5.0 / 6.0).abs() < 1e-12);
+        assert!((m[1] - 0.5).abs() < 1e-12);
+        assert_eq!(m[3], 0.0);
+    }
+
+    #[test]
+    fn subset_preserves_weights() {
+        let d = sample();
+        let s = d.subset(&[0, 2]);
+        assert_eq!(s.total(), 4);
+        assert_eq!(s.distinct(), 2);
+        assert_eq!(s.n_features(), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside universe")]
+    fn feature_outside_universe_panics() {
+        let mut d = LabeledDataset::new(2);
+        d.push(qv(&[5]), true, 1);
+    }
+
+    #[test]
+    fn to_query_log_folds_labels() {
+        let mut d = LabeledDataset::new(4);
+        d.push(qv(&[0, 1]), true, 1);
+        d.push(qv(&[0, 1]), false, 2);
+        let log = d.to_query_log();
+        assert_eq!(log.distinct_count(), 1);
+        assert_eq!(log.total_queries(), 3);
+        assert_eq!(log.num_features(), 4);
+    }
+
+    #[test]
+    fn feature_names_round_trip() {
+        let d = LabeledDataset::new(2)
+            .with_feature_names(vec!["cap=red".into(), "cap=blue".into()]);
+        assert_eq!(d.feature_name(FeatureId(1)), "cap=blue");
+        assert_eq!(d.feature_name(FeatureId(9)), "");
+    }
+}

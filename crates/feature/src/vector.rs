@@ -1,0 +1,205 @@
+//! Sparse binary feature vectors.
+//!
+//! A query is "a vector of its component features" (paper §2.3.1). Feature
+//! universes reach thousands of features while queries average ~15, so the
+//! canonical representation is a sorted, deduplicated id list. Containment
+//! (`b ⊆ q`, the core operation behind every marginal count) is a linear
+//! merge.
+
+use crate::codebook::FeatureId;
+
+/// A sorted, deduplicated set of feature ids — one query (or pattern) as a
+/// sparse binary vector.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
+pub struct QueryVector {
+    ids: Vec<FeatureId>,
+}
+
+impl QueryVector {
+    /// Build from arbitrary ids (sorts and dedups).
+    pub fn new(mut ids: Vec<FeatureId>) -> Self {
+        ids.sort_unstable();
+        ids.dedup();
+        QueryVector { ids }
+    }
+
+    /// The empty vector.
+    pub fn empty() -> Self {
+        QueryVector { ids: Vec::new() }
+    }
+
+    /// Number of set features.
+    pub fn len(&self) -> usize {
+        self.ids.len()
+    }
+
+    /// True if no features are set.
+    pub fn is_empty(&self) -> bool {
+        self.ids.is_empty()
+    }
+
+    /// The sorted id slice.
+    pub fn ids(&self) -> &[FeatureId] {
+        &self.ids
+    }
+
+    /// Membership test (binary search).
+    pub fn contains(&self, id: FeatureId) -> bool {
+        self.ids.binary_search(&id).is_ok()
+    }
+
+    /// Pattern containment `other ⊆ self` — every id of `other` present here.
+    pub fn contains_all(&self, other: &QueryVector) -> bool {
+        if other.ids.len() > self.ids.len() {
+            return false;
+        }
+        let mut it = self.ids.iter();
+        'outer: for needle in &other.ids {
+            for id in it.by_ref() {
+                if id == needle {
+                    continue 'outer;
+                }
+                if id > needle {
+                    return false;
+                }
+            }
+            return false;
+        }
+        true
+    }
+
+    /// Size of the intersection with `other` (linear merge).
+    pub fn intersection_size(&self, other: &QueryVector) -> usize {
+        let (mut i, mut j, mut n) = (0, 0, 0);
+        while i < self.ids.len() && j < other.ids.len() {
+            match self.ids[i].cmp(&other.ids[j]) {
+                std::cmp::Ordering::Less => i += 1,
+                std::cmp::Ordering::Greater => j += 1,
+                std::cmp::Ordering::Equal => {
+                    n += 1;
+                    i += 1;
+                    j += 1;
+                }
+            }
+        }
+        n
+    }
+
+    /// Size of the union with `other`.
+    pub fn union_size(&self, other: &QueryVector) -> usize {
+        self.ids.len() + other.ids.len() - self.intersection_size(other)
+    }
+
+    /// Size of the symmetric difference — the Hamming distance between the
+    /// two binary vectors.
+    pub fn symmetric_difference_size(&self, other: &QueryVector) -> usize {
+        self.union_size(other) - self.intersection_size(other)
+    }
+
+    /// New vector holding the union of both id sets.
+    pub fn union(&self, other: &QueryVector) -> QueryVector {
+        let mut ids = Vec::with_capacity(self.ids.len() + other.ids.len());
+        ids.extend_from_slice(&self.ids);
+        ids.extend_from_slice(&other.ids);
+        QueryVector::new(ids)
+    }
+
+    /// New vector holding the intersection of both id sets.
+    pub fn intersection(&self, other: &QueryVector) -> QueryVector {
+        let mut ids = Vec::new();
+        let (mut i, mut j) = (0, 0);
+        while i < self.ids.len() && j < other.ids.len() {
+            match self.ids[i].cmp(&other.ids[j]) {
+                std::cmp::Ordering::Less => i += 1,
+                std::cmp::Ordering::Greater => j += 1,
+                std::cmp::Ordering::Equal => {
+                    ids.push(self.ids[i]);
+                    i += 1;
+                    j += 1;
+                }
+            }
+        }
+        QueryVector { ids }
+    }
+
+    /// Iterate over set feature ids.
+    pub fn iter(&self) -> impl Iterator<Item = FeatureId> + '_ {
+        self.ids.iter().copied()
+    }
+}
+
+impl FromIterator<FeatureId> for QueryVector {
+    fn from_iter<T: IntoIterator<Item = FeatureId>>(iter: T) -> Self {
+        QueryVector::new(iter.into_iter().collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn qv(ids: &[u32]) -> QueryVector {
+        QueryVector::new(ids.iter().map(|&i| FeatureId(i)).collect())
+    }
+
+    #[test]
+    fn construction_sorts_and_dedups() {
+        let v = qv(&[3, 1, 2, 1, 3]);
+        assert_eq!(v.len(), 3);
+        assert_eq!(v.ids().iter().map(|i| i.0).collect::<Vec<_>>(), vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn contains_and_contains_all() {
+        let v = qv(&[1, 3, 5, 7]);
+        assert!(v.contains(FeatureId(5)));
+        assert!(!v.contains(FeatureId(4)));
+        assert!(v.contains_all(&qv(&[1, 7])));
+        assert!(v.contains_all(&qv(&[])));
+        assert!(!v.contains_all(&qv(&[1, 2])));
+        assert!(!qv(&[1]).contains_all(&v));
+        // Reflexive.
+        assert!(v.contains_all(&v));
+    }
+
+    #[test]
+    fn set_operation_sizes() {
+        let a = qv(&[1, 2, 3, 4]);
+        let b = qv(&[3, 4, 5]);
+        assert_eq!(a.intersection_size(&b), 2);
+        assert_eq!(a.union_size(&b), 5);
+        assert_eq!(a.symmetric_difference_size(&b), 3);
+    }
+
+    #[test]
+    fn union_and_intersection_vectors() {
+        let a = qv(&[1, 2]);
+        let b = qv(&[2, 3]);
+        assert_eq!(a.union(&b), qv(&[1, 2, 3]));
+        assert_eq!(a.intersection(&b), qv(&[2]));
+        assert_eq!(a.intersection(&qv(&[9])), qv(&[]));
+    }
+
+    #[test]
+    fn empty_vector_behaviour() {
+        let e = QueryVector::empty();
+        assert!(e.is_empty());
+        assert_eq!(e.union_size(&e), 0);
+        assert!(qv(&[1]).contains_all(&e));
+        assert!(!e.contains_all(&qv(&[1])));
+    }
+
+    #[test]
+    fn hamming_distance_symmetry() {
+        let a = qv(&[1, 2, 3]);
+        let b = qv(&[2, 4]);
+        assert_eq!(a.symmetric_difference_size(&b), b.symmetric_difference_size(&a));
+        assert_eq!(a.symmetric_difference_size(&a), 0);
+    }
+
+    #[test]
+    fn from_iterator() {
+        let v: QueryVector = [FeatureId(2), FeatureId(0)].into_iter().collect();
+        assert_eq!(v, qv(&[0, 2]));
+    }
+}

@@ -1,0 +1,322 @@
+//! Symmetric eigensolvers.
+//!
+//! Spectral clustering (paper §6.1) needs the top-K eigenvectors of the
+//! normalized affinity matrix. Two solvers are provided:
+//!
+//! * [`jacobi_eigen`] — classic cyclic Jacobi rotations; `O(n³)` per sweep but
+//!   bulletproof. Used for small matrices and as the reference in tests.
+//! * [`lanczos_topk`] — Lanczos iteration with full reorthogonalization for
+//!   the leading eigenpairs of large symmetric matrices; `O(k·n²)`, which is
+//!   what makes spectral clustering on ~1700 distinct queries tractable.
+
+use crate::matrix::{axpy, dot, norm, scale, Matrix};
+
+/// An eigenvalue with its (unit-norm) eigenvector.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EigenPair {
+    /// The eigenvalue.
+    pub value: f64,
+    /// The unit-norm eigenvector.
+    pub vector: Vec<f64>,
+}
+
+/// Full eigendecomposition of a symmetric matrix via cyclic Jacobi rotations.
+///
+/// Returns all eigenpairs sorted by **descending** eigenvalue.
+///
+/// # Panics
+/// Panics if `a` is not square.
+pub fn jacobi_eigen(a: &Matrix) -> Vec<EigenPair> {
+    let n = a.rows();
+    assert_eq!(a.cols(), n, "jacobi_eigen requires a square matrix");
+    if n == 0 {
+        return Vec::new();
+    }
+
+    let mut m = a.clone();
+    let mut v = Matrix::identity(n);
+    let max_sweeps = 64;
+
+    for _ in 0..max_sweeps {
+        let mut off = 0.0;
+        for i in 0..n {
+            for j in (i + 1)..n {
+                off += m[(i, j)] * m[(i, j)];
+            }
+        }
+        if off.sqrt() < 1e-12 {
+            break;
+        }
+        for p in 0..n {
+            for q in (p + 1)..n {
+                let apq = m[(p, q)];
+                if apq.abs() < 1e-300 {
+                    continue;
+                }
+                let app = m[(p, p)];
+                let aqq = m[(q, q)];
+                let theta = (aqq - app) / (2.0 * apq);
+                // Stable tangent of the rotation angle.
+                let t = theta.signum() / (theta.abs() + (theta * theta + 1.0).sqrt());
+                let c = 1.0 / (t * t + 1.0).sqrt();
+                let s = t * c;
+
+                // Apply the rotation to rows/cols p and q of M.
+                for k in 0..n {
+                    let mkp = m[(k, p)];
+                    let mkq = m[(k, q)];
+                    m[(k, p)] = c * mkp - s * mkq;
+                    m[(k, q)] = s * mkp + c * mkq;
+                }
+                for k in 0..n {
+                    let mpk = m[(p, k)];
+                    let mqk = m[(q, k)];
+                    m[(p, k)] = c * mpk - s * mqk;
+                    m[(q, k)] = s * mpk + c * mqk;
+                }
+                // Accumulate the rotation into the eigenvector matrix.
+                for k in 0..n {
+                    let vkp = v[(k, p)];
+                    let vkq = v[(k, q)];
+                    v[(k, p)] = c * vkp - s * vkq;
+                    v[(k, q)] = s * vkp + c * vkq;
+                }
+            }
+        }
+    }
+
+    let mut pairs: Vec<EigenPair> = (0..n)
+        .map(|i| EigenPair { value: m[(i, i)], vector: v.col(i) })
+        .collect();
+    pairs.sort_by(|a, b| b.value.total_cmp(&a.value));
+    pairs
+}
+
+/// Leading `k` eigenpairs of a symmetric matrix via Lanczos iteration with
+/// full reorthogonalization.
+///
+/// "Leading" means largest eigenvalue first. For spectral clustering the input
+/// is the normalized affinity `D^{-1/2} A D^{-1/2}`, whose top eigenvectors
+/// are the bottom eigenvectors of the normalized Laplacian.
+///
+/// `seed` makes the (random) starting vector deterministic.
+///
+/// # Panics
+/// Panics if `a` is not square or `k == 0`.
+pub fn lanczos_topk(a: &Matrix, k: usize, seed: u64) -> Vec<EigenPair> {
+    let n = a.rows();
+    assert_eq!(a.cols(), n, "lanczos_topk requires a square matrix");
+    assert!(k > 0, "k must be positive");
+    let k = k.min(n);
+    if n == 0 {
+        return Vec::new();
+    }
+    // For tiny problems, fall back to the dense reference solver.
+    if n <= 32 {
+        let mut pairs = jacobi_eigen(a);
+        pairs.truncate(k);
+        return pairs;
+    }
+
+    // Krylov dimension: generous extra room so edge-of-spectrum pairs
+    // converge to high accuracy even on clustered spectra.
+    let m = (4 * k + 40).min(n);
+
+    // Deterministic pseudo-random start vector (splitmix64).
+    let mut state = seed.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut next = || {
+        state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z = z ^ (z >> 31);
+        (z as f64 / u64::MAX as f64) - 0.5
+    };
+
+    let mut q: Vec<Vec<f64>> = Vec::with_capacity(m + 1);
+    let mut q0: Vec<f64> = (0..n).map(|_| next()).collect();
+    let q0_norm = norm(&q0);
+    scale(&mut q0, 1.0 / q0_norm);
+    q.push(q0);
+
+    let mut alphas = Vec::with_capacity(m);
+    let mut betas = Vec::with_capacity(m);
+
+    for j in 0..m {
+        let mut w = a.matvec(&q[j]);
+        let alpha = dot(&w, &q[j]);
+        alphas.push(alpha);
+        axpy(&mut w, -alpha, &q[j]);
+        if j > 0 {
+            let beta_prev: f64 = betas[j - 1];
+            axpy(&mut w, -beta_prev, &q[j - 1]);
+        }
+        // Full reorthogonalization: twice-is-enough Gram-Schmidt.
+        for _ in 0..2 {
+            for qi in &q {
+                let c = dot(&w, qi);
+                axpy(&mut w, -c, qi);
+            }
+        }
+        let beta = norm(&w);
+        if beta < 1e-12 || j + 1 == m {
+            betas.push(beta);
+            break;
+        }
+        betas.push(beta);
+        scale(&mut w, 1.0 / beta);
+        q.push(w);
+    }
+
+    let steps = alphas.len();
+    // Eigendecomposition of the small tridiagonal via Jacobi (steps ≤ m ≪ n).
+    let mut t = Matrix::zeros(steps, steps);
+    for i in 0..steps {
+        t[(i, i)] = alphas[i];
+        if i + 1 < steps {
+            t[(i, i + 1)] = betas[i];
+            t[(i + 1, i)] = betas[i];
+        }
+    }
+    let tri_pairs = jacobi_eigen(&t);
+
+    // Lift Ritz vectors back: v = Q · y.
+    tri_pairs
+        .into_iter()
+        .take(k)
+        .map(|pair| {
+            let mut vec = vec![0.0; n];
+            for (coeff, qi) in pair.vector.iter().zip(&q) {
+                axpy(&mut vec, *coeff, qi);
+            }
+            let nv = norm(&vec);
+            if nv > 0.0 {
+                scale(&mut vec, 1.0 / nv);
+            }
+            EigenPair { value: pair.value, vector: vec }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn eigen_residual(a: &Matrix, p: &EigenPair) -> f64 {
+        let av = a.matvec(&p.vector);
+        av.iter()
+            .zip(&p.vector)
+            .map(|(avi, vi)| (avi - p.value * vi).abs())
+            .fold(0.0, f64::max)
+    }
+
+    #[test]
+    fn jacobi_diagonal_matrix() {
+        let a = Matrix::from_rows(&[
+            vec![3.0, 0.0, 0.0],
+            vec![0.0, 1.0, 0.0],
+            vec![0.0, 0.0, 2.0],
+        ]);
+        let pairs = jacobi_eigen(&a);
+        let values: Vec<f64> = pairs.iter().map(|p| p.value).collect();
+        assert!((values[0] - 3.0).abs() < 1e-10);
+        assert!((values[1] - 2.0).abs() < 1e-10);
+        assert!((values[2] - 1.0).abs() < 1e-10);
+    }
+
+    #[test]
+    fn jacobi_known_2x2() {
+        // Eigenvalues of [[2,1],[1,2]] are 3 and 1.
+        let a = Matrix::from_rows(&[vec![2.0, 1.0], vec![1.0, 2.0]]);
+        let pairs = jacobi_eigen(&a);
+        assert!((pairs[0].value - 3.0).abs() < 1e-10);
+        assert!((pairs[1].value - 1.0).abs() < 1e-10);
+        for p in &pairs {
+            assert!(eigen_residual(&a, p) < 1e-10);
+        }
+    }
+
+    #[test]
+    fn jacobi_eigenvectors_orthonormal() {
+        let a = Matrix::from_rows(&[
+            vec![4.0, 1.0, 0.5],
+            vec![1.0, 3.0, 0.25],
+            vec![0.5, 0.25, 2.0],
+        ]);
+        let pairs = jacobi_eigen(&a);
+        for i in 0..3 {
+            assert!((norm(&pairs[i].vector) - 1.0).abs() < 1e-9);
+            for j in (i + 1)..3 {
+                assert!(dot(&pairs[i].vector, &pairs[j].vector).abs() < 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn jacobi_trace_preserved() {
+        let a = Matrix::from_rows(&[
+            vec![5.0, 2.0, 1.0, 0.0],
+            vec![2.0, 4.0, 0.5, 0.1],
+            vec![1.0, 0.5, 3.0, 0.2],
+            vec![0.0, 0.1, 0.2, 2.0],
+        ]);
+        let pairs = jacobi_eigen(&a);
+        let sum: f64 = pairs.iter().map(|p| p.value).sum();
+        assert!((sum - 14.0).abs() < 1e-9);
+    }
+
+    fn random_spd(n: usize, seed: u64) -> Matrix {
+        // Deterministic SPD matrix: B·Bᵀ + n·I from a cheap LCG.
+        let mut state = seed;
+        let mut next = || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            ((state >> 33) as f64 / (1u64 << 31) as f64) - 0.5
+        };
+        let b = Matrix::from_vec(n, n, (0..n * n).map(|_| next()).collect());
+        let mut g = b.outer_gram();
+        for i in 0..n {
+            g[(i, i)] += n as f64;
+        }
+        g
+    }
+
+    #[test]
+    fn lanczos_matches_jacobi_on_medium_matrix() {
+        let a = random_spd(60, 7);
+        let top = lanczos_topk(&a, 4, 42);
+        let full = jacobi_eigen(&a);
+        for (l, j) in top.iter().zip(full.iter()) {
+            assert!(
+                (l.value - j.value).abs() < 1e-6,
+                "lanczos {} vs jacobi {}",
+                l.value,
+                j.value
+            );
+        }
+    }
+
+    #[test]
+    fn lanczos_residuals_small() {
+        let a = random_spd(80, 3);
+        for p in lanczos_topk(&a, 5, 9) {
+            let tol = 1e-7 * (1.0 + p.value.abs());
+            let res = eigen_residual(&a, &p);
+            assert!(res < tol, "residual {res} too large for λ={}", p.value);
+        }
+    }
+
+    #[test]
+    fn lanczos_small_matrix_falls_back() {
+        let a = Matrix::from_rows(&[vec![2.0, 1.0], vec![1.0, 2.0]]);
+        let pairs = lanczos_topk(&a, 1, 0);
+        assert_eq!(pairs.len(), 1);
+        assert!((pairs[0].value - 3.0).abs() < 1e-10);
+    }
+
+    #[test]
+    fn lanczos_k_clamped_to_n() {
+        let a = random_spd(40, 11);
+        let pairs = lanczos_topk(&a, 100, 5);
+        assert!(pairs.len() <= 40);
+    }
+}

@@ -1,0 +1,31 @@
+//! Numeric substrate for LogR.
+//!
+//! The LogR paper leans on three pieces of numeric machinery that are not part
+//! of the Rust standard library:
+//!
+//! * **dense linear algebra** — spectral clustering needs an affinity matrix,
+//!   a normalized graph Laplacian, and its leading eigenvectors
+//!   ([`matrix`], [`eigen`], [`solve`]);
+//! * **affine projections** — sampling the space of distributions admitted by
+//!   an encoding (Appendix C of the paper) projects randomly drawn
+//!   distributions onto the constraint hyperplane `{x | Ax = b}`
+//!   ([`projection`]);
+//! * **information-theoretic measures** — entropies, KL divergence, and
+//!   binary entropies show up in every fidelity measure the paper defines
+//!   ([`stats`]).
+//!
+//! Everything here is deliberately dependency-free and single-threaded so the
+//! runtime comparisons in the reproduction harness measure algorithms, not
+//! BLAS backends.
+
+pub mod eigen;
+pub mod matrix;
+pub mod projection;
+pub mod solve;
+pub mod stats;
+
+pub use eigen::{jacobi_eigen, lanczos_topk, EigenPair};
+pub use matrix::Matrix;
+pub use projection::{project_onto_affine, project_onto_simplex_clip, sample_constrained};
+pub use solve::{cholesky_solve, invert_spd, lu_solve};
+pub use stats::{binary_entropy, entropy, kl_divergence, xlogx};

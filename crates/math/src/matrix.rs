@@ -1,0 +1,370 @@
+//! A minimal dense, row-major `f64` matrix.
+//!
+//! Sized for the reproduction workloads: spectral clustering operates on the
+//! affinity matrix of *distinct* queries (≈600–1700 rows), so an `O(n²)`
+//! dense representation is the right tool. No SIMD, no blocking — clarity
+//! first, and the eigensolvers in [`crate::eigen`] dominate runtime anyway.
+
+use std::fmt;
+use std::ops::{Index, IndexMut};
+
+/// Dense row-major matrix of `f64`.
+#[derive(Clone, PartialEq)]
+pub struct Matrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<f64>,
+}
+
+impl Matrix {
+    /// Create a `rows × cols` matrix filled with zeros.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Matrix { rows, cols, data: vec![0.0; rows * cols] }
+    }
+
+    /// Create the `n × n` identity matrix.
+    pub fn identity(n: usize) -> Self {
+        let mut m = Matrix::zeros(n, n);
+        for i in 0..n {
+            m[(i, i)] = 1.0;
+        }
+        m
+    }
+
+    /// Build a matrix from a slice of rows. All rows must have equal length.
+    ///
+    /// # Panics
+    /// Panics if rows are ragged.
+    pub fn from_rows(rows: &[Vec<f64>]) -> Self {
+        let r = rows.len();
+        let c = rows.first().map_or(0, Vec::len);
+        let mut data = Vec::with_capacity(r * c);
+        for row in rows {
+            assert_eq!(row.len(), c, "ragged rows in Matrix::from_rows");
+            data.extend_from_slice(row);
+        }
+        Matrix { rows: r, cols: c, data }
+    }
+
+    /// Build a matrix from a flat row-major buffer.
+    ///
+    /// # Panics
+    /// Panics if `data.len() != rows * cols`.
+    pub fn from_vec(rows: usize, cols: usize, data: Vec<f64>) -> Self {
+        assert_eq!(data.len(), rows * cols, "buffer size mismatch");
+        Matrix { rows, cols, data }
+    }
+
+    /// Number of rows.
+    #[inline]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    #[inline]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Borrow row `i` as a slice.
+    #[inline]
+    pub fn row(&self, i: usize) -> &[f64] {
+        &self.data[i * self.cols..(i + 1) * self.cols]
+    }
+
+    /// Mutably borrow row `i` as a slice.
+    #[inline]
+    pub fn row_mut(&mut self, i: usize) -> &mut [f64] {
+        &mut self.data[i * self.cols..(i + 1) * self.cols]
+    }
+
+    /// Copy of column `j`.
+    pub fn col(&self, j: usize) -> Vec<f64> {
+        (0..self.rows).map(|i| self[(i, j)]).collect()
+    }
+
+    /// The underlying row-major buffer.
+    pub fn as_slice(&self) -> &[f64] {
+        &self.data
+    }
+
+    /// Matrix transpose.
+    pub fn transpose(&self) -> Matrix {
+        let mut t = Matrix::zeros(self.cols, self.rows);
+        for i in 0..self.rows {
+            for j in 0..self.cols {
+                t[(j, i)] = self[(i, j)];
+            }
+        }
+        t
+    }
+
+    /// Matrix–vector product `A·x`.
+    ///
+    /// # Panics
+    /// Panics if `x.len() != self.cols()`.
+    pub fn matvec(&self, x: &[f64]) -> Vec<f64> {
+        assert_eq!(x.len(), self.cols, "matvec dimension mismatch");
+        let mut y = vec![0.0; self.rows];
+        for (i, yi) in y.iter_mut().enumerate() {
+            let row = self.row(i);
+            *yi = dot(row, x);
+        }
+        y
+    }
+
+    /// Matrix–matrix product `A·B`.
+    ///
+    /// # Panics
+    /// Panics if `self.cols() != b.rows()`.
+    pub fn matmul(&self, b: &Matrix) -> Matrix {
+        assert_eq!(self.cols, b.rows, "matmul dimension mismatch");
+        let mut out = Matrix::zeros(self.rows, b.cols);
+        // ikj loop order: stream through B's rows for cache friendliness.
+        for i in 0..self.rows {
+            for k in 0..self.cols {
+                let aik = self[(i, k)];
+                if aik == 0.0 {
+                    continue;
+                }
+                let brow = b.row(k);
+                let orow = out.row_mut(i);
+                for (o, &bv) in orow.iter_mut().zip(brow) {
+                    *o += aik * bv;
+                }
+            }
+        }
+        out
+    }
+
+    /// `Aᵀ·A` without materializing the transpose.
+    pub fn gram(&self) -> Matrix {
+        let mut g = Matrix::zeros(self.cols, self.cols);
+        for i in 0..self.rows {
+            let row = self.row(i);
+            for a in 0..self.cols {
+                let ra = row[a];
+                if ra == 0.0 {
+                    continue;
+                }
+                for b in a..self.cols {
+                    g[(a, b)] += ra * row[b];
+                }
+            }
+        }
+        for a in 0..self.cols {
+            for b in 0..a {
+                g[(a, b)] = g[(b, a)];
+            }
+        }
+        g
+    }
+
+    /// `A·Aᵀ` without materializing the transpose.
+    pub fn outer_gram(&self) -> Matrix {
+        let mut g = Matrix::zeros(self.rows, self.rows);
+        for a in 0..self.rows {
+            for b in a..self.rows {
+                let v = dot(self.row(a), self.row(b));
+                g[(a, b)] = v;
+                g[(b, a)] = v;
+            }
+        }
+        g
+    }
+
+    /// Maximum absolute asymmetry `max |A - Aᵀ|`; 0 for symmetric matrices.
+    pub fn asymmetry(&self) -> f64 {
+        let mut worst = 0.0f64;
+        for i in 0..self.rows {
+            for j in (i + 1)..self.cols.min(self.rows) {
+                worst = worst.max((self[(i, j)] - self[(j, i)]).abs());
+            }
+        }
+        worst
+    }
+
+    /// Frobenius norm.
+    pub fn frobenius_norm(&self) -> f64 {
+        self.data.iter().map(|v| v * v).sum::<f64>().sqrt()
+    }
+}
+
+/// Dot product of equal-length slices.
+///
+/// # Panics
+/// Panics if lengths differ.
+#[inline]
+pub fn dot(a: &[f64], b: &[f64]) -> f64 {
+    assert_eq!(a.len(), b.len(), "dot length mismatch");
+    a.iter().zip(b).map(|(x, y)| x * y).sum()
+}
+
+/// Euclidean norm of a slice.
+#[inline]
+pub fn norm(a: &[f64]) -> f64 {
+    dot(a, a).sqrt()
+}
+
+/// Scale a vector in place.
+#[inline]
+pub fn scale(a: &mut [f64], s: f64) {
+    for v in a {
+        *v *= s;
+    }
+}
+
+/// `a ← a + s·b`.
+///
+/// # Panics
+/// Panics if lengths differ.
+#[inline]
+pub fn axpy(a: &mut [f64], s: f64, b: &[f64]) {
+    assert_eq!(a.len(), b.len(), "axpy length mismatch");
+    for (x, y) in a.iter_mut().zip(b) {
+        *x += s * y;
+    }
+}
+
+impl Index<(usize, usize)> for Matrix {
+    type Output = f64;
+    #[inline]
+    fn index(&self, (i, j): (usize, usize)) -> &f64 {
+        &self.data[i * self.cols + j]
+    }
+}
+
+impl IndexMut<(usize, usize)> for Matrix {
+    #[inline]
+    fn index_mut(&mut self, (i, j): (usize, usize)) -> &mut f64 {
+        &mut self.data[i * self.cols + j]
+    }
+}
+
+impl fmt::Debug for Matrix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "Matrix {}x{} [", self.rows, self.cols)?;
+        for i in 0..self.rows.min(8) {
+            write!(f, "  [")?;
+            for j in 0..self.cols.min(8) {
+                write!(f, "{:9.4} ", self[(i, j)])?;
+            }
+            writeln!(f, "{}]", if self.cols > 8 { "…" } else { "" })?;
+        }
+        if self.rows > 8 {
+            writeln!(f, "  …")?;
+        }
+        write!(f, "]")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zeros_and_identity() {
+        let z = Matrix::zeros(2, 3);
+        assert_eq!(z.rows(), 2);
+        assert_eq!(z.cols(), 3);
+        assert!(z.as_slice().iter().all(|&v| v == 0.0));
+
+        let i = Matrix::identity(3);
+        assert_eq!(i[(0, 0)], 1.0);
+        assert_eq!(i[(0, 1)], 0.0);
+        assert_eq!(i[(2, 2)], 1.0);
+    }
+
+    #[test]
+    fn from_rows_round_trip() {
+        let m = Matrix::from_rows(&[vec![1.0, 2.0], vec![3.0, 4.0]]);
+        assert_eq!(m[(0, 1)], 2.0);
+        assert_eq!(m[(1, 0)], 3.0);
+        assert_eq!(m.row(1), &[3.0, 4.0]);
+        assert_eq!(m.col(0), vec![1.0, 3.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "ragged")]
+    fn from_rows_rejects_ragged() {
+        Matrix::from_rows(&[vec![1.0], vec![1.0, 2.0]]);
+    }
+
+    #[test]
+    fn transpose_involution() {
+        let m = Matrix::from_rows(&[vec![1.0, 2.0, 3.0], vec![4.0, 5.0, 6.0]]);
+        let t = m.transpose();
+        assert_eq!(t.rows(), 3);
+        assert_eq!(t[(2, 1)], 6.0);
+        assert_eq!(t.transpose(), m);
+    }
+
+    #[test]
+    fn matvec_matches_hand_computation() {
+        let m = Matrix::from_rows(&[vec![1.0, 2.0], vec![3.0, 4.0]]);
+        assert_eq!(m.matvec(&[1.0, 1.0]), vec![3.0, 7.0]);
+        assert_eq!(m.matvec(&[2.0, -1.0]), vec![0.0, 2.0]);
+    }
+
+    #[test]
+    fn matmul_identity_is_noop() {
+        let m = Matrix::from_rows(&[vec![1.0, 2.0], vec![3.0, 4.0]]);
+        assert_eq!(m.matmul(&Matrix::identity(2)), m);
+        assert_eq!(Matrix::identity(2).matmul(&m), m);
+    }
+
+    #[test]
+    fn matmul_matches_hand_computation() {
+        let a = Matrix::from_rows(&[vec![1.0, 2.0], vec![3.0, 4.0]]);
+        let b = Matrix::from_rows(&[vec![5.0, 6.0], vec![7.0, 8.0]]);
+        let c = a.matmul(&b);
+        assert_eq!(c[(0, 0)], 19.0);
+        assert_eq!(c[(0, 1)], 22.0);
+        assert_eq!(c[(1, 0)], 43.0);
+        assert_eq!(c[(1, 1)], 50.0);
+    }
+
+    #[test]
+    fn gram_equals_explicit_transpose_product() {
+        let a = Matrix::from_rows(&[vec![1.0, 2.0, 0.5], vec![3.0, -4.0, 1.0]]);
+        let g = a.gram();
+        let explicit = a.transpose().matmul(&a);
+        for i in 0..3 {
+            for j in 0..3 {
+                assert!((g[(i, j)] - explicit[(i, j)]).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn outer_gram_equals_explicit_product() {
+        let a = Matrix::from_rows(&[vec![1.0, 2.0, 0.5], vec![3.0, -4.0, 1.0]]);
+        let g = a.outer_gram();
+        let explicit = a.matmul(&a.transpose());
+        for i in 0..2 {
+            for j in 0..2 {
+                assert!((g[(i, j)] - explicit[(i, j)]).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn vector_helpers() {
+        assert_eq!(dot(&[1.0, 2.0], &[3.0, 4.0]), 11.0);
+        assert!((norm(&[3.0, 4.0]) - 5.0).abs() < 1e-12);
+        let mut v = vec![1.0, 2.0];
+        scale(&mut v, 2.0);
+        assert_eq!(v, vec![2.0, 4.0]);
+        axpy(&mut v, 0.5, &[2.0, 2.0]);
+        assert_eq!(v, vec![3.0, 5.0]);
+    }
+
+    #[test]
+    fn asymmetry_detects_nonsymmetric() {
+        let sym = Matrix::from_rows(&[vec![1.0, 2.0], vec![2.0, 5.0]]);
+        assert_eq!(sym.asymmetry(), 0.0);
+        let asym = Matrix::from_rows(&[vec![1.0, 2.0], vec![3.0, 5.0]]);
+        assert!(asym.asymmetry() > 0.9);
+    }
+}

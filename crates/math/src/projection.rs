@@ -1,0 +1,167 @@
+//! Projections used by the Ω_E distribution sampler (paper Appendix C.2).
+//!
+//! A randomly drawn distribution over pattern-equivalence classes almost
+//! never satisfies the marginal constraints `A·x = b` derived from an
+//! encoding, so the paper projects each sample onto the constraint
+//! hyperplane. We implement the Euclidean projection onto the affine subspace
+//! in closed form (`x − Aᵀ(AAᵀ)⁻¹(Ax − b)`), then handle the simplex
+//! constraints (`x ≥ 0`, `Σx = 1`) by clipping and renormalizing, alternating
+//! the two a few times. Whenever the clip is inactive this *is* the paper's
+//! minimum-distance projection; when it is active, alternating projections
+//! converge to a feasible nearby point, which is all the sampler needs.
+
+use crate::matrix::Matrix;
+use crate::solve::{cholesky_solve, SolveError};
+
+/// Euclidean projection of `x` onto the affine subspace `{y | A·y = b}`.
+///
+/// Rows of `A` must be linearly independent (they are in LogR's usage: one
+/// row per pattern plus the normalization row). Returns an error if `A·Aᵀ`
+/// is singular.
+pub fn project_onto_affine(a: &Matrix, b: &[f64], x: &[f64]) -> Result<Vec<f64>, SolveError> {
+    if a.cols() != x.len() || a.rows() != b.len() {
+        return Err(SolveError::DimensionMismatch);
+    }
+    // Residual r = A·x − b.
+    let ax = a.matvec(x);
+    let r: Vec<f64> = ax.iter().zip(b).map(|(axi, bi)| axi - bi).collect();
+    // Solve (A·Aᵀ)·λ = r, with a tiny ridge for near-duplicate rows.
+    let mut gram = a.outer_gram();
+    for i in 0..gram.rows() {
+        gram[(i, i)] += 1e-12;
+    }
+    let lambda = cholesky_solve(&gram, &r)?;
+    // y = x − Aᵀ·λ.
+    let mut y = x.to_vec();
+    for (i, li) in lambda.iter().enumerate() {
+        let row = a.row(i);
+        for (yj, &aij) in y.iter_mut().zip(row) {
+            *yj -= li * aij;
+        }
+    }
+    Ok(y)
+}
+
+/// Clip negative entries to zero and renormalize to sum 1.
+///
+/// Returns `false` (leaving `x` unspecified but finite) when everything
+/// clipped to zero.
+pub fn project_onto_simplex_clip(x: &mut [f64]) -> bool {
+    let mut total = 0.0;
+    for v in x.iter_mut() {
+        if *v < 0.0 || !v.is_finite() {
+            *v = 0.0;
+        }
+        total += *v;
+    }
+    if total <= 0.0 {
+        return false;
+    }
+    for v in x.iter_mut() {
+        *v /= total;
+    }
+    true
+}
+
+/// Alternate between the affine projection and the simplex clip until the
+/// constraint residual is below `tol` (or `max_iters` passes).
+///
+/// Returns the feasible(-ish) point and the final max-abs residual on
+/// `A·x = b`. The normalization constraint should be included as a row of
+/// `A` (all-ones row, `b` entry 1) so the affine step respects it too.
+pub fn sample_constrained(
+    a: &Matrix,
+    b: &[f64],
+    start: &[f64],
+    max_iters: usize,
+    tol: f64,
+) -> Result<(Vec<f64>, f64), SolveError> {
+    let mut x = start.to_vec();
+    let mut residual = f64::INFINITY;
+    for _ in 0..max_iters {
+        x = project_onto_affine(a, b, &x)?;
+        let had_mass = project_onto_simplex_clip(&mut x);
+        if !had_mass {
+            // Restart from the feasibility-friendly uniform point.
+            x = vec![1.0 / x.len() as f64; x.len()];
+        }
+        residual = max_residual(a, b, &x);
+        if residual < tol {
+            break;
+        }
+    }
+    Ok((x, residual))
+}
+
+fn max_residual(a: &Matrix, b: &[f64], x: &[f64]) -> f64 {
+    a.matvec(x)
+        .iter()
+        .zip(b)
+        .map(|(axi, bi)| (axi - bi).abs())
+        .fold(0.0, f64::max)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn affine_projection_satisfies_constraints() {
+        // One constraint: x0 + x1 = 1 over R^3.
+        let a = Matrix::from_rows(&[vec![1.0, 1.0, 0.0]]);
+        let b = [1.0];
+        let y = project_onto_affine(&a, &b, &[0.0, 0.0, 0.5]).unwrap();
+        assert!((y[0] + y[1] - 1.0).abs() < 1e-9);
+        // Unconstrained coordinate untouched.
+        assert!((y[2] - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn affine_projection_is_identity_on_feasible_points() {
+        let a = Matrix::from_rows(&[vec![1.0, 1.0, 1.0], vec![1.0, 0.0, 0.0]]);
+        let b = [1.0, 0.25];
+        let x = [0.25, 0.5, 0.25];
+        let y = project_onto_affine(&a, &b, &x).unwrap();
+        for (xi, yi) in x.iter().zip(&y) {
+            assert!((xi - yi).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn affine_projection_minimizes_distance() {
+        // Project (1, 0) onto {x0 + x1 = 1}: closest point is (1, 0) itself
+        // (already feasible); project (0,0): closest is (0.5, 0.5).
+        let a = Matrix::from_rows(&[vec![1.0, 1.0]]);
+        let y = project_onto_affine(&a, &[1.0], &[0.0, 0.0]).unwrap();
+        assert!((y[0] - 0.5).abs() < 1e-9);
+        assert!((y[1] - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn simplex_clip_normalizes() {
+        let mut x = vec![0.5, -0.25, 0.5, 1.0];
+        assert!(project_onto_simplex_clip(&mut x));
+        assert!((x.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+        assert!(x.iter().all(|&v| v >= 0.0));
+        assert_eq!(x[1], 0.0);
+    }
+
+    #[test]
+    fn simplex_clip_reports_empty() {
+        let mut x = vec![-1.0, -2.0];
+        assert!(!project_onto_simplex_clip(&mut x));
+    }
+
+    #[test]
+    fn alternating_projection_reaches_feasibility() {
+        // Constraints: sum = 1, x0 + x1 = 0.6. Start far away.
+        let a = Matrix::from_rows(&[vec![1.0, 1.0, 1.0, 1.0], vec![1.0, 1.0, 0.0, 0.0]]);
+        let b = [1.0, 0.6];
+        let start = [0.9, 0.05, 0.02, 0.03];
+        let (x, residual) = sample_constrained(&a, &b, &start, 50, 1e-9).unwrap();
+        assert!(residual < 1e-6, "residual {residual}");
+        assert!(x.iter().all(|&v| v >= -1e-12));
+        assert!((x.iter().sum::<f64>() - 1.0).abs() < 1e-6);
+        assert!((x[0] + x[1] - 0.6).abs() < 1e-6);
+    }
+}

@@ -1,0 +1,252 @@
+//! Direct linear solvers for the small systems LogR needs.
+//!
+//! The Ω_E sampler (Appendix C) projects onto `{x | Ax = b}` with
+//! `AᵀA`-style normal equations where `A` has one row per encoding pattern —
+//! a handful of rows — so unpivoted Cholesky and partially-pivoted LU on
+//! dense matrices are more than enough.
+
+use crate::matrix::Matrix;
+
+/// Error from a direct solver.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SolveError {
+    /// The matrix was not (numerically) positive definite.
+    NotPositiveDefinite,
+    /// The matrix was (numerically) singular.
+    Singular,
+    /// Dimension mismatch between the matrix and right-hand side.
+    DimensionMismatch,
+}
+
+impl std::fmt::Display for SolveError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SolveError::NotPositiveDefinite => write!(f, "matrix is not positive definite"),
+            SolveError::Singular => write!(f, "matrix is singular"),
+            SolveError::DimensionMismatch => write!(f, "dimension mismatch"),
+        }
+    }
+}
+
+impl std::error::Error for SolveError {}
+
+/// Solve `A·x = b` for symmetric positive-definite `A` via Cholesky.
+pub fn cholesky_solve(a: &Matrix, b: &[f64]) -> Result<Vec<f64>, SolveError> {
+    let n = a.rows();
+    if a.cols() != n || b.len() != n {
+        return Err(SolveError::DimensionMismatch);
+    }
+    let l = cholesky_factor(a)?;
+    // Forward substitution L·y = b.
+    let mut y = vec![0.0; n];
+    for i in 0..n {
+        let mut s = b[i];
+        for j in 0..i {
+            s -= l[(i, j)] * y[j];
+        }
+        y[i] = s / l[(i, i)];
+    }
+    // Back substitution Lᵀ·x = y.
+    let mut x = vec![0.0; n];
+    for i in (0..n).rev() {
+        let mut s = y[i];
+        for j in (i + 1)..n {
+            s -= l[(j, i)] * x[j];
+        }
+        x[i] = s / l[(i, i)];
+    }
+    Ok(x)
+}
+
+/// Lower-triangular Cholesky factor `L` with `L·Lᵀ = A`.
+pub fn cholesky_factor(a: &Matrix) -> Result<Matrix, SolveError> {
+    let n = a.rows();
+    if a.cols() != n {
+        return Err(SolveError::DimensionMismatch);
+    }
+    let mut l = Matrix::zeros(n, n);
+    for i in 0..n {
+        for j in 0..=i {
+            let mut s = a[(i, j)];
+            for k in 0..j {
+                s -= l[(i, k)] * l[(j, k)];
+            }
+            if i == j {
+                if s <= 0.0 || !s.is_finite() {
+                    return Err(SolveError::NotPositiveDefinite);
+                }
+                l[(i, j)] = s.sqrt();
+            } else {
+                l[(i, j)] = s / l[(j, j)];
+            }
+        }
+    }
+    Ok(l)
+}
+
+/// Invert a symmetric positive-definite matrix (used for tiny `A·Aᵀ` blocks).
+pub fn invert_spd(a: &Matrix) -> Result<Matrix, SolveError> {
+    let n = a.rows();
+    let mut inv = Matrix::zeros(n, n);
+    let mut e = vec![0.0; n];
+    for j in 0..n {
+        e.iter_mut().for_each(|v| *v = 0.0);
+        e[j] = 1.0;
+        let col = cholesky_solve(a, &e)?;
+        for i in 0..n {
+            inv[(i, j)] = col[i];
+        }
+    }
+    Ok(inv)
+}
+
+/// Solve `A·x = b` for general square `A` via LU with partial pivoting.
+pub fn lu_solve(a: &Matrix, b: &[f64]) -> Result<Vec<f64>, SolveError> {
+    let n = a.rows();
+    if a.cols() != n || b.len() != n {
+        return Err(SolveError::DimensionMismatch);
+    }
+    let mut lu = a.clone();
+    let mut perm: Vec<usize> = (0..n).collect();
+
+    for col in 0..n {
+        // Partial pivot: largest |value| in this column at or below the diagonal.
+        let (pivot_row, pivot_val) = (col..n)
+            .map(|r| (r, lu[(r, col)].abs()))
+            .max_by(|x, y| x.1.total_cmp(&y.1))
+            .expect("non-empty pivot range");
+        if pivot_val < 1e-13 {
+            return Err(SolveError::Singular);
+        }
+        if pivot_row != col {
+            for j in 0..n {
+                let tmp = lu[(col, j)];
+                lu[(col, j)] = lu[(pivot_row, j)];
+                lu[(pivot_row, j)] = tmp;
+            }
+            perm.swap(col, pivot_row);
+        }
+        let d = lu[(col, col)];
+        for r in (col + 1)..n {
+            let f = lu[(r, col)] / d;
+            lu[(r, col)] = f;
+            for j in (col + 1)..n {
+                let v = lu[(col, j)];
+                lu[(r, j)] -= f * v;
+            }
+        }
+    }
+
+    // Apply permutation to b, then forward/back substitute.
+    let mut y: Vec<f64> = perm.iter().map(|&p| b[p]).collect();
+    for i in 1..n {
+        for j in 0..i {
+            let f = lu[(i, j)];
+            y[i] -= f * y[j];
+        }
+    }
+    let mut x = y;
+    for i in (0..n).rev() {
+        for j in (i + 1)..n {
+            let f = lu[(i, j)];
+            x[i] -= f * x[j];
+        }
+        x[i] /= lu[(i, i)];
+    }
+    Ok(x)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn residual(a: &Matrix, x: &[f64], b: &[f64]) -> f64 {
+        a.matvec(x)
+            .iter()
+            .zip(b)
+            .map(|(ax, bv)| (ax - bv).abs())
+            .fold(0.0, f64::max)
+    }
+
+    #[test]
+    fn cholesky_solves_spd_system() {
+        let a = Matrix::from_rows(&[vec![4.0, 2.0], vec![2.0, 3.0]]);
+        let b = [6.0, 5.0];
+        let x = cholesky_solve(&a, &b).unwrap();
+        assert!(residual(&a, &x, &b) < 1e-10);
+    }
+
+    #[test]
+    fn cholesky_rejects_indefinite() {
+        let a = Matrix::from_rows(&[vec![0.0, 1.0], vec![1.0, 0.0]]);
+        assert_eq!(cholesky_solve(&a, &[1.0, 1.0]), Err(SolveError::NotPositiveDefinite));
+    }
+
+    #[test]
+    fn cholesky_rejects_dimension_mismatch() {
+        let a = Matrix::from_rows(&[vec![4.0, 2.0], vec![2.0, 3.0]]);
+        assert_eq!(cholesky_solve(&a, &[1.0]), Err(SolveError::DimensionMismatch));
+    }
+
+    #[test]
+    fn cholesky_factor_reconstructs() {
+        let a = Matrix::from_rows(&[
+            vec![6.0, 2.0, 1.0],
+            vec![2.0, 5.0, 2.0],
+            vec![1.0, 2.0, 4.0],
+        ]);
+        let l = cholesky_factor(&a).unwrap();
+        let rec = l.matmul(&l.transpose());
+        for i in 0..3 {
+            for j in 0..3 {
+                assert!((rec[(i, j)] - a[(i, j)]).abs() < 1e-10);
+            }
+        }
+    }
+
+    #[test]
+    fn invert_spd_gives_inverse() {
+        let a = Matrix::from_rows(&[vec![4.0, 1.0], vec![1.0, 3.0]]);
+        let inv = invert_spd(&a).unwrap();
+        let prod = a.matmul(&inv);
+        let id = Matrix::identity(2);
+        for i in 0..2 {
+            for j in 0..2 {
+                assert!((prod[(i, j)] - id[(i, j)]).abs() < 1e-10);
+            }
+        }
+    }
+
+    #[test]
+    fn lu_solves_general_system() {
+        let a = Matrix::from_rows(&[
+            vec![0.0, 2.0, 1.0],
+            vec![1.0, -2.0, -3.0],
+            vec![-1.0, 1.0, 2.0],
+        ]);
+        let b = [1.0, 2.0, 3.0];
+        let x = lu_solve(&a, &b).unwrap();
+        assert!(residual(&a, &x, &b) < 1e-10);
+    }
+
+    #[test]
+    fn lu_rejects_singular() {
+        let a = Matrix::from_rows(&[vec![1.0, 2.0], vec![2.0, 4.0]]);
+        assert_eq!(lu_solve(&a, &[1.0, 2.0]), Err(SolveError::Singular));
+    }
+
+    #[test]
+    fn lu_handles_permutation_heavy_systems() {
+        // Requires pivoting at every step.
+        let a = Matrix::from_rows(&[
+            vec![0.0, 0.0, 1.0],
+            vec![0.0, 1.0, 0.0],
+            vec![1.0, 0.0, 0.0],
+        ]);
+        let b = [3.0, 2.0, 1.0];
+        let x = lu_solve(&a, &b).unwrap();
+        assert!((x[0] - 1.0).abs() < 1e-12);
+        assert!((x[1] - 2.0).abs() < 1e-12);
+        assert!((x[2] - 3.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,183 @@
+//! Information-theoretic helpers.
+//!
+//! All entropies in this workspace are measured in **nats** (natural
+//! logarithm). The paper never fixes a base; nats keep the closed forms tidy
+//! and only rescale the plots.
+
+/// `x·ln(x)` with the standard convention `0·ln(0) = 0`.
+#[inline]
+pub fn xlogx(x: f64) -> f64 {
+    if x <= 0.0 {
+        0.0
+    } else {
+        x * x.ln()
+    }
+}
+
+/// Shannon entropy `H(p) = −Σ pᵢ·ln(pᵢ)` of a probability vector, in nats.
+///
+/// Entries ≤ 0 contribute zero (the `0·ln 0 = 0` convention); the caller is
+/// responsible for `p` summing to 1 if a true entropy is wanted.
+pub fn entropy(p: &[f64]) -> f64 {
+    -p.iter().map(|&v| xlogx(v)).sum::<f64>()
+}
+
+/// Binary entropy `h(p) = −p·ln p − (1−p)·ln(1−p)`, in nats.
+///
+/// This is the per-feature entropy of a naive encoding (paper §8.1.1):
+/// a naive encoding assumes independent Bernoulli features, so its total
+/// entropy is the sum of binary entropies of the feature marginals.
+#[inline]
+pub fn binary_entropy(p: f64) -> f64 {
+    -xlogx(p) - xlogx(1.0 - p)
+}
+
+/// Kullback–Leibler divergence `DKL(p‖q) = Σ pᵢ·ln(pᵢ/qᵢ)`, in nats.
+///
+/// Returns `f64::INFINITY` when `p` is not absolutely continuous w.r.t. `q`
+/// (some `pᵢ > 0` where `qᵢ = 0`) — exactly the failure mode the paper flags
+/// for Deviation (§3.3).
+///
+/// # Panics
+/// Panics if the slices have different lengths.
+pub fn kl_divergence(p: &[f64], q: &[f64]) -> f64 {
+    assert_eq!(p.len(), q.len(), "kl_divergence length mismatch");
+    let mut sum = 0.0;
+    for (&pi, &qi) in p.iter().zip(q) {
+        if pi <= 0.0 {
+            continue;
+        }
+        if qi <= 0.0 {
+            return f64::INFINITY;
+        }
+        sum += pi * (pi / qi).ln();
+    }
+    sum
+}
+
+/// Weighted arithmetic mean; returns 0 when total weight is 0.
+pub fn weighted_mean(values: &[f64], weights: &[f64]) -> f64 {
+    assert_eq!(values.len(), weights.len(), "weighted_mean length mismatch");
+    let total: f64 = weights.iter().sum();
+    if total == 0.0 {
+        return 0.0;
+    }
+    values.iter().zip(weights).map(|(v, w)| v * w).sum::<f64>() / total
+}
+
+/// Normalize a non-negative vector in place to sum to 1.
+///
+/// Leaves an all-zero vector untouched and returns `false` in that case.
+pub fn normalize(p: &mut [f64]) -> bool {
+    let total: f64 = p.iter().sum();
+    if total <= 0.0 || !total.is_finite() {
+        return false;
+    }
+    for v in p {
+        *v /= total;
+    }
+    true
+}
+
+/// Simple percentile (nearest-rank) of an unsorted sample. `q` in `[0, 1]`.
+///
+/// # Panics
+/// Panics if `values` is empty or `q` is outside `[0, 1]`.
+pub fn percentile(values: &[f64], q: f64) -> f64 {
+    assert!(!values.is_empty(), "percentile of empty sample");
+    assert!((0.0..=1.0).contains(&q), "percentile rank out of range");
+    let mut sorted = values.to_vec();
+    sorted.sort_by(f64::total_cmp);
+    let idx = ((q * (sorted.len() - 1) as f64).round() as usize).min(sorted.len() - 1);
+    sorted[idx]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const LN2: f64 = std::f64::consts::LN_2;
+
+    #[test]
+    fn xlogx_conventions() {
+        assert_eq!(xlogx(0.0), 0.0);
+        assert_eq!(xlogx(-1.0), 0.0);
+        assert_eq!(xlogx(1.0), 0.0);
+        assert!((xlogx(std::f64::consts::E) - std::f64::consts::E).abs() < 1e-12);
+    }
+
+    #[test]
+    fn entropy_of_uniform() {
+        // H(uniform over 4) = ln 4.
+        let p = [0.25; 4];
+        assert!((entropy(&p) - (4.0f64).ln()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn entropy_of_point_mass_is_zero() {
+        assert_eq!(entropy(&[1.0, 0.0, 0.0]), 0.0);
+    }
+
+    #[test]
+    fn entropy_maximized_by_uniform() {
+        let uniform = entropy(&[0.25; 4]);
+        let skewed = entropy(&[0.7, 0.1, 0.1, 0.1]);
+        assert!(uniform > skewed);
+    }
+
+    #[test]
+    fn binary_entropy_symmetric_and_peaked() {
+        assert!((binary_entropy(0.5) - LN2).abs() < 1e-12);
+        assert!((binary_entropy(0.2) - binary_entropy(0.8)).abs() < 1e-12);
+        assert_eq!(binary_entropy(0.0), 0.0);
+        assert_eq!(binary_entropy(1.0), 0.0);
+        assert!(binary_entropy(0.5) > binary_entropy(0.3));
+    }
+
+    #[test]
+    fn kl_zero_iff_equal() {
+        let p = [0.5, 0.3, 0.2];
+        assert!(kl_divergence(&p, &p).abs() < 1e-12);
+        let q = [0.4, 0.4, 0.2];
+        assert!(kl_divergence(&p, &q) > 0.0);
+    }
+
+    #[test]
+    fn kl_infinite_when_not_absolutely_continuous() {
+        assert_eq!(kl_divergence(&[0.5, 0.5], &[1.0, 0.0]), f64::INFINITY);
+        // ...but fine when p puts no mass there.
+        assert!(kl_divergence(&[1.0, 0.0], &[0.5, 0.5]).is_finite());
+    }
+
+    #[test]
+    fn kl_known_value() {
+        // DKL(Bern(0.5) ‖ Bern(0.25)) = 0.5·ln2 + 0.5·ln(2/3)
+        let v = kl_divergence(&[0.5, 0.5], &[0.25, 0.75]);
+        let expect = 0.5 * (0.5f64 / 0.25).ln() + 0.5 * (0.5f64 / 0.75).ln();
+        assert!((v - expect).abs() < 1e-12);
+    }
+
+    #[test]
+    fn weighted_mean_basic() {
+        assert_eq!(weighted_mean(&[1.0, 3.0], &[1.0, 1.0]), 2.0);
+        assert_eq!(weighted_mean(&[1.0, 3.0], &[3.0, 1.0]), 1.5);
+        assert_eq!(weighted_mean(&[], &[]), 0.0);
+    }
+
+    #[test]
+    fn normalize_sums_to_one() {
+        let mut p = vec![2.0, 6.0];
+        assert!(normalize(&mut p));
+        assert_eq!(p, vec![0.25, 0.75]);
+        let mut z = vec![0.0, 0.0];
+        assert!(!normalize(&mut z));
+    }
+
+    #[test]
+    fn percentile_nearest_rank() {
+        let v = [5.0, 1.0, 3.0, 2.0, 4.0];
+        assert_eq!(percentile(&v, 0.0), 1.0);
+        assert_eq!(percentile(&v, 0.5), 3.0);
+        assert_eq!(percentile(&v, 1.0), 5.0);
+    }
+}

@@ -1,0 +1,118 @@
+//! Property tests for the numeric substrate: solver residuals, eigenpair
+//! residuals, projection feasibility, and entropy identities on random
+//! inputs.
+
+use logr_math::{
+    binary_entropy, cholesky_solve, entropy, jacobi_eigen, kl_divergence, lu_solve,
+    project_onto_affine, sample_constrained, Matrix,
+};
+use proptest::prelude::*;
+
+fn arb_spd(n: usize) -> impl Strategy<Value = Matrix> {
+    prop::collection::vec(-1.0f64..1.0, n * n).prop_map(move |data| {
+        let b = Matrix::from_vec(n, n, data);
+        let mut g = b.outer_gram();
+        for i in 0..n {
+            g[(i, i)] += n as f64 + 1.0;
+        }
+        g
+    })
+}
+
+fn arb_vec(n: usize) -> impl Strategy<Value = Vec<f64>> {
+    prop::collection::vec(-10.0f64..10.0, n)
+}
+
+fn arb_prob(n: usize) -> impl Strategy<Value = Vec<f64>> {
+    prop::collection::vec(0.01f64..1.0, n).prop_map(|mut v| {
+        let total: f64 = v.iter().sum();
+        v.iter_mut().for_each(|x| *x /= total);
+        v
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn cholesky_residual_small(a in arb_spd(5), b in arb_vec(5)) {
+        let x = cholesky_solve(&a, &b).expect("SPD by construction");
+        let r: f64 = a.matvec(&x).iter().zip(&b).map(|(ax, bv)| (ax - bv).abs()).fold(0.0, f64::max);
+        prop_assert!(r < 1e-8, "residual {r}");
+    }
+
+    #[test]
+    fn lu_residual_small(a in arb_spd(5), b in arb_vec(5)) {
+        // SPD matrices are safely nonsingular inputs for LU too.
+        let x = lu_solve(&a, &b).expect("nonsingular");
+        let r: f64 = a.matvec(&x).iter().zip(&b).map(|(ax, bv)| (ax - bv).abs()).fold(0.0, f64::max);
+        prop_assert!(r < 1e-8, "residual {r}");
+    }
+
+    #[test]
+    fn jacobi_eigenpairs_valid(a in arb_spd(6)) {
+        let pairs = jacobi_eigen(&a);
+        prop_assert_eq!(pairs.len(), 6);
+        // Sorted descending, residuals small, trace preserved.
+        let trace: f64 = (0..6).map(|i| a[(i, i)]).sum();
+        let sum: f64 = pairs.iter().map(|p| p.value).sum();
+        prop_assert!((trace - sum).abs() < 1e-7 * (1.0 + trace.abs()));
+        for w in pairs.windows(2) {
+            prop_assert!(w[0].value >= w[1].value - 1e-10);
+        }
+        for p in &pairs {
+            let av = a.matvec(&p.vector);
+            let res: f64 = av.iter().zip(&p.vector)
+                .map(|(avi, vi)| (avi - p.value * vi).abs())
+                .fold(0.0, f64::max);
+            prop_assert!(res < 1e-7 * (1.0 + p.value.abs()), "residual {res} for λ={}", p.value);
+        }
+    }
+
+    #[test]
+    fn affine_projection_feasible_and_idempotent(x in arb_vec(6), b in -2.0f64..2.0) {
+        // One constraint: x0 + x2 + x4 = b.
+        let mut a = Matrix::zeros(1, 6);
+        a[(0, 0)] = 1.0;
+        a[(0, 2)] = 1.0;
+        a[(0, 4)] = 1.0;
+        let y = project_onto_affine(&a, &[b], &x).unwrap();
+        prop_assert!((y[0] + y[2] + y[4] - b).abs() < 1e-8);
+        let z = project_onto_affine(&a, &[b], &y).unwrap();
+        for (yi, zi) in y.iter().zip(&z) {
+            prop_assert!((yi - zi).abs() < 1e-8, "projection not idempotent");
+        }
+    }
+
+    #[test]
+    fn constrained_sampling_feasible(start in arb_prob(8), theta in 0.05f64..0.95) {
+        // Constraints: sum = 1 and first three coordinates sum to θ.
+        let mut a = Matrix::zeros(2, 8);
+        for i in 0..8 { a[(0, i)] = 1.0; }
+        for i in 0..3 { a[(1, i)] = 1.0; }
+        let (x, residual) = sample_constrained(&a, &[1.0, theta], &start, 100, 1e-9).unwrap();
+        prop_assert!(residual < 1e-6, "residual {residual}");
+        prop_assert!(x.iter().all(|&v| v >= -1e-12));
+    }
+
+    #[test]
+    fn entropy_bounds(p in arb_prob(10)) {
+        let h = entropy(&p);
+        prop_assert!(h >= -1e-12);
+        prop_assert!(h <= (10.0f64).ln() + 1e-9, "entropy above ln n: {h}");
+    }
+
+    #[test]
+    fn kl_nonnegative_and_zero_on_self(p in arb_prob(8), q in arb_prob(8)) {
+        prop_assert!(kl_divergence(&p, &q) >= -1e-12);
+        prop_assert!(kl_divergence(&p, &p).abs() < 1e-12);
+    }
+
+    #[test]
+    fn binary_entropy_concave_symmetric(p in 0.0f64..=1.0) {
+        let h = binary_entropy(p);
+        prop_assert!(h >= 0.0);
+        prop_assert!(h <= std::f64::consts::LN_2 + 1e-12);
+        prop_assert!((h - binary_entropy(1.0 - p)).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,948 @@
+//! Query AST and its canonical SQL rendering.
+//!
+//! The `Display` implementations are the *printer*: they emit canonical SQL
+//! (uppercase keywords, minimal parentheses driven by operator precedence).
+//! Canonical text matters because the feature extractor uses printed atoms
+//! (e.g. `status = ?`) as feature identities, so two syntactically different
+//! spellings of the same atom must print identically.
+
+use std::fmt;
+
+/// Dotted, possibly-qualified name: `schema.table` or `table.column`.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ObjectName(pub Vec<String>);
+
+impl ObjectName {
+    /// Single-part name.
+    pub fn simple(name: &str) -> Self {
+        ObjectName(vec![name.to_string()])
+    }
+
+    /// The final (unqualified) part.
+    pub fn last(&self) -> &str {
+        self.0.last().map(String::as_str).unwrap_or("")
+    }
+}
+
+impl fmt::Display for ObjectName {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (i, part) in self.0.iter().enumerate() {
+            if i > 0 {
+                write!(f, ".")?;
+            }
+            write!(f, "{part}")?;
+        }
+        Ok(())
+    }
+}
+
+/// Literal constant.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum Literal {
+    /// Numeric literal kept as source text (no float rounding surprises).
+    Number(String),
+    /// String literal (unescaped contents).
+    String(String),
+    /// `NULL`.
+    Null,
+    /// `TRUE` / `FALSE`.
+    Boolean(bool),
+}
+
+impl fmt::Display for Literal {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Literal::Number(n) => write!(f, "{n}"),
+            Literal::String(s) => write!(f, "'{}'", s.replace('\'', "''")),
+            Literal::Null => write!(f, "NULL"),
+            Literal::Boolean(true) => write!(f, "TRUE"),
+            Literal::Boolean(false) => write!(f, "FALSE"),
+        }
+    }
+}
+
+/// Binary operators, ordered loosely by family.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BinaryOp {
+    /// `OR`
+    Or,
+    /// `AND`
+    And,
+    /// `=`
+    Eq,
+    /// `!=` (also prints `<>` input this way)
+    NotEq,
+    /// `<`
+    Lt,
+    /// `<=`
+    LtEq,
+    /// `>`
+    Gt,
+    /// `>=`
+    GtEq,
+    /// `+`
+    Plus,
+    /// `-`
+    Minus,
+    /// `*`
+    Mul,
+    /// `/`
+    Div,
+    /// `%`
+    Mod,
+    /// `||` string concatenation
+    Concat,
+}
+
+impl BinaryOp {
+    /// Printing/parsing precedence; higher binds tighter.
+    pub fn precedence(self) -> u8 {
+        match self {
+            BinaryOp::Or => 1,
+            BinaryOp::And => 2,
+            // NOT sits at 3 (handled by UnaryOp)
+            BinaryOp::Eq
+            | BinaryOp::NotEq
+            | BinaryOp::Lt
+            | BinaryOp::LtEq
+            | BinaryOp::Gt
+            | BinaryOp::GtEq => 4,
+            BinaryOp::Plus | BinaryOp::Minus | BinaryOp::Concat => 5,
+            BinaryOp::Mul | BinaryOp::Div | BinaryOp::Mod => 6,
+        }
+    }
+
+    /// The negated comparison, if this is a comparison: `= ↔ !=`, `< ↔ >=` …
+    pub fn negated(self) -> Option<BinaryOp> {
+        Some(match self {
+            BinaryOp::Eq => BinaryOp::NotEq,
+            BinaryOp::NotEq => BinaryOp::Eq,
+            BinaryOp::Lt => BinaryOp::GtEq,
+            BinaryOp::GtEq => BinaryOp::Lt,
+            BinaryOp::Gt => BinaryOp::LtEq,
+            BinaryOp::LtEq => BinaryOp::Gt,
+            _ => return None,
+        })
+    }
+}
+
+impl fmt::Display for BinaryOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            BinaryOp::Or => "OR",
+            BinaryOp::And => "AND",
+            BinaryOp::Eq => "=",
+            BinaryOp::NotEq => "!=",
+            BinaryOp::Lt => "<",
+            BinaryOp::LtEq => "<=",
+            BinaryOp::Gt => ">",
+            BinaryOp::GtEq => ">=",
+            BinaryOp::Plus => "+",
+            BinaryOp::Minus => "-",
+            BinaryOp::Mul => "*",
+            BinaryOp::Div => "/",
+            BinaryOp::Mod => "%",
+            BinaryOp::Concat => "||",
+        };
+        write!(f, "{s}")
+    }
+}
+
+/// Unary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum UnaryOp {
+    /// Logical `NOT`
+    Not,
+    /// Arithmetic negation `-`
+    Neg,
+}
+
+impl fmt::Display for UnaryOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            UnaryOp::Not => write!(f, "NOT"),
+            UnaryOp::Neg => write!(f, "-"),
+        }
+    }
+}
+
+/// Scalar / boolean expression.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum Expr {
+    /// Column reference, possibly qualified.
+    Column(ObjectName),
+    /// Literal constant.
+    Literal(Literal),
+    /// Bind parameter (`?`, `$n`, `:name` — all normalize to `?`).
+    Param,
+    /// Unary operation.
+    Unary {
+        /// Operator.
+        op: UnaryOp,
+        /// Operand.
+        expr: Box<Expr>,
+    },
+    /// Binary operation.
+    Binary {
+        /// Left operand.
+        left: Box<Expr>,
+        /// Operator.
+        op: BinaryOp,
+        /// Right operand.
+        right: Box<Expr>,
+    },
+    /// `expr IS [NOT] NULL`.
+    IsNull {
+        /// Tested expression.
+        expr: Box<Expr>,
+        /// True for `IS NOT NULL`.
+        negated: bool,
+    },
+    /// `expr [NOT] IN (list…)`.
+    InList {
+        /// Tested expression.
+        expr: Box<Expr>,
+        /// List members.
+        list: Vec<Expr>,
+        /// True for `NOT IN`.
+        negated: bool,
+    },
+    /// `expr [NOT] IN (SELECT …)`.
+    InSubquery {
+        /// Tested expression.
+        expr: Box<Expr>,
+        /// The subquery.
+        query: Box<SelectStatement>,
+        /// True for `NOT IN`.
+        negated: bool,
+    },
+    /// `expr [NOT] BETWEEN low AND high`.
+    Between {
+        /// Tested expression.
+        expr: Box<Expr>,
+        /// Lower bound.
+        low: Box<Expr>,
+        /// Upper bound.
+        high: Box<Expr>,
+        /// True for `NOT BETWEEN`.
+        negated: bool,
+    },
+    /// `expr [NOT] LIKE pattern`.
+    Like {
+        /// Tested expression.
+        expr: Box<Expr>,
+        /// Pattern.
+        pattern: Box<Expr>,
+        /// True for `NOT LIKE`.
+        negated: bool,
+    },
+    /// Function call, e.g. `upper(name)` or `count(*)`.
+    Function {
+        /// Function name (lowercased).
+        name: String,
+        /// Arguments; a lone `*` argument is represented as `Expr::Wildcard`.
+        args: Vec<Expr>,
+        /// `DISTINCT` inside an aggregate.
+        distinct: bool,
+    },
+    /// `*` as a function argument (`count(*)`).
+    Wildcard,
+    /// `[NOT] EXISTS (SELECT …)`.
+    Exists {
+        /// The subquery.
+        query: Box<SelectStatement>,
+        /// True for `NOT EXISTS`.
+        negated: bool,
+    },
+    /// Scalar subquery `(SELECT …)`.
+    Subquery(Box<SelectStatement>),
+    /// `CASE [operand] WHEN … THEN … [ELSE …] END`.
+    Case {
+        /// Simple-case operand (`CASE x WHEN 1 …`), if any.
+        operand: Option<Box<Expr>>,
+        /// `(WHEN, THEN)` pairs, in order.
+        branches: Vec<(Expr, Expr)>,
+        /// `ELSE` result, if any.
+        else_result: Option<Box<Expr>>,
+    },
+}
+
+impl Expr {
+    /// Convenience: column expression from a bare name.
+    pub fn col(name: &str) -> Expr {
+        Expr::Column(ObjectName::simple(name))
+    }
+
+    /// Convenience: `left op right`.
+    pub fn binary(left: Expr, op: BinaryOp, right: Expr) -> Expr {
+        Expr::Binary { left: Box::new(left), op, right: Box::new(right) }
+    }
+
+    /// Convenience: `AND` of two expressions.
+    pub fn and(left: Expr, right: Expr) -> Expr {
+        Expr::binary(left, BinaryOp::And, right)
+    }
+
+    /// Convenience: `OR` of two expressions.
+    pub fn or(left: Expr, right: Expr) -> Expr {
+        Expr::binary(left, BinaryOp::Or, right)
+    }
+
+    /// Printing precedence of this node; higher binds tighter.
+    fn precedence(&self) -> u8 {
+        match self {
+            Expr::Binary { op, .. } => op.precedence(),
+            Expr::Unary { op: UnaryOp::Not, .. } => 3,
+            Expr::Unary { op: UnaryOp::Neg, .. } => 7,
+            // Postfix predicates sit between NOT and comparisons.
+            Expr::IsNull { .. }
+            | Expr::InList { .. }
+            | Expr::InSubquery { .. }
+            | Expr::Between { .. }
+            | Expr::Like { .. } => 4,
+            _ => u8::MAX,
+        }
+    }
+
+    fn fmt_child(&self, child: &Expr, f: &mut fmt::Formatter<'_>, parent_prec: u8) -> fmt::Result {
+        if child.precedence() < parent_prec {
+            write!(f, "({child})")
+        } else {
+            write!(f, "{child}")
+        }
+    }
+}
+
+impl fmt::Display for Expr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Expr::Column(name) => write!(f, "{name}"),
+            Expr::Literal(lit) => write!(f, "{lit}"),
+            Expr::Param => write!(f, "?"),
+            Expr::Unary { op, expr } => {
+                match op {
+                    UnaryOp::Not => write!(f, "NOT ")?,
+                    UnaryOp::Neg => write!(f, "-")?,
+                }
+                self.fmt_child(expr, f, self.precedence() + 1)
+            }
+            Expr::Binary { left, op, right } => {
+                let prec = op.precedence();
+                self.fmt_child(left, f, prec)?;
+                write!(f, " {op} ")?;
+                // Right child needs parens at equal precedence to preserve
+                // left associativity (e.g. a - (b - c)).
+                self.fmt_child(right, f, prec + 1)
+            }
+            Expr::IsNull { expr, negated } => {
+                self.fmt_child(expr, f, self.precedence() + 1)?;
+                write!(f, " IS {}NULL", if *negated { "NOT " } else { "" })
+            }
+            Expr::InList { expr, list, negated } => {
+                self.fmt_child(expr, f, self.precedence() + 1)?;
+                write!(f, " {}IN (", if *negated { "NOT " } else { "" })?;
+                for (i, item) in list.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{item}")?;
+                }
+                write!(f, ")")
+            }
+            Expr::InSubquery { expr, query, negated } => {
+                self.fmt_child(expr, f, self.precedence() + 1)?;
+                write!(f, " {}IN ({query})", if *negated { "NOT " } else { "" })
+            }
+            Expr::Between { expr, low, high, negated } => {
+                self.fmt_child(expr, f, self.precedence() + 1)?;
+                write!(f, " {}BETWEEN ", if *negated { "NOT " } else { "" })?;
+                self.fmt_child(low, f, self.precedence() + 1)?;
+                write!(f, " AND ")?;
+                self.fmt_child(high, f, self.precedence() + 1)
+            }
+            Expr::Like { expr, pattern, negated } => {
+                self.fmt_child(expr, f, self.precedence() + 1)?;
+                write!(f, " {}LIKE ", if *negated { "NOT " } else { "" })?;
+                self.fmt_child(pattern, f, self.precedence() + 1)
+            }
+            Expr::Function { name, args, distinct } => {
+                write!(f, "{name}(")?;
+                if *distinct {
+                    write!(f, "DISTINCT ")?;
+                }
+                for (i, arg) in args.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{arg}")?;
+                }
+                write!(f, ")")
+            }
+            Expr::Wildcard => write!(f, "*"),
+            Expr::Exists { query, negated } => {
+                write!(f, "{}EXISTS ({query})", if *negated { "NOT " } else { "" })
+            }
+            Expr::Subquery(query) => write!(f, "({query})"),
+            Expr::Case { operand, branches, else_result } => {
+                write!(f, "CASE")?;
+                if let Some(op) = operand {
+                    write!(f, " {op}")?;
+                }
+                for (when, then) in branches {
+                    write!(f, " WHEN {when} THEN {then}")?;
+                }
+                if let Some(e) = else_result {
+                    write!(f, " ELSE {e}")?;
+                }
+                write!(f, " END")
+            }
+        }
+    }
+}
+
+/// One item in the SELECT list.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum SelectItem {
+    /// `*`
+    Wildcard,
+    /// `table.*`
+    QualifiedWildcard(ObjectName),
+    /// Expression with an optional alias.
+    Expr {
+        /// The projected expression.
+        expr: Expr,
+        /// `AS alias`, if present.
+        alias: Option<String>,
+    },
+}
+
+impl fmt::Display for SelectItem {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SelectItem::Wildcard => write!(f, "*"),
+            SelectItem::QualifiedWildcard(name) => write!(f, "{name}.*"),
+            SelectItem::Expr { expr, alias: Some(a) } => write!(f, "{expr} AS {a}"),
+            SelectItem::Expr { expr, alias: None } => write!(f, "{expr}"),
+        }
+    }
+}
+
+/// Join flavor. Only the kinds observed in the target logs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum JoinKind {
+    /// `[INNER] JOIN`
+    Inner,
+    /// `LEFT [OUTER] JOIN`
+    Left,
+    /// `CROSS JOIN` (also comma-joins after parsing)
+    Cross,
+}
+
+impl fmt::Display for JoinKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            JoinKind::Inner => write!(f, "JOIN"),
+            JoinKind::Left => write!(f, "LEFT JOIN"),
+            JoinKind::Cross => write!(f, "CROSS JOIN"),
+        }
+    }
+}
+
+/// An entry in the FROM clause.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum TableRef {
+    /// Plain table with optional alias.
+    Table {
+        /// Table name.
+        name: ObjectName,
+        /// Alias, if any.
+        alias: Option<String>,
+    },
+    /// Derived table `(SELECT …) alias`.
+    Subquery {
+        /// The subquery.
+        query: Box<SelectStatement>,
+        /// Alias, if any.
+        alias: Option<String>,
+    },
+    /// Explicit join.
+    Join {
+        /// Left input.
+        left: Box<TableRef>,
+        /// Right input.
+        right: Box<TableRef>,
+        /// Join kind.
+        kind: JoinKind,
+        /// `ON` condition (`None` for CROSS JOIN).
+        on: Option<Expr>,
+    },
+}
+
+impl TableRef {
+    /// Convenience: unaliased table.
+    pub fn table(name: &str) -> TableRef {
+        TableRef::Table { name: ObjectName::simple(name), alias: None }
+    }
+}
+
+impl fmt::Display for TableRef {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TableRef::Table { name, alias } => {
+                write!(f, "{name}")?;
+                if let Some(a) = alias {
+                    write!(f, " AS {a}")?;
+                }
+                Ok(())
+            }
+            TableRef::Subquery { query, alias } => {
+                write!(f, "({query})")?;
+                if let Some(a) = alias {
+                    write!(f, " AS {a}")?;
+                }
+                Ok(())
+            }
+            TableRef::Join { left, right, kind, on } => {
+                write!(f, "{left} {kind} {right}")?;
+                if let Some(cond) = on {
+                    write!(f, " ON {cond}")?;
+                }
+                Ok(())
+            }
+        }
+    }
+}
+
+/// A single SELECT block (no set operators, ordering or limit).
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Select {
+    /// `SELECT DISTINCT`.
+    pub distinct: bool,
+    /// Projection list.
+    pub items: Vec<SelectItem>,
+    /// FROM clause entries (comma list; joins nest inside [`TableRef`]).
+    pub from: Vec<TableRef>,
+    /// WHERE predicate.
+    pub selection: Option<Expr>,
+    /// GROUP BY expressions.
+    pub group_by: Vec<Expr>,
+    /// HAVING predicate.
+    pub having: Option<Expr>,
+}
+
+impl fmt::Display for Select {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "SELECT ")?;
+        if self.distinct {
+            write!(f, "DISTINCT ")?;
+        }
+        for (i, item) in self.items.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{item}")?;
+        }
+        if !self.from.is_empty() {
+            write!(f, " FROM ")?;
+            for (i, t) in self.from.iter().enumerate() {
+                if i > 0 {
+                    write!(f, ", ")?;
+                }
+                write!(f, "{t}")?;
+            }
+        }
+        if let Some(sel) = &self.selection {
+            write!(f, " WHERE {sel}")?;
+        }
+        if !self.group_by.is_empty() {
+            write!(f, " GROUP BY ")?;
+            for (i, g) in self.group_by.iter().enumerate() {
+                if i > 0 {
+                    write!(f, ", ")?;
+                }
+                write!(f, "{g}")?;
+            }
+        }
+        if let Some(h) = &self.having {
+            write!(f, " HAVING {h}")?;
+        }
+        Ok(())
+    }
+}
+
+/// Body of a select statement: a SELECT block or a UNION tree.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum SetExpr {
+    /// Plain SELECT block.
+    Select(Box<Select>),
+    /// `left UNION [ALL] right`.
+    Union {
+        /// Left branch.
+        left: Box<SetExpr>,
+        /// Right branch.
+        right: Box<SetExpr>,
+        /// `UNION ALL` (bag) vs `UNION` (set).
+        all: bool,
+    },
+}
+
+impl SetExpr {
+    /// Iterate the SELECT blocks of this (possibly compound) body,
+    /// left-to-right.
+    pub fn selects(&self) -> Vec<&Select> {
+        let mut out = Vec::new();
+        fn walk<'a>(e: &'a SetExpr, out: &mut Vec<&'a Select>) {
+            match e {
+                SetExpr::Select(s) => out.push(s),
+                SetExpr::Union { left, right, .. } => {
+                    walk(left, out);
+                    walk(right, out);
+                }
+            }
+        }
+        walk(self, &mut out);
+        out
+    }
+}
+
+impl fmt::Display for SetExpr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SetExpr::Select(s) => write!(f, "{s}"),
+            SetExpr::Union { left, right, all } => {
+                write!(f, "{left} UNION {}{right}", if *all { "ALL " } else { "" })
+            }
+        }
+    }
+}
+
+/// `LIMIT n [OFFSET m]`.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Limit {
+    /// Row limit.
+    pub limit: u64,
+    /// Optional offset.
+    pub offset: Option<u64>,
+}
+
+impl fmt::Display for Limit {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "LIMIT {}", self.limit)?;
+        if let Some(off) = self.offset {
+            write!(f, " OFFSET {off}")?;
+        }
+        Ok(())
+    }
+}
+
+/// One ORDER BY key.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct OrderByItem {
+    /// Sort expression.
+    pub expr: Expr,
+    /// Ascending (`true`) or descending.
+    pub asc: bool,
+}
+
+impl fmt::Display for OrderByItem {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}{}", self.expr, if self.asc { "" } else { " DESC" })
+    }
+}
+
+/// A complete (possibly compound) SELECT statement.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct SelectStatement {
+    /// The body (single block or UNION tree).
+    pub body: SetExpr,
+    /// ORDER BY keys.
+    pub order_by: Vec<OrderByItem>,
+    /// LIMIT/OFFSET.
+    pub limit: Option<Limit>,
+}
+
+impl SelectStatement {
+    /// Wrap a single SELECT block into a statement.
+    pub fn simple(select: Select) -> Self {
+        SelectStatement { body: SetExpr::Select(Box::new(select)), order_by: Vec::new(), limit: None }
+    }
+
+    /// The single SELECT block, if this statement is not compound.
+    pub fn as_single(&self) -> Option<&Select> {
+        match &self.body {
+            SetExpr::Select(s) => Some(s),
+            SetExpr::Union { .. } => None,
+        }
+    }
+}
+
+impl fmt::Display for SelectStatement {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.body)?;
+        if !self.order_by.is_empty() {
+            write!(f, " ORDER BY ")?;
+            for (i, item) in self.order_by.iter().enumerate() {
+                if i > 0 {
+                    write!(f, ", ")?;
+                }
+                write!(f, "{item}")?;
+            }
+        }
+        if let Some(l) = &self.limit {
+            write!(f, " {l}")?;
+        }
+        Ok(())
+    }
+}
+
+/// A query in conjunctive form: the output of the regularizer, and the input
+/// shape the Aligon feature scheme (paper §2.2) consumes.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct ConjunctiveQuery {
+    /// Projected items (feature class ⟨column, SELECT⟩).
+    pub select: Vec<SelectItem>,
+    /// Tables / subquery sources (feature class ⟨table, FROM⟩).
+    pub tables: Vec<String>,
+    /// Conjunctive WHERE atoms (feature class ⟨atom, WHERE⟩), each printed
+    /// in canonical form.
+    pub conjuncts: Vec<Expr>,
+    /// GROUP BY expressions (Makiyama-extension feature class).
+    pub group_by: Vec<Expr>,
+    /// ORDER BY items (Makiyama-extension feature class).
+    pub order_by: Vec<OrderByItem>,
+    /// LIMIT, if any (kept for rendering; not a feature).
+    pub limit: Option<Limit>,
+}
+
+impl fmt::Display for ConjunctiveQuery {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "SELECT ")?;
+        for (i, item) in self.select.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{item}")?;
+        }
+        if !self.tables.is_empty() {
+            write!(f, " FROM {}", self.tables.join(", "))?;
+        }
+        if !self.conjuncts.is_empty() {
+            write!(f, " WHERE ")?;
+            for (i, c) in self.conjuncts.iter().enumerate() {
+                if i > 0 {
+                    write!(f, " AND ")?;
+                }
+                // Parenthesize atoms containing OR so the printed form
+                // re-parses as the same conjunction.
+                if matches!(c, Expr::Binary { op: BinaryOp::Or, .. }) {
+                    write!(f, "({c})")?;
+                } else {
+                    write!(f, "{c}")?;
+                }
+            }
+        }
+        if !self.group_by.is_empty() {
+            write!(f, " GROUP BY ")?;
+            for (i, g) in self.group_by.iter().enumerate() {
+                if i > 0 {
+                    write!(f, ", ")?;
+                }
+                write!(f, "{g}")?;
+            }
+        }
+        if !self.order_by.is_empty() {
+            write!(f, " ORDER BY ")?;
+            for (i, o) in self.order_by.iter().enumerate() {
+                if i > 0 {
+                    write!(f, ", ")?;
+                }
+                write!(f, "{o}")?;
+            }
+        }
+        if let Some(l) = &self.limit {
+            write!(f, " {l}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn object_name_display() {
+        assert_eq!(ObjectName::simple("t").to_string(), "t");
+        assert_eq!(ObjectName(vec!["s".into(), "t".into()]).to_string(), "s.t");
+        assert_eq!(ObjectName(vec!["s".into(), "t".into()]).last(), "t");
+    }
+
+    #[test]
+    fn literal_display_escapes_strings() {
+        assert_eq!(Literal::String("it's".into()).to_string(), "'it''s'");
+        assert_eq!(Literal::Number("3.5".into()).to_string(), "3.5");
+        assert_eq!(Literal::Null.to_string(), "NULL");
+        assert_eq!(Literal::Boolean(true).to_string(), "TRUE");
+    }
+
+    #[test]
+    fn binary_precedence_parens() {
+        // a OR b AND c — AND binds tighter, no parens needed.
+        let e = Expr::or(Expr::col("a"), Expr::and(Expr::col("b"), Expr::col("c")));
+        assert_eq!(e.to_string(), "a OR b AND c");
+        // (a OR b) AND c — parens required.
+        let e = Expr::and(Expr::or(Expr::col("a"), Expr::col("b")), Expr::col("c"));
+        assert_eq!(e.to_string(), "(a OR b) AND c");
+    }
+
+    #[test]
+    fn left_associativity_preserved() {
+        // (a - b) - c prints without parens; a - (b - c) needs them.
+        let l = Expr::binary(
+            Expr::binary(Expr::col("a"), BinaryOp::Minus, Expr::col("b")),
+            BinaryOp::Minus,
+            Expr::col("c"),
+        );
+        assert_eq!(l.to_string(), "a - b - c");
+        let r = Expr::binary(
+            Expr::col("a"),
+            BinaryOp::Minus,
+            Expr::binary(Expr::col("b"), BinaryOp::Minus, Expr::col("c")),
+        );
+        assert_eq!(r.to_string(), "a - (b - c)");
+    }
+
+    #[test]
+    fn not_and_comparisons() {
+        let e = Expr::Unary {
+            op: UnaryOp::Not,
+            expr: Box::new(Expr::binary(Expr::col("a"), BinaryOp::Eq, Expr::Param)),
+        };
+        assert_eq!(e.to_string(), "NOT a = ?");
+        assert_eq!(BinaryOp::Eq.negated(), Some(BinaryOp::NotEq));
+        assert_eq!(BinaryOp::Lt.negated(), Some(BinaryOp::GtEq));
+        assert_eq!(BinaryOp::Plus.negated(), None);
+    }
+
+    #[test]
+    fn predicates_display() {
+        let isnull = Expr::IsNull { expr: Box::new(Expr::col("a")), negated: true };
+        assert_eq!(isnull.to_string(), "a IS NOT NULL");
+        let inlist = Expr::InList {
+            expr: Box::new(Expr::col("a")),
+            list: vec![Expr::Param, Expr::Param],
+            negated: false,
+        };
+        assert_eq!(inlist.to_string(), "a IN (?, ?)");
+        let between = Expr::Between {
+            expr: Box::new(Expr::col("a")),
+            low: Box::new(Expr::Param),
+            high: Box::new(Expr::Param),
+            negated: false,
+        };
+        assert_eq!(between.to_string(), "a BETWEEN ? AND ?");
+        let like = Expr::Like {
+            expr: Box::new(Expr::col("name")),
+            pattern: Box::new(Expr::Literal(Literal::String("%x%".into()))),
+            negated: true,
+        };
+        assert_eq!(like.to_string(), "name NOT LIKE '%x%'");
+    }
+
+    #[test]
+    fn function_display() {
+        let f = Expr::Function {
+            name: "upper".into(),
+            args: vec![Expr::col("name")],
+            distinct: false,
+        };
+        assert_eq!(f.to_string(), "upper(name)");
+        let c = Expr::Function { name: "count".into(), args: vec![Expr::Wildcard], distinct: false };
+        assert_eq!(c.to_string(), "count(*)");
+        let d = Expr::Function { name: "count".into(), args: vec![Expr::col("x")], distinct: true };
+        assert_eq!(d.to_string(), "count(DISTINCT x)");
+    }
+
+    #[test]
+    fn select_display_full_clause_order() {
+        let stmt = SelectStatement {
+            body: SetExpr::Select(Box::new(Select {
+                distinct: false,
+                items: vec![
+                    SelectItem::Expr { expr: Expr::col("a"), alias: None },
+                    SelectItem::Expr { expr: Expr::col("b"), alias: Some("bb".into()) },
+                ],
+                from: vec![TableRef::table("t")],
+                selection: Some(Expr::binary(Expr::col("a"), BinaryOp::Eq, Expr::Param)),
+                group_by: vec![Expr::col("a")],
+                having: None,
+            })),
+            order_by: vec![OrderByItem { expr: Expr::col("b"), asc: false }],
+            limit: Some(Limit { limit: 10, offset: Some(5) }),
+        };
+        assert_eq!(
+            stmt.to_string(),
+            "SELECT a, b AS bb FROM t WHERE a = ? GROUP BY a ORDER BY b DESC LIMIT 10 OFFSET 5"
+        );
+    }
+
+    #[test]
+    fn union_display_and_selects_iter() {
+        let s1 = Select {
+            distinct: false,
+            items: vec![SelectItem::Expr { expr: Expr::col("a"), alias: None }],
+            from: vec![TableRef::table("t")],
+            selection: None,
+            group_by: vec![],
+            having: None,
+        };
+        let mut s2 = s1.clone();
+        s2.items = vec![SelectItem::Expr { expr: Expr::col("b"), alias: None }];
+        let stmt = SelectStatement {
+            body: SetExpr::Union {
+                left: Box::new(SetExpr::Select(Box::new(s1))),
+                right: Box::new(SetExpr::Select(Box::new(s2))),
+                all: true,
+            },
+            order_by: vec![],
+            limit: None,
+        };
+        assert_eq!(stmt.to_string(), "SELECT a FROM t UNION ALL SELECT b FROM t");
+        assert_eq!(stmt.body.selects().len(), 2);
+        assert!(stmt.as_single().is_none());
+    }
+
+    #[test]
+    fn join_display() {
+        let j = TableRef::Join {
+            left: Box::new(TableRef::table("a")),
+            right: Box::new(TableRef::table("b")),
+            kind: JoinKind::Left,
+            on: Some(Expr::binary(
+                Expr::Column(ObjectName(vec!["a".into(), "id".into()])),
+                BinaryOp::Eq,
+                Expr::Column(ObjectName(vec!["b".into(), "id".into()])),
+            )),
+        };
+        assert_eq!(j.to_string(), "a LEFT JOIN b ON a.id = b.id");
+    }
+
+    #[test]
+    fn conjunctive_query_display() {
+        let cq = ConjunctiveQuery {
+            select: vec![SelectItem::Expr { expr: Expr::col("id"), alias: None }],
+            tables: vec!["Messages".into()],
+            conjuncts: vec![
+                Expr::binary(Expr::col("status"), BinaryOp::Eq, Expr::Param),
+                Expr::binary(Expr::col("sms_type"), BinaryOp::Eq, Expr::Param),
+            ],
+            group_by: vec![],
+            order_by: vec![],
+            limit: None,
+        };
+        assert_eq!(
+            cq.to_string(),
+            "SELECT id FROM Messages WHERE status = ? AND sms_type = ?"
+        );
+    }
+}

@@ -1,0 +1,33 @@
+//! SQL substrate for LogR.
+//!
+//! Production query logs arrive as SQL text; everything downstream
+//! (feature extraction, encoding, clustering) operates on structured
+//! queries. This crate provides the pipeline front end:
+//!
+//! * [`lexer`] — tokenizer for the SELECT dialect that the paper's logs
+//!   contain (PocketData's SQLite queries, the US bank's mixed workload);
+//! * [`ast`] — the query AST and its canonical [`std::fmt::Display`]
+//!   rendering (the printer);
+//! * [`parser`] — recursive-descent parser with precedence climbing;
+//! * [`normalize`] — the paper's *query regularization* step (§7, "Query
+//!   Regularization"): constant anonymization, `BETWEEN`/`IN`/`NOT`
+//!   rewrites, and conversion to a **UNION of conjunctive queries** — the
+//!   form the Aligon feature scheme requires.
+//!
+//! The parser is intentionally a dialect subset: conjunctive SELECTs with
+//! joins, subqueries, grouping, ordering and limits. Statements outside the
+//! subset surface as [`ParseError`]s, which the log-ingestion layer counts
+//! (that's the "not able to be parsed" row of the paper's Table 1).
+
+pub mod ast;
+pub mod lexer;
+pub mod normalize;
+pub mod parser;
+
+pub use ast::{
+    BinaryOp, ConjunctiveQuery, Expr, JoinKind, Limit, Literal, ObjectName, OrderByItem, Select,
+    SelectItem, SelectStatement, SetExpr, TableRef, UnaryOp,
+};
+pub use lexer::{Lexer, Token, TokenKind};
+pub use normalize::{anonymize_statement, regularize, Regularized};
+pub use parser::{parse_select, ParseError, Parser};

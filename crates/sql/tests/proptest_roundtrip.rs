@@ -1,0 +1,145 @@
+//! Property tests for the SQL substrate: printing and re-parsing arbitrary
+//! generated ASTs is a fixpoint, and the regularizer is idempotent and
+//! produces genuinely conjunctive branches.
+
+use logr_sql::{
+    anonymize_statement, parse_select, regularize, BinaryOp, Expr, Literal, ObjectName, Select,
+    SelectItem, SelectStatement, SetExpr, TableRef, UnaryOp,
+};
+use proptest::prelude::*;
+
+/// Identifier-safe names.
+fn ident() -> impl Strategy<Value = String> {
+    "[a-z][a-z0-9_]{0,8}".prop_filter("avoid keywords", |s| {
+        ![
+            "select", "from", "where", "and", "or", "not", "in", "between", "like", "is",
+            "null", "group", "by", "order", "limit", "union", "join", "on", "as", "having",
+            "exists", "all", "distinct", "asc", "desc", "true", "false", "left", "inner",
+            "cross", "offset", "case", "when", "then", "else", "end", "outer",
+        ]
+        .contains(&s.as_str())
+    })
+}
+
+fn literal() -> impl Strategy<Value = Literal> {
+    prop_oneof![
+        (0u32..10_000).prop_map(|n| Literal::Number(n.to_string())),
+        "[a-zA-Z0-9 ]{0,10}".prop_map(Literal::String),
+        Just(Literal::Null),
+        any::<bool>().prop_map(Literal::Boolean),
+    ]
+}
+
+fn leaf_expr() -> impl Strategy<Value = Expr> {
+    prop_oneof![
+        ident().prop_map(|c| Expr::col(&c)),
+        literal().prop_map(Expr::Literal),
+        Just(Expr::Param),
+    ]
+}
+
+fn arb_expr() -> impl Strategy<Value = Expr> {
+    leaf_expr().prop_recursive(3, 24, 4, |inner| {
+        prop_oneof![
+            (inner.clone(), inner.clone()).prop_map(|(l, r)| Expr::binary(l, BinaryOp::Eq, r)),
+            (inner.clone(), inner.clone()).prop_map(|(l, r)| Expr::binary(l, BinaryOp::Lt, r)),
+            (inner.clone(), inner.clone()).prop_map(|(l, r)| Expr::and(l, r)),
+            (inner.clone(), inner.clone()).prop_map(|(l, r)| Expr::or(l, r)),
+            (inner.clone(), inner.clone(), inner.clone()).prop_map(|(e, lo, hi)| Expr::Between {
+                expr: Box::new(e),
+                low: Box::new(lo),
+                high: Box::new(hi),
+                negated: false,
+            }),
+            (inner.clone(), prop::collection::vec(inner.clone(), 1..3), any::<bool>()).prop_map(
+                |(e, list, negated)| Expr::InList { expr: Box::new(e), list, negated }
+            ),
+            (inner.clone(), any::<bool>())
+                .prop_map(|(e, negated)| Expr::IsNull { expr: Box::new(e), negated }),
+            inner
+                .clone()
+                .prop_map(|e| Expr::Unary { op: UnaryOp::Not, expr: Box::new(e) }),
+        ]
+    })
+}
+
+fn arb_statement() -> impl Strategy<Value = SelectStatement> {
+    (
+        prop::collection::vec(ident(), 1..4),
+        prop::collection::vec(ident(), 1..3),
+        prop::option::of(arb_expr()),
+        any::<bool>(),
+    )
+        .prop_map(|(cols, tables, selection, distinct)| {
+            let select = Select {
+                distinct,
+                items: cols
+                    .into_iter()
+                    .map(|c| SelectItem::Expr { expr: Expr::col(&c), alias: None })
+                    .collect(),
+                from: tables
+                    .into_iter()
+                    .map(|t| TableRef::Table { name: ObjectName::simple(&t), alias: None })
+                    .collect(),
+                selection,
+                group_by: vec![],
+                having: None,
+            };
+            SelectStatement { body: SetExpr::Select(Box::new(select)), order_by: vec![], limit: None }
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// print → parse → print is a fixpoint for generated statements.
+    #[test]
+    fn print_parse_print_fixpoint(stmt in arb_statement()) {
+        let printed = stmt.to_string();
+        let reparsed = parse_select(&printed)
+            .unwrap_or_else(|e| panic!("printer emitted unparseable SQL: {printed}\n{e}"));
+        prop_assert_eq!(printed, reparsed.to_string());
+    }
+
+    /// Anonymization is idempotent and removes all literals except NULL.
+    #[test]
+    fn anonymization_idempotent(stmt in arb_statement()) {
+        let mut once = stmt.clone();
+        anonymize_statement(&mut once);
+        let mut twice = once.clone();
+        anonymize_statement(&mut twice);
+        prop_assert_eq!(&once, &twice);
+        let text = once.to_string();
+        prop_assert!(!text.contains('\''), "string literal survived: {}", text);
+    }
+
+    /// Every branch the regularizer emits is itself conjunctive, and
+    /// re-regularizing a branch is the identity.
+    #[test]
+    fn regularizer_branches_conjunctive(stmt in arb_statement()) {
+        let mut anon = stmt;
+        anonymize_statement(&mut anon);
+        if let Ok(reg) = regularize(&anon) {
+            for branch in &reg.branches {
+                let printed = branch.to_string();
+                let reparsed = parse_select(&printed)
+                    .unwrap_or_else(|e| panic!("branch unparseable: {printed}\n{e}"));
+                let again = regularize(&reparsed).expect("branch must regularize");
+                prop_assert!(again.was_conjunctive, "branch not conjunctive: {}", printed);
+                prop_assert_eq!(again.branches.len(), 1);
+            }
+        }
+    }
+
+    /// The lexer never panics on arbitrary input.
+    #[test]
+    fn lexer_total(input in "\\PC{0,200}") {
+        let _ = logr_sql::Lexer::tokenize(&input);
+    }
+
+    /// The parser never panics on arbitrary input (errors are fine).
+    #[test]
+    fn parser_total(input in "\\PC{0,200}") {
+        let _ = parse_select(&input);
+    }
+}

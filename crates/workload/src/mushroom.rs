@@ -1,0 +1,179 @@
+//! Mushroom-like categorical dataset (paper Table 2, MTV's evaluation
+//! data).
+//!
+//! The FIMI Mushroom dataset: 8,124 tuples, 21 categorical attributes
+//! one-hot encoded into 95 distinct features, binary class = edibility.
+//! The generator reproduces row count, attribute/feature counts, and the
+//! property MTV exploits: several attributes are strongly class-correlated
+//! (odor being the classic near-perfect predictor), so informative itemsets
+//! exist.
+
+use logr_feature::{FeatureId, LabeledDataset, QueryVector};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Attribute cardinalities (21 attributes, summing to 95 one-hot features,
+/// mirroring Table 2).
+pub const MUSHROOM_CARDINALITIES: [usize; 21] =
+    [6, 4, 10, 2, 9, 2, 2, 2, 8, 2, 5, 4, 4, 6, 6, 1, 4, 3, 5, 6, 4];
+
+/// Mushroom generator configuration. Defaults reproduce Table 2.
+#[derive(Debug, Clone, Copy)]
+pub struct MushroomConfig {
+    /// RNG seed.
+    pub seed: u64,
+    /// Number of rows.
+    pub rows: u64,
+    /// P(edible).
+    pub edible_rate: f64,
+}
+
+impl Default for MushroomConfig {
+    fn default() -> Self {
+        MushroomConfig { seed: 0x3054, rows: 8_124, edible_rate: 0.518 }
+    }
+}
+
+impl MushroomConfig {
+    /// A small configuration for fast tests.
+    pub fn small(seed: u64) -> Self {
+        MushroomConfig { seed, rows: 400, edible_rate: 0.518 }
+    }
+}
+
+/// Generate the synthetic mushroom dataset.
+pub fn generate_mushroom(config: &MushroomConfig) -> LabeledDataset {
+    let n_features: usize = MUSHROOM_CARDINALITIES.iter().sum();
+    let offsets: Vec<usize> = MUSHROOM_CARDINALITIES
+        .iter()
+        .scan(0usize, |acc, &c| {
+            let o = *acc;
+            *acc += c;
+            Some(o)
+        })
+        .collect();
+
+    let mut names = Vec::with_capacity(n_features);
+    for (a, &card) in MUSHROOM_CARDINALITIES.iter().enumerate() {
+        for v in 0..card {
+            names.push(format!("attr{a}={v}"));
+        }
+    }
+
+    let mut data = LabeledDataset::new(n_features).with_feature_names(names);
+    let mut rng = StdRng::seed_from_u64(config.seed);
+
+    for _ in 0..config.rows {
+        let edible = rng.gen_bool(config.edible_rate);
+        let mut ids = Vec::with_capacity(MUSHROOM_CARDINALITIES.len());
+        for (a, &card) in MUSHROOM_CARDINALITIES.iter().enumerate() {
+            let value = draw_value(a, card, edible, &mut rng);
+            ids.push(FeatureId((offsets[a] + value) as u32));
+        }
+        data.push(QueryVector::new(ids), edible, 1);
+    }
+    data
+}
+
+/// Class-conditional categorical draw. Attribute 4 plays "odor": nearly
+/// deterministic given the class; attributes 0, 8 and 17 are moderately
+/// predictive; the rest are class-independent with a Zipf-ish skew.
+fn draw_value(attr: usize, cardinality: usize, edible: bool, rng: &mut StdRng) -> usize {
+    if cardinality == 1 {
+        return 0;
+    }
+    match attr {
+        4 => {
+            // Odor: edible mushrooms mostly value 0 ("none"), poisonous
+            // mostly values 1–3 ("foul" family) — ~97% separable.
+            if edible {
+                if rng.gen_bool(0.97) {
+                    0
+                } else {
+                    rng.gen_range(1..cardinality)
+                }
+            } else if rng.gen_bool(0.97) {
+                rng.gen_range(1..4.min(cardinality))
+            } else {
+                0
+            }
+        }
+        0 | 8 | 17 => {
+            // Moderate predictors: the class shifts the skew.
+            let bias = if edible { 0 } else { 1 };
+            let first = (rng.gen_range(0..cardinality) + bias) % cardinality;
+            if rng.gen_bool(0.6) {
+                first
+            } else {
+                rng.gen_range(0..cardinality)
+            }
+        }
+        _ => {
+            // Class-independent, skewed toward low values.
+            let r: f64 = rng.gen();
+            ((r * r * cardinality as f64) as usize).min(cardinality - 1)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cardinalities_sum_to_95() {
+        assert_eq!(MUSHROOM_CARDINALITIES.iter().sum::<usize>(), 95);
+        assert_eq!(MUSHROOM_CARDINALITIES.len(), 21);
+    }
+
+    #[test]
+    fn default_matches_table_2() {
+        let d = generate_mushroom(&MushroomConfig::default());
+        assert_eq!(d.total(), 8_124);
+        assert_eq!(d.n_features(), 95);
+        // Every row sets exactly one feature per attribute.
+        for r in d.rows() {
+            assert_eq!(r.vector.len(), 21);
+        }
+        let rate = d.label_rate();
+        assert!((rate - 0.518).abs() < 0.03, "edible rate {rate}");
+    }
+
+    #[test]
+    fn odor_is_predictive() {
+        let d = generate_mushroom(&MushroomConfig::small(3));
+        // Feature id of attr4=0: offset = 6+4+10+2 = 22.
+        let odor_none = QueryVector::new(vec![FeatureId(22)]);
+        let rate = d.label_rate_within(&odor_none).expect("odor=none occurs");
+        assert!(rate > 0.85, "odor=none should skew edible: {rate}");
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = generate_mushroom(&MushroomConfig::small(5));
+        let b = generate_mushroom(&MushroomConfig::small(5));
+        assert_eq!(a.rows().len(), b.rows().len());
+        assert_eq!(a.total(), b.total());
+        for (x, y) in a.rows().iter().zip(b.rows()) {
+            assert_eq!(x, y);
+        }
+    }
+
+    #[test]
+    fn feature_names_attached() {
+        let d = generate_mushroom(&MushroomConfig::small(1));
+        assert_eq!(d.feature_name(FeatureId(0)), "attr0=0");
+        assert_eq!(d.feature_name(FeatureId(6)), "attr1=0");
+    }
+
+    #[test]
+    fn one_hot_anticorrelation_within_attribute() {
+        // No row carries two values of the same attribute.
+        let d = generate_mushroom(&MushroomConfig::small(9));
+        let a0: Vec<FeatureId> = (0..6).map(FeatureId).collect();
+        for r in d.rows() {
+            let hits = a0.iter().filter(|&&f| r.vector.contains(f)).count();
+            assert!(hits <= 1, "two values of attribute 0 in one row");
+        }
+    }
+}

@@ -1,0 +1,209 @@
+//! Relational schema models backing the SQL generators.
+//!
+//! A [`Schema`] is a set of tables with named columns; generators draw
+//! tables/columns from it to emit realistic query text whose feature
+//! universe is controlled by the pool sizes.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// A table with its columns.
+#[derive(Debug, Clone)]
+pub struct Table {
+    /// Table name (possibly schema-qualified).
+    pub name: String,
+    /// Column names.
+    pub columns: Vec<String>,
+}
+
+impl Table {
+    /// Build a table with columns `prefix0..prefixN` plus common id/time
+    /// columns.
+    pub fn synthetic(name: &str, prefix: &str, n_columns: usize) -> Table {
+        let mut columns = vec!["id".to_string(), "created_at".to_string()];
+        columns.extend((0..n_columns.saturating_sub(2)).map(|i| format!("{prefix}_{i}")));
+        Table { name: name.to_string(), columns }
+    }
+
+    /// A random column name.
+    pub fn random_column(&self, rng: &mut StdRng) -> &str {
+        &self.columns[rng.gen_range(0..self.columns.len())]
+    }
+
+    /// A random subset of `k` distinct columns (order preserved).
+    pub fn random_columns(&self, k: usize, rng: &mut StdRng) -> Vec<&str> {
+        let k = k.min(self.columns.len());
+        let mut picked: Vec<usize> = Vec::with_capacity(k);
+        while picked.len() < k {
+            let c = rng.gen_range(0..self.columns.len());
+            if !picked.contains(&c) {
+                picked.push(c);
+            }
+        }
+        picked.sort_unstable();
+        picked.into_iter().map(|i| self.columns[i].as_str()).collect()
+    }
+}
+
+/// A collection of tables.
+#[derive(Debug, Clone, Default)]
+pub struct Schema {
+    /// The tables.
+    pub tables: Vec<Table>,
+}
+
+impl Schema {
+    /// A random table.
+    pub fn random_table(&self, rng: &mut StdRng) -> &Table {
+        &self.tables[rng.gen_range(0..self.tables.len())]
+    }
+
+    /// Table by name.
+    pub fn table(&self, name: &str) -> Option<&Table> {
+        self.tables.iter().find(|t| t.name == name)
+    }
+
+    /// Total number of columns across tables.
+    pub fn total_columns(&self) -> usize {
+        self.tables.iter().map(|t| t.columns.len()).sum()
+    }
+}
+
+/// The Google+-style Android messaging schema behind the PocketData
+/// workload (tables taken from the paper's Fig. 10 visualizations).
+pub fn messaging_schema() -> Schema {
+    let specs: &[(&str, &[&str])] = &[
+        (
+            "messages",
+            &[
+                "_id", "sms_type", "_time", "status", "transport_type", "timestamp", "text",
+                "sms_raw_sender", "message_id", "expiration_timestamp", "conversation_id",
+                "sender_id", "attachment_id", "read_state", "delivery_state", "sms_error_code",
+                "subject", "priority", "retry_count", "media_type",
+            ],
+        ),
+        (
+            "conversations",
+            &[
+                "conversation_id", "conversation_status", "conversation_pending_leave",
+                "conversation_notification_level", "chat_watermark", "latest_message_id",
+                "unread_count", "is_muted", "archive_status", "group_name", "created_ts",
+                "updated_ts", "icon_url", "participant_count",
+            ],
+        ),
+        (
+            "conversation_participants_view",
+            &[
+                "conversation_id", "participants_type", "first_name", "chat_id", "blocked",
+                "active", "profile_id", "display_name", "avatar_url", "last_seen",
+            ],
+        ),
+        (
+            "message_notifications_view",
+            &[
+                "status", "timestamp", "conversation_id", "chat_watermark", "message_id",
+                "sms_type", "notification_level", "seen", "alert_status", "sound_uri",
+            ],
+        ),
+        (
+            "messages_view",
+            &[
+                "status", "timestamp", "expiration_timestamp", "sms_raw_sender", "message_id",
+                "text", "conversation_id", "sender_name", "attachment_count",
+            ],
+        ),
+        (
+            "suggested_contacts",
+            &[
+                "suggestion_type", "name", "chat_id", "profile_id", "score", "source",
+                "last_contacted", "is_favorite",
+            ],
+        ),
+        (
+            "participants",
+            &[
+                "participant_id", "profile_id", "first_name", "full_name", "participant_type",
+                "batch_gebi_tag", "blocked", "in_users_table",
+            ],
+        ),
+        (
+            "account_settings",
+            &["setting_key", "setting_value", "account_id", "sync_state", "updated_at"],
+        ),
+    ];
+    Schema {
+        tables: specs
+            .iter()
+            .map(|(name, cols)| Table {
+                name: name.to_string(),
+                columns: cols.iter().map(|c| c.to_string()).collect(),
+            })
+            .collect(),
+    }
+}
+
+/// A multi-application banking schema: `n_schemas × tables_per_schema`
+/// tables named `s<i>.t<j>`, with varied column counts.
+pub fn banking_schema(n_schemas: usize, tables_per_schema: usize, rng: &mut StdRng) -> Schema {
+    let domains = [
+        "acct", "txn", "cust", "loan", "card", "branch", "ledger", "audit", "risk", "fx",
+    ];
+    let mut tables = Vec::with_capacity(n_schemas * tables_per_schema);
+    for s in 0..n_schemas {
+        for t in 0..tables_per_schema {
+            let domain = domains[(s + t) % domains.len()];
+            let n_cols = rng.gen_range(8..=24);
+            tables.push(Table::synthetic(
+                &format!("{domain}_db{s}.{domain}_{t}"),
+                &format!("{domain}{t}"),
+                n_cols,
+            ));
+        }
+    }
+    Schema { tables }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn messaging_schema_has_paper_tables() {
+        let s = messaging_schema();
+        for name in ["messages", "conversations", "suggested_contacts"] {
+            assert!(s.table(name).is_some(), "missing {name}");
+        }
+        assert!(s.total_columns() > 60);
+    }
+
+    #[test]
+    fn synthetic_table_columns() {
+        let t = Table::synthetic("x.y", "c", 5);
+        assert_eq!(t.columns.len(), 5);
+        assert!(t.columns.contains(&"id".to_string()));
+    }
+
+    #[test]
+    fn random_columns_distinct_and_bounded() {
+        let t = Table::synthetic("t", "c", 10);
+        let mut rng = StdRng::seed_from_u64(1);
+        let cols = t.random_columns(4, &mut rng);
+        assert_eq!(cols.len(), 4);
+        let mut dedup = cols.clone();
+        dedup.dedup();
+        assert_eq!(dedup.len(), 4);
+        // Requesting more than available clamps.
+        assert_eq!(t.random_columns(99, &mut rng).len(), 10);
+    }
+
+    #[test]
+    fn banking_schema_scales() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let s = banking_schema(5, 4, &mut rng);
+        assert_eq!(s.tables.len(), 20);
+        assert!(s.tables.iter().all(|t| t.columns.len() >= 8));
+        // Schema-qualified names.
+        assert!(s.tables[0].name.contains('.'));
+    }
+}

@@ -1,0 +1,129 @@
+//! Zipf multiplicity fitting.
+//!
+//! Both logs in the paper's Table 1 are heavily skewed (PocketData: max
+//! multiplicity 48,651 of 629,582; US bank: 208,742 of 1.24M). Multiplicity
+//! vectors here follow a Zipf law whose exponent is fitted so that the top
+//! rank hits the published maximum at the published total.
+
+/// Normalized Zipf weights `wᵢ ∝ 1/iˢ` for ranks `1..=n`.
+pub fn zipf_weights(n: usize, s: f64) -> Vec<f64> {
+    assert!(n > 0, "need at least one rank");
+    let mut w: Vec<f64> = (1..=n).map(|i| (i as f64).powf(-s)).collect();
+    let total: f64 = w.iter().sum();
+    for v in &mut w {
+        *v /= total;
+    }
+    w
+}
+
+/// Multiplicities for `n` ranks summing to exactly `total`, with the
+/// largest rank close to `max_mult` (fitted by binary search on the Zipf
+/// exponent), and every rank at least 1.
+///
+/// # Panics
+/// Panics unless `n ≥ 1`, `total ≥ n` and `max_mult ≥ total / n`.
+pub fn fit_multiplicities(n: usize, total: u64, max_mult: u64) -> Vec<u64> {
+    assert!(n >= 1);
+    assert!(total >= n as u64, "total must cover one query per rank");
+    assert!(
+        max_mult >= total / n as u64,
+        "max multiplicity below the uniform share is unsatisfiable"
+    );
+    if n == 1 {
+        return vec![total];
+    }
+    let target_share = max_mult as f64 / total as f64;
+    // w₁(s) is increasing in s; binary search the exponent.
+    let (mut lo, mut hi) = (0.0f64, 8.0f64);
+    for _ in 0..60 {
+        let mid = 0.5 * (lo + hi);
+        if zipf_weights(n, mid)[0] < target_share {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+    }
+    let weights = zipf_weights(n, 0.5 * (lo + hi));
+
+    // Integerize: floor + remainder to the top ranks, floor of 1 everywhere.
+    let mut counts: Vec<u64> = weights
+        .iter()
+        .map(|w| ((w * total as f64).floor() as u64).max(1))
+        .collect();
+    let mut assigned: u64 = counts.iter().sum();
+    let mut rank = 0;
+    while assigned < total {
+        counts[rank % n] += 1;
+        assigned += 1;
+        rank += 1;
+    }
+    while assigned > total {
+        // Trim from the tail without dropping below 1.
+        if let Some(c) = counts.iter_mut().rev().find(|c| **c > 1) {
+            *c -= 1;
+            assigned -= 1;
+        } else {
+            break;
+        }
+    }
+    counts
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn weights_normalized_and_decreasing() {
+        let w = zipf_weights(100, 1.0);
+        assert!((w.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+        for pair in w.windows(2) {
+            assert!(pair[0] >= pair[1]);
+        }
+    }
+
+    #[test]
+    fn exponent_zero_is_uniform() {
+        let w = zipf_weights(4, 0.0);
+        for &v in &w {
+            assert!((v - 0.25).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn fit_hits_total_exactly() {
+        let counts = fit_multiplicities(605, 629_582, 48_651);
+        assert_eq!(counts.len(), 605);
+        assert_eq!(counts.iter().sum::<u64>(), 629_582);
+        assert!(counts.iter().all(|&c| c >= 1));
+    }
+
+    #[test]
+    fn fit_max_is_close_to_target() {
+        let counts = fit_multiplicities(605, 629_582, 48_651);
+        let max = *counts.iter().max().unwrap();
+        let rel = (max as f64 - 48_651.0).abs() / 48_651.0;
+        assert!(rel < 0.05, "max {max} too far from 48651");
+    }
+
+    #[test]
+    fn fit_usbank_scale() {
+        let counts = fit_multiplicities(1712, 1_244_243, 208_742);
+        assert_eq!(counts.iter().sum::<u64>(), 1_244_243);
+        let max = *counts.iter().max().unwrap();
+        let rel = (max as f64 - 208_742.0).abs() / 208_742.0;
+        assert!(rel < 0.05, "max {max} too far from 208742");
+    }
+
+    #[test]
+    fn single_rank_takes_everything() {
+        assert_eq!(fit_multiplicities(1, 42, 42), vec![42]);
+    }
+
+    #[test]
+    fn small_cases_consistent() {
+        let counts = fit_multiplicities(3, 10, 6);
+        assert_eq!(counts.iter().sum::<u64>(), 10);
+        assert!(counts.iter().all(|&c| c >= 1));
+    }
+}

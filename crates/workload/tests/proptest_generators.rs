@@ -1,0 +1,53 @@
+//! Property tests: the synthetic SQL generators emit parseable,
+//! regularizable statements for every seed, and their headline statistics
+//! track the configuration.
+
+use logr_workload::{generate_pocketdata, generate_usbank, PocketDataConfig, UsBankConfig};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn pocketdata_clean_for_any_seed(seed in any::<u64>()) {
+        let config = PocketDataConfig {
+            seed,
+            total_queries: 800,
+            distinct_queries: 40,
+            conjunctive_queries: 10,
+            max_multiplicity: 120,
+        };
+        let log = generate_pocketdata(&config);
+        prop_assert_eq!(log.distinct(), 40);
+        prop_assert_eq!(log.total(), 800);
+        let (qlog, stats) = log.ingest();
+        prop_assert_eq!(stats.parse_errors, 0, "seed {} emitted unparseable SQL", seed);
+        prop_assert_eq!(stats.unsupported, 0);
+        prop_assert_eq!(stats.distinct_rewritable, stats.distinct_anonymized);
+        prop_assert!(qlog.total_queries() >= 800);
+        prop_assert!(qlog.avg_features_per_query() > 5.0);
+    }
+
+    #[test]
+    fn usbank_clean_for_any_seed(seed in any::<u64>()) {
+        let config = UsBankConfig {
+            seed,
+            total_queries: 1_500,
+            distinct_templates: 50,
+            conjunctive_templates: 42,
+            max_multiplicity: 300,
+            const_variants_per_template: 2,
+            n_schemas: 4,
+            tables_per_schema: 4,
+            n_applications: 5,
+        };
+        let log = generate_usbank(&config);
+        prop_assert_eq!(log.total(), 1_500);
+        let (_, stats) = log.ingest();
+        prop_assert_eq!(stats.parse_errors, 0, "seed {} emitted unparseable SQL", seed);
+        prop_assert_eq!(stats.unsupported, 0);
+        // Constants collapse: strictly more raw strings than templates.
+        prop_assert!(stats.distinct_raw > stats.distinct_anonymized);
+        prop_assert_eq!(stats.distinct_rewritable, stats.distinct_anonymized);
+    }
+}

@@ -1,0 +1,104 @@
+//! Materialized-view selection from a compressed log (paper §2's second
+//! application).
+//!
+//! "The results of joins … are good candidates for materialization when
+//! they appear frequently in the workload. Like index selection, view
+//! selection … requires repeated frequency estimation over the workload" —
+//! here the frequency of *table pairs co-occurring in the FROM clause*.
+//! Pair co-occurrence is exactly where mixtures earn their keep: a single
+//! naive encoding multiplies independent table marginals and hallucinates
+//! joins that never happen, while the mixture's per-cluster estimates keep
+//! anti-correlated workloads apart (§5).
+//!
+//! Run with: `cargo run --release --example view_advisor`
+
+use logr::cluster::{cluster_log, ClusterMethod};
+use logr::core::NaiveMixtureEncoding;
+use logr::feature::{FeatureClass, FeatureId, QueryVector};
+use logr::workload::{generate_usbank, UsBankConfig};
+
+fn main() {
+    let (log, _) = generate_usbank(&UsBankConfig::default()).ingest();
+    println!(
+        "workload: {} queries over {} tables",
+        log.total_queries(),
+        log.codebook().iter().filter(|(_, f)| f.class == FeatureClass::From).count()
+    );
+
+    // Fig. 2's lesson: this workload is diverse — it needs a generous
+    // cluster count before join anti-correlations resolve.
+    let single = NaiveMixtureEncoding::single(&log);
+    let clustering = cluster_log(&log, 48, ClusterMethod::KMeansEuclidean, 0);
+    let mixture = NaiveMixtureEncoding::build(&log, &clustering);
+
+    // Candidate views: every pair of tables that the *summary* says
+    // co-occurs; scored by estimated joint frequency.
+    let tables: Vec<(FeatureId, String)> = log
+        .codebook()
+        .iter()
+        .filter(|(_, f)| f.class == FeatureClass::From)
+        .map(|(id, f)| (id, f.text.clone()))
+        .collect();
+
+    struct Candidate {
+        pair: String,
+        mixture_est: f64,
+        single_est: f64,
+        truth: f64,
+    }
+    let mut candidates = Vec::new();
+    for (i, (ida, a)) in tables.iter().enumerate() {
+        for (idb, b) in &tables[i + 1..] {
+            let pattern = QueryVector::new(vec![*ida, *idb]);
+            let mixture_est = mixture.estimate_count(&pattern);
+            if mixture_est < 1.0 {
+                continue;
+            }
+            candidates.push(Candidate {
+                pair: format!("{a} ⋈ {b}"),
+                mixture_est,
+                single_est: single.estimate_count(&pattern),
+                truth: log.support(&pattern) as f64,
+            });
+        }
+    }
+    candidates.sort_by(|x, y| y.mixture_est.total_cmp(&x.mixture_est));
+
+    println!("\ntop join-pair frequencies (mixture vs single-encoding vs truth):");
+    println!(
+        "{:<44} {:>12} {:>12} {:>12}",
+        "candidate view", "mixture", "single", "true"
+    );
+    let mut mixture_abs_err = 0.0;
+    let mut single_abs_err = 0.0;
+    for c in candidates.iter().take(10) {
+        println!(
+            "{:<44} {:>12.0} {:>12.0} {:>12.0}",
+            c.pair, c.mixture_est, c.single_est, c.truth
+        );
+    }
+    for c in &candidates {
+        mixture_abs_err += (c.mixture_est - c.truth).abs();
+        single_abs_err += (c.single_est - c.truth).abs();
+    }
+    println!(
+        "\ntotal |estimate − truth| over {} candidate views: mixture {:.0}, single {:.0}",
+        candidates.len(),
+        mixture_abs_err,
+        single_abs_err
+    );
+    println!(
+        "mixture estimates are {:.1}× more accurate — anti-correlation captured (paper §5)",
+        (single_abs_err / mixture_abs_err.max(1.0)).max(1.0)
+    );
+
+    println!("\nadvisor picks (≥ 1% of workload):");
+    let total = log.total_queries() as f64;
+    for c in candidates.iter().filter(|c| c.mixture_est / total >= 0.01).take(5) {
+        println!(
+            "  CREATE MATERIALIZED VIEW … AS ({})   -- ~{:.1}% of queries",
+            c.pair,
+            100.0 * c.mixture_est / total
+        );
+    }
+}

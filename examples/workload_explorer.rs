@@ -1,0 +1,53 @@
+//! Workload exploration: walk the Error/Verbosity trade-off curve on a
+//! diverse bank-style workload and inspect the clusters a DBA would see
+//! (the paper's abstract: "users can choose to obtain a high-fidelity,
+//! albeit large summary, or a more compact summary with lower fidelity").
+//!
+//! Run with: `cargo run --release --example workload_explorer`
+
+use logr::cluster::{cluster_log, ClusterMethod};
+use logr::core::interpret::{render_component, RenderConfig};
+use logr::core::NaiveMixtureEncoding;
+use logr::workload::{generate_usbank, UsBankConfig};
+
+fn main() {
+    let (log, stats) = generate_usbank(&UsBankConfig::default()).ingest();
+    println!(
+        "US-bank-style workload: {} queries, {} distinct templates, {} features",
+        stats.parsed_selects,
+        stats.distinct_anonymized,
+        log.num_features()
+    );
+
+    // The trade-off curve: each K is one summary the user could keep.
+    println!("\n{:>4} {:>14} {:>12} {:>14}", "K", "error (nats)", "verbosity", "bytes-ish");
+    let mut chosen = None;
+    for k in [1, 2, 4, 8, 12, 16, 24, 32] {
+        let clustering = cluster_log(&log, k, ClusterMethod::KMeansEuclidean, 0);
+        let mixture = NaiveMixtureEncoding::build(&log, &clustering);
+        // One pattern ≈ one (feature id, f64) pair.
+        let approx_bytes = mixture.total_verbosity() * 12;
+        println!(
+            "{k:>4} {:>14.4} {:>12} {:>14}",
+            mixture.error(),
+            mixture.total_verbosity(),
+            approx_bytes
+        );
+        if mixture.k() == 8 {
+            chosen = Some(mixture);
+        }
+    }
+
+    // Inspect the K = 8 summary's two heaviest clusters.
+    if let Some(mixture) = chosen {
+        let mut order: Vec<usize> = (0..mixture.k()).collect();
+        order.sort_by(|&a, &b| {
+            mixture.components()[b].weight.total_cmp(&mixture.components()[a].weight)
+        });
+        let config = RenderConfig { min_marginal: 0.25, ..Default::default() };
+        println!("\nheaviest clusters at K = 8:\n");
+        for &i in order.iter().take(2) {
+            println!("{}\n", render_component(&mixture, i, log.codebook(), &config));
+        }
+    }
+}

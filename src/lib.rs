@@ -1,0 +1,64 @@
+//! # LogR — query log compression for workload analytics
+//!
+//! A Rust implementation of *"Query Log Compression for Workload
+//! Analytics"* (Xie, Chandola, Kennedy — VLDB 2018): lossy compression of
+//! SQL query logs into **pattern mixture encodings** that support fast,
+//! provably-bounded estimation of aggregate workload statistics — the
+//! counts that index selection, materialized-view selection, and online
+//! workload monitoring all reduce to.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use logr::feature::LogIngest;
+//! use logr::core::{LogR, LogRConfig, CompressionObjective};
+//! use logr::feature::Feature;
+//!
+//! // 1. Ingest raw SQL (parse → anonymize → regularize → featurize).
+//! let mut ingest = LogIngest::new();
+//! for _ in 0..900 {
+//!     ingest.ingest("SELECT id, body FROM messages WHERE status = ?");
+//! }
+//! for _ in 0..100 {
+//!     ingest.ingest("SELECT balance FROM accounts WHERE owner = ? AND open = ?");
+//! }
+//! let (log, stats) = ingest.finish();
+//! assert_eq!(stats.parse_errors, 0);
+//!
+//! // 2. Compress: cluster + naive mixture encoding.
+//! let summary = LogR::new(LogRConfig {
+//!     objective: CompressionObjective::FixedK(2),
+//!     ..Default::default()
+//! }).compress(&log);
+//!
+//! // 3. Query statistics from the summary instead of the log.
+//! let est = summary.estimate_count_features(&log, &[
+//!     Feature::from_table("messages"),
+//!     Feature::where_atom("status = ?"),
+//! ]);
+//! assert!((est - 900.0).abs() < 1.0);
+//! ```
+//!
+//! ## Crate map
+//!
+//! | Module | Backing crate | Contents |
+//! |---|---|---|
+//! | [`sql`] | `logr-sql` | lexer, parser, printer, conjunctive regularizer |
+//! | [`feature`] | `logr-feature` | Aligon features, codebook, vectors, [`feature::QueryLog`] |
+//! | [`cluster`] | `logr-cluster` | k-means, spectral, hierarchical clustering |
+//! | [`core`] | `logr-core` | encodings, Reproduction Error, max-ent, mixtures, the [`core::LogR`] compressor |
+//! | [`baselines`] | `logr-baselines` | Laserlight & MTV reimplementations + mixture generalizations |
+//! | [`workload`] | `logr-workload` | synthetic PocketData / US-bank / Mushroom / Income generators |
+//! | [`math`] | `logr-math` | matrices, eigensolvers, projections, entropies |
+//!
+//! Reproduction of every table and figure in the paper: see `DESIGN.md`
+//! (experiment index) and run `cargo run --release -p logr-bench --bin
+//! repro -- all`.
+
+pub use logr_baselines as baselines;
+pub use logr_cluster as cluster;
+pub use logr_core as core;
+pub use logr_feature as feature;
+pub use logr_math as math;
+pub use logr_sql as sql;
+pub use logr_workload as workload;

@@ -1,0 +1,88 @@
+//! The end-to-end operations workflow the library exists for: compress a
+//! baseline on the database host, ship the portable artifact, and monitor
+//! later windows for drift — all through the public facade.
+
+use logr::core::{
+    feature_drift, CompressionObjective, LogR, LogRConfig, PortableSummary,
+};
+use logr::feature::{Feature, LogIngest};
+use logr::workload::{generate_pocketdata, PocketDataConfig};
+
+#[test]
+fn compress_ship_and_answer() {
+    let (log, _) = generate_pocketdata(&PocketDataConfig::small(77)).ingest();
+    let summary = LogR::new(LogRConfig {
+        objective: CompressionObjective::FixedK(6),
+        ..Default::default()
+    })
+    .compress(&log);
+
+    // Ship through bytes, not shared memory.
+    let portable = PortableSummary::from_summary(&summary, &log);
+    let mut wire = Vec::new();
+    portable.write_to(&mut wire).unwrap();
+    let received = PortableSummary::read_from(wire.as_slice()).unwrap();
+
+    // Single-feature (table) counts answered from the artifact are exact.
+    let mut checked = 0;
+    for (id, feature) in log.codebook().iter() {
+        if feature.class != logr::feature::FeatureClass::From {
+            continue;
+        }
+        let est = received.estimate_count(std::slice::from_ref(feature));
+        let truth =
+            log.support(&logr::feature::QueryVector::new(vec![id])) as f64;
+        assert!((est - truth).abs() < 1e-6, "{feature}: {est} vs {truth}");
+        checked += 1;
+    }
+    assert!(checked >= 4, "expected several tables, saw {checked}");
+    // The artifact stores marginals, not queries: what went over the wire
+    // is exactly the summary, bounded by verbosity — not by log size.
+    assert_eq!(received.total_verbosity(), summary.total_verbosity());
+    assert!(
+        wire.len() < 64 * received.total_verbosity() + 64 * log.num_features() + 1024,
+        "wire size {} out of proportion to verbosity {}",
+        wire.len(),
+        received.total_verbosity()
+    );
+}
+
+#[test]
+fn same_workload_different_day_is_stable() {
+    // Two runs of the same workload with different multiplicity noise but
+    // the same template population: drift must stay small and report no
+    // new features.
+    let (monday, _) = generate_pocketdata(&PocketDataConfig::small(5)).ingest();
+    let (tuesday, _) = generate_pocketdata(&PocketDataConfig::small(5)).ingest();
+    let report = feature_drift(&monday, &tuesday);
+    assert!(report.new_features.is_empty());
+    assert!(report.overall < 1e-9, "identical generator drifted: {}", report.overall);
+}
+
+#[test]
+fn injected_traffic_is_flagged() {
+    let (baseline, _) = generate_pocketdata(&PocketDataConfig::small(5)).ingest();
+    // Window = a slice of the same workload + a credential scan.
+    let synthetic = generate_pocketdata(&PocketDataConfig::small(5));
+    let mut window = LogIngest::new();
+    for (sql, count) in synthetic.statements.iter().take(30) {
+        window.ingest_with_count(sql, *count);
+    }
+    window.ingest_with_count("SELECT password_hash, salt FROM credentials WHERE uid = ?", 40);
+    let (window_log, _) = window.finish();
+
+    let report = feature_drift(&baseline, &window_log);
+    assert!(!report.is_stable(1e-6));
+    assert!(
+        report.new_features.iter().any(|f| f.contains("credentials")),
+        "injected table not surfaced: {:?}",
+        report.new_features
+    );
+    // And the baseline's summary prices the injected query at zero.
+    let summary = LogR::with_clusters(6).compress(&baseline);
+    let est = summary.estimate_count_features(
+        &baseline,
+        &[Feature::from_table("credentials")],
+    );
+    assert_eq!(est, 0.0);
+}

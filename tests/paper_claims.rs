@@ -1,0 +1,162 @@
+//! Executable versions of the paper's headline claims, at test scale.
+//!
+//! Each test pins one qualitative result from the evaluation; the bench
+//! harness (`repro`) reproduces the full quantitative sweeps.
+
+use logr::baselines::{
+    laserlight_error_of_naive, laserlight_mixture_fixed, mtv_error_of_naive, Laserlight,
+    LaserlightConfig, Mtv, MtvConfig,
+};
+use logr::cluster::{cluster_log, ClusterMethod, Distance};
+use logr::core::refine::{refine_mixture, RefineConfig};
+use logr::core::NaiveMixtureEncoding;
+use logr::workload::{
+    generate_income, generate_mushroom, generate_usbank, IncomeConfig, MushroomConfig,
+    UsBankConfig,
+};
+use std::time::Instant;
+
+/// §6.1.1 / Fig. 2a: more clusters consistently reduce Error, for every
+/// clustering method.
+#[test]
+fn fig2_more_clusters_reduce_error() {
+    let (log, _) = generate_usbank(&UsBankConfig::small(21)).ingest();
+    for method in [
+        ClusterMethod::KMeansEuclidean,
+        ClusterMethod::Spectral(Distance::Hamming),
+        ClusterMethod::Spectral(Distance::Manhattan),
+    ] {
+        let e1 = NaiveMixtureEncoding::build(&log, &cluster_log(&log, 1, method, 0)).error();
+        let e12 = NaiveMixtureEncoding::build(&log, &cluster_log(&log, 12, method, 0)).error();
+        assert!(
+            e12 < e1,
+            "{}: error did not fall from k=1 ({e1}) to k=12 ({e12})",
+            method.label()
+        );
+    }
+}
+
+/// Fig. 2c: KMeans is (much) faster than spectral clustering.
+#[test]
+fn fig2_kmeans_faster_than_spectral() {
+    let (log, _) = generate_usbank(&UsBankConfig::small(8)).ingest();
+    let t0 = Instant::now();
+    cluster_log(&log, 8, ClusterMethod::KMeansEuclidean, 0);
+    let kmeans = t0.elapsed();
+    let t1 = Instant::now();
+    cluster_log(&log, 8, ClusterMethod::Spectral(Distance::Hamming), 0);
+    let spectral = t1.elapsed();
+    assert!(
+        kmeans < spectral,
+        "kmeans {kmeans:?} not faster than spectral {spectral:?}"
+    );
+}
+
+/// §7.2.2 / Fig. 5a: plugging miner patterns into the naive mixture yields
+/// only a small (non-negative) improvement.
+#[test]
+fn fig5_refinement_small_but_nonnegative() {
+    let (log, _) = generate_usbank(&UsBankConfig::small(5)).ingest();
+    let clustering = cluster_log(&log, 4, ClusterMethod::KMeansEuclidean, 0);
+    let mixture = NaiveMixtureEncoding::build(&log, &clustering);
+    let refined = refine_mixture(&log, &mixture, &RefineConfig::default());
+    assert!(refined.error <= mixture.error() + 1e-9, "refinement made things worse");
+}
+
+/// §8.1.2 / Fig. 6: the naive encoding beats the classical miners under
+/// their own measures at comparable (or any feasible) verbosity.
+#[test]
+fn fig6_naive_encoding_competitive() {
+    let mushroom = generate_mushroom(&MushroomConfig::small(5));
+    let naive = mtv_error_of_naive(&mushroom);
+    let mtv = Mtv::new(MtvConfig::new(8)).summarize(&mushroom).unwrap();
+    // MTV at 8 itemsets cannot reach the naive encoding's fidelity.
+    assert!(
+        naive < mtv.error,
+        "naive {naive} should beat 8-itemset MTV {}",
+        mtv.error
+    );
+}
+
+/// §8.1.3 / Fig. 8: partitioning improves Laserlight Mixture Fixed.
+#[test]
+fn fig8_partitioning_improves_laserlight() {
+    let income = generate_income(&IncomeConfig::small(5));
+    let k1 = laserlight_mixture_fixed(&income, 1, 12, 3);
+    let k4 = laserlight_mixture_fixed(&income, 4, 12, 3);
+    assert!(
+        k4.combined_weighted <= k1.combined_weighted + 1e-6,
+        "k=4 {} vs k=1 {}",
+        k4.combined_weighted,
+        k1.combined_weighted
+    );
+}
+
+/// §8.1.4 / Fig. 9a: partitioned summaries beat their unpartitioned
+/// baselines under the Laserlight measure.
+#[test]
+fn fig9_mixtures_beat_baselines() {
+    let mushroom = generate_mushroom(&MushroomConfig::small(7));
+    let naive_ll = laserlight_error_of_naive(&mushroom);
+
+    // Naive mixture at k=6 under the Laserlight measure.
+    let clustering = logr::baselines::mixtures::cluster_dataset(&mushroom, 6, 3);
+    let total = mushroom.total() as f64;
+    let mixture_ll: f64 = clustering
+        .members()
+        .into_iter()
+        .filter(|g| !g.is_empty())
+        .map(|g| {
+            let cluster = mushroom.subset(&g);
+            (cluster.total() as f64 / total) * laserlight_error_of_naive(&cluster)
+        })
+        .sum();
+    assert!(
+        mixture_ll <= naive_ll + 1e-9,
+        "naive mixture {mixture_ll} vs unpartitioned naive {naive_ll}"
+    );
+}
+
+/// §7.2.1 / Fig. 5c-flavored: naive mixture construction is much faster
+/// than running a pattern miner.
+#[test]
+fn fig5_naive_mixture_faster_than_miners() {
+    let income = generate_income(&IncomeConfig::small(9));
+    let log = income.to_query_log();
+
+    let t0 = Instant::now();
+    let clustering = cluster_log(&log, 4, ClusterMethod::KMeansEuclidean, 0);
+    NaiveMixtureEncoding::build(&log, &clustering);
+    let naive = t0.elapsed();
+
+    let t1 = Instant::now();
+    Laserlight::new(LaserlightConfig::new(10, 0)).summarize(&income);
+    let miner = t1.elapsed();
+
+    assert!(
+        naive < miner,
+        "naive mixture {naive:?} not faster than Laserlight {miner:?}"
+    );
+}
+
+/// §5's worked example: mixtures capture anti-correlation that single
+/// encodings cannot (phantom queries get probability 0).
+#[test]
+fn mixtures_capture_anticorrelation() {
+    use logr::feature::{FeatureId, QueryLog, QueryVector};
+    let qv = |ids: &[u32]| QueryVector::new(ids.iter().map(|&i| FeatureId(i)).collect());
+    let mut log = QueryLog::new();
+    log.add_vector(qv(&[0, 1]), 10); // workload A
+    log.add_vector(qv(&[2, 3]), 10); // workload B
+    let phantom = qv(&[0, 2]); // mixes the workloads; never occurs
+
+    let single = NaiveMixtureEncoding::single(&log);
+    assert!(single.probability(&phantom) > 0.0, "single encoding admits the phantom");
+
+    let split = NaiveMixtureEncoding::build(
+        &log,
+        &logr::cluster::Clustering::new(2, vec![0, 1]),
+    );
+    assert_eq!(split.probability(&phantom), 0.0, "mixture must rule the phantom out");
+    assert_eq!(split.estimate_count(&phantom), 0.0);
+}

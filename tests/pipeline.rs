@@ -1,0 +1,126 @@
+//! End-to-end integration: raw SQL text → ingestion → clustering →
+//! mixture encoding → statistics, across the synthetic workloads.
+
+use logr::cluster::{cluster_log, ClusterMethod, Distance};
+use logr::core::{
+    empirical_entropy, marginal_deviation, synthesis_error, CompressionObjective, LogR,
+    LogRConfig, NaiveMixtureEncoding,
+};
+use logr::feature::{Feature, QueryVector};
+use logr::workload::{
+    generate_pocketdata, generate_usbank, PocketDataConfig, UsBankConfig,
+};
+
+#[test]
+fn pocketdata_end_to_end() {
+    let synthetic = generate_pocketdata(&PocketDataConfig::small(42));
+    let (log, stats) = synthetic.ingest();
+
+    assert_eq!(stats.parse_errors, 0);
+    assert_eq!(stats.unsupported, 0);
+    assert_eq!(stats.distinct_rewritable, stats.distinct_anonymized);
+    assert!(log.total_queries() >= synthetic.total());
+
+    // Compress at a few K; error must trend down, verbosity up.
+    let mut errors = Vec::new();
+    let mut verbosities = Vec::new();
+    for k in [1, 4, 16] {
+        let clustering = cluster_log(&log, k, ClusterMethod::Spectral(Distance::Hamming), 7);
+        let mixture = NaiveMixtureEncoding::build(&log, &clustering);
+        errors.push(mixture.error());
+        verbosities.push(mixture.total_verbosity());
+    }
+    assert!(
+        errors[2] < errors[0],
+        "error did not decrease with clusters: {errors:?}"
+    );
+    assert!(
+        verbosities[2] >= verbosities[0],
+        "verbosity did not grow with clusters: {verbosities:?}"
+    );
+}
+
+#[test]
+fn usbank_end_to_end() {
+    let synthetic = generate_usbank(&UsBankConfig::small(42));
+    let (log, stats) = synthetic.ingest();
+    assert_eq!(stats.parse_errors, 0);
+    assert!(stats.distinct_raw > stats.distinct_anonymized, "constants should collapse");
+
+    let summary = LogR::new(LogRConfig {
+        method: ClusterMethod::KMeansEuclidean,
+        objective: CompressionObjective::FixedK(6),
+        ..Default::default()
+    })
+    .compress(&log);
+    assert!(summary.mixture.k() <= 6);
+    assert!(summary.error() >= -1e-9);
+
+    // Table-level counts are exact (single-feature patterns).
+    for (id, feature) in log.codebook().iter() {
+        if feature.class == logr::feature::FeatureClass::From {
+            let pattern = QueryVector::new(vec![id]);
+            let est = summary.estimate_count(&pattern);
+            let truth = log.support(&pattern) as f64;
+            assert!(
+                (est - truth).abs() < 1e-6,
+                "table count mismatch for {feature}: {est} vs {truth}"
+            );
+        }
+    }
+}
+
+#[test]
+fn diagnostics_track_error_across_k() {
+    let synthetic = generate_usbank(&UsBankConfig::small(11));
+    let (log, _) = synthetic.ingest();
+
+    let mut rows = Vec::new();
+    for k in [1, 3, 9] {
+        let clustering = cluster_log(&log, k, ClusterMethod::KMeansEuclidean, 0);
+        let mixture = NaiveMixtureEncoding::build(&log, &clustering);
+        rows.push((
+            mixture.error(),
+            synthesis_error(&log, &mixture, 400, 5),
+            marginal_deviation(&log, &mixture),
+        ));
+    }
+    // Fig. 3's claim: as error falls across the sweep, so do the
+    // diagnostics (allowing small sampling noise at adjacent points).
+    assert!(rows[2].0 < rows[0].0);
+    assert!(rows[2].1 <= rows[0].1 + 0.05, "synthesis error did not fall: {rows:?}");
+    assert!(rows[2].2 <= rows[0].2 + 0.05, "marginal deviation did not fall: {rows:?}");
+}
+
+#[test]
+fn compression_objectives_honored() {
+    let synthetic = generate_pocketdata(&PocketDataConfig::small(3));
+    let (log, _) = synthetic.ingest();
+    let single_error = NaiveMixtureEncoding::single(&log).error();
+    let bound = single_error * 0.5;
+
+    let summary = LogR::new(LogRConfig {
+        method: ClusterMethod::KMeansEuclidean,
+        objective: CompressionObjective::MaxError { bound, max_k: 32 },
+        ..Default::default()
+    })
+    .compress(&log);
+    assert!(
+        summary.error() <= bound + 1e-9,
+        "error {} exceeds bound {bound}",
+        summary.error()
+    );
+}
+
+#[test]
+fn example_1_feature_extraction_through_facade() {
+    // The paper's Example 1, run through the public facade.
+    let mut ingest = logr::feature::LogIngest::new();
+    ingest.ingest(
+        "SELECT _id, sms_type, _time FROM Messages WHERE status = ? AND transport_type = ?",
+    );
+    let (log, _) = ingest.finish();
+    assert_eq!(log.num_features(), 6);
+    assert!(log.codebook().get(&Feature::where_atom("transport_type = ?")).is_some());
+    assert!((empirical_entropy(&log) - 0.0).abs() < 1e-12);
+}
