@@ -278,11 +278,7 @@ mod tests {
         let d = determined_data();
         let summary = Laserlight::new(LaserlightConfig::new(4, 7)).summarize(&d);
         let naive = laserlight_error_of_naive(&d);
-        assert!(
-            summary.error < naive * 0.5,
-            "summary error {} vs naive {naive}",
-            summary.error
-        );
+        assert!(summary.error < naive * 0.5, "summary error {} vs naive {naive}", summary.error);
         assert!(!summary.patterns.is_empty());
     }
 
@@ -297,11 +293,7 @@ mod tests {
         let last = *summary.error_trajectory.last().unwrap();
         assert!(last < first * 0.1, "no overall improvement: {:?}", summary.error_trajectory);
         for w in summary.error_trajectory.windows(2) {
-            assert!(
-                w[1] <= w[0] * 1.25 + 1e-6,
-                "error jumped: {:?}",
-                summary.error_trajectory
-            );
+            assert!(w[1] <= w[0] * 1.25 + 1e-6, "error jumped: {:?}", summary.error_trajectory);
         }
     }
 
@@ -310,10 +302,8 @@ mod tests {
         let d = determined_data();
         let summary = Laserlight::new(LaserlightConfig::new(6, 11)).summarize(&d);
         // Some selected pattern must pin down feature 0 (the label rule).
-        let has_f0 = summary
-            .patterns
-            .iter()
-            .any(|(p, rate)| p.contains(FeatureId(0)) && *rate > 0.99);
+        let has_f0 =
+            summary.patterns.iter().any(|(p, rate)| p.contains(FeatureId(0)) && *rate > 0.99);
         assert!(has_f0, "patterns: {:?}", summary.patterns);
     }
 

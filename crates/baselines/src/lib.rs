@@ -22,9 +22,7 @@ pub mod laserlight;
 pub mod mixtures;
 pub mod mtv;
 
-pub use laserlight::{
-    laserlight_error_of_naive, Laserlight, LaserlightConfig, LaserlightSummary,
-};
+pub use laserlight::{laserlight_error_of_naive, Laserlight, LaserlightConfig, LaserlightSummary};
 pub use mixtures::{
     laserlight_mixture_fixed, laserlight_mixture_scaled, mixture_weights_d3, mtv_mixture_fixed,
     mtv_mixture_scaled, MixtureRun,

@@ -48,11 +48,7 @@ impl MixtureRun {
         let combined_weighted = if grand == 0 {
             0.0
         } else {
-            errors
-                .iter()
-                .zip(&totals)
-                .map(|(e, &t)| e * t as f64 / grand as f64)
-                .sum()
+            errors.iter().zip(&totals).map(|(e, &t)| e * t as f64 / grand as f64).sum()
         };
         MixtureRun {
             k: errors.len(),
@@ -178,10 +174,8 @@ pub fn mtv_mixture_scaled(
     seed: u64,
 ) -> Result<MixtureRun, MtvError> {
     let clustering = cluster_dataset(data, k, seed);
-    let budgets: Vec<usize> = naive_verbosities(data, &clustering)
-        .into_iter()
-        .map(|b| b.min(MTV_PATTERN_CAP))
-        .collect();
+    let budgets: Vec<usize> =
+        naive_verbosities(data, &clustering).into_iter().map(|b| b.min(MTV_PATTERN_CAP)).collect();
     run_mtv_per_cluster(data, &clustering, &budgets)
 }
 
@@ -191,14 +185,7 @@ fn naive_verbosities(data: &LabeledDataset, clustering: &Clustering) -> Vec<usiz
         .members()
         .into_iter()
         .filter(|g| !g.is_empty())
-        .map(|g| {
-            data.subset(&g)
-                .marginals()
-                .iter()
-                .filter(|&&p| p > 0.0)
-                .count()
-                .max(1)
-        })
+        .map(|g| data.subset(&g).marginals().iter().filter(|&&p| p > 0.0).count().max(1))
         .collect()
 }
 

@@ -20,9 +20,9 @@
 //! overlapping itemsets, and the original binary *quits with an error above
 //! 15 patterns* (LogR §7.2.2). We enforce the same cap.
 
-use logr_core::maxent::{ClassSystem, MaxEntError};
 #[cfg(test)]
 use logr_core::maxent::GeneralEncoding;
+use logr_core::maxent::{ClassSystem, MaxEntError};
 use logr_feature::{FeatureId, LabeledDataset, QueryVector};
 use logr_math::binary_entropy;
 use std::collections::HashMap;
@@ -179,10 +179,8 @@ impl Mtv {
             let winner = candidates[best_ci].clone();
             // Re-solve the winner's merge to update the component list.
             let bridged = bridged_components(&winner, &components);
-            let mut merged_patterns: Vec<QueryVector> = bridged
-                .iter()
-                .flat_map(|&i| components[i].patterns.iter().cloned())
-                .collect();
+            let mut merged_patterns: Vec<QueryVector> =
+                bridged.iter().flat_map(|&i| components[i].patterns.iter().cloned()).collect();
             merged_patterns.push(winner.clone());
             let Ok(merged) = MtvComponent::solve(data, merged_patterns) else { break };
 
@@ -194,10 +192,8 @@ impl Mtv {
                 }
             }
             // Invalidate candidates touching the merged component's span.
-            let merged_span: QueryVector = merged
-                .patterns
-                .iter()
-                .fold(QueryVector::empty(), |acc, p| acc.union(p));
+            let merged_span: QueryVector =
+                merged.patterns.iter().fold(QueryVector::empty(), |acc, p| acc.union(p));
             for (ci, cand) in candidates.iter().enumerate() {
                 if cand.intersection_size(&merged_span) > 0 {
                     deltas[ci] = None;
@@ -211,10 +207,7 @@ impl Mtv {
                 .push(n * current_entropy + penalty_per_pattern * selected.len() as f64);
         }
 
-        let itemsets = selected
-            .iter()
-            .map(|p| (p.clone(), data.support(p) as f64 / n))
-            .collect();
+        let itemsets = selected.iter().map(|p| (p.clone(), data.support(p) as f64 / n)).collect();
         Ok(MtvSummary {
             itemsets,
             error: n * current_entropy + penalty_per_pattern * selected.len() as f64,
@@ -237,10 +230,8 @@ impl Mtv {
                 }
             }
         }
-        let mut pairs: Vec<((FeatureId, FeatureId), u64)> = pair_support
-            .into_iter()
-            .filter(|&(_, c)| c >= min_count)
-            .collect();
+        let mut pairs: Vec<((FeatureId, FeatureId), u64)> =
+            pair_support.into_iter().filter(|&(_, c)| c >= min_count).collect();
         pairs.sort_by(|x, y| y.1.cmp(&x.1).then(x.0.cmp(&y.0)));
         pairs.truncate(self.config.candidate_limit);
 
@@ -261,10 +252,8 @@ impl Mtv {
                         }
                     }
                 }
-                let mut exts: Vec<(FeatureId, u64)> = ext
-                    .into_iter()
-                    .filter(|&(_, c)| c >= min_count)
-                    .collect();
+                let mut exts: Vec<(FeatureId, u64)> =
+                    ext.into_iter().filter(|&(_, c)| c >= min_count).collect();
                 exts.sort_by(|x, y| y.1.cmp(&x.1).then(x.0.cmp(&y.0)));
                 for (f, _) in exts.into_iter().take(3) {
                     let t = QueryVector::new(vec![a, b, f]);
@@ -291,8 +280,7 @@ struct MtvComponent {
 impl MtvComponent {
     fn solve(data: &LabeledDataset, patterns: Vec<QueryVector>) -> Result<Self, MaxEntError> {
         let total = data.total().max(1) as f64;
-        let targets: Vec<f64> =
-            patterns.iter().map(|p| data.support(p) as f64 / total).collect();
+        let targets: Vec<f64> = patterns.iter().map(|p| data.support(p) as f64 / total).collect();
         let cs = ClassSystem::build(&patterns)?;
         let q = cs.maxent(&targets)?;
         let entropy_proj = cs.entropy(&q, cs.n_projected());
@@ -324,10 +312,8 @@ fn evaluate_candidate(
     if merged_count > max_component {
         return None;
     }
-    let mut merged_patterns: Vec<QueryVector> = bridged
-        .iter()
-        .flat_map(|&i| components[i].patterns.iter().cloned())
-        .collect();
+    let mut merged_patterns: Vec<QueryVector> =
+        bridged.iter().flat_map(|&i| components[i].patterns.iter().cloned()).collect();
     merged_patterns.push(cand.clone());
     let merged = MtvComponent::solve(data, merged_patterns).ok()?;
     let old_proj: f64 = bridged.iter().map(|&i| components[i].entropy_proj).sum();
@@ -349,10 +335,7 @@ fn model_entropy(
     universe_size: usize,
 ) -> Result<f64, MaxEntError> {
     let total = data.total().max(1) as f64;
-    let targets: Vec<f64> = itemsets
-        .iter()
-        .map(|p| data.support(p) as f64 / total)
-        .collect();
+    let targets: Vec<f64> = itemsets.iter().map(|p| data.support(p) as f64 / total).collect();
     GeneralEncoding::new(itemsets.to_vec(), targets, universe_size).entropy()
 }
 

@@ -1,16 +1,65 @@
-//! Ablation: the distance measure inside the same spectral pipeline
-//! (paper take-away §6.1.1: Hamming offers the best Error/runtime
-//! trade-off). Runtime here; the Error side lives in `repro fig2`.
+//! Ablation: the distance kernel and the distance measure.
+//!
+//! Two questions, one group (`distance_matrix`):
+//!
+//! 1. **Kernel A/B** — sparse id-merge baseline ([`distance_matrix`])
+//!    versus the dense popcount engine ([`PointSet::distances`]) on the
+//!    same ≥2k-vector workload. The dense path also amortizes one
+//!    batch conversion (benchmarked separately as `dense_convert`).
+//! 2. **Metric ablation** — the §6.1 measures inside the same dense
+//!    pipeline (paper take-away §6.1.1: Hamming offers the best
+//!    Error/runtime trade-off). Runtime here; the Error side lives in
+//!    `repro fig2`.
 
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
-use logr_cluster::{distance_matrix, Distance};
-use logr_feature::QueryVector;
+use logr_cluster::{distance_matrix, Distance, PointSet};
+use logr_feature::{FeatureId, QueryVector};
 use logr_workload::{generate_pocketdata, PocketDataConfig};
 
-fn bench_distances(c: &mut Criterion) {
+/// Deterministic synthetic workload: `n` sparse vectors over a `universe`
+/// sized like the paper's distinct-query regimes.
+fn synthetic_vectors(n: usize, universe: u32, avg_set: u32) -> Vec<QueryVector> {
+    let mut state = 0x9E37_79B9u64;
+    let mut next = move || {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        state
+    };
+    (0..n)
+        .map(|_| {
+            let len = 3 + (next() % (2 * avg_set as u64 - 5)) as u32;
+            QueryVector::new((0..len).map(|_| FeatureId(next() as u32 % universe)).collect())
+        })
+        .collect()
+}
+
+fn bench_kernel_ab(c: &mut Criterion) {
+    // ≥2k vectors: the scale where clustering cost dominates compression.
+    let vectors = synthetic_vectors(2048, 512, 12);
+    let refs: Vec<&QueryVector> = vectors.iter().collect();
+    let nf = 512;
+
+    let mut group = c.benchmark_group("distance_matrix");
+    group.bench_function("sparse_baseline/hamming-2048", |b| {
+        b.iter(|| distance_matrix(black_box(&refs), Distance::Hamming, nf))
+    });
+    group.bench_function("dense_kernel/hamming-2048", |b| {
+        let points = PointSet::from_vectors(&refs, nf);
+        b.iter(|| black_box(&points).distances(Distance::Hamming))
+    });
+    group.bench_function("dense_convert/2048", |b| {
+        b.iter(|| PointSet::from_vectors(black_box(&refs), nf))
+    });
+    group.bench_function("dense_end_to_end/hamming-2048", |b| {
+        b.iter(|| PointSet::from_vectors(black_box(&refs), nf).distances(Distance::Hamming))
+    });
+    group.finish();
+}
+
+fn bench_metrics(c: &mut Criterion) {
     let (log, _) = generate_pocketdata(&PocketDataConfig::small(1)).ingest();
-    let points: Vec<&QueryVector> = log.entries().iter().map(|(v, _)| v).collect();
-    let nf = log.num_features();
+    let points = PointSet::from_log(&log);
 
     let mut group = c.benchmark_group("distance_matrix");
     for metric in [
@@ -21,12 +70,10 @@ fn bench_distances(c: &mut Criterion) {
         Distance::Chebyshev,
         Distance::Canberra,
     ] {
-        group.bench_function(metric.label(), |b| {
-            b.iter(|| distance_matrix(black_box(&points), metric, nf))
-        });
+        group.bench_function(metric.label(), |b| b.iter(|| black_box(&points).distances(metric)));
     }
     group.finish();
 }
 
-criterion_group!(benches, bench_distances);
+criterion_group!(benches, bench_kernel_ab, bench_metrics);
 criterion_main!(benches);

@@ -12,9 +12,7 @@ fn bench_baselines(c: &mut Criterion) {
     group.sample_size(10);
     for &n in &[2usize, 5, 10] {
         group.bench_with_input(BenchmarkId::new("laserlight_income", n), &n, |b, &n| {
-            b.iter(|| {
-                Laserlight::new(LaserlightConfig::new(n, 0)).summarize(black_box(&income))
-            })
+            b.iter(|| Laserlight::new(LaserlightConfig::new(n, 0)).summarize(black_box(&income)))
         });
         group.bench_with_input(BenchmarkId::new("mtv_mushroom", n), &n, |b, &n| {
             b.iter(|| Mtv::new(MtvConfig::new(n)).summarize(black_box(&mushroom)).unwrap())

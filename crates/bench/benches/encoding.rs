@@ -18,9 +18,7 @@ fn bench_encoding(c: &mut Criterion) {
     c.bench_function("naive_encoding_build", |b| {
         b.iter(|| NaiveEncoding::from_log(black_box(&log)))
     });
-    c.bench_function("empirical_entropy", |b| {
-        b.iter(|| empirical_entropy(black_box(&log)))
-    });
+    c.bench_function("empirical_entropy", |b| b.iter(|| empirical_entropy(black_box(&log))));
     c.bench_function("mixture_build_k8", |b| {
         b.iter(|| NaiveMixtureEncoding::build(black_box(&log), &clustering))
     });
@@ -36,9 +34,7 @@ fn bench_encoding(c: &mut Criterion) {
     c.bench_function("estimate_count_from_summary", |b| {
         b.iter(|| mixture.estimate_count(black_box(&pattern)))
     });
-    c.bench_function("true_count_from_log", |b| {
-        b.iter(|| log.support(black_box(&pattern)))
-    });
+    c.bench_function("true_count_from_log", |b| b.iter(|| log.support(black_box(&pattern))));
 }
 
 criterion_group!(benches, bench_encoding);

@@ -7,9 +7,7 @@ use logr_feature::{FeatureId, QueryVector};
 
 fn chain_patterns(m: usize) -> Vec<QueryVector> {
     // Overlapping chain b_i = {i, i+1}: worst-case single component.
-    (0..m)
-        .map(|i| QueryVector::new(vec![FeatureId(i as u32), FeatureId(i as u32 + 1)]))
-        .collect()
+    (0..m).map(|i| QueryVector::new(vec![FeatureId(i as u32), FeatureId(i as u32 + 1)])).collect()
 }
 
 fn bench_maxent(c: &mut Criterion) {

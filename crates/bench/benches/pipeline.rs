@@ -6,21 +6,17 @@ use logr_feature::LogIngest;
 use logr_sql::{anonymize_statement, parse_select, regularize, Lexer};
 use logr_workload::{generate_pocketdata, PocketDataConfig};
 
-const SIMPLE: &str = "SELECT _id, sms_type, _time FROM Messages WHERE status = ? AND transport_type = ?";
-const COMPLEX: &str = "SELECT a.id, b.name, count(*) FROM accounts a JOIN owners b ON a.owner_id = b.id \
+const SIMPLE: &str =
+    "SELECT _id, sms_type, _time FROM Messages WHERE status = ? AND transport_type = ?";
+const COMPLEX: &str =
+    "SELECT a.id, b.name, count(*) FROM accounts a JOIN owners b ON a.owner_id = b.id \
      WHERE a.balance BETWEEN ? AND ? AND (a.status = ? OR b.region IN (?, ?, ?)) \
      AND b.joined IS NOT NULL GROUP BY a.id, b.name ORDER BY count(*) DESC LIMIT 100";
 
 fn bench_pipeline(c: &mut Criterion) {
-    c.bench_function("lex_simple", |b| {
-        b.iter(|| Lexer::tokenize(black_box(SIMPLE)).unwrap())
-    });
-    c.bench_function("parse_simple", |b| {
-        b.iter(|| parse_select(black_box(SIMPLE)).unwrap())
-    });
-    c.bench_function("parse_complex", |b| {
-        b.iter(|| parse_select(black_box(COMPLEX)).unwrap())
-    });
+    c.bench_function("lex_simple", |b| b.iter(|| Lexer::tokenize(black_box(SIMPLE)).unwrap()));
+    c.bench_function("parse_simple", |b| b.iter(|| parse_select(black_box(SIMPLE)).unwrap()));
+    c.bench_function("parse_complex", |b| b.iter(|| parse_select(black_box(COMPLEX)).unwrap()));
     c.bench_function("regularize_complex", |b| {
         let stmt = parse_select(COMPLEX).unwrap();
         b.iter(|| {

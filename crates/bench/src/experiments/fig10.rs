@@ -24,16 +24,14 @@ pub fn run(scale: Scale) -> Result<(), String> {
     // pattern groups of the heaviest cluster, highlighted together.
     let refined = refine_mixture(&pocket, &mixture, &RefineConfig::default());
     let heaviest = (0..mixture.k())
-        .max_by(|&a, &b| {
-            mixture.components()[a].weight.total_cmp(&mixture.components()[b].weight)
-        })
+        .max_by(|&a, &b| mixture.components()[a].weight.total_cmp(&mixture.components()[b].weight))
         .unwrap_or(0);
     let total = mixture.components()[heaviest].total.max(1) as f64;
     let scored: Vec<(logr_feature::QueryVector, f64)> = refined.added[heaviest]
         .iter()
         .map(|(p, _)| {
-            let freq = pocket.support_for(p, &mixture.components()[heaviest].entries) as f64
-                / total;
+            let freq =
+                pocket.support_for(p, &mixture.components()[heaviest].entries) as f64 / total;
             (p.clone(), freq)
         })
         .collect();

@@ -108,7 +108,7 @@ fn run_dataset(
             }
         }
     }
-    scored.sort_by(|a, b| b.1.cmp(&a.1));
+    scored.sort_by_key(|&(_, s)| std::cmp::Reverse(s));
     let pool: Vec<QueryVector> = scored.into_iter().take(POOL).map(|(p, _)| p).collect();
     if pool.len() < 3 {
         return;
@@ -138,10 +138,8 @@ fn run_dataset(
             .collect();
         estimate_deviation(&cs, &active, &truth, samples, seed).mean
     };
-    let deviations: Vec<f64> = encodings
-        .iter()
-        .map(|&mask| deviation_of(mask, mask as u64))
-        .collect();
+    let deviations: Vec<f64> =
+        encodings.iter().map(|&mask| deviation_of(mask, mask as u64)).collect();
 
     // (c)/(d): Error (max-ent over the §7.1 universe) vs Deviation.
     for (&mask, &dev) in encodings.iter().zip(&deviations) {
@@ -163,12 +161,7 @@ fn run_dataset(
         if let Ok(err) = GeneralEncoding::new(pats, tgts, universe.len())
             .reproduction_error(log, &entries, &universe)
         {
-            cd.row_strings(vec![
-                name.to_string(),
-                mask.count_ones().to_string(),
-                f(err),
-                f(dev),
-            ]);
+            cd.row_strings(vec![name.to_string(), mask.count_ones().to_string(), f(err), f(dev)]);
         }
     }
 
@@ -205,8 +198,7 @@ fn run_dataset(
             let mut drops: Vec<f64> = bin.iter().map(|&(_, d)| d).collect();
             drops.sort_by(f64::total_cmp);
             let q = |frac: f64| drops[((drops.len() - 1) as f64 * frac) as usize];
-            let positive =
-                drops.iter().filter(|&&d| d > -1e-9).count() as f64 / drops.len() as f64;
+            let positive = drops.iter().filter(|&&d| d > -1e-9).count() as f64 / drops.len() as f64;
             let bin_label = bin.iter().map(|&(x, _)| x).sum::<f64>() / bin.len() as f64;
             ab.row_strings(vec![
                 name.to_string(),

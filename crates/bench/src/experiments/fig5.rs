@@ -73,8 +73,7 @@ fn laserlight_pass(log: &QueryLog, mixture: &NaiveMixtureEncoding) -> (f64, f64)
     for component in mixture.components() {
         let patterns = match log_to_labeled(log, &component.entries, 100) {
             Some((data, _label)) => {
-                let summary =
-                    Laserlight::new(LaserlightConfig::new(15, 0)).summarize(&data);
+                let summary = Laserlight::new(LaserlightConfig::new(15, 0)).summarize(&data);
                 summary
                     .patterns
                     .into_iter()
@@ -111,8 +110,7 @@ fn refined_error(
     component: &logr_core::mixture::MixtureComponent,
     patterns: &[QueryVector],
 ) -> f64 {
-    let scored: Vec<(QueryVector, f64)> =
-        patterns.iter().map(|p| (p.clone(), 0.0)).collect();
+    let scored: Vec<(QueryVector, f64)> = patterns.iter().map(|p| (p.clone(), 0.0)).collect();
     refined_component_error(log, &component.entries, &component.encoding, &scored)
         .unwrap_or(component.error)
 }

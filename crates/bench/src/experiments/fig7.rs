@@ -26,8 +26,7 @@ pub fn run(scale: Scale) -> Result<(), String> {
         &["n_patterns", "runtime_s"],
     );
     for &n in &ll_counts {
-        let (_, secs) =
-            time_it(|| Laserlight::new(LaserlightConfig::new(n, 0)).summarize(&income));
+        let (_, secs) = time_it(|| Laserlight::new(LaserlightConfig::new(n, 0)).summarize(&income));
         a.row_strings(vec![n.to_string(), f(secs)]);
     }
     a.print();

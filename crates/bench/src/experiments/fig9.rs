@@ -27,12 +27,9 @@ pub fn run(scale: Scale) -> Result<(), String> {
     // the common 15-pattern configuration.
     let naive_ll = laserlight_error_of_naive(&mushroom);
     let naive_mtv = mtv_error_of_naive(&mushroom);
-    let classical_ll =
-        Laserlight::new(LaserlightConfig::new(15, 0)).summarize(&mushroom).error;
-    let classical_mtv = Mtv::new(MtvConfig::new(15))
-        .summarize(&mushroom)
-        .map_err(|e| e.to_string())?
-        .error;
+    let classical_ll = Laserlight::new(LaserlightConfig::new(15, 0)).summarize(&mushroom).error;
+    let classical_mtv =
+        Mtv::new(MtvConfig::new(15)).summarize(&mushroom).map_err(|e| e.to_string())?.error;
 
     let mut a = Table::new(
         "Figure 9a: Laserlight Error v. # clusters (Mushroom)",

@@ -13,8 +13,8 @@ pub mod fig9;
 pub mod table1;
 pub mod table2;
 
-use logr_feature::{FeatureId, LabeledDataset, QueryLog};
 use logr_feature::QueryVector;
+use logr_feature::{FeatureId, LabeledDataset, QueryLog};
 
 /// Convert (a subset of) a query log into a labeled dataset for the
 /// baselines, using the paper's Appendix D.1 recipe: restrict to the
@@ -36,12 +36,8 @@ pub fn log_to_labeled(
         .collect();
     ranked.sort_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
     let label_feature = FeatureId(ranked.first()?.0 as u32);
-    let kept: Vec<FeatureId> = ranked
-        .iter()
-        .skip(1)
-        .take(max_features)
-        .map(|&(i, _)| FeatureId(i as u32))
-        .collect();
+    let kept: Vec<FeatureId> =
+        ranked.iter().skip(1).take(max_features).map(|&(i, _)| FeatureId(i as u32)).collect();
     let keep_set = QueryVector::new(kept);
 
     let mut data = LabeledDataset::new(log.num_features());

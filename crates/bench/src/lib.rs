@@ -33,8 +33,8 @@ pub fn run_experiment(id: &str, scale: Scale) -> Result<(), String> {
         "fig10" => experiments::fig10::run(scale),
         "all" => {
             for id in [
-                "table1", "fig2", "fig3", "fig4", "fig5", "table2", "fig6", "fig7", "fig8",
-                "fig9", "fig10",
+                "table1", "fig2", "fig3", "fig4", "fig5", "table2", "fig6", "fig7", "fig8", "fig9",
+                "fig10",
             ] {
                 run_experiment(id, scale)?;
             }

@@ -69,10 +69,7 @@ impl Clustering {
                 next += 1;
             }
         }
-        Clustering {
-            k: next,
-            assignments: self.assignments.iter().map(|&c| remap[c]).collect(),
-        }
+        Clustering { k: next, assignments: self.assignments.iter().map(|&c| remap[c]).collect() }
     }
 }
 

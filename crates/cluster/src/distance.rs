@@ -10,6 +10,7 @@
 
 use logr_feature::QueryVector;
 use logr_math::Matrix;
+use std::borrow::Cow;
 
 /// A distance measure over binary feature vectors.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -29,9 +30,16 @@ pub enum Distance {
 }
 
 impl Distance {
-    /// Distance between two binary vectors in a universe of `n` features.
-    pub fn between(self, a: &QueryVector, b: &QueryVector, n: usize) -> f64 {
-        let d = a.symmetric_difference_size(b) as f64;
+    /// Distance as a function of the symmetric-difference cardinality `d`
+    /// in a universe of `n` features.
+    ///
+    /// This is the shared kernel of both representations: the sparse path
+    /// obtains `d` from an id merge, the dense [`crate::PointSet`] path
+    /// from an xor-popcount — the float math is identical, so the two are
+    /// bit-for-bit equivalent.
+    #[inline]
+    pub fn of_mismatches(self, d: usize, n: usize) -> f64 {
+        let d = d as f64;
         match self {
             Distance::Euclidean => d.sqrt(),
             Distance::Manhattan | Distance::Canberra => d,
@@ -56,20 +64,33 @@ impl Distance {
         }
     }
 
-    /// Canonical label used in harness output.
-    pub fn label(self) -> String {
+    /// Distance between two binary vectors in a universe of `n` features.
+    pub fn between(self, a: &QueryVector, b: &QueryVector, n: usize) -> f64 {
+        self.of_mismatches(a.symmetric_difference_size(b), n)
+    }
+
+    /// Canonical label used in harness output. Borrowed for the five
+    /// non-parameterized metrics; only `Minkowski(p)` allocates.
+    pub fn label(self) -> Cow<'static, str> {
         match self {
-            Distance::Euclidean => "euclidean".into(),
-            Distance::Manhattan => "manhattan".into(),
-            Distance::Minkowski(p) => format!("minkowski{p}"),
-            Distance::Hamming => "hamming".into(),
-            Distance::Chebyshev => "chebyshev".into(),
-            Distance::Canberra => "canberra".into(),
+            Distance::Euclidean => Cow::Borrowed("euclidean"),
+            Distance::Manhattan => Cow::Borrowed("manhattan"),
+            Distance::Minkowski(p) => Cow::Owned(format!("minkowski{p}")),
+            Distance::Hamming => Cow::Borrowed("hamming"),
+            Distance::Chebyshev => Cow::Borrowed("chebyshev"),
+            Distance::Canberra => Cow::Borrowed("canberra"),
         }
     }
 }
 
-/// Full pairwise distance matrix over a set of vectors.
+/// Full pairwise distance matrix over a set of vectors — the **sparse
+/// reference implementation**.
+///
+/// Every cell is computed with the `O(|x| + |y|)` sorted-id merge. This is
+/// the baseline the dense engine is property-tested and benchmarked
+/// against; hot paths should use [`crate::PointSet::distances`], which
+/// produces the same values from xor-popcounts in a condensed layout,
+/// in parallel, at a fraction of the cost.
 pub fn distance_matrix(vectors: &[&QueryVector], metric: Distance, n_features: usize) -> Matrix {
     let n = vectors.len();
     let mut m = Matrix::zeros(n, n);
@@ -114,9 +135,7 @@ mod tests {
         // d = 4: l1 = 4, l2 = 2, l4 = 4^(1/4) = √2.
         assert_eq!(Distance::Minkowski(1.0).between(&a, &b, 8), 4.0);
         assert!((Distance::Minkowski(2.0).between(&a, &b, 8) - 2.0).abs() < 1e-12);
-        assert!(
-            (Distance::Minkowski(4.0).between(&a, &b, 8) - 2.0f64.sqrt()).abs() < 1e-12
-        );
+        assert!((Distance::Minkowski(4.0).between(&a, &b, 8) - 2.0f64.sqrt()).abs() < 1e-12);
     }
 
     #[test]

@@ -6,10 +6,14 @@
 //! dynamically without reshuffling clusters.
 //!
 //! Uses the nearest-neighbor-chain algorithm — `O(n²)` time for reducible
-//! linkages such as (weighted) average linkage — on a dense distance matrix.
+//! linkages such as (weighted) average linkage — over the condensed
+//! upper-triangular distance matrix produced by the dense popcount engine
+//! ([`PointSet::distances`]), which halves the matrix memory and builds in
+//! parallel.
 
 use crate::assign::Clustering;
-use crate::distance::{distance_matrix, Distance};
+use crate::distance::Distance;
+use crate::pointset::PointSet;
 use logr_feature::QueryVector;
 
 /// One dendrogram merge, in node-id space: leaves are `0..n`, the merge at
@@ -114,8 +118,9 @@ impl Dendrogram {
 
 /// Build the average-linkage dendrogram of sparse binary vectors.
 ///
-/// `weights` act as item multiplicities: a vector occurring `c` times pulls
-/// linkage averages with weight `c`, exactly as if it appeared `c` times.
+/// Convenience wrapper: batch-converts the points into a [`PointSet`] and
+/// delegates to [`hierarchical_cluster_pointset`]. Callers clustering the
+/// same dataset repeatedly should build the `PointSet` once themselves.
 ///
 /// # Panics
 /// Panics if `points` is empty or lengths mismatch.
@@ -125,10 +130,28 @@ pub fn hierarchical_cluster(
     n_features: usize,
     metric: Distance,
 ) -> Dendrogram {
+    hierarchical_cluster_pointset(&PointSet::from_vectors(points, n_features), weights, metric)
+}
+
+/// Build the average-linkage dendrogram over a pre-converted [`PointSet`].
+///
+/// `weights` act as item multiplicities: a vector occurring `c` times pulls
+/// linkage averages with weight `c`, exactly as if it appeared `c` times.
+/// The working distances live in a condensed upper-triangular matrix —
+/// `n·(n−1)/2` doubles instead of the full `n²` — and the initial fill is
+/// the parallel popcount kernel.
+///
+/// # Panics
+/// Panics if `points` is empty or lengths mismatch.
+pub fn hierarchical_cluster_pointset(
+    points: &PointSet,
+    weights: &[f64],
+    metric: Distance,
+) -> Dendrogram {
     assert!(!points.is_empty(), "hierarchical clustering over empty point set");
     assert_eq!(points.len(), weights.len(), "weights length mismatch");
     let n = points.len();
-    let mut dist = distance_matrix(points, metric, n_features);
+    let mut dist = points.distances(metric);
     let mut size: Vec<f64> = weights.to_vec();
     let mut active: Vec<bool> = vec![true; n];
     // Slot → current node id (leaves 0..n; the i-th merge creates n + i).
@@ -144,13 +167,16 @@ pub fn hierarchical_cluster(
             chain.push(first);
         }
         let a = *chain.last().expect("chain non-empty");
-        // Nearest active neighbor of a.
+        // Nearest active neighbor of a (one condensed row + column scan).
         let mut best = usize::MAX;
         let mut best_d = f64::INFINITY;
-        for j in 0..n {
-            if j != a && active[j] && dist[(a, j)] < best_d {
-                best_d = dist[(a, j)];
-                best = j;
+        for (j, &is_active) in active.iter().enumerate() {
+            if j != a && is_active {
+                let d = dist.get(a, j);
+                if d < best_d {
+                    best_d = d;
+                    best = j;
+                }
             }
         }
         let b = best;
@@ -161,13 +187,13 @@ pub fn hierarchical_cluster(
             let (keep, drop) = if a < b { (a, b) } else { (b, a) };
             let new_node = n + merges.len();
             merges.push(Merge { a: node_of[keep], b: node_of[drop], distance: best_d });
-            // Lance–Williams update for weighted average linkage.
+            // Lance–Williams update for weighted average linkage; one
+            // condensed write covers both orientations.
             let (sa, sb) = (size[keep], size[drop]);
-            for j in 0..n {
-                if j != keep && j != drop && active[j] {
-                    let d = (sa * dist[(keep, j)] + sb * dist[(drop, j)]) / (sa + sb);
-                    dist[(keep, j)] = d;
-                    dist[(j, keep)] = d;
+            for (j, &is_active) in active.iter().enumerate() {
+                if j != keep && j != drop && is_active {
+                    let d = (sa * dist.get(keep, j) + sb * dist.get(drop, j)) / (sa + sb);
+                    dist.set(keep, j, d);
                 }
             }
             size[keep] = sa + sb;

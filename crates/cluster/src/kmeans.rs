@@ -1,20 +1,66 @@
 //! Weighted k-means with k-means++ seeding.
 //!
-//! Two front ends share one Lloyd loop:
+//! Two front ends share one Lloyd loop structure:
 //!
 //! * [`kmeans_dense`] — points are dense rows (used on spectral embeddings);
-//! * [`kmeans_binary`] — points are sparse binary query vectors with
-//!   multiplicity weights; centroids stay dense. Distances use the
-//!   expansion `‖x − c‖² = |x| − 2·Σ_{i∈x} cᵢ + ‖c‖²`, so a step costs
-//!   `O(k · Σ|x|)` rather than `O(k · n · dims)`.
+//! * [`kmeans_binary`] / [`kmeans_binary_pointset`] — points are binary
+//!   query vectors with multiplicity weights; centroids stay dense.
+//!   Distances use the expansion `‖x − c‖² = |x| − 2·Σ_{i∈x} cᵢ + ‖c‖²`,
+//!   so a step costs `O(k · Σ|x|)` rather than `O(k · n · dims)`.
+//!
+//! Hot-path engineering (PR 1):
+//!
+//! * k-means++ seeding distances come from the [`PointSet`] popcount
+//!   kernel instead of re-running the sparse id-merge `n·k` times;
+//! * the seeding `d2`/`scores` buffers and the Lloyd `sums`/`wsum`
+//!   accumulators are allocated once and reused across every round;
+//! * assignment (and the seeding distance sweep) run on scoped threads via
+//!   [`crate::par`], feature-gated by `parallel` (on by default). The RNG
+//!   only ever runs on the coordinating thread, and the inertia reduction
+//!   uses fixed-width chunks summed in chunk order, so results are
+//!   bit-identical to the serial path on any machine.
 //!
 //! Weighting by multiplicity makes clustering the distinct-query set
 //! equivalent to clustering the exploded log (same objective, same optima).
 
 use crate::assign::Clustering;
+use crate::par;
+use crate::pointset::PointSet;
 use logr_feature::QueryVector;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+
+/// Below this many point·centroid pairs the Lloyd assignment runs serially;
+/// thread startup would dominate.
+const PARALLEL_MIN_WORK: usize = 4096;
+
+/// A k-means++ seeding round does only `O(n)` popcounts (no `k` factor),
+/// so it needs far more points than the Lloyd assignment before threads
+/// pay for themselves.
+const SEEDING_PARALLEL_MIN_POINTS: usize = 8192;
+
+/// Fixed chunk width for the parallel assignment sweep. Chunk boundaries —
+/// and therefore the floating-point association of the per-chunk inertia
+/// partials — are independent of the worker count, so the reduced inertia
+/// is bit-identical on every machine.
+const ASSIGNMENT_CHUNK: usize = 1024;
+
+/// Split `assignments` into fixed-width chunks, pairing each with its
+/// starting index and a dedicated inertia slot from `partials`.
+fn assignment_tasks<'a>(
+    assignments: &'a mut [usize],
+    partials: &'a mut Vec<f64>,
+) -> Vec<(usize, &'a mut [usize], &'a mut f64)> {
+    let n_chunks = assignments.len().div_ceil(ASSIGNMENT_CHUNK).max(1);
+    partials.clear();
+    partials.resize(n_chunks, 0.0);
+    assignments
+        .chunks_mut(ASSIGNMENT_CHUNK)
+        .zip(partials.iter_mut())
+        .enumerate()
+        .map(|(t, (slice, partial))| (t * ASSIGNMENT_CHUNK, slice, partial))
+        .collect()
+}
 
 /// K-means configuration.
 #[derive(Debug, Clone, Copy)]
@@ -34,6 +80,14 @@ impl KMeansConfig {
     }
 }
 
+fn assignment_threads(n_points: usize, k: usize) -> usize {
+    if n_points * k < PARALLEL_MIN_WORK {
+        1
+    } else {
+        par::threads()
+    }
+}
+
 /// Weighted k-means over dense points. Returns the clustering and the final
 /// weighted inertia (sum of squared distances to assigned centroids).
 ///
@@ -47,47 +101,64 @@ pub fn kmeans_dense(
     assert!(!points.is_empty(), "kmeans over empty point set");
     assert_eq!(points.len(), weights.len(), "weights length mismatch");
     assert!(config.k > 0, "k must be positive");
-    let k = config.k.min(points.len());
+    let n = points.len();
+    let k = config.k.min(n);
     let dims = points[0].len();
     let mut rng = StdRng::seed_from_u64(config.seed);
 
+    // Centroids and accumulators as flat k×dims rows, reused every round.
     let mut centroids = plus_plus_init_dense(points, weights, k, &mut rng);
-    let mut assignments = vec![0usize; points.len()];
+    let mut sums = vec![0.0; k * dims];
+    let mut wsum = vec![0.0; k];
+    let mut assignments = vec![0usize; n];
+    let mut partials: Vec<f64> = Vec::new();
     let mut inertia = f64::INFINITY;
+    let n_threads = assignment_threads(n, k);
 
     for _ in 0..config.max_iters {
-        // Assignment step.
-        let mut new_inertia = 0.0;
-        for (i, p) in points.iter().enumerate() {
-            let (best, d2) = nearest_dense(p, &centroids);
-            assignments[i] = best;
-            new_inertia += weights[i] * d2;
-        }
-        // Update step.
-        let mut sums = vec![vec![0.0; dims]; k];
-        let mut wsum = vec![0.0; k];
+        // Assignment step: parallel over fixed-width chunks, each with its
+        // own inertia slot, reduced in chunk order — bit-identical for any
+        // worker count.
+        let centroids_ref = &centroids;
+        let tasks = assignment_tasks(&mut assignments, &mut partials);
+        par::run_tasks(tasks, n_threads, |(start, slice, partial)| {
+            for (offset, slot) in slice.iter_mut().enumerate() {
+                let i = start + offset;
+                let (best, d2) = nearest_dense(&points[i], centroids_ref, k, dims);
+                *slot = best;
+                *partial += weights[i] * d2;
+            }
+        });
+        let new_inertia: f64 = partials.iter().sum();
+
+        // Update step into the reused accumulators.
+        sums.fill(0.0);
+        wsum.fill(0.0);
         for (i, p) in points.iter().enumerate() {
             let c = assignments[i];
             wsum[c] += weights[i];
-            for (s, &v) in sums[c].iter_mut().zip(p) {
+            for (s, &v) in sums[c * dims..(c + 1) * dims].iter_mut().zip(p) {
                 *s += weights[i] * v;
             }
         }
         for c in 0..k {
             if wsum[c] > 0.0 {
-                for s in &mut sums[c] {
-                    *s /= wsum[c];
+                for (dst, &s) in centroids[c * dims..(c + 1) * dims]
+                    .iter_mut()
+                    .zip(&sums[c * dims..(c + 1) * dims])
+                {
+                    *dst = s / wsum[c];
                 }
-                centroids[c] = sums[c].clone();
             } else {
                 // Empty cluster: reseed at the point farthest from its centroid.
-                let far = (0..points.len())
+                let far = (0..n)
                     .max_by(|&a, &b| {
-                        dist2_dense(&points[a], &centroids[assignments[a]])
-                            .total_cmp(&dist2_dense(&points[b], &centroids[assignments[b]]))
+                        let da = dist2_dense(&points[a], row(&centroids, assignments[a], dims));
+                        let db = dist2_dense(&points[b], row(&centroids, assignments[b], dims));
+                        da.total_cmp(&db)
                     })
                     .expect("non-empty points");
-                centroids[c] = points[far].clone();
+                centroids[c * dims..(c + 1) * dims].copy_from_slice(&points[far]);
             }
         }
         if (inertia - new_inertia).abs() < 1e-10 * (1.0 + inertia.abs()) {
@@ -100,7 +171,9 @@ pub fn kmeans_dense(
 }
 
 /// Weighted k-means over sparse binary vectors (Euclidean distance).
-/// Returns the clustering and the final weighted inertia.
+///
+/// Convenience wrapper: batch-converts the points into a [`PointSet`] and
+/// delegates to [`kmeans_binary_pointset`].
 ///
 /// # Panics
 /// Panics if `points` is empty or `k == 0`.
@@ -110,79 +183,134 @@ pub fn kmeans_binary(
     n_features: usize,
     config: KMeansConfig,
 ) -> (Clustering, f64) {
+    kmeans_binary_pointset(&PointSet::from_vectors(points, n_features), weights, config)
+}
+
+/// Weighted k-means over a pre-converted [`PointSet`] (Euclidean distance).
+/// Returns the clustering and the final weighted inertia.
+///
+/// # Panics
+/// Panics if `points` is empty or `k == 0`.
+pub fn kmeans_binary_pointset(
+    points: &PointSet,
+    weights: &[f64],
+    config: KMeansConfig,
+) -> (Clustering, f64) {
     assert!(!points.is_empty(), "kmeans over empty point set");
     assert_eq!(points.len(), weights.len(), "weights length mismatch");
     assert!(config.k > 0, "k must be positive");
-    let k = config.k.min(points.len());
+    let n = points.len();
+    let nf = points.n_features();
+    let k = config.k.min(n);
     let mut rng = StdRng::seed_from_u64(config.seed);
+    let n_threads = assignment_threads(n, k);
 
-    // k-means++ over sparse points.
-    let mut centroid_ids = vec![pick_weighted(weights, &mut rng)];
-    let mut d2 = vec![f64::INFINITY; points.len()];
+    // k-means++ seeding: squared Euclidean distance between binary vectors
+    // is exactly the xor-popcount, served by the dense engine. The `d2` and
+    // `scores` buffers are allocated once and reused for every round. Each
+    // round is only O(n) popcounts, so the parallel gate needs far more
+    // points than the Lloyd assignment's n·k gate.
+    let seed_threads = if n < SEEDING_PARALLEL_MIN_POINTS { 1 } else { par::threads() };
+    let mut centroid_ids = Vec::with_capacity(k);
+    centroid_ids.push(pick_weighted(weights, &mut rng));
+    let mut d2 = vec![f64::INFINITY; n];
+    let mut scores = vec![0.0; n];
     while centroid_ids.len() < k {
         let latest = *centroid_ids.last().expect("non-empty");
-        for (i, p) in points.iter().enumerate() {
-            let d = p.symmetric_difference_size(points[latest]) as f64;
-            if d < d2[i] {
-                d2[i] = d;
+        let chunk = n.div_ceil(seed_threads).max(1);
+        let tasks: Vec<(usize, &mut [f64])> =
+            d2.chunks_mut(chunk).enumerate().map(|(t, slice)| (t * chunk, slice)).collect();
+        par::run_tasks(tasks, seed_threads, |(start, slice)| {
+            for (offset, slot) in slice.iter_mut().enumerate() {
+                let d = points.mismatches(start + offset, latest) as f64;
+                if d < *slot {
+                    *slot = d;
+                }
             }
+        });
+        for ((score, &d), &w) in scores.iter_mut().zip(&d2).zip(weights) {
+            *score = d * w;
         }
-        let scores: Vec<f64> = d2.iter().zip(weights).map(|(d, w)| d * w).collect();
         let total: f64 = scores.iter().sum();
-        let next = if total > 0.0 {
-            pick_weighted(&scores, &mut rng)
-        } else {
-            rng.gen_range(0..points.len())
-        };
+        let next = if total > 0.0 { pick_weighted(&scores, &mut rng) } else { rng.gen_range(0..n) };
         centroid_ids.push(next);
     }
-    let mut centroids: Vec<Vec<f64>> = centroid_ids
-        .iter()
-        .map(|&i| to_dense(points[i], n_features))
-        .collect();
 
-    let mut assignments = vec![0usize; points.len()];
+    // Centroids as flat k×nf rows; |x| popcounts cached per point.
+    let mut centroids = vec![0.0; k * nf];
+    for (c, &i) in centroid_ids.iter().enumerate() {
+        let crow = &mut centroids[c * nf..(c + 1) * nf];
+        points.point(i).for_each_one(|b| crow[b] = 1.0);
+    }
+    let point_sizes: Vec<f64> = (0..n).map(|i| points.point(i).count_ones() as f64).collect();
+
+    let mut assignments = vec![0usize; n];
+    let mut partials: Vec<f64> = Vec::new();
     let mut inertia = f64::INFINITY;
+    let mut sq_norms = vec![0.0; k];
+    let mut sums = vec![0.0; k * nf];
+    let mut wsum = vec![0.0; k];
 
     for _ in 0..config.max_iters {
-        let sq_norms: Vec<f64> = centroids
-            .iter()
-            .map(|c| c.iter().map(|v| v * v).sum::<f64>())
-            .collect();
-        let mut new_inertia = 0.0;
-        for (i, p) in points.iter().enumerate() {
-            let mut best = 0;
-            let mut best_d2 = f64::INFINITY;
-            for (c, centroid) in centroids.iter().enumerate() {
-                let dot: f64 = p.iter().map(|id| centroid[id.index()]).sum();
-                let d2 = (p.len() as f64 - 2.0 * dot + sq_norms[c]).max(0.0);
-                if d2 < best_d2 {
-                    best_d2 = d2;
-                    best = c;
-                }
-            }
-            assignments[i] = best;
-            new_inertia += weights[i] * best_d2;
+        for (c, norm) in sq_norms.iter_mut().enumerate() {
+            *norm = row(&centroids, c, nf).iter().map(|v| v * v).sum::<f64>();
         }
-        // Update centroids.
-        let mut sums = vec![vec![0.0; n_features]; k];
-        let mut wsum = vec![0.0; k];
-        for (i, p) in points.iter().enumerate() {
-            let c = assignments[i];
-            wsum[c] += weights[i];
-            for id in p.iter() {
-                sums[c][id.index()] += weights[i];
+
+        // Assignment step: parallel over fixed-width chunks, each with its
+        // own inertia slot, reduced in chunk order — bit-identical for any
+        // worker count, and no RNG involved.
+        let centroids_ref = &centroids;
+        let sq_norms_ref = &sq_norms;
+        let point_sizes_ref = &point_sizes;
+        let tasks = assignment_tasks(&mut assignments, &mut partials);
+        par::run_tasks(tasks, n_threads, |(start, slice, partial)| {
+            // Reused per-chunk scratch: the point's set-bit indices, so the
+            // k centroid dot products walk a flat slice.
+            let mut ones: Vec<usize> = Vec::with_capacity(64);
+            for (offset, slot) in slice.iter_mut().enumerate() {
+                let i = start + offset;
+                ones.clear();
+                points.point(i).for_each_one(|b| ones.push(b));
+                let mut best = 0;
+                let mut best_d2 = f64::INFINITY;
+                for (c, &sq_norm) in sq_norms_ref.iter().enumerate() {
+                    let crow = row(centroids_ref, c, nf);
+                    let mut dot = 0.0;
+                    for &b in &ones {
+                        dot += crow[b];
+                    }
+                    let cand = (point_sizes_ref[i] - 2.0 * dot + sq_norm).max(0.0);
+                    if cand < best_d2 {
+                        best_d2 = cand;
+                        best = c;
+                    }
+                }
+                *slot = best;
+                *partial += weights[i] * best_d2;
             }
+        });
+        let new_inertia: f64 = partials.iter().sum();
+
+        // Update centroids into the reused accumulators.
+        sums.fill(0.0);
+        wsum.fill(0.0);
+        for i in 0..n {
+            let c = assignments[i];
+            let w = weights[i];
+            wsum[c] += w;
+            let srow = &mut sums[c * nf..(c + 1) * nf];
+            points.point(i).for_each_one(|b| srow[b] += w);
         }
         for c in 0..k {
+            let crow = &mut centroids[c * nf..(c + 1) * nf];
             if wsum[c] > 0.0 {
-                for s in &mut sums[c] {
-                    *s /= wsum[c];
+                for (dst, &s) in crow.iter_mut().zip(&sums[c * nf..(c + 1) * nf]) {
+                    *dst = s / wsum[c];
                 }
-                centroids[c] = std::mem::take(&mut sums[c]);
             } else {
-                let far = rng.gen_range(0..points.len());
-                centroids[c] = to_dense(points[far], n_features);
+                let far = rng.gen_range(0..n);
+                crow.fill(0.0);
+                points.point(far).for_each_one(|b| crow[b] = 1.0);
             }
         }
         if (inertia - new_inertia).abs() < 1e-10 * (1.0 + inertia.abs()) {
@@ -194,23 +322,20 @@ pub fn kmeans_binary(
     (Clustering::new(k, assignments), inertia)
 }
 
-fn to_dense(v: &QueryVector, n: usize) -> Vec<f64> {
-    let mut out = vec![0.0; n];
-    for id in v.iter() {
-        out[id.index()] = 1.0;
-    }
-    out
+#[inline]
+fn row(flat: &[f64], c: usize, dims: usize) -> &[f64] {
+    &flat[c * dims..(c + 1) * dims]
 }
 
 fn dist2_dense(a: &[f64], b: &[f64]) -> f64 {
     a.iter().zip(b).map(|(x, y)| (x - y) * (x - y)).sum()
 }
 
-fn nearest_dense(p: &[f64], centroids: &[Vec<f64>]) -> (usize, f64) {
+fn nearest_dense(p: &[f64], centroids: &[f64], k: usize, dims: usize) -> (usize, f64) {
     let mut best = 0;
     let mut best_d2 = f64::INFINITY;
-    for (c, centroid) in centroids.iter().enumerate() {
-        let d2 = dist2_dense(p, centroid);
+    for c in 0..k {
+        let d2 = dist2_dense(p, row(centroids, c, dims));
         if d2 < best_d2 {
             best_d2 = d2;
             best = c;
@@ -219,27 +344,34 @@ fn nearest_dense(p: &[f64], centroids: &[Vec<f64>]) -> (usize, f64) {
     (best, best_d2)
 }
 
+/// k-means++ over dense points; returns flat k×dims centroid rows. The
+/// `d2`/`scores` buffers are allocated once for the whole seeding pass.
 fn plus_plus_init_dense(
     points: &[Vec<f64>],
     weights: &[f64],
     k: usize,
     rng: &mut StdRng,
-) -> Vec<Vec<f64>> {
-    let mut centroids = vec![points[pick_weighted(weights, rng)].clone()];
+) -> Vec<f64> {
+    let dims = points[0].len();
+    let mut centroids = Vec::with_capacity(k * dims);
+    centroids.extend_from_slice(&points[pick_weighted(weights, rng)]);
     let mut d2 = vec![f64::INFINITY; points.len()];
-    while centroids.len() < k {
-        let latest = centroids.last().expect("non-empty");
-        for (i, p) in points.iter().enumerate() {
+    let mut scores = vec![0.0; points.len()];
+    while centroids.len() < k * dims {
+        let latest = &centroids[centroids.len() - dims..];
+        for (slot, p) in d2.iter_mut().zip(points) {
             let d = dist2_dense(p, latest);
-            if d < d2[i] {
-                d2[i] = d;
+            if d < *slot {
+                *slot = d;
             }
         }
-        let scores: Vec<f64> = d2.iter().zip(weights).map(|(d, w)| d * w).collect();
+        for ((score, &d), &w) in scores.iter_mut().zip(&d2).zip(weights) {
+            *score = d * w;
+        }
         let total: f64 = scores.iter().sum();
         let next =
             if total > 0.0 { pick_weighted(&scores, rng) } else { rng.gen_range(0..points.len()) };
-        centroids.push(points[next].clone());
+        centroids.extend_from_slice(&points[next]);
     }
     centroids
 }
@@ -303,6 +435,19 @@ mod tests {
     }
 
     #[test]
+    fn pointset_front_end_matches_sparse_front_end() {
+        let vs: Vec<QueryVector> =
+            (0..20u32).map(|i| qv(&[i % 6, (i * 3) % 6, 6 + i % 2])).collect();
+        let refs: Vec<&QueryVector> = vs.iter().collect();
+        let weights = vec![1.0; refs.len()];
+        let ps = PointSet::from_vectors(&refs, 16);
+        let (a, ia) = kmeans_binary(&refs, &weights, 16, KMeansConfig::new(3, 11));
+        let (b, ib) = kmeans_binary_pointset(&ps, &weights, KMeansConfig::new(3, 11));
+        assert_eq!(a, b);
+        assert_eq!(ia.to_bits(), ib.to_bits());
+    }
+
+    #[test]
     fn k_clamped_to_point_count() {
         let vs = [qv(&[0]), qv(&[1])];
         let refs: Vec<&QueryVector> = vs.iter().collect();
@@ -337,6 +482,28 @@ mod tests {
         let (a, _) = kmeans_binary(&refs, &[1.0; 4], 10, KMeansConfig::new(2, 42));
         let (b, _) = kmeans_binary(&refs, &[1.0; 4], 10, KMeansConfig::new(2, 42));
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn parallel_threshold_crossing_is_deterministic() {
+        // Enough points×k to engage the threaded assignment path; the
+        // result must not depend on the number of workers.
+        let vs: Vec<QueryVector> = (0..600u32)
+            .map(|i| {
+                let base = if i % 2 == 0 { 0 } else { 20 };
+                qv(&[base + i % 5, base + (i / 5) % 5, base + 10 + i % 3])
+            })
+            .collect();
+        let refs: Vec<&QueryVector> = vs.iter().collect();
+        let weights = vec![1.0; refs.len()];
+        let (a, ia) = kmeans_binary(&refs, &weights, 40, KMeansConfig::new(2, 5));
+        let (b, ib) = kmeans_binary(&refs, &weights, 40, KMeansConfig::new(2, 5));
+        assert_eq!(a, b);
+        assert_eq!(ia.to_bits(), ib.to_bits());
+        // The two parity workloads use disjoint universes; they must split.
+        assert_eq!(a.assignments[0], a.assignments[2]);
+        assert_eq!(a.assignments[1], a.assignments[3]);
+        assert_ne!(a.assignments[0], a.assignments[1]);
     }
 
     #[test]

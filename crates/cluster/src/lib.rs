@@ -11,13 +11,45 @@
 //! multiplicity, which yields the same partitions as clustering the raw log
 //! while keeping costs proportional to the distinct count.
 //!
+//! # Performance architecture (PR 1)
+//!
+//! Clustering cost dominates end-to-end compression time (paper §6.1), and
+//! on binary vectors every §6.1 metric is a function of the symmetric-
+//! difference cardinality `d = |x ⊕ y|`. The hot path is therefore built in
+//! three layers:
+//!
+//! 1. **Dense kernel** — [`PointSet`] batch-converts a dataset's sparse
+//!    vectors into `u64`-block bitsets once; any metric is then one
+//!    xor-popcount sweep via [`Distance::of_mismatches`]. The float math is
+//!    shared with the sparse path, so the two are bit-for-bit equivalent
+//!    (property-tested in `tests/proptest_pointset.rs`).
+//! 2. **Condensed storage** — pairwise distances materialize as a
+//!    [`CondensedMatrix`]: the strict upper triangle only, `n·(n−1)/2`
+//!    doubles, halving memory versus the full `Matrix`. Hierarchical
+//!    NN-chain and Lance–Williams updates, and the spectral affinity, read
+//!    and write this layout directly.
+//! 3. **Scoped-thread parallelism** — matrix construction, k-means++
+//!    seeding sweeps, and Lloyd assignment fan out over `std::thread::scope`
+//!    workers (no external dependency), gated by the `parallel` cargo
+//!    feature (default on). RNG-dependent decisions stay on the
+//!    coordinating thread and floating-point reductions are associated by
+//!    fixed-width chunk, not by worker, so parallel and serial results
+//!    are bit-identical regardless of core count.
+//!
+//! The sparse reference implementation ([`distance_matrix`]) is retained
+//! for A/B benchmarking (`logr-bench/benches/ablation_distance.rs`) and as
+//! the property-test oracle.
+//!
+//! # Modules
+//!
 //! * [`distance`] — the §6.1 distance measures on binary vectors;
+//! * [`pointset`] — the dense popcount engine and condensed matrix;
 //! * [`kmeans`] — weighted Lloyd iteration with k-means++ seeding (dense and
-//!   sparse-binary front ends);
+//!   binary front ends, `*_pointset` variants for pre-converted data);
 //! * [`spectral`] — Ng–Jordan–Weiss spectral clustering over an RBF affinity
 //!   of any distance, eigenvectors via Lanczos;
 //! * [`hierarchical`] — agglomerative average-linkage clustering (nearest-
-//!   neighbor-chain), with monotonic dendrogram cuts;
+//!   neighbor-chain over the condensed layout), with monotonic cuts;
 //! * [`assign`] — the shared [`Clustering`] result type;
 //! * [`method`] — the [`method::ClusterMethod`] façade used by the
 //!   compressor and the reproduction harness.
@@ -27,11 +59,14 @@ pub mod distance;
 pub mod hierarchical;
 pub mod kmeans;
 pub mod method;
+mod par;
+pub mod pointset;
 pub mod spectral;
 
 pub use assign::Clustering;
 pub use distance::{distance_matrix, Distance};
-pub use hierarchical::{hierarchical_cluster, Dendrogram};
-pub use kmeans::{kmeans_binary, kmeans_dense, KMeansConfig};
+pub use hierarchical::{hierarchical_cluster, hierarchical_cluster_pointset, Dendrogram};
+pub use kmeans::{kmeans_binary, kmeans_binary_pointset, kmeans_dense, KMeansConfig};
 pub use method::{cluster_log, ClusterMethod};
-pub use spectral::{spectral_cluster, SpectralConfig};
+pub use pointset::{CondensedMatrix, PointSet};
+pub use spectral::{spectral_cluster, spectral_cluster_pointset, SpectralConfig};

@@ -7,10 +7,11 @@
 
 use crate::assign::Clustering;
 use crate::distance::Distance;
-use crate::hierarchical::hierarchical_cluster;
-use crate::kmeans::{kmeans_binary, KMeansConfig};
-use crate::spectral::{spectral_cluster, SpectralConfig};
-use logr_feature::{QueryLog, QueryVector};
+use crate::hierarchical::hierarchical_cluster_pointset;
+use crate::kmeans::{kmeans_binary_pointset, KMeansConfig};
+use crate::pointset::PointSet;
+use crate::spectral::{spectral_cluster_pointset, SpectralConfig};
+use logr_feature::QueryLog;
 
 /// A log-partitioning strategy from the paper's evaluation.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -39,7 +40,7 @@ impl ClusterMethod {
     pub fn label(&self) -> String {
         match self {
             ClusterMethod::KMeansEuclidean => "KmeansEuclidean".into(),
-            ClusterMethod::Spectral(d) => d.label(),
+            ClusterMethod::Spectral(d) => d.label().into_owned(),
             ClusterMethod::Hierarchical(d) => format!("hierarchical-{}", d.label()),
         }
     }
@@ -48,7 +49,9 @@ impl ClusterMethod {
 /// Partition a log's distinct queries into `k` clusters.
 ///
 /// Entries are weighted by multiplicity, so the result equals clustering the
-/// exploded log. Returns the trivial clustering for `k <= 1` or an empty log.
+/// exploded log. The log's vectors are batch-converted into a dense
+/// [`PointSet`] exactly once; every strategy then runs on the popcount
+/// engine. Returns the trivial clustering for `k <= 1` or an empty log.
 pub fn cluster_log(log: &QueryLog, k: usize, method: ClusterMethod, seed: u64) -> Clustering {
     let n = log.distinct_count();
     if n == 0 {
@@ -57,18 +60,17 @@ pub fn cluster_log(log: &QueryLog, k: usize, method: ClusterMethod, seed: u64) -
     if k <= 1 || n == 1 {
         return Clustering::trivial(n);
     }
-    let points: Vec<&QueryVector> = log.entries().iter().map(|(v, _)| v).collect();
+    let points = PointSet::from_log(log);
     let weights: Vec<f64> = log.entries().iter().map(|&(_, c)| c as f64).collect();
-    let nf = log.num_features();
     match method {
         ClusterMethod::KMeansEuclidean => {
-            kmeans_binary(&points, &weights, nf, KMeansConfig::new(k, seed)).0
+            kmeans_binary_pointset(&points, &weights, KMeansConfig::new(k, seed)).0
         }
         ClusterMethod::Spectral(metric) => {
-            spectral_cluster(&points, &weights, nf, SpectralConfig::new(k, metric, seed))
+            spectral_cluster_pointset(&points, &weights, SpectralConfig::new(k, metric, seed))
         }
         ClusterMethod::Hierarchical(metric) => {
-            hierarchical_cluster(&points, &weights, nf, metric).cut(k)
+            hierarchical_cluster_pointset(&points, &weights, metric).cut(k)
         }
     }
 }

@@ -1,0 +1,113 @@
+//! Scoped-thread parallel helpers for the clustering hot paths.
+//!
+//! Built directly on `std::thread::scope` so the workspace stays
+//! dependency-free: rayon is the natural fit but is unavailable in offline
+//! builds. The `parallel` cargo feature (default on) enables threading;
+//! without it every helper degrades to the serial loop, so all call sites
+//! are written once and behave identically either way.
+//!
+//! Work is distributed round-robin over at most [`threads`] workers, which
+//! balances the triangular row lengths of condensed distance matrices
+//! without a work-stealing queue.
+
+/// Below this many points, row/chunk-parallel fills run serially; the
+/// thread handshake would dominate the work. Shared by the condensed
+/// matrix build and the spectral affinity fill.
+pub(crate) const PARALLEL_MIN_POINTS: usize = 128;
+
+/// Upper bound on worker threads (1 when the `parallel` feature is off).
+pub(crate) fn threads() -> usize {
+    #[cfg(feature = "parallel")]
+    {
+        std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+    }
+    #[cfg(not(feature = "parallel"))]
+    {
+        1
+    }
+}
+
+/// Process `tasks` on up to `n_threads` workers; each worker folds its tasks
+/// into an accumulator seeded by `init`. Returns the per-worker accumulators
+/// in worker order (deterministic for a fixed thread count).
+pub(crate) fn fold_tasks<T, A, I, W>(tasks: Vec<T>, n_threads: usize, init: I, worker: W) -> Vec<A>
+where
+    T: Send,
+    A: Send,
+    I: Fn() -> A + Sync,
+    W: Fn(&mut A, T) + Sync,
+{
+    let n_threads = n_threads.clamp(1, tasks.len().max(1));
+    if n_threads == 1 {
+        let mut acc = init();
+        for task in tasks {
+            worker(&mut acc, task);
+        }
+        return vec![acc];
+    }
+
+    let mut buckets: Vec<Vec<T>> = (0..n_threads).map(|_| Vec::new()).collect();
+    for (i, task) in tasks.into_iter().enumerate() {
+        buckets[i % n_threads].push(task);
+    }
+    let init = &init;
+    let worker = &worker;
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = buckets
+            .into_iter()
+            .map(|bucket| {
+                scope.spawn(move || {
+                    let mut acc = init();
+                    for task in bucket {
+                        worker(&mut acc, task);
+                    }
+                    acc
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("parallel worker panicked")).collect()
+    })
+}
+
+/// Process `tasks` on up to `n_threads` workers, discarding results.
+pub(crate) fn run_tasks<T, W>(tasks: Vec<T>, n_threads: usize, worker: W)
+where
+    T: Send,
+    W: Fn(T) + Sync,
+{
+    fold_tasks(tasks, n_threads, || (), |(), task| worker(task));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fold_covers_every_task_once() {
+        for n_threads in [1, 2, 7] {
+            let tasks: Vec<usize> = (0..100).collect();
+            let partials = fold_tasks(tasks, n_threads, || 0usize, |acc, t| *acc += t);
+            assert_eq!(partials.iter().sum::<usize>(), 4950, "threads={n_threads}");
+        }
+    }
+
+    #[test]
+    fn run_tasks_writes_disjoint_slices() {
+        let mut data = vec![0u32; 64];
+        let chunks: Vec<(usize, &mut [u32])> = data.chunks_mut(10).enumerate().collect();
+        run_tasks(chunks, threads(), |(idx, chunk)| {
+            for c in chunk.iter_mut() {
+                *c = idx as u32 + 1;
+            }
+        });
+        assert!(data.iter().all(|&v| v > 0));
+        assert_eq!(data[0], 1);
+        assert_eq!(data[63], 7);
+    }
+
+    #[test]
+    fn empty_task_list_is_fine() {
+        let partials = fold_tasks(Vec::<usize>::new(), 8, || 0usize, |acc, t| *acc += t);
+        assert_eq!(partials.iter().sum::<usize>(), 0);
+    }
+}

@@ -4,17 +4,20 @@
 //! Minkowski-4 and Hamming distances (§6.1). This implementation follows the
 //! same recipe:
 //!
-//! 1. pairwise distance matrix on distinct query vectors;
+//! 1. pairwise distances on distinct query vectors, from the dense
+//!    popcount engine ([`PointSet::distances`], condensed layout, parallel);
 //! 2. RBF affinity `A = exp(−d² / 2σ²)` with a self-tuning `σ` (median of
-//!    positive distances) unless one is supplied;
+//!    positive distances) unless one is supplied — rows built in parallel;
 //! 3. normalized affinity `M = D^{-1/2} A D^{-1/2}` (whose top eigenvectors
 //!    are the bottom eigenvectors of the normalized Laplacian);
 //! 4. top-k eigenvectors via Lanczos;
 //! 5. row-normalize the embedding and run weighted k-means on it.
 
 use crate::assign::Clustering;
-use crate::distance::{distance_matrix, Distance};
+use crate::distance::Distance;
 use crate::kmeans::{kmeans_dense, KMeansConfig};
+use crate::par;
+use crate::pointset::{CondensedMatrix, PointSet};
 use logr_feature::QueryVector;
 use logr_math::{lanczos_topk, Matrix};
 
@@ -40,12 +43,28 @@ impl SpectralConfig {
 
 /// Cluster sparse binary vectors spectrally. `weights` are multiplicities.
 ///
+/// Convenience wrapper: batch-converts the points into a [`PointSet`] and
+/// delegates to [`spectral_cluster_pointset`].
+///
 /// # Panics
 /// Panics if `points` is empty or `k == 0`.
 pub fn spectral_cluster(
     points: &[&QueryVector],
     weights: &[f64],
     n_features: usize,
+    config: SpectralConfig,
+) -> Clustering {
+    spectral_cluster_pointset(&PointSet::from_vectors(points, n_features), weights, config)
+}
+
+/// Cluster a pre-converted [`PointSet`] spectrally. `weights` are
+/// multiplicities.
+///
+/// # Panics
+/// Panics if `points` is empty or `k == 0`.
+pub fn spectral_cluster_pointset(
+    points: &PointSet,
+    weights: &[f64],
     config: SpectralConfig,
 ) -> Clustering {
     assert!(!points.is_empty(), "spectral clustering over empty point set");
@@ -57,30 +76,39 @@ pub fn spectral_cluster(
         return Clustering::trivial(n);
     }
 
-    let dist = distance_matrix(points, config.metric, n_features);
+    let dist = points.distances(config.metric);
     let sigma = config.sigma.unwrap_or_else(|| median_positive(&dist)).max(1e-9);
 
-    // RBF affinity with zero diagonal (NJW).
+    // RBF affinity with zero diagonal (NJW); rows filled in parallel from
+    // the shared condensed distances.
     let mut affinity = Matrix::zeros(n, n);
-    for i in 0..n {
-        for j in 0..n {
-            if i != j {
-                let d = dist[(i, j)];
-                affinity[(i, j)] = (-d * d / (2.0 * sigma * sigma)).exp();
+    {
+        let inv_two_sigma_sq = 1.0 / (2.0 * sigma * sigma);
+        let dist_ref = &dist;
+        let rows: Vec<(usize, &mut [f64])> =
+            affinity.as_mut_slice().chunks_mut(n).enumerate().collect();
+        let n_threads = if n < par::PARALLEL_MIN_POINTS { 1 } else { par::threads() };
+        par::run_tasks(rows, n_threads, |(i, row)| {
+            for (j, cell) in row.iter_mut().enumerate() {
+                if i != j {
+                    let d = dist_ref.get(i, j);
+                    *cell = (-d * d * inv_two_sigma_sq).exp();
+                }
             }
-        }
+        });
     }
 
     // Normalized affinity M = D^{-1/2} A D^{-1/2}.
     let mut inv_sqrt_deg = vec![0.0; n];
-    for i in 0..n {
+    for (i, slot) in inv_sqrt_deg.iter_mut().enumerate() {
         let deg: f64 = affinity.row(i).iter().sum();
-        inv_sqrt_deg[i] = 1.0 / deg.max(1e-12).sqrt();
+        *slot = 1.0 / deg.max(1e-12).sqrt();
     }
     let mut m = affinity;
     for i in 0..n {
-        for j in 0..n {
-            m[(i, j)] *= inv_sqrt_deg[i] * inv_sqrt_deg[j];
+        let scale_i = inv_sqrt_deg[i];
+        for (j, cell) in m.row_mut(i).iter_mut().enumerate() {
+            *cell *= scale_i * inv_sqrt_deg[j];
         }
     }
 
@@ -106,16 +134,10 @@ pub fn spectral_cluster(
     clustering
 }
 
-/// Median of strictly positive entries of a symmetric matrix.
-fn median_positive(m: &Matrix) -> f64 {
-    let mut vals: Vec<f64> = Vec::with_capacity(m.rows() * (m.rows() - 1) / 2);
-    for i in 0..m.rows() {
-        for j in (i + 1)..m.cols() {
-            if m[(i, j)] > 0.0 {
-                vals.push(m[(i, j)]);
-            }
-        }
-    }
+/// Median of the strictly positive pairwise distances (each unordered pair
+/// counted once — exactly the condensed entries).
+fn median_positive(dist: &CondensedMatrix) -> f64 {
+    let mut vals: Vec<f64> = dist.as_slice().iter().copied().filter(|&d| d > 0.0).collect();
     if vals.is_empty() {
         return 1.0;
     }
@@ -168,6 +190,19 @@ mod tests {
             );
             assert_ne!(first, second, "{metric:?}: workloads merged");
         }
+    }
+
+    #[test]
+    fn pointset_front_end_matches_sparse_front_end() {
+        let vs = two_workloads();
+        let refs: Vec<&QueryVector> = vs.iter().collect();
+        let weights = vec![1.0; refs.len()];
+        let ps = PointSet::from_vectors(&refs, 16);
+        let cfg = SpectralConfig::new(2, Distance::Hamming, 3);
+        assert_eq!(
+            spectral_cluster(&refs, &weights, 16, cfg),
+            spectral_cluster_pointset(&ps, &weights, cfg)
+        );
     }
 
     #[test]

@@ -2,22 +2,18 @@
 //! partitions from every method, nested hierarchical cuts, and k-means
 //! objective sanity on random inputs.
 
-use logr_cluster::{
-    hierarchical_cluster, kmeans_binary, Distance, KMeansConfig,
-};
+use logr_cluster::{hierarchical_cluster, kmeans_binary, Distance, KMeansConfig};
 use logr_feature::{FeatureId, QueryVector};
 use proptest::prelude::*;
 
 const UNIVERSE: usize = 32;
 
 fn arb_points() -> impl Strategy<Value = Vec<QueryVector>> {
-    prop::collection::vec(prop::collection::vec(0..UNIVERSE as u32, 0..8), 2..16).prop_map(
-        |rows| {
-            rows.into_iter()
-                .map(|ids| QueryVector::new(ids.into_iter().map(FeatureId).collect()))
-                .collect()
-        },
-    )
+    prop::collection::vec(prop::collection::vec(0..UNIVERSE as u32, 0..8), 2..16).prop_map(|rows| {
+        rows.into_iter()
+            .map(|ids| QueryVector::new(ids.into_iter().map(FeatureId).collect()))
+            .collect()
+    })
 }
 
 fn all_metrics() -> Vec<Distance> {

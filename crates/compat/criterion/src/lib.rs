@@ -1,0 +1,261 @@
+//! Offline stand-in for the `criterion` benchmark harness.
+//!
+//! Implements the API subset the workspace's benches use — `Criterion`,
+//! `black_box`, `BenchmarkId`, benchmark groups with `sample_size` /
+//! `bench_function` / `bench_with_input`, and the `criterion_group!` /
+//! `criterion_main!` macros — over a simple warmup-then-sample timer
+//! instead of criterion's statistical machinery.
+//!
+//! Every benchmark prints one aligned line:
+//!
+//! ```text
+//! distance_matrix/hamming  time: [1.2345 ms 1.2401 ms]   (min mean)
+//! ```
+//!
+//! and, when the `CRITERION_SHIM_JSON` environment variable names a file,
+//! appends one JSON object per benchmark to it (used by the repo's
+//! `BENCH_*.json` records and CI smoke checks).
+//!
+//! Environment knobs: `CRITERION_SHIM_BUDGET_MS` (per-benchmark measurement
+//! budget, default 300).
+
+use std::fmt;
+use std::fs::OpenOptions;
+use std::io::Write as _;
+use std::time::{Duration, Instant};
+
+/// Opaque value laundering so the optimizer cannot elide benchmarked work.
+#[inline]
+pub fn black_box<T>(dummy: T) -> T {
+    std::hint::black_box(dummy)
+}
+
+/// Identifier for parameterized benchmarks (`BenchmarkId::new("enc", n)`).
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// Compose `function_name/parameter`.
+    pub fn new(function_name: impl fmt::Display, parameter: impl fmt::Display) -> Self {
+        BenchmarkId { id: format!("{function_name}/{parameter}") }
+    }
+}
+
+/// Timing collector handed to benchmark closures.
+pub struct Bencher {
+    budget: Duration,
+    samples: Vec<f64>,
+}
+
+impl Bencher {
+    /// Benchmark `routine`: warm up, then repeatedly time batches until the
+    /// measurement budget is spent. Per-iteration nanoseconds are recorded.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        // Warmup + per-iteration estimate (at least one run, ~10% of budget).
+        let warm_start = Instant::now();
+        let mut warm_iters = 0u64;
+        loop {
+            black_box(routine());
+            warm_iters += 1;
+            if warm_start.elapsed() >= self.budget / 10 || warm_iters >= 1000 {
+                break;
+            }
+        }
+        let per_iter = warm_start.elapsed().as_secs_f64() / warm_iters as f64;
+
+        // Aim for ~50 samples within the budget, at least 1 iter per sample.
+        let budget_s = self.budget.as_secs_f64();
+        let iters_per_sample = ((budget_s / 50.0) / per_iter.max(1e-9)).max(1.0) as u64;
+        let deadline = Instant::now() + self.budget;
+        while Instant::now() < deadline && self.samples.len() < 200 {
+            let start = Instant::now();
+            for _ in 0..iters_per_sample {
+                black_box(routine());
+            }
+            let elapsed = start.elapsed().as_nanos() as f64;
+            self.samples.push(elapsed / iters_per_sample as f64);
+        }
+        if self.samples.is_empty() {
+            self.samples.push(per_iter * 1e9);
+        }
+    }
+}
+
+#[derive(Debug, Clone)]
+struct BenchResult {
+    id: String,
+    min_ns: f64,
+    mean_ns: f64,
+    samples: usize,
+}
+
+fn format_time(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:.2} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.4} µs", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.4} ms", ns / 1_000_000.0)
+    } else {
+        format!("{:.4} s", ns / 1_000_000_000.0)
+    }
+}
+
+/// The shim harness: runs benchmarks eagerly and records results.
+pub struct Criterion {
+    budget: Duration,
+    results: Vec<BenchResult>,
+    json_path: Option<String>,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        let budget_ms = std::env::var("CRITERION_SHIM_BUDGET_MS")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(300u64);
+        Criterion {
+            budget: Duration::from_millis(budget_ms),
+            results: Vec::new(),
+            json_path: std::env::var("CRITERION_SHIM_JSON").ok(),
+        }
+    }
+}
+
+impl Criterion {
+    fn run_one<F: FnMut(&mut Bencher)>(&mut self, id: String, mut f: F) {
+        let mut bencher = Bencher { budget: self.budget, samples: Vec::new() };
+        f(&mut bencher);
+        let samples = bencher.samples;
+        let min = samples.iter().copied().fold(f64::INFINITY, f64::min);
+        let mean = samples.iter().sum::<f64>() / samples.len() as f64;
+        println!("{id:<48} time: [{} {}]", format_time(min), format_time(mean));
+        let result = BenchResult { id, min_ns: min, mean_ns: mean, samples: samples.len() };
+        if let Some(path) = &self.json_path {
+            if let Ok(mut file) = OpenOptions::new().create(true).append(true).open(path) {
+                let _ = writeln!(
+                    file,
+                    "{{\"id\":\"{}\",\"min_ns\":{:.1},\"mean_ns\":{:.1},\"samples\":{}}}",
+                    result.id, result.min_ns, result.mean_ns, result.samples
+                );
+            }
+        }
+        self.results.push(result);
+    }
+
+    /// Run one named benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl Into<String>,
+        f: F,
+    ) -> &mut Self {
+        self.run_one(id.into(), f);
+        self
+    }
+
+    /// Open a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { criterion: self, name: name.into() }
+    }
+
+    /// Print the closing summary (called by `criterion_main!`).
+    pub fn final_summary(&self) {
+        println!("\n{} benchmarks run", self.results.len());
+    }
+}
+
+/// A group of benchmarks sharing a name prefix.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Accepted for API compatibility; the shim sizes samples by time
+    /// budget, not count.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Accepted for API compatibility.
+    pub fn measurement_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    /// Run `group_name/id`.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl Into<String>,
+        f: F,
+    ) -> &mut Self {
+        let full = format!("{}/{}", self.name, id.into());
+        self.criterion.run_one(full, f);
+        self
+    }
+
+    /// Run `group_name/id` with a borrowed input.
+    pub fn bench_with_input<I: ?Sized, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        let full = format!("{}/{}", self.name, id.id);
+        self.criterion.run_one(full, |b| f(b, input));
+        self
+    }
+
+    /// Close the group.
+    pub fn finish(self) {}
+}
+
+/// Bundle benchmark functions under one group function.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name(criterion: &mut $crate::Criterion) {
+            $( $target(criterion); )+
+        }
+    };
+}
+
+/// Generate `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            let mut criterion = $crate::Criterion::default();
+            $( $group(&mut criterion); )+
+            criterion.final_summary();
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_collects_samples() {
+        let mut c =
+            Criterion { budget: Duration::from_millis(10), results: Vec::new(), json_path: None };
+        c.bench_function("noop", |b| b.iter(|| black_box(1 + 1)));
+        assert_eq!(c.results.len(), 1);
+        assert!(c.results[0].min_ns >= 0.0);
+        assert!(c.results[0].mean_ns >= c.results[0].min_ns);
+    }
+
+    #[test]
+    fn group_prefixes_ids() {
+        let mut c =
+            Criterion { budget: Duration::from_millis(5), results: Vec::new(), json_path: None };
+        let mut g = c.benchmark_group("grp");
+        g.sample_size(10).bench_function("a", |b| b.iter(|| black_box(2 * 2)));
+        g.bench_with_input(BenchmarkId::new("b", 7), &7, |b, &x| b.iter(|| black_box(x * 2)));
+        g.finish();
+        assert_eq!(c.results[0].id, "grp/a");
+        assert_eq!(c.results[1].id, "grp/b/7");
+    }
+}

@@ -1,0 +1,135 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! This workspace builds without registry access, so the external `proptest`
+//! dev-dependency is replaced by this shim. It implements the API subset the
+//! workspace's property tests use: the [`strategy::Strategy`] trait with
+//! `prop_map` / `prop_filter` / `prop_recursive`, range and tuple and
+//! regex-pattern strategies, `prop::collection::vec`, `prop::option::of`,
+//! [`arbitrary::any`], and the `proptest!` / `prop_assert!` /
+//! `prop_assert_eq!` / `prop_oneof!` macros.
+//!
+//! Differences from real proptest: cases are generated from a deterministic
+//! per-test RNG (seeded from the test's module path) rather than an entropy
+//! source with persistence files, and failing inputs are **not shrunk** —
+//! a failure panics with the assertion message directly.
+
+pub mod arbitrary;
+pub mod collection;
+pub mod config;
+pub mod option;
+pub mod strategy;
+pub mod string;
+pub mod test_rng;
+
+pub mod prelude {
+    //! Single-import surface, mirroring `proptest::prelude`.
+
+    pub use crate::arbitrary::any;
+    pub use crate::config::ProptestConfig;
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+
+    pub mod prop {
+        //! Namespace re-exports (`prop::collection`, `prop::option`).
+        pub use crate::collection;
+        pub use crate::option;
+    }
+}
+
+/// Runs the cases of one `proptest!` test function.
+///
+/// Not part of the public API of real proptest; used by the generated code.
+#[doc(hidden)]
+pub fn run_cases(
+    config: &config::ProptestConfig,
+    test_path: &str,
+    mut case: impl FnMut(&mut test_rng::TestRng),
+) {
+    let mut rng = test_rng::TestRng::deterministic(test_path);
+    for _ in 0..config.cases {
+        case(&mut rng);
+    }
+}
+
+/// `proptest! { ... }`: run each enclosed test function over generated inputs.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { ($cfg); $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! { ($crate::config::ProptestConfig::default()); $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (($cfg:expr); $( $(#[$meta:meta])* fn $name:ident ( $( $pat:pat_param in $strat:expr ),* $(,)? ) $body:block )* ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config = $cfg;
+                $crate::run_cases(
+                    &config,
+                    concat!(module_path!(), "::", stringify!($name)),
+                    |__proptest_rng| {
+                        $(
+                            let $pat = $crate::strategy::Strategy::generate(
+                                &($strat),
+                                __proptest_rng,
+                            );
+                        )*
+                        // Bodies may `return Ok(())` early, as in real
+                        // proptest where they run inside a Result-returning
+                        // function.
+                        let __proptest_outcome: ::std::result::Result<(), ::std::string::String> =
+                            (move || {
+                                $body
+                                Ok(())
+                            })();
+                        if let Err(message) = __proptest_outcome {
+                            panic!("proptest case failed: {message}");
+                        }
+                    },
+                );
+            }
+        )*
+    };
+}
+
+/// Shim `prop_assert!`: panics immediately (no shrinking).
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => { assert!($cond) };
+    ($cond:expr, $($fmt:tt)*) => { assert!($cond, $($fmt)*) };
+}
+
+/// Shim `prop_assert_eq!`: panics immediately (no shrinking).
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => { assert_eq!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)*) => { assert_eq!($a, $b, $($fmt)*) };
+}
+
+/// Shim `prop_assert_ne!`: panics immediately (no shrinking).
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr) => { assert_ne!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)*) => { assert_ne!($a, $b, $($fmt)*) };
+}
+
+/// Uniform choice between strategies producing the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($weight:literal => $strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $( ($weight as u32, $crate::strategy::BoxedStrategy::new($strat)) ),+
+        ])
+    };
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $( (1u32, $crate::strategy::BoxedStrategy::new($strat)) ),+
+        ])
+    };
+}

@@ -1,0 +1,200 @@
+//! Generation from a small regex subset, for `"pattern"` strategies.
+//!
+//! Supported syntax — the subset the workspace's tests use:
+//!
+//! * literal characters;
+//! * character classes `[a-z0-9_]` (ranges and single characters);
+//! * `\PC` — any printable (non-control) character, mostly ASCII with an
+//!   occasional multi-byte code point;
+//! * `\x` — escaped literal character;
+//! * quantifiers `{m}`, `{m,n}`, `?`, `*`, `+` (the unbounded ones are
+//!   capped at 8 repetitions).
+
+use crate::test_rng::TestRng;
+
+#[derive(Debug, Clone)]
+enum Atom {
+    Literal(char),
+    /// Inclusive code-point ranges; sampled uniformly by total size.
+    Class(Vec<(u32, u32)>),
+    Printable,
+}
+
+#[derive(Debug, Clone)]
+struct Piece {
+    atom: Atom,
+    min: usize,
+    max: usize,
+}
+
+fn parse(pattern: &str) -> Vec<Piece> {
+    let chars: Vec<char> = pattern.chars().collect();
+    let mut i = 0;
+    let mut pieces = Vec::new();
+    while i < chars.len() {
+        let atom = match chars[i] {
+            '[' => {
+                let close = chars[i..]
+                    .iter()
+                    .position(|&c| c == ']')
+                    .unwrap_or_else(|| panic!("unclosed [ in pattern {pattern:?}"));
+                let inner = &chars[i + 1..i + close];
+                i += close + 1;
+                Atom::Class(parse_class(inner, pattern))
+            }
+            '\\' => {
+                i += 1;
+                match chars.get(i) {
+                    Some('P') if chars.get(i + 1) == Some(&'C') => {
+                        i += 2;
+                        Atom::Printable
+                    }
+                    Some(&c) => {
+                        i += 1;
+                        Atom::Literal(c)
+                    }
+                    None => panic!("dangling escape in pattern {pattern:?}"),
+                }
+            }
+            c => {
+                i += 1;
+                Atom::Literal(c)
+            }
+        };
+        let (min, max) = parse_quantifier(&chars, &mut i, pattern);
+        pieces.push(Piece { atom, min, max });
+    }
+    pieces
+}
+
+fn parse_class(inner: &[char], pattern: &str) -> Vec<(u32, u32)> {
+    let mut ranges = Vec::new();
+    let mut j = 0;
+    while j < inner.len() {
+        if j + 2 < inner.len() && inner[j + 1] == '-' {
+            let (lo, hi) = (inner[j] as u32, inner[j + 2] as u32);
+            assert!(lo <= hi, "inverted class range in pattern {pattern:?}");
+            ranges.push((lo, hi));
+            j += 3;
+        } else {
+            ranges.push((inner[j] as u32, inner[j] as u32));
+            j += 1;
+        }
+    }
+    assert!(!ranges.is_empty(), "empty class in pattern {pattern:?}");
+    ranges
+}
+
+fn parse_quantifier(chars: &[char], i: &mut usize, pattern: &str) -> (usize, usize) {
+    match chars.get(*i) {
+        Some('{') => {
+            let close = chars[*i..]
+                .iter()
+                .position(|&c| c == '}')
+                .unwrap_or_else(|| panic!("unclosed {{ in pattern {pattern:?}"));
+            let body: String = chars[*i + 1..*i + close].iter().collect();
+            *i += close + 1;
+            match body.split_once(',') {
+                Some((m, n)) => (
+                    m.trim().parse().expect("bad quantifier"),
+                    n.trim().parse().expect("bad quantifier"),
+                ),
+                None => {
+                    let m = body.trim().parse().expect("bad quantifier");
+                    (m, m)
+                }
+            }
+        }
+        Some('?') => {
+            *i += 1;
+            (0, 1)
+        }
+        Some('*') => {
+            *i += 1;
+            (0, 8)
+        }
+        Some('+') => {
+            *i += 1;
+            (1, 8)
+        }
+        _ => (1, 1),
+    }
+}
+
+fn sample_atom(atom: &Atom, rng: &mut TestRng) -> char {
+    match atom {
+        Atom::Literal(c) => *c,
+        Atom::Class(ranges) => {
+            let total: u64 = ranges.iter().map(|&(lo, hi)| (hi - lo + 1) as u64).sum();
+            let mut roll = rng.below(total);
+            for &(lo, hi) in ranges {
+                let span = (hi - lo + 1) as u64;
+                if roll < span {
+                    return char::from_u32(lo + roll as u32).expect("valid class char");
+                }
+                roll -= span;
+            }
+            unreachable!("roll below total")
+        }
+        Atom::Printable => match rng.below(10) {
+            // Mostly printable ASCII; sometimes Latin-1 or wider, which is
+            // what `\PC` totality tests want to see.
+            0..=7 => char::from_u32(0x20 + rng.below(0x5F) as u32).expect("ascii"),
+            8 => char::from_u32(0xA1 + rng.below(0x0100) as u32).unwrap_or('¿'),
+            _ => ['λ', '中', '🦀', 'ß', '€', '—'][rng.below(6) as usize],
+        },
+    }
+}
+
+/// Generate one string matching `pattern`.
+pub fn generate(pattern: &str, rng: &mut TestRng) -> String {
+    let mut out = String::new();
+    for piece in parse(pattern) {
+        let count = rng.usize_inclusive(piece.min, piece.max);
+        for _ in 0..count {
+            out.push(sample_atom(&piece.atom, rng));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::generate;
+    use crate::test_rng::TestRng;
+
+    #[test]
+    fn identifier_pattern() {
+        let mut rng = TestRng::from_seed(1);
+        for _ in 0..500 {
+            let s = generate("[a-z][a-z0-9_]{0,8}", &mut rng);
+            assert!(!s.is_empty() && s.len() <= 9, "{s:?}");
+            let mut cs = s.chars();
+            assert!(cs.next().unwrap().is_ascii_lowercase(), "{s:?}");
+            assert!(cs.all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == '_'));
+        }
+    }
+
+    #[test]
+    fn printable_pattern_bounds() {
+        let mut rng = TestRng::from_seed(2);
+        for _ in 0..200 {
+            let s = generate("\\PC{0,200}", &mut rng);
+            assert!(s.chars().count() <= 200);
+            assert!(s.chars().all(|c| !c.is_control()), "{s:?}");
+        }
+    }
+
+    #[test]
+    fn literal_and_quantifiers() {
+        let mut rng = TestRng::from_seed(3);
+        assert_eq!(generate("abc", &mut rng), "abc");
+        let s = generate("x{3}", &mut rng);
+        assert_eq!(s, "xxx");
+        for _ in 0..50 {
+            let s = generate("a?b+", &mut rng);
+            assert!(s.trim_start_matches('a').chars().all(|c| c == 'b'));
+            assert!(s.contains('b'));
+        }
+    }
+}

@@ -118,12 +118,8 @@ impl LogR {
     /// K — so the returned summaries are **nested** (each coarser summary
     /// merges whole clusters of the finer one), and the cost of the sweep
     /// is one clustering, not `|ks|`.
-    pub fn compress_multiresolution(
-        &self,
-        log: &QueryLog,
-        ks: &[usize],
-    ) -> Vec<LogRSummary> {
-        use logr_cluster::{hierarchical_cluster, Distance};
+    pub fn compress_multiresolution(&self, log: &QueryLog, ks: &[usize]) -> Vec<LogRSummary> {
+        use logr_cluster::{hierarchical_cluster_pointset, Distance, PointSet};
         let metric = match self.config.method {
             ClusterMethod::Hierarchical(d) | ClusterMethod::Spectral(d) => d,
             ClusterMethod::KMeansEuclidean => Distance::Euclidean,
@@ -131,9 +127,10 @@ impl LogR {
         if log.distinct_count() == 0 {
             return Vec::new();
         }
-        let points: Vec<&QueryVector> = log.entries().iter().map(|(v, _)| v).collect();
+        // One dense conversion serves the single dendrogram build.
+        let points = PointSet::from_log(log);
         let weights: Vec<f64> = log.entries().iter().map(|&(_, c)| c as f64).collect();
-        let dendrogram = hierarchical_cluster(&points, &weights, log.num_features(), metric);
+        let dendrogram = hierarchical_cluster_pointset(&points, &weights, metric);
         ks.iter()
             .map(|&k| {
                 let clustering = dendrogram.cut(k.max(1));
@@ -166,9 +163,7 @@ impl LogRSummary {
 
     /// Total Verbosity (refined if refinement ran).
     pub fn total_verbosity(&self) -> usize {
-        self.refined
-            .as_ref()
-            .map_or_else(|| self.mixture.total_verbosity(), |r| r.total_verbosity)
+        self.refined.as_ref().map_or_else(|| self.mixture.total_verbosity(), |r| r.total_verbosity)
     }
 
     /// Estimate how many log queries contain all the given features
@@ -256,10 +251,7 @@ mod tests {
         // All 40 messaging queries touch messages+status.
         assert!((est - 40.0).abs() < 1.0, "est {est}");
         // Unknown feature → 0.
-        assert_eq!(
-            summary.estimate_count_features(&log, &[Feature::from_table("nope")]),
-            0.0
-        );
+        assert_eq!(summary.estimate_count_features(&log, &[Feature::from_table("nope")]), 0.0);
     }
 
     #[test]

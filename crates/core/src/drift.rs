@@ -11,9 +11,14 @@
 //!   mixture: the per-feature geometric mean of its mixture probability,
 //!   so scores are comparable across query lengths. Queries that straddle
 //!   anti-correlated workloads (the §5 phantom queries) score near zero.
+//! * [`novelty_scores`] — nearest-baseline-query distance for every
+//!   distinct window query, on the dense popcount engine
+//!   ([`logr_cluster::PointSet`]): the baseline is converted once, each
+//!   window probe is one bitset, and each comparison one xor-popcount.
 
 use crate::mixture::NaiveMixtureEncoding;
-use logr_feature::{FeatureId, QueryLog, QueryVector};
+use logr_cluster::{Distance, PointSet};
+use logr_feature::{BitVec, FeatureId, QueryLog, QueryVector};
 
 /// Outcome of comparing a monitoring window against a baseline.
 #[derive(Debug, Clone)]
@@ -83,9 +88,7 @@ pub fn feature_drift(baseline: &QueryLog, window: &QueryLog) -> DriftReport {
     let new_features: Vec<String> = window
         .codebook()
         .iter()
-        .filter(|(id, _)| {
-            !matched_window_ids[id.index()] && win_marginals[id.index()] > 0.0
-        })
+        .filter(|(id, _)| !matched_window_ids[id.index()] && win_marginals[id.index()] > 0.0)
         .map(|(_, f)| f.to_string())
         .collect();
 
@@ -97,6 +100,47 @@ pub fn feature_drift(baseline: &QueryLog, window: &QueryLog) -> DriftReport {
     per_feature.sort_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
 
     DriftReport { overall, per_feature, new_features, vanished_features: vanished }
+}
+
+/// Distance from every distinct window query to its nearest baseline
+/// query, in window-entry order.
+///
+/// Window features are matched to baseline ids by feature identity (the
+/// two logs may use different codebooks); window features the baseline has
+/// never seen have no baseline bit to match, so they are added to the
+/// symmetric difference of every comparison — an injected query whose
+/// features are all unknown scores at least its own length. Distances are
+/// computed on the dense engine: the baseline's distinct queries are
+/// batch-converted to bitsets once, and each candidate pair costs one
+/// xor-popcount.
+///
+/// Returns an empty vector when either log is empty.
+pub fn novelty_scores(baseline: &QueryLog, window: &QueryLog, metric: Distance) -> Vec<f64> {
+    if baseline.distinct_count() == 0 || window.distinct_count() == 0 {
+        return Vec::new();
+    }
+    let points = PointSet::from_log(baseline);
+    let nf = baseline.num_features();
+    window
+        .entries()
+        .iter()
+        .map(|(v, _)| {
+            let mut probe = BitVec::zeros(nf);
+            let mut unknown = 0usize;
+            for id in v.iter() {
+                match baseline.codebook().get(window.codebook().feature(id)) {
+                    Some(base_id) => probe.set(base_id.index()),
+                    None => unknown += 1,
+                }
+            }
+            (0..points.len())
+                .map(|i| {
+                    let d = probe.xor_count(points.point(i)) + unknown;
+                    metric.of_mismatches(d, nf + unknown)
+                })
+                .fold(f64::INFINITY, f64::min)
+        })
+        .collect()
 }
 
 /// Per-feature geometric-mean probability of a query under a baseline
@@ -212,6 +256,29 @@ mod tests {
         // query are fully typical regardless of length.
         let short = query_typicality(&mixture, &qv(&[0, 1, 2, 3]));
         assert!((short - 1.0).abs() < 1e-9, "got {short}");
+    }
+
+    #[test]
+    fn novelty_scores_flag_injected_queries() {
+        let base = baseline_log();
+        let mut ingest = LogIngest::new();
+        ingest.ingest("SELECT id, body FROM messages WHERE status = ?"); // known
+        ingest.ingest("SELECT password_hash FROM credentials"); // injected
+        let (window, _) = ingest.finish();
+
+        let scores = novelty_scores(&base, &window, Distance::Manhattan);
+        assert_eq!(scores.len(), window.distinct_count());
+        // The known query matches a baseline entry exactly; the injected
+        // one is far from everything.
+        assert_eq!(scores[0], 0.0, "known query should have a zero-distance match");
+        assert!(scores[1] >= 2.0, "injected query scored {}", scores[1]);
+    }
+
+    #[test]
+    fn novelty_empty_logs() {
+        let base = baseline_log();
+        assert!(novelty_scores(&base, &QueryLog::new(), Distance::Manhattan).is_empty());
+        assert!(novelty_scores(&QueryLog::new(), &base, Distance::Manhattan).is_empty());
     }
 
     #[test]

@@ -59,12 +59,9 @@ impl PatternEncoding {
     /// Ω_E, so this is the containment order of §4.2 reversed:
     /// `self ⊆ other ⇒ other ≤Ω self`.
     pub fn is_subset_of(&self, other: &PatternEncoding) -> bool {
-        self.patterns.iter().all(|(b, m)| {
-            other
-                .patterns
-                .iter()
-                .any(|(ob, om)| ob == b && (om - m).abs() < 1e-12)
-        })
+        self.patterns
+            .iter()
+            .all(|(b, m)| other.patterns.iter().any(|(ob, om)| ob == b && (om - m).abs() < 1e-12))
     }
 }
 

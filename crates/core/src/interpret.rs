@@ -169,9 +169,7 @@ pub fn render_mixture(
 ) -> String {
     let mut order: Vec<usize> = (0..mixture.k()).collect();
     order.sort_by(|&a, &b| {
-        mixture.components()[b]
-            .weight
-            .total_cmp(&mixture.components()[a].weight)
+        mixture.components()[b].weight.total_cmp(&mixture.components()[a].weight)
     });
     order
         .into_iter()

@@ -45,12 +45,12 @@ pub mod sampling;
 pub mod synthesis;
 
 pub use compress::{CompressionObjective, LogR, LogRConfig, LogRSummary};
-pub use drift::{feature_drift, query_typicality, DriftReport};
-pub use portable::{PortableError, PortableSummary};
+pub use drift::{feature_drift, novelty_scores, query_typicality, DriftReport};
 pub use encoding::{NaiveEncoding, PatternEncoding};
 pub use error::{empirical_entropy, empirical_entropy_for, naive_error, naive_error_for};
 pub use maxent::{ClassSystem, GeneralEncoding, MaxEntError};
 pub use mixture::NaiveMixtureEncoding;
+pub use portable::{PortableError, PortableSummary};
 pub use refine::{corr_rank, feature_correlation, RefineConfig, RefinedMixture};
 pub use sampling::{ambiguity_dimension, estimate_deviation, DeviationEstimate};
 pub use synthesis::{marginal_deviation, synthesis_error};

@@ -112,17 +112,13 @@ impl ClassSystem {
         assert!(n_prime <= 128, "pattern unions above 128 features unsupported");
         let masks: Vec<u128> = patterns
             .iter()
-            .map(|p| {
-                p.iter()
-                    .map(|f| 1u128 << feat_index[&f])
-                    .fold(0u128, |acc, bit| acc | bit)
-            })
+            .map(|p| p.iter().map(|f| 1u128 << feat_index[&f]).fold(0u128, |acc, bit| acc | bit))
             .collect();
 
         // u[T] = |{q ∈ {0,1}^{n'} : q ⊇ ∪_{j∈T} b_j}| = 2^(n' − |∪ masks|).
         let subsets = 1usize << m;
         let mut union_bits = vec![0u32; subsets];
-        for t in 1..subsets {
+        for (t, slot) in union_bits.iter_mut().enumerate().skip(1) {
             let low = t.trailing_zeros() as usize;
             let rest = t & (t - 1);
             let mask = masks[low]
@@ -133,12 +129,10 @@ impl ClassSystem {
                     .fold(0u128, |acc, (_, &mk)| acc | mk);
             // Recomputing the union per subset is O(m·2^m); m ≤ 20 keeps it
             // cheap and avoids storing 2^m u128 masks.
-            union_bits[t] = mask.count_ones();
+            *slot = mask.count_ones();
         }
-        let u: Vec<f64> = union_bits
-            .iter()
-            .map(|&bits| 2f64.powi(n_prime as i32 - bits as i32))
-            .collect();
+        let u: Vec<f64> =
+            union_bits.iter().map(|&bits| 2f64.powi(n_prime as i32 - bits as i32)).collect();
 
         // size(S) = Σ_{T ⊇ S} (−1)^{|T\S|} u[T]  — superset Möbius transform.
         let mut size = u;
@@ -160,7 +154,12 @@ impl ClassSystem {
             }
         }
 
-        Ok(ClassSystem { patterns: patterns.to_vec(), classes, class_of_signature, projected_features })
+        Ok(ClassSystem {
+            patterns: patterns.to_vec(),
+            classes,
+            class_of_signature,
+            projected_features,
+        })
     }
 
     /// The encoding's patterns.
@@ -284,12 +283,7 @@ impl ClassSystem {
     pub fn entropy(&self, q: &[f64], universe_size: usize) -> f64 {
         assert!(universe_size >= self.n_projected(), "universe smaller than pattern span");
         let h_classes: f64 = -q.iter().map(|&p| xlogx(p)).sum::<f64>();
-        let spread: f64 = self
-            .classes
-            .iter()
-            .zip(q)
-            .map(|(c, &p)| p * c.size.ln())
-            .sum();
+        let spread: f64 = self.classes.iter().zip(q).map(|(c, &p)| p * c.size.ln()).sum();
         h_classes + spread + (universe_size - self.n_projected()) as f64 * std::f64::consts::LN_2
     }
 }
@@ -319,10 +313,7 @@ impl GeneralEncoding {
         universe_size: usize,
     ) -> Self {
         let total = log.total_for(entries).max(1) as f64;
-        let targets = patterns
-            .iter()
-            .map(|b| log.support_for(b, entries) as f64 / total)
-            .collect();
+        let targets = patterns.iter().map(|b| log.support_for(b, entries) as f64 / total).collect();
         GeneralEncoding::new(patterns, targets, universe_size)
     }
 
@@ -558,11 +549,7 @@ mod tests {
         // Encoding of singleton patterns = naive encoding: entropy must be
         // the sum of binary entropies (plus ln 2 padding for the
         // unconstrained universe feature).
-        let enc = GeneralEncoding::new(
-            vec![qv(&[0]), qv(&[1])],
-            vec![0.25, 0.7],
-            3,
-        );
+        let enc = GeneralEncoding::new(vec![qv(&[0]), qv(&[1])], vec![0.25, 0.7], 3);
         let h = enc.entropy().unwrap();
         let expect = binary_entropy(0.25) + binary_entropy(0.7) + std::f64::consts::LN_2;
         assert!((h - expect).abs() < 1e-9);

@@ -104,10 +104,7 @@ impl NaiveMixtureEncoding {
     /// Mixture estimate of a pattern's occurrence count (§6.2):
     /// `est[Γ_b] = Σᵢ |Lᵢ| · Π_{f∈b} pᵢ(f)`.
     pub fn estimate_count(&self, pattern: &QueryVector) -> f64 {
-        self.components
-            .iter()
-            .map(|c| c.encoding.estimate_count(pattern, c.total))
-            .sum()
+        self.components.iter().map(|c| c.encoding.estimate_count(pattern, c.total)).sum()
     }
 
     /// Mixture estimate of a pattern's marginal probability.

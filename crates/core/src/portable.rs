@@ -75,12 +75,8 @@ impl PortableSummary {
             .components()
             .iter()
             .map(|c| {
-                let pairs = c
-                    .encoding
-                    .support()
-                    .iter()
-                    .map(|&f| (f, c.encoding.marginal(f)))
-                    .collect();
+                let pairs =
+                    c.encoding.support().iter().map(|&f| (f, c.encoding.marginal(f))).collect();
                 (c.total, pairs)
             })
             .collect();
@@ -99,10 +95,8 @@ impl PortableSummary {
     /// Estimate how many log queries contain all the given features
     /// (§6.2's mixture estimator, reconstructed from storage).
     pub fn estimate_count(&self, features: &[Feature]) -> f64 {
-        let Some(ids) = features
-            .iter()
-            .map(|f| self.codebook.get(f))
-            .collect::<Option<Vec<FeatureId>>>()
+        let Some(ids) =
+            features.iter().map(|f| self.codebook.get(f)).collect::<Option<Vec<FeatureId>>>()
         else {
             return 0.0;
         };
@@ -111,12 +105,7 @@ impl PortableSummary {
             .map(|(total, pairs)| {
                 let product: f64 = ids
                     .iter()
-                    .map(|id| {
-                        pairs
-                            .iter()
-                            .find(|(f, _)| f == id)
-                            .map_or(0.0, |&(_, p)| p)
-                    })
+                    .map(|id| pairs.iter().find(|(f, _)| f == id).map_or(0.0, |&(_, p)| p))
                     .product();
                 *total as f64 * product
             })
@@ -267,10 +256,9 @@ fn parse_kv((line_no, line): (usize, String), key: &str) -> Result<u64, Portable
             message: format!("expected '{key}\\t<value>', found {line:?}"),
         });
     }
-    parts[1].parse().map_err(|_| PortableError::Format {
-        line: line_no,
-        message: format!("bad {key} value"),
-    })
+    parts[1]
+        .parse()
+        .map_err(|_| PortableError::Format { line: line_no, message: format!("bad {key} value") })
 }
 
 fn parse_class(label: &str) -> Option<FeatureClass> {
@@ -361,9 +349,8 @@ mod tests {
         let portable = PortableSummary::from_summary(&summary, &log);
         let features = [Feature::from_table("messages"), Feature::where_atom("status = ?")];
         assert!(
-            (portable.estimate_count(&features)
-                - summary.estimate_count_features(&log, &features))
-            .abs()
+            (portable.estimate_count(&features) - summary.estimate_count_features(&log, &features))
+                .abs()
                 < 1e-9
         );
     }

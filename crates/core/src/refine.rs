@@ -305,8 +305,7 @@ mod tests {
         let all = log.all_entry_indices();
         let naive = NaiveEncoding::from_log(&log);
         let base = crate::error::naive_error(&log);
-        let refined =
-            refined_component_error(&log, &all, &naive, &[(qv(&[0, 1]), 0.0)]).unwrap();
+        let refined = refined_component_error(&log, &all, &naive, &[(qv(&[0, 1]), 0.0)]).unwrap();
         assert!(refined < base - 0.5, "refined {refined} vs base {base}");
         // Perfect correlation is a boundary max-ent solution; IPF gets
         // within ~1e-4, so allow a small tolerance.
@@ -349,7 +348,8 @@ mod tests {
         log.add_vector(qv(&[]), 5);
         let all = log.all_entry_indices();
         let naive = NaiveEncoding::from_log(&log);
-        let config = RefineConfig { patterns_per_component: 3, diversify: true, ..Default::default() };
+        let config =
+            RefineConfig { patterns_per_component: 3, diversify: true, ..Default::default() };
         let picks = refine_component(&log, &all, &naive, &config);
         // With diversification, once {0,1} (or a triple) is picked, further
         // overlapping pairs are skipped.

@@ -100,11 +100,8 @@ pub fn sample_distribution(
         *v /= total;
     }
     // Constraint matrix: one row per *active* pattern, plus normalization.
-    let active: Vec<(usize, f64)> = targets
-        .iter()
-        .enumerate()
-        .filter_map(|(j, t)| t.map(|v| (j, v)))
-        .collect();
+    let active: Vec<(usize, f64)> =
+        targets.iter().enumerate().filter_map(|(j, t)| t.map(|v| (j, v))).collect();
     let m = active.len();
     let mut a = Matrix::zeros(m + 1, n);
     let mut b = vec![0.0; m + 1];
@@ -170,8 +167,8 @@ pub fn estimate_deviation(
         return DeviationEstimate { mean: f64::INFINITY, std_dev: 0.0, samples: 0 };
     }
     let mean = kls.iter().sum::<f64>() / kls.len() as f64;
-    let var = kls.iter().map(|k| (k - mean) * (k - mean)).sum::<f64>()
-        / (kls.len().max(2) - 1) as f64;
+    let var =
+        kls.iter().map(|k| (k - mean) * (k - mean)).sum::<f64>() / (kls.len().max(2) - 1) as f64;
     DeviationEstimate { mean, std_dev: var.sqrt(), samples: kls.len() }
 }
 
@@ -215,7 +212,8 @@ fn matrix_rank(rows: &mut [Vec<f64>]) -> usize {
     let mut col = 0;
     while rank < nrows && col < ncols {
         // Find pivot.
-        let pivot = (rank..nrows).max_by(|&a, &b| rows[a][col].abs().total_cmp(&rows[b][col].abs()));
+        let pivot =
+            (rank..nrows).max_by(|&a, &b| rows[a][col].abs().total_cmp(&rows[b][col].abs()));
         let Some(p) = pivot else { break };
         if rows[p][col].abs() < 1e-9 {
             col += 1;
@@ -223,12 +221,13 @@ fn matrix_rank(rows: &mut [Vec<f64>]) -> usize {
         }
         rows.swap(rank, p);
         let lead = rows[rank][col];
-        for r in (rank + 1)..nrows {
-            let f = rows[r][col] / lead;
+        let (pivot_rows, tail_rows) = rows.split_at_mut(rank + 1);
+        let pivot = &pivot_rows[rank];
+        for row in tail_rows.iter_mut() {
+            let f = row[col] / lead;
             if f != 0.0 {
-                for c in col..ncols {
-                    let v = rows[rank][c];
-                    rows[r][c] -= f * v;
+                for (dst, &v) in row[col..ncols].iter_mut().zip(&pivot[col..ncols]) {
+                    *dst -= f * v;
                 }
             }
         }

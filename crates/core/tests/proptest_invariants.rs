@@ -16,18 +16,16 @@ use proptest::prelude::*;
 const UNIVERSE: u32 = 10;
 
 fn arb_log() -> impl Strategy<Value = QueryLog> {
-    prop::collection::vec(
-        (prop::collection::vec(0..UNIVERSE, 0..6), 1u64..20),
-        1..12,
+    prop::collection::vec((prop::collection::vec(0..UNIVERSE, 0..6), 1u64..20), 1..12).prop_map(
+        |entries| {
+            let mut log = QueryLog::new();
+            for (ids, count) in entries {
+                log.add_vector(QueryVector::new(ids.into_iter().map(FeatureId).collect()), count);
+            }
+            log.reserve_universe(UNIVERSE as usize);
+            log
+        },
     )
-    .prop_map(|entries| {
-        let mut log = QueryLog::new();
-        for (ids, count) in entries {
-            log.add_vector(QueryVector::new(ids.into_iter().map(FeatureId).collect()), count);
-        }
-        log.reserve_universe(UNIVERSE as usize);
-        log
-    })
 }
 
 proptest! {

@@ -9,21 +9,19 @@ use logr_feature::{Feature, FeatureId, QueryLog, QueryVector};
 use proptest::prelude::*;
 
 fn arb_log() -> impl Strategy<Value = QueryLog> {
-    prop::collection::vec(
-        (prop::collection::vec(0..12u32, 1..5), 1u64..50),
-        1..10,
+    prop::collection::vec((prop::collection::vec(0..12u32, 1..5), 1u64..50), 1..10).prop_map(
+        |rows| {
+            let mut log = QueryLog::new();
+            // Intern real features so the codebook round-trips.
+            for i in 0..12 {
+                log.codebook_mut().intern(Feature::where_atom(format!("col{i} = ?")));
+            }
+            for (ids, count) in rows {
+                log.add_vector(QueryVector::new(ids.into_iter().map(FeatureId).collect()), count);
+            }
+            log
+        },
     )
-    .prop_map(|rows| {
-        let mut log = QueryLog::new();
-        // Intern real features so the codebook round-trips.
-        for i in 0..12 {
-            log.codebook_mut().intern(Feature::where_atom(format!("col{i} = ?")));
-        }
-        for (ids, count) in rows {
-            log.add_vector(QueryVector::new(ids.into_iter().map(FeatureId).collect()), count);
-        }
-        log
-    })
 }
 
 proptest! {

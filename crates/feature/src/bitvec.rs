@@ -90,37 +90,47 @@ impl BitVec {
     /// Panics on universe mismatch.
     pub fn and_count(&self, other: &BitVec) -> usize {
         assert_eq!(self.len, other.len, "universe mismatch");
-        self.bits
-            .iter()
-            .zip(&other.bits)
-            .map(|(a, b)| (a & b).count_ones() as usize)
-            .sum()
+        self.bits.iter().zip(&other.bits).map(|(a, b)| (a & b).count_ones() as usize).sum()
     }
 
     /// `|self ∨ other|` — union size.
     pub fn or_count(&self, other: &BitVec) -> usize {
         assert_eq!(self.len, other.len, "universe mismatch");
-        self.bits
-            .iter()
-            .zip(&other.bits)
-            .map(|(a, b)| (a | b).count_ones() as usize)
-            .sum()
+        self.bits.iter().zip(&other.bits).map(|(a, b)| (a | b).count_ones() as usize).sum()
     }
 
     /// `|self ⊕ other|` — Hamming distance.
     pub fn xor_count(&self, other: &BitVec) -> usize {
         assert_eq!(self.len, other.len, "universe mismatch");
-        self.bits
-            .iter()
-            .zip(&other.bits)
-            .map(|(a, b)| (a ^ b).count_ones() as usize)
-            .sum()
+        self.bits.iter().zip(&other.bits).map(|(a, b)| (a ^ b).count_ones() as usize).sum()
     }
 
     /// Containment: every set bit of `other` is set here.
     pub fn contains_all(&self, other: &BitVec) -> bool {
         assert_eq!(self.len, other.len, "universe mismatch");
         self.bits.iter().zip(&other.bits).all(|(a, b)| b & !a == 0)
+    }
+
+    /// The underlying `u64` blocks (bit `i` lives in block `i / 64` at bit
+    /// `i % 64`).
+    pub fn blocks(&self) -> &[u64] {
+        &self.bits
+    }
+
+    /// Call `f` with each set index in ascending order. Hand-rolled block
+    /// loop: equivalent to [`BitVec::iter_ones`] but without iterator
+    /// adaptor overhead, which matters in the clustering hot loops
+    /// (especially in unoptimized builds).
+    #[inline]
+    pub fn for_each_one(&self, mut f: impl FnMut(usize)) {
+        for (block_idx, &block) in self.bits.iter().enumerate() {
+            let mut b = block;
+            while b != 0 {
+                let tz = b.trailing_zeros() as usize;
+                b &= b - 1;
+                f(block_idx * 64 + tz);
+            }
+        }
     }
 
     /// Iterate indexes of set bits in ascending order.

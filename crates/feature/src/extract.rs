@@ -12,15 +12,13 @@ use crate::vector::QueryVector;
 use logr_sql::{ConjunctiveQuery, SelectItem};
 
 /// Extraction options.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-#[derive(Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct ExtractConfig {
     /// Capture ⟨expr, GROUPBY⟩ and ⟨expr `[DESC]`, ORDERBY⟩ features
     /// (Makiyama-scheme extension). Off by default — the paper's
     /// experiments use the plain Aligon scheme.
     pub extensions: bool,
 }
-
 
 impl ExtractConfig {
     /// Plain Aligon scheme.
@@ -43,9 +41,8 @@ pub fn extract_features(
     codebook: &mut Codebook,
     config: ExtractConfig,
 ) -> QueryVector {
-    let mut ids = Vec::with_capacity(
-        query.select.len() + query.tables.len() + query.conjuncts.len() + 4,
-    );
+    let mut ids =
+        Vec::with_capacity(query.select.len() + query.tables.len() + query.conjuncts.len() + 4);
 
     for item in &query.select {
         let text = match item {
@@ -65,16 +62,14 @@ pub fn extract_features(
     }
     if config.extensions {
         for g in &query.group_by {
-            ids.push(codebook.intern(Feature::new(
-                crate::feature::FeatureClass::GroupBy,
-                g.to_string(),
-            )));
+            ids.push(
+                codebook.intern(Feature::new(crate::feature::FeatureClass::GroupBy, g.to_string())),
+            );
         }
         for o in &query.order_by {
-            ids.push(codebook.intern(Feature::new(
-                crate::feature::FeatureClass::OrderBy,
-                o.to_string(),
-            )));
+            ids.push(
+                codebook.intern(Feature::new(crate::feature::FeatureClass::OrderBy, o.to_string())),
+            );
         }
     }
 
@@ -150,7 +145,8 @@ mod tests {
     #[test]
     fn wildcards_featurize() {
         let mut cb = Codebook::new();
-        let v = extract_features(&conjunctive("SELECT * FROM t")[0], &mut cb, ExtractConfig::aligon());
+        let v =
+            extract_features(&conjunctive("SELECT * FROM t")[0], &mut cb, ExtractConfig::aligon());
         assert_eq!(v.len(), 2);
         assert!(cb.get(&Feature::select("*")).is_some());
     }

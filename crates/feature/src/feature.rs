@@ -93,10 +93,12 @@ mod tests {
 
     #[test]
     fn features_order_by_clause_then_text() {
-        let mut fs = [Feature::where_atom("a = ?"),
+        let mut fs = [
+            Feature::where_atom("a = ?"),
             Feature::select("z"),
             Feature::from_table("t"),
-            Feature::select("a")];
+            Feature::select("a"),
+        ];
         fs.sort();
         assert_eq!(
             fs.iter().map(|f| f.class).collect::<Vec<_>>(),

@@ -104,11 +104,7 @@ impl LabeledDataset {
 
     /// Weighted support of a pattern (rows containing all its features).
     pub fn support(&self, pattern: &QueryVector) -> u64 {
-        self.rows
-            .iter()
-            .filter(|r| r.vector.contains_all(pattern))
-            .map(|r| r.weight)
-            .sum()
+        self.rows.iter().filter(|r| r.vector.contains_all(pattern)).map(|r| r.weight).sum()
     }
 
     /// Weighted label rate among rows containing the pattern; `None` when
@@ -140,10 +136,7 @@ impl LabeledDataset {
                 counts[f.index()] += r.weight;
             }
         }
-        counts
-            .into_iter()
-            .map(|c| if total == 0 { 0.0 } else { c as f64 / total as f64 })
-            .collect()
+        counts.into_iter().map(|c| if total == 0 { 0.0 } else { c as f64 / total as f64 }).collect()
     }
 
     /// Restrict to a subset of row indices (multiplicities preserved).
@@ -255,8 +248,8 @@ mod tests {
 
     #[test]
     fn feature_names_round_trip() {
-        let d = LabeledDataset::new(2)
-            .with_feature_names(vec!["cap=red".into(), "cap=blue".into()]);
+        let d =
+            LabeledDataset::new(2).with_feature_names(vec!["cap=red".into(), "cap=blue".into()]);
         assert_eq!(d.feature_name(FeatureId(1)), "cap=blue");
         assert_eq!(d.feature_name(FeatureId(9)), "");
     }

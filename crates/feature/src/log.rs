@@ -287,7 +287,8 @@ impl LogIngest {
         let anon_text = anon.to_string();
         *self.anon_counts.entry(anon_text.clone()).or_insert(0) += count;
 
-        if let std::collections::hash_map::Entry::Vacant(e) = self.conjunctive.entry(anon_text.clone())
+        if let std::collections::hash_map::Entry::Vacant(e) =
+            self.conjunctive.entry(anon_text.clone())
         {
             match regularize(&anon) {
                 Ok(reg) => {
@@ -416,10 +417,8 @@ mod tests {
         ingest.ingest_with_count("SELECT id FROM Messages WHERE status = ?", 5);
         ingest.ingest_with_count("SELECT id FROM Messages", 2);
         let (log, _) = ingest.finish();
-        let status_atom = log
-            .codebook()
-            .get(&crate::feature::Feature::where_atom("status = ?"))
-            .unwrap();
+        let status_atom =
+            log.codebook().get(&crate::feature::Feature::where_atom("status = ?")).unwrap();
         let id_col = log.codebook().get(&crate::feature::Feature::select("id")).unwrap();
         assert_eq!(log.support(&QueryVector::new(vec![status_atom])), 5);
         assert_eq!(log.support(&QueryVector::new(vec![id_col])), 7);

@@ -85,9 +85,8 @@ pub fn jacobi_eigen(a: &Matrix) -> Vec<EigenPair> {
         }
     }
 
-    let mut pairs: Vec<EigenPair> = (0..n)
-        .map(|i| EigenPair { value: m[(i, i)], vector: v.col(i) })
-        .collect();
+    let mut pairs: Vec<EigenPair> =
+        (0..n).map(|i| EigenPair { value: m[(i, i)], vector: v.col(i) }).collect();
     pairs.sort_by(|a, b| b.value.total_cmp(&a.value));
     pairs
 }
@@ -204,19 +203,12 @@ mod tests {
 
     fn eigen_residual(a: &Matrix, p: &EigenPair) -> f64 {
         let av = a.matvec(&p.vector);
-        av.iter()
-            .zip(&p.vector)
-            .map(|(avi, vi)| (avi - p.value * vi).abs())
-            .fold(0.0, f64::max)
+        av.iter().zip(&p.vector).map(|(avi, vi)| (avi - p.value * vi).abs()).fold(0.0, f64::max)
     }
 
     #[test]
     fn jacobi_diagonal_matrix() {
-        let a = Matrix::from_rows(&[
-            vec![3.0, 0.0, 0.0],
-            vec![0.0, 1.0, 0.0],
-            vec![0.0, 0.0, 2.0],
-        ]);
+        let a = Matrix::from_rows(&[vec![3.0, 0.0, 0.0], vec![0.0, 1.0, 0.0], vec![0.0, 0.0, 2.0]]);
         let pairs = jacobi_eigen(&a);
         let values: Vec<f64> = pairs.iter().map(|p| p.value).collect();
         assert!((values[0] - 3.0).abs() < 1e-10);
@@ -238,11 +230,8 @@ mod tests {
 
     #[test]
     fn jacobi_eigenvectors_orthonormal() {
-        let a = Matrix::from_rows(&[
-            vec![4.0, 1.0, 0.5],
-            vec![1.0, 3.0, 0.25],
-            vec![0.5, 0.25, 2.0],
-        ]);
+        let a =
+            Matrix::from_rows(&[vec![4.0, 1.0, 0.5], vec![1.0, 3.0, 0.25], vec![0.5, 0.25, 2.0]]);
         let pairs = jacobi_eigen(&a);
         for i in 0..3 {
             assert!((norm(&pairs[i].vector) - 1.0).abs() < 1e-9);
@@ -286,12 +275,7 @@ mod tests {
         let top = lanczos_topk(&a, 4, 42);
         let full = jacobi_eigen(&a);
         for (l, j) in top.iter().zip(full.iter()) {
-            assert!(
-                (l.value - j.value).abs() < 1e-6,
-                "lanczos {} vs jacobi {}",
-                l.value,
-                j.value
-            );
+            assert!((l.value - j.value).abs() < 1e-6, "lanczos {} vs jacobi {}", l.value, j.value);
         }
     }
 

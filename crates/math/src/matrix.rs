@@ -89,6 +89,12 @@ impl Matrix {
         &self.data
     }
 
+    /// Mutable access to the underlying row-major buffer (rows are
+    /// contiguous `cols`-length chunks; parallel fills split on them).
+    pub fn as_mut_slice(&mut self) -> &mut [f64] {
+        &mut self.data
+    }
+
     /// Matrix transpose.
     pub fn transpose(&self) -> Matrix {
         let mut t = Matrix::zeros(self.cols, self.rows);

@@ -94,11 +94,7 @@ pub fn sample_constrained(
 }
 
 fn max_residual(a: &Matrix, b: &[f64], x: &[f64]) -> f64 {
-    a.matvec(x)
-        .iter()
-        .zip(b)
-        .map(|(axi, bi)| (axi - bi).abs())
-        .fold(0.0, f64::max)
+    a.matvec(x).iter().zip(b).map(|(axi, bi)| (axi - bi).abs()).fold(0.0, f64::max)
 }
 
 #[cfg(test)]

@@ -161,11 +161,7 @@ mod tests {
     use super::*;
 
     fn residual(a: &Matrix, x: &[f64], b: &[f64]) -> f64 {
-        a.matvec(x)
-            .iter()
-            .zip(b)
-            .map(|(ax, bv)| (ax - bv).abs())
-            .fold(0.0, f64::max)
+        a.matvec(x).iter().zip(b).map(|(ax, bv)| (ax - bv).abs()).fold(0.0, f64::max)
     }
 
     #[test]
@@ -190,11 +186,7 @@ mod tests {
 
     #[test]
     fn cholesky_factor_reconstructs() {
-        let a = Matrix::from_rows(&[
-            vec![6.0, 2.0, 1.0],
-            vec![2.0, 5.0, 2.0],
-            vec![1.0, 2.0, 4.0],
-        ]);
+        let a = Matrix::from_rows(&[vec![6.0, 2.0, 1.0], vec![2.0, 5.0, 2.0], vec![1.0, 2.0, 4.0]]);
         let l = cholesky_factor(&a).unwrap();
         let rec = l.matmul(&l.transpose());
         for i in 0..3 {
@@ -219,11 +211,8 @@ mod tests {
 
     #[test]
     fn lu_solves_general_system() {
-        let a = Matrix::from_rows(&[
-            vec![0.0, 2.0, 1.0],
-            vec![1.0, -2.0, -3.0],
-            vec![-1.0, 1.0, 2.0],
-        ]);
+        let a =
+            Matrix::from_rows(&[vec![0.0, 2.0, 1.0], vec![1.0, -2.0, -3.0], vec![-1.0, 1.0, 2.0]]);
         let b = [1.0, 2.0, 3.0];
         let x = lu_solve(&a, &b).unwrap();
         assert!(residual(&a, &x, &b) < 1e-10);
@@ -238,11 +227,7 @@ mod tests {
     #[test]
     fn lu_handles_permutation_heavy_systems() {
         // Requires pivoting at every step.
-        let a = Matrix::from_rows(&[
-            vec![0.0, 0.0, 1.0],
-            vec![0.0, 1.0, 0.0],
-            vec![1.0, 0.0, 0.0],
-        ]);
+        let a = Matrix::from_rows(&[vec![0.0, 0.0, 1.0], vec![0.0, 1.0, 0.0], vec![1.0, 0.0, 0.0]]);
         let b = [3.0, 2.0, 1.0];
         let x = lu_solve(&a, &b).unwrap();
         assert!((x[0] - 1.0).abs() < 1e-12);

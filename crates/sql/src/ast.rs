@@ -664,7 +664,11 @@ pub struct SelectStatement {
 impl SelectStatement {
     /// Wrap a single SELECT block into a statement.
     pub fn simple(select: Select) -> Self {
-        SelectStatement { body: SetExpr::Select(Box::new(select)), order_by: Vec::new(), limit: None }
+        SelectStatement {
+            body: SetExpr::Select(Box::new(select)),
+            order_by: Vec::new(),
+            limit: None,
+        }
     }
 
     /// The single SELECT block, if this statement is not compound.
@@ -851,13 +855,11 @@ mod tests {
 
     #[test]
     fn function_display() {
-        let f = Expr::Function {
-            name: "upper".into(),
-            args: vec![Expr::col("name")],
-            distinct: false,
-        };
+        let f =
+            Expr::Function { name: "upper".into(), args: vec![Expr::col("name")], distinct: false };
         assert_eq!(f.to_string(), "upper(name)");
-        let c = Expr::Function { name: "count".into(), args: vec![Expr::Wildcard], distinct: false };
+        let c =
+            Expr::Function { name: "count".into(), args: vec![Expr::Wildcard], distinct: false };
         assert_eq!(c.to_string(), "count(*)");
         let d = Expr::Function { name: "count".into(), args: vec![Expr::col("x")], distinct: true };
         assert_eq!(d.to_string(), "count(DISTINCT x)");
@@ -940,9 +942,6 @@ mod tests {
             order_by: vec![],
             limit: None,
         };
-        assert_eq!(
-            cq.to_string(),
-            "SELECT id FROM Messages WHERE status = ? AND sms_type = ?"
-        );
+        assert_eq!(cq.to_string(), "SELECT id FROM Messages WHERE status = ? AND sms_type = ?");
     }
 }

@@ -197,10 +197,7 @@ impl<'a> Lexer<'a> {
             c if c.is_ascii_digit() => self.lex_number(start),
             b'.' if self.peek2().is_some_and(|c| c.is_ascii_digit()) => self.lex_number(start),
             c if c.is_ascii_alphabetic() || c == b'_' => {
-                while self
-                    .peek()
-                    .is_some_and(|c| c.is_ascii_alphanumeric() || c == b'_')
-                {
+                while self.peek().is_some_and(|c| c.is_ascii_alphanumeric() || c == b'_') {
                     self.pos += 1;
                 }
                 Ok(Token::new(TokenKind::Word, self.slice(start), start))
@@ -228,7 +225,10 @@ impl<'a> Lexer<'a> {
                 }
                 Some(c) => text.push(c as char),
                 None => {
-                    return Err(LexError { message: "unterminated string literal".into(), offset: start })
+                    return Err(LexError {
+                        message: "unterminated string literal".into(),
+                        offset: start,
+                    })
                 }
             }
         }
@@ -413,9 +413,10 @@ mod tests {
 
     #[test]
     fn two_char_operators() {
-        assert_eq!(texts("a <= b >= c <> d != e || f"), vec![
-            "a", "<=", "b", ">=", "c", "<>", "d", "!=", "e", "||", "f"
-        ]);
+        assert_eq!(
+            texts("a <= b >= c <> d != e || f"),
+            vec!["a", "<=", "b", ">=", "c", "<>", "d", "!=", "e", "||", "f"]
+        );
     }
 
     #[test]

@@ -281,17 +281,17 @@ pub fn select_is_conjunctive(select: &Select) -> bool {
             // NOT over anything rewritable (comparisons flip, polarities
             // toggle, De Morgan applies) is non-conjunctive; NOT over an
             // irreducible atom (bare column, function call) *is* an atom.
-            Expr::Unary { op: UnaryOp::Not, expr: inner } => match inner.as_ref() {
+            Expr::Unary { op: UnaryOp::Not, expr: inner } => !matches!(
+                inner.as_ref(),
                 Expr::Binary { .. }
-                | Expr::Unary { op: UnaryOp::Not, .. }
-                | Expr::InList { .. }
-                | Expr::InSubquery { .. }
-                | Expr::Between { .. }
-                | Expr::IsNull { .. }
-                | Expr::Like { .. }
-                | Expr::Exists { .. } => false,
-                _ => true,
-            },
+                    | Expr::Unary { op: UnaryOp::Not, .. }
+                    | Expr::InList { .. }
+                    | Expr::InSubquery { .. }
+                    | Expr::Between { .. }
+                    | Expr::IsNull { .. }
+                    | Expr::Like { .. }
+                    | Expr::Exists { .. }
+            ),
             // These need desugaring, so the original is not conjunctive.
             Expr::InList { .. } | Expr::Between { .. } => false,
             _ => true,
@@ -312,11 +312,9 @@ pub fn select_is_conjunctive(select: &Select) -> bool {
 fn to_nnf(expr: Expr) -> Expr {
     match expr {
         Expr::Unary { op: UnaryOp::Not, expr: inner } => negate(to_nnf(*inner)),
-        Expr::Binary { left, op: op @ (BinaryOp::And | BinaryOp::Or), right } => Expr::Binary {
-            left: Box::new(to_nnf(*left)),
-            op,
-            right: Box::new(to_nnf(*right)),
-        },
+        Expr::Binary { left, op: op @ (BinaryOp::And | BinaryOp::Or), right } => {
+            Expr::Binary { left: Box::new(to_nnf(*left)), op, right: Box::new(to_nnf(*right)) }
+        }
         other => other,
     }
 }
@@ -324,18 +322,13 @@ fn to_nnf(expr: Expr) -> Expr {
 /// Logical negation of an NNF expression.
 fn negate(expr: Expr) -> Expr {
     match expr {
-        Expr::Binary { left, op: BinaryOp::And, right } => {
-            Expr::or(negate(*left), negate(*right))
-        }
-        Expr::Binary { left, op: BinaryOp::Or, right } => {
-            Expr::and(negate(*left), negate(*right))
-        }
+        Expr::Binary { left, op: BinaryOp::And, right } => Expr::or(negate(*left), negate(*right)),
+        Expr::Binary { left, op: BinaryOp::Or, right } => Expr::and(negate(*left), negate(*right)),
         Expr::Binary { left, op, right } => match op.negated() {
             Some(flip) => Expr::Binary { left, op: flip, right },
-            None => Expr::Unary {
-                op: UnaryOp::Not,
-                expr: Box::new(Expr::Binary { left, op, right }),
-            },
+            None => {
+                Expr::Unary { op: UnaryOp::Not, expr: Box::new(Expr::Binary { left, op, right }) }
+            }
         },
         Expr::Unary { op: UnaryOp::Not, expr } => *expr,
         Expr::IsNull { expr, negated } => Expr::IsNull { expr, negated: !negated },
@@ -355,11 +348,9 @@ fn negate(expr: Expr) -> Expr {
 /// Desugar `BETWEEN` and `IN` lists into comparisons joined by AND/OR.
 fn desugar(expr: Expr) -> Expr {
     match expr {
-        Expr::Binary { left, op, right } => Expr::Binary {
-            left: Box::new(desugar(*left)),
-            op,
-            right: Box::new(desugar(*right)),
-        },
+        Expr::Binary { left, op, right } => {
+            Expr::Binary { left: Box::new(desugar(*left)), op, right: Box::new(desugar(*right)) }
+        }
         Expr::Between { expr, low, high, negated } => {
             let lo = Expr::Binary {
                 left: expr.clone(),
@@ -446,8 +437,7 @@ mod tests {
 
     #[test]
     fn anonymize_keeps_null_and_limit() {
-        let mut stmt =
-            parse_select("select a from t where b is null and c = 3 limit 500").unwrap();
+        let mut stmt = parse_select("select a from t where b is null and c = 3 limit 500").unwrap();
         anonymize_statement(&mut stmt);
         assert_eq!(stmt.to_string(), "SELECT a FROM t WHERE b IS NULL AND c = ? LIMIT 500");
     }
@@ -457,10 +447,7 @@ mod tests {
         let mut stmt =
             parse_select("select a from t where b in (select c from u where d = 7)").unwrap();
         anonymize_statement(&mut stmt);
-        assert_eq!(
-            stmt.to_string(),
-            "SELECT a FROM t WHERE b IN (SELECT c FROM u WHERE d = ?)"
-        );
+        assert_eq!(stmt.to_string(), "SELECT a FROM t WHERE b IN (SELECT c FROM u WHERE d = ?)");
     }
 
     #[test]
@@ -609,10 +596,7 @@ mod tests {
         }
         let sql = format!("select x from t where {}", clauses.join(" and "));
         let stmt = parse_select(&sql).unwrap();
-        assert!(matches!(
-            regularize(&stmt),
-            Err(RegularizeError::TooManyDisjuncts { .. })
-        ));
+        assert!(matches!(regularize(&stmt), Err(RegularizeError::TooManyDisjuncts { .. })));
     }
 
     #[test]

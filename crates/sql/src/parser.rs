@@ -276,7 +276,8 @@ impl Parser {
             return Err(self.unexpected("alias name"));
         }
         // Bare alias: a non-reserved word.
-        if self.peek().kind == TokenKind::Word && !RESERVED.contains(&self.peek().normalized.as_str())
+        if self.peek().kind == TokenKind::Word
+            && !RESERVED.contains(&self.peek().normalized.as_str())
         {
             return Ok(Some(self.bump().text));
         }
@@ -471,7 +472,8 @@ impl Parser {
                 if self.peek().is_kw("select") {
                     let query = self.parse_statement()?;
                     self.expect_sym(")")?;
-                    left = Expr::InSubquery { expr: Box::new(left), query: Box::new(query), negated };
+                    left =
+                        Expr::InSubquery { expr: Box::new(left), query: Box::new(query), negated };
                 } else {
                     let mut list = vec![self.parse_expr()?];
                     while self.eat_sym(",") {
@@ -680,7 +682,8 @@ mod tests {
 
     #[test]
     fn paper_example_query() {
-        let sql = "SELECT _id , sms_type , _time FROM Messages WHERE status =? AND transport_type =?";
+        let sql =
+            "SELECT _id , sms_type , _time FROM Messages WHERE status =? AND transport_type =?";
         assert_eq!(
             rt(sql),
             "SELECT _id, sms_type, _time FROM Messages WHERE status = ? AND transport_type = ?"
@@ -689,7 +692,10 @@ mod tests {
 
     #[test]
     fn distinct_and_aliases() {
-        assert_eq!(rt("select distinct a as x, b y from t"), "SELECT DISTINCT a AS x, b AS y FROM t");
+        assert_eq!(
+            rt("select distinct a as x, b y from t"),
+            "SELECT DISTINCT a AS x, b AS y FROM t"
+        );
     }
 
     #[test]
@@ -744,10 +750,7 @@ mod tests {
             rt("select a from t where b not between ? and ?"),
             "SELECT a FROM t WHERE b NOT BETWEEN ? AND ?"
         );
-        assert_eq!(
-            rt("select a from t where b like '%x%'"),
-            "SELECT a FROM t WHERE b LIKE '%x%'"
-        );
+        assert_eq!(rt("select a from t where b like '%x%'"), "SELECT a FROM t WHERE b LIKE '%x%'");
     }
 
     #[test]
@@ -760,10 +763,7 @@ mod tests {
 
     #[test]
     fn arithmetic_and_concat() {
-        assert_eq!(
-            rt("select a + b * c - d from t"),
-            "SELECT a + b * c - d FROM t"
-        );
+        assert_eq!(rt("select a + b * c - d from t"), "SELECT a + b * c - d FROM t");
         assert_eq!(rt("select a || b from t"), "SELECT a || b FROM t");
         assert_eq!(rt("select -a from t"), "SELECT -a FROM t");
         assert_eq!(rt("select (a + b) * c from t"), "SELECT (a + b) * c FROM t");
@@ -773,10 +773,7 @@ mod tests {
     fn functions() {
         assert_eq!(rt("select count(*) from t"), "SELECT count(*) FROM t");
         assert_eq!(rt("select UPPER(name) from t"), "SELECT upper(name) FROM t");
-        assert_eq!(
-            rt("select count(distinct a) from t"),
-            "SELECT count(DISTINCT a) FROM t"
-        );
+        assert_eq!(rt("select count(distinct a) from t"), "SELECT count(DISTINCT a) FROM t");
         assert_eq!(rt("select max(a, b) from t"), "SELECT max(a, b) FROM t");
     }
 
@@ -813,15 +810,15 @@ mod tests {
             "SELECT a FROM t LEFT JOIN u ON t.id = u.id"
         );
         assert_eq!(rt("select a from t cross join u"), "SELECT a FROM t CROSS JOIN u");
-        assert_eq!(rt("select a from t, u where t.id = u.id"), "SELECT a FROM t, u WHERE t.id = u.id");
+        assert_eq!(
+            rt("select a from t, u where t.id = u.id"),
+            "SELECT a FROM t, u WHERE t.id = u.id"
+        );
     }
 
     #[test]
     fn subqueries() {
-        assert_eq!(
-            rt("select a from (select b from u) v"),
-            "SELECT a FROM (SELECT b FROM u) AS v"
-        );
+        assert_eq!(rt("select a from (select b from u) v"), "SELECT a FROM (SELECT b FROM u) AS v");
         assert_eq!(
             rt("select a from t where b in (select c from u)"),
             "SELECT a FROM t WHERE b IN (SELECT c FROM u)"
@@ -898,18 +895,11 @@ mod tests {
     #[test]
     fn pathological_nesting_rejected_not_crashed() {
         // 10k nested parens must produce an error, not a stack overflow.
-        let sql = format!(
-            "select a from t where {}x = 1{}",
-            "(".repeat(10_000),
-            ")".repeat(10_000)
-        );
+        let sql =
+            format!("select a from t where {}x = 1{}", "(".repeat(10_000), ")".repeat(10_000));
         assert!(matches!(parse_select(&sql), Err(ParseError::Unsupported { .. })));
         // Moderate nesting still parses.
-        let ok = format!(
-            "select a from t where {}x = 1{}",
-            "(".repeat(24),
-            ")".repeat(24)
-        );
+        let ok = format!("select a from t where {}x = 1{}", "(".repeat(24), ")".repeat(24));
         assert!(parse_select(&ok).is_ok());
     }
 

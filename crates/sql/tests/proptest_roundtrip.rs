@@ -12,10 +12,10 @@ use proptest::prelude::*;
 fn ident() -> impl Strategy<Value = String> {
     "[a-z][a-z0-9_]{0,8}".prop_filter("avoid keywords", |s| {
         ![
-            "select", "from", "where", "and", "or", "not", "in", "between", "like", "is",
-            "null", "group", "by", "order", "limit", "union", "join", "on", "as", "having",
-            "exists", "all", "distinct", "asc", "desc", "true", "false", "left", "inner",
-            "cross", "offset", "case", "when", "then", "else", "end", "outer",
+            "select", "from", "where", "and", "or", "not", "in", "between", "like", "is", "null",
+            "group", "by", "order", "limit", "union", "join", "on", "as", "having", "exists",
+            "all", "distinct", "asc", "desc", "true", "false", "left", "inner", "cross", "offset",
+            "case", "when", "then", "else", "end", "outer",
         ]
         .contains(&s.as_str())
     })
@@ -51,14 +51,11 @@ fn arb_expr() -> impl Strategy<Value = Expr> {
                 high: Box::new(hi),
                 negated: false,
             }),
-            (inner.clone(), prop::collection::vec(inner.clone(), 1..3), any::<bool>()).prop_map(
-                |(e, list, negated)| Expr::InList { expr: Box::new(e), list, negated }
-            ),
+            (inner.clone(), prop::collection::vec(inner.clone(), 1..3), any::<bool>())
+                .prop_map(|(e, list, negated)| Expr::InList { expr: Box::new(e), list, negated }),
             (inner.clone(), any::<bool>())
                 .prop_map(|(e, negated)| Expr::IsNull { expr: Box::new(e), negated }),
-            inner
-                .clone()
-                .prop_map(|e| Expr::Unary { op: UnaryOp::Not, expr: Box::new(e) }),
+            inner.clone().prop_map(|e| Expr::Unary { op: UnaryOp::Not, expr: Box::new(e) }),
         ]
     })
 }
@@ -85,7 +82,11 @@ fn arb_statement() -> impl Strategy<Value = SelectStatement> {
                 group_by: vec![],
                 having: None,
             };
-            SelectStatement { body: SetExpr::Select(Box::new(select)), order_by: vec![], limit: None }
+            SelectStatement {
+                body: SetExpr::Select(Box::new(select)),
+                order_by: vec![],
+                limit: None,
+            }
         })
 }
 

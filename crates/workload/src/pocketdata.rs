@@ -87,7 +87,10 @@ const GROUPS: &[TaskGroup] = &[
     TaskGroup {
         table: "messages_view",
         join: Some("conversations"),
-        base_predicates: &["conversation_id = ?", "conversations.conversation_id = conversation_id"],
+        base_predicates: &[
+            "conversation_id = ?",
+            "conversations.conversation_id = conversation_id",
+        ],
         optional_predicates: &[
             "expiration_timestamp > ?",
             "status != ?",
@@ -101,7 +104,10 @@ const GROUPS: &[TaskGroup] = &[
     TaskGroup {
         table: "message_notifications_view",
         join: Some("conversations"),
-        base_predicates: &["conversation_id = ?", "conversations.conversation_id = conversation_id"],
+        base_predicates: &[
+            "conversation_id = ?",
+            "conversations.conversation_id = conversation_id",
+        ],
         optional_predicates: &[
             "conversation_status != ?",
             "conversation_pending_leave != ?",
@@ -203,8 +209,7 @@ fn emit_query(group: &TaskGroup, schema: &Schema, conjunctive: bool, rng: &mut S
     let n_cols = rng.gen_range(6..=12);
     let cols = table.random_columns(n_cols, rng);
 
-    let mut predicates: Vec<String> =
-        group.base_predicates.iter().map(|p| p.to_string()).collect();
+    let mut predicates: Vec<String> = group.base_predicates.iter().map(|p| p.to_string()).collect();
     for opt in group.optional_predicates {
         if rng.gen_bool(0.5) {
             predicates.push(opt.to_string());
@@ -332,9 +337,6 @@ mod tests {
         let log = generate_pocketdata(&PocketDataConfig::small(11));
         let (qlog, _) = log.ingest();
         let avg = qlog.avg_features_per_query();
-        assert!(
-            (8.0..22.0).contains(&avg),
-            "avg features {avg} out of plausible range"
-        );
+        assert!((8.0..22.0).contains(&avg), "avg features {avg} out of plausible range");
     }
 }

@@ -76,54 +76,115 @@ pub fn messaging_schema() -> Schema {
         (
             "messages",
             &[
-                "_id", "sms_type", "_time", "status", "transport_type", "timestamp", "text",
-                "sms_raw_sender", "message_id", "expiration_timestamp", "conversation_id",
-                "sender_id", "attachment_id", "read_state", "delivery_state", "sms_error_code",
-                "subject", "priority", "retry_count", "media_type",
+                "_id",
+                "sms_type",
+                "_time",
+                "status",
+                "transport_type",
+                "timestamp",
+                "text",
+                "sms_raw_sender",
+                "message_id",
+                "expiration_timestamp",
+                "conversation_id",
+                "sender_id",
+                "attachment_id",
+                "read_state",
+                "delivery_state",
+                "sms_error_code",
+                "subject",
+                "priority",
+                "retry_count",
+                "media_type",
             ],
         ),
         (
             "conversations",
             &[
-                "conversation_id", "conversation_status", "conversation_pending_leave",
-                "conversation_notification_level", "chat_watermark", "latest_message_id",
-                "unread_count", "is_muted", "archive_status", "group_name", "created_ts",
-                "updated_ts", "icon_url", "participant_count",
+                "conversation_id",
+                "conversation_status",
+                "conversation_pending_leave",
+                "conversation_notification_level",
+                "chat_watermark",
+                "latest_message_id",
+                "unread_count",
+                "is_muted",
+                "archive_status",
+                "group_name",
+                "created_ts",
+                "updated_ts",
+                "icon_url",
+                "participant_count",
             ],
         ),
         (
             "conversation_participants_view",
             &[
-                "conversation_id", "participants_type", "first_name", "chat_id", "blocked",
-                "active", "profile_id", "display_name", "avatar_url", "last_seen",
+                "conversation_id",
+                "participants_type",
+                "first_name",
+                "chat_id",
+                "blocked",
+                "active",
+                "profile_id",
+                "display_name",
+                "avatar_url",
+                "last_seen",
             ],
         ),
         (
             "message_notifications_view",
             &[
-                "status", "timestamp", "conversation_id", "chat_watermark", "message_id",
-                "sms_type", "notification_level", "seen", "alert_status", "sound_uri",
+                "status",
+                "timestamp",
+                "conversation_id",
+                "chat_watermark",
+                "message_id",
+                "sms_type",
+                "notification_level",
+                "seen",
+                "alert_status",
+                "sound_uri",
             ],
         ),
         (
             "messages_view",
             &[
-                "status", "timestamp", "expiration_timestamp", "sms_raw_sender", "message_id",
-                "text", "conversation_id", "sender_name", "attachment_count",
+                "status",
+                "timestamp",
+                "expiration_timestamp",
+                "sms_raw_sender",
+                "message_id",
+                "text",
+                "conversation_id",
+                "sender_name",
+                "attachment_count",
             ],
         ),
         (
             "suggested_contacts",
             &[
-                "suggestion_type", "name", "chat_id", "profile_id", "score", "source",
-                "last_contacted", "is_favorite",
+                "suggestion_type",
+                "name",
+                "chat_id",
+                "profile_id",
+                "score",
+                "source",
+                "last_contacted",
+                "is_favorite",
             ],
         ),
         (
             "participants",
             &[
-                "participant_id", "profile_id", "first_name", "full_name", "participant_type",
-                "batch_gebi_tag", "blocked", "in_users_table",
+                "participant_id",
+                "profile_id",
+                "first_name",
+                "full_name",
+                "participant_type",
+                "batch_gebi_tag",
+                "blocked",
+                "in_users_table",
             ],
         ),
         (
@@ -145,9 +206,8 @@ pub fn messaging_schema() -> Schema {
 /// A multi-application banking schema: `n_schemas × tables_per_schema`
 /// tables named `s<i>.t<j>`, with varied column counts.
 pub fn banking_schema(n_schemas: usize, tables_per_schema: usize, rng: &mut StdRng) -> Schema {
-    let domains = [
-        "acct", "txn", "cust", "loan", "card", "branch", "ledger", "audit", "risk", "fx",
-    ];
+    let domains =
+        ["acct", "txn", "cust", "loan", "card", "branch", "ledger", "audit", "risk", "fx"];
     let mut tables = Vec::with_capacity(n_schemas * tables_per_schema);
     for s in 0..n_schemas {
         for t in 0..tables_per_schema {

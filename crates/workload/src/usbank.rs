@@ -123,8 +123,7 @@ pub fn generate_usbank(config: &UsBankConfig) -> SyntheticLog {
         }
     }
 
-    let counts =
-        fit_multiplicities(templates.len(), config.total_queries, config.max_multiplicity);
+    let counts = fit_multiplicities(templates.len(), config.total_queries, config.max_multiplicity);
 
     // Materialize constants: split each template's count across literal
     // variants (skewed 2:1 toward the first variant).
@@ -195,7 +194,7 @@ fn emit_human_template(schema: &Schema, decorated: bool, rng: &mut StdRng) -> St
         sql.push_str(&format!(" ORDER BY {} DESC", table.random_column(rng)));
     }
     if rng.gen_bool(0.2) {
-        sql.push_str(&format!(" LIMIT {}", [10, 50, 100, 1000][rng.gen_range(0..4)]));
+        sql.push_str(&format!(" LIMIT {}", [10, 50, 100, 1000][rng.gen_range(0usize..4)]));
     }
     sql
 }
@@ -236,7 +235,11 @@ fn substitute_constants(template: &str, rng: &mut StdRng) -> String {
                 0 => out.push_str(&format!("{}", rng.gen_range(0..100_000))),
                 1 => out.push_str(&format!("'CUST{:05}'", rng.gen_range(0..100_000))),
                 2 => out.push_str(&format!("{}", rng.gen_range(0..10))),
-                _ => out.push_str(&format!("'2016-0{}-{:02}'", rng.gen_range(1..10), rng.gen_range(1..29))),
+                _ => out.push_str(&format!(
+                    "'2016-0{}-{:02}'",
+                    rng.gen_range(1..10),
+                    rng.gen_range(1..29)
+                )),
             }
         } else {
             out.push(ch);
@@ -306,8 +309,7 @@ mod tests {
         // The Fig. 2 premise: US bank has a much larger feature universe
         // relative to its distinct count.
         let bank = generate_usbank(&UsBankConfig::small(4));
-        let pocket =
-            crate::pocketdata::generate_pocketdata(&crate::PocketDataConfig::small(4));
+        let pocket = crate::pocketdata::generate_pocketdata(&crate::PocketDataConfig::small(4));
         let (bank_log, _) = bank.ingest();
         let (pocket_log, _) = pocket.ingest();
         let bank_ratio = bank_log.num_features() as f64 / bank_log.distinct_count() as f64;

@@ -46,10 +46,8 @@ pub fn fit_multiplicities(n: usize, total: u64, max_mult: u64) -> Vec<u64> {
     let weights = zipf_weights(n, 0.5 * (lo + hi));
 
     // Integerize: floor + remainder to the top ranks, floor of 1 everywhere.
-    let mut counts: Vec<u64> = weights
-        .iter()
-        .map(|w| ((w * total as f64).floor() as u64).max(1))
-        .collect();
+    let mut counts: Vec<u64> =
+        weights.iter().map(|w| ((w * total as f64).floor() as u64).max(1)).collect();
     let mut assigned: u64 = counts.iter().sum();
     let mut rank = 0;
     while assigned < total {

@@ -24,11 +24,9 @@ fn main() {
         log.num_features()
     );
 
-    let summary = LogR::new(LogRConfig {
-        objective: CompressionObjective::FixedK(8),
-        ..Default::default()
-    })
-    .compress(&log);
+    let summary =
+        LogR::new(LogRConfig { objective: CompressionObjective::FixedK(8), ..Default::default() })
+            .compress(&log);
     println!(
         "compressed to {} clusters (error {:.3} nats, verbosity {})\n",
         summary.mixture.k(),
@@ -63,8 +61,10 @@ fn main() {
     for (atom, est, _) in &candidates {
         if *est / total >= 0.20 {
             let column = atom.split_whitespace().next().unwrap_or(atom);
-            println!("  CREATE INDEX ON (…{column}…)   -- appears in {:.0}% of queries",
-                     100.0 * est / total);
+            println!(
+                "  CREATE INDEX ON (…{column}…)   -- appears in {:.0}% of queries",
+                100.0 * est / total
+            );
         }
     }
     println!("\nworst relative error among the top candidates: {:.1}%", max_rel_err * 100.0);

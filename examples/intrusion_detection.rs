@@ -31,12 +31,8 @@ fn main() {
 
     // Monitoring window: mostly normal traffic + an injected scan that
     // touches the usual tables in an unusual way.
-    let normal: Vec<String> = synthetic
-        .statements
-        .iter()
-        .take(6)
-        .map(|(sql, _)| sql.clone())
-        .collect();
+    let normal: Vec<String> =
+        synthetic.statements.iter().take(6).map(|(sql, _)| sql.clone()).collect();
     let injected = [
         "SELECT text, sms_raw_sender, timestamp FROM messages", // full dump: no predicate
         "SELECT setting_key, setting_value FROM account_settings WHERE setting_value LIKE ?",

@@ -17,11 +17,8 @@ use logr::workload::{generate_pocketdata, PocketDataConfig};
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // --- On the database host -----------------------------------------
     let synthetic = generate_pocketdata(&PocketDataConfig::default());
-    let raw_bytes: usize = synthetic
-        .statements
-        .iter()
-        .map(|(sql, count)| sql.len() * *count as usize)
-        .sum();
+    let raw_bytes: usize =
+        synthetic.statements.iter().map(|(sql, count)| sql.len() * *count as usize).sum();
     let (log, _) = synthetic.ingest();
 
     let summary = LogR::new(LogRConfig {
@@ -73,8 +70,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let est = loaded.estimate_count(&features);
         let truth = {
             // Only for the demo: the analyst would not have the log.
-            let ids: Option<Vec<_>> =
-                features.iter().map(|f| log.codebook().get(f)).collect();
+            let ids: Option<Vec<_>> = features.iter().map(|f| log.codebook().get(f)).collect();
             ids.map(|ids| log.support(&ids.into_iter().collect()) as f64)
         };
         match truth {

@@ -18,11 +18,9 @@ use logr::workload::{generate_pocketdata, PocketDataConfig};
 fn main() {
     // Historical workload → summary (this is all the recommender keeps).
     let (log, _) = generate_pocketdata(&PocketDataConfig::default()).ingest();
-    let summary = LogR::new(LogRConfig {
-        objective: CompressionObjective::FixedK(8),
-        ..Default::default()
-    })
-    .compress(&log);
+    let summary =
+        LogR::new(LogRConfig { objective: CompressionObjective::FixedK(8), ..Default::default() })
+            .compress(&log);
     println!(
         "recommender state: {} clusters, {} stored marginals (log had {} queries)\n",
         summary.mixture.k(),
@@ -87,8 +85,7 @@ fn main() {
             .expect("recommended feature exists");
         let mut ids: Vec<_> = partial.iter().collect();
         ids.push(fid);
-        let true_p =
-            log.support(&QueryVector::new(ids)) as f64 / log.support(&partial) as f64;
+        let true_p = log.support(&QueryVector::new(ids)) as f64 / log.support(&partial) as f64;
         println!(
             "\ntop suggestion check: estimated {:.0}% vs true {:.0}%",
             est_p * 100.0,

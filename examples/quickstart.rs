@@ -3,8 +3,8 @@
 //!
 //! Run with: `cargo run --example quickstart`
 
-use logr::core::{CompressionObjective, LogR, LogRConfig};
 use logr::core::interpret::{render_mixture, RenderConfig};
+use logr::core::{CompressionObjective, LogR, LogRConfig};
 use logr::feature::{Feature, LogIngest};
 
 fn main() {
@@ -29,8 +29,10 @@ fn main() {
     }
     let (log, stats) = ingest.finish();
 
-    println!("ingested {} queries ({} distinct after constant removal)",
-             stats.parsed_selects, stats.distinct_anonymized);
+    println!(
+        "ingested {} queries ({} distinct after constant removal)",
+        stats.parsed_selects, stats.distinct_anonymized
+    );
 
     // Compress with a 2-nat error budget; LogR grows the cluster count
     // until the bound holds.
@@ -49,10 +51,10 @@ fn main() {
 
     // Aggregate statistics straight from the summary.
     for (label, features) in [
-        ("messages.status = ?", vec![
-            Feature::from_table("messages"),
-            Feature::where_atom("status = ?"),
-        ]),
+        (
+            "messages.status = ?",
+            vec![Feature::from_table("messages"), Feature::where_atom("status = ?")],
+        ),
         ("accounts queried", vec![Feature::from_table("accounts")]),
         ("rare ledger join", vec![Feature::from_table("ledger")]),
     ] {

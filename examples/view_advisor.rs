@@ -65,17 +65,11 @@ fn main() {
     candidates.sort_by(|x, y| y.mixture_est.total_cmp(&x.mixture_est));
 
     println!("\ntop join-pair frequencies (mixture vs single-encoding vs truth):");
-    println!(
-        "{:<44} {:>12} {:>12} {:>12}",
-        "candidate view", "mixture", "single", "true"
-    );
+    println!("{:<44} {:>12} {:>12} {:>12}", "candidate view", "mixture", "single", "true");
     let mut mixture_abs_err = 0.0;
     let mut single_abs_err = 0.0;
     for c in candidates.iter().take(10) {
-        println!(
-            "{:<44} {:>12.0} {:>12.0} {:>12.0}",
-            c.pair, c.mixture_est, c.single_est, c.truth
-        );
+        println!("{:<44} {:>12.0} {:>12.0} {:>12.0}", c.pair, c.mixture_est, c.single_est, c.truth);
     }
     for c in &candidates {
         mixture_abs_err += (c.mixture_est - c.truth).abs();

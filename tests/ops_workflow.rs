@@ -2,20 +2,16 @@
 //! baseline on the database host, ship the portable artifact, and monitor
 //! later windows for drift — all through the public facade.
 
-use logr::core::{
-    feature_drift, CompressionObjective, LogR, LogRConfig, PortableSummary,
-};
+use logr::core::{feature_drift, CompressionObjective, LogR, LogRConfig, PortableSummary};
 use logr::feature::{Feature, LogIngest};
 use logr::workload::{generate_pocketdata, PocketDataConfig};
 
 #[test]
 fn compress_ship_and_answer() {
     let (log, _) = generate_pocketdata(&PocketDataConfig::small(77)).ingest();
-    let summary = LogR::new(LogRConfig {
-        objective: CompressionObjective::FixedK(6),
-        ..Default::default()
-    })
-    .compress(&log);
+    let summary =
+        LogR::new(LogRConfig { objective: CompressionObjective::FixedK(6), ..Default::default() })
+            .compress(&log);
 
     // Ship through bytes, not shared memory.
     let portable = PortableSummary::from_summary(&summary, &log);
@@ -30,8 +26,7 @@ fn compress_ship_and_answer() {
             continue;
         }
         let est = received.estimate_count(std::slice::from_ref(feature));
-        let truth =
-            log.support(&logr::feature::QueryVector::new(vec![id])) as f64;
+        let truth = log.support(&logr::feature::QueryVector::new(vec![id])) as f64;
         assert!((est - truth).abs() < 1e-6, "{feature}: {est} vs {truth}");
         checked += 1;
     }
@@ -80,9 +75,6 @@ fn injected_traffic_is_flagged() {
     );
     // And the baseline's summary prices the injected query at zero.
     let summary = LogR::with_clusters(6).compress(&baseline);
-    let est = summary.estimate_count_features(
-        &baseline,
-        &[Feature::from_table("credentials")],
-    );
+    let est = summary.estimate_count_features(&baseline, &[Feature::from_table("credentials")]);
     assert_eq!(est, 0.0);
 }

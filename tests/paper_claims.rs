@@ -11,8 +11,7 @@ use logr::cluster::{cluster_log, ClusterMethod, Distance};
 use logr::core::refine::{refine_mixture, RefineConfig};
 use logr::core::NaiveMixtureEncoding;
 use logr::workload::{
-    generate_income, generate_mushroom, generate_usbank, IncomeConfig, MushroomConfig,
-    UsBankConfig,
+    generate_income, generate_mushroom, generate_usbank, IncomeConfig, MushroomConfig, UsBankConfig,
 };
 use std::time::Instant;
 
@@ -28,11 +27,7 @@ fn fig2_more_clusters_reduce_error() {
     ] {
         let e1 = NaiveMixtureEncoding::build(&log, &cluster_log(&log, 1, method, 0)).error();
         let e12 = NaiveMixtureEncoding::build(&log, &cluster_log(&log, 12, method, 0)).error();
-        assert!(
-            e12 < e1,
-            "{}: error did not fall from k=1 ({e1}) to k=12 ({e12})",
-            method.label()
-        );
+        assert!(e12 < e1, "{}: error did not fall from k=1 ({e1}) to k=12 ({e12})", method.label());
     }
 }
 
@@ -46,10 +41,7 @@ fn fig2_kmeans_faster_than_spectral() {
     let t1 = Instant::now();
     cluster_log(&log, 8, ClusterMethod::Spectral(Distance::Hamming), 0);
     let spectral = t1.elapsed();
-    assert!(
-        kmeans < spectral,
-        "kmeans {kmeans:?} not faster than spectral {spectral:?}"
-    );
+    assert!(kmeans < spectral, "kmeans {kmeans:?} not faster than spectral {spectral:?}");
 }
 
 /// §7.2.2 / Fig. 5a: plugging miner patterns into the naive mixture yields
@@ -71,11 +63,7 @@ fn fig6_naive_encoding_competitive() {
     let naive = mtv_error_of_naive(&mushroom);
     let mtv = Mtv::new(MtvConfig::new(8)).summarize(&mushroom).unwrap();
     // MTV at 8 itemsets cannot reach the naive encoding's fidelity.
-    assert!(
-        naive < mtv.error,
-        "naive {naive} should beat 8-itemset MTV {}",
-        mtv.error
-    );
+    assert!(naive < mtv.error, "naive {naive} should beat 8-itemset MTV {}", mtv.error);
 }
 
 /// §8.1.3 / Fig. 8: partitioning improves Laserlight Mixture Fixed.
@@ -133,10 +121,7 @@ fn fig5_naive_mixture_faster_than_miners() {
     Laserlight::new(LaserlightConfig::new(10, 0)).summarize(&income);
     let miner = t1.elapsed();
 
-    assert!(
-        naive < miner,
-        "naive mixture {naive:?} not faster than Laserlight {miner:?}"
-    );
+    assert!(naive < miner, "naive mixture {naive:?} not faster than Laserlight {miner:?}");
 }
 
 /// §5's worked example: mixtures capture anti-correlation that single
@@ -153,10 +138,7 @@ fn mixtures_capture_anticorrelation() {
     let single = NaiveMixtureEncoding::single(&log);
     assert!(single.probability(&phantom) > 0.0, "single encoding admits the phantom");
 
-    let split = NaiveMixtureEncoding::build(
-        &log,
-        &logr::cluster::Clustering::new(2, vec![0, 1]),
-    );
+    let split = NaiveMixtureEncoding::build(&log, &logr::cluster::Clustering::new(2, vec![0, 1]));
     assert_eq!(split.probability(&phantom), 0.0, "mixture must rule the phantom out");
     assert_eq!(split.estimate_count(&phantom), 0.0);
 }

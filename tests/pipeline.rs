@@ -3,13 +3,11 @@
 
 use logr::cluster::{cluster_log, ClusterMethod, Distance};
 use logr::core::{
-    empirical_entropy, marginal_deviation, synthesis_error, CompressionObjective, LogR,
-    LogRConfig, NaiveMixtureEncoding,
+    empirical_entropy, marginal_deviation, synthesis_error, CompressionObjective, LogR, LogRConfig,
+    NaiveMixtureEncoding,
 };
 use logr::feature::{Feature, QueryVector};
-use logr::workload::{
-    generate_pocketdata, generate_usbank, PocketDataConfig, UsBankConfig,
-};
+use logr::workload::{generate_pocketdata, generate_usbank, PocketDataConfig, UsBankConfig};
 
 #[test]
 fn pocketdata_end_to_end() {
@@ -30,10 +28,7 @@ fn pocketdata_end_to_end() {
         errors.push(mixture.error());
         verbosities.push(mixture.total_verbosity());
     }
-    assert!(
-        errors[2] < errors[0],
-        "error did not decrease with clusters: {errors:?}"
-    );
+    assert!(errors[2] < errors[0], "error did not decrease with clusters: {errors:?}");
     assert!(
         verbosities[2] >= verbosities[0],
         "verbosity did not grow with clusters: {verbosities:?}"
@@ -105,11 +100,7 @@ fn compression_objectives_honored() {
         ..Default::default()
     })
     .compress(&log);
-    assert!(
-        summary.error() <= bound + 1e-9,
-        "error {} exceeds bound {bound}",
-        summary.error()
-    );
+    assert!(summary.error() <= bound + 1e-9, "error {} exceeds bound {bound}", summary.error());
 }
 
 #[test]
