@@ -13,7 +13,7 @@
 
 use crate::assign::Clustering;
 use crate::distance::Distance;
-use crate::pointset::PointSet;
+use crate::pointset::{CondensedMatrix, PointSet};
 use logr_feature::QueryVector;
 
 /// One dendrogram merge, in node-id space: leaves are `0..n`, the merge at
@@ -149,9 +149,22 @@ pub fn hierarchical_cluster_pointset(
     metric: Distance,
 ) -> Dendrogram {
     assert!(!points.is_empty(), "hierarchical clustering over empty point set");
-    assert_eq!(points.len(), weights.len(), "weights length mismatch");
-    let n = points.len();
-    let mut dist = points.distances(metric);
+    hierarchical_cluster_condensed(points.distances(metric), weights)
+}
+
+/// Build the average-linkage dendrogram from a precomputed condensed
+/// distance matrix (consumed: the Lance–Williams updates overwrite it).
+///
+/// This is the entry point the sharded/streaming path uses: a
+/// [`crate::CondensedShards`] view materializes its merged matrix once and
+/// clustering proceeds without recomputing any pairwise distance.
+///
+/// # Panics
+/// Panics if the matrix is empty or its size mismatches `weights`.
+pub fn hierarchical_cluster_condensed(mut dist: CondensedMatrix, weights: &[f64]) -> Dendrogram {
+    let n = dist.n();
+    assert!(n > 0, "hierarchical clustering over empty distance matrix");
+    assert_eq!(n, weights.len(), "weights length mismatch");
     let mut size: Vec<f64> = weights.to_vec();
     let mut active: Vec<bool> = vec![true; n];
     // Slot → current node id (leaves 0..n; the i-th merge creates n + i).
@@ -325,6 +338,17 @@ mod tests {
         // Both still merge the two close points first.
         assert_eq!(d1.merges()[0].distance, d2.merges()[0].distance);
         assert_eq!(d1.cut(2).assignments, d2.cut(2).assignments);
+    }
+
+    #[test]
+    fn condensed_entry_point_matches_pointset_path() {
+        let vs = sample();
+        let refs: Vec<&QueryVector> = vs.iter().collect();
+        let ps = PointSet::from_vectors(&refs, 16);
+        let weights = vec![1.0; refs.len()];
+        let via_points = hierarchical_cluster_pointset(&ps, &weights, Distance::Hamming);
+        let via_matrix = hierarchical_cluster_condensed(ps.distances(Distance::Hamming), &weights);
+        assert_eq!(via_points, via_matrix);
     }
 
     #[test]

@@ -44,6 +44,10 @@
 //!
 //! * [`distance`] — the §6.1 distance measures on binary vectors;
 //! * [`pointset`] — the dense popcount engine and condensed matrix;
+//! * [`shard`] — appendable/sharded condensed construction for streaming
+//!   windows: per-shard triangles plus cross blocks, merged through a
+//!   [`CondensedShards`] view that is bit-identical to the monolithic
+//!   build (window-close cost ∝ window, not history);
 //! * [`kmeans`] — weighted Lloyd iteration with k-means++ seeding (dense and
 //!   binary front ends, `*_pointset` variants for pre-converted data);
 //! * [`spectral`] — Ng–Jordan–Weiss spectral clustering over an RBF affinity
@@ -61,12 +65,18 @@ pub mod kmeans;
 pub mod method;
 mod par;
 pub mod pointset;
+pub mod shard;
 pub mod spectral;
 
 pub use assign::Clustering;
 pub use distance::{distance_matrix, Distance};
-pub use hierarchical::{hierarchical_cluster, hierarchical_cluster_pointset, Dendrogram};
+pub use hierarchical::{
+    hierarchical_cluster, hierarchical_cluster_condensed, hierarchical_cluster_pointset, Dendrogram,
+};
 pub use kmeans::{kmeans_binary, kmeans_binary_pointset, kmeans_dense, KMeansConfig};
 pub use method::{cluster_log, ClusterMethod};
 pub use pointset::{CondensedMatrix, PointSet};
-pub use spectral::{spectral_cluster, spectral_cluster_pointset, SpectralConfig};
+pub use shard::{CondensedShards, ShardedPointSet};
+pub use spectral::{
+    spectral_cluster, spectral_cluster_condensed, spectral_cluster_pointset, SpectralConfig,
+};

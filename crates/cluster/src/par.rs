@@ -16,9 +16,16 @@
 pub(crate) const PARALLEL_MIN_POINTS: usize = 128;
 
 /// Upper bound on worker threads (1 when the `parallel` feature is off).
+///
+/// The `LOGR_THREADS` environment variable overrides the detected core
+/// count (still requires the `parallel` feature). CI uses it to exercise
+/// the multi-worker fan-out on single-core runners.
 pub(crate) fn threads() -> usize {
     #[cfg(feature = "parallel")]
     {
+        if let Some(n) = std::env::var("LOGR_THREADS").ok().and_then(|v| v.parse::<usize>().ok()) {
+            return n.max(1);
+        }
         std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
     }
     #[cfg(not(feature = "parallel"))]
@@ -67,6 +74,22 @@ where
             .collect();
         handles.into_iter().map(|h| h.join().expect("parallel worker panicked")).collect()
     })
+}
+
+/// Split a condensed strict-upper-triangle buffer over `n` points into its
+/// per-row slices `(i, rowᵢ)` — row `i` holds the `n − 1 − i` cells
+/// `(i, i+1..n)`. The rows partition the buffer, so [`run_tasks`] can fill
+/// them lock-free. Shared by the monolithic build, the shard build, and
+/// the shard merge.
+pub(crate) fn triangle_rows<T>(buf: &mut [T], n: usize) -> Vec<(usize, &mut [T])> {
+    let mut rows: Vec<(usize, &mut [T])> = Vec::with_capacity(n.saturating_sub(1));
+    let mut rest = buf;
+    for i in 0..n.saturating_sub(1) {
+        let (row, tail) = rest.split_at_mut(n - 1 - i);
+        rows.push((i, row));
+        rest = tail;
+    }
+    rows
 }
 
 /// Process `tasks` on up to `n_threads` workers, discarding results.

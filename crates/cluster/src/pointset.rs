@@ -109,13 +109,7 @@ impl PointSet {
         // Row i of the strict upper triangle — the pairs (i, i+1..n) — is a
         // contiguous slice of the condensed buffer, so the rows partition
         // the buffer and can be filled lock-free.
-        let mut rows: Vec<(usize, &mut [f64])> = Vec::with_capacity(n - 1);
-        let mut rest: &mut [f64] = &mut cm.data;
-        for i in 0..n - 1 {
-            let (row, tail) = rest.split_at_mut(n - 1 - i);
-            rows.push((i, row));
-            rest = tail;
-        }
+        let rows = par::triangle_rows(&mut cm.data, n);
         let n_threads = if n < PARALLEL_MIN_POINTS { 1 } else { par::threads() };
         let bits = &self.bits;
         let n_features = self.n_features;
@@ -128,6 +122,15 @@ impl PointSet {
         });
         cm
     }
+}
+
+/// Start of row `i` in a condensed strict-upper-triangle buffer over `n`
+/// points — the offset of cell `(i, i+1)`; row `i` holds `n − 1 − i`
+/// cells. The single source of the condensed layout's offset arithmetic,
+/// shared by [`CondensedMatrix`] and the sharded build.
+#[inline]
+pub(crate) fn condensed_row_start(n: usize, i: usize) -> usize {
+    i * (n - 1) - (i * i - i) / 2
 }
 
 /// Strict-upper-triangular pairwise distance matrix: entry `(i, j)` with
@@ -150,13 +153,22 @@ impl CondensedMatrix {
         self.n
     }
 
+    /// Strict-upper-triangle offset of `(i, j)`. Callers must route the
+    /// diagonal first: with `i == j` the `j − i − 1` term underflows (debug)
+    /// or silently aliases the last cell of row `i − 1` (release), so this
+    /// stays private and every public read/write handles `i == j` in all
+    /// build profiles before folding through it.
     #[inline]
     fn index(&self, i: usize, j: usize) -> usize {
         debug_assert!(i < j && j < self.n, "condensed index ({i}, {j}) of {}", self.n);
-        i * (self.n - 1) - (i * i - i) / 2 + (j - i - 1)
+        condensed_row_start(self.n, i) + (j - i - 1)
     }
 
     /// Distance between `i` and `j` (0 on the diagonal).
+    ///
+    /// The diagonal is handled by an explicit match arm — a release-build
+    /// `i == j` read returns the implicit 0 rather than reaching the index
+    /// formula, whose underflow a `debug_assert!` alone would not stop.
     ///
     /// # Panics
     /// Panics if an index is out of range.
@@ -186,6 +198,12 @@ impl CondensedMatrix {
     /// The raw strict-upper-triangle buffer, row-major by `i`.
     pub fn as_slice(&self) -> &[f64] {
         &self.data
+    }
+
+    /// Mutable raw buffer (crate-internal: the sharded merge and the
+    /// parallel builders fill disjoint row slices directly).
+    pub(crate) fn data_mut(&mut self) -> &mut [f64] {
+        &mut self.data
     }
 
     /// Expand to the symmetric full matrix (tests / interop).
@@ -261,6 +279,28 @@ mod tests {
     #[should_panic(expected = "diagonal")]
     fn set_rejects_diagonal() {
         CondensedMatrix::zeros(4).set(2, 2, 1.0);
+    }
+
+    #[test]
+    fn diagonal_reads_zero_in_every_build_profile() {
+        // Regression for the folded-read hazard: `index(i, i)` would alias
+        // the last cell of row `i − 1` in release builds (the `j − i − 1`
+        // term wraps), so `get` must route the diagonal through its
+        // explicit match arm — which, unlike a `debug_assert!`, is active
+        // in release. Saturate every off-diagonal cell with a sentinel and
+        // verify no diagonal read can observe it.
+        let n = 6;
+        let mut cm = CondensedMatrix::zeros(n);
+        for i in 0..n {
+            for j in (i + 1)..n {
+                cm.set(i, j, 1e9);
+            }
+        }
+        for i in 0..n {
+            assert_eq!(cm.get(i, i), 0.0, "diagonal ({i}, {i}) leaked a folded cell");
+        }
+        // And folded reads still see the sentinel (the guard is precise).
+        assert_eq!(cm.get(3, 2), 1e9);
     }
 
     #[test]

@@ -1,0 +1,451 @@
+//! Appendable, sharded condensed-matrix construction (streaming windows).
+//!
+//! The monolithic [`PointSet::distances`](crate::PointSet::distances) build
+//! recomputes every pair each time a dataset grows, which makes windowed
+//! ingestion quadratic in the whole history. [`ShardedPointSet`] fixes the
+//! cost model: points arrive in **shards** (one per streaming window, or one
+//! per dataset), and closing a shard of `w` points against a history of `h`
+//! only computes
+//!
+//! * the shard's own condensed triangle — `w·(w−1)/2` pairs — and
+//! * the `h × w` cross block against the existing points,
+//!
+//! both on scoped threads via the existing `parallel` feature. Earlier
+//! shards are never touched again.
+//!
+//! Shards store **integer mismatch counts** (`d = |x ⊕ y|`), not metric
+//! values: every §6.1 metric is a function of `(d, n_features)`, and the
+//! feature universe may still be growing while early shards are built. A
+//! metric is applied only at read time, through the same
+//! [`Distance::of_mismatches`] kernel as the monolithic path — so the merged
+//! view is **bit-identical** to `PointSet::distances` over the concatenated
+//! points at the final universe (property-tested in
+//! `tests/proptest_shards.rs`).
+//!
+//! [`CondensedShards`] is the merged read view: it serves the same
+//! `n()`/`get(i, j)` reads as [`CondensedMatrix`], and
+//! [`CondensedShards::to_condensed`] materializes a real `CondensedMatrix`
+//! for the consumers that mutate distances in place (hierarchical
+//! Lance–Williams) or scan the raw buffer (spectral's median-σ heuristic).
+
+use crate::distance::Distance;
+use crate::par;
+use crate::par::PARALLEL_MIN_POINTS;
+use crate::pointset::{condensed_row_start, CondensedMatrix};
+use logr_feature::{BitVec, QueryVector};
+
+/// Cell-count threshold below which shard fills run serially (the same
+/// break-even as `PARALLEL_MIN_POINTS` points in the monolithic build).
+const PARALLEL_MIN_CELLS: usize = PARALLEL_MIN_POINTS * (PARALLEL_MIN_POINTS - 1) / 2;
+
+/// A dataset of binary vectors accumulated shard by shard, with pairwise
+/// mismatch counts maintained incrementally.
+#[derive(Debug, Clone, Default)]
+pub struct ShardedPointSet {
+    bits: Vec<BitVec>,
+    /// Widest universe seen so far; reads normalize against this.
+    n_features: usize,
+    /// Shard `s` spans points `shard_starts[s] .. shard_starts[s + 1]`.
+    shard_starts: Vec<usize>,
+    /// Per-shard condensed (strict upper triangle) mismatch counts.
+    intra: Vec<Vec<u32>>,
+    /// Per-shard cross block vs all earlier points, row-major by the
+    /// earlier point's index: `cross[s][i * w_s + (j − start_s)]`.
+    cross: Vec<Vec<u32>>,
+}
+
+impl ShardedPointSet {
+    /// Empty set (zero shards, empty universe).
+    pub fn new() -> Self {
+        ShardedPointSet { shard_starts: vec![0], ..ShardedPointSet::default() }
+    }
+
+    /// Total number of points across all shards.
+    pub fn len(&self) -> usize {
+        self.bits.len()
+    }
+
+    /// True when no points have been pushed.
+    pub fn is_empty(&self) -> bool {
+        self.bits.is_empty()
+    }
+
+    /// Number of shards pushed (empty shards count).
+    pub fn n_shards(&self) -> usize {
+        self.shard_starts.len() - 1
+    }
+
+    /// Current feature-universe size (the widest push so far).
+    pub fn n_features(&self) -> usize {
+        self.n_features
+    }
+
+    /// The point range covered by shard `s`.
+    ///
+    /// # Panics
+    /// Panics if `s` is out of range.
+    pub fn shard_range(&self, s: usize) -> std::ops::Range<usize> {
+        self.shard_starts[s]..self.shard_starts[s + 1]
+    }
+
+    /// Append one shard of points over a universe of `n_features`,
+    /// computing its internal triangle and its cross block against all
+    /// earlier points. Cost: `O(w² + h·w)` popcounts for a shard of `w`
+    /// points over a history of `h` — never `O((h + w)²)`.
+    ///
+    /// # Panics
+    /// Panics if `n_features` is smaller than a previous push's universe
+    /// (codebooks only grow), or if a vector sets a feature outside it.
+    pub fn push_shard(&mut self, vectors: &[&QueryVector], n_features: usize) {
+        self.push_shard_threads(vectors, n_features, par::threads());
+    }
+
+    /// [`ShardedPointSet::push_shard`] with an explicit worker count.
+    /// Mismatch counts are integers written to disjoint slices, so the
+    /// result is identical for every `n_threads` (unit- and
+    /// property-tested); this entry point exists so tests and benches can
+    /// force the fan-out.
+    pub fn push_shard_threads(
+        &mut self,
+        vectors: &[&QueryVector],
+        n_features: usize,
+        n_threads: usize,
+    ) {
+        assert!(
+            n_features >= self.n_features,
+            "feature universe may only grow ({} < {})",
+            n_features,
+            self.n_features
+        );
+        self.n_features = n_features;
+        let start = self.bits.len();
+        let w = vectors.len();
+        let new_bits: Vec<BitVec> =
+            vectors.iter().map(|v| BitVec::from_query_vector(v, n_features)).collect();
+
+        // Intra-shard strict upper triangle: rows (i, i+1..w) partition the
+        // condensed buffer, so they fill lock-free.
+        let mut intra = vec![0u32; w * w.saturating_sub(1) / 2];
+        if w >= 2 {
+            let cells = intra.len();
+            let rows = par::triangle_rows(&mut intra, w);
+            let nt = if cells < PARALLEL_MIN_CELLS { 1 } else { n_threads };
+            let nb = &new_bits;
+            par::run_tasks(rows, nt, |(i, row)| {
+                let a = &nb[i];
+                for (offset, cell) in row.iter_mut().enumerate() {
+                    *cell = a.xor_count(&nb[i + 1 + offset]) as u32;
+                }
+            });
+        }
+
+        // Cross block against the history: one row per earlier point.
+        // Earlier bitsets may be narrower (the universe grew); the padded
+        // xor zero-extends them, which preserves mismatch counts exactly.
+        let mut cross = vec![0u32; start * w];
+        if start > 0 && w > 0 {
+            let rows: Vec<(usize, &mut [u32])> = cross.chunks_mut(w).enumerate().collect();
+            let nt = if start * w < PARALLEL_MIN_CELLS { 1 } else { n_threads };
+            let nb = &new_bits;
+            let history = &self.bits;
+            par::run_tasks(rows, nt, |(i, row)| {
+                let a = &history[i];
+                for (j, cell) in row.iter_mut().enumerate() {
+                    *cell = a.xor_count_padded(&nb[j]) as u32;
+                }
+            });
+        }
+
+        self.bits.extend(new_bits);
+        self.shard_starts.push(self.bits.len());
+        self.intra.push(intra);
+        self.cross.push(cross);
+    }
+
+    /// Shard containing point `i` (the latest shard when empty shards
+    /// share a boundary, which is always the one that owns the point).
+    fn shard_of(&self, i: usize) -> usize {
+        self.shard_starts.partition_point(|&s| s <= i) - 1
+    }
+
+    /// `|xᵢ ⊕ xⱼ|`, served from the precomputed shard buffers.
+    ///
+    /// # Panics
+    /// Panics if an index is out of range.
+    pub fn mismatches(&self, i: usize, j: usize) -> usize {
+        let n = self.bits.len();
+        assert!(i < n && j < n, "index ({i}, {j}) out of range {n}");
+        if i == j {
+            return 0;
+        }
+        let (i, j) = if i < j { (i, j) } else { (j, i) };
+        let s = self.shard_of(j);
+        let start = self.shard_starts[s];
+        let w = self.shard_starts[s + 1] - start;
+        if i >= start {
+            // Same shard: condensed triangle of shard s.
+            let (a, b) = (i - start, j - start);
+            self.intra[s][condensed_row_start(w, a) + (b - a - 1)] as usize
+        } else {
+            self.cross[s][i * w + (j - start)] as usize
+        }
+    }
+
+    /// Distance between points `i` and `j` under `metric`, normalized at
+    /// the **current** universe — identical to what the monolithic
+    /// `PointSet` would report for the concatenated points.
+    #[inline]
+    pub fn distance(&self, i: usize, j: usize, metric: Distance) -> f64 {
+        metric.of_mismatches(self.mismatches(i, j), self.n_features)
+    }
+
+    /// Merged read view under `metric` (borrowing; no materialization).
+    pub fn condensed_shards(&self, metric: Distance) -> CondensedShards<'_> {
+        CondensedShards { set: self, metric }
+    }
+
+    /// Materialize the merged condensed matrix under `metric` — the exact
+    /// bits `PointSet::distances` would produce for the same points.
+    pub fn condensed(&self, metric: Distance) -> CondensedMatrix {
+        self.condensed_shards(metric).to_condensed()
+    }
+}
+
+/// Merged view over a [`ShardedPointSet`]'s per-shard buffers: serves the
+/// same `n()`/`get(i, j)` reads as [`CondensedMatrix`] without copying, and
+/// materializes one on demand for consumers that mutate in place.
+#[derive(Debug, Clone, Copy)]
+pub struct CondensedShards<'a> {
+    set: &'a ShardedPointSet,
+    metric: Distance,
+}
+
+impl CondensedShards<'_> {
+    /// Number of points (side length of the represented square matrix).
+    pub fn n(&self) -> usize {
+        self.set.len()
+    }
+
+    /// The metric this view folds mismatch counts through.
+    pub fn metric(&self) -> Distance {
+        self.metric
+    }
+
+    /// Distance between `i` and `j` (0 on the diagonal) — the same
+    /// contract as [`CondensedMatrix::get`].
+    ///
+    /// # Panics
+    /// Panics if an index is out of range.
+    #[inline]
+    pub fn get(&self, i: usize, j: usize) -> f64 {
+        self.set.distance(i, j, self.metric)
+    }
+
+    /// Materialize as a [`CondensedMatrix`], filling rows in parallel.
+    ///
+    /// Merged row `i` is a concatenation of **contiguous** source runs —
+    /// the suffix of point `i`'s row in its own shard's triangle, then one
+    /// cross-block row per later shard — so materialization is a straight
+    /// metric fold over slices, with no per-cell shard lookup.
+    pub fn to_condensed(&self) -> CondensedMatrix {
+        let n = self.set.len();
+        let mut cm = CondensedMatrix::zeros(n);
+        if n < 2 {
+            return cm;
+        }
+        let rows = par::triangle_rows(cm.data_mut(), n);
+        let n_threads = if n < PARALLEL_MIN_POINTS { 1 } else { par::threads() };
+        let set = self.set;
+        let metric = self.metric;
+        let nf = set.n_features;
+        par::run_tasks(rows, n_threads, |(i, row)| {
+            let s = set.shard_of(i);
+            let start = set.shard_starts[s];
+            let w = set.shard_starts[s + 1] - start;
+            let a = i - start;
+            // Cells (i, i+1..shard_end): the tail of row `a` in shard s's
+            // condensed triangle.
+            let intra_run = &set.intra[s][condensed_row_start(w, a)..][..w - 1 - a];
+            let mut out = 0;
+            for &d in intra_run {
+                row[out] = metric.of_mismatches(d as usize, nf);
+                out += 1;
+            }
+            // Cells (i, shard t): row `i` of each later shard's cross block.
+            for t in s + 1..set.n_shards() {
+                let wt = set.shard_starts[t + 1] - set.shard_starts[t];
+                for &d in &set.cross[t][i * wt..][..wt] {
+                    row[out] = metric.of_mismatches(d as usize, nf);
+                    out += 1;
+                }
+            }
+            debug_assert_eq!(out, row.len());
+        });
+        cm
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pointset::PointSet;
+    use logr_feature::FeatureId;
+
+    fn qv(ids: &[u32]) -> QueryVector {
+        QueryVector::new(ids.iter().map(|&i| FeatureId(i)).collect())
+    }
+
+    fn sample() -> Vec<QueryVector> {
+        vec![
+            qv(&[0, 1, 2]),
+            qv(&[2, 3]),
+            qv(&[]),
+            qv(&[0, 5, 63, 64]),
+            qv(&[64]),
+            qv(&[1]),
+            qv(&[7, 8]),
+        ]
+    }
+
+    fn all_metrics() -> [Distance; 6] {
+        [
+            Distance::Euclidean,
+            Distance::Manhattan,
+            Distance::Minkowski(4.0),
+            Distance::Hamming,
+            Distance::Chebyshev,
+            Distance::Canberra,
+        ]
+    }
+
+    #[test]
+    fn sharded_matches_monolithic_across_shardings() {
+        let vs = sample();
+        let refs: Vec<&QueryVector> = vs.iter().collect();
+        let nf = 80;
+        let monolithic = PointSet::from_vectors(&refs, nf);
+        for shard_size in [1, 2, 3, refs.len()] {
+            let mut sharded = ShardedPointSet::new();
+            for chunk in refs.chunks(shard_size) {
+                sharded.push_shard(chunk, nf);
+            }
+            assert_eq!(sharded.len(), refs.len());
+            for metric in all_metrics() {
+                let merged = sharded.condensed(metric);
+                let whole = monolithic.distances(metric);
+                assert_eq!(
+                    merged.as_slice(),
+                    whole.as_slice(),
+                    "{metric:?} shard_size={shard_size}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn view_reads_match_materialized_matrix() {
+        let vs = sample();
+        let refs: Vec<&QueryVector> = vs.iter().collect();
+        let mut sharded = ShardedPointSet::new();
+        for chunk in refs.chunks(3) {
+            sharded.push_shard(chunk, 80);
+        }
+        let view = sharded.condensed_shards(Distance::Hamming);
+        let cm = view.to_condensed();
+        assert_eq!(view.n(), cm.n());
+        for i in 0..view.n() {
+            for j in 0..view.n() {
+                assert_eq!(view.get(i, j).to_bits(), cm.get(i, j).to_bits(), "({i}, {j})");
+            }
+        }
+        assert_eq!(view.get(2, 2), 0.0);
+    }
+
+    #[test]
+    fn growing_universe_normalizes_at_the_widest_push() {
+        // Shard 1 lives in a 8-feature universe, shard 2 widens it to 128;
+        // Hamming must normalize every pair by the final width, exactly as
+        // a monolithic build over the final universe would.
+        let a = [qv(&[0, 1]), qv(&[2])];
+        let b = [qv(&[100, 127]), qv(&[0])];
+        let refs_a: Vec<&QueryVector> = a.iter().collect();
+        let refs_b: Vec<&QueryVector> = b.iter().collect();
+        let mut sharded = ShardedPointSet::new();
+        sharded.push_shard(&refs_a, 8);
+        sharded.push_shard(&refs_b, 128);
+        assert_eq!(sharded.n_features(), 128);
+
+        let all: Vec<&QueryVector> = a.iter().chain(b.iter()).collect();
+        let monolithic = PointSet::from_vectors(&all, 128);
+        for metric in all_metrics() {
+            assert_eq!(
+                sharded.condensed(metric).as_slice(),
+                monolithic.distances(metric).as_slice(),
+                "{metric:?}"
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "universe may only grow")]
+    fn shrinking_universe_rejected() {
+        let v = qv(&[0]);
+        let mut sharded = ShardedPointSet::new();
+        sharded.push_shard(&[&v], 16);
+        sharded.push_shard(&[&v], 8);
+    }
+
+    #[test]
+    fn empty_shards_are_transparent() {
+        let vs = sample();
+        let refs: Vec<&QueryVector> = vs.iter().collect();
+        let mut sharded = ShardedPointSet::new();
+        sharded.push_shard(&[], 80);
+        sharded.push_shard(&refs[..4], 80);
+        sharded.push_shard(&[], 80);
+        sharded.push_shard(&refs[4..], 80);
+        assert_eq!(sharded.n_shards(), 4);
+        assert_eq!(sharded.shard_range(1), 0..4);
+        assert!(sharded.shard_range(2).is_empty());
+        let monolithic = PointSet::from_vectors(&refs, 80);
+        assert_eq!(
+            sharded.condensed(Distance::Manhattan).as_slice(),
+            monolithic.distances(Distance::Manhattan).as_slice()
+        );
+    }
+
+    #[test]
+    fn forced_thread_counts_are_deterministic() {
+        // Big enough to cross PARALLEL_MIN_CELLS in both intra and cross.
+        let vs: Vec<QueryVector> =
+            (0..300u32).map(|i| qv(&[i % 32, (i * 7) % 32, (i * 13) % 32])).collect();
+        let refs: Vec<&QueryVector> = vs.iter().collect();
+        let mut results = Vec::new();
+        for n_threads in [1usize, 2, 7] {
+            let mut sharded = ShardedPointSet::new();
+            for chunk in refs.chunks(150) {
+                sharded.push_shard_threads(chunk, 32, n_threads);
+            }
+            results.push(sharded.condensed(Distance::Euclidean));
+        }
+        assert_eq!(results[0].as_slice(), results[1].as_slice());
+        assert_eq!(results[0].as_slice(), results[2].as_slice());
+    }
+
+    #[test]
+    fn degenerate_sizes() {
+        let empty = ShardedPointSet::new();
+        assert!(empty.is_empty());
+        assert_eq!(empty.n_shards(), 0);
+        assert_eq!(empty.condensed(Distance::Hamming).n(), 0);
+
+        let v = qv(&[1]);
+        let mut one = ShardedPointSet::new();
+        one.push_shard(&[&v], 4);
+        assert_eq!(one.len(), 1);
+        assert_eq!(one.mismatches(0, 0), 0);
+        let cm = one.condensed(Distance::Manhattan);
+        assert_eq!(cm.n(), 1);
+        assert_eq!(cm.get(0, 0), 0.0);
+    }
+}

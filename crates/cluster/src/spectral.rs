@@ -69,22 +69,40 @@ pub fn spectral_cluster_pointset(
 ) -> Clustering {
     assert!(!points.is_empty(), "spectral clustering over empty point set");
     assert_eq!(points.len(), weights.len(), "weights length mismatch");
+    spectral_cluster_condensed(&points.distances(config.metric), weights, config)
+}
+
+/// Cluster spectrally from a precomputed condensed distance matrix (the
+/// sharded/streaming path: a [`crate::CondensedShards`] view materializes
+/// its merged matrix once and the affinity is built from it directly).
+/// `config.metric` is informational here — the distances are already baked
+/// into the matrix.
+///
+/// # Panics
+/// Panics if the matrix is empty, its size mismatches `weights`, or
+/// `k == 0`.
+pub fn spectral_cluster_condensed(
+    dist: &CondensedMatrix,
+    weights: &[f64],
+    config: SpectralConfig,
+) -> Clustering {
+    let n = dist.n();
+    assert!(n > 0, "spectral clustering over empty distance matrix");
+    assert_eq!(n, weights.len(), "weights length mismatch");
     assert!(config.k > 0, "k must be positive");
-    let n = points.len();
     let k = config.k.min(n);
     if k == 1 {
         return Clustering::trivial(n);
     }
 
-    let dist = points.distances(config.metric);
-    let sigma = config.sigma.unwrap_or_else(|| median_positive(&dist)).max(1e-9);
+    let sigma = config.sigma.unwrap_or_else(|| median_positive(dist)).max(1e-9);
 
     // RBF affinity with zero diagonal (NJW); rows filled in parallel from
     // the shared condensed distances.
     let mut affinity = Matrix::zeros(n, n);
     {
         let inv_two_sigma_sq = 1.0 / (2.0 * sigma * sigma);
-        let dist_ref = &dist;
+        let dist_ref = dist;
         let rows: Vec<(usize, &mut [f64])> =
             affinity.as_mut_slice().chunks_mut(n).enumerate().collect();
         let n_threads = if n < par::PARALLEL_MIN_POINTS { 1 } else { par::threads() };
@@ -202,6 +220,20 @@ mod tests {
         assert_eq!(
             spectral_cluster(&refs, &weights, 16, cfg),
             spectral_cluster_pointset(&ps, &weights, cfg)
+        );
+    }
+
+    #[test]
+    fn condensed_entry_point_matches_pointset_path() {
+        let vs = two_workloads();
+        let refs: Vec<&QueryVector> = vs.iter().collect();
+        let weights = vec![1.0; refs.len()];
+        let ps = PointSet::from_vectors(&refs, 16);
+        let cfg = SpectralConfig::new(2, Distance::Hamming, 7);
+        let dist = ps.distances(Distance::Hamming);
+        assert_eq!(
+            spectral_cluster_pointset(&ps, &weights, cfg),
+            spectral_cluster_condensed(&dist, &weights, cfg)
         );
     }
 

@@ -1,0 +1,131 @@
+//! Property tests for the sharded condensed build: a `ShardedPointSet`
+//! assembled from arbitrary shard partitions (including shard size 1 and
+//! one-shard-equals-whole-set) merges to the **bit-identical** condensed
+//! matrix of the monolithic `PointSet::distances` build, for every §6.1
+//! metric — mirroring PR 1's dense-vs-sparse oracle pattern. A second
+//! battery pins the shard fan-out's determinism across forced worker
+//! counts, and a third covers the universe-growth path (early shards built
+//! under a narrower codebook).
+
+use logr_cluster::{Distance, PointSet, ShardedPointSet};
+use logr_feature::{FeatureId, QueryVector};
+use proptest::prelude::*;
+
+fn all_metrics() -> Vec<Distance> {
+    vec![
+        Distance::Euclidean,
+        Distance::Manhattan,
+        Distance::Minkowski(4.0),
+        Distance::Hamming,
+        Distance::Chebyshev,
+        Distance::Canberra,
+    ]
+}
+
+/// Random point sets over random universe sizes (1–160 features, one to
+/// three `u64` blocks), plus a shard size to partition them with.
+fn arb_instance() -> impl Strategy<Value = (Vec<QueryVector>, usize, usize)> {
+    (
+        1usize..160,
+        prop::collection::vec(prop::collection::vec(0u32..4096, 0..12), 2..24),
+        1usize..26,
+    )
+        .prop_map(|(universe, rows, shard_size)| {
+            let vectors: Vec<QueryVector> = rows
+                .into_iter()
+                .map(|ids| {
+                    QueryVector::new(
+                        ids.into_iter().map(|i| FeatureId(i % universe as u32)).collect(),
+                    )
+                })
+                .collect();
+            // Clamp so shard size 1, interior sizes, and the whole set all
+            // occur.
+            let shard_size = shard_size.min(vectors.len());
+            (vectors, universe, shard_size)
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Sharded build == monolithic build, bit for bit, for every metric
+    /// and every shard partition.
+    #[test]
+    fn sharded_merge_bit_identical_to_monolithic(
+        (vectors, universe, shard_size) in arb_instance(),
+    ) {
+        let refs: Vec<&QueryVector> = vectors.iter().collect();
+        let monolithic = PointSet::from_vectors(&refs, universe);
+        let mut sharded = ShardedPointSet::new();
+        for chunk in refs.chunks(shard_size) {
+            sharded.push_shard(chunk, universe);
+        }
+        prop_assert_eq!(sharded.len(), refs.len());
+        for metric in all_metrics() {
+            let whole = monolithic.distances(metric);
+            let merged = sharded.condensed(metric);
+            prop_assert_eq!(merged.n(), whole.n());
+            for (a, b) in merged.as_slice().iter().zip(whole.as_slice()) {
+                prop_assert_eq!(a.to_bits(), b.to_bits(), "{:?} shard_size={}", metric, shard_size);
+            }
+            // The borrowing view serves the same folded reads.
+            let view = sharded.condensed_shards(metric);
+            for i in 0..refs.len() {
+                for j in 0..refs.len() {
+                    prop_assert_eq!(view.get(i, j).to_bits(), whole.get(i, j).to_bits());
+                }
+            }
+        }
+    }
+
+    /// The shard fan-out writes disjoint slices of integer mismatch
+    /// counts, so any forced worker count produces the same buffers.
+    #[test]
+    fn shard_fanout_deterministic_across_thread_counts(
+        (vectors, universe, shard_size) in arb_instance(),
+    ) {
+        let refs: Vec<&QueryVector> = vectors.iter().collect();
+        let build = |n_threads: usize| {
+            let mut sharded = ShardedPointSet::new();
+            for chunk in refs.chunks(shard_size) {
+                sharded.push_shard_threads(chunk, universe, n_threads);
+            }
+            sharded.condensed(Distance::Manhattan)
+        };
+        let serial = build(1);
+        for n_threads in [2usize, 3, 8] {
+            let threaded = build(n_threads);
+            for (a, b) in serial.as_slice().iter().zip(threaded.as_slice()) {
+                prop_assert_eq!(a.to_bits(), b.to_bits(), "n_threads={}", n_threads);
+            }
+        }
+    }
+
+    /// Early shards built under a narrower universe merge identically to a
+    /// monolithic build at the final width (the streaming codebook-growth
+    /// path).
+    #[test]
+    fn growing_universe_matches_final_width_build(
+        (vectors, universe, shard_size) in arb_instance(),
+        growth in 1usize..64,
+    ) {
+        let refs: Vec<&QueryVector> = vectors.iter().collect();
+        let final_universe = universe + growth;
+        let mut sharded = ShardedPointSet::new();
+        let chunks: Vec<_> = refs.chunks(shard_size).collect();
+        for (s, chunk) in chunks.iter().enumerate() {
+            // Widen the universe on the last shard only.
+            let width = if s + 1 == chunks.len() { final_universe } else { universe };
+            sharded.push_shard(chunk, width);
+        }
+        let monolithic = PointSet::from_vectors(&refs, final_universe);
+        for metric in all_metrics() {
+            let whole = monolithic.distances(metric);
+            let merged = sharded.condensed(metric);
+            for (a, b) in merged.as_slice().iter().zip(whole.as_slice()) {
+                prop_assert_eq!(a.to_bits(), b.to_bits(), "{:?}", metric);
+            }
+        }
+    }
+}

@@ -79,39 +79,90 @@ impl LogR {
 
     /// Compress a log into a pattern mixture summary.
     pub fn compress(&self, log: &QueryLog) -> LogRSummary {
-        let clustering = match self.config.objective {
-            CompressionObjective::FixedK(k) => {
-                cluster_log(log, k, self.config.method, self.config.seed)
-            }
-            CompressionObjective::MaxError { bound, max_k } => {
-                let mut best = cluster_log(log, 1, self.config.method, self.config.seed);
-                for k in 2..=max_k.max(1) {
-                    if NaiveMixtureEncoding::build(log, &best).error() <= bound {
-                        break;
-                    }
-                    best = cluster_log(log, k, self.config.method, self.config.seed);
-                }
-                best
-            }
-            CompressionObjective::MaxVerbosity { budget, max_k } => {
-                let mut best = cluster_log(log, 1, self.config.method, self.config.seed);
-                for k in 2..=max_k.max(1) {
-                    let candidate = cluster_log(log, k, self.config.method, self.config.seed);
-                    if NaiveMixtureEncoding::build(log, &candidate).total_verbosity() > budget {
-                        break;
-                    }
-                    best = candidate;
-                }
-                best
-            }
-        };
+        let clustering = resolve_objective(self.config.objective, log, |k| {
+            cluster_log(log, k, self.config.method, self.config.seed)
+        });
         let mixture = NaiveMixtureEncoding::build(log, &clustering);
         let refined = self.config.refine.as_ref().map(|cfg| refine_mixture(log, &mixture, cfg));
         LogRSummary { clustering, mixture, refined }
     }
 }
 
+/// Resolve a [`CompressionObjective`] to a clustering, given a producer of
+/// candidate clusterings at a requested K (repeated clustering for the
+/// batch path, dendrogram cuts for the condensed/streaming path). The
+/// bound-seeking objectives walk K upward from 1 and stop at the first
+/// candidate satisfying (MaxError) or the last candidate not violating
+/// (MaxVerbosity) the target, giving up at `max_k`.
+fn resolve_objective(
+    objective: CompressionObjective,
+    log: &QueryLog,
+    mut cluster_at: impl FnMut(usize) -> Clustering,
+) -> Clustering {
+    match objective {
+        CompressionObjective::FixedK(k) => cluster_at(k),
+        CompressionObjective::MaxError { bound, max_k } => {
+            let mut best = cluster_at(1);
+            for k in 2..=max_k.max(1) {
+                if NaiveMixtureEncoding::build(log, &best).error() <= bound {
+                    break;
+                }
+                best = cluster_at(k);
+            }
+            best
+        }
+        CompressionObjective::MaxVerbosity { budget, max_k } => {
+            let mut best = cluster_at(1);
+            for k in 2..=max_k.max(1) {
+                let candidate = cluster_at(k);
+                if NaiveMixtureEncoding::build(log, &candidate).total_verbosity() > budget {
+                    break;
+                }
+                best = candidate;
+            }
+            best
+        }
+    }
+}
+
 impl LogR {
+    /// Compress a log whose pairwise distances over distinct entries are
+    /// already materialized as a condensed matrix — the streaming/sharded
+    /// path: a [`logr_cluster::ShardedPointSet`] merges its per-window
+    /// shards through `condensed(metric)` and hands the result here, so no
+    /// pairwise distance is ever recomputed. Clustering is hierarchical
+    /// (the strategy that consumes condensed matrices directly), and every
+    /// [`CompressionObjective`] resolves by cutting **one** dendrogram —
+    /// the K sweep costs one clustering, not `max_k`.
+    ///
+    /// # Panics
+    /// Panics if the matrix size differs from the log's distinct count.
+    pub fn compress_condensed(
+        &self,
+        log: &QueryLog,
+        dist: logr_cluster::CondensedMatrix,
+    ) -> LogRSummary {
+        use logr_cluster::hierarchical_cluster_condensed;
+        assert_eq!(
+            dist.n(),
+            log.distinct_count(),
+            "condensed matrix must cover the log's distinct entries"
+        );
+        let finish = |clustering: Clustering| {
+            let mixture = NaiveMixtureEncoding::build(log, &clustering);
+            let refined = self.config.refine.as_ref().map(|cfg| refine_mixture(log, &mixture, cfg));
+            LogRSummary { clustering, mixture, refined }
+        };
+        if log.distinct_count() == 0 {
+            return finish(Clustering::new(1, Vec::new()));
+        }
+        let weights: Vec<f64> = log.entries().iter().map(|&(_, c)| c as f64).collect();
+        let dendrogram = hierarchical_cluster_condensed(dist, &weights);
+        let clustering =
+            resolve_objective(self.config.objective, log, |k| dendrogram.cut(k.max(1)));
+        finish(clustering)
+    }
+
     /// Multi-resolution compression via hierarchical clustering
     /// (§6.1.1's "more dynamic control over the Error/Verbosity
     /// tradeoff"): one dendrogram is built, then cut at every requested
@@ -292,6 +343,34 @@ mod tests {
         }
         // The k=4 summary separates the workloads at least as well as k=1.
         assert!(summaries[2].error() <= summaries[0].error() + 1e-9);
+    }
+
+    #[test]
+    fn condensed_path_matches_hierarchical_compression() {
+        use logr_cluster::PointSet;
+        let log = mixed_log();
+        let config = LogRConfig {
+            method: ClusterMethod::Hierarchical(Distance::Hamming),
+            objective: CompressionObjective::FixedK(2),
+            ..Default::default()
+        };
+        let direct = LogR::new(config).compress(&log);
+        let dist = PointSet::from_log(&log).distances(Distance::Hamming);
+        let condensed = LogR::new(config).compress_condensed(&log, dist);
+        assert_eq!(direct.clustering, condensed.clustering);
+        assert_eq!(direct.error().to_bits(), condensed.error().to_bits());
+        // Objectives resolve on the same dendrogram: error bound holds.
+        let bounded = LogR::new(LogRConfig {
+            objective: CompressionObjective::MaxError { bound: 0.05, max_k: 8 },
+            ..config
+        })
+        .compress_condensed(&log, PointSet::from_log(&log).distances(Distance::Hamming));
+        assert!(bounded.error() <= 0.05 + 1e-9, "error {}", bounded.error());
+        // Empty log degenerates cleanly.
+        let empty = QueryLog::new();
+        let s = LogR::new(config)
+            .compress_condensed(&empty, PointSet::from_log(&empty).distances(Distance::Hamming));
+        assert_eq!(s.mixture.k(), 0);
     }
 
     #[test]

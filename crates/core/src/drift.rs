@@ -23,7 +23,11 @@ use logr_feature::{BitVec, FeatureId, QueryLog, QueryVector};
 /// Outcome of comparing a monitoring window against a baseline.
 #[derive(Debug, Clone)]
 pub struct DriftReport {
-    /// Mean per-feature Jensen–Shannon divergence (nats; 0 = identical).
+    /// Mean per-feature Jensen–Shannon divergence (nats; 0 = identical),
+    /// averaged over the **union** of baseline features and window-only
+    /// (new) features — a new feature diverges from a baseline marginal of
+    /// 0, so injections move `overall` even when every baseline marginal
+    /// is unchanged.
     pub overall: f64,
     /// Features ranked by divergence, descending: `(baseline id, JS)`.
     pub per_feature: Vec<(FeatureId, f64)>,
@@ -85,17 +89,25 @@ pub fn feature_drift(baseline: &QueryLog, window: &QueryLog) -> DriftReport {
         per_feature.push((base_id, js_bernoulli(p, q)));
     }
 
-    let new_features: Vec<String> = window
-        .codebook()
-        .iter()
-        .filter(|(id, _)| !matched_window_ids[id.index()] && win_marginals[id.index()] > 0.0)
-        .map(|(_, f)| f.to_string())
-        .collect();
+    // Window-only features drift from a baseline marginal of 0. They have
+    // no baseline id to rank under `per_feature`, but their divergence must
+    // count toward `overall`: a pure injection window that leaves every
+    // baseline marginal untouched still shifted the workload.
+    let mut new_features: Vec<String> = Vec::new();
+    let mut new_divergence = 0.0;
+    for (id, feature) in window.codebook().iter() {
+        if !matched_window_ids[id.index()] && win_marginals[id.index()] > 0.0 {
+            new_features.push(feature.to_string());
+            new_divergence += js_bernoulli(0.0, win_marginals[id.index()]);
+        }
+    }
 
-    let overall = if per_feature.is_empty() {
+    let divergence_count = per_feature.len() + new_features.len();
+    let overall = if divergence_count == 0 {
         0.0
     } else {
-        per_feature.iter().map(|&(_, d)| d).sum::<f64>() / per_feature.len() as f64
+        (per_feature.iter().map(|&(_, d)| d).sum::<f64>() + new_divergence)
+            / divergence_count as f64
     };
     per_feature.sort_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
 
@@ -109,10 +121,15 @@ pub fn feature_drift(baseline: &QueryLog, window: &QueryLog) -> DriftReport {
 /// two logs may use different codebooks); window features the baseline has
 /// never seen have no baseline bit to match, so they are added to the
 /// symmetric difference of every comparison — an injected query whose
-/// features are all unknown scores at least its own length. Distances are
-/// computed on the dense engine: the baseline's distinct queries are
-/// batch-converted to bitsets once, and each candidate pair costs one
-/// xor-popcount.
+/// features are all unknown scores at least its own length (under every
+/// metric: at least `metric.of_mismatches(len, n_baseline_features)`).
+/// The normalizing universe is **fixed at the baseline's**: unknown
+/// features inflate only the mismatch count `d`, never the denominator,
+/// so more-unknown queries always score at least as high — not lower, as
+/// a per-probe denominator would make them under `Distance::Hamming`.
+/// Distances are computed on the dense engine: the baseline's distinct
+/// queries are batch-converted to bitsets once, and each candidate pair
+/// costs one xor-popcount.
 ///
 /// Returns an empty vector when either log is empty.
 pub fn novelty_scores(baseline: &QueryLog, window: &QueryLog, metric: Distance) -> Vec<f64> {
@@ -136,7 +153,7 @@ pub fn novelty_scores(baseline: &QueryLog, window: &QueryLog, metric: Distance) 
             (0..points.len())
                 .map(|i| {
                     let d = probe.xor_count(points.point(i)) + unknown;
-                    metric.of_mismatches(d, nf + unknown)
+                    metric.of_mismatches(d, nf)
                 })
                 .fold(f64::INFINITY, f64::min)
         })
@@ -272,6 +289,87 @@ mod tests {
         // one is far from everything.
         assert_eq!(scores[0], 0.0, "known query should have a zero-distance match");
         assert!(scores[1] >= 2.0, "injected query scored {}", scores[1]);
+    }
+
+    #[test]
+    fn injection_only_window_reports_positive_overall() {
+        // Regression: `overall` used to average JS over *baseline* features
+        // only, so a window whose baseline marginals are untouched but
+        // which carries injected (window-only) features reported
+        // `overall == 0` — stability then hinged entirely on the
+        // `new_features` escape hatch.
+        let mut b = LogIngest::new();
+        for _ in 0..50 {
+            b.ingest("SELECT a FROM t");
+        }
+        let (base, _) = b.finish();
+
+        let mut w = LogIngest::new();
+        for _ in 0..50 {
+            w.ingest("SELECT a FROM t WHERE leak = ?"); // injected atom
+        }
+        let (window, _) = w.finish();
+
+        let report = feature_drift(&base, &window);
+        // Both baseline features (a, t) sit at marginal 1.0 in both logs…
+        assert!(report.per_feature.iter().all(|&(_, d)| d < 1e-12));
+        // …yet the injected feature must still move the mean: one new
+        // feature at q = 1 contributes JS(0, 1) = ln 2 over 3 features.
+        assert!(report.overall > 0.0, "injection-only window scored overall == 0");
+        assert!(
+            (report.overall - std::f64::consts::LN_2 / 3.0).abs() < 1e-9,
+            "overall {} != ln2/3",
+            report.overall
+        );
+        assert!(!report.is_stable(1e-9));
+        assert_eq!(report.new_features.len(), 1);
+    }
+
+    #[test]
+    fn all_unknown_query_scores_at_least_its_own_length() {
+        // Regression: the normalizing universe must stay fixed at the
+        // baseline's. The old per-probe denominator `nf + unknown` made
+        // Hamming *shrink* as a query got more unknown features — an
+        // all-unknown injection scored below its documented floor.
+        let all_metrics = [
+            Distance::Euclidean,
+            Distance::Manhattan,
+            Distance::Minkowski(4.0),
+            Distance::Hamming,
+            Distance::Chebyshev,
+            Distance::Canberra,
+        ];
+        let mut b = LogIngest::new();
+        b.ingest("SELECT a FROM t");
+        b.ingest("SELECT b FROM t");
+        let (base, _) = b.finish();
+        let nf = base.num_features();
+
+        let mut w = LogIngest::new();
+        w.ingest("SELECT a FROM t"); // in-baseline
+        w.ingest("SELECT b FROM t"); // in-baseline
+        w.ingest("SELECT x, y FROM secret"); // all three features unknown
+        let (window, _) = w.finish();
+
+        for metric in all_metrics {
+            let scores = novelty_scores(&base, &window, metric);
+            assert_eq!(scores.len(), 3);
+            let injected = scores[2];
+            // Documented floor: at least its own length, through the
+            // metric kernel at the baseline universe.
+            let floor = metric.of_mismatches(3, nf);
+            assert!(
+                injected >= floor,
+                "{metric:?}: all-unknown query scored {injected} below its length floor {floor}"
+            );
+            // And at least every in-baseline window query.
+            for (i, &s) in scores.iter().enumerate().take(2) {
+                assert!(
+                    injected >= s,
+                    "{metric:?}: all-unknown query {injected} below in-baseline query {i} ({s})"
+                );
+            }
+        }
     }
 
     #[test]

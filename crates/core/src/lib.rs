@@ -27,7 +27,12 @@
 //! * [`portable`] — self-contained, versioned storage of summaries
 //!   (ship the summary, drop the log);
 //! * [`drift`] — workload drift and query-typicality monitors built on
-//!   mixtures (the §2 online-monitoring application).
+//!   mixtures (the §2 online-monitoring application);
+//! * [`stream`] — incremental streaming summarization: tumbling/sliding
+//!   windows over a live query stream, per-window mixture summaries plus
+//!   drift/novelty monitoring against a rolling baseline, and a sharded
+//!   history whose condensed matrix grows per window instead of being
+//!   rebuilt.
 //!
 //! All entropies are in **nats**.
 
@@ -42,6 +47,7 @@ pub mod mixture;
 pub mod portable;
 pub mod refine;
 pub mod sampling;
+pub mod stream;
 pub mod synthesis;
 
 pub use compress::{CompressionObjective, LogR, LogRConfig, LogRSummary};
@@ -53,4 +59,5 @@ pub use mixture::NaiveMixtureEncoding;
 pub use portable::{PortableError, PortableSummary};
 pub use refine::{corr_rank, feature_correlation, RefineConfig, RefinedMixture};
 pub use sampling::{ambiguity_dimension, estimate_deviation, DeviationEstimate};
+pub use stream::{StreamConfig, StreamSummarizer, WindowSummary};
 pub use synthesis::{marginal_deviation, synthesis_error};

@@ -1,0 +1,698 @@
+//! Streaming window summarization (paper §2/§5 "Online Database
+//! Monitoring", made incremental).
+//!
+//! [`StreamSummarizer`] ingests a live query stream one statement at a
+//! time and turns it into a sequence of per-window artifacts instead of
+//! re-clustering the whole log on every look:
+//!
+//! * a **pattern mixture summary** of each closed window (the same
+//!   [`LogRSummary`] the batch compressor produces, via the
+//!   condensed-matrix path);
+//! * a **drift report** ([`feature_drift`]) and per-query **novelty
+//!   scores** ([`novelty_scores`]) against a rolling baseline;
+//! * an appendable **history**: each window's new distinct queries become
+//!   one shard of a [`ShardedPointSet`], so a summary of *everything seen
+//!   so far* ([`StreamSummarizer::history_summary`]) clusters over the
+//!   merged condensed matrix without recomputing any pairwise distance.
+//!
+//! # Window semantics
+//!
+//! Windows are **count-based** and multiplicity-weighted: a window closes
+//! once at least [`StreamConfig::window`] queries (not statements — an
+//! `ingest_with_count(sql, 500)` contributes 500) have accumulated, at a
+//! statement boundary (a single ingest call is atomic, so a window may
+//! overshoot by the last statement's multiplicity).
+//!
+//! * **Tumbling** (`slide: None`): consecutive windows partition the
+//!   stream; the buffer resets on close.
+//! * **Sliding** (`slide: Some(s)`): after the first close at `window`
+//!   queries, a window closes every `s` further queries and spans the most
+//!   recent `≥ window` queries (trimmed at statement granularity), so
+//!   consecutive windows overlap by `window − s`.
+//!
+//! Only the *unseen* suffix of the stream (the queries since the previous
+//! close) is absorbed into the long-running history, so sliding windows
+//! never double-count.
+//!
+//! # Baseline rotation policy
+//!
+//! The drift baseline is the absorbed union of the most recent
+//! [`StreamConfig::baseline_windows`] **closed strides** (tumbling: whole
+//! windows), excluding any stride that still falls inside the next
+//! window's span — so no window is ever judged against queries it itself
+//! contains, even when sliding windows overlap. Windows closed before the
+//! baseline holds any queries report `drift: None` and count as stable
+//! (tumbling: just the first window; sliding: the first
+//! `window / slide + baseline_windows − 1` closes, roughly). A slow
+//! workload shift ages out of the baseline after `baseline_windows`
+//! strides, while a sudden injection is judged against a baseline it has
+//! not yet contaminated. Rebuild cost is `O(baseline_windows · window)`
+//! per close — proportional to the window, never to the history.
+//!
+//! # Cost model
+//!
+//! Closing a window of `w` distinct queries against a history of `h`
+//! costs `O(w²)` for the window's own condensed matrix plus `O(h·w_new)`
+//! for the history shard's cross block (`w_new` = distinct queries never
+//! seen before, typically ≪ `w`) — both on scoped threads under the
+//! `parallel` feature. The monolithic alternative re-pays `O((h + w)²)`
+//! per window.
+
+use crate::compress::{CompressionObjective, LogR, LogRConfig, LogRSummary};
+use crate::drift::{feature_drift, novelty_scores, DriftReport};
+use logr_cluster::{ClusterMethod, Distance, PointSet, ShardedPointSet};
+use logr_feature::{LogIngest, QueryLog, QueryVector};
+use std::collections::VecDeque;
+
+/// Streaming summarization configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct StreamConfig {
+    /// Queries per window (multiplicity-weighted).
+    pub window: u64,
+    /// `None` for tumbling windows; `Some(s)` slides by `s` queries.
+    pub slide: Option<u64>,
+    /// How many recent closed windows form the drift baseline (≥ 1).
+    pub baseline_windows: usize,
+    /// Clusters per window summary (and for history summaries).
+    pub k: usize,
+    /// Distance measure for clustering and novelty scoring.
+    pub metric: Distance,
+    /// `DriftReport::is_stable` tolerance used for `WindowSummary::stable`.
+    pub drift_tolerance: f64,
+    /// RNG seed threaded into clustering.
+    pub seed: u64,
+}
+
+impl Default for StreamConfig {
+    fn default() -> Self {
+        StreamConfig {
+            window: 256,
+            slide: None,
+            baseline_windows: 4,
+            k: 4,
+            metric: Distance::Hamming,
+            drift_tolerance: 1e-3,
+            seed: 0,
+        }
+    }
+}
+
+/// Everything the summarizer emits when a window closes.
+#[derive(Debug, Clone)]
+pub struct WindowSummary {
+    /// 0-based index of the closed window.
+    pub index: usize,
+    /// Queries newly arrived since the previous close
+    /// (multiplicity-weighted, parsed or not). Tumbling: the whole window;
+    /// sliding: the stride — the overlapping span's total is
+    /// `log.total_queries()`.
+    pub queries: u64,
+    /// Distinct feature vectors in the window.
+    pub distinct: usize,
+    /// Distinct queries never seen in any earlier window — the size of the
+    /// shard this window appended to the history.
+    pub new_distinct: usize,
+    /// The window's feature log (own codebook).
+    pub log: QueryLog,
+    /// Pattern mixture summary of the window.
+    pub summary: LogRSummary,
+    /// Drift vs the rolling baseline; `None` while the baseline is still
+    /// empty (see the module docs' baseline rotation policy).
+    pub drift: Option<DriftReport>,
+    /// Nearest-baseline distance per distinct window query (empty while
+    /// the baseline is still empty), in window-entry order.
+    pub novelty: Vec<f64>,
+    /// `drift.is_stable(config.drift_tolerance)`; windows without a
+    /// baseline yet count as stable.
+    pub stable: bool,
+}
+
+impl WindowSummary {
+    /// Largest novelty score in the window (0 when none were computed).
+    pub fn max_novelty(&self) -> f64 {
+        self.novelty.iter().copied().fold(0.0, f64::max)
+    }
+}
+
+/// Incremental summarizer over a stream of SQL statements.
+#[derive(Debug)]
+pub struct StreamSummarizer {
+    config: StreamConfig,
+    /// Statements in the current window scope (sliding keeps the overlap).
+    buffer: VecDeque<(String, u64)>,
+    /// Multiplicity-weighted total of `buffer`.
+    buffer_total: u64,
+    /// Queries since the last close (tumbling: equals `buffer_total`).
+    since_close: u64,
+    /// Statements not yet absorbed into the history (sliding only;
+    /// tumbling reuses the window log). Kept separately from `buffer`
+    /// rather than derived from its tail: a close's trim can evict a
+    /// not-yet-absorbed statement when a single huge-multiplicity
+    /// statement covers the whole window, and history absorption must
+    /// never lose statements.
+    pending: Vec<(String, u64)>,
+    windows_closed: usize,
+    /// Rotation backing the baseline: each closed stride's log with its
+    /// offered-query count (parseable or not — exclusion spans are
+    /// measured in offered queries).
+    baseline_logs: VecDeque<(QueryLog, u64)>,
+    /// Absorbed union of `baseline_logs`.
+    baseline: QueryLog,
+    /// Absorbed union of every closed window (global codebook).
+    history: QueryLog,
+    /// One shard per closed window: its never-seen-before distinct queries.
+    shards: ShardedPointSet,
+}
+
+impl StreamSummarizer {
+    /// New summarizer.
+    ///
+    /// # Panics
+    /// Panics if `window == 0`, `slide == Some(0)`, `slide > window`,
+    /// `baseline_windows == 0`, or `k == 0`.
+    pub fn new(config: StreamConfig) -> Self {
+        assert!(config.window > 0, "window must be positive");
+        if let Some(s) = config.slide {
+            assert!(s > 0, "slide must be positive");
+            assert!(s <= config.window, "slide must not exceed the window");
+        }
+        assert!(config.baseline_windows > 0, "baseline_windows must be positive");
+        assert!(config.k > 0, "k must be positive");
+        StreamSummarizer {
+            config,
+            buffer: VecDeque::new(),
+            buffer_total: 0,
+            since_close: 0,
+            pending: Vec::new(),
+            windows_closed: 0,
+            baseline_logs: VecDeque::new(),
+            baseline: QueryLog::new(),
+            history: QueryLog::new(),
+            shards: ShardedPointSet::new(),
+        }
+    }
+
+    /// The configuration in force.
+    pub fn config(&self) -> &StreamConfig {
+        &self.config
+    }
+
+    /// Windows closed so far.
+    pub fn windows_closed(&self) -> usize {
+        self.windows_closed
+    }
+
+    /// The rolling drift baseline (absorbed union of recent windows).
+    pub fn baseline(&self) -> &QueryLog {
+        &self.baseline
+    }
+
+    /// The long-running history log (absorbed union of all closed
+    /// windows; its distinct entries are exactly the sharded point set's
+    /// points).
+    pub fn history(&self) -> &QueryLog {
+        &self.history
+    }
+
+    /// Queries buffered toward the next window close.
+    pub fn buffered_queries(&self) -> u64 {
+        self.since_close
+    }
+
+    /// Ingest one statement occurring `count` times. Returns the closed
+    /// window's artifacts when this statement completes a window.
+    pub fn ingest_with_count(&mut self, sql: &str, count: u64) -> Option<WindowSummary> {
+        if count == 0 {
+            return None;
+        }
+        self.buffer.push_back((sql.to_string(), count));
+        self.buffer_total += count;
+        self.since_close += count;
+        if self.config.slide.is_some() {
+            // Sliding only: the unseen stride differs from the (overlapping)
+            // window buffer. Tumbling absorbs the window log itself.
+            self.pending.push((sql.to_string(), count));
+        }
+        let due = match self.config.slide {
+            None => self.since_close >= self.config.window,
+            Some(slide) => self.buffer_total >= self.config.window && self.since_close >= slide,
+        };
+        due.then(|| self.close_window())
+    }
+
+    /// Ingest one statement (multiplicity 1).
+    pub fn ingest(&mut self, sql: &str) -> Option<WindowSummary> {
+        self.ingest_with_count(sql, 1)
+    }
+
+    /// Close a partial window (end of stream / forced checkpoint).
+    /// `None` when nothing has arrived since the last close.
+    pub fn flush(&mut self) -> Option<WindowSummary> {
+        (self.since_close > 0).then(|| self.close_window())
+    }
+
+    /// Pattern mixture summary of **everything seen so far**, clustered
+    /// over the sharded history's merged condensed matrix — one
+    /// `k`-mixture for the whole stream at the cost of a dendrogram build,
+    /// with zero recomputed distances. `None` before any distinct query
+    /// has been absorbed.
+    pub fn history_summary(&self) -> Option<LogRSummary> {
+        if self.history.distinct_count() == 0 {
+            return None;
+        }
+        let dist = self.shards.condensed(self.config.metric);
+        Some(self.compressor().compress_condensed(&self.history, dist))
+    }
+
+    fn compressor(&self) -> LogR {
+        LogR::new(LogRConfig {
+            method: ClusterMethod::Hierarchical(self.config.metric),
+            objective: CompressionObjective::FixedK(self.config.k),
+            seed: self.config.seed,
+            refine: None,
+        })
+    }
+
+    fn ingest_statements<'a>(statements: impl IntoIterator<Item = &'a (String, u64)>) -> QueryLog {
+        let mut ingest = LogIngest::new();
+        for (sql, count) in statements {
+            ingest.ingest_with_count(sql, *count);
+        }
+        ingest.finish().0
+    }
+
+    fn close_window(&mut self) -> WindowSummary {
+        let window_queries = self.since_close;
+        if self.config.slide.is_some() {
+            // Trim to the most recent ≥ window queries before summarizing
+            // (statement granularity: pop whole statements while the
+            // remainder still covers a full window).
+            while let Some(&(_, front)) = self.buffer.front() {
+                if self.buffer_total - front < self.config.window {
+                    break;
+                }
+                self.buffer_total -= front;
+                self.buffer.pop_front();
+            }
+        }
+        let window_log = Self::ingest_statements(self.buffer.iter());
+
+        // Monitors run against the baseline *before* this window enters
+        // the rotation — a window never judges itself.
+        let (drift, novelty) = if self.baseline.total_queries() > 0 {
+            (
+                Some(feature_drift(&self.baseline, &window_log)),
+                novelty_scores(&self.baseline, &window_log, self.config.metric),
+            )
+        } else {
+            (None, Vec::new())
+        };
+        let stable = drift.as_ref().is_none_or(|d| d.is_stable(self.config.drift_tolerance));
+
+        // Per-window mixture through the condensed path (the window's own
+        // distances are fresh; its log is small by construction).
+        let dist = PointSet::from_log(&window_log).distances(self.config.metric);
+        let summary = self.compressor().compress_condensed(&window_log, dist);
+
+        // Absorb only the unseen suffix (the stride) into the history, and
+        // append its new distinct queries as one shard: window-close cost
+        // stays proportional to the window, not the history. Tumbling
+        // windows *are* the stride, so the already-parsed window log is
+        // reused; sliding re-featurizes just the stride.
+        let stride_log = match self.config.slide {
+            Some(_) => {
+                let log = Self::ingest_statements(self.pending.iter());
+                self.pending.clear();
+                log
+            }
+            None => window_log.clone(),
+        };
+        let prev_distinct = self.history.distinct_count();
+        self.history.absorb(&stride_log);
+        let new_entries: Vec<&QueryVector> =
+            self.history.entries()[prev_distinct..].iter().map(|(v, _)| v).collect();
+        let new_distinct = new_entries.len();
+        self.shards.push_shard(&new_entries, self.history.num_features());
+
+        // Rotate the baseline: the rotation holds stride logs (tumbling:
+        // whole windows), and the rebuild skips the newest strides whose
+        // queries a later window's span may still contain — queries a
+        // window contains can never sit in its own baseline, so an
+        // injection cannot zero its own novelty by contaminating the
+        // baseline first. The exclusion span is the buffer actually
+        // retained after this close's trim (0 for tumbling — the buffer is
+        // about to clear): future windows only ever span a subset of that
+        // buffer plus strides not yet closed, and the retained total —
+        // unlike the nominal `window − slide` — already accounts for
+        // statement-multiplicity overshoot at the trim boundary. Exclusion
+        // walks stride *query* counts (flush closes variable-size strides;
+        // a stride straddling the boundary is excluded whole).
+        let overlap_span = match self.config.slide {
+            None => 0,
+            Some(_) => self.buffer_total,
+        };
+        self.baseline_logs.push_back((stride_log, window_queries));
+        let mut skip = 0usize;
+        let mut covered = 0u64;
+        for (_, offered) in self.baseline_logs.iter().rev() {
+            if covered >= overlap_span {
+                break;
+            }
+            covered += offered;
+            skip += 1;
+        }
+        while self.baseline_logs.len() - skip > self.config.baseline_windows {
+            self.baseline_logs.pop_front();
+        }
+        let usable = self.baseline_logs.len() - skip;
+        let mut baseline = QueryLog::new();
+        for (log, _) in self.baseline_logs.iter().take(usable) {
+            baseline.absorb(log);
+        }
+        self.baseline = baseline;
+
+        // Advance the window (sliding keeps the overlap it just trimmed).
+        if self.config.slide.is_none() {
+            self.buffer.clear();
+            self.buffer_total = 0;
+        }
+        self.since_close = 0;
+
+        let index = self.windows_closed;
+        self.windows_closed += 1;
+        WindowSummary {
+            index,
+            queries: window_queries,
+            distinct: window_log.distinct_count(),
+            new_distinct,
+            log: window_log,
+            summary,
+            drift,
+            novelty,
+            stable,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn messaging(i: u64) -> String {
+        match i % 3 {
+            0 => "SELECT id, body FROM messages WHERE status = ?".into(),
+            1 => "SELECT id FROM messages WHERE status = ? AND kind = ?".into(),
+            _ => "SELECT sender FROM messages WHERE thread = ?".into(),
+        }
+    }
+
+    fn banking(i: u64) -> String {
+        match i % 2 {
+            0 => "SELECT balance FROM accounts WHERE owner = ?".into(),
+            _ => "SELECT balance, branch FROM accounts WHERE owner = ? AND open = ?".into(),
+        }
+    }
+
+    #[test]
+    fn three_window_stream_produces_summaries_and_drift() {
+        // Acceptance scenario: 3 tumbling windows — steady, steady,
+        // injected — each with a mixture summary and (from window 1 on) a
+        // drift report.
+        let mut s =
+            StreamSummarizer::new(StreamConfig { window: 30, k: 2, ..StreamConfig::default() });
+        let mut summaries = Vec::new();
+        for i in 0..60 {
+            if let Some(w) = s.ingest(&messaging(i)) {
+                summaries.push(w);
+            }
+        }
+        for i in 0..30 {
+            let sql = if i % 10 == 9 {
+                "SELECT password_hash FROM credentials".to_string() // injected
+            } else {
+                messaging(i)
+            };
+            if let Some(w) = s.ingest(&sql) {
+                summaries.push(w);
+            }
+        }
+        assert_eq!(summaries.len(), 3);
+        assert_eq!(s.windows_closed(), 3);
+
+        // Window 0: no baseline yet.
+        assert!(summaries[0].drift.is_none());
+        assert!(summaries[0].stable);
+        assert_eq!(summaries[0].queries, 30);
+        assert!(summaries[0].summary.mixture.k() >= 1);
+
+        // Window 1: same workload — stable, no novel queries.
+        let w1 = &summaries[1];
+        assert!(w1.drift.is_some());
+        assert!(w1.stable, "steady window flagged: {:?}", w1.drift);
+        assert_eq!(w1.new_distinct, 0, "no new distinct queries in a repeat window");
+        assert!(w1.max_novelty() < 1e-12);
+
+        // Window 2: injected traffic — unstable, novel, new features.
+        let w2 = &summaries[2];
+        let drift = w2.drift.as_ref().unwrap();
+        assert!(!w2.stable, "injected window not flagged: {drift:?}");
+        assert!(drift.overall > 0.0);
+        assert!(drift.new_features.iter().any(|f| f.contains("credentials")));
+        assert!(w2.max_novelty() > 0.0);
+        assert!(w2.new_distinct > 0);
+
+        // History covers the whole stream; its sharded summary works.
+        assert_eq!(s.history().total_queries(), 90);
+        let hist = s.history_summary().unwrap();
+        assert_eq!(hist.clustering.len(), s.history().distinct_count());
+    }
+
+    #[test]
+    fn tumbling_windows_partition_the_stream() {
+        let mut s = StreamSummarizer::new(StreamConfig { window: 10, ..StreamConfig::default() });
+        let mut closed = 0;
+        for i in 0..35 {
+            if let Some(w) = s.ingest(&messaging(i)) {
+                assert_eq!(w.queries, 10);
+                closed += 1;
+            }
+        }
+        assert_eq!(closed, 3);
+        assert_eq!(s.buffered_queries(), 5);
+        let tail = s.flush().unwrap();
+        assert_eq!(tail.queries, 5);
+        assert_eq!(tail.index, 3);
+        assert!(s.flush().is_none());
+        assert_eq!(s.history().total_queries(), 35);
+    }
+
+    #[test]
+    fn sliding_windows_overlap_but_history_does_not_double_count() {
+        let mut s = StreamSummarizer::new(StreamConfig {
+            window: 20,
+            slide: Some(5),
+            ..StreamConfig::default()
+        });
+        let mut summaries = Vec::new();
+        for i in 0..40 {
+            if let Some(w) = s.ingest(&messaging(i)) {
+                summaries.push(w);
+            }
+        }
+        // First close at 20, then every 5: 20, 25, 30, 35, 40.
+        assert_eq!(summaries.len(), 5);
+        // Each window spans the last `window` queries…
+        for w in &summaries[1..] {
+            assert_eq!(w.log.total_queries(), 20);
+            // …but only the 5-query stride entered the history.
+            assert_eq!(w.queries, 5);
+        }
+        assert_eq!(s.history().total_queries(), 40);
+    }
+
+    #[test]
+    fn multiplicity_counts_toward_window_size() {
+        let mut s = StreamSummarizer::new(StreamConfig { window: 100, ..StreamConfig::default() });
+        assert!(s.ingest_with_count(&messaging(0), 60).is_none());
+        assert!(s.ingest_with_count(&messaging(0), 0).is_none());
+        let w = s.ingest_with_count(&messaging(1), 60).unwrap();
+        // Window overshoots at statement granularity.
+        assert_eq!(w.queries, 120);
+        assert_eq!(w.distinct, 2);
+    }
+
+    #[test]
+    fn baseline_rotation_ages_out_old_workloads() {
+        let mut s = StreamSummarizer::new(StreamConfig {
+            window: 20,
+            baseline_windows: 2,
+            ..StreamConfig::default()
+        });
+        // Two messaging windows, then three banking windows.
+        for i in 0..40 {
+            s.ingest(&messaging(i));
+        }
+        let mut flagged = None;
+        let mut later = None;
+        for i in 0..60 {
+            if let Some(w) = s.ingest(&banking(i)) {
+                if w.index == 2 {
+                    flagged = Some(w);
+                } else if w.index == 4 {
+                    later = Some(w);
+                }
+            }
+        }
+        // The switch is flagged against the messaging baseline…
+        let flagged = flagged.unwrap();
+        assert!(!flagged.stable);
+        assert!(flagged.max_novelty() > 0.0);
+        // …but after `baseline_windows` banking windows the baseline has
+        // rotated: banking is the new normal.
+        let later = later.unwrap();
+        assert!(later.stable, "rotated baseline still flags banking: {:?}", later.drift);
+        assert!(later.max_novelty() < 1e-12);
+    }
+
+    #[test]
+    fn sliding_baseline_excludes_overlapping_strides() {
+        // Regression: an injection must stay novel for every window whose
+        // span contains it — the baseline skips the strides that overlap
+        // the window under test, so the injection cannot zero its own
+        // novelty by entering the baseline first.
+        let mut s = StreamSummarizer::new(StreamConfig {
+            window: 20,
+            slide: Some(5),
+            baseline_windows: 4,
+            ..StreamConfig::default()
+        });
+        let mut i = 0u64;
+        for _ in 0..40 {
+            s.ingest(&messaging(i));
+            i += 1;
+        }
+        // Inject one query; it lives in the stream for the next 4
+        // overlapping windows.
+        s.ingest("SELECT password_hash FROM credentials");
+        let mut flagged = 0;
+        let mut inspected = 0;
+        while inspected < 3 {
+            if let Some(w) = s.ingest(&messaging(i)) {
+                inspected += 1;
+                assert!(
+                    w.log.codebook().iter().any(|(_, f)| f.to_string().contains("credentials")),
+                    "window {} should still span the injection",
+                    w.index
+                );
+                assert!(
+                    w.max_novelty() > 0.0,
+                    "window {}: baseline contamination zeroed the injection's novelty",
+                    w.index
+                );
+                if !w.stable {
+                    flagged += 1;
+                }
+            }
+            i += 1;
+        }
+        assert_eq!(flagged, 3, "every window spanning the injection must be flagged");
+    }
+
+    #[test]
+    fn flush_sized_strides_do_not_contaminate_the_baseline() {
+        // Regression: baseline exclusion must count *queries*, not
+        // strides — `flush` closes strides of any size, and stride-count
+        // exclusion lets a large pre-flush stride (whose tail later
+        // windows still span) into the baseline, zeroing the novelty of
+        // an injection it contains.
+        let mut s = StreamSummarizer::new(StreamConfig {
+            window: 20,
+            slide: Some(5),
+            baseline_windows: 4,
+            ..StreamConfig::default()
+        });
+        let mut i = 0u64;
+        for _ in 0..18 {
+            s.ingest(&messaging(i));
+            i += 1;
+        }
+        s.ingest("SELECT password_hash FROM credentials"); // tail of stride 0
+        s.ingest(&messaging(i)); // closes window 0 (20-query stride)
+        i += 1;
+        for _ in 0..2 {
+            s.ingest(&messaging(i));
+            i += 1;
+        }
+        s.flush(); // 2-query stride: stride sizes now vary
+        let mut judged_windows = 0;
+        for _ in 0..25 {
+            if let Some(w) = s.ingest(&messaging(i)) {
+                if w.drift.is_some() {
+                    judged_windows += 1;
+                    let contains_injection =
+                        w.log.codebook().iter().any(|(_, f)| f.to_string().contains("credentials"));
+                    if contains_injection {
+                        assert!(
+                            w.max_novelty() > 0.0,
+                            "window {}: injection sits in its own baseline",
+                            w.index
+                        );
+                    }
+                }
+            }
+            i += 1;
+        }
+        // The baseline does become usable again once enough strides age
+        // past the overlap — the guard is an exclusion, not a shutdown.
+        assert!(judged_windows > 0, "baseline never became usable after the flush");
+    }
+
+    #[test]
+    fn history_shards_match_monolithic_distances() {
+        use logr_cluster::hierarchical_cluster_pointset;
+        let mut s =
+            StreamSummarizer::new(StreamConfig { window: 15, k: 2, ..StreamConfig::default() });
+        for i in 0..30 {
+            s.ingest(&messaging(i));
+        }
+        for i in 0..15 {
+            s.ingest(&banking(i));
+        }
+        assert_eq!(s.windows_closed(), 3);
+        // The streamed history summary equals a batch hierarchical
+        // compression of the absorbed history log.
+        let streamed = s.history_summary().unwrap();
+        let points = PointSet::from_log(s.history());
+        let weights: Vec<f64> = s.history().entries().iter().map(|&(_, c)| c as f64).collect();
+        let dendro = hierarchical_cluster_pointset(&points, &weights, Distance::Hamming);
+        assert_eq!(streamed.clustering, dendro.cut(2));
+    }
+
+    #[test]
+    fn empty_stream_and_unparseable_windows_are_handled() {
+        let mut s = StreamSummarizer::new(StreamConfig { window: 3, ..StreamConfig::default() });
+        assert!(s.history_summary().is_none());
+        assert!(s.flush().is_none());
+        // A window of pure garbage still closes and keeps counting.
+        for _ in 0..3 {
+            s.ingest("THIS IS NOT SQL @@@");
+        }
+        assert_eq!(s.windows_closed(), 1);
+        assert!(s.history_summary().is_none(), "no parsed queries yet");
+        for i in 0..3 {
+            s.ingest(&messaging(i));
+        }
+        assert_eq!(s.windows_closed(), 2);
+        assert!(s.history_summary().is_some());
+    }
+
+    #[test]
+    #[should_panic(expected = "slide must not exceed")]
+    fn oversized_slide_rejected() {
+        StreamSummarizer::new(StreamConfig {
+            window: 10,
+            slide: Some(11),
+            ..StreamConfig::default()
+        });
+    }
+}

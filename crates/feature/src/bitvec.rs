@@ -105,6 +105,23 @@ impl BitVec {
         self.bits.iter().zip(&other.bits).map(|(a, b)| (a ^ b).count_ones() as usize).sum()
     }
 
+    /// `|self ⊕ other|` across unequal universes: the narrower bitset is
+    /// implicitly zero-extended to the wider one. A feature universe only
+    /// ever grows (codebooks intern, never forget), so a vector's set bits
+    /// are identical under any universe at least as wide — which makes the
+    /// mismatch count well-defined without re-materializing old bitsets.
+    /// Equal-width calls agree with [`BitVec::xor_count`].
+    pub fn xor_count_padded(&self, other: &BitVec) -> usize {
+        let (short, long) =
+            if self.bits.len() <= other.bits.len() { (self, other) } else { (other, self) };
+        let mut d = 0usize;
+        for (i, &b) in long.bits.iter().enumerate() {
+            let a = short.bits.get(i).copied().unwrap_or(0);
+            d += (a ^ b).count_ones() as usize;
+        }
+        d
+    }
+
     /// Containment: every set bit of `other` is set here.
     pub fn contains_all(&self, other: &BitVec) -> bool {
         assert_eq!(self.len, other.len, "universe mismatch");
@@ -202,6 +219,21 @@ mod tests {
             b.set(i);
         }
         assert_eq!(b.iter_ones().collect::<Vec<_>>(), vec![0, 63, 64, 65, 128, 199]);
+    }
+
+    #[test]
+    fn xor_count_padded_zero_extends() {
+        let narrow = BitVec::from_query_vector(&qv(&[1, 60]), 64);
+        let wide = BitVec::from_query_vector(&qv(&[1, 100, 190]), 200);
+        // {60} ⊕ {100, 190} under zero extension.
+        assert_eq!(narrow.xor_count_padded(&wide), 3);
+        assert_eq!(wide.xor_count_padded(&narrow), 3);
+        // Equal widths agree with the strict path.
+        let a = BitVec::from_query_vector(&qv(&[0, 5]), 70);
+        let b = BitVec::from_query_vector(&qv(&[5, 69]), 70);
+        assert_eq!(a.xor_count_padded(&b), a.xor_count(&b));
+        // Empty vs anything counts the set bits.
+        assert_eq!(BitVec::zeros(0).xor_count_padded(&wide), 3);
     }
 
     #[test]

@@ -1,94 +1,155 @@
-//! Online workload monitoring / intrusion detection (paper §2 and §5).
+//! Online workload monitoring / intrusion detection (paper §2 and §5),
+//! on the streaming API.
 //!
 //! Pattern mixture encodings capture anti-correlations between workloads,
-//! which is what lets them flag "queries that don't belong": a query whose
-//! probability under every mixture component is tiny is atypical. This
-//! example demonstrates both monitors in `logr::core::drift`:
+//! which is what lets them flag "queries that don't belong". This example
+//! runs the full streaming loop from `logr::core::stream`: a
+//! `StreamSummarizer` ingests the query stream one statement at a time,
+//! closes tumbling windows, and emits per-window mixture summaries plus
+//! drift reports and novelty scores against a rolling baseline — no
+//! re-clustering of the whole log ever happens. An exfiltration-style scan
+//! is injected into the final window and must be flagged by
 //!
-//! 1. **per-query typicality** against a baseline summary, and
-//! 2. **window-level feature drift** between a baseline log and a
-//!    monitoring window with injected exfiltration-style traffic.
+//! 1. **window-level feature drift** (new features + JS divergence),
+//! 2. **per-query novelty** (nearest-baseline distance), and
+//! 3. **per-query typicality** against the streamed history summary.
 //!
 //! Run with: `cargo run --release --example intrusion_detection`
 
-use logr::cluster::{cluster_log, ClusterMethod, Distance};
-use logr::core::{feature_drift, query_typicality, NaiveMixtureEncoding};
+use logr::cluster::Distance;
+use logr::core::{query_typicality, StreamConfig, StreamSummarizer, WindowSummary};
 use logr::feature::{LogIngest, QueryVector};
 use logr::workload::{generate_pocketdata, PocketDataConfig};
 
-fn main() {
-    // Baseline: the app's normal (machine-generated) workload.
-    let synthetic = generate_pocketdata(&PocketDataConfig::default());
-    let (log, _) = synthetic.ingest();
-    let clustering = cluster_log(&log, 8, ClusterMethod::Spectral(Distance::Hamming), 1);
-    let baseline = NaiveMixtureEncoding::build(&log, &clustering);
+fn report_window(w: &WindowSummary) {
+    let verdict = if w.stable { "stable" } else { "⚠ SHIFTED" };
+    let (overall, new_feats) =
+        w.drift.as_ref().map_or((0.0, 0), |d| (d.overall, d.new_features.len()));
     println!(
-        "baseline summary: {} clusters over {} distinct queries (error {:.3})",
-        baseline.k(),
-        log.distinct_count(),
-        baseline.error()
+        "window {:>2}: {:>5} queries, {:>3} distinct ({:>3} new) | k={} error={:.3} | \
+         drift={overall:.5} new_features={new_feats} max_novelty={:.2} | {verdict}",
+        w.index,
+        w.queries,
+        w.distinct,
+        w.new_distinct,
+        w.summary.mixture.k(),
+        w.summary.error(),
+        w.max_novelty(),
     );
+    if let Some(drift) = &w.drift {
+        for f in drift.new_features.iter().take(3) {
+            println!("            new feature: {f}");
+        }
+    }
+}
 
-    // Monitoring window: mostly normal traffic + an injected scan that
-    // touches the usual tables in an unusual way.
-    let normal: Vec<String> =
-        synthetic.statements.iter().take(6).map(|(sql, _)| sql.clone()).collect();
+fn main() {
+    // The app's normal (machine-generated) workload, replayed as a stream.
+    let synthetic = generate_pocketdata(&PocketDataConfig::default());
     let injected = [
         "SELECT text, sms_raw_sender, timestamp FROM messages", // full dump: no predicate
         "SELECT setting_key, setting_value FROM account_settings WHERE setting_value LIKE ?",
         "SELECT first_name, full_name, profile_id FROM participants WHERE profile_id > ?",
     ];
 
-    // --- Monitor 1: per-query typicality -------------------------------
+    let mut stream = StreamSummarizer::new(StreamConfig {
+        window: 400,
+        baseline_windows: 3,
+        k: 4,
+        metric: Distance::Hamming,
+        drift_tolerance: 1e-3,
+        ..StreamConfig::default()
+    });
+
+    println!("streaming the workload in tumbling windows of 400 queries:");
+    let mut windows: Vec<WindowSummary> = Vec::new();
+
+    // Several rounds of normal traffic stream through continuously and
+    // build up the rolling baseline…
+    for _ in 0..4 {
+        for (sql, count) in synthetic.statements.iter().take(120) {
+            if let Some(w) = stream.ingest_with_count(sql, *count % 7 + 1) {
+                report_window(&w);
+                windows.push(w);
+            }
+        }
+    }
+
+    // …the pre-attack history (log + summary) is what incoming traffic
+    // will be judged against…
+    let history_snapshot = stream.history_summary().expect("history is non-empty");
+    let history_log = stream.history().clone();
+
+    // …then the scan runs hot inside otherwise-normal traffic.
+    for (sql, count) in synthetic.statements.iter().take(60) {
+        if let Some(w) = stream.ingest_with_count(sql, *count % 7 + 1) {
+            report_window(&w);
+            windows.push(w);
+        }
+    }
+    for sql in injected {
+        if let Some(w) = stream.ingest_with_count(sql, 40) {
+            report_window(&w);
+            windows.push(w);
+        }
+    }
+    if let Some(w) = stream.flush() {
+        report_window(&w);
+        windows.push(w);
+    }
+
+    let attack = windows.last().expect("at least one window closed");
+    assert!(!attack.stable, "the injected window must be flagged");
+    println!(
+        "\nverdict: window {} flagged — {} new features, max novelty {:.2}",
+        attack.index,
+        attack.drift.as_ref().map_or(0, |d| d.new_features.len()),
+        attack.max_novelty(),
+    );
+
+    // Rank probe queries by typicality under the *streamed* pre-attack
+    // history summary (built from the sharded condensed matrix — no
+    // pairwise distance was ever recomputed across windows).
+    println!(
+        "\npre-attack history: {} queries, {} distinct, summarized at k={} (error {:.3}); \
+         post-attack history holds {} queries",
+        history_log.total_queries(),
+        history_log.distinct_count(),
+        history_snapshot.mixture.k(),
+        history_snapshot.error(),
+        stream.history().total_queries(),
+    );
+
+    let normal: Vec<String> =
+        synthetic.statements.iter().take(6).map(|(sql, _)| sql.clone()).collect();
     let mut scored: Vec<(String, f64)> = Vec::new();
     for sql in normal.iter().map(String::as_str).chain(injected) {
         let mut probe = LogIngest::new();
         probe.ingest(sql);
         let (probe_log, _) = probe.finish();
-        // Map the probe's features into the baseline codebook; features the
-        // baseline never saw are maximally suspicious.
+        // Map the probe's features into the pre-attack codebook; features
+        // the stream had never seen are maximally suspicious.
         let mut ids = Vec::new();
         let mut unknown = 0usize;
         for (_, feature) in probe_log.codebook().iter() {
-            match log.codebook().get(feature) {
+            match history_log.codebook().get(feature) {
                 Some(id) => ids.push(id),
                 None => unknown += 1,
             }
         }
         let vector: QueryVector = ids.into_iter().collect();
-        let score = query_typicality(&baseline, &vector) * 0.5f64.powi(unknown as i32);
+        let score =
+            query_typicality(&history_snapshot.mixture, &vector) * 0.5f64.powi(unknown as i32);
         scored.push((sql.to_string(), score));
     }
 
     scored.sort_by(|a, b| a.1.total_cmp(&b.1));
-    println!("\nwindow queries ranked by typicality (lowest = most anomalous):");
+    println!("\nqueries ranked by typicality (lowest = most anomalous):");
     for (sql, score) in &scored {
-        let flag = if *score < 1e-3 { "⚠ ANOMALOUS" } else { "  normal   " };
+        let flag = if *score < 5e-2 { "⚠ ANOMALOUS" } else { "  normal   " };
         let display: String = sql.chars().take(88).collect();
         println!("{flag}  score={score:9.2e}  {display}");
     }
-    let anomalies = scored.iter().filter(|(_, s)| *s < 1e-3).count();
-    println!("flagged {anomalies} of {} window queries", scored.len());
-
-    // --- Monitor 2: window-level feature drift -------------------------
-    let mut window = LogIngest::new();
-    for (sql, count) in synthetic.statements.iter().take(300) {
-        window.ingest_with_count(sql, *count);
-    }
-    for sql in injected {
-        window.ingest_with_count(sql, 500); // the scan runs hot
-    }
-    let (window_log, _) = window.finish();
-    let report = feature_drift(&log, &window_log);
-
-    println!("\nwindow drift report:");
-    println!("  mean per-feature JS divergence: {:.5} nats", report.overall);
-    println!("  new features never seen in baseline: {}", report.new_features.len());
-    for f in report.new_features.iter().take(5) {
-        println!("    {f}");
-    }
-    println!(
-        "  verdict: {}",
-        if report.is_stable(1e-3) { "stable" } else { "⚠ workload shifted — investigate" }
-    );
+    let anomalies = scored.iter().filter(|(_, s)| *s < 5e-2).count();
+    println!("flagged {anomalies} of {} probed queries", scored.len());
 }
