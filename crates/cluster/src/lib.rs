@@ -47,7 +47,12 @@
 //! * [`shard`] — appendable/sharded condensed construction for streaming
 //!   windows: per-shard triangles plus cross blocks, merged through a
 //!   [`CondensedShards`] view that is bit-identical to the monolithic
-//!   build (window-close cost ∝ window, not history);
+//!   build (window-close cost ∝ window, not history), with an optional
+//!   out-of-core store ([`SpillConfig`]) that evicts closed shards to
+//!   disk under a resident-byte budget and reloads them transparently;
+//! * [`spill`] — the versioned, checksummed on-disk shard format
+//!   (magic + header + condensed triangle + cross block + bit-packed
+//!   points + FNV-1a 64 checksum) with typed [`SpillError`] decoding;
 //! * [`kmeans`] — weighted Lloyd iteration with k-means++ seeding (dense and
 //!   binary front ends, `*_pointset` variants for pre-converted data);
 //! * [`spectral`] — Ng–Jordan–Weiss spectral clustering over an RBF affinity
@@ -67,6 +72,9 @@ mod par;
 pub mod pointset;
 pub mod shard;
 pub mod spectral;
+pub mod spill;
+#[doc(hidden)]
+pub mod testutil;
 
 pub use assign::Clustering;
 pub use distance::{distance_matrix, Distance};
@@ -76,7 +84,8 @@ pub use hierarchical::{
 pub use kmeans::{kmeans_binary, kmeans_binary_pointset, kmeans_dense, KMeansConfig};
 pub use method::{cluster_log, ClusterMethod};
 pub use pointset::{CondensedMatrix, PointSet};
-pub use shard::{CondensedShards, ShardedPointSet};
+pub use shard::{CondensedShards, ShardedPointSet, SpillConfig};
 pub use spectral::{
     spectral_cluster, spectral_cluster_condensed, spectral_cluster_pointset, SpectralConfig,
 };
+pub use spill::{ShardRecord, SpillError};

@@ -1,4 +1,5 @@
-//! Appendable, sharded condensed-matrix construction (streaming windows).
+//! Appendable, sharded condensed-matrix construction (streaming windows),
+//! with optional out-of-core storage for closed shards.
 //!
 //! The monolithic [`PointSet::distances`](crate::PointSet::distances) build
 //! recomputes every pair each time a dataset grows, which makes windowed
@@ -11,7 +12,26 @@
 //! * the `h × w` cross block against the existing points,
 //!
 //! both on scoped threads via the existing `parallel` feature. Earlier
-//! shards are never touched again.
+//! shards are never touched again — which also makes them **immutable**,
+//! and immutability is what the out-of-core layer exploits.
+//!
+//! # Out-of-core shards (PR 3)
+//!
+//! Shard payloads grow quadratically with the history (`Σ hₛ·wₛ` cross
+//! cells), so an unbounded stream eventually cannot keep every closed
+//! shard resident. [`ShardedPointSet::set_spill`] attaches a persistent
+//! store ([`SpillConfig`]: a directory plus a resident-byte budget in the
+//! versioned, checksummed [`crate::spill`] format); after every append the
+//! set evicts closed shards oldest-first — the hot tail (the newest
+//! shard) is pinned — until the resident payload fits the budget. Spilled
+//! shards reload transparently on read: point lookups go through a
+//! single-slot reload cache, and bulk merges ([`CondensedShards`]) stream
+//! one spilled shard at a time, so peak memory is the budget plus one
+//! shard. Files are written once (shards are immutable) and re-eviction
+//! after a reload is free. Reloaded payloads are integer mismatch counts
+//! and bit-packed points — no floats touch disk — so a spilled/reloaded
+//! set serves **bit-identical** distances to the all-resident build
+//! (property-tested in `tests/proptest_shards.rs`).
 //!
 //! Shards store **integer mismatch counts** (`d = |x ⊕ y|`), not metric
 //! values: every §6.1 metric is a function of `(d, n_features)`, and the
@@ -32,47 +52,117 @@ use crate::distance::Distance;
 use crate::par;
 use crate::par::PARALLEL_MIN_POINTS;
 use crate::pointset::{condensed_row_start, CondensedMatrix};
+use crate::spill::{self, ShardRecord, SpillError};
 use logr_feature::{BitVec, QueryVector};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
 
 /// Cell-count threshold below which shard fills run serially (the same
 /// break-even as `PARALLEL_MIN_POINTS` points in the monolithic build).
 const PARALLEL_MIN_CELLS: usize = PARALLEL_MIN_POINTS * (PARALLEL_MIN_POINTS - 1) / 2;
 
+/// Process-global sequence for spill file names. Clones of a spilling set
+/// share a directory, so per-set indexes alone would collide; the file
+/// name also carries the pid so concurrent processes pointed at one
+/// store directory cannot overwrite each other's shards.
+static SPILL_FILE_SEQ: AtomicU64 = AtomicU64::new(0);
+
+/// Out-of-core policy for a [`ShardedPointSet`].
+#[derive(Debug, Clone)]
+pub struct SpillConfig {
+    /// Directory shard files are written to (created if absent). Files
+    /// are never deleted by the set — a shard's file outlives reloads, so
+    /// re-evicting it later costs no I/O.
+    pub dir: PathBuf,
+    /// Resident shard-payload budget in bytes. After every append the set
+    /// evicts closed shards oldest-first (hot tail pinned) until resident
+    /// bytes fit; `0` keeps only the pinned tail resident. Oldest-first
+    /// *is* least-recently-appended, and merges touch every shard
+    /// equally, so no finer recency signal exists to act on.
+    pub resident_budget: usize,
+}
+
+/// One shard and where its payload currently lives.
+#[derive(Debug, Clone)]
+struct ShardSlot {
+    /// `Some` while resident; `None` once spilled (then `path` is `Some`).
+    data: Option<Arc<ShardRecord>>,
+    /// The shard's spill file, once it has ever been written.
+    path: Option<PathBuf>,
+    /// Payload heap size (stable across spill/reload).
+    bytes: usize,
+}
+
+/// Single-slot cache for point reads against spilled shards, so repeated
+/// `get(i, j)` probes into the same shard pay one reload, not one per
+/// probe. Bulk merges bypass it (they stream shards explicitly).
+#[derive(Debug, Default)]
+struct ReloadCache {
+    entry: Option<(usize, Arc<ShardRecord>)>,
+}
+
 /// A dataset of binary vectors accumulated shard by shard, with pairwise
-/// mismatch counts maintained incrementally.
-#[derive(Debug, Clone, Default)]
+/// mismatch counts maintained incrementally and (optionally) spilled to a
+/// persistent store under a resident-memory budget.
+#[derive(Debug)]
 pub struct ShardedPointSet {
-    bits: Vec<BitVec>,
     /// Widest universe seen so far; reads normalize against this.
     n_features: usize,
     /// Shard `s` spans points `shard_starts[s] .. shard_starts[s + 1]`.
     shard_starts: Vec<usize>,
-    /// Per-shard condensed (strict upper triangle) mismatch counts.
-    intra: Vec<Vec<u32>>,
-    /// Per-shard cross block vs all earlier points, row-major by the
-    /// earlier point's index: `cross[s][i * w_s + (j − start_s)]`.
-    cross: Vec<Vec<u32>>,
+    shards: Vec<ShardSlot>,
+    spill: Option<SpillConfig>,
+    cache: Mutex<ReloadCache>,
+}
+
+impl Clone for ShardedPointSet {
+    fn clone(&self) -> Self {
+        ShardedPointSet {
+            n_features: self.n_features,
+            shard_starts: self.shard_starts.clone(),
+            shards: self.shards.clone(),
+            spill: self.spill.clone(),
+            cache: Mutex::new(ReloadCache {
+                entry: self.cache.lock().expect("reload cache poisoned").entry.clone(),
+            }),
+        }
+    }
+}
+
+impl Default for ShardedPointSet {
+    fn default() -> Self {
+        ShardedPointSet::new()
+    }
 }
 
 impl ShardedPointSet {
-    /// Empty set (zero shards, empty universe).
+    /// Empty set (zero shards, empty universe, no spill store).
     pub fn new() -> Self {
-        ShardedPointSet { shard_starts: vec![0], ..ShardedPointSet::default() }
+        ShardedPointSet {
+            n_features: 0,
+            // One boundary, zero shards — `len()` reads the last entry,
+            // so this must never be empty (Default delegates here).
+            shard_starts: vec![0],
+            shards: Vec::new(),
+            spill: None,
+            cache: Mutex::new(ReloadCache::default()),
+        }
     }
 
     /// Total number of points across all shards.
     pub fn len(&self) -> usize {
-        self.bits.len()
+        *self.shard_starts.last().expect("shard_starts is never empty")
     }
 
     /// True when no points have been pushed.
     pub fn is_empty(&self) -> bool {
-        self.bits.is_empty()
+        self.len() == 0
     }
 
     /// Number of shards pushed (empty shards count).
     pub fn n_shards(&self) -> usize {
-        self.shard_starts.len() - 1
+        self.shards.len()
     }
 
     /// Current feature-universe size (the widest push so far).
@@ -88,6 +178,200 @@ impl ShardedPointSet {
         self.shard_starts[s]..self.shard_starts[s + 1]
     }
 
+    /// Attach (or reconfigure) the out-of-core store: creates `dir` and
+    /// immediately enforces the budget over the existing shards. The set
+    /// works identically afterwards — reads against spilled shards reload
+    /// transparently.
+    pub fn set_spill(&mut self, config: SpillConfig) -> Result<(), SpillError> {
+        std::fs::create_dir_all(&config.dir)?;
+        self.spill = Some(config);
+        self.enforce_budget()
+    }
+
+    /// The active out-of-core policy, if any.
+    pub fn spill_config(&self) -> Option<&SpillConfig> {
+        self.spill.as_ref()
+    }
+
+    /// Bytes of shard payload currently resident (including the reload
+    /// cache). The eviction budget bounds this between appends; a bulk
+    /// merge over spilled shards transiently adds at most one shard.
+    pub fn resident_bytes(&self) -> usize {
+        let slots: usize = self.shards.iter().filter(|s| s.data.is_some()).map(|s| s.bytes).sum();
+        let cached = match &self.cache.lock().expect("reload cache poisoned").entry {
+            // A cache entry for a shard that is (still) resident would
+            // double-count, but the cache only ever holds spilled shards.
+            Some((s, _)) if self.shards[*s].data.is_none() => self.shards[*s].bytes,
+            _ => 0,
+        };
+        slots + cached
+    }
+
+    /// Number of shards whose payload is currently on disk only.
+    pub fn spilled_shards(&self) -> usize {
+        self.shards.iter().filter(|s| s.data.is_none()).count()
+    }
+
+    /// True when shard `s`'s payload is in memory.
+    ///
+    /// # Panics
+    /// Panics if `s` is out of range.
+    pub fn shard_is_resident(&self, s: usize) -> bool {
+        self.shards[s].data.is_some()
+    }
+
+    /// Write shard `s` to the store (first eviction only — the file is
+    /// reused afterwards) and drop its resident payload. Returns `false`
+    /// when the shard was already spilled.
+    ///
+    /// # Panics
+    /// Panics if `s` is out of range, or if no store was configured via
+    /// [`ShardedPointSet::set_spill`] and the shard has never been
+    /// written.
+    pub fn spill_shard(&mut self, s: usize) -> Result<bool, SpillError> {
+        let slot = &mut self.shards[s];
+        let Some(data) = slot.data.take() else { return Ok(false) };
+        if slot.path.is_none() {
+            let dir = &self
+                .spill
+                .as_ref()
+                .expect("configure a spill store (set_spill) before evicting shards")
+                .dir;
+            let seq = SPILL_FILE_SEQ.fetch_add(1, Ordering::Relaxed);
+            // pid + process-global sequence: unique across clones sharing
+            // the directory AND across concurrent processes pointed at
+            // the same store (either would otherwise overwrite the
+            // other's checksum-valid files).
+            let path = dir.join(format!("shard-{s:05}-{}-{seq:08x}.bin", std::process::id()));
+            if let Err(e) = spill::write_file(&path, &data) {
+                self.shards[s].data = Some(data); // eviction failed: keep it
+                return Err(e);
+            }
+            self.shards[s].path = Some(path);
+        }
+        Ok(true)
+    }
+
+    /// Force every shard to disk, including the pinned tail, and clear the
+    /// reload cache — afterwards `resident_bytes() == 0` and every read
+    /// reloads. Returns how many shards this call evicted.
+    ///
+    /// # Panics
+    /// Panics if no store was configured via
+    /// [`ShardedPointSet::set_spill`] and a shard has never been written
+    /// (same contract as [`ShardedPointSet::spill_shard`]).
+    pub fn spill_all(&mut self) -> Result<usize, SpillError> {
+        let mut evicted = 0;
+        for s in 0..self.shards.len() {
+            if self.spill_shard(s)? {
+                evicted += 1;
+            }
+        }
+        self.cache.lock().expect("reload cache poisoned").entry = None;
+        Ok(evicted)
+    }
+
+    /// Evict until the resident payload fits the budget: drop the reload
+    /// cache first (it is pure redundancy — the file already exists), then
+    /// spill resident shards oldest-first (= least recently appended;
+    /// merges touch every shard equally, so there is no finer per-shard
+    /// recency to act on). The newest shard is pinned — the streaming
+    /// close path reads it immediately — so the budget is honored
+    /// whenever it covers at least that one shard.
+    fn enforce_budget(&mut self) -> Result<(), SpillError> {
+        let Some(budget) = self.spill.as_ref().map(|c| c.resident_budget) else {
+            return Ok(());
+        };
+        if self.resident_bytes() > budget {
+            self.cache.lock().expect("reload cache poisoned").entry = None;
+        }
+        // One pass: track the remaining resident total and resume the
+        // oldest-first scan where it left off, instead of recomputing
+        // `resident_bytes()` (a full slot scan plus a lock) per eviction
+        // — bulk evictions are O(shards), not O(shards²).
+        let mut resident = self.resident_bytes();
+        let mut from = 0;
+        while resident > budget {
+            let pinned = self.shards.len().saturating_sub(1);
+            let candidate = self.shards[from..pinned.max(from)]
+                .iter()
+                .position(|slot| slot.data.is_some())
+                .map(|offset| from + offset);
+            let Some(s) = candidate else { break };
+            resident -= self.shards[s].bytes;
+            self.spill_shard(s)?;
+            from = s + 1;
+        }
+        Ok(())
+    }
+
+    /// Run `f` over shard `s`'s payload, reloading from the store when it
+    /// is spilled (through the single-slot cache).
+    fn try_with_shard<R>(
+        &self,
+        s: usize,
+        f: impl FnOnce(&ShardRecord) -> R,
+    ) -> Result<R, SpillError> {
+        let data = self.load_shard(s, true)?;
+        Ok(f(&data))
+    }
+
+    /// Infallible [`ShardedPointSet::try_with_shard`] for read paths whose
+    /// signatures predate the store.
+    ///
+    /// # Panics
+    /// Panics if a spilled shard cannot be reloaded (store deleted or
+    /// corrupted underneath the set).
+    fn with_shard<R>(&self, s: usize, f: impl FnOnce(&ShardRecord) -> R) -> R {
+        self.try_with_shard(s, f).unwrap_or_else(|e| self.reload_panic(s, e))
+    }
+
+    /// Panic for an infallible read path whose reload failed, naming the
+    /// shard's file — a store directory holds many pid/sequence-named
+    /// files, so the shard index alone would not say which one to
+    /// inspect or restore.
+    fn reload_panic(&self, s: usize, e: SpillError) -> ! {
+        panic!("reloading spilled shard {s} ({:?}) failed: {e}", self.shards[s].path)
+    }
+
+    /// Run `f` over shard `s`'s payload **without touching the reload
+    /// cache**: a cache hit is reused, but a miss loads transiently and
+    /// the payload drops when `f` returns. Bulk merges stream shards
+    /// through this, so a completed merge leaves `resident_bytes()`
+    /// exactly where it found it — the budget holds after a
+    /// `history_summary`-style read, not just after appends.
+    ///
+    /// # Panics
+    /// Panics if a spilled shard cannot be reloaded.
+    fn with_shard_transient<R>(&self, s: usize, f: impl FnOnce(&ShardRecord) -> R) -> R {
+        let data = self.load_shard(s, false).unwrap_or_else(|e| self.reload_panic(s, e));
+        f(&data)
+    }
+
+    /// The one reload path: shard `s`'s payload from memory, the reload
+    /// cache, or (last) the store — optionally caching a store miss. Both
+    /// the caching and transient read flavors fold through here, so the
+    /// reload invariants ("a spilled shard always has a file"; a
+    /// single-slot cache, only ever holding spilled shards) live in one
+    /// place.
+    fn load_shard(&self, s: usize, populate_cache: bool) -> Result<Arc<ShardRecord>, SpillError> {
+        if let Some(data) = &self.shards[s].data {
+            return Ok(data.clone());
+        }
+        let mut cache = self.cache.lock().expect("reload cache poisoned");
+        if let Some((cached, data)) = &cache.entry {
+            if *cached == s {
+                return Ok(data.clone());
+            }
+        }
+        let path = self.shards[s].path.as_ref().expect("a spilled shard always has a file");
+        let data = Arc::new(spill::read_file(path)?);
+        if populate_cache {
+            cache.entry = Some((s, data.clone()));
+        }
+        Ok(data)
+    }
+
     /// Append one shard of points over a universe of `n_features`,
     /// computing its internal triangle and its cross block against all
     /// earlier points. Cost: `O(w² + h·w)` popcounts for a shard of `w`
@@ -95,7 +379,10 @@ impl ShardedPointSet {
     ///
     /// # Panics
     /// Panics if `n_features` is smaller than a previous push's universe
-    /// (codebooks only grow), or if a vector sets a feature outside it.
+    /// (codebooks only grow), if a vector sets a feature outside it, or —
+    /// with a spill store attached — if the store fails
+    /// ([`ShardedPointSet::try_push_shard`] reports that as a typed error
+    /// instead).
     pub fn push_shard(&mut self, vectors: &[&QueryVector], n_features: usize) {
         self.push_shard_threads(vectors, n_features, par::threads());
     }
@@ -111,14 +398,40 @@ impl ShardedPointSet {
         n_features: usize,
         n_threads: usize,
     ) {
+        self.try_push_shard_threads(vectors, n_features, n_threads)
+            .unwrap_or_else(|e| panic!("shard spill store failed during append: {e}"));
+    }
+
+    /// Fallible [`ShardedPointSet::push_shard`]: appending against spilled
+    /// history reads the store (and may evict afterwards), and this
+    /// variant surfaces those failures as [`SpillError`]s.
+    ///
+    /// Error semantics: a failure while **reloading history** for the
+    /// cross block leaves the set untouched (safe to retry); a failure
+    /// while **evicting** afterwards means the append itself already
+    /// succeeded — check `len()` before retrying, or points double-append.
+    pub fn try_push_shard(
+        &mut self,
+        vectors: &[&QueryVector],
+        n_features: usize,
+    ) -> Result<(), SpillError> {
+        self.try_push_shard_threads(vectors, n_features, par::threads())
+    }
+
+    /// [`ShardedPointSet::try_push_shard`] with an explicit worker count.
+    pub fn try_push_shard_threads(
+        &mut self,
+        vectors: &[&QueryVector],
+        n_features: usize,
+        n_threads: usize,
+    ) -> Result<(), SpillError> {
         assert!(
             n_features >= self.n_features,
             "feature universe may only grow ({} < {})",
             n_features,
             self.n_features
         );
-        self.n_features = n_features;
-        let start = self.bits.len();
+        let start = self.len();
         let w = vectors.len();
         let new_bits: Vec<BitVec> =
             vectors.iter().map(|v| BitVec::from_query_vector(v, n_features)).collect();
@@ -139,27 +452,53 @@ impl ShardedPointSet {
             });
         }
 
-        // Cross block against the history: one row per earlier point.
-        // Earlier bitsets may be narrower (the universe grew); the padded
-        // xor zero-extends them, which preserves mismatch counts exactly.
+        // Cross block against the history: one row per earlier point,
+        // streamed one history shard at a time so spilled shards are
+        // reloaded once each (and dropped again — peak memory stays at
+        // the budget plus one shard). Earlier bitsets may be narrower
+        // (the universe grew); the padded xor zero-extends them, which
+        // preserves mismatch counts exactly.
         let mut cross = vec![0u32; start * w];
         if start > 0 && w > 0 {
-            let rows: Vec<(usize, &mut [u32])> = cross.chunks_mut(w).enumerate().collect();
-            let nt = if start * w < PARALLEL_MIN_CELLS { 1 } else { n_threads };
+            let mut rows = cross.chunks_mut(w).enumerate();
             let nb = &new_bits;
-            let history = &self.bits;
-            par::run_tasks(rows, nt, |(i, row)| {
-                let a = &history[i];
-                for (j, cell) in row.iter_mut().enumerate() {
-                    *cell = a.xor_count_padded(&nb[j]) as u32;
+            // Gate parallelism on the *total* cross size, not per shard:
+            // a long stream's history is many small shards, and per-shard
+            // gating would serialize the whole block even when start·w is
+            // huge. (Each shard still pays its own spawn round; the fill
+            // dominates once the total crosses the threshold.)
+            let nt = if start * w < PARALLEL_MIN_CELLS { 1 } else { n_threads };
+            for h in 0..self.shards.len() {
+                let hs = self.shard_starts[h];
+                let he = self.shard_starts[h + 1];
+                if he == hs {
+                    continue;
                 }
-            });
+                let shard_rows: Vec<(usize, &mut [u32])> = rows.by_ref().take(he - hs).collect();
+                self.try_with_shard(h, |data| {
+                    par::run_tasks(shard_rows, nt, |(i, row)| {
+                        let a = &data.bits[i - hs];
+                        for (j, cell) in row.iter_mut().enumerate() {
+                            *cell = a.xor_count_padded(&nb[j]) as u32;
+                        }
+                    });
+                })?;
+            }
         }
 
-        self.bits.extend(new_bits);
-        self.shard_starts.push(self.bits.len());
-        self.intra.push(intra);
-        self.cross.push(cross);
+        // The fallible cross-block reloads are done: only now may
+        // set-level state change, so an `Err` up to this point leaves the
+        // set exactly as it was — in particular the universe width, which
+        // every later distance read normalizes by. (The one later
+        // fallible step, `enforce_budget`, can still fail — but by then
+        // the append has succeeded, which is what its `Err` means; see
+        // `try_push_shard`'s docs.)
+        self.n_features = n_features;
+        let record = ShardRecord { n_features, start, intra, cross, bits: new_bits };
+        let bytes = record.payload_bytes();
+        self.shards.push(ShardSlot { data: Some(Arc::new(record)), path: None, bytes });
+        self.shard_starts.push(start + w);
+        self.enforce_budget()
     }
 
     /// Shard containing point `i` (the latest shard when empty shards
@@ -168,12 +507,14 @@ impl ShardedPointSet {
         self.shard_starts.partition_point(|&s| s <= i) - 1
     }
 
-    /// `|xᵢ ⊕ xⱼ|`, served from the precomputed shard buffers.
+    /// `|xᵢ ⊕ xⱼ|`, served from the precomputed shard buffers (reloading
+    /// a spilled shard if needed).
     ///
     /// # Panics
-    /// Panics if an index is out of range.
+    /// Panics if an index is out of range, or if a spilled shard cannot be
+    /// reloaded.
     pub fn mismatches(&self, i: usize, j: usize) -> usize {
-        let n = self.bits.len();
+        let n = self.len();
         assert!(i < n && j < n, "index ({i}, {j}) out of range {n}");
         if i == j {
             return 0;
@@ -182,13 +523,15 @@ impl ShardedPointSet {
         let s = self.shard_of(j);
         let start = self.shard_starts[s];
         let w = self.shard_starts[s + 1] - start;
-        if i >= start {
-            // Same shard: condensed triangle of shard s.
-            let (a, b) = (i - start, j - start);
-            self.intra[s][condensed_row_start(w, a) + (b - a - 1)] as usize
-        } else {
-            self.cross[s][i * w + (j - start)] as usize
-        }
+        self.with_shard(s, |data| {
+            if i >= start {
+                // Same shard: condensed triangle of shard s.
+                let (a, b) = (i - start, j - start);
+                data.intra[condensed_row_start(w, a) + (b - a - 1)] as usize
+            } else {
+                data.cross[i * w + (j - start)] as usize
+            }
+        })
     }
 
     /// Distance between points `i` and `j` under `metric`, normalized at
@@ -235,7 +578,8 @@ impl CondensedShards<'_> {
     /// contract as [`CondensedMatrix::get`].
     ///
     /// # Panics
-    /// Panics if an index is out of range.
+    /// Panics if an index is out of range, or if a spilled shard cannot be
+    /// reloaded.
     #[inline]
     pub fn get(&self, i: usize, j: usize) -> f64 {
         self.set.distance(i, j, self.metric)
@@ -243,44 +587,73 @@ impl CondensedShards<'_> {
 
     /// Materialize as a [`CondensedMatrix`], filling rows in parallel.
     ///
-    /// Merged row `i` is a concatenation of **contiguous** source runs —
-    /// the suffix of point `i`'s row in its own shard's triangle, then one
-    /// cross-block row per later shard — so materialization is a straight
-    /// metric fold over slices, with no per-cell shard lookup.
+    /// The merge streams **one shard at a time**: shard `t` owns a
+    /// contiguous segment of every merged row it touches — the suffix of
+    /// its own points' intra rows, plus one `w_t`-wide run in each earlier
+    /// point's row (its cross block) — and merged rows are consumed left
+    /// to right as `t` ascends, so each segment is split off and filled
+    /// exactly once, in parallel, with no per-cell shard lookup. Spilled
+    /// shards are reloaded for their turn and dropped again, so
+    /// materializing over a spilled history holds at most one shard's
+    /// payload beyond the resident budget.
+    ///
+    /// # Panics
+    /// Panics if a spilled shard cannot be reloaded.
     pub fn to_condensed(&self) -> CondensedMatrix {
-        let n = self.set.len();
+        let set = self.set;
+        let n = set.len();
         let mut cm = CondensedMatrix::zeros(n);
         if n < 2 {
             return cm;
         }
-        let rows = par::triangle_rows(cm.data_mut(), n);
-        let n_threads = if n < PARALLEL_MIN_POINTS { 1 } else { par::threads() };
-        let set = self.set;
         let metric = self.metric;
         let nf = set.n_features;
-        par::run_tasks(rows, n_threads, |(i, row)| {
-            let s = set.shard_of(i);
-            let start = set.shard_starts[s];
-            let w = set.shard_starts[s + 1] - start;
-            let a = i - start;
-            // Cells (i, i+1..shard_end): the tail of row `a` in shard s's
-            // condensed triangle.
-            let intra_run = &set.intra[s][condensed_row_start(w, a)..][..w - 1 - a];
-            let mut out = 0;
-            for &d in intra_run {
-                row[out] = metric.of_mismatches(d as usize, nf);
-                out += 1;
+        let n_threads = par::threads();
+        // Each merged row, progressively consumed: rest[i] holds the not-
+        // yet-filled tail of row i.
+        let mut rest: Vec<&mut [f64]> =
+            par::triangle_rows(cm.data_mut(), n).into_iter().map(|(_, row)| row).collect();
+        for t in 0..set.shards.len() {
+            let ts = set.shard_starts[t];
+            let te = set.shard_starts[t + 1];
+            let wt = te - ts;
+            if wt == 0 {
+                continue;
             }
-            // Cells (i, shard t): row `i` of each later shard's cross block.
-            for t in s + 1..set.n_shards() {
-                let wt = set.shard_starts[t + 1] - set.shard_starts[t];
-                for &d in &set.cross[t][i * wt..][..wt] {
-                    row[out] = metric.of_mismatches(d as usize, nf);
-                    out += 1;
+            set.with_shard_transient(t, |data| {
+                let mut tasks: Vec<(usize, &mut [f64])> = Vec::with_capacity(te);
+                let mut cells = 0usize;
+                for (i, slot) in rest.iter_mut().enumerate().take(te) {
+                    // Rows of shard t's own points still need their intra
+                    // suffix; every earlier row needs t's cross run.
+                    let seg_len = if i >= ts { te - i - 1 } else { wt };
+                    if seg_len == 0 {
+                        continue;
+                    }
+                    let (seg, tail) = std::mem::take(slot).split_at_mut(seg_len);
+                    *slot = tail;
+                    cells += seg_len;
+                    tasks.push((i, seg));
                 }
-            }
-            debug_assert_eq!(out, row.len());
-        });
+                // Fan out per shard, by this shard's own cell count — a
+                // history of many small shards fills serially instead of
+                // paying a scoped spawn/join round per shard.
+                let nt = if cells < PARALLEL_MIN_CELLS { 1 } else { n_threads };
+                par::run_tasks(tasks, nt, |(i, seg)| {
+                    let run: &[u32] = if i >= ts {
+                        let a = i - ts;
+                        &data.intra[condensed_row_start(wt, a)..][..wt - 1 - a]
+                    } else {
+                        &data.cross[i * wt..][..wt]
+                    };
+                    debug_assert_eq!(seg.len(), run.len());
+                    for (cell, &d) in seg.iter_mut().zip(run) {
+                        *cell = metric.of_mismatches(d as usize, nf);
+                    }
+                });
+            });
+        }
+        debug_assert!(rest.iter().all(|r| r.is_empty()), "merge left unfilled cells");
         cm
     }
 }
@@ -289,6 +662,7 @@ impl CondensedShards<'_> {
 mod tests {
     use super::*;
     use crate::pointset::PointSet;
+    use crate::testutil::TempStore;
     use logr_feature::FeatureId;
 
     fn qv(ids: &[u32]) -> QueryVector {
@@ -434,6 +808,13 @@ mod tests {
 
     #[test]
     fn degenerate_sizes() {
+        // Regression: `default()` must be the same valid empty set as
+        // `new()` (an earlier cut derived Default with an empty
+        // `shard_starts`, which panicked on first use).
+        let defaulted = ShardedPointSet::default();
+        assert!(defaulted.is_empty());
+        assert_eq!(defaulted.condensed(Distance::Hamming).n(), 0);
+
         let empty = ShardedPointSet::new();
         assert!(empty.is_empty());
         assert_eq!(empty.n_shards(), 0);
@@ -447,5 +828,182 @@ mod tests {
         let cm = one.condensed(Distance::Manhattan);
         assert_eq!(cm.n(), 1);
         assert_eq!(cm.get(0, 0), 0.0);
+    }
+
+    #[test]
+    fn budget_evicts_oldest_and_pins_the_tail() {
+        let store = TempStore::new("budget");
+        let vs: Vec<QueryVector> = (0..60u32).map(|i| qv(&[i % 16, (i * 3) % 16])).collect();
+        let refs: Vec<&QueryVector> = vs.iter().collect();
+        let mut sharded = ShardedPointSet::new();
+        sharded
+            .set_spill(SpillConfig { dir: store.path().to_path_buf(), resident_budget: 0 })
+            .unwrap();
+        for chunk in refs.chunks(10) {
+            sharded.push_shard(chunk, 16);
+            // Budget 0: everything but the pinned tail is spilled, and the
+            // tail is always the newest shard.
+            let n = sharded.n_shards();
+            assert!(sharded.shard_is_resident(n - 1), "hot tail must stay resident");
+            assert_eq!(sharded.spilled_shards(), n - 1);
+        }
+        // The resident payload is exactly the tail's.
+        assert!(sharded.resident_bytes() > 0);
+        // Reads against spilled shards reload transparently and agree with
+        // the monolithic build.
+        let monolithic = PointSet::from_vectors(&refs, 16);
+        assert_eq!(
+            sharded.condensed(Distance::Hamming).as_slice(),
+            monolithic.distances(Distance::Hamming).as_slice()
+        );
+        assert_eq!(sharded.mismatches(0, 59), monolithic.mismatches(0, 59));
+    }
+
+    #[test]
+    fn spill_all_forces_every_shard_out_and_back() {
+        let store = TempStore::new("all");
+        let vs = sample();
+        let refs: Vec<&QueryVector> = vs.iter().collect();
+        let mut resident = ShardedPointSet::new();
+        let mut spilled = ShardedPointSet::new();
+        spilled
+            .set_spill(SpillConfig { dir: store.path().to_path_buf(), resident_budget: usize::MAX })
+            .unwrap();
+        for chunk in refs.chunks(2) {
+            resident.push_shard(chunk, 80);
+            spilled.push_shard(chunk, 80);
+        }
+        assert_eq!(spilled.spilled_shards(), 0, "unbounded budget spills nothing");
+        let evicted = spilled.spill_all().unwrap();
+        assert_eq!(evicted, spilled.n_shards());
+        assert_eq!(spilled.resident_bytes(), 0);
+        for metric in all_metrics() {
+            assert_eq!(
+                spilled.condensed(metric).as_slice(),
+                resident.condensed(metric).as_slice(),
+                "{metric:?}"
+            );
+        }
+        // Bulk merges stream shards transiently: after six full merges
+        // nothing is pinned — the budget holds across reads, not just
+        // appends.
+        assert_eq!(spilled.resident_bytes(), 0, "a merge must not populate the cache");
+        // Point reads reload through the cache; re-evicting afterwards is
+        // free (the files already exist).
+        assert_eq!(spilled.mismatches(1, 6), resident.mismatches(1, 6));
+        assert!(spilled.resident_bytes() > 0, "point read populated the reload cache");
+        let again = spilled.spill_all().unwrap();
+        assert_eq!(again, 0, "payloads were already on disk; only the cache cleared");
+        assert_eq!(spilled.resident_bytes(), 0);
+    }
+
+    #[test]
+    fn pushing_against_spilled_history_matches_resident_push() {
+        let store = TempStore::new("push");
+        // Enough points per shard to exercise real cross blocks.
+        let vs: Vec<QueryVector> =
+            (0..200u32).map(|i| qv(&[i % 24, (i * 5) % 24, (i * 11) % 24])).collect();
+        let refs: Vec<&QueryVector> = vs.iter().collect();
+        let mut resident = ShardedPointSet::new();
+        let mut spilled = ShardedPointSet::new();
+        spilled
+            .set_spill(SpillConfig { dir: store.path().to_path_buf(), resident_budget: 0 })
+            .unwrap();
+        for chunk in refs.chunks(40) {
+            resident.push_shard(chunk, 24);
+            spilled.push_shard(chunk, 24); // cross block reloads history shards
+        }
+        assert_eq!(spilled.spilled_shards(), spilled.n_shards() - 1);
+        assert_eq!(
+            spilled.condensed(Distance::Canberra).as_slice(),
+            resident.condensed(Distance::Canberra).as_slice()
+        );
+    }
+
+    #[test]
+    fn failed_push_does_not_widen_the_universe() {
+        // Regression: a push that dies reloading spilled history (here:
+        // the store vanishes underneath the set) must leave the set
+        // exactly as it was — in particular `n_features`, which every
+        // later read normalizes distances by. The buggy version widened
+        // the universe before the fallible reload, silently shrinking
+        // all Hamming/Canberra distances after a handled error.
+        let store = TempStore::new("rollback");
+        let vs = sample();
+        let refs: Vec<&QueryVector> = vs.iter().collect();
+        let mut sharded = ShardedPointSet::new();
+        sharded
+            .set_spill(SpillConfig { dir: store.path().to_path_buf(), resident_budget: 0 })
+            .unwrap();
+        sharded.push_shard(&refs[..3], 80);
+        sharded.push_shard(&refs[3..5], 80); // spills shard 0
+        assert_eq!(sharded.spilled_shards(), 1);
+        let before = sharded.condensed(Distance::Hamming);
+        for entry in std::fs::read_dir(store.path()).unwrap() {
+            std::fs::remove_file(entry.unwrap().path()).unwrap();
+        }
+        sharded.cache.lock().unwrap().entry = None; // drop the reload cache
+        let err = sharded.try_push_shard(&refs[5..], 120).unwrap_err();
+        assert!(matches!(err, SpillError::Io(_)), "{err}");
+        assert_eq!(sharded.n_features(), 80, "failed push must not widen the universe");
+        assert_eq!(sharded.len(), 5, "failed push must not append points");
+        // Resident reads (shard 1 + the pinned tail) still normalize at
+        // the original width.
+        assert_eq!(sharded.distance(3, 4, Distance::Hamming), before.get(3, 4));
+    }
+
+    #[test]
+    fn clones_share_the_store_without_colliding() {
+        let store = TempStore::new("clone");
+        let vs = sample();
+        let refs: Vec<&QueryVector> = vs.iter().collect();
+        let mut base = ShardedPointSet::new();
+        base.set_spill(SpillConfig { dir: store.path().to_path_buf(), resident_budget: 0 })
+            .unwrap();
+        base.push_shard(&refs[..4], 80);
+        let mut a = base.clone();
+        let mut b = base.clone();
+        // Both clones append shard #1 and spill it into the shared
+        // directory; the global name sequence keeps the files distinct.
+        a.push_shard(&refs[4..6], 80);
+        b.push_shard(&refs[4..], 80);
+        a.spill_all().unwrap();
+        b.spill_all().unwrap();
+        assert_eq!(a.len(), 6);
+        assert_eq!(b.len(), 7);
+        let mono_a = PointSet::from_vectors(&refs[..6], 80);
+        assert_eq!(
+            a.condensed(Distance::Hamming).as_slice(),
+            mono_a.distances(Distance::Hamming).as_slice()
+        );
+        let mono_b = PointSet::from_vectors(&refs, 80);
+        assert_eq!(
+            b.condensed(Distance::Hamming).as_slice(),
+            mono_b.distances(Distance::Hamming).as_slice()
+        );
+    }
+
+    #[test]
+    fn store_failure_is_a_typed_error_not_a_corrupt_set() {
+        let store = TempStore::new("fail");
+        let vs = sample();
+        let refs: Vec<&QueryVector> = vs.iter().collect();
+        let mut sharded = ShardedPointSet::new();
+        sharded
+            .set_spill(SpillConfig { dir: store.path().to_path_buf(), resident_budget: 0 })
+            .unwrap();
+        sharded.push_shard(&refs[..3], 80);
+        // Point the store at a dead directory: the next eviction fails
+        // with a typed error and the shard stays resident (no data loss).
+        sharded.spill = Some(SpillConfig { dir: store.join("no/such/dir"), resident_budget: 0 });
+        let err = sharded.try_push_shard(&refs[3..], 80).unwrap_err();
+        assert!(matches!(err, SpillError::Io(_)), "{err}");
+        assert_eq!(sharded.len(), refs.len(), "the append itself succeeded");
+        assert_eq!(sharded.spilled_shards(), 0, "the failed eviction restored the payload");
+        let monolithic = PointSet::from_vectors(&refs, 80);
+        assert_eq!(
+            sharded.condensed(Distance::Hamming).as_slice(),
+            monolithic.distances(Distance::Hamming).as_slice()
+        );
     }
 }

@@ -1,5 +1,5 @@
 //! Streaming window summarization (paper §2/§5 "Online Database
-//! Monitoring", made incremental).
+//! Monitoring", made incremental — and, since PR 3, bounded-memory).
 //!
 //! [`StreamSummarizer`] ingests a live query stream one statement at a
 //! time and turns it into a sequence of per-window artifacts instead of
@@ -17,11 +17,11 @@
 //!
 //! # Window semantics
 //!
-//! Windows are **count-based** and multiplicity-weighted: a window closes
-//! once at least [`StreamConfig::window`] queries (not statements — an
-//! `ingest_with_count(sql, 500)` contributes 500) have accumulated, at a
-//! statement boundary (a single ingest call is atomic, so a window may
-//! overshoot by the last statement's multiplicity).
+//! Windows are **count-based** by default and multiplicity-weighted: a
+//! window closes once at least [`StreamConfig::window`] queries (not
+//! statements — an `ingest_with_count(sql, 500)` contributes 500) have
+//! accumulated, at a statement boundary (a single ingest call is atomic,
+//! so a window may overshoot by the last statement's multiplicity).
 //!
 //! * **Tumbling** (`slide: None`): consecutive windows partition the
 //!   stream; the buffer resets on close.
@@ -30,9 +30,57 @@
 //!   recent `≥ window` queries (trimmed at statement granularity), so
 //!   consecutive windows overlap by `window − s`.
 //!
+//! Setting [`StreamConfig::time`] switches boundaries to **wall-clock
+//! time** ([`TimeWindows`]; the count fields are then ignored): a window
+//! closes when a statement arrives at or past the scheduled boundary —
+//! the arriving statement belongs to the *next* window — and a sliding
+//! window spans the half-open interval `[boundary − window_ms,
+//! boundary)`, trimmed at statement granularity by timestamp. Boundaries
+//! advance on a fixed grid anchored at the first statement's timestamp,
+//! and closes are statement-driven: **at most one window closes per
+//! arriving statement**. When an idle gap spans several scheduled
+//! boundaries, the buffered queries are summarized once, at the first
+//! elapsed boundary, and the grid then skips to the first boundary past
+//! the arrival — the intermediate windows (including, for sliding
+//! windows, ones that would have re-spanned part of the buffer) emit
+//! nothing. Timestamps come from [`StreamSummarizer::ingest_at_ms`]
+//! (tests inject a synthetic clock this way); the plain
+//! [`StreamSummarizer::ingest`] front end stamps statements with the
+//! system clock. Non-monotonic timestamps are clamped forward: a late
+//! arrival is treated as landing now.
+//!
 //! Only the *unseen* suffix of the stream (the queries since the previous
 //! close) is absorbed into the long-running history, so sliding windows
 //! never double-count.
+//!
+//! # Parse caching across sliding closes
+//!
+//! A sliding close re-summarizes its overlap with the previous window.
+//! Statements are therefore featurized through a per-statement cache of
+//! their anonymized conjunctive branches
+//! ([`logr_feature::anonymized_branches`]): a statement is parsed once
+//! when first summarized and replayed from the cache for every later
+//! close that still spans it, so a sliding window's parse cost is
+//! proportional to the *stride*, not the window. The cache is reference-
+//! counted by buffer membership (entries leave with the statements that
+//! carried them), so it is bounded by the live window — and
+//! [`StreamSummarizer::statements_parsed`] exposes the instrumented
+//! parse counter the regression tests pin.
+//!
+//! # Bounded memory (out-of-core history shards)
+//!
+//! The history's per-shard mismatch buffers grow quadratically with the
+//! distinct-query count, so an unbounded run eventually cannot keep them
+//! all resident. [`StreamSummarizer::spill_to`] attaches the persistent
+//! shard store (`logr-cluster::spill`) with a resident-byte budget:
+//! after every window close, the oldest closed shards are
+//! evicted to disk and reload transparently when
+//! [`StreamSummarizer::history_summary`] (or any distance read) needs
+//! them. Window summaries, drift reports, and history summaries are
+//! **bit-identical** to an unbounded run — the store holds integer
+//! mismatch counts and bit-packed points, never floats — and
+//! [`StreamSummarizer::resident_shard_bytes`] stays within the budget
+//! between closes (bulk merges transiently add at most one shard).
 //!
 //! # Baseline rotation policy
 //!
@@ -60,17 +108,33 @@
 
 use crate::compress::{CompressionObjective, LogR, LogRConfig, LogRSummary};
 use crate::drift::{feature_drift, novelty_scores, DriftReport};
-use logr_cluster::{ClusterMethod, Distance, PointSet, ShardedPointSet};
-use logr_feature::{LogIngest, QueryLog, QueryVector};
-use std::collections::VecDeque;
+use logr_cluster::{ClusterMethod, Distance, PointSet, ShardedPointSet, SpillConfig, SpillError};
+use logr_feature::{anonymized_branches, ConjunctiveQuery, QueryLog, QueryVector};
+use std::collections::{HashMap, VecDeque};
+use std::path::PathBuf;
+
+/// Wall-clock window boundaries (milliseconds).
+#[derive(Debug, Clone, Copy)]
+pub struct TimeWindows {
+    /// Window span in milliseconds.
+    pub window_ms: u64,
+    /// `None` for tumbling windows; `Some(s)` slides the boundary by `s`
+    /// milliseconds (the window still spans `window_ms`).
+    pub slide_ms: Option<u64>,
+}
 
 /// Streaming summarization configuration.
 #[derive(Debug, Clone, Copy)]
 pub struct StreamConfig {
-    /// Queries per window (multiplicity-weighted).
+    /// Queries per window (multiplicity-weighted). Ignored when `time` is
+    /// set.
     pub window: u64,
     /// `None` for tumbling windows; `Some(s)` slides by `s` queries.
+    /// Ignored when `time` is set.
     pub slide: Option<u64>,
+    /// `Some` switches window boundaries from query counts to wall-clock
+    /// time (see the module docs).
+    pub time: Option<TimeWindows>,
     /// How many recent closed windows form the drift baseline (≥ 1).
     pub baseline_windows: usize,
     /// Clusters per window summary (and for history summaries).
@@ -88,6 +152,7 @@ impl Default for StreamConfig {
         StreamConfig {
             window: 256,
             slide: None,
+            time: None,
             baseline_windows: 4,
             k: 4,
             metric: Distance::Hamming,
@@ -112,6 +177,10 @@ pub struct WindowSummary {
     /// Distinct queries never seen in any earlier window — the size of the
     /// shard this window appended to the history.
     pub new_distinct: usize,
+    /// The boundary timestamp that closed a time-based window
+    /// (milliseconds; the window spans `[closed_at_ms − window_ms,
+    /// closed_at_ms)`). `None` for count-based windows.
+    pub closed_at_ms: Option<u64>,
     /// The window's feature log (own codebook).
     pub log: QueryLog,
     /// Pattern mixture summary of the window.
@@ -134,12 +203,22 @@ impl WindowSummary {
     }
 }
 
+/// Cached featurization of one distinct statement: its anonymized
+/// conjunctive branches, parsed lazily at first summarization, plus a
+/// reference count of how many live buffer/pending entries carry it.
+#[derive(Debug, Default)]
+struct CacheSlot {
+    branches: Option<Vec<ConjunctiveQuery>>,
+    refs: usize,
+}
+
 /// Incremental summarizer over a stream of SQL statements.
 #[derive(Debug)]
 pub struct StreamSummarizer {
     config: StreamConfig,
-    /// Statements in the current window scope (sliding keeps the overlap).
-    buffer: VecDeque<(String, u64)>,
+    /// Statements in the current window scope (sliding keeps the overlap),
+    /// with multiplicity and arrival timestamp (ms; 0 in count mode).
+    buffer: VecDeque<(String, u64, u64)>,
     /// Multiplicity-weighted total of `buffer`.
     buffer_total: u64,
     /// Queries since the last close (tumbling: equals `buffer_total`).
@@ -151,6 +230,16 @@ pub struct StreamSummarizer {
     /// statement covers the whole window, and history absorption must
     /// never lose statements.
     pending: Vec<(String, u64)>,
+    /// Per-statement featurization cache (see the module docs).
+    cache: HashMap<String, CacheSlot>,
+    /// Statements actually parsed (cache misses) — the instrumented
+    /// counter behind [`StreamSummarizer::statements_parsed`].
+    parses: u64,
+    /// Next scheduled time boundary (time mode; `None` until the first
+    /// statement anchors the grid).
+    next_close_ms: Option<u64>,
+    /// Largest timestamp seen (time mode's monotonic clamp).
+    last_ts_ms: u64,
     windows_closed: usize,
     /// Rotation backing the baseline: each closed stride's log with its
     /// offered-query count (parseable or not — exclusion spans are
@@ -168,13 +257,25 @@ impl StreamSummarizer {
     /// New summarizer.
     ///
     /// # Panics
-    /// Panics if `window == 0`, `slide == Some(0)`, `slide > window`,
-    /// `baseline_windows == 0`, or `k == 0`.
+    /// Panics if `window == 0`, `slide == Some(0)`, `slide > window`
+    /// (likewise for the `time` fields), `baseline_windows == 0`, or
+    /// `k == 0`.
     pub fn new(config: StreamConfig) -> Self {
-        assert!(config.window > 0, "window must be positive");
-        if let Some(s) = config.slide {
-            assert!(s > 0, "slide must be positive");
-            assert!(s <= config.window, "slide must not exceed the window");
+        match config.time {
+            Some(t) => {
+                assert!(t.window_ms > 0, "time window must be positive");
+                if let Some(s) = t.slide_ms {
+                    assert!(s > 0, "time slide must be positive");
+                    assert!(s <= t.window_ms, "time slide must not exceed the window");
+                }
+            }
+            None => {
+                assert!(config.window > 0, "window must be positive");
+                if let Some(s) = config.slide {
+                    assert!(s > 0, "slide must be positive");
+                    assert!(s <= config.window, "slide must not exceed the window");
+                }
+            }
         }
         assert!(config.baseline_windows > 0, "baseline_windows must be positive");
         assert!(config.k > 0, "k must be positive");
@@ -184,6 +285,10 @@ impl StreamSummarizer {
             buffer_total: 0,
             since_close: 0,
             pending: Vec::new(),
+            cache: HashMap::new(),
+            parses: 0,
+            next_close_ms: None,
+            last_ts_ms: 0,
             windows_closed: 0,
             baseline_logs: VecDeque::new(),
             baseline: QueryLog::new(),
@@ -214,30 +319,62 @@ impl StreamSummarizer {
         &self.history
     }
 
+    /// The sharded history matrix (for store diagnostics; summaries go
+    /// through [`StreamSummarizer::history_summary`]).
+    pub fn shard_store(&self) -> &ShardedPointSet {
+        &self.shards
+    }
+
     /// Queries buffered toward the next window close.
     pub fn buffered_queries(&self) -> u64 {
         self.since_close
     }
 
+    /// Statements parsed so far (cache misses — repeats and sliding
+    /// overlaps replay cached branches instead of re-parsing).
+    pub fn statements_parsed(&self) -> u64 {
+        self.parses
+    }
+
+    /// Bound resident memory: spill closed history shards to `dir` in the
+    /// `logr-cluster::spill` format, keeping at most `resident_budget`
+    /// payload bytes in memory (the newest shard is pinned; see
+    /// [`ShardedPointSet::set_spill`]). Summaries are bit-identical to an
+    /// unbounded run. Can be called before or during a stream.
+    pub fn spill_to(
+        &mut self,
+        dir: impl Into<PathBuf>,
+        resident_budget: usize,
+    ) -> Result<(), SpillError> {
+        self.shards.set_spill(SpillConfig { dir: dir.into(), resident_budget })
+    }
+
+    /// Resident history-shard payload bytes (see
+    /// [`ShardedPointSet::resident_bytes`]).
+    pub fn resident_shard_bytes(&self) -> usize {
+        self.shards.resident_bytes()
+    }
+
+    /// History shards currently on disk only.
+    pub fn spilled_shards(&self) -> usize {
+        self.shards.spilled_shards()
+    }
+
+    /// True when windows slide (count- or time-based).
+    fn is_sliding(&self) -> bool {
+        match self.config.time {
+            Some(t) => t.slide_ms.is_some(),
+            None => self.config.slide.is_some(),
+        }
+    }
+
     /// Ingest one statement occurring `count` times. Returns the closed
-    /// window's artifacts when this statement completes a window.
+    /// window's artifacts when this statement completes a window. In time
+    /// mode the statement is stamped with the system clock; use
+    /// [`StreamSummarizer::ingest_at_ms`] to supply timestamps.
     pub fn ingest_with_count(&mut self, sql: &str, count: u64) -> Option<WindowSummary> {
-        if count == 0 {
-            return None;
-        }
-        self.buffer.push_back((sql.to_string(), count));
-        self.buffer_total += count;
-        self.since_close += count;
-        if self.config.slide.is_some() {
-            // Sliding only: the unseen stride differs from the (overlapping)
-            // window buffer. Tumbling absorbs the window log itself.
-            self.pending.push((sql.to_string(), count));
-        }
-        let due = match self.config.slide {
-            None => self.since_close >= self.config.window,
-            Some(slide) => self.buffer_total >= self.config.window && self.since_close >= slide,
-        };
-        due.then(|| self.close_window())
+        let ts = if self.config.time.is_some() { Self::wall_clock_ms() } else { 0 };
+        self.ingest_at_ms(sql, count, ts)
     }
 
     /// Ingest one statement (multiplicity 1).
@@ -245,17 +382,79 @@ impl StreamSummarizer {
         self.ingest_with_count(sql, 1)
     }
 
+    /// Ingest one statement occurring `count` times at timestamp `ts_ms`
+    /// (milliseconds on any monotone clock — tests drive a synthetic
+    /// one). In time mode, a statement at or past the scheduled boundary
+    /// first closes the elapsed window (the statement itself lands in the
+    /// next one); in count mode the timestamp is recorded but boundaries
+    /// stay count-driven.
+    pub fn ingest_at_ms(&mut self, sql: &str, count: u64, ts_ms: u64) -> Option<WindowSummary> {
+        if count == 0 {
+            return None;
+        }
+        self.last_ts_ms = self.last_ts_ms.max(ts_ms);
+        let ts = self.last_ts_ms;
+
+        let mut closed = None;
+        if let Some(tw) = self.config.time {
+            match self.next_close_ms {
+                // First statement anchors the boundary grid.
+                None => self.next_close_ms = Some(ts.saturating_add(tw.window_ms)),
+                Some(boundary) if ts >= boundary => {
+                    if self.since_close > 0 {
+                        closed = Some(self.close_window(Some(boundary)));
+                    }
+                    // Advance on the fixed grid past the arrival: a gap's
+                    // elapsed windows collapse into the close above (one
+                    // close per arriving statement, by contract). Computed
+                    // arithmetically — a loop would spin O(gap / step)
+                    // per arrival, and never terminate at ts = u64::MAX.
+                    let step = tw.slide_ms.unwrap_or(tw.window_ms);
+                    let skipped = ((ts - boundary) / step).saturating_add(1);
+                    self.next_close_ms =
+                        Some(boundary.saturating_add(step.saturating_mul(skipped)));
+                }
+                Some(_) => {}
+            }
+        }
+
+        self.cache_acquire(sql);
+        self.buffer.push_back((sql.to_string(), count, ts));
+        self.buffer_total += count;
+        self.since_close += count;
+        if self.is_sliding() {
+            // Sliding only: the unseen stride differs from the (overlapping)
+            // window buffer. Tumbling absorbs the window log itself.
+            self.cache_acquire(sql);
+            self.pending.push((sql.to_string(), count));
+        }
+
+        if self.config.time.is_none() {
+            let due = match self.config.slide {
+                None => self.since_close >= self.config.window,
+                Some(slide) => self.buffer_total >= self.config.window && self.since_close >= slide,
+            };
+            if due {
+                return Some(self.close_window(None));
+            }
+        }
+        closed
+    }
+
     /// Close a partial window (end of stream / forced checkpoint).
-    /// `None` when nothing has arrived since the last close.
+    /// `None` when nothing has arrived since the last close. Time mode
+    /// closes at "now" — just past the last seen timestamp.
     pub fn flush(&mut self) -> Option<WindowSummary> {
-        (self.since_close > 0).then(|| self.close_window())
+        let boundary = self.config.time.map(|_| self.last_ts_ms.saturating_add(1));
+        (self.since_close > 0).then(|| self.close_window(boundary))
     }
 
     /// Pattern mixture summary of **everything seen so far**, clustered
     /// over the sharded history's merged condensed matrix — one
     /// `k`-mixture for the whole stream at the cost of a dendrogram build,
-    /// with zero recomputed distances. `None` before any distinct query
-    /// has been absorbed.
+    /// with zero recomputed distances (spilled shards stream through the
+    /// merge one at a time). `None` before any distinct query has been
+    /// absorbed.
     pub fn history_summary(&self) -> Option<LogRSummary> {
         if self.history.distinct_count() == 0 {
             return None;
@@ -273,29 +472,110 @@ impl StreamSummarizer {
         })
     }
 
-    fn ingest_statements<'a>(statements: impl IntoIterator<Item = &'a (String, u64)>) -> QueryLog {
-        let mut ingest = LogIngest::new();
-        for (sql, count) in statements {
-            ingest.ingest_with_count(sql, *count);
-        }
-        ingest.finish().0
+    fn wall_clock_ms() -> u64 {
+        std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .map(|d| d.as_millis() as u64)
+            .unwrap_or(0)
     }
 
-    fn close_window(&mut self) -> WindowSummary {
-        let window_queries = self.since_close;
-        if self.config.slide.is_some() {
-            // Trim to the most recent ≥ window queries before summarizing
-            // (statement granularity: pop whole statements while the
-            // remainder still covers a full window).
-            while let Some(&(_, front)) = self.buffer.front() {
-                if self.buffer_total - front < self.config.window {
-                    break;
-                }
-                self.buffer_total -= front;
-                self.buffer.pop_front();
+    /// Take a reference on `sql`'s cache slot (parse stays lazy). The
+    /// repeat path avoids `HashMap::entry` — it would clone the SQL text
+    /// on every ingest just to probe for a key that already exists.
+    fn cache_acquire(&mut self, sql: &str) {
+        if let Some(slot) = self.cache.get_mut(sql) {
+            slot.refs += 1;
+        } else {
+            self.cache.insert(sql.to_string(), CacheSlot { branches: None, refs: 1 });
+        }
+    }
+
+    /// Drop a reference; the slot (and its parsed branches) leaves the
+    /// cache with its last carrier, keeping the cache bounded by the live
+    /// window.
+    fn cache_release(&mut self, sql: &str) {
+        if let Some(slot) = self.cache.get_mut(sql) {
+            slot.refs = slot.refs.saturating_sub(1);
+            if slot.refs == 0 {
+                self.cache.remove(sql);
             }
         }
-        let window_log = Self::ingest_statements(self.buffer.iter());
+    }
+
+    /// Featurize statements into a fresh log, replaying cached branches
+    /// and parsing (once) on miss — produces the log `LogIngest` would,
+    /// bit for bit (`logr_feature::anonymized_branches` is the factored
+    /// statement half of ingestion; equality is regression-tested).
+    fn cached_log<'a>(
+        cache: &mut HashMap<String, CacheSlot>,
+        parses: &mut u64,
+        statements: impl Iterator<Item = (&'a str, u64)>,
+    ) -> QueryLog {
+        let mut log = QueryLog::new();
+        for (sql, count) in statements {
+            let fallback;
+            let branches: &[ConjunctiveQuery] = match cache.get_mut(sql) {
+                Some(slot) => slot.branches.get_or_insert_with(|| {
+                    *parses += 1;
+                    anonymized_branches(sql)
+                }),
+                // Unreachable from the summarizer (every summarized
+                // statement holds a cache reference), but harmless: parse
+                // without caching.
+                None => {
+                    *parses += 1;
+                    fallback = anonymized_branches(sql);
+                    &fallback
+                }
+            };
+            for branch in branches {
+                log.add_conjunctive(branch, count);
+            }
+        }
+        log
+    }
+
+    /// Close the current window at `boundary` (time mode's scheduled
+    /// boundary; `None` for count mode / count flush).
+    fn close_window(&mut self, boundary: Option<u64>) -> WindowSummary {
+        let window_queries = self.since_close;
+        if self.is_sliding() {
+            // Trim to the window span before summarizing, at statement
+            // granularity. Count mode: pop whole statements while the
+            // remainder still covers a full window. Time mode: pop
+            // statements that fell out of `[boundary − window_ms,
+            // boundary)`.
+            match self.config.time {
+                None => {
+                    while let Some(&(_, front, _)) = self.buffer.front() {
+                        if self.buffer_total - front < self.config.window {
+                            break;
+                        }
+                        self.buffer_total -= front;
+                        let (sql, _, _) = self.buffer.pop_front().expect("front exists");
+                        self.cache_release(&sql);
+                    }
+                }
+                Some(tw) => {
+                    let horizon = boundary
+                        .expect("time closes carry a boundary")
+                        .saturating_sub(tw.window_ms);
+                    while let Some(&(_, front, front_ts)) = self.buffer.front() {
+                        if front_ts >= horizon {
+                            break;
+                        }
+                        self.buffer_total -= front;
+                        let (sql, _, _) = self.buffer.pop_front().expect("front exists");
+                        self.cache_release(&sql);
+                    }
+                }
+            }
+        }
+        let window_log = Self::cached_log(
+            &mut self.cache,
+            &mut self.parses,
+            self.buffer.iter().map(|(sql, count, _)| (sql.as_str(), *count)),
+        );
 
         // Monitors run against the baseline *before* this window enters
         // the rotation — a window never judges itself.
@@ -317,21 +597,29 @@ impl StreamSummarizer {
         // Absorb only the unseen suffix (the stride) into the history, and
         // append its new distinct queries as one shard: window-close cost
         // stays proportional to the window, not the history. Tumbling
-        // windows *are* the stride, so the already-parsed window log is
-        // reused; sliding re-featurizes just the stride.
-        let stride_log = match self.config.slide {
-            Some(_) => {
-                let log = Self::ingest_statements(self.pending.iter());
-                self.pending.clear();
-                log
+        // windows *are* the stride, so the already-featurized window log
+        // is reused; sliding replays just the stride from the cache.
+        let stride_log = if self.is_sliding() {
+            let log = Self::cached_log(
+                &mut self.cache,
+                &mut self.parses,
+                self.pending.iter().map(|(sql, count)| (sql.as_str(), *count)),
+            );
+            for (sql, _) in std::mem::take(&mut self.pending) {
+                self.cache_release(&sql);
             }
-            None => window_log.clone(),
+            log
+        } else {
+            window_log.clone()
         };
         let prev_distinct = self.history.distinct_count();
         self.history.absorb(&stride_log);
         let new_entries: Vec<&QueryVector> =
             self.history.entries()[prev_distinct..].iter().map(|(v, _)| v).collect();
         let new_distinct = new_entries.len();
+        // Panics on a failing spill store (the streaming API is
+        // infallible); `ShardedPointSet::try_push_shard` is the typed
+        // front end for callers that manage the store directly.
         self.shards.push_shard(&new_entries, self.history.num_features());
 
         // Rotate the baseline: the rotation holds stride logs (tumbling:
@@ -347,10 +635,7 @@ impl StreamSummarizer {
         // statement-multiplicity overshoot at the trim boundary. Exclusion
         // walks stride *query* counts (flush closes variable-size strides;
         // a stride straddling the boundary is excluded whole).
-        let overlap_span = match self.config.slide {
-            None => 0,
-            Some(_) => self.buffer_total,
-        };
+        let overlap_span = if self.is_sliding() { self.buffer_total } else { 0 };
         self.baseline_logs.push_back((stride_log, window_queries));
         let mut skip = 0usize;
         let mut covered = 0u64;
@@ -372,8 +657,10 @@ impl StreamSummarizer {
         self.baseline = baseline;
 
         // Advance the window (sliding keeps the overlap it just trimmed).
-        if self.config.slide.is_none() {
-            self.buffer.clear();
+        if !self.is_sliding() {
+            for (sql, _, _) in std::mem::take(&mut self.buffer) {
+                self.cache_release(&sql);
+            }
             self.buffer_total = 0;
         }
         self.since_close = 0;
@@ -385,6 +672,7 @@ impl StreamSummarizer {
             queries: window_queries,
             distinct: window_log.distinct_count(),
             new_distinct,
+            closed_at_ms: boundary,
             log: window_log,
             summary,
             drift,
@@ -444,6 +732,7 @@ mod tests {
         assert!(summaries[0].stable);
         assert_eq!(summaries[0].queries, 30);
         assert!(summaries[0].summary.mixture.k() >= 1);
+        assert_eq!(summaries[0].closed_at_ms, None, "count windows carry no boundary time");
 
         // Window 1: same workload — stable, no novel queries.
         let w1 = &summaries[1];
@@ -694,5 +983,199 @@ mod tests {
             slide: Some(11),
             ..StreamConfig::default()
         });
+    }
+
+    #[test]
+    #[should_panic(expected = "time slide must not exceed")]
+    fn oversized_time_slide_rejected() {
+        StreamSummarizer::new(StreamConfig {
+            time: Some(TimeWindows { window_ms: 100, slide_ms: Some(101) }),
+            ..StreamConfig::default()
+        });
+    }
+
+    #[test]
+    fn time_tumbling_windows_close_on_the_injected_clock() {
+        let mut s = StreamSummarizer::new(StreamConfig {
+            time: Some(TimeWindows { window_ms: 100, slide_ms: None }),
+            // Count fields are ignored in time mode (0 would panic
+            // otherwise — the validator skips them).
+            window: 0,
+            ..StreamConfig::default()
+        });
+        let mut summaries = Vec::new();
+        // Ten statements inside [50, 150): no close until the clock
+        // passes 150.
+        for i in 0..10u64 {
+            let w = s.ingest_at_ms(&messaging(i), 1, 50 + i * 10);
+            assert!(w.is_none(), "premature close at ts {}", 50 + i * 10);
+        }
+        // ts 155 crosses the boundary at 150: the elapsed window closes
+        // with the 10 buffered queries, and the arrival starts the next.
+        let w = s.ingest_at_ms(&messaging(10), 1, 155).expect("boundary close");
+        assert_eq!(w.queries, 10);
+        assert_eq!(w.closed_at_ms, Some(150));
+        summaries.push(w);
+        // A long idle gap collapses: the next arrival at 990 closes the
+        // one window that held ts 155 (empty windows emit nothing), and
+        // the grid stays anchored at 50 (990 lands in [950, 1050)).
+        let w = s.ingest_at_ms(&messaging(11), 1, 990).expect("gap close");
+        assert_eq!(w.queries, 1);
+        assert_eq!(w.closed_at_ms, Some(250));
+        let w = s.ingest_at_ms(&messaging(12), 1, 1050).expect("grid-aligned close");
+        assert_eq!(w.closed_at_ms, Some(1050), "boundary grid anchored at the first arrival");
+        // Out-of-order timestamps clamp forward instead of closing early.
+        assert!(s.ingest_at_ms(&messaging(13), 1, 10).is_none());
+        assert_eq!(s.history().total_queries() + s.buffered_queries(), 14);
+        let tail = s.flush().unwrap();
+        assert_eq!(tail.queries, 2);
+        assert_eq!(tail.closed_at_ms, Some(1051), "flush closes just past the last arrival");
+    }
+
+    #[test]
+    fn time_sliding_windows_trim_by_timestamp() {
+        let mut s = StreamSummarizer::new(StreamConfig {
+            time: Some(TimeWindows { window_ms: 100, slide_ms: Some(50) }),
+            ..StreamConfig::default()
+        });
+        // One statement every 10 ms from ts 0.
+        let mut summaries = Vec::new();
+        for i in 0..30u64 {
+            if let Some(w) = s.ingest_at_ms(&messaging(i), 1, i * 10) {
+                summaries.push(w);
+            }
+        }
+        // Boundaries at 100, 150, 200, 250 have fired by ts 290.
+        assert_eq!(summaries.len(), 4);
+        assert_eq!(summaries[0].closed_at_ms, Some(100));
+        assert_eq!(summaries[0].queries, 10, "first stride is the whole first window");
+        assert_eq!(summaries[0].log.total_queries(), 10);
+        for w in &summaries[1..] {
+            // Every later window spans [boundary − 100, boundary): ten
+            // 10ms-spaced statements; each stride adds five.
+            assert_eq!(w.queries, 5, "window {}", w.index);
+            assert_eq!(w.log.total_queries(), 10, "window {}", w.index);
+        }
+        // The history absorbed each arrival exactly once.
+        assert_eq!(s.history().total_queries() + s.buffered_queries(), 30);
+    }
+
+    #[test]
+    fn extreme_timestamp_gaps_advance_the_grid_in_constant_time() {
+        // Regression: the grid advance is arithmetic, not a loop — a
+        // 1 ms slide with a near-u64::MAX gap must neither spin O(gap)
+        // iterations nor hang when the boundary saturates at u64::MAX.
+        let mut s = StreamSummarizer::new(StreamConfig {
+            time: Some(TimeWindows { window_ms: 2, slide_ms: Some(1) }),
+            ..StreamConfig::default()
+        });
+        assert!(s.ingest_at_ms(&messaging(0), 1, 0).is_none());
+        let w = s.ingest_at_ms(&messaging(1), 1, u64::MAX).expect("gap close");
+        assert_eq!(w.queries, 1);
+        assert_eq!(w.closed_at_ms, Some(2));
+        // The grid is saturated at u64::MAX now; further arrivals keep
+        // closing (ts >= boundary) without ever looping.
+        let w = s.ingest_at_ms(&messaging(2), 1, u64::MAX).expect("saturated close");
+        assert_eq!(w.queries, 1);
+    }
+
+    #[test]
+    fn sliding_overlap_parses_each_statement_once() {
+        // The parse-cache headline: 3 distinct statements cycle through
+        // 40 arrivals under window 20 / slide 5 — 5 closes, each
+        // featurizing a 20-query window plus a 5-query stride. Without
+        // the cache that is ~125 parses; with it, each distinct statement
+        // parses exactly once (it never leaves the live window).
+        let mut s = StreamSummarizer::new(StreamConfig {
+            window: 20,
+            slide: Some(5),
+            ..StreamConfig::default()
+        });
+        let mut closes = 0;
+        for i in 0..40 {
+            if s.ingest(&messaging(i)).is_some() {
+                closes += 1;
+            }
+        }
+        assert_eq!(closes, 5);
+        assert_eq!(s.statements_parsed(), 3, "overlap statements must replay from the cache");
+    }
+
+    #[test]
+    fn cached_featurization_matches_log_ingest() {
+        // The cache path must produce the exact window log LogIngest
+        // builds (same codebook interning order, entries, counts) —
+        // including parse errors and multi-branch statements.
+        let statements: Vec<String> = (0..20)
+            .map(|i| match i % 5 {
+                0 => messaging(i),
+                1 => "SELECT a FROM t WHERE x = ? OR y = ?".to_string(),
+                2 => "NOT SQL %%".to_string(),
+                3 => banking(i),
+                _ => messaging(i + 1),
+            })
+            .collect();
+        let mut s = StreamSummarizer::new(StreamConfig {
+            window: 20,
+            slide: Some(5),
+            ..StreamConfig::default()
+        });
+        let mut last = None;
+        for sql in &statements {
+            if let Some(w) = s.ingest(sql) {
+                last = Some(w);
+            }
+        }
+        let w = last.expect("one close");
+        let mut ingest = logr_feature::LogIngest::new();
+        for sql in &statements {
+            ingest.ingest(sql);
+        }
+        let (reference, _) = ingest.finish();
+        assert_eq!(w.log.entries(), reference.entries());
+        assert_eq!(w.log.num_features(), reference.num_features());
+    }
+
+    #[test]
+    fn tumbling_cache_drains_with_the_window() {
+        // Tumbling windows clear the buffer on close, so the cache must
+        // not accumulate across windows (each statement re-parses in its
+        // own window, and memory stays bounded by the live window).
+        let mut s = StreamSummarizer::new(StreamConfig { window: 6, ..StreamConfig::default() });
+        for i in 0..12 {
+            s.ingest(&messaging(i));
+        }
+        assert_eq!(s.windows_closed(), 2);
+        assert!(s.cache.is_empty(), "cache must drain with the tumbling buffer");
+        assert_eq!(s.statements_parsed(), 6, "3 distinct statements × 2 windows");
+    }
+
+    #[test]
+    fn spilled_stream_is_bit_identical_to_resident_stream() {
+        // The acceptance property at the stream level: a spilling
+        // summarizer (tiny resident budget) and an unbounded one emit
+        // byte-identical artifacts. The heavyweight cross-metric version
+        // lives in tests/stream_out_of_core.rs; this is the fast inline
+        // guard.
+        let store = logr_cluster::testutil::TempStore::new("stream-spill");
+        let mut spilled =
+            StreamSummarizer::new(StreamConfig { window: 10, k: 2, ..StreamConfig::default() });
+        spilled.spill_to(store.path(), 0).unwrap();
+        let mut resident =
+            StreamSummarizer::new(StreamConfig { window: 10, k: 2, ..StreamConfig::default() });
+        for i in 0..40 {
+            let sql = if i % 2 == 0 { messaging(i) } else { banking(i) };
+            let (a, b) = (spilled.ingest(&sql), resident.ingest(&sql));
+            assert_eq!(a.is_some(), b.is_some());
+            if let (Some(a), Some(b)) = (a, b) {
+                assert_eq!(a.summary.clustering, b.summary.clustering);
+                assert_eq!(a.summary.error().to_bits(), b.summary.error().to_bits());
+                assert_eq!(a.new_distinct, b.new_distinct);
+            }
+        }
+        assert!(spilled.spilled_shards() > 0, "the budget must have forced evictions");
+        let (a, b) = (spilled.history_summary().unwrap(), resident.history_summary().unwrap());
+        assert_eq!(a.clustering, b.clustering);
+        assert_eq!(a.error().to_bits(), b.error().to_bits());
     }
 }

@@ -122,6 +122,48 @@ impl BitVec {
         d
     }
 
+    /// Append the bitset's little-endian wire form to `out`:
+    /// `len` as a `u64`, then `⌈len / 64⌉` `u64` blocks, all LE. The form
+    /// is self-describing (the block count follows from `len`), so records
+    /// can concatenate bitsets back to back and
+    /// [`BitVec::read_bytes`] them off sequentially — which is how the
+    /// shard spill format (`logr-cluster::spill`) packs point payloads.
+    pub fn write_bytes(&self, out: &mut Vec<u8>) {
+        out.extend_from_slice(&(self.len as u64).to_le_bytes());
+        for block in &self.bits {
+            out.extend_from_slice(&block.to_le_bytes());
+        }
+    }
+
+    /// Serialized size of [`BitVec::write_bytes`]'s output in bytes.
+    pub fn wire_len(&self) -> usize {
+        8 + 8 * self.bits.len()
+    }
+
+    /// Decode one bitset from the front of `bytes`, returning it and the
+    /// number of bytes consumed. `None` when `bytes` is too short for the
+    /// declared length or when a bit beyond `len` is set (every valid
+    /// writer zero-pads the last block, and the equality/hash contract
+    /// relies on canonical padding — garbage tails must not round-trip).
+    pub fn read_bytes(bytes: &[u8]) -> Option<(BitVec, usize)> {
+        let len_bytes: [u8; 8] = bytes.get(..8)?.try_into().ok()?;
+        let len = usize::try_from(u64::from_le_bytes(len_bytes)).ok()?;
+        let n_blocks = len.div_ceil(64);
+        let consumed = 8usize.checked_add(n_blocks.checked_mul(8)?)?;
+        let body = bytes.get(8..consumed)?;
+        let bits: Vec<u64> = body
+            .chunks_exact(8)
+            .map(|c| u64::from_le_bytes(c.try_into().expect("chunks_exact yields 8 bytes")))
+            .collect();
+        if let Some(&last) = bits.last() {
+            let tail_bits = len % 64;
+            if tail_bits != 0 && last >> tail_bits != 0 {
+                return None;
+            }
+        }
+        Some((BitVec { bits, len }, consumed))
+    }
+
     /// Containment: every set bit of `other` is set here.
     pub fn contains_all(&self, other: &BitVec) -> bool {
         assert_eq!(self.len, other.len, "universe mismatch");
@@ -234,6 +276,59 @@ mod tests {
         assert_eq!(a.xor_count_padded(&b), a.xor_count(&b));
         // Empty vs anything counts the set bits.
         assert_eq!(BitVec::zeros(0).xor_count_padded(&wide), 3);
+    }
+
+    #[test]
+    fn wire_round_trip() {
+        for ids in [&[][..], &[0], &[0, 63], &[64], &[1, 100, 190]] {
+            for universe in [0usize, 1, 64, 65, 200] {
+                if ids.iter().any(|&i| i as usize >= universe) {
+                    continue;
+                }
+                let b = BitVec::from_query_vector(&qv(ids), universe);
+                let mut buf = vec![0xAAu8; 3]; // leading garbage the writer must not touch
+                let before = buf.len();
+                b.write_bytes(&mut buf);
+                assert_eq!(buf.len() - before, b.wire_len());
+                let (back, consumed) = BitVec::read_bytes(&buf[before..]).unwrap();
+                assert_eq!(back, b, "ids={ids:?} universe={universe}");
+                assert_eq!(consumed, b.wire_len());
+            }
+        }
+    }
+
+    #[test]
+    fn wire_reads_concatenate() {
+        let a = BitVec::from_query_vector(&qv(&[1, 2]), 70);
+        let b = BitVec::from_query_vector(&qv(&[0]), 3);
+        let mut buf = Vec::new();
+        a.write_bytes(&mut buf);
+        b.write_bytes(&mut buf);
+        let (ra, used) = BitVec::read_bytes(&buf).unwrap();
+        let (rb, rest) = BitVec::read_bytes(&buf[used..]).unwrap();
+        assert_eq!((ra, rb), (a, b));
+        assert_eq!(used + rest, buf.len());
+    }
+
+    #[test]
+    fn wire_rejects_truncation_and_padding_garbage() {
+        let b = BitVec::from_query_vector(&qv(&[1, 100]), 130);
+        let mut buf = Vec::new();
+        b.write_bytes(&mut buf);
+        // Every strict prefix is too short.
+        for cut in 0..buf.len() {
+            assert!(BitVec::read_bytes(&buf[..cut]).is_none(), "prefix of {cut} bytes decoded");
+        }
+        // A set bit beyond `len` (non-canonical padding) is rejected: only
+        // bits 0..2 of the last block are inside the 130-bit universe.
+        let mut dirty = buf.clone();
+        let last_block = dirty.len() - 8;
+        dirty[last_block] |= 1 << 4;
+        assert!(BitVec::read_bytes(&dirty).is_none(), "padding garbage decoded");
+        // An absurd declared length cannot allocate or wrap.
+        let mut huge = buf;
+        huge[..8].copy_from_slice(&u64::MAX.to_le_bytes());
+        assert!(BitVec::read_bytes(&huge).is_none());
     }
 
     #[test]

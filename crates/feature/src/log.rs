@@ -194,6 +194,43 @@ impl QueryLog {
     }
 }
 
+/// Parse one SQL statement to its anonymized conjunctive branches — the
+/// exact vectors-to-be that [`LogIngest::ingest_with_count`] would add for
+/// it: `parse → anonymize → regularize`, with unparseable, unsupported,
+/// and non-rewritable statements collapsing to an empty branch list
+/// (LogIngest counts those in its stats and adds nothing).
+///
+/// This factors the *statement-shaped* (codebook-independent) half of
+/// ingestion out of [`LogIngest`] so streaming callers can cache it per
+/// distinct statement: feeding each branch to
+/// [`QueryLog::add_conjunctive`] in statement order reproduces the log
+/// `LogIngest` would build, bit for bit, without re-parsing statements a
+/// sliding window has already seen.
+pub fn anonymized_branches(sql: &str) -> Vec<ConjunctiveQuery> {
+    let mut stmt = match parse_select(sql) {
+        Ok(stmt) => stmt,
+        Err(_) => return Vec::new(),
+    };
+    anonymize_statement(&mut stmt);
+    regularized(&stmt).branches
+}
+
+/// One regularizer pass over an (already anonymized) statement —
+/// non-rewritable statements contribute no branches. The single
+/// branch-extraction point both [`LogIngest::ingest_with_count`] and
+/// [`anonymized_branches`] feed [`QueryLog::add_conjunctive`] from —
+/// cached streaming logs and batch ingestion cannot drift apart.
+fn regularized(stmt: &logr_sql::SelectStatement) -> AnonInfo {
+    match regularize(stmt) {
+        Ok(reg) => AnonInfo {
+            was_conjunctive: reg.was_conjunctive,
+            rewritable: true,
+            branches: reg.branches,
+        },
+        Err(_) => AnonInfo { was_conjunctive: false, rewritable: false, branches: Vec::new() },
+    }
+}
+
 /// Counters matching the rows of the paper's Table 1.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct IngestStats {
@@ -233,10 +270,21 @@ pub struct LogIngest {
     stats: IngestStats,
     raw_counts: HashMap<String, u64>,
     anon_counts: HashMap<String, u64>,
-    conjunctive: HashMap<String, bool>,
-    rewritable: HashMap<String, bool>,
+    /// Per anonymized-distinct statement: Table 1 flags plus the branch
+    /// set, regularized once at first sighting — repeats replay branches
+    /// from here instead of re-running the regularizer.
+    anon_info: HashMap<String, AnonInfo>,
     const_codebook: Codebook,
     const_config: ExtractConfig,
+}
+
+/// What one anonymized-distinct statement contributes: stats flags and
+/// its (possibly empty) conjunctive branch set.
+#[derive(Debug)]
+struct AnonInfo {
+    was_conjunctive: bool,
+    rewritable: bool,
+    branches: Vec<ConjunctiveQuery>,
 }
 
 impl LogIngest {
@@ -287,28 +335,12 @@ impl LogIngest {
         let anon_text = anon.to_string();
         *self.anon_counts.entry(anon_text.clone()).or_insert(0) += count;
 
-        if let std::collections::hash_map::Entry::Vacant(e) =
-            self.conjunctive.entry(anon_text.clone())
-        {
-            match regularize(&anon) {
-                Ok(reg) => {
-                    e.insert(reg.was_conjunctive);
-                    self.rewritable.insert(anon_text.clone(), true);
-                    // First sighting: record the branch set for this
-                    // anonymized query so repeats just bump counts below.
-                }
-                Err(_) => {
-                    e.insert(false);
-                    self.rewritable.insert(anon_text.clone(), false);
-                }
-            }
-        }
-        if self.rewritable.get(&anon_text).copied().unwrap_or(false) {
-            if let Ok(reg) = regularize(&anon) {
-                for branch in &reg.branches {
-                    self.log.add_conjunctive(branch, count);
-                }
-            }
+        // One regularizer pass per anonymized-distinct statement, through
+        // the shared extraction point (`regularized`) — the streaming
+        // parse cache must reproduce exactly these branches.
+        let info = self.anon_info.entry(anon_text).or_insert_with(|| regularized(&anon));
+        for branch in &info.branches {
+            self.log.add_conjunctive(branch, count);
         }
     }
 
@@ -338,8 +370,9 @@ impl LogIngest {
     pub fn finish(mut self) -> (QueryLog, IngestStats) {
         self.stats.distinct_raw = self.raw_counts.len();
         self.stats.distinct_anonymized = self.anon_counts.len();
-        self.stats.distinct_conjunctive = self.conjunctive.values().filter(|&&c| c).count();
-        self.stats.distinct_rewritable = self.rewritable.values().filter(|&&r| r).count();
+        self.stats.distinct_conjunctive =
+            self.anon_info.values().filter(|i| i.was_conjunctive).count();
+        self.stats.distinct_rewritable = self.anon_info.values().filter(|i| i.rewritable).count();
         self.stats.max_multiplicity = self.anon_counts.values().copied().max().unwrap_or(0);
         self.stats.features_with_const = self.const_codebook.len();
         (self.log, self.stats)
@@ -540,6 +573,34 @@ NOT SQL AT ALL %%\n";
         let (log, stats) = ingest.finish();
         assert_eq!(stats.parse_errors, 1);
         assert_eq!(log.total_queries(), 2);
+    }
+
+    #[test]
+    fn anonymized_branches_reproduce_log_ingest() {
+        let statements = [
+            ("SELECT id FROM Messages WHERE status = 3", 2u64),
+            ("SELECT a FROM t WHERE x = ? OR y = ?", 1), // two branches
+            ("UPDATE t SET a = 1", 5),                   // unsupported → no branches
+            ("NOT SQL %%", 1),                           // parse error → no branches
+            ("SELECT id FROM Messages WHERE status = 9", 3), // collapses with the first
+        ];
+        let mut ingest = LogIngest::new();
+        let mut cached = QueryLog::new();
+        for (sql, count) in statements {
+            ingest.ingest_with_count(sql, count);
+            for branch in anonymized_branches(sql) {
+                cached.add_conjunctive(&branch, count);
+            }
+        }
+        let (log, _) = ingest.finish();
+        assert_eq!(cached.entries(), log.entries());
+        assert_eq!(cached.num_features(), log.num_features());
+        assert_eq!(cached.codebook().len(), log.codebook().len());
+        // Same interning order, feature by feature.
+        for i in 0..log.codebook().len() {
+            let id = FeatureId(i as u32);
+            assert_eq!(cached.codebook().feature(id), log.codebook().feature(id));
+        }
     }
 
     #[test]

@@ -1,0 +1,115 @@
+//! Bounded-memory streaming over an unbounded query log (PR 3).
+//!
+//! A long-running `StreamSummarizer` accumulates one history shard per
+//! window, and the shards' mismatch buffers grow quadratically with the
+//! distinct-query count — fine for a demo, fatal for a daemon. This
+//! example runs the same distinct-heavy stream twice:
+//!
+//! 1. **unbounded** — every closed shard stays resident (the PR 2
+//!    behavior);
+//! 2. **bounded** — `spill_to(dir, budget)` attaches the persistent shard
+//!    store, evicting closed shards to disk under a 256 KiB resident
+//!    budget and reloading them transparently.
+//!
+//! Both runs must produce identical history summaries (the store holds
+//! integer mismatch counts and bit-packed points — reloads are
+//! bit-exact), while the bounded run's resident footprint stays pinned.
+//! A final section closes windows on a wall-clock grid via
+//! `ingest_at_ms` — the time-based flavor a production tail would use.
+//!
+//! Run with: `cargo run --release --example out_of_core_stream`
+
+use logr::cluster::Distance;
+use logr::core::{StreamConfig, StreamSummarizer, TimeWindows};
+
+/// 600 distinct statement shapes, cycled: enough distinct mass that the
+/// history's shard payloads dwarf a 256 KiB budget. (The budget must
+/// cover the largest single shard — the hot tail is pinned while the
+/// close path reads it.)
+fn statement(i: usize) -> String {
+    let i = (i % 600) as u32;
+    match i % 3 {
+        0 => format!("SELECT c{}, c{} FROM t{} WHERE a{} = ?", i % 37, i % 23, i % 7, i % 19),
+        1 => {
+            format!("SELECT c{} FROM t{} WHERE a{} = ? AND b{} = ?", i % 41, i % 7, i % 19, i % 13)
+        }
+        _ => format!("SELECT c{}, c{} FROM t{}", i % 37, i % 41, i % 5),
+    }
+}
+
+fn main() {
+    const STREAM_LEN: usize = 1200;
+    const BUDGET: usize = 256 * 1024;
+    let config = StreamConfig { window: 100, k: 4, ..StreamConfig::default() };
+
+    // ---- Run 1: unbounded (every shard resident). ----------------------
+    let mut unbounded = StreamSummarizer::new(config);
+    for i in 0..STREAM_LEN {
+        unbounded.ingest(&statement(i));
+    }
+
+    // ---- Run 2: bounded (256 KiB resident budget, shards on disk). -----
+    let dir = std::env::temp_dir().join(format!("logr-ooc-example-{}", std::process::id()));
+    let mut bounded = StreamSummarizer::new(config);
+    bounded.spill_to(&dir, BUDGET).expect("attach spill store");
+    let mut peak = 0usize;
+    for i in 0..STREAM_LEN {
+        if bounded.ingest(&statement(i)).is_some() {
+            peak = peak.max(bounded.resident_shard_bytes());
+        }
+    }
+
+    println!("=== resident history-shard bytes ({STREAM_LEN} queries, window 100) ===");
+    println!(
+        "unbounded : {:>8} bytes, {} shards all resident",
+        unbounded.resident_shard_bytes(),
+        unbounded.shard_store().n_shards()
+    );
+    println!(
+        "bounded   : {:>8} bytes peak (budget {BUDGET}), {} of {} shards on disk",
+        peak,
+        bounded.spilled_shards(),
+        bounded.shard_store().n_shards()
+    );
+    assert!(peak <= BUDGET, "budget violated");
+
+    // The summaries are bit-identical: reloaded shards serve the exact
+    // mismatch counts the resident ones would.
+    let a = unbounded.history_summary().expect("history");
+    let b = bounded.history_summary().expect("history");
+    assert_eq!(a.clustering, b.clustering);
+    assert_eq!(a.error().to_bits(), b.error().to_bits());
+    println!(
+        "history summary over {} distinct queries: k={}, error={:.4} — identical in both runs",
+        bounded.history().distinct_count(),
+        b.mixture.k(),
+        b.error()
+    );
+
+    // ---- Time-based windows (wall-clock grid, injected here). ----------
+    let mut timed = StreamSummarizer::new(StreamConfig {
+        time: Some(TimeWindows { window_ms: 1_000, slide_ms: None }),
+        k: 2,
+        metric: Distance::Hamming,
+        ..StreamConfig::default()
+    });
+    println!("=== time-based tumbling windows (1 s grid) ===");
+    // ~3.3 statements per second for five seconds.
+    for i in 0..17u64 {
+        if let Some(w) = timed.ingest_at_ms(&statement(i as usize), 1, i * 300) {
+            println!(
+                "window {} closed at t={}ms: {} queries, {} distinct",
+                w.index,
+                w.closed_at_ms.unwrap(),
+                w.queries,
+                w.distinct
+            );
+        }
+    }
+    if let Some(w) = timed.flush() {
+        println!("flush closed window {} with {} queries", w.index, w.queries);
+    }
+
+    let _ = std::fs::remove_dir_all(&dir);
+    println!("ok");
+}
