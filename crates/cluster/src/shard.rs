@@ -54,7 +54,7 @@ use crate::par::PARALLEL_MIN_POINTS;
 use crate::pointset::{condensed_row_start, CondensedMatrix};
 use crate::spill::{self, ShardRecord, SpillError};
 use logr_feature::{BitVec, QueryVector};
-use std::path::PathBuf;
+use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 
@@ -150,6 +150,58 @@ impl ShardedPointSet {
         }
     }
 
+    /// Rebuild a set from a directory of previously spilled shard files —
+    /// the recovery path behind `logr::Engine::open`. Every file is fully
+    /// decoded (length, magic, version, checksum, structure) and the chain
+    /// is validated — each record's `start` must equal the points before
+    /// it and the feature universe may only grow — then dropped again, so
+    /// the rebuilt set starts with **zero resident bytes** regardless of
+    /// the budget and every read reloads transparently, exactly as after
+    /// a long-running eviction.
+    ///
+    /// Any invalid file surfaces as the [`SpillError`] the decoder
+    /// reports (missing → `Io`, cut short → `Truncated`, rotted →
+    /// `ChecksumMismatch`, …); a chain inconsistency between valid files
+    /// is [`SpillError::Corrupt`]. Never panics.
+    pub fn from_spilled_files(
+        config: SpillConfig,
+        files: &[PathBuf],
+    ) -> Result<ShardedPointSet, SpillError> {
+        std::fs::create_dir_all(&config.dir)?;
+        let mut shard_starts = vec![0usize];
+        let mut shards = Vec::with_capacity(files.len());
+        let mut n_features = 0usize;
+        let mut len = 0usize;
+        for path in files {
+            let record = spill::read_file(path)?;
+            if record.start != len {
+                return Err(SpillError::Corrupt(
+                    "recovered shard chain has a start/length mismatch",
+                ));
+            }
+            if record.n_features < n_features {
+                return Err(SpillError::Corrupt(
+                    "recovered shard chain shrinks the feature universe",
+                ));
+            }
+            n_features = record.n_features;
+            len += record.len();
+            shard_starts.push(len);
+            shards.push(ShardSlot {
+                data: None,
+                path: Some(path.clone()),
+                bytes: record.payload_bytes(),
+            });
+        }
+        Ok(ShardedPointSet {
+            n_features,
+            shard_starts,
+            shards,
+            spill: Some(config),
+            cache: Mutex::new(ReloadCache::default()),
+        })
+    }
+
     /// Total number of points across all shards.
     pub fn len(&self) -> usize {
         *self.shard_starts.last().expect("shard_starts is never empty")
@@ -220,36 +272,80 @@ impl ShardedPointSet {
         self.shards[s].data.is_some()
     }
 
+    /// Ensure shard `s` has a store file (first write only — shards are
+    /// immutable, so the file is reused forever after), leaving its
+    /// residency untouched.
+    ///
+    /// # Panics
+    /// Panics if no store was configured via
+    /// [`ShardedPointSet::set_spill`] and the shard has never been
+    /// written.
+    fn write_shard_file(&mut self, s: usize) -> Result<(), SpillError> {
+        if self.shards[s].path.is_some() {
+            return Ok(());
+        }
+        let data = self.shards[s].data.clone().expect("an unwritten shard is always resident");
+        let dir = &self
+            .spill
+            .as_ref()
+            .expect("configure a spill store (set_spill) before persisting shards")
+            .dir;
+        let seq = SPILL_FILE_SEQ.fetch_add(1, Ordering::Relaxed);
+        // pid + process-global sequence: unique across clones sharing
+        // the directory AND across concurrent processes pointed at
+        // the same store (either would otherwise overwrite the
+        // other's checksum-valid files).
+        let path = dir.join(format!("shard-{s:05}-{}-{seq:08x}.bin", std::process::id()));
+        spill::write_file(&path, &data)?;
+        self.shards[s].path = Some(path);
+        Ok(())
+    }
+
     /// Write shard `s` to the store (first eviction only — the file is
     /// reused afterwards) and drop its resident payload. Returns `false`
-    /// when the shard was already spilled.
+    /// when the shard was already spilled. A write failure keeps the
+    /// payload resident (no data loss).
     ///
     /// # Panics
     /// Panics if `s` is out of range, or if no store was configured via
     /// [`ShardedPointSet::set_spill`] and the shard has never been
     /// written.
     pub fn spill_shard(&mut self, s: usize) -> Result<bool, SpillError> {
-        let slot = &mut self.shards[s];
-        let Some(data) = slot.data.take() else { return Ok(false) };
-        if slot.path.is_none() {
-            let dir = &self
-                .spill
-                .as_ref()
-                .expect("configure a spill store (set_spill) before evicting shards")
-                .dir;
-            let seq = SPILL_FILE_SEQ.fetch_add(1, Ordering::Relaxed);
-            // pid + process-global sequence: unique across clones sharing
-            // the directory AND across concurrent processes pointed at
-            // the same store (either would otherwise overwrite the
-            // other's checksum-valid files).
-            let path = dir.join(format!("shard-{s:05}-{}-{seq:08x}.bin", std::process::id()));
-            if let Err(e) = spill::write_file(&path, &data) {
-                self.shards[s].data = Some(data); // eviction failed: keep it
-                return Err(e);
-            }
-            self.shards[s].path = Some(path);
+        if self.shards[s].data.is_none() {
+            return Ok(false);
         }
+        self.write_shard_file(s)?;
+        self.shards[s].data = None;
         Ok(true)
+    }
+
+    /// Write every shard that has never been written to the store,
+    /// **without evicting anything** — afterwards each shard's payload
+    /// exists on disk (the durability point `Engine::open` recovers from)
+    /// while residency, and therefore read performance, is unchanged.
+    /// Returns how many files this call wrote.
+    ///
+    /// # Panics
+    /// Panics if no store was configured via
+    /// [`ShardedPointSet::set_spill`] and a shard has never been written.
+    pub fn persist_all(&mut self) -> Result<usize, SpillError> {
+        let mut written = 0;
+        for s in 0..self.shards.len() {
+            if self.shards[s].path.is_none() {
+                self.write_shard_file(s)?;
+                written += 1;
+            }
+        }
+        Ok(written)
+    }
+
+    /// Shard `s`'s store file, once it has ever been written
+    /// ([`ShardedPointSet::persist_all`] / eviction assign it).
+    ///
+    /// # Panics
+    /// Panics if `s` is out of range.
+    pub fn shard_file(&self, s: usize) -> Option<&Path> {
+        self.shards[s].path.as_deref()
     }
 
     /// Force every shard to disk, including the pinned tail, and clear the
@@ -332,20 +428,6 @@ impl ShardedPointSet {
     /// inspect or restore.
     fn reload_panic(&self, s: usize, e: SpillError) -> ! {
         panic!("reloading spilled shard {s} ({:?}) failed: {e}", self.shards[s].path)
-    }
-
-    /// Run `f` over shard `s`'s payload **without touching the reload
-    /// cache**: a cache hit is reused, but a miss loads transiently and
-    /// the payload drops when `f` returns. Bulk merges stream shards
-    /// through this, so a completed merge leaves `resident_bytes()`
-    /// exactly where it found it — the budget holds after a
-    /// `history_summary`-style read, not just after appends.
-    ///
-    /// # Panics
-    /// Panics if a spilled shard cannot be reloaded.
-    fn with_shard_transient<R>(&self, s: usize, f: impl FnOnce(&ShardRecord) -> R) -> R {
-        let data = self.load_shard(s, false).unwrap_or_else(|e| self.reload_panic(s, e));
-        f(&data)
     }
 
     /// The one reload path: shard `s`'s payload from memory, the reload
@@ -549,9 +631,125 @@ impl ShardedPointSet {
 
     /// Materialize the merged condensed matrix under `metric` — the exact
     /// bits `PointSet::distances` would produce for the same points.
+    ///
+    /// # Panics
+    /// Panics if a spilled shard cannot be reloaded
+    /// ([`ShardedPointSet::try_condensed`] reports that as a typed error
+    /// instead).
     pub fn condensed(&self, metric: Distance) -> CondensedMatrix {
         self.condensed_shards(metric).to_condensed()
     }
+
+    /// Fallible [`ShardedPointSet::condensed`]: a spilled shard that can
+    /// no longer be reloaded (store deleted or corrupted underneath the
+    /// set) surfaces as a [`SpillError`] instead of a panic — the flavor
+    /// `logr::Engine` snapshot reads go through.
+    pub fn try_condensed(&self, metric: Distance) -> Result<CondensedMatrix, SpillError> {
+        self.condensed_shards(metric).try_to_condensed()
+    }
+
+    /// Merge every shard into **one** — same points, same integer
+    /// mismatch counts, one slot — and return what was replaced. A long
+    /// stream accretes one shard (and one store file) per window, and
+    /// every bulk read then pays per-shard segment bookkeeping plus, when
+    /// spilled, one file reload each; compaction collapses that to a
+    /// single record whose merged triangle is assembled by **copying**
+    /// the existing intra/cross integers (never recomputing a distance),
+    /// so the compacted set serves bit-identical reads. Bitsets recorded
+    /// at an older, narrower universe are zero-widened to the current
+    /// one, which preserves every mismatch count.
+    ///
+    /// With a store attached the merged shard is written immediately
+    /// (write-once files: the constituent files are obsolete but never
+    /// deleted by the set — clones may still reference them; the
+    /// returned [`CompactionStats::stale_files`] tells a caller which
+    /// files stopped being referenced *by this set*, and deleting them
+    /// is safe only once no clone can read them — `logr::Engine` defers
+    /// that to its next recovery) and, when the merged payload exceeds
+    /// the resident budget, evicted — compaction must not turn a bounded
+    /// stream into an unbounded resident matrix just because the tail is
+    /// normally pinned.
+    ///
+    /// No-op (and no write) when the set has fewer than two shards.
+    pub fn compact(&mut self) -> Result<CompactionStats, SpillError> {
+        let n_shards_before = self.n_shards();
+        if n_shards_before <= 1 {
+            return Ok(CompactionStats { shards_merged: 0, stale_files: Vec::new() });
+        }
+        let n = self.len();
+        let nf = self.n_features;
+        let mut intra = vec![0u32; n * n.saturating_sub(1) / 2];
+        let mut bits: Vec<BitVec> = Vec::with_capacity(n);
+        {
+            // Same segment walk as the metric merge (`try_to_condensed`),
+            // but copying raw u32 mismatch counts: shard t owns the intra
+            // suffix of its own points' rows plus one w_t-wide run in each
+            // earlier row, consumed left to right as t ascends.
+            let mut rest: Vec<&mut [u32]> =
+                par::triangle_rows(&mut intra, n).into_iter().map(|(_, row)| row).collect();
+            for t in 0..self.shards.len() {
+                let ts = self.shard_starts[t];
+                let te = self.shard_starts[t + 1];
+                let wt = te - ts;
+                if wt == 0 {
+                    continue;
+                }
+                let data = self.load_shard(t, false)?;
+                for b in &data.bits {
+                    bits.push(if b.len() == nf { b.clone() } else { b.widened(nf) });
+                }
+                for (i, slot) in rest.iter_mut().enumerate().take(te) {
+                    let seg_len = if i >= ts { te - i - 1 } else { wt };
+                    if seg_len == 0 {
+                        continue;
+                    }
+                    let (seg, tail) = std::mem::take(slot).split_at_mut(seg_len);
+                    *slot = tail;
+                    let run: &[u32] = if i >= ts {
+                        let a = i - ts;
+                        &data.intra[condensed_row_start(wt, a)..][..wt - 1 - a]
+                    } else {
+                        &data.cross[i * wt..][..wt]
+                    };
+                    seg.copy_from_slice(run);
+                }
+            }
+            debug_assert!(rest.iter().all(|r| r.is_empty()), "compaction left unfilled cells");
+        }
+        let record = ShardRecord { n_features: nf, start: 0, intra, cross: Vec::new(), bits };
+        let bytes = record.payload_bytes();
+        // Write the merged file *before* touching any set state, so an
+        // `Err` anywhere in compaction leaves the set exactly as it was
+        // (same contract as `try_push_shard`'s pre-append reloads).
+        let mut path = None;
+        let mut keep_resident = true;
+        if let Some(cfg) = &self.spill {
+            let seq = SPILL_FILE_SEQ.fetch_add(1, Ordering::Relaxed);
+            let p = cfg.dir.join(format!("shard-00000-{}-{seq:08x}.bin", std::process::id()));
+            spill::write_file(&p, &record)?;
+            path = Some(p);
+            keep_resident = bytes <= cfg.resident_budget;
+        }
+        let stale_files: Vec<PathBuf> =
+            self.shards.iter().filter_map(|slot| slot.path.clone()).collect();
+        let data = keep_resident.then(|| Arc::new(record));
+        self.shards = vec![ShardSlot { data, path, bytes }];
+        self.shard_starts = vec![0, n];
+        self.cache.lock().expect("reload cache poisoned").entry = None;
+        Ok(CompactionStats { shards_merged: n_shards_before, stale_files })
+    }
+}
+
+/// What [`ShardedPointSet::compact`] replaced.
+#[derive(Debug, Clone, Default)]
+pub struct CompactionStats {
+    /// Shards merged into the single survivor (0 when compaction was a
+    /// no-op).
+    pub shards_merged: usize,
+    /// Store files of the replaced shards. Obsolete for this set, but not
+    /// deleted by it — clones sharing the directory may still read them;
+    /// an exclusive owner may remove them.
+    pub stale_files: Vec<PathBuf>,
 }
 
 /// Merged view over a [`ShardedPointSet`]'s per-shard buffers: serves the
@@ -598,13 +796,22 @@ impl CondensedShards<'_> {
     /// payload beyond the resident budget.
     ///
     /// # Panics
-    /// Panics if a spilled shard cannot be reloaded.
+    /// Panics if a spilled shard cannot be reloaded
+    /// ([`CondensedShards::try_to_condensed`] reports that as a typed
+    /// error instead).
     pub fn to_condensed(&self) -> CondensedMatrix {
+        self.try_to_condensed()
+            .unwrap_or_else(|e| panic!("materializing the merged condensed matrix failed: {e}"))
+    }
+
+    /// Fallible [`CondensedShards::to_condensed`]: a spilled shard that
+    /// can no longer be reloaded surfaces as a [`SpillError`].
+    pub fn try_to_condensed(&self) -> Result<CondensedMatrix, SpillError> {
         let set = self.set;
         let n = set.len();
         let mut cm = CondensedMatrix::zeros(n);
         if n < 2 {
-            return cm;
+            return Ok(cm);
         }
         let metric = self.metric;
         let nf = set.n_features;
@@ -620,41 +827,46 @@ impl CondensedShards<'_> {
             if wt == 0 {
                 continue;
             }
-            set.with_shard_transient(t, |data| {
-                let mut tasks: Vec<(usize, &mut [f64])> = Vec::with_capacity(te);
-                let mut cells = 0usize;
-                for (i, slot) in rest.iter_mut().enumerate().take(te) {
-                    // Rows of shard t's own points still need their intra
-                    // suffix; every earlier row needs t's cross run.
-                    let seg_len = if i >= ts { te - i - 1 } else { wt };
-                    if seg_len == 0 {
-                        continue;
-                    }
-                    let (seg, tail) = std::mem::take(slot).split_at_mut(seg_len);
-                    *slot = tail;
-                    cells += seg_len;
-                    tasks.push((i, seg));
+            // Loaded without touching the reload cache: a cache hit is
+            // reused, but a miss loads transiently and drops when the
+            // shard's segments are filled — a completed merge leaves
+            // `resident_bytes()` exactly where it found it, so the budget
+            // holds after a `history_summary`-style read, not just after
+            // appends.
+            let data = set.load_shard(t, false)?;
+            let mut tasks: Vec<(usize, &mut [f64])> = Vec::with_capacity(te);
+            let mut cells = 0usize;
+            for (i, slot) in rest.iter_mut().enumerate().take(te) {
+                // Rows of shard t's own points still need their intra
+                // suffix; every earlier row needs t's cross run.
+                let seg_len = if i >= ts { te - i - 1 } else { wt };
+                if seg_len == 0 {
+                    continue;
                 }
-                // Fan out per shard, by this shard's own cell count — a
-                // history of many small shards fills serially instead of
-                // paying a scoped spawn/join round per shard.
-                let nt = if cells < PARALLEL_MIN_CELLS { 1 } else { n_threads };
-                par::run_tasks(tasks, nt, |(i, seg)| {
-                    let run: &[u32] = if i >= ts {
-                        let a = i - ts;
-                        &data.intra[condensed_row_start(wt, a)..][..wt - 1 - a]
-                    } else {
-                        &data.cross[i * wt..][..wt]
-                    };
-                    debug_assert_eq!(seg.len(), run.len());
-                    for (cell, &d) in seg.iter_mut().zip(run) {
-                        *cell = metric.of_mismatches(d as usize, nf);
-                    }
-                });
+                let (seg, tail) = std::mem::take(slot).split_at_mut(seg_len);
+                *slot = tail;
+                cells += seg_len;
+                tasks.push((i, seg));
+            }
+            // Fan out per shard, by this shard's own cell count — a
+            // history of many small shards fills serially instead of
+            // paying a scoped spawn/join round per shard.
+            let nt = if cells < PARALLEL_MIN_CELLS { 1 } else { n_threads };
+            par::run_tasks(tasks, nt, |(i, seg)| {
+                let run: &[u32] = if i >= ts {
+                    let a = i - ts;
+                    &data.intra[condensed_row_start(wt, a)..][..wt - 1 - a]
+                } else {
+                    &data.cross[i * wt..][..wt]
+                };
+                debug_assert_eq!(seg.len(), run.len());
+                for (cell, &d) in seg.iter_mut().zip(run) {
+                    *cell = metric.of_mismatches(d as usize, nf);
+                }
             });
         }
         debug_assert!(rest.iter().all(|r| r.is_empty()), "merge left unfilled cells");
-        cm
+        Ok(cm)
     }
 }
 
@@ -950,6 +1162,158 @@ mod tests {
         // Resident reads (shard 1 + the pinned tail) still normalize at
         // the original width.
         assert_eq!(sharded.distance(3, 4, Distance::Hamming), before.get(3, 4));
+    }
+
+    #[test]
+    fn compact_preserves_every_distance_bit_for_bit() {
+        // Growing universe + a mix of resident and spilled constituents:
+        // compaction must copy, never recompute, so reads agree with the
+        // monolithic build on every metric.
+        let store = TempStore::new("compact");
+        let vs: Vec<QueryVector> =
+            (0..90u32).map(|i| qv(&[i % 16, (i * 3) % 48, (i * 7) % 48])).collect();
+        let refs: Vec<&QueryVector> = vs.iter().collect();
+        let mut sharded = ShardedPointSet::new();
+        sharded
+            .set_spill(SpillConfig { dir: store.path().to_path_buf(), resident_budget: 0 })
+            .unwrap();
+        // First shards close at a narrower universe than later ones.
+        for (c, chunk) in refs.chunks(15).enumerate() {
+            sharded.push_shard(chunk, if c < 2 { 48 } else { 64 });
+        }
+        assert!(sharded.spilled_shards() > 0, "budget 0 must have spilled history");
+        let before: Vec<CondensedMatrix> =
+            all_metrics().iter().map(|&m| sharded.condensed(m)).collect();
+        let point_before = sharded.mismatches(3, 71);
+
+        let stats = sharded.compact().unwrap();
+        assert_eq!(stats.shards_merged, 6);
+        assert!(!stats.stale_files.is_empty(), "spilled constituents leave stale files");
+        assert_eq!(sharded.n_shards(), 1);
+        assert_eq!(sharded.len(), refs.len());
+        assert_eq!(sharded.n_features(), 64);
+        for (m, reference) in all_metrics().iter().zip(&before) {
+            assert_eq!(sharded.condensed(*m).as_slice(), reference.as_slice(), "{m:?}");
+        }
+        assert_eq!(sharded.mismatches(3, 71), point_before);
+        // Appends keep working against the compacted history.
+        let extra = qv(&[0, 63]);
+        let mut grown = sharded.clone();
+        grown.push_shard(&[&extra], 64);
+        let mut all: Vec<&QueryVector> = refs.clone();
+        all.push(&extra);
+        let monolithic = PointSet::from_vectors(&all, 64);
+        assert_eq!(
+            grown.condensed(Distance::Hamming).as_slice(),
+            monolithic.distances(Distance::Hamming).as_slice()
+        );
+        // Compacting a single shard is a no-op.
+        let again = sharded.compact().unwrap();
+        assert_eq!(again.shards_merged, 0);
+    }
+
+    #[test]
+    fn compact_respects_the_resident_budget() {
+        // The merged shard is the pinned tail, but compaction must not let
+        // that pin blow the budget: over-budget merges land evicted.
+        let store = TempStore::new("compact-budget");
+        let vs: Vec<QueryVector> = (0..60u32).map(|i| qv(&[i % 16, (i * 5) % 16])).collect();
+        let refs: Vec<&QueryVector> = vs.iter().collect();
+        let mut sharded = ShardedPointSet::new();
+        sharded
+            .set_spill(SpillConfig { dir: store.path().to_path_buf(), resident_budget: 0 })
+            .unwrap();
+        for chunk in refs.chunks(10) {
+            sharded.push_shard(chunk, 16);
+        }
+        sharded.compact().unwrap();
+        assert_eq!(sharded.spilled_shards(), 1, "over-budget merge must evict");
+        assert_eq!(sharded.resident_bytes(), 0);
+        let monolithic = PointSet::from_vectors(&refs, 16);
+        assert_eq!(
+            sharded.condensed(Distance::Hamming).as_slice(),
+            monolithic.distances(Distance::Hamming).as_slice()
+        );
+    }
+
+    #[test]
+    fn persist_all_writes_files_without_evicting() {
+        let store = TempStore::new("persist");
+        let vs = sample();
+        let refs: Vec<&QueryVector> = vs.iter().collect();
+        let mut sharded = ShardedPointSet::new();
+        sharded
+            .set_spill(SpillConfig { dir: store.path().to_path_buf(), resident_budget: usize::MAX })
+            .unwrap();
+        for chunk in refs.chunks(2) {
+            sharded.push_shard(chunk, 80);
+        }
+        let resident_before = sharded.resident_bytes();
+        let written = sharded.persist_all().unwrap();
+        assert_eq!(written, sharded.n_shards());
+        assert_eq!(sharded.resident_bytes(), resident_before, "persisting must not evict");
+        assert_eq!(sharded.spilled_shards(), 0);
+        for s in 0..sharded.n_shards() {
+            assert!(sharded.shard_file(s).is_some_and(Path::exists), "shard {s} has no file");
+        }
+        // Idempotent: the files exist, nothing rewrites.
+        assert_eq!(sharded.persist_all().unwrap(), 0);
+    }
+
+    #[test]
+    fn from_spilled_files_rebuilds_bit_identically() {
+        let store = TempStore::new("recover");
+        let vs: Vec<QueryVector> =
+            (0..50u32).map(|i| qv(&[i % 8, (i * 3) % 40, (i * 11) % 40])).collect();
+        let refs: Vec<&QueryVector> = vs.iter().collect();
+        let mut original = ShardedPointSet::new();
+        original
+            .set_spill(SpillConfig { dir: store.path().to_path_buf(), resident_budget: usize::MAX })
+            .unwrap();
+        for (c, chunk) in refs.chunks(10).enumerate() {
+            original.push_shard(chunk, if c == 0 { 40 } else { 48 });
+        }
+        original.persist_all().unwrap();
+        let files: Vec<PathBuf> = (0..original.n_shards())
+            .map(|s| original.shard_file(s).unwrap().to_path_buf())
+            .collect();
+
+        let reopened = ShardedPointSet::from_spilled_files(
+            SpillConfig { dir: store.path().to_path_buf(), resident_budget: usize::MAX },
+            &files,
+        )
+        .unwrap();
+        assert_eq!(reopened.len(), original.len());
+        assert_eq!(reopened.n_shards(), original.n_shards());
+        assert_eq!(reopened.n_features(), original.n_features());
+        assert_eq!(reopened.resident_bytes(), 0, "recovery must not preload payloads");
+        for metric in all_metrics() {
+            assert_eq!(
+                reopened.condensed(metric).as_slice(),
+                original.condensed(metric).as_slice(),
+                "{metric:?}"
+            );
+        }
+        assert_eq!(reopened.mismatches(0, 49), original.mismatches(0, 49));
+
+        // A reordered chain is a typed error, not a wrong answer.
+        let mut swapped = files.clone();
+        swapped.swap(0, 1);
+        let err = ShardedPointSet::from_spilled_files(
+            SpillConfig { dir: store.path().to_path_buf(), resident_budget: 0 },
+            &swapped,
+        )
+        .unwrap_err();
+        assert!(matches!(err, SpillError::Corrupt(_)), "{err}");
+        // A missing file is an I/O error.
+        let mut missing = files.clone();
+        missing[0] = store.join("gone.bin");
+        let err = ShardedPointSet::from_spilled_files(
+            SpillConfig { dir: store.path().to_path_buf(), resident_budget: 0 },
+            &missing,
+        )
+        .unwrap_err();
+        assert!(matches!(err, SpillError::Io(_)), "{err}");
     }
 
     #[test]

@@ -159,8 +159,10 @@ impl ShardRecord {
 
 /// FNV-1a 64-bit over `bytes` — dependency-free, byte-order independent,
 /// and plenty for integrity (this guards against rot and truncation, not
-/// adversaries with write access to the store).
-fn fnv1a64(bytes: &[u8]) -> u64 {
+/// adversaries with write access to the store). Public because the engine
+/// manifest (`logr::manifest`) checksums its own payload the same way —
+/// one hash for every file the store writes.
+pub fn fnv1a64(bytes: &[u8]) -> u64 {
     const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
     const PRIME: u64 = 0x0000_0100_0000_01b3;
     let mut h = OFFSET;

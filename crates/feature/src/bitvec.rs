@@ -122,6 +122,20 @@ impl BitVec {
         d
     }
 
+    /// The same bits over a universe widened to `len` features (the new
+    /// high bits are zero). Mismatch counts against any vector are
+    /// unchanged — widening is how spill-format records built at an older,
+    /// narrower universe are re-serialized at the current one.
+    ///
+    /// # Panics
+    /// Panics if `len` is smaller than the current universe.
+    pub fn widened(&self, len: usize) -> BitVec {
+        assert!(len >= self.len, "widened({len}) would shrink a {}-bit universe", self.len);
+        let mut bits = self.bits.clone();
+        bits.resize(len.div_ceil(64), 0);
+        BitVec { bits, len }
+    }
+
     /// Append the bitset's little-endian wire form to `out`:
     /// `len` as a `u64`, then `⌈len / 64⌉` `u64` blocks, all LE. The form
     /// is self-describing (the block count follows from `len`), so records

@@ -1,21 +1,25 @@
-//! Index selection from a compressed log (the paper's §2 lead application).
+//! Index selection from a compressed log (the paper's §2 lead
+//! application), through the [`logr::Engine`] façade.
 //!
-//! Index advisors repeatedly ask "how often does predicate X appear in the
-//! workload?" — e.g. a hash index on `status` pays off if `status = ?`
-//! occurs in most queries. Asking the raw log is slow at millions of
-//! queries; LogR answers from the summary. This example compresses a
-//! PocketData-scale workload and compares summary estimates against ground
-//! truth for every single-column predicate, then prints the advisor's
-//! picks.
+//! Index advisors repeatedly ask "how often does predicate X appear in
+//! the workload?" — e.g. a hash index on `status` pays off if
+//! `status = ?` occurs in most queries. Asking the raw log is slow at
+//! millions of queries; the engine answers from the summary
+//! ([`logr::EngineSnapshot::advise`]). This example streams a
+//! PocketData-scale workload into an engine, compares summary estimates
+//! against ground truth for every single-column predicate, then prints
+//! the advisor's picks.
 //!
 //! Run with: `cargo run --release --example index_advisor`
 
-use logr::core::{CompressionObjective, LogR, LogRConfig};
 use logr::feature::{FeatureClass, QueryVector};
 use logr::workload::{generate_pocketdata, PocketDataConfig};
+use logr::{Engine, Error};
 
-fn main() {
+fn main() -> Result<(), Error> {
     let synthetic = generate_pocketdata(&PocketDataConfig::default());
+    // Ground truth for the comparison below — a real deployment never
+    // builds this.
     let (log, _) = synthetic.ingest();
     println!(
         "workload: {} queries, {} distinct, {} features",
@@ -24,9 +28,14 @@ fn main() {
         log.num_features()
     );
 
-    let summary =
-        LogR::new(LogRConfig { objective: CompressionObjective::FixedK(8), ..Default::default() })
-            .compress(&log);
+    let engine = Engine::builder().window(4096).clusters(8).in_memory()?;
+    for (sql, count) in &synthetic.statements {
+        engine.ingest_with_count(sql, *count)?;
+    }
+    engine.flush()?;
+
+    let snapshot = engine.snapshot()?;
+    let summary = snapshot.summary()?.expect("non-empty workload");
     println!(
         "compressed to {} clusters (error {:.3} nats, verbosity {})\n",
         summary.mixture.k(),
@@ -34,16 +43,18 @@ fn main() {
         summary.total_verbosity()
     );
 
-    // Candidate indexes: every WHERE-clause equality atom.
-    let total = log.total_queries() as f64;
+    // Candidate indexes: every WHERE-clause equality atom, estimate vs
+    // ground truth.
+    let total = snapshot.total_queries() as f64;
     let mut candidates: Vec<(String, f64, f64)> = Vec::new(); // (atom, est, true)
-    for (id, feature) in log.codebook().iter() {
+    for (id, feature) in snapshot.history().codebook().iter() {
         if feature.class != FeatureClass::Where || !feature.text.contains("= ?") {
             continue;
         }
-        let pattern = QueryVector::new(vec![id]);
-        let est = summary.estimate_count(&pattern);
-        let truth = log.support(&pattern) as f64;
+        let est = summary.estimate_count(&QueryVector::new(vec![id]));
+        let truth = log
+            .support(&QueryVector::new(vec![log.codebook().get(feature).expect("same workload")]))
+            as f64;
         candidates.push((feature.text.clone(), est, truth));
     }
     candidates.sort_by(|a, b| b.1.total_cmp(&a.1));
@@ -58,14 +69,16 @@ fn main() {
     }
 
     println!("\nadvisor picks (predicate share ≥ 20% of workload):");
-    for (atom, est, _) in &candidates {
-        if *est / total >= 0.20 {
-            let column = atom.split_whitespace().next().unwrap_or(atom);
-            println!(
-                "  CREATE INDEX ON (…{column}…)   -- appears in {:.0}% of queries",
-                100.0 * est / total
-            );
+    for pick in snapshot.advise(0.20)? {
+        if !pick.predicate.contains("= ?") {
+            continue;
         }
+        let column = pick.predicate.split_whitespace().next().unwrap_or(&pick.predicate);
+        println!(
+            "  CREATE INDEX ON (…{column}…)   -- appears in {:.0}% of queries",
+            100.0 * pick.estimated / total
+        );
     }
     println!("\nworst relative error among the top candidates: {:.1}%", max_rel_err * 100.0);
+    Ok(())
 }

@@ -1,25 +1,26 @@
 //! Online workload monitoring / intrusion detection (paper §2 and §5),
-//! on the streaming API.
+//! on the [`logr::Engine`] façade.
 //!
 //! Pattern mixture encodings capture anti-correlations between workloads,
 //! which is what lets them flag "queries that don't belong". This example
-//! runs the full streaming loop from `logr::core::stream`: a
-//! `StreamSummarizer` ingests the query stream one statement at a time,
-//! closes tumbling windows, and emits per-window mixture summaries plus
-//! drift reports and novelty scores against a rolling baseline — no
-//! re-clustering of the whole log ever happens. An exfiltration-style scan
-//! is injected into the final window and must be flagged by
+//! runs the full always-on loop: an engine ingests the query stream one
+//! statement at a time, closes tumbling windows, and emits per-window
+//! mixture summaries plus drift reports and novelty scores against a
+//! rolling baseline — no re-clustering of the whole log ever happens. An
+//! exfiltration-style scan is injected into the final window and must be
+//! flagged by
 //!
 //! 1. **window-level feature drift** (new features + JS divergence),
 //! 2. **per-query novelty** (nearest-baseline distance), and
-//! 3. **per-query typicality** against the streamed history summary.
+//! 3. **per-query typicality** against the engine's history summary.
 //!
 //! Run with: `cargo run --release --example intrusion_detection`
 
 use logr::cluster::Distance;
-use logr::core::{query_typicality, StreamConfig, StreamSummarizer, WindowSummary};
+use logr::core::{query_typicality, WindowSummary};
 use logr::feature::{LogIngest, QueryVector};
 use logr::workload::{generate_pocketdata, PocketDataConfig};
+use logr::{Engine, Error};
 
 fn report_window(w: &WindowSummary) {
     let verdict = if w.stable { "stable" } else { "⚠ SHIFTED" };
@@ -43,7 +44,7 @@ fn report_window(w: &WindowSummary) {
     }
 }
 
-fn main() {
+fn main() -> Result<(), Error> {
     // The app's normal (machine-generated) workload, replayed as a stream.
     let synthetic = generate_pocketdata(&PocketDataConfig::default());
     let injected = [
@@ -52,48 +53,49 @@ fn main() {
         "SELECT first_name, full_name, profile_id FROM participants WHERE profile_id > ?",
     ];
 
-    let mut stream = StreamSummarizer::new(StreamConfig {
-        window: 400,
-        baseline_windows: 3,
-        k: 4,
-        metric: Distance::Hamming,
-        drift_tolerance: 1e-3,
-        ..StreamConfig::default()
-    });
+    let engine = Engine::builder()
+        .window(400)
+        .baseline_windows(3)
+        .clusters(4)
+        .metric(Distance::Hamming)
+        .drift_tolerance(1e-3)
+        .in_memory()?;
 
     println!("streaming the workload in tumbling windows of 400 queries:");
-    let mut windows: Vec<WindowSummary> = Vec::new();
+    let mut windows: Vec<std::sync::Arc<WindowSummary>> = Vec::new();
 
     // Several rounds of normal traffic stream through continuously and
     // build up the rolling baseline…
     for _ in 0..4 {
         for (sql, count) in synthetic.statements.iter().take(120) {
-            if let Some(w) = stream.ingest_with_count(sql, *count % 7 + 1) {
+            if let Some(w) = engine.ingest_with_count(sql, *count % 7 + 1)? {
                 report_window(&w);
                 windows.push(w);
             }
         }
     }
 
-    // …the pre-attack history (log + summary) is what incoming traffic
-    // will be judged against…
-    let history_snapshot = stream.history_summary().expect("history is non-empty");
-    let history_log = stream.history().clone();
+    // …the pre-attack history is what incoming traffic will be judged
+    // against: a snapshot pins it immutably (a monitoring thread would
+    // hold exactly this view while ingestion continues)…
+    let pre_attack = engine.snapshot()?;
+    let history_snapshot = pre_attack.summary()?.expect("history is non-empty");
+    let history_log = pre_attack.history();
 
     // …then the scan runs hot inside otherwise-normal traffic.
     for (sql, count) in synthetic.statements.iter().take(60) {
-        if let Some(w) = stream.ingest_with_count(sql, *count % 7 + 1) {
+        if let Some(w) = engine.ingest_with_count(sql, *count % 7 + 1)? {
             report_window(&w);
             windows.push(w);
         }
     }
     for sql in injected {
-        if let Some(w) = stream.ingest_with_count(sql, 40) {
+        if let Some(w) = engine.ingest_with_count(sql, 40)? {
             report_window(&w);
             windows.push(w);
         }
     }
-    if let Some(w) = stream.flush() {
+    if let Some(w) = engine.flush()? {
         report_window(&w);
         windows.push(w);
     }
@@ -107,9 +109,9 @@ fn main() {
         attack.max_novelty(),
     );
 
-    // Rank probe queries by typicality under the *streamed* pre-attack
-    // history summary (built from the sharded condensed matrix — no
-    // pairwise distance was ever recomputed across windows).
+    // Rank probe queries by typicality under the pre-attack history
+    // summary (built from the sharded condensed matrix — no pairwise
+    // distance was ever recomputed across windows).
     println!(
         "\npre-attack history: {} queries, {} distinct, summarized at k={} (error {:.3}); \
          post-attack history holds {} queries",
@@ -117,7 +119,7 @@ fn main() {
         history_log.distinct_count(),
         history_snapshot.mixture.k(),
         history_snapshot.error(),
-        stream.history().total_queries(),
+        engine.snapshot()?.history().total_queries(),
     );
 
     let normal: Vec<String> =
@@ -152,4 +154,5 @@ fn main() {
     }
     let anomalies = scored.iter().filter(|(_, s)| *s < 5e-2).count();
     println!("flagged {anomalies} of {} probed queries", scored.len());
+    Ok(())
 }

@@ -1,47 +1,47 @@
-//! Quickstart: ingest a small SQL log, compress it, query statistics from
-//! the summary, and render the human-readable view.
+//! Quickstart: ingest a small SQL log through the [`logr::Engine`]
+//! façade, query statistics from the summary, ask the index advisor, and
+//! render the human-readable view.
+//!
+//! Batch compression is the degenerate stream: ingest everything, flush
+//! the final window, read the history summary. The same engine, opened
+//! on a directory instead of `in_memory()`, would persist every window
+//! and resume bit-identically after a restart.
 //!
 //! Run with: `cargo run --example quickstart`
 
 use logr::core::interpret::{render_mixture, RenderConfig};
-use logr::core::{CompressionObjective, LogR, LogRConfig};
-use logr::feature::{Feature, LogIngest};
+use logr::feature::Feature;
+use logr::{Engine, Error};
 
-fn main() {
+fn main() -> Result<(), Error> {
     // A toy production log: a hot messaging workload, a warm account
     // workload, and a rare-but-important report query (the kind sampling
     // would lose — the paper's motivating case).
-    let mut ingest = LogIngest::new();
+    let engine = Engine::builder().window(1024).clusters(4).in_memory()?;
     for _ in 0..5_000 {
-        ingest.ingest("SELECT id, body, sent_at FROM messages WHERE status = ? AND folder = ?");
+        engine.ingest("SELECT id, body, sent_at FROM messages WHERE status = ? AND folder = ?")?;
     }
     for _ in 0..2_500 {
-        ingest.ingest("SELECT id FROM messages WHERE status = ?");
+        engine.ingest("SELECT id FROM messages WHERE status = ?")?;
     }
     for _ in 0..1_500 {
-        ingest.ingest("SELECT balance, branch FROM accounts WHERE owner = ?");
+        engine.ingest("SELECT balance, branch FROM accounts WHERE owner = ?")?;
     }
     for _ in 0..12 {
-        ingest.ingest(
+        engine.ingest(
             "SELECT owner, sum(amount) FROM accounts, ledger \
              WHERE accounts.id = ledger.account_id AND posted_at >= ? GROUP BY owner",
-        );
+        )?;
     }
-    let (log, stats) = ingest.finish();
+    engine.flush()?;
 
+    let snapshot = engine.snapshot()?;
+    let summary = snapshot.summary()?.expect("non-empty workload");
     println!(
         "ingested {} queries ({} distinct after constant removal)",
-        stats.parsed_selects, stats.distinct_anonymized
+        snapshot.total_queries(),
+        snapshot.history().distinct_count()
     );
-
-    // Compress with a 2-nat error budget; LogR grows the cluster count
-    // until the bound holds.
-    let summary = LogR::new(LogRConfig {
-        objective: CompressionObjective::MaxError { bound: 2.0, max_k: 8 },
-        ..Default::default()
-    })
-    .compress(&log);
-
     println!(
         "summary: {} clusters, verbosity {}, reproduction error {:.4} nats",
         summary.mixture.k(),
@@ -58,10 +58,24 @@ fn main() {
         ("accounts queried", vec![Feature::from_table("accounts")]),
         ("rare ledger join", vec![Feature::from_table("ledger")]),
     ] {
-        let est = summary.estimate_count_features(&log, &features);
+        let est = snapshot.estimate_count_features(&features)?;
         println!("est[{label}] ≈ {est:.1} queries");
     }
 
+    // The §2 index-advisor question, answered without touching the log.
+    println!("\nadvisor picks (predicate share ≥ 20% of workload):");
+    for pick in snapshot.advise(0.20)? {
+        println!(
+            "  CREATE INDEX ON (…{}…)   -- appears in {:.0}% of queries",
+            pick.predicate.split_whitespace().next().unwrap_or(&pick.predicate),
+            100.0 * pick.share
+        );
+    }
+
     // The interpretable view (paper Fig. 1 / Fig. 10).
-    println!("\n{}", render_mixture(&summary.mixture, log.codebook(), &RenderConfig::default()));
+    println!(
+        "\n{}",
+        render_mixture(&summary.mixture, snapshot.history().codebook(), &RenderConfig::default())
+    );
+    Ok(())
 }

@@ -1,0 +1,737 @@
+//! `logr::Engine` — the one durable, concurrent front door for batch and
+//! streaming workload analytics.
+//!
+//! The paper's pitch is an *always-on* service: compress the access log
+//! once, then answer index-advisor / view-advisor / monitoring questions
+//! from the summary. The pieces exist as separate crates — `LogIngest` →
+//! `LogR::compress` for batch, `StreamSummarizer` + the spill store for
+//! bounded-memory streaming — but wiring them by hand leaves three gaps
+//! this module closes:
+//!
+//! * **Recovery** — [`Engine::open`] on a directory rebuilds the whole
+//!   session (history, codebook, drift baseline, half-filled window,
+//!   sharded distance structure) from a versioned [`crate::manifest`]
+//!   plus the spilled shard files, and continues **bit-identically**;
+//!   torn or corrupt state surfaces as typed [`Error`]s, never a panic.
+//! * **Concurrent reads** — [`Engine::snapshot`] hands out a cheap,
+//!   `Arc`-backed immutable view; any number of reader threads answer
+//!   statistics from it while one writer keeps ingesting. Writers
+//!   publish a new snapshot at every window close; readers never block
+//!   ingestion and never observe a torn state.
+//! * **One error type** — every public method returns
+//!   `Result<_, `[`Error`]`>`, with the per-crate errors wrapped via
+//!   `From`.
+//!
+//! Batch is the degenerate stream: ingest everything, [`Engine::flush`],
+//! read [`Engine::summary`]. See the crate root for a quickstart.
+
+use crate::error::Error;
+use crate::manifest::{self, Manifest};
+use logr_cluster::{Distance, ShardedPointSet, SpillConfig};
+use logr_core::PortableSummary;
+use logr_core::{
+    DriftReport, LogR, LogRSummary, StreamConfig, StreamSummarizer, TimeWindows, WindowSummary,
+};
+use logr_feature::{Feature, FeatureClass, QueryLog, QueryVector};
+use std::path::{Path, PathBuf};
+use std::sync::{Arc, Mutex, RwLock};
+
+/// Builder for [`Engine`] sessions. Defaults mirror
+/// [`StreamConfig::default`] (256-query tumbling windows, 4 clusters,
+/// Hamming distance) with an unbounded resident-shard budget.
+#[derive(Debug, Clone, Default)]
+pub struct EngineBuilder {
+    stream: StreamConfig,
+    resident_budget: Option<usize>,
+}
+
+impl EngineBuilder {
+    /// Start from the defaults.
+    pub fn new() -> Self {
+        EngineBuilder::default()
+    }
+
+    /// Queries per tumbling window (see [`StreamConfig::window`]).
+    pub fn window(mut self, queries: u64) -> Self {
+        self.stream.window = queries;
+        self
+    }
+
+    /// Slide the window by `queries` instead of tumbling
+    /// (see [`StreamConfig::slide`]).
+    pub fn slide(mut self, queries: u64) -> Self {
+        self.stream.slide = Some(queries);
+        self
+    }
+
+    /// Close windows on wall-clock boundaries instead of counts
+    /// (see [`StreamConfig::time`]).
+    pub fn time_windows(mut self, windows: TimeWindows) -> Self {
+        self.stream.time = Some(windows);
+        self
+    }
+
+    /// Closed windows forming the drift baseline
+    /// (see [`StreamConfig::baseline_windows`]).
+    pub fn baseline_windows(mut self, windows: usize) -> Self {
+        self.stream.baseline_windows = windows;
+        self
+    }
+
+    /// Clusters per summary (see [`StreamConfig::k`]).
+    pub fn clusters(mut self, k: usize) -> Self {
+        self.stream.k = k;
+        self
+    }
+
+    /// Distance measure for clustering and novelty scoring.
+    pub fn metric(mut self, metric: Distance) -> Self {
+        self.stream.metric = metric;
+        self
+    }
+
+    /// `stable` tolerance for window drift reports.
+    pub fn drift_tolerance(mut self, tolerance: f64) -> Self {
+        self.stream.drift_tolerance = tolerance;
+        self
+    }
+
+    /// RNG seed threaded into clustering.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.stream.seed = seed;
+        self
+    }
+
+    /// Resident shard-payload budget in bytes for durable engines (see
+    /// [`SpillConfig::resident_budget`]); unbounded when unset. On
+    /// [`EngineBuilder::resume`], an explicitly set budget overrides the
+    /// stored one.
+    pub fn resident_budget(mut self, bytes: usize) -> Self {
+        self.resident_budget = Some(bytes);
+        self
+    }
+
+    /// The full [`StreamConfig`] escape hatch.
+    pub fn stream_config(mut self, config: StreamConfig) -> Self {
+        self.stream = config;
+        self
+    }
+
+    /// Validate without panicking (the [`StreamSummarizer::new`] contract,
+    /// as a typed error).
+    fn validate(&self) -> Result<(), Error> {
+        self.stream.validate().map_err(|detail| Error::Config { detail })
+    }
+
+    /// An ephemeral engine: everything stays in memory, nothing survives
+    /// the process. [`Engine::checkpoint`] and recovery are unavailable;
+    /// everything else behaves identically to a durable engine.
+    pub fn in_memory(self) -> Result<Engine, Error> {
+        self.validate()?;
+        Ok(Engine::assemble(StreamSummarizer::new(self.stream), None, None, None))
+    }
+
+    /// Open-or-create a durable engine on `dir`: when the directory holds
+    /// an engine manifest, this **resumes** the persisted session (see
+    /// [`EngineBuilder::resume`] — the stored configuration wins, since
+    /// continuing bit-identically under a different one is impossible);
+    /// otherwise it initializes a fresh store there (creating the
+    /// directory and writing an initial manifest, so an immediately
+    /// dropped engine is already reopenable).
+    pub fn open(self, dir: impl Into<PathBuf>) -> Result<Engine, Error> {
+        let dir = dir.into();
+        if dir.join(manifest::FILE_NAME).exists() {
+            return self.resume(dir);
+        }
+        self.validate()?;
+        std::fs::create_dir_all(&dir)?;
+        let lock = StoreLock::acquire(&dir)?;
+        let mut summarizer = StreamSummarizer::new(self.stream);
+        let budget = self.resident_budget.unwrap_or(usize::MAX);
+        summarizer.spill_to(&dir, budget)?;
+        let engine = Engine::assemble(summarizer, Some(dir), None, Some(lock));
+        engine.checkpoint()?;
+        Ok(engine)
+    }
+
+    /// Resume a persisted engine from `dir`, which must hold a manifest
+    /// ([`Error::MissingManifest`] otherwise — `open` is the
+    /// open-or-create flavor). The recovered engine continues
+    /// bit-identically from the last checkpoint: the stored stream
+    /// configuration replaces this builder's, while an explicitly set
+    /// [`EngineBuilder::resident_budget`] (an operational knob, not a
+    /// semantic one) overrides the stored budget.
+    ///
+    /// Every corruption mode is a distinct typed error: a missing
+    /// manifest is [`Error::MissingManifest`], a manifest from a newer
+    /// build [`Error::ManifestVersion`], a damaged manifest
+    /// [`Error::CorruptManifest`], a deleted shard file
+    /// [`Error::MissingShard`], a truncated or rotted shard file
+    /// [`Error::Spill`] with the decoder's verdict, and checkpoint-level
+    /// inconsistency between them [`Error::StoreMismatch`]. A store
+    /// owned by a live engine is [`Error::StoreLocked`] (resume
+    /// garbage-collects files a live owner's snapshots may still read,
+    /// so ownership must be exclusive; a dead owner's lock is stale and
+    /// taken over). Never a panic.
+    pub fn resume(self, dir: impl Into<PathBuf>) -> Result<Engine, Error> {
+        let dir = dir.into();
+        let manifest_path = dir.join(manifest::FILE_NAME);
+        if !manifest_path.exists() {
+            return Err(Error::MissingManifest { dir });
+        }
+        // Exclusive ownership before anything destructive: resume ends
+        // with a garbage-collection pass over unreferenced shard files,
+        // which must never run while another live engine (whose
+        // snapshots may read exactly those files) owns the store.
+        let lock = StoreLock::acquire(&dir)?;
+        let m = manifest::read_file(&manifest_path)?;
+        // A checksum-valid manifest can still carry a configuration the
+        // summarizer would refuse (hand-edited store, foreign writer) —
+        // recovery must reject it as data, never reach a panic.
+        if let Err(detail) = m.config.validate() {
+            return Err(Error::CorruptManifest {
+                detail: format!("stored stream configuration is invalid: {detail}"),
+            });
+        }
+        let budget = self.resident_budget.unwrap_or(m.resident_budget);
+
+        let mut files = Vec::with_capacity(m.shard_files.len());
+        for name in &m.shard_files {
+            let path = dir.join(name);
+            if !path.exists() {
+                return Err(Error::MissingShard { path });
+            }
+            files.push(path);
+        }
+        let shards = ShardedPointSet::from_spilled_files(
+            SpillConfig { dir: dir.clone(), resident_budget: budget },
+            &files,
+        )?;
+        // The manifest and the shard files checksum independently; now
+        // check they describe the same checkpoint before handing them to
+        // the summarizer (whose constructor treats disagreement as a bug,
+        // not an input).
+        if shards.len() != m.total_points || shards.n_features() != m.n_features {
+            return Err(Error::StoreMismatch {
+                detail: format!(
+                    "shard files hold {} points over {} features, manifest expects {} over {}",
+                    shards.len(),
+                    shards.n_features(),
+                    m.total_points,
+                    m.n_features
+                ),
+            });
+        }
+        if shards.len() != m.state.history.distinct_count()
+            || shards.n_features() != m.state.history.num_features()
+        {
+            return Err(Error::StoreMismatch {
+                detail: format!(
+                    "shard files hold {} points over {} features, history log has {} over {}",
+                    shards.len(),
+                    shards.n_features(),
+                    m.state.history.distinct_count(),
+                    m.state.history.num_features()
+                ),
+            });
+        }
+        let summarizer = StreamSummarizer::from_state(m.config, m.state, shards);
+        // Garbage-collect shard files the manifest no longer references
+        // (left behind by compactions — see `Engine::compact`). Recovery
+        // is the one moment no live snapshot can be holding them: the
+        // engine has not been assembled yet and any previous process's
+        // snapshots died with it. Best-effort; a file that refuses to
+        // delete only costs disk.
+        if let Ok(entries) = std::fs::read_dir(&dir) {
+            for entry in entries.flatten() {
+                let path = entry.path();
+                let referenced = path
+                    .file_name()
+                    .and_then(|n| n.to_str())
+                    .is_some_and(|n| m.shard_files.iter().any(|f| f == n));
+                if !referenced && path.extension().is_some_and(|e| e == "bin") {
+                    let _ = std::fs::remove_file(&path);
+                }
+            }
+        }
+        Ok(Engine::assemble(summarizer, Some(dir), None, Some(lock)))
+    }
+}
+
+/// File name of the ownership lock inside a store directory.
+const LOCK_FILE: &str = "engine.lock";
+
+/// Exclusive ownership of a store directory, held for an [`Engine`]'s
+/// lifetime. Two layers, because the destructive operations (resume-time
+/// garbage collection, compaction) assume no one else reads the store:
+///
+/// * an **in-process registry** — opening the same directory from two
+///   `Engine`s in one process is refused outright;
+/// * a **pid lock file** — another live process holding the store is
+///   refused; a lock left by a dead process (crash) is stale and taken
+///   over. Liveness is probed via `/proc`; on systems without it the
+///   file degrades to advisory (cross-process opens are then the
+///   operator's contract, as with any file-based database).
+#[derive(Debug)]
+struct StoreLock {
+    dir: PathBuf,
+}
+
+/// Store directories locked by engines in this process.
+static STORE_LOCKS: Mutex<Vec<PathBuf>> = Mutex::new(Vec::new());
+
+impl StoreLock {
+    fn acquire(dir: &Path) -> Result<StoreLock, Error> {
+        let key = dir.canonicalize().unwrap_or_else(|_| dir.to_path_buf());
+        {
+            let mut held = STORE_LOCKS.lock().map_err(|_| Error::Poisoned)?;
+            if held.contains(&key) {
+                return Err(Error::StoreLocked { dir: dir.to_path_buf(), pid: std::process::id() });
+            }
+            held.push(key.clone());
+        }
+        // In-process claim is ours; now contest the cross-process file.
+        // Until the write below succeeds the file is NOT ours, so error
+        // paths must release only the registry entry, never the file.
+        let release_claim = |key: &PathBuf| {
+            if let Ok(mut held) = STORE_LOCKS.lock() {
+                held.retain(|d| d != key);
+            }
+        };
+        let path = key.join(LOCK_FILE);
+        let owner = std::fs::read_to_string(&path)
+            .ok()
+            .and_then(|contents| contents.trim().parse::<u32>().ok());
+        if let Some(pid) = owner {
+            // An unreadable or dead-pid lock is stale (crash leftover)
+            // and taken over; a live foreign pid refuses.
+            if pid != std::process::id() && process_alive(pid) {
+                release_claim(&key);
+                return Err(Error::StoreLocked { dir: dir.to_path_buf(), pid });
+            }
+        }
+        if let Err(e) = std::fs::write(&path, format!("{}\n", std::process::id())) {
+            release_claim(&key);
+            return Err(e.into());
+        }
+        Ok(StoreLock { dir: key })
+    }
+}
+
+impl Drop for StoreLock {
+    fn drop(&mut self) {
+        if let Ok(mut held) = STORE_LOCKS.lock() {
+            held.retain(|d| d != &self.dir);
+        }
+        let _ = std::fs::remove_file(self.dir.join(LOCK_FILE));
+    }
+}
+
+/// Best-effort liveness probe for a pid (Linux `/proc`; `false` — i.e.
+/// stale — where that does not exist).
+fn process_alive(pid: u32) -> bool {
+    Path::new("/proc").exists() && Path::new(&format!("/proc/{pid}")).exists()
+}
+
+/// One advisor pick: a WHERE predicate and how much of the workload the
+/// summary estimates it covers.
+#[derive(Debug, Clone, PartialEq)]
+pub struct IndexAdvice {
+    /// The predicate's canonical text (e.g. `status = ?`).
+    pub predicate: String,
+    /// Estimated queries containing it (from the mixture, not the log).
+    pub estimated: f64,
+    /// `estimated / total_queries` — the advisor's ranking signal.
+    pub share: f64,
+}
+
+/// An immutable, internally consistent view of the engine at one window
+/// boundary, shared by `Arc`: history and baseline logs, the sharded
+/// distance structure (cheap `Arc`-per-slot clone; spilled shards reload
+/// read-only through the snapshot's own cache), and the last closed
+/// window. Reader threads hold snapshots across any number of queries;
+/// the writer never blocks on them and never mutates what they see.
+#[derive(Debug)]
+pub struct EngineSnapshot {
+    config: StreamConfig,
+    windows_closed: usize,
+    buffered: u64,
+    history: Arc<QueryLog>,
+    baseline: Arc<QueryLog>,
+    shards: Arc<ShardedPointSet>,
+    last_window: Option<Arc<WindowSummary>>,
+    /// Memoized history summary: computed by the first reader that asks
+    /// (clustering over the merged condensed matrix — no distance is
+    /// recomputed), shared by every later one. Errors are not memoized —
+    /// a reload failure may be transient.
+    summary: Mutex<Option<Arc<LogRSummary>>>,
+}
+
+impl EngineSnapshot {
+    fn capture(s: &StreamSummarizer, last_window: Option<Arc<WindowSummary>>) -> Self {
+        EngineSnapshot {
+            config: *s.config(),
+            windows_closed: s.windows_closed(),
+            buffered: s.buffered_queries(),
+            history: Arc::new(s.history().clone()),
+            baseline: Arc::new(s.baseline().clone()),
+            shards: Arc::new(s.shard_store().clone()),
+            last_window,
+            summary: Mutex::new(None),
+        }
+    }
+
+    /// Windows closed when the snapshot was taken.
+    pub fn windows_closed(&self) -> usize {
+        self.windows_closed
+    }
+
+    /// Total queries seen (absorbed history plus the open window's
+    /// buffered queries).
+    pub fn total_queries(&self) -> u64 {
+        self.history.total_queries() + self.buffered
+    }
+
+    /// Queries buffered toward the next window close.
+    pub fn buffered_queries(&self) -> u64 {
+        self.buffered
+    }
+
+    /// The absorbed history log (every closed window).
+    pub fn history(&self) -> &QueryLog {
+        &self.history
+    }
+
+    /// The rolling drift baseline.
+    pub fn baseline(&self) -> &QueryLog {
+        &self.baseline
+    }
+
+    /// The last closed window's full artifacts, if any window has closed.
+    pub fn last_window(&self) -> Option<&WindowSummary> {
+        self.last_window.as_deref()
+    }
+
+    /// The last closed window's drift report.
+    pub fn drift(&self) -> Option<&DriftReport> {
+        self.last_window.as_deref().and_then(|w| w.drift.as_ref())
+    }
+
+    /// The last closed window's per-query novelty scores.
+    pub fn novelty(&self) -> &[f64] {
+        self.last_window.as_deref().map_or(&[], |w| &w.novelty)
+    }
+
+    /// Pattern mixture summary of everything seen so far, clustered over
+    /// the sharded history's merged condensed matrix — bit-identical to
+    /// [`StreamSummarizer::history_summary`] at the same boundary.
+    /// Computed once per snapshot (first caller pays; concurrent callers
+    /// wait and share), `None` before any distinct query was absorbed.
+    pub fn summary(&self) -> Result<Option<Arc<LogRSummary>>, Error> {
+        if self.history.distinct_count() == 0 {
+            return Ok(None);
+        }
+        let mut slot = self.summary.lock().map_err(|_| Error::Poisoned)?;
+        if let Some(s) = &*slot {
+            return Ok(Some(s.clone()));
+        }
+        let dist = self.shards.try_condensed(self.config.metric)?;
+        // The identical compressor StreamSummarizer::history_summary
+        // builds — one shared definition, so the documented bit-identity
+        // cannot silently drift.
+        let compressor = LogR::new(self.config.compressor_config());
+        let s = Arc::new(compressor.compress_condensed(&self.history, dist));
+        *slot = Some(s.clone());
+        Ok(Some(s))
+    }
+
+    /// Estimate how many history queries contain all the given features
+    /// (the §6.2 mixture estimator; 0.0 for unknown features or before
+    /// the first close).
+    pub fn estimate_count_features(&self, features: &[Feature]) -> Result<f64, Error> {
+        match self.summary()? {
+            Some(s) => Ok(s.estimate_count_features(&self.history, features)),
+            None => Ok(0.0),
+        }
+    }
+
+    /// The §2 index-advisor question, answered from the summary: every
+    /// WHERE predicate whose estimated share of the workload is at least
+    /// `min_share`, descending. The raw log is never consulted.
+    pub fn advise(&self, min_share: f64) -> Result<Vec<IndexAdvice>, Error> {
+        let Some(summary) = self.summary()? else { return Ok(Vec::new()) };
+        let total = self.history.total_queries() as f64;
+        if total == 0.0 {
+            return Ok(Vec::new());
+        }
+        let mut picks = Vec::new();
+        for (id, feature) in self.history.codebook().iter() {
+            if feature.class != FeatureClass::Where {
+                continue;
+            }
+            let estimated = summary.estimate_count(&QueryVector::new(vec![id]));
+            let share = estimated / total;
+            if share >= min_share {
+                picks.push(IndexAdvice { predicate: feature.text.clone(), estimated, share });
+            }
+        }
+        picks.sort_by(|a, b| {
+            b.estimated.total_cmp(&a.estimated).then(a.predicate.cmp(&b.predicate))
+        });
+        Ok(picks)
+    }
+
+    /// A self-contained portable artifact of the current summary (ship
+    /// it, drop the log) — `None` before the first close.
+    pub fn portable(&self) -> Result<Option<PortableSummary>, Error> {
+        Ok(self.summary()?.map(|s| PortableSummary::from_summary(&s, &self.history)))
+    }
+}
+
+/// Writer-side state, serialized behind one lock.
+#[derive(Debug)]
+struct WriterState {
+    summarizer: StreamSummarizer,
+    /// The newest closed window, carried across snapshots taken between
+    /// closes.
+    last_window: Option<Arc<WindowSummary>>,
+}
+
+/// One durable, concurrent session over a query workload — see the
+/// module docs. Share it as `Arc<Engine>`: ingestion entry points take
+/// `&self` (one writer at a time proceeds; they serialize on an internal
+/// lock), and [`Engine::snapshot`] hands any number of reader threads a
+/// consistent view without blocking the writer.
+#[derive(Debug)]
+pub struct Engine {
+    dir: Option<PathBuf>,
+    state: Mutex<WriterState>,
+    published: RwLock<Arc<EngineSnapshot>>,
+    /// Exclusive store ownership, released (registry entry + lock file)
+    /// when the engine drops. `None` for in-memory engines.
+    _lock: Option<StoreLock>,
+}
+
+impl Engine {
+    /// Start configuring a session.
+    pub fn builder() -> EngineBuilder {
+        EngineBuilder::new()
+    }
+
+    /// Shorthand: [`EngineBuilder::in_memory`] with defaults.
+    pub fn in_memory() -> Result<Engine, Error> {
+        EngineBuilder::new().in_memory()
+    }
+
+    /// Shorthand: [`EngineBuilder::open`] with defaults.
+    pub fn open(dir: impl Into<PathBuf>) -> Result<Engine, Error> {
+        EngineBuilder::new().open(dir)
+    }
+
+    fn assemble(
+        summarizer: StreamSummarizer,
+        dir: Option<PathBuf>,
+        last_window: Option<Arc<WindowSummary>>,
+        lock: Option<StoreLock>,
+    ) -> Engine {
+        let snapshot = Arc::new(EngineSnapshot::capture(&summarizer, last_window.clone()));
+        Engine {
+            dir,
+            state: Mutex::new(WriterState { summarizer, last_window }),
+            published: RwLock::new(snapshot),
+            _lock: lock,
+        }
+    }
+
+    /// The store directory (`None` for in-memory engines).
+    pub fn dir(&self) -> Option<&Path> {
+        self.dir.as_deref()
+    }
+
+    /// Ingest one statement (multiplicity 1). Returns the closed window's
+    /// artifacts when this statement completes a window — at which point
+    /// a new snapshot is published and, on durable engines, the store is
+    /// checkpointed.
+    ///
+    /// # Error semantics
+    ///
+    /// An [`Error::Spill`] means the window close itself failed and the
+    /// stream is wedged (reopen from the store). Any *other* error from
+    /// an ingest entry point comes from the post-close checkpoint write:
+    /// **the statement was ingested and the window closed** — the new
+    /// snapshot is already published and the closed window's artifacts
+    /// are on it ([`EngineSnapshot::last_window`]) — only durability did
+    /// not advance. Do not re-ingest the statement (that would count it
+    /// twice); a later close or [`Engine::checkpoint`] retries
+    /// persistence, and recovery meanwhile resumes from the last good
+    /// checkpoint.
+    pub fn ingest(&self, sql: &str) -> Result<Option<Arc<WindowSummary>>, Error> {
+        self.ingest_with_count(sql, 1)
+    }
+
+    /// Ingest one statement occurring `count` times.
+    pub fn ingest_with_count(
+        &self,
+        sql: &str,
+        count: u64,
+    ) -> Result<Option<Arc<WindowSummary>>, Error> {
+        let mut st = self.state.lock().map_err(|_| Error::Poisoned)?;
+        let closed = st.summarizer.try_ingest_with_count(sql, count)?;
+        self.after_ingest(&mut st, closed)
+    }
+
+    /// Ingest one statement occurring `count` times at timestamp `ts_ms`
+    /// (for time-based windows; see [`StreamSummarizer::ingest_at_ms`]).
+    pub fn ingest_at_ms(
+        &self,
+        sql: &str,
+        count: u64,
+        ts_ms: u64,
+    ) -> Result<Option<Arc<WindowSummary>>, Error> {
+        let mut st = self.state.lock().map_err(|_| Error::Poisoned)?;
+        let closed = st.summarizer.try_ingest_at_ms(sql, count, ts_ms)?;
+        self.after_ingest(&mut st, closed)
+    }
+
+    /// Close a partial window (end of batch / forced boundary). `None`
+    /// when nothing arrived since the last close.
+    pub fn flush(&self) -> Result<Option<Arc<WindowSummary>>, Error> {
+        let mut st = self.state.lock().map_err(|_| Error::Poisoned)?;
+        let closed = st.summarizer.try_flush()?;
+        self.after_ingest(&mut st, closed)
+    }
+
+    fn after_ingest(
+        &self,
+        st: &mut WriterState,
+        closed: Option<WindowSummary>,
+    ) -> Result<Option<Arc<WindowSummary>>, Error> {
+        let Some(w) = closed else { return Ok(None) };
+        let w = Arc::new(w);
+        st.last_window = Some(w.clone());
+        // Publish before persisting: the close already happened in
+        // memory, so readers must see it (and its artifacts must not be
+        // lost) even when the checkpoint write below fails.
+        self.publish(st)?;
+        self.persist(st)?;
+        Ok(Some(w))
+    }
+
+    /// Persist the current state (durable engines; no-op in memory):
+    /// every history shard gets a store file, then the manifest is
+    /// atomically replaced. A crash between the two leaves the previous
+    /// manifest pointing at its own (still present, write-once) files.
+    fn persist(&self, st: &mut WriterState) -> Result<(), Error> {
+        let Some(dir) = &self.dir else { return Ok(()) };
+        st.summarizer.persist_shards()?;
+        let shards = st.summarizer.shard_store();
+        let mut shard_files = Vec::with_capacity(shards.n_shards());
+        for s in 0..shards.n_shards() {
+            let path = shards.shard_file(s).expect("persist_shards wrote every shard");
+            let name = path
+                .file_name()
+                .and_then(|n| n.to_str())
+                .expect("spill files carry valid UTF-8 names");
+            shard_files.push(name.to_string());
+        }
+        let budget = shards.spill_config().map(|c| c.resident_budget).unwrap_or(usize::MAX);
+        let m = Manifest {
+            config: *st.summarizer.config(),
+            resident_budget: budget,
+            state: st.summarizer.export_state(),
+            n_features: shards.n_features(),
+            total_points: shards.len(),
+            shard_files,
+        };
+        manifest::write_file(&dir.join(manifest::FILE_NAME), &m)
+    }
+
+    /// Publish a fresh snapshot for readers.
+    fn publish(&self, st: &WriterState) -> Result<(), Error> {
+        let snapshot = Arc::new(EngineSnapshot::capture(&st.summarizer, st.last_window.clone()));
+        *self.published.write().map_err(|_| Error::Poisoned)? = snapshot;
+        Ok(())
+    }
+
+    /// The current published snapshot — a cheap `Arc` clone that never
+    /// blocks on the writer beyond the publish pointer swap. Snapshots
+    /// advance at window closes (and checkpoints/compactions), so a
+    /// reader sees the state as of the latest boundary, never a torn
+    /// mid-close intermediate.
+    pub fn snapshot(&self) -> Result<Arc<EngineSnapshot>, Error> {
+        Ok(self.published.read().map_err(|_| Error::Poisoned)?.clone())
+    }
+
+    /// Pattern mixture summary of everything seen so far (see
+    /// [`EngineSnapshot::summary`]).
+    pub fn summary(&self) -> Result<Option<Arc<LogRSummary>>, Error> {
+        self.snapshot()?.summary()
+    }
+
+    /// The last closed window's drift report (cloned; `None` before the
+    /// second window).
+    pub fn drift(&self) -> Result<Option<DriftReport>, Error> {
+        Ok(self.snapshot()?.drift().cloned())
+    }
+
+    /// Index advice from the current summary (see
+    /// [`EngineSnapshot::advise`]).
+    pub fn advise(&self, min_share: f64) -> Result<Vec<IndexAdvice>, Error> {
+        self.snapshot()?.advise(min_share)
+    }
+
+    /// Windows closed so far.
+    pub fn windows_closed(&self) -> Result<usize, Error> {
+        Ok(self.snapshot()?.windows_closed())
+    }
+
+    /// Total queries seen (absorbed plus buffered).
+    pub fn total_queries(&self) -> Result<u64, Error> {
+        Ok(self.snapshot()?.total_queries())
+    }
+
+    /// Persist everything **including the half-filled window buffer** to
+    /// the store, so [`Engine::open`] resumes bit-identically from this
+    /// exact point (ingestion between closes otherwise persists at window
+    /// granularity). [`Error::NotDurable`] on in-memory engines.
+    pub fn checkpoint(&self) -> Result<(), Error> {
+        if self.dir.is_none() {
+            return Err(Error::NotDurable);
+        }
+        let mut st = self.state.lock().map_err(|_| Error::Poisoned)?;
+        self.persist(&mut st)?;
+        self.publish(&st)
+    }
+
+    /// Merge the history's many per-window shards (and store files) into
+    /// one — bit-identical reads at a fraction of the per-shard reload
+    /// and bookkeeping overhead. On durable engines the manifest is
+    /// rewritten to reference only the merged file; the replaced files
+    /// are left on disk, because snapshots handed out **before** the
+    /// compaction still read from them — [`EngineBuilder::resume`]
+    /// garbage-collects unreferenced shard files on the next open, when
+    /// no snapshot can exist. Returns how many shards were merged
+    /// (0 = nothing to do).
+    pub fn compact(&self) -> Result<usize, Error> {
+        let mut st = self.state.lock().map_err(|_| Error::Poisoned)?;
+        let stats = st.summarizer.compact_shards()?;
+        if stats.shards_merged == 0 {
+            return Ok(0);
+        }
+        self.persist(&mut st)?;
+        self.publish(&st)?;
+        Ok(stats.shards_merged)
+    }
+
+    /// History shards currently on disk only (0 for in-memory engines).
+    pub fn spilled_shards(&self) -> Result<usize, Error> {
+        let st = self.state.lock().map_err(|_| Error::Poisoned)?;
+        Ok(st.summarizer.spilled_shards())
+    }
+
+    /// Resident history-shard payload bytes.
+    pub fn resident_shard_bytes(&self) -> Result<usize, Error> {
+        let st = self.state.lock().map_err(|_| Error::Poisoned)?;
+        Ok(st.summarizer.resident_shard_bytes())
+    }
+}

@@ -1,0 +1,142 @@
+//! The one error type of the `logr` façade.
+//!
+//! Every public [`crate::Engine`] entry point returns `Result<_, Error>`:
+//! callers match one `#[non_exhaustive]` enum instead of juggling the
+//! per-crate error types underneath (`SpillError` from the shard store,
+//! `PortableError` from summary serialization, raw `std::io::Error` from
+//! the filesystem) — those convert in via `From`, and the originals stay
+//! reachable through [`std::error::Error::source`] for callers that need
+//! the underlying detail.
+
+use logr_cluster::SpillError;
+use logr_core::PortableError;
+use std::fmt;
+use std::path::PathBuf;
+
+/// Why an engine operation failed.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum Error {
+    /// Underlying filesystem failure outside the shard store.
+    Io(std::io::Error),
+    /// The shard spill store failed (reload, append, eviction, or a
+    /// recovered file that is truncated/corrupt — the [`SpillError`]
+    /// variant says which).
+    Spill(SpillError),
+    /// Portable-summary serialization failed.
+    Portable(PortableError),
+    /// The engine configuration is invalid (zero-sized window, slide
+    /// wider than the window, `k == 0`, …).
+    Config {
+        /// What is wrong with it.
+        detail: &'static str,
+    },
+    /// [`crate::EngineBuilder::resume`] found no manifest: the directory
+    /// is empty (or was never an engine store).
+    MissingManifest {
+        /// The store directory inspected.
+        dir: PathBuf,
+    },
+    /// The store manifest was written by a newer build than this one —
+    /// refusing to guess at a future format.
+    ManifestVersion {
+        /// Version found in the manifest.
+        found: u32,
+        /// Largest version this build reads.
+        supported: u32,
+    },
+    /// The store manifest fails validation (bad magic, checksum mismatch,
+    /// or a structurally impossible payload).
+    CorruptManifest {
+        /// What failed.
+        detail: String,
+    },
+    /// The manifest references a shard file that no longer exists.
+    MissingShard {
+        /// The missing file.
+        path: PathBuf,
+    },
+    /// Manifest and shard files disagree (point counts or feature
+    /// universes that cannot belong to one checkpoint).
+    StoreMismatch {
+        /// The inconsistency found.
+        detail: String,
+    },
+    /// The store directory is already owned by a live engine (this
+    /// process or another): opening it twice would let one engine
+    /// garbage-collect shard files the other still reads.
+    StoreLocked {
+        /// The contested store directory.
+        dir: PathBuf,
+        /// Process id recorded in the lock.
+        pid: u32,
+    },
+    /// A durable-only operation (checkpoint) was asked of an in-memory
+    /// engine.
+    NotDurable,
+    /// A thread panicked while holding an engine lock; the in-memory
+    /// state may be torn. Durable engines recover by reopening from the
+    /// last checkpoint.
+    Poisoned,
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::Io(e) => write!(f, "engine I/O error: {e}"),
+            Error::Spill(e) => write!(f, "shard store error: {e}"),
+            Error::Portable(e) => write!(f, "portable summary error: {e}"),
+            Error::Config { detail } => write!(f, "invalid engine configuration: {detail}"),
+            Error::MissingManifest { dir } => {
+                write!(f, "no engine manifest in {} (nothing to resume)", dir.display())
+            }
+            Error::ManifestVersion { found, supported } => write!(
+                f,
+                "engine manifest version {found} is newer than this build reads (≤ {supported})"
+            ),
+            Error::CorruptManifest { detail } => write!(f, "corrupt engine manifest: {detail}"),
+            Error::MissingShard { path } => {
+                write!(f, "manifest references a missing shard file: {}", path.display())
+            }
+            Error::StoreMismatch { detail } => {
+                write!(f, "inconsistent engine store: {detail}")
+            }
+            Error::StoreLocked { dir, pid } => {
+                write!(f, "engine store {} is locked by live process {pid}", dir.display())
+            }
+            Error::NotDurable => {
+                write!(f, "operation requires a durable engine (opened on a directory)")
+            }
+            Error::Poisoned => write!(f, "engine lock poisoned by a panicking thread"),
+        }
+    }
+}
+
+impl std::error::Error for Error {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Error::Io(e) => Some(e),
+            Error::Spill(e) => Some(e),
+            Error::Portable(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for Error {
+    fn from(e: std::io::Error) -> Self {
+        Error::Io(e)
+    }
+}
+
+impl From<SpillError> for Error {
+    fn from(e: SpillError) -> Self {
+        Error::Spill(e)
+    }
+}
+
+impl From<PortableError> for Error {
+    fn from(e: PortableError) -> Self {
+        Error::Portable(e)
+    }
+}

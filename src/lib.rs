@@ -7,46 +7,59 @@
 //! counts that index selection, materialized-view selection, and online
 //! workload monitoring all reduce to.
 //!
-//! ## Quickstart
+//! ## Quickstart: the [`Engine`]
+//!
+//! One session object covers both batch and streaming ingestion, with
+//! durability and concurrent reads built in. Batch is just the degenerate
+//! stream — ingest everything, flush, read the summary:
 //!
 //! ```
-//! use logr::feature::LogIngest;
-//! use logr::core::{LogR, LogRConfig, CompressionObjective};
-//! use logr::feature::Feature;
+//! use logr::{Engine, feature::Feature};
 //!
-//! // 1. Ingest raw SQL (parse → anonymize → regularize → featurize).
-//! let mut ingest = LogIngest::new();
+//! let engine = Engine::builder().clusters(2).in_memory()?;
 //! for _ in 0..900 {
-//!     ingest.ingest("SELECT id, body FROM messages WHERE status = ?");
+//!     engine.ingest("SELECT id, body FROM messages WHERE status = ?")?;
 //! }
 //! for _ in 0..100 {
-//!     ingest.ingest("SELECT balance FROM accounts WHERE owner = ? AND open = ?");
+//!     engine.ingest("SELECT balance FROM accounts WHERE owner = ? AND open = ?")?;
 //! }
-//! let (log, stats) = ingest.finish();
-//! assert_eq!(stats.parse_errors, 0);
+//! engine.flush()?;
 //!
-//! // 2. Compress: cluster + naive mixture encoding.
-//! let summary = LogR::new(LogRConfig {
-//!     objective: CompressionObjective::FixedK(2),
-//!     ..Default::default()
-//! }).compress(&log);
-//!
-//! // 3. Query statistics from the summary instead of the log.
-//! let est = summary.estimate_count_features(&log, &[
+//! // Statistics come from the summary, never the raw log.
+//! let snapshot = engine.snapshot()?;
+//! let est = snapshot.estimate_count_features(&[
 //!     Feature::from_table("messages"),
 //!     Feature::where_atom("status = ?"),
-//! ]);
+//! ])?;
 //! assert!((est - 900.0).abs() < 1.0);
+//!
+//! // The §2 index-advisor question, answered from the same summary.
+//! let advice = snapshot.advise(0.5)?;
+//! assert!(advice.iter().any(|a| a.predicate == "status = ?"));
+//! # Ok::<(), logr::Error>(())
 //! ```
+//!
+//! Durable, always-on sessions open on a directory instead:
+//! `Engine::builder().open(dir)?` resumes bit-identically from the last
+//! checkpoint (window summaries, drift, novelty, history summaries — see
+//! [`Engine::open`]), while readers on other threads answer statistics
+//! from [`Engine::snapshot`] views that one writer keeps advancing.
+//!
+//! The layers underneath remain public for direct use — `LogIngest` →
+//! `LogR::compress` for one-shot batch compression
+//! ([`core::LogR`]), `StreamSummarizer` for hand-driven streaming
+//! ([`core::StreamSummarizer`]) — and the engine is a thin, durable,
+//! lock-disciplined shell over exactly those pieces.
 //!
 //! ## Crate map
 //!
 //! | Module | Backing crate | Contents |
 //! |---|---|---|
+//! | crate root | `logr` | [`Engine`] session façade, [`Error`] (the one error type), store [`manifest`] |
 //! | [`sql`] | `logr-sql` | lexer, parser, printer, conjunctive regularizer |
 //! | [`feature`] | `logr-feature` | Aligon features, codebook, vectors, [`feature::QueryLog`] |
-//! | [`cluster`] | `logr-cluster` | k-means, spectral, hierarchical clustering |
-//! | [`core`] | `logr-core` | encodings, Reproduction Error, max-ent, mixtures, the [`core::LogR`] compressor |
+//! | [`cluster`] | `logr-cluster` | k-means, spectral, hierarchical clustering; sharded condensed matrices ([`cluster::ShardedPointSet`]) and the versioned spill store ([`cluster::spill`]) |
+//! | [`core`] | `logr-core` | encodings, Reproduction Error, max-ent, mixtures, the [`core::LogR`] batch compressor, the [`core::StreamSummarizer`] streaming subsystem (windows, drift, novelty), portable summaries |
 //! | [`baselines`] | `logr-baselines` | Laserlight & MTV reimplementations + mixture generalizations |
 //! | [`workload`] | `logr-workload` | synthetic PocketData / US-bank / Mushroom / Income generators |
 //! | [`math`] | `logr-math` | matrices, eigensolvers, projections, entropies |
@@ -62,3 +75,10 @@ pub use logr_feature as feature;
 pub use logr_math as math;
 pub use logr_sql as sql;
 pub use logr_workload as workload;
+
+mod engine;
+mod error;
+pub mod manifest;
+
+pub use engine::{Engine, EngineBuilder, EngineSnapshot, IndexAdvice};
+pub use error::Error;
