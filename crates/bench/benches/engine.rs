@@ -18,7 +18,7 @@
 //!    `compact()`, at the cluster layer where the effect is isolated.
 
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
-use logr::feature::Feature;
+use logr::analytics::Pred;
 use logr::Engine;
 use std::path::PathBuf;
 
@@ -76,7 +76,7 @@ fn engine_snapshot(c: &mut Criterion) {
     // Warm the published snapshot's memoized summary once, as a
     // long-lived reader would find it.
     engine.summary().expect("summary");
-    let probe = [Feature::from_table("t0")];
+    let probe = Pred::table("t0");
 
     group.bench_function("snapshot_acquire", |b| {
         b.iter(|| black_box(engine.snapshot().expect("snapshot")));
@@ -84,7 +84,9 @@ fn engine_snapshot(c: &mut Criterion) {
     group.bench_function("estimate/1_thread", |b| {
         b.iter(|| {
             let snap = engine.snapshot().expect("snapshot");
-            black_box(snap.estimate_count_features(&probe).expect("estimate"))
+            black_box(
+                snap.query().expect("query").expect("summary").frequency(&probe).expect("estimate"),
+            )
         });
     });
     // Aggregate throughput: the same total number of reads, spread over
@@ -95,7 +97,13 @@ fn engine_snapshot(c: &mut Criterion) {
         b.iter(|| {
             for _ in 0..READS {
                 let snap = engine.snapshot().expect("snapshot");
-                black_box(snap.estimate_count_features(&probe).expect("estimate"));
+                black_box(
+                    snap.query()
+                        .expect("query")
+                        .expect("summary")
+                        .frequency(&probe)
+                        .expect("estimate"),
+                );
             }
         });
     });
@@ -106,7 +114,13 @@ fn engine_snapshot(c: &mut Criterion) {
                     scope.spawn(|| {
                         for _ in 0..READS / 4 {
                             let snap = engine.snapshot().expect("snapshot");
-                            black_box(snap.estimate_count_features(&probe).expect("estimate"));
+                            black_box(
+                                snap.query()
+                                    .expect("query")
+                                    .expect("summary")
+                                    .frequency(&probe)
+                                    .expect("estimate"),
+                            );
                         }
                     });
                 }

@@ -88,6 +88,25 @@ impl LogR {
     }
 }
 
+/// The multiplicity-weighted dendrogram over a log's pre-materialized
+/// condensed distance matrix — the single clustering every condensed-path
+/// entry point cuts.
+///
+/// # Panics
+/// Panics if the matrix size differs from the log's distinct count.
+fn condensed_dendrogram(
+    log: &QueryLog,
+    dist: logr_cluster::CondensedMatrix,
+) -> logr_cluster::Dendrogram {
+    assert_eq!(
+        dist.n(),
+        log.distinct_count(),
+        "condensed matrix must cover the log's distinct entries"
+    );
+    let weights: Vec<f64> = log.entries().iter().map(|&(_, c)| c as f64).collect();
+    logr_cluster::hierarchical_cluster_condensed(dist, &weights)
+}
+
 /// Resolve a [`CompressionObjective`] to a clustering, given a producer of
 /// candidate clusterings at a requested K (repeated clustering for the
 /// batch path, dendrogram cuts for the condensed/streaming path). The
@@ -142,25 +161,49 @@ impl LogR {
         log: &QueryLog,
         dist: logr_cluster::CondensedMatrix,
     ) -> LogRSummary {
-        use logr_cluster::hierarchical_cluster_condensed;
-        assert_eq!(
-            dist.n(),
-            log.distinct_count(),
-            "condensed matrix must cover the log's distinct entries"
-        );
-        let finish = |clustering: Clustering| {
-            let mixture = NaiveMixtureEncoding::build(log, &clustering);
-            let refined = self.config.refine.as_ref().map(|cfg| refine_mixture(log, &mixture, cfg));
-            LogRSummary { clustering, mixture, refined }
-        };
+        let finish = |clustering: Clustering| self.finish_summary(log, clustering);
         if log.distinct_count() == 0 {
             return finish(Clustering::new(1, Vec::new()));
         }
-        let weights: Vec<f64> = log.entries().iter().map(|&(_, c)| c as f64).collect();
-        let dendrogram = hierarchical_cluster_condensed(dist, &weights);
+        let dendrogram = condensed_dendrogram(log, dist);
         let clustering =
             resolve_objective(self.config.objective, log, |k| dendrogram.cut(k.max(1)));
         finish(clustering)
+    }
+
+    /// Multi-resolution compression over a pre-materialized condensed
+    /// matrix: the streaming-side counterpart of
+    /// [`LogR::compress_multiresolution`]. One dendrogram is built from
+    /// the given distances (zero recomputed — the sharded history's
+    /// merged matrix plugs in directly) and cut at every requested K, so
+    /// the returned summaries are **nested** and the whole
+    /// Error/Verbosity trade-off curve costs one clustering. The
+    /// configured objective is ignored; each entry of `ks` is a fixed
+    /// cut.
+    ///
+    /// # Panics
+    /// Panics if the matrix size differs from the log's distinct count.
+    pub fn compress_condensed_multiresolution(
+        &self,
+        log: &QueryLog,
+        dist: logr_cluster::CondensedMatrix,
+        ks: &[usize],
+    ) -> Vec<LogRSummary> {
+        if log.distinct_count() == 0 {
+            return ks
+                .iter()
+                .map(|_| self.finish_summary(log, Clustering::new(1, Vec::new())))
+                .collect();
+        }
+        let dendrogram = condensed_dendrogram(log, dist);
+        ks.iter().map(|&k| self.finish_summary(log, dendrogram.cut(k.max(1)))).collect()
+    }
+
+    /// Encode (and optionally refine) one resolved clustering.
+    fn finish_summary(&self, log: &QueryLog, clustering: Clustering) -> LogRSummary {
+        let mixture = NaiveMixtureEncoding::build(log, &clustering);
+        let refined = self.config.refine.as_ref().map(|cfg| refine_mixture(log, &mixture, cfg));
+        LogRSummary { clustering, mixture, refined }
     }
 
     /// Multi-resolution compression via hierarchical clustering
@@ -234,6 +277,25 @@ impl LogRSummary {
     /// Estimate a pattern's count from raw feature ids.
     pub fn estimate_count(&self, pattern: &QueryVector) -> f64 {
         self.mixture.estimate_count(pattern)
+    }
+
+    /// Estimated joint counts for every unordered pair drawn from `ids`
+    /// (see [`NaiveMixtureEncoding::estimate_pair_counts`]).
+    pub fn estimate_pair_counts(
+        &self,
+        ids: &[logr_feature::FeatureId],
+    ) -> Vec<(logr_feature::FeatureId, logr_feature::FeatureId, f64)> {
+        self.mixture.estimate_pair_counts(ids)
+    }
+
+    /// Conditional-marginal ranking of continuations of `given`
+    /// (see [`NaiveMixtureEncoding::rank_continuations`]).
+    pub fn rank_continuations(
+        &self,
+        given: &QueryVector,
+        min_conditional: f64,
+    ) -> Vec<(logr_feature::FeatureId, f64)> {
+        self.mixture.rank_continuations(given, min_conditional)
     }
 }
 
@@ -371,6 +433,48 @@ mod tests {
         let s = LogR::new(config)
             .compress_condensed(&empty, PointSet::from_log(&empty).distances(Distance::Hamming));
         assert_eq!(s.mixture.k(), 0);
+    }
+
+    #[test]
+    fn condensed_multiresolution_matches_per_k_cuts() {
+        use logr_cluster::PointSet;
+        let log = mixed_log();
+        let config = LogRConfig {
+            method: ClusterMethod::Hierarchical(Distance::Hamming),
+            ..Default::default()
+        };
+        let compressor = LogR::new(config);
+        let dist = || PointSet::from_log(&log).distances(Distance::Hamming);
+        let sweep = compressor.compress_condensed_multiresolution(&log, dist(), &[1, 2, 4]);
+        assert_eq!(sweep.len(), 3);
+        // Each entry is bit-identical to a FixedK condensed compression —
+        // one shared dendrogram serves both paths.
+        for (summary, k) in sweep.iter().zip([1usize, 2, 4]) {
+            let fixed =
+                LogR::new(LogRConfig { objective: CompressionObjective::FixedK(k), ..config })
+                    .compress_condensed(&log, dist());
+            assert_eq!(summary.clustering, fixed.clustering, "k = {k}");
+            assert_eq!(summary.error().to_bits(), fixed.error().to_bits(), "k = {k}");
+        }
+        // Nested: the coarser cut merges whole clusters of the finer one.
+        for w in sweep.windows(2) {
+            let mut map = std::collections::HashMap::new();
+            for i in 0..w[1].clustering.len() {
+                let entry = map
+                    .entry(w[1].clustering.assignments[i])
+                    .or_insert(w[0].clustering.assignments[i]);
+                assert_eq!(*entry, w[0].clustering.assignments[i], "cuts not nested");
+            }
+        }
+        // Empty log degenerates to one empty summary per requested K.
+        let empty = QueryLog::new();
+        let s = compressor.compress_condensed_multiresolution(
+            &empty,
+            PointSet::from_log(&empty).distances(Distance::Hamming),
+            &[1, 2],
+        );
+        assert_eq!(s.len(), 2);
+        assert_eq!(s[0].mixture.k(), 0);
     }
 
     #[test]

@@ -9,7 +9,7 @@
 use crate::encoding::NaiveEncoding;
 use crate::error::{empirical_entropy_for, naive_error_for};
 use logr_cluster::Clustering;
-use logr_feature::{QueryLog, QueryVector};
+use logr_feature::{FeatureId, QueryLog, QueryVector};
 
 /// One component of a mixture: a partition of the log with its naive
 /// encoding.
@@ -119,6 +119,64 @@ impl NaiveMixtureEncoding {
     /// `ρ_S(q) = Σᵢ wᵢ · ρ_{Sᵢ}(q)` (§5.2).
     pub fn probability(&self, q: &QueryVector) -> f64 {
         self.components.iter().map(|c| c.weight * c.encoding.probability(q)).sum()
+    }
+
+    /// Estimated joint occurrence count for every unordered pair drawn
+    /// from `ids` — the frequency table materialized-view selection ranks
+    /// join candidates by (paper §2: "the results of joins … are good
+    /// candidates for materialization when they appear frequently").
+    ///
+    /// Each pair's estimate is exactly [`Self::estimate_count`] of the
+    /// two-feature pattern, so per-cluster marginals keep anti-correlated
+    /// workloads apart where a single naive encoding would hallucinate
+    /// joins (§5). Pairs are enumerated in the given order (`i < j`);
+    /// nothing is filtered or sorted here.
+    pub fn estimate_pair_counts(&self, ids: &[FeatureId]) -> Vec<(FeatureId, FeatureId, f64)> {
+        let mut pairs = Vec::with_capacity(ids.len().saturating_sub(1) * ids.len() / 2);
+        for (i, &a) in ids.iter().enumerate() {
+            for &b in &ids[i + 1..] {
+                let est = self.estimate_count(&QueryVector::new(vec![a, b]));
+                pairs.push((a, b, est));
+            }
+        }
+        pairs
+    }
+
+    /// Conditional-marginal ranking of candidate continuations of `given`
+    /// — the scoring loop of query recommenders like QueRIE and
+    /// SnipSuggest (paper §1/§9.1) as library code: every feature `f` of
+    /// the encoded universe not already in `given` is scored by
+    /// `est[given ∪ {f}] / est[given]` and kept when **strictly** above
+    /// `min_conditional`, descending (ties keep feature-id order).
+    ///
+    /// Empty when `est[given]` is zero — the fragment is unseen and the
+    /// summary supports no conditioning.
+    pub fn rank_continuations(
+        &self,
+        given: &QueryVector,
+        min_conditional: f64,
+    ) -> Vec<(FeatureId, f64)> {
+        let base = self.estimate_count(given);
+        if base <= 0.0 {
+            return Vec::new();
+        }
+        let universe =
+            self.components.iter().map(|c| c.encoding.marginals().len()).max().unwrap_or(0);
+        let mut ranked = Vec::new();
+        for i in 0..universe {
+            let id = FeatureId(i as u32);
+            if given.contains(id) {
+                continue;
+            }
+            let mut ids: Vec<FeatureId> = given.iter().collect();
+            ids.push(id);
+            let conditional = self.estimate_count(&QueryVector::new(ids)) / base;
+            if conditional > min_conditional {
+                ranked.push((id, conditional));
+            }
+        }
+        ranked.sort_by(|a, b| b.1.total_cmp(&a.1));
+        ranked
     }
 }
 
@@ -242,6 +300,44 @@ mod tests {
         assert_eq!(m.k(), 2);
         let w: f64 = m.components().iter().map(|c| c.weight).sum();
         assert!((w - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pair_counts_match_pairwise_estimates() {
+        let log = toy_log();
+        let m = NaiveMixtureEncoding::build(&log, &Clustering::new(2, vec![0, 0, 1]));
+        let ids = [FeatureId(0), FeatureId(1), FeatureId(2)];
+        let pairs = m.estimate_pair_counts(&ids);
+        assert_eq!(pairs.len(), 3);
+        for &(a, b, est) in &pairs {
+            let direct = m.estimate_count(&QueryVector::new(vec![a, b]));
+            assert_eq!(est.to_bits(), direct.to_bits(), "pair ({a:?}, {b:?})");
+        }
+        // Enumeration order is i < j over the input slice.
+        assert_eq!(pairs[0].0, FeatureId(0));
+        assert_eq!(pairs[0].1, FeatureId(1));
+        assert_eq!(pairs[2].0, FeatureId(1));
+        assert_eq!(pairs[2].1, FeatureId(2));
+        // Cross-partition phantom pair {id, sms_type} estimates 0.
+        assert_eq!(pairs[0].2, 0.0);
+    }
+
+    #[test]
+    fn continuations_rank_by_conditional() {
+        let log = toy_log();
+        let m = NaiveMixtureEncoding::build(&log, &Clustering::new(2, vec![0, 0, 1]));
+        // Given {id}: Messages co-occurs always (p = 1), status=? half the
+        // time (p = 1/2), sms_type never.
+        let ranked = m.rank_continuations(&qv(&[0]), 0.0);
+        assert_eq!(ranked.len(), 2);
+        assert_eq!(ranked[0].0, FeatureId(2));
+        assert!((ranked[0].1 - 1.0).abs() < 1e-12);
+        assert_eq!(ranked[1].0, FeatureId(3));
+        assert!((ranked[1].1 - 0.5).abs() < 1e-12);
+        // Threshold is strict: at 0.5 the status=? continuation drops.
+        assert_eq!(m.rank_continuations(&qv(&[0]), 0.5).len(), 1);
+        // Unseen fragment → no conditioning possible.
+        assert!(m.rank_continuations(&qv(&[0, 1]), 0.0).is_empty());
     }
 
     #[test]

@@ -1,18 +1,20 @@
 //! Index selection from a compressed log (the paper's §2 lead
-//! application), through the [`logr::Engine`] façade.
+//! application), through the [`logr::Engine`] + [`logr::analytics`]
+//! facade.
 //!
 //! Index advisors repeatedly ask "how often does predicate X appear in
 //! the workload?" — e.g. a hash index on `status` pays off if
 //! `status = ?` occurs in most queries. Asking the raw log is slow at
 //! millions of queries; the engine answers from the summary
-//! ([`logr::EngineSnapshot::advise`]). This example streams a
+//! ([`logr::analytics::IndexAdvisor`]). This example streams a
 //! PocketData-scale workload into an engine, compares summary estimates
 //! against ground truth for every single-column predicate, then prints
 //! the advisor's picks.
 //!
 //! Run with: `cargo run --release --example index_advisor`
 
-use logr::feature::{FeatureClass, QueryVector};
+use logr::analytics::{Advisor, IndexAdvisor, Pred};
+use logr::feature::FeatureClass;
 use logr::workload::{generate_pocketdata, PocketDataConfig};
 use logr::{Engine, Error};
 
@@ -44,17 +46,19 @@ fn main() -> Result<(), Error> {
     );
 
     // Candidate indexes: every WHERE-clause equality atom, estimate vs
-    // ground truth.
-    let total = snapshot.total_queries() as f64;
+    // ground truth — estimates through the typed query surface.
+    let query = snapshot.query()?.expect("non-empty workload");
+    let total = snapshot.history().total_queries() as f64;
     let mut candidates: Vec<(String, f64, f64)> = Vec::new(); // (atom, est, true)
-    for (id, feature) in snapshot.history().codebook().iter() {
+    for (_, feature) in snapshot.history().codebook().iter() {
         if feature.class != FeatureClass::Where || !feature.text.contains("= ?") {
             continue;
         }
-        let est = summary.estimate_count(&QueryVector::new(vec![id]));
-        let truth = log
-            .support(&QueryVector::new(vec![log.codebook().get(feature).expect("same workload")]))
-            as f64;
+        let est = query.frequency(&Pred::feature(feature.clone()))?;
+        let truth = log.support(&logr::feature::QueryVector::new(vec![log
+            .codebook()
+            .get(feature)
+            .expect("same workload")])) as f64;
         candidates.push((feature.text.clone(), est, truth));
     }
     candidates.sort_by(|a, b| b.1.total_cmp(&a.1));
@@ -69,11 +73,11 @@ fn main() -> Result<(), Error> {
     }
 
     println!("\nadvisor picks (predicate share ≥ 20% of workload):");
-    for pick in snapshot.advise(0.20)? {
-        if !pick.predicate.contains("= ?") {
+    for pick in IndexAdvisor::new(0.20).advise(&*snapshot)? {
+        if !pick.subject.contains("= ?") {
             continue;
         }
-        let column = pick.predicate.split_whitespace().next().unwrap_or(&pick.predicate);
+        let column = pick.subject.split_whitespace().next().unwrap_or(&pick.subject);
         println!(
             "  CREATE INDEX ON (…{column}…)   -- appears in {:.0}% of queries",
             100.0 * pick.estimated / total

@@ -4,30 +4,38 @@
 //! The paper's workloads are sensitive (the US bank log required
 //! anonymization even for the paper); the artifact that leaves the
 //! database host should be the `O(Total Verbosity)` summary, not the log.
-//! This example compresses a workload, serializes the summary to disk,
+//! This example streams a workload into an engine, recompresses the
+//! snapshot at read time under a MaxError objective
+//! ([`logr::EngineSnapshot::summary_with`] — the fidelity knob without
+//! touching the stream configuration), serializes the summary to disk,
 //! reloads it in a "different process", and answers tuning questions from
 //! the file alone — then shows the size ratio.
 //!
 //! Run with: `cargo run --release --example portable_summary`
 
-use logr::core::{CompressionObjective, LogR, LogRConfig, PortableSummary};
+use logr::core::{CompressionObjective, PortableSummary};
 use logr::feature::Feature;
 use logr::workload::{generate_pocketdata, PocketDataConfig};
+use logr::Engine;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // --- On the database host -----------------------------------------
     let synthetic = generate_pocketdata(&PocketDataConfig::default());
     let raw_bytes: usize =
         synthetic.statements.iter().map(|(sql, count)| sql.len() * *count as usize).sum();
-    let (log, _) = synthetic.ingest();
 
-    let summary = LogR::new(LogRConfig {
-        objective: CompressionObjective::MaxError { bound: 12.0, max_k: 24 },
-        ..Default::default()
-    })
-    .compress(&log);
+    let engine = Engine::builder().window(1 << 21).in_memory()?;
+    for (sql, count) in &synthetic.statements {
+        engine.ingest_with_count(sql, *count)?;
+    }
+    engine.flush()?;
+    let snapshot = engine.snapshot()?;
 
-    let portable = PortableSummary::from_summary(&summary, &log);
+    let summary = snapshot
+        .summary_with(CompressionObjective::MaxError { bound: 12.0, max_k: 24 })?
+        .expect("non-empty workload");
+
+    let portable = PortableSummary::from_summary(&summary, snapshot.history());
     let path = std::env::temp_dir().join("pocketdata.logr");
     portable.save(&path)?;
     let summary_bytes = std::fs::metadata(&path)?.len() as usize;
@@ -35,7 +43,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!(
         "raw log ≈ {:.1} MB ({} queries) → summary {:.1} KB on disk ({} marginals, {} clusters)",
         raw_bytes as f64 / 1e6,
-        log.total_queries(),
+        snapshot.history().total_queries(),
         summary_bytes as f64 / 1e3,
         portable.total_verbosity(),
         portable.components.len(),
@@ -70,6 +78,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let est = loaded.estimate_count(&features);
         let truth = {
             // Only for the demo: the analyst would not have the log.
+            let log = snapshot.history();
             let ids: Option<Vec<_>> = features.iter().map(|f| log.codebook().get(f)).collect();
             ids.map(|ids| log.support(&ids.into_iter().collect()) as f64)
         };

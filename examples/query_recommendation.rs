@@ -1,95 +1,90 @@
 //! Query recommendation from a compressed log (paper §1/§9.1: "automated
 //! analysis of database access logs is critical for … query
-//! recommendation").
+//! recommendation"), through the [`logr::analytics`] facade.
 //!
 //! Recommenders like QueRIE and SnipSuggest score candidate query fragments
 //! by how often they co-occur with what the user has typed so far. Those
 //! co-occurrence counts are exactly the pattern marginals a LogR summary
-//! estimates: given the features of a partial query, rank every other
-//! feature `f` by the mixture estimate of
+//! estimates: [`logr::analytics::QueryRecommender`] featurizes the partial
+//! query, then ranks every other feature `f` by the mixture estimate of
 //! `p(f | partial) = est[partial ∪ {f}] / est[partial]`.
 //!
 //! Run with: `cargo run --release --example query_recommendation`
 
-use logr::core::{CompressionObjective, LogR, LogRConfig};
-use logr::feature::{FeatureClass, LogIngest, QueryVector};
+use logr::analytics::{Advisor, Pred, QueryRecommender};
+use logr::feature::FeatureClass;
 use logr::workload::{generate_pocketdata, PocketDataConfig};
+use logr::{Engine, Error};
 
-fn main() {
+fn main() -> Result<(), Error> {
     // Historical workload → summary (this is all the recommender keeps).
-    let (log, _) = generate_pocketdata(&PocketDataConfig::default()).ingest();
-    let summary =
-        LogR::new(LogRConfig { objective: CompressionObjective::FixedK(8), ..Default::default() })
-            .compress(&log);
+    let synthetic = generate_pocketdata(&PocketDataConfig::default());
+    let engine = Engine::builder().window(1 << 21).clusters(8).in_memory()?;
+    for (sql, count) in &synthetic.statements {
+        engine.ingest_with_count(sql, *count)?;
+    }
+    engine.flush()?;
+    let snapshot = engine.snapshot()?;
+    let summary = snapshot.summary()?.expect("non-empty workload");
     println!(
         "recommender state: {} clusters, {} stored marginals (log had {} queries)\n",
         summary.mixture.k(),
         summary.total_verbosity(),
-        log.total_queries()
+        snapshot.history().total_queries()
     );
 
     // The user has typed a partial query.
     let partial_sql = "SELECT sms_type FROM messages WHERE status = ?";
     println!("partial query: {partial_sql}");
 
-    // Featurize the fragment against the summary's codebook.
-    let mut probe = LogIngest::new();
-    probe.ingest(partial_sql);
-    let (probe_log, _) = probe.finish();
-    let mut partial_ids = Vec::new();
-    for (_, feature) in probe_log.codebook().iter() {
-        if let Some(id) = log.codebook().get(feature) {
-            partial_ids.push(id);
-        }
-    }
-    let partial: QueryVector = partial_ids.into_iter().collect();
-    let base = summary.estimate_count(&partial);
+    let query = snapshot.query()?.expect("non-empty workload");
+    let base = query.frequency(
+        &Pred::column("sms_type").and(Pred::table("messages")).and(Pred::column_eq("status")),
+    )?;
     println!("fragment matches ≈ {base:.0} historical queries\n");
-    if base <= 0.0 {
-        println!("fragment unseen in the workload — nothing to recommend");
-        return;
-    }
 
-    // Rank candidate continuations by conditional probability.
-    let mut recs: Vec<(String, FeatureClass, f64)> = Vec::new();
-    for (id, feature) in log.codebook().iter() {
-        if partial.contains(id) {
-            continue;
-        }
-        let mut extended_ids: Vec<_> = partial.iter().collect();
-        extended_ids.push(id);
-        let extended = QueryVector::new(extended_ids);
-        let conditional = summary.estimate_count(&extended) / base;
-        if conditional > 0.10 {
-            recs.push((feature.text.clone(), feature.class, conditional));
-        }
+    // Rank candidate continuations by conditional probability — the
+    // advisor runs off the same snapshot any reader thread could hold.
+    let recs = QueryRecommender::new(partial_sql, 0.10).advise(&*snapshot)?;
+    if recs.is_empty() {
+        println!("fragment unseen in the workload — nothing to recommend");
+        return Ok(());
     }
-    recs.sort_by(|a, b| b.2.total_cmp(&a.2));
 
     println!("suggested continuations (p(feature | partial) ≥ 10%):");
-    for (text, class, p) in recs.iter().take(12) {
-        let kind = match class {
+    for advice in recs.iter().take(12) {
+        let kind = match advice.features[0].class {
             FeatureClass::Select => "add to SELECT",
             FeatureClass::Where => "add to WHERE ",
             FeatureClass::From => "join table   ",
             _ => "extend with  ",
         };
-        println!("  {kind}  {text:<42} ({:.0}%)", p * 100.0);
+        println!("  {kind}  {:<42} ({:.0}%)", advice.subject, advice.share * 100.0);
     }
 
-    // Sanity: compare the top suggestion's conditional against ground truth.
-    if let Some((text, class, est_p)) = recs.first() {
-        let fid = log
-            .codebook()
-            .get(&logr::feature::Feature::new(*class, text.clone()))
-            .expect("recommended feature exists");
-        let mut ids: Vec<_> = partial.iter().collect();
-        ids.push(fid);
-        let true_p = log.support(&QueryVector::new(ids)) as f64 / log.support(&partial) as f64;
+    // Sanity: compare the top suggestion's conditional against ground
+    // truth (demo only — the recommender never needs the raw log).
+    let (log, _) = synthetic.ingest();
+    if let Some(top) = recs.first() {
+        let partial_ids: Vec<_> = [
+            logr::feature::Feature::select("sms_type"),
+            logr::feature::Feature::from_table("messages"),
+            logr::feature::Feature::where_atom("status = ?"),
+        ]
+        .iter()
+        .filter_map(|f| log.codebook().get(f))
+        .collect();
+        let partial: logr::feature::QueryVector = partial_ids.iter().copied().collect();
+        let mut extended_ids = partial_ids;
+        extended_ids
+            .push(log.codebook().get(&top.features[0]).expect("recommended feature exists"));
+        let extended: logr::feature::QueryVector = extended_ids.into_iter().collect();
+        let true_p = log.support(&extended) as f64 / log.support(&partial) as f64;
         println!(
             "\ntop suggestion check: estimated {:.0}% vs true {:.0}%",
-            est_p * 100.0,
+            top.share * 100.0,
             true_p * 100.0
         );
     }
+    Ok(())
 }

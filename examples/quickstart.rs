@@ -9,8 +9,8 @@
 //!
 //! Run with: `cargo run --example quickstart`
 
+use logr::analytics::Pred;
 use logr::core::interpret::{render_mixture, RenderConfig};
-use logr::feature::Feature;
 use logr::{Engine, Error};
 
 fn main() -> Result<(), Error> {
@@ -49,16 +49,16 @@ fn main() -> Result<(), Error> {
         summary.error()
     );
 
-    // Aggregate statistics straight from the summary.
-    for (label, features) in [
-        (
-            "messages.status = ?",
-            vec![Feature::from_table("messages"), Feature::where_atom("status = ?")],
-        ),
-        ("accounts queried", vec![Feature::from_table("accounts")]),
-        ("rare ledger join", vec![Feature::from_table("ledger")]),
+    // Aggregate statistics straight from the summary, through typed,
+    // composable predicates (unknown features would be typed errors, not
+    // silent zeros).
+    let query = snapshot.query()?.expect("non-empty workload");
+    for (label, pred) in [
+        ("messages.status = ?", Pred::table("messages").and(Pred::column_eq("status"))),
+        ("accounts queried", Pred::table("accounts")),
+        ("rare ledger join", Pred::joins("accounts", "ledger")),
     ] {
-        let est = snapshot.estimate_count_features(&features)?;
+        let est = query.frequency(&pred)?;
         println!("est[{label}] ≈ {est:.1} queries");
     }
 

@@ -1,5 +1,5 @@
 //! Materialized-view selection from a compressed log (paper §2's second
-//! application).
+//! application), through the [`logr::analytics`] facade.
 //!
 //! "The results of joins … are good candidates for materialization when
 //! they appear frequently in the workload. Like index selection, view
@@ -8,72 +8,71 @@
 //! Pair co-occurrence is exactly where mixtures earn their keep: a single
 //! naive encoding multiplies independent table marginals and hallucinates
 //! joins that never happen, while the mixture's per-cluster estimates keep
-//! anti-correlated workloads apart (§5).
+//! anti-correlated workloads apart (§5). The single-encoding baseline
+//! below is the same snapshot recompressed at K = 1 — a read-time choice
+//! ([`logr::EngineSnapshot::summary_with`]), no second ingestion.
 //!
 //! Run with: `cargo run --release --example view_advisor`
 
-use logr::cluster::{cluster_log, ClusterMethod};
-use logr::core::NaiveMixtureEncoding;
-use logr::feature::{FeatureClass, FeatureId, QueryVector};
+use logr::analytics::{Advisor, Pred, SummaryView, ViewAdvisor, WorkloadQuery};
+use logr::core::CompressionObjective;
+use logr::feature::FeatureClass;
 use logr::workload::{generate_usbank, UsBankConfig};
+use logr::{Engine, Error};
 
-fn main() {
-    let (log, _) = generate_usbank(&UsBankConfig::default()).ingest();
-    println!(
-        "workload: {} queries over {} tables",
-        log.total_queries(),
-        log.codebook().iter().filter(|(_, f)| f.class == FeatureClass::From).count()
-    );
+fn main() -> Result<(), Error> {
+    let synthetic = generate_usbank(&UsBankConfig::default());
+    // Ground truth for the comparison below — a real deployment never
+    // builds this.
+    let (log, _) = synthetic.ingest();
 
     // Fig. 2's lesson: this workload is diverse — it needs a generous
     // cluster count before join anti-correlations resolve.
-    let single = NaiveMixtureEncoding::single(&log);
-    let clustering = cluster_log(&log, 48, ClusterMethod::KMeansEuclidean, 0);
-    let mixture = NaiveMixtureEncoding::build(&log, &clustering);
+    let engine = Engine::builder().window(1 << 21).clusters(48).in_memory()?;
+    for (sql, count) in &synthetic.statements {
+        engine.ingest_with_count(sql, *count)?;
+    }
+    engine.flush()?;
+    let snapshot = engine.snapshot()?;
+    println!(
+        "workload: {} queries over {} tables",
+        snapshot.history().total_queries(),
+        snapshot.history().codebook().iter().filter(|(_, f)| f.class == FeatureClass::From).count()
+    );
 
     // Candidate views: every pair of tables that the *summary* says
-    // co-occurs; scored by estimated joint frequency.
-    let tables: Vec<(FeatureId, String)> = log
-        .codebook()
-        .iter()
-        .filter(|(_, f)| f.class == FeatureClass::From)
-        .map(|(id, f)| (id, f.text.clone()))
+    // co-occurs, scored by estimated joint frequency — one facade call.
+    let query = snapshot.query()?.expect("non-empty workload");
+    let candidates: Vec<_> = query
+        .cooccurrence(FeatureClass::From)?
+        .into_iter()
+        .filter(|c| c.estimated >= 1.0)
         .collect();
 
-    struct Candidate {
-        pair: String,
-        mixture_est: f64,
-        single_est: f64,
-        truth: f64,
-    }
-    let mut candidates = Vec::new();
-    for (i, (ida, a)) in tables.iter().enumerate() {
-        for (idb, b) in &tables[i + 1..] {
-            let pattern = QueryVector::new(vec![*ida, *idb]);
-            let mixture_est = mixture.estimate_count(&pattern);
-            if mixture_est < 1.0 {
-                continue;
-            }
-            candidates.push(Candidate {
-                pair: format!("{a} ⋈ {b}"),
-                mixture_est,
-                single_est: single.estimate_count(&pattern),
-                truth: log.support(&pattern) as f64,
-            });
-        }
-    }
-    candidates.sort_by(|x, y| y.mixture_est.total_cmp(&x.mixture_est));
+    // The K = 1 baseline, recompressed from the same snapshot at read
+    // time, queried through the same typed surface.
+    let single_summary =
+        snapshot.summary_with(CompressionObjective::FixedK(1))?.expect("non-empty workload");
+    let single_view = SummaryView::from_parts(
+        single_summary,
+        snapshot.history().codebook(),
+        snapshot.history().total_queries(),
+    );
+    let single = WorkloadQuery::over(&single_view)?.expect("summary present");
 
     println!("\ntop join-pair frequencies (mixture vs single-encoding vs truth):");
     println!("{:<44} {:>12} {:>12} {:>12}", "candidate view", "mixture", "single", "true");
     let mut mixture_abs_err = 0.0;
     let mut single_abs_err = 0.0;
-    for c in candidates.iter().take(10) {
-        println!("{:<44} {:>12.0} {:>12.0} {:>12.0}", c.pair, c.mixture_est, c.single_est, c.truth);
-    }
-    for c in &candidates {
-        mixture_abs_err += (c.mixture_est - c.truth).abs();
-        single_abs_err += (c.single_est - c.truth).abs();
+    for (i, c) in candidates.iter().enumerate() {
+        let single_est = single.frequency(&Pred::joins(c.a.text.clone(), c.b.text.clone()))?;
+        let truth = truth_for(&log, c);
+        if i < 10 {
+            let pair = format!("{} ⋈ {}", c.a.text, c.b.text);
+            println!("{pair:<44} {:>12.0} {single_est:>12.0} {truth:>12.0}", c.estimated);
+        }
+        mixture_abs_err += (c.estimated - truth).abs();
+        single_abs_err += (single_est - truth).abs();
     }
     println!(
         "\ntotal |estimate − truth| over {} candidate views: mixture {:.0}, single {:.0}",
@@ -86,13 +85,22 @@ fn main() {
         (single_abs_err / mixture_abs_err.max(1.0)).max(1.0)
     );
 
+    // The advisor itself: the same co-occurrence ranking as shipped
+    // library code, off the same snapshot any reader thread could hold.
     println!("\nadvisor picks (≥ 1% of workload):");
-    let total = log.total_queries() as f64;
-    for c in candidates.iter().filter(|c| c.mixture_est / total >= 0.01).take(5) {
+    for advice in ViewAdvisor::new(0.01).advise(&*snapshot)?.iter().take(5) {
         println!(
             "  CREATE MATERIALIZED VIEW … AS ({})   -- ~{:.1}% of queries",
-            c.pair,
-            100.0 * c.mixture_est / total
+            advice.subject,
+            100.0 * advice.share
         );
     }
+    Ok(())
+}
+
+/// True joint frequency, from the ground-truth log the analyst would not
+/// have (demo only).
+fn truth_for(log: &logr::feature::QueryLog, c: &logr::analytics::CoOccurrence) -> f64 {
+    let ids: Vec<_> = [&c.a, &c.b].into_iter().filter_map(|f| log.codebook().get(f)).collect();
+    log.support(&logr::feature::QueryVector::new(ids)) as f64
 }

@@ -1,0 +1,540 @@
+//! Typed workload predicates and the query evaluator they run through.
+//!
+//! The paper's estimation surface is "how many log queries contain this
+//! feature set?" (§6.2). Raw `&[logr_feature::Feature]` slices answer it but
+//! compose poorly: there is no OR, no conditional, and an unknown feature
+//! silently estimates zero. This module replaces the slices with:
+//!
+//! * [`Pred`] — a feature-class-aware predicate tree ([`Pred::table`],
+//!   [`Pred::column_eq`], [`Pred::joins`], …) with [`Pred::and`] /
+//!   [`Pred::or`] composition, resolved against the workload codebook with
+//!   typed [`Error::UnknownFeature`] errors instead of silent zeros;
+//! * [`WorkloadQuery`] — the evaluator offering [`WorkloadQuery::frequency`]
+//!   (single-term predicates are **bit-identical** to the classic
+//!   `estimate_count_features` path; ORs resolve by inclusion–exclusion
+//!   over the predicate's conjunctive branches),
+//!   [`WorkloadQuery::conditional`], [`WorkloadQuery::cooccurrence`] and
+//!   [`WorkloadQuery::top_k`] ranking;
+//! * [`WorkloadView`] — the object-safe read surface every
+//!   [`Advisor`](crate::analytics::Advisor) consumes: implemented by
+//!   [`crate::EngineSnapshot`] (concurrent reads off a live engine) and by
+//!   the standalone [`SummaryView`] (batch summaries without an engine).
+
+use crate::error::Error;
+use logr_core::LogRSummary;
+use logr_feature::{Codebook, Feature, FeatureClass, FeatureId, QueryLog, QueryVector};
+use std::sync::Arc;
+
+/// Most conjunctive branches a predicate may resolve to. Frequency
+/// evaluation is inclusion–exclusion over the branches (2^n − 1 terms),
+/// so the cap keeps a pathological OR tree from freezing the reader.
+const MAX_BRANCHES: usize = 12;
+
+/// A typed workload predicate: a boolean combination of query features,
+/// matched against the features a workload query *contains* (the §6.2
+/// pattern semantics — `Pred::table("accounts")` holds for every query
+/// whose FROM clause includes `accounts`, whatever else it touches).
+///
+/// Build leaves with the class-aware constructors and compose with
+/// [`Pred::and`] / [`Pred::or`]:
+///
+/// ```
+/// use logr::analytics::Pred;
+/// let hot = Pred::table("messages").and(Pred::column_eq("status"));
+/// let either = Pred::table("accounts").or(Pred::table("ledger"));
+/// # let _ = (hot, either);
+/// ```
+///
+/// Predicates are resolved against a codebook only at evaluation time, so
+/// one `Pred` can be reused across snapshots and workloads; a feature the
+/// codebook has never seen resolves to [`Error::UnknownFeature`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Pred {
+    /// The query contains this feature.
+    Feature(Feature),
+    /// Every branch holds.
+    And(Vec<Pred>),
+    /// At least one branch holds.
+    Or(Vec<Pred>),
+}
+
+impl Pred {
+    /// Leaf predicate from an explicit [`Feature`].
+    pub fn feature(feature: Feature) -> Pred {
+        Pred::Feature(feature)
+    }
+
+    /// ⟨table, FROM⟩ leaf: the query reads from `table`.
+    pub fn table(name: impl Into<String>) -> Pred {
+        Pred::Feature(Feature::from_table(name))
+    }
+
+    /// ⟨column, SELECT⟩ leaf: the query projects `column`.
+    pub fn column(name: impl Into<String>) -> Pred {
+        Pred::Feature(Feature::select(name))
+    }
+
+    /// ⟨`column = ?`, WHERE⟩ leaf: the query filters on an (anonymized)
+    /// equality over `column` — the spelling the canonical printer gives
+    /// parameterized equality atoms.
+    pub fn column_eq(column: impl AsRef<str>) -> Pred {
+        Pred::Feature(Feature::where_atom(format!("{} = ?", column.as_ref())))
+    }
+
+    /// ⟨atom, WHERE⟩ leaf with the atom's canonical text verbatim (for
+    /// non-equality predicates, e.g. `"posted_at >= ?"`).
+    pub fn where_atom(text: impl Into<String>) -> Pred {
+        Pred::Feature(Feature::where_atom(text))
+    }
+
+    /// Join predicate: both tables appear in the FROM clause —
+    /// shorthand for `table(a).and(table(b))`, the pattern
+    /// materialized-view selection ranks (paper §2).
+    pub fn joins(a: impl Into<String>, b: impl Into<String>) -> Pred {
+        Pred::table(a).and(Pred::table(b))
+    }
+
+    /// Conjunction of every feature in the iterator (the classic
+    /// `&[Feature]` slice, as a predicate).
+    pub fn all_of(features: impl IntoIterator<Item = Feature>) -> Pred {
+        let leaves: Vec<Pred> = features.into_iter().map(Pred::Feature).collect();
+        match leaves.len() {
+            1 => leaves.into_iter().next().expect("len checked"),
+            _ => Pred::And(leaves),
+        }
+    }
+
+    /// `self AND other` (flattens nested ANDs).
+    pub fn and(self, other: Pred) -> Pred {
+        match (self, other) {
+            (Pred::And(mut a), Pred::And(b)) => {
+                a.extend(b);
+                Pred::And(a)
+            }
+            (Pred::And(mut a), o) => {
+                a.push(o);
+                Pred::And(a)
+            }
+            (s, Pred::And(mut b)) => {
+                b.insert(0, s);
+                Pred::And(b)
+            }
+            (s, o) => Pred::And(vec![s, o]),
+        }
+    }
+
+    /// `self OR other` (flattens nested ORs).
+    pub fn or(self, other: Pred) -> Pred {
+        match (self, other) {
+            (Pred::Or(mut a), Pred::Or(b)) => {
+                a.extend(b);
+                Pred::Or(a)
+            }
+            (Pred::Or(mut a), o) => {
+                a.push(o);
+                Pred::Or(a)
+            }
+            (s, Pred::Or(mut b)) => {
+                b.insert(0, s);
+                Pred::Or(b)
+            }
+            (s, o) => Pred::Or(vec![s, o]),
+        }
+    }
+
+    /// Resolve to disjunctive normal form over codebook ids: a union of
+    /// conjunctive feature patterns, each a [`QueryVector`]. A leaf
+    /// feature absent from the codebook is [`Error::UnknownFeature`]; a
+    /// tree whose DNF exceeds [`MAX_BRANCHES`] branches is
+    /// [`Error::Config`].
+    fn resolve(&self, codebook: &Codebook) -> Result<Vec<QueryVector>, Error> {
+        let dnf = match self {
+            Pred::Feature(f) => {
+                let id =
+                    codebook.get(f).ok_or_else(|| Error::UnknownFeature { feature: f.clone() })?;
+                vec![QueryVector::new(vec![id])]
+            }
+            Pred::And(branches) => {
+                let mut acc = vec![QueryVector::empty()];
+                for branch in branches {
+                    let terms = branch.resolve(codebook)?;
+                    let mut next = Vec::with_capacity(acc.len() * terms.len());
+                    for left in &acc {
+                        for term in &terms {
+                            next.push(left.union(term));
+                        }
+                    }
+                    if next.len() > MAX_BRANCHES {
+                        return Err(too_many_branches());
+                    }
+                    acc = next;
+                }
+                acc
+            }
+            Pred::Or(branches) => {
+                let mut acc = Vec::new();
+                for branch in branches {
+                    acc.extend(branch.resolve(codebook)?);
+                    if acc.len() > MAX_BRANCHES {
+                        return Err(too_many_branches());
+                    }
+                }
+                acc
+            }
+        };
+        // Identical conjunctions are redundant under union; drop them so
+        // inclusion–exclusion does not cancel a term against itself.
+        let mut deduped: Vec<QueryVector> = Vec::with_capacity(dnf.len());
+        for term in dnf {
+            if !deduped.contains(&term) {
+                deduped.push(term);
+            }
+        }
+        Ok(deduped)
+    }
+}
+
+fn too_many_branches() -> Error {
+    Error::Config { detail: "predicate resolves to too many OR branches (limit 12)" }
+}
+
+/// An object-safe read surface over one summarized workload: the mixture
+/// summary, the codebook its features resolve against, and the query
+/// total the summary covers. This is the contract every
+/// [`Advisor`](crate::analytics::Advisor) consumes — implemented by
+/// [`crate::EngineSnapshot`] (so reader threads run advisors concurrently
+/// with ingestion) and by [`SummaryView`] for batch summaries.
+pub trait WorkloadView {
+    /// The pattern mixture summary (`None` before any query was
+    /// summarized).
+    fn summary(&self) -> Result<Option<Arc<LogRSummary>>, Error>;
+
+    /// The codebook the summarized workload's features are interned in.
+    fn codebook(&self) -> &Codebook;
+
+    /// Total queries (with multiplicities) the summary covers.
+    fn summarized_queries(&self) -> u64;
+}
+
+/// [`WorkloadView`] over a standalone batch summary — run any advisor or
+/// [`WorkloadQuery`] against a [`LogRSummary`] produced outside an
+/// engine (e.g. `logr::core::LogR::compress`).
+#[derive(Debug, Clone)]
+pub struct SummaryView<'a> {
+    summary: Arc<LogRSummary>,
+    codebook: &'a Codebook,
+    total: u64,
+}
+
+impl<'a> SummaryView<'a> {
+    /// View a summary of `log` (codebook and total come from the log).
+    pub fn new(summary: impl Into<Arc<LogRSummary>>, log: &'a QueryLog) -> SummaryView<'a> {
+        SummaryView {
+            summary: summary.into(),
+            codebook: log.codebook(),
+            total: log.total_queries(),
+        }
+    }
+
+    /// View from explicit parts, for summaries whose log is gone.
+    pub fn from_parts(
+        summary: impl Into<Arc<LogRSummary>>,
+        codebook: &'a Codebook,
+        total: u64,
+    ) -> SummaryView<'a> {
+        SummaryView { summary: summary.into(), codebook, total }
+    }
+}
+
+impl WorkloadView for SummaryView<'_> {
+    fn summary(&self) -> Result<Option<Arc<LogRSummary>>, Error> {
+        Ok(Some(self.summary.clone()))
+    }
+
+    fn codebook(&self) -> &Codebook {
+        self.codebook
+    }
+
+    fn summarized_queries(&self) -> u64 {
+        self.total
+    }
+}
+
+/// One feature ranked by an estimated statistic (see
+/// [`WorkloadQuery::top_k`]).
+#[derive(Debug, Clone, PartialEq)]
+pub struct RankedFeature {
+    /// The ranked feature.
+    pub feature: Feature,
+    /// Estimated queries containing it (from the mixture, not the log).
+    pub estimated: f64,
+}
+
+/// Estimated joint frequency of two features of one class (see
+/// [`WorkloadQuery::cooccurrence`]).
+#[derive(Debug, Clone, PartialEq)]
+pub struct CoOccurrence {
+    /// First feature (earlier codebook id).
+    pub a: Feature,
+    /// Second feature.
+    pub b: Feature,
+    /// Estimated queries containing both.
+    pub estimated: f64,
+}
+
+/// The workload-statistics evaluator: typed predicates in, mixture
+/// estimates out. Works over any [`LogRSummary`] — obtain one from a live
+/// engine via [`crate::EngineSnapshot::query`], from any
+/// [`WorkloadView`] via [`WorkloadQuery::over`], or from a batch summary
+/// via [`WorkloadQuery::new`]. The raw log is never consulted.
+#[derive(Debug, Clone)]
+pub struct WorkloadQuery<'a> {
+    summary: Arc<LogRSummary>,
+    codebook: &'a Codebook,
+    total: u64,
+}
+
+impl<'a> WorkloadQuery<'a> {
+    /// Evaluator over a batch summary of `log`.
+    pub fn new(summary: impl Into<Arc<LogRSummary>>, log: &'a QueryLog) -> WorkloadQuery<'a> {
+        WorkloadQuery {
+            summary: summary.into(),
+            codebook: log.codebook(),
+            total: log.total_queries(),
+        }
+    }
+
+    /// Evaluator over any [`WorkloadView`]; `None` when the view holds no
+    /// summary yet (nothing summarized).
+    pub fn over(view: &'a dyn WorkloadView) -> Result<Option<WorkloadQuery<'a>>, Error> {
+        Ok(view.summary()?.map(|summary| WorkloadQuery {
+            summary,
+            codebook: view.codebook(),
+            total: view.summarized_queries(),
+        }))
+    }
+
+    /// The underlying summary.
+    pub fn summary(&self) -> &LogRSummary {
+        &self.summary
+    }
+
+    /// The codebook predicates resolve against.
+    pub fn codebook(&self) -> &Codebook {
+        self.codebook
+    }
+
+    /// Total queries the summary covers.
+    pub fn total_queries(&self) -> u64 {
+        self.total
+    }
+
+    /// Estimated number of workload queries satisfying `pred` (the §6.2
+    /// mixture estimator). Purely conjunctive predicates evaluate as one
+    /// pattern — for a single feature this is **bit-identical** to the
+    /// classic `estimate_count_features` path — and ORs resolve by
+    /// inclusion–exclusion over the predicate's conjunctive branches.
+    pub fn frequency(&self, pred: &Pred) -> Result<f64, Error> {
+        let dnf = pred.resolve(self.codebook)?;
+        match dnf.as_slice() {
+            [] => Ok(0.0),
+            [term] => Ok(self.summary.estimate_count(term)),
+            terms => {
+                // est[⋃ terms] by inclusion–exclusion; a subset's
+                // intersection pattern is the union of its feature sets.
+                let mut est = 0.0;
+                for mask in 1u32..(1 << terms.len()) {
+                    let mut pattern = QueryVector::empty();
+                    for (i, term) in terms.iter().enumerate() {
+                        if mask & (1 << i) != 0 {
+                            pattern = pattern.union(term);
+                        }
+                    }
+                    let sign = if mask.count_ones() % 2 == 1 { 1.0 } else { -1.0 };
+                    est += sign * self.summary.estimate_count(&pattern);
+                }
+                Ok(est)
+            }
+        }
+    }
+
+    /// `frequency(pred) / total_queries` — the share of the workload
+    /// satisfying the predicate (0 on an empty workload).
+    pub fn share(&self, pred: &Pred) -> Result<f64, Error> {
+        if self.total == 0 {
+            return Ok(0.0);
+        }
+        Ok(self.frequency(pred)? / self.total as f64)
+    }
+
+    /// Estimated conditional `p(pred | given)`: the share of queries
+    /// satisfying `given` that also satisfy `pred` (0 when `given` itself
+    /// estimates zero). This is the QueRIE/SnipSuggest recommender score
+    /// (paper §1/§9.1).
+    pub fn conditional(&self, given: &Pred, pred: &Pred) -> Result<f64, Error> {
+        let base = self.frequency(given)?;
+        if base <= 0.0 {
+            return Ok(0.0);
+        }
+        Ok(self.frequency(&given.clone().and(pred.clone()))? / base)
+    }
+
+    /// Estimated joint frequency of every pair of `class` features, in
+    /// descending order (ties keep codebook order). Pairs estimating zero
+    /// are dropped. For [`FeatureClass::From`] this is the
+    /// materialized-view candidate table of paper §2.
+    pub fn cooccurrence(&self, class: FeatureClass) -> Result<Vec<CoOccurrence>, Error> {
+        let ids: Vec<FeatureId> =
+            self.codebook.iter().filter(|(_, f)| f.class == class).map(|(id, _)| id).collect();
+        let mut pairs: Vec<CoOccurrence> = self
+            .summary
+            .estimate_pair_counts(&ids)
+            .into_iter()
+            .filter(|&(_, _, est)| est > 0.0)
+            .map(|(a, b, estimated)| CoOccurrence {
+                a: self.codebook.feature(a).clone(),
+                b: self.codebook.feature(b).clone(),
+                estimated,
+            })
+            .collect();
+        pairs.sort_by(|x, y| y.estimated.total_cmp(&x.estimated));
+        Ok(pairs)
+    }
+
+    /// The `k` most frequent features of a class by mixture estimate,
+    /// descending (ties keep codebook order).
+    pub fn top_k(&self, class: FeatureClass, k: usize) -> Result<Vec<RankedFeature>, Error> {
+        let mut ranked: Vec<RankedFeature> = self
+            .codebook
+            .iter()
+            .filter(|(_, f)| f.class == class)
+            .map(|(id, f)| RankedFeature {
+                feature: f.clone(),
+                estimated: self.summary.estimate_count(&QueryVector::new(vec![id])),
+            })
+            .collect();
+        ranked.sort_by(|x, y| y.estimated.total_cmp(&x.estimated));
+        ranked.truncate(k);
+        Ok(ranked)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use logr_core::LogR;
+    use logr_feature::LogIngest;
+
+    fn demo_log() -> QueryLog {
+        let mut ingest = LogIngest::new();
+        for _ in 0..30 {
+            ingest.ingest("SELECT id, body FROM messages WHERE status = ?");
+        }
+        for _ in 0..10 {
+            ingest.ingest("SELECT balance FROM accounts WHERE owner = ?");
+        }
+        ingest.finish().0
+    }
+
+    #[test]
+    fn single_feature_frequency_is_bit_identical_to_slice_path() {
+        let log = demo_log();
+        let summary = LogR::with_clusters(2).compress(&log);
+        let q = WorkloadQuery::new(summary.clone(), &log);
+        for (_, feature) in log.codebook().iter() {
+            let old = summary.estimate_count_features(&log, std::slice::from_ref(feature));
+            let new = q.frequency(&Pred::feature(feature.clone())).expect("known feature");
+            assert_eq!(new.to_bits(), old.to_bits(), "feature {feature}");
+        }
+    }
+
+    #[test]
+    fn unknown_feature_is_typed_not_zero() {
+        let log = demo_log();
+        let summary = LogR::with_clusters(2).compress(&log);
+        let q = WorkloadQuery::new(summary.clone(), &log);
+        // Old surface: silent zero. New surface: a typed error.
+        assert_eq!(summary.estimate_count_features(&log, &[Feature::from_table("nope")]), 0.0);
+        match q.frequency(&Pred::table("nope")) {
+            Err(Error::UnknownFeature { feature }) => {
+                assert_eq!(feature, Feature::from_table("nope"));
+            }
+            other => panic!("expected UnknownFeature, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn or_frequency_uses_inclusion_exclusion() {
+        let log = demo_log();
+        let summary = LogR::with_clusters(2).compress(&log);
+        let q = WorkloadQuery::new(summary.clone(), &log);
+        let messages = Pred::table("messages");
+        let accounts = Pred::table("accounts");
+        let either = q.frequency(&messages.clone().or(accounts.clone())).unwrap();
+        let a = q.frequency(&messages.clone()).unwrap();
+        let b = q.frequency(&accounts.clone()).unwrap();
+        let both = q.frequency(&messages.and(accounts)).unwrap();
+        assert!((either - (a + b - both)).abs() < 1e-9);
+        // The two tables partition this workload: the OR covers everything.
+        assert!((either - 40.0).abs() < 1.0, "either = {either}");
+        // OR of a predicate with itself collapses (dedup), not doubles.
+        let same = q.frequency(&Pred::table("messages").or(Pred::table("messages"))).unwrap();
+        assert_eq!(same.to_bits(), a.to_bits());
+    }
+
+    #[test]
+    fn pathological_or_fanout_is_a_config_error() {
+        let log = demo_log();
+        let summary = LogR::with_clusters(1).compress(&log);
+        let q = WorkloadQuery::new(summary, &log);
+        // The branch cap is checked while the OR accumulates (before
+        // dedup), so any 13-wide OR trips it.
+        let features: Vec<Feature> = log.codebook().iter().map(|(_, f)| f.clone()).collect();
+        let mut wide = Pred::table("messages");
+        for f in features.iter().cycle().take(13) {
+            wide = wide.or(Pred::feature(f.clone()).and(Pred::table("messages")));
+        }
+        match q.frequency(&wide) {
+            Err(Error::Config { .. }) => {}
+            other => panic!("expected Config error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn conditional_and_share_behave() {
+        let log = demo_log();
+        let summary = LogR::with_clusters(2).compress(&log);
+        let q = WorkloadQuery::new(summary, &log);
+        // p(status=? | messages) ≈ 1: every messages query filters status.
+        let c = q.conditional(&Pred::table("messages"), &Pred::column_eq("status")).unwrap();
+        assert!((c - 1.0).abs() < 1e-6, "conditional = {c}");
+        // Share of messages ≈ 30/40.
+        let s = q.share(&Pred::table("messages")).unwrap();
+        assert!((s - 0.75).abs() < 0.01, "share = {s}");
+        // Conditioning on an unseen-but-known pattern yields 0, not NaN.
+        let z = q
+            .conditional(&Pred::table("messages").and(Pred::table("accounts")), &Pred::column("id"))
+            .unwrap();
+        assert_eq!(z, 0.0);
+    }
+
+    #[test]
+    fn top_k_and_cooccurrence_rank_descending() {
+        let log = demo_log();
+        let summary = LogR::with_clusters(2).compress(&log);
+        let q = WorkloadQuery::new(summary, &log);
+        let tables = q.top_k(FeatureClass::From, 10).unwrap();
+        assert_eq!(tables.len(), 2);
+        assert_eq!(tables[0].feature.text, "messages");
+        assert!(tables[0].estimated >= tables[1].estimated);
+        // Only two tables and they never co-occur → no surviving pair.
+        assert!(q.cooccurrence(FeatureClass::From).unwrap().is_empty());
+        // SELECT columns id/body always co-occur (30 queries).
+        let cols = q.cooccurrence(FeatureClass::Select).unwrap();
+        assert!(!cols.is_empty());
+        assert!((cols[0].estimated - 30.0).abs() < 1.0);
+        for w in cols.windows(2) {
+            assert!(w[0].estimated >= w[1].estimated);
+        }
+    }
+}

@@ -25,14 +25,16 @@
 //! Batch is the degenerate stream: ingest everything, [`Engine::flush`],
 //! read [`Engine::summary`]. See the crate root for a quickstart.
 
+use crate::analytics::{Advisor, IndexAdvisor, WorkloadQuery, WorkloadView};
 use crate::error::Error;
 use crate::manifest::{self, Manifest};
 use logr_cluster::{Distance, ShardedPointSet, SpillConfig};
 use logr_core::PortableSummary;
 use logr_core::{
-    DriftReport, LogR, LogRSummary, StreamConfig, StreamSummarizer, TimeWindows, WindowSummary,
+    CompressionObjective, DriftReport, LogR, LogRSummary, StreamConfig, StreamSummarizer,
+    TimeWindows, WindowSummary,
 };
-use logr_feature::{Feature, FeatureClass, QueryLog, QueryVector};
+use logr_feature::{Codebook, Feature, QueryLog};
 use std::path::{Path, PathBuf};
 use std::sync::{Arc, Mutex, RwLock};
 
@@ -240,16 +242,17 @@ impl EngineBuilder {
         // (left behind by compactions — see `Engine::compact`). Recovery
         // is the one moment no live snapshot can be holding them: the
         // engine has not been assembled yet and any previous process's
-        // snapshots died with it. Best-effort; a file that refuses to
-        // delete only costs disk.
+        // snapshots died with it. Only files matching the spill store's
+        // own `shard-*.bin` naming are touched — a store directory may
+        // hold unrelated user files the engine must never delete.
+        // Best-effort; a file that refuses to delete only costs disk.
         if let Ok(entries) = std::fs::read_dir(&dir) {
             for entry in entries.flatten() {
                 let path = entry.path();
-                let referenced = path
-                    .file_name()
-                    .and_then(|n| n.to_str())
-                    .is_some_and(|n| m.shard_files.iter().any(|f| f == n));
-                if !referenced && path.extension().is_some_and(|e| e == "bin") {
+                let Some(name) = path.file_name().and_then(|n| n.to_str()) else { continue };
+                let engine_owned = name.starts_with("shard-") && name.ends_with(".bin");
+                let referenced = m.shard_files.iter().any(|f| f == name);
+                if engine_owned && !referenced {
                     let _ = std::fs::remove_file(&path);
                 }
             }
@@ -333,15 +336,23 @@ fn process_alive(pid: u32) -> bool {
     Path::new("/proc").exists() && Path::new(&format!("/proc/{pid}")).exists()
 }
 
-/// One advisor pick: a WHERE predicate and how much of the workload the
-/// summary estimates it covers.
+/// One index-advisor pick: a WHERE predicate and how much of the
+/// workload the summary estimates it covers. The legacy shape of
+/// [`crate::analytics::Advice`] — [`EngineSnapshot::advise`] keeps
+/// returning it, while the full advisor family
+/// ([`crate::analytics::IndexAdvisor`], [`crate::analytics::ViewAdvisor`],
+/// [`crate::analytics::QueryRecommender`]) reports `Advice` directly.
 #[derive(Debug, Clone, PartialEq)]
 pub struct IndexAdvice {
     /// The predicate's canonical text (e.g. `status = ?`).
     pub predicate: String,
     /// Estimated queries containing it (from the mixture, not the log).
     pub estimated: f64,
-    /// `estimated / total_queries` — the advisor's ranking signal.
+    /// `estimated / summarized_queries` — the advisor's ranking signal.
+    /// The denominator is the absorbed-history total the summary covers
+    /// ([`crate::analytics::WorkloadView::summarized_queries`]), not
+    /// [`EngineSnapshot::total_queries`], which also counts the open
+    /// window's still-unsummarized buffer.
     pub share: f64,
 }
 
@@ -445,9 +456,55 @@ impl EngineSnapshot {
         Ok(Some(s))
     }
 
+    /// A summary recompressed under a different [`CompressionObjective`]
+    /// at read time — the trade-off knob without touching the stream
+    /// configuration. Possible because the sharded history's condensed
+    /// matrix serves every K through one dendrogram (no distance is
+    /// recomputed); unlike [`EngineSnapshot::summary`] the result is
+    /// **not** memoized, so each call pays one clustering.
+    pub fn summary_with(
+        &self,
+        objective: CompressionObjective,
+    ) -> Result<Option<Arc<LogRSummary>>, Error> {
+        if self.history.distinct_count() == 0 {
+            return Ok(None);
+        }
+        let dist = self.shards.try_condensed(self.config.metric)?;
+        let mut config = self.config.compressor_config();
+        config.objective = objective;
+        Ok(Some(Arc::new(LogR::new(config).compress_condensed(&self.history, dist))))
+    }
+
+    /// The whole Error/Verbosity trade-off curve in one clustering:
+    /// nested summaries at every requested K, cut from one dendrogram
+    /// over the merged condensed matrix (see
+    /// [`LogR::compress_condensed_multiresolution`]). Empty before any
+    /// distinct query was absorbed.
+    pub fn multiresolution(&self, ks: &[usize]) -> Result<Vec<LogRSummary>, Error> {
+        if self.history.distinct_count() == 0 {
+            return Ok(Vec::new());
+        }
+        let dist = self.shards.try_condensed(self.config.metric)?;
+        let compressor = LogR::new(self.config.compressor_config());
+        Ok(compressor.compress_condensed_multiresolution(&self.history, dist, ks))
+    }
+
+    /// The typed estimation surface over this snapshot's summary: build
+    /// [`crate::analytics::Pred`] predicates and evaluate
+    /// frequency/conditional/co-occurrence/top-k through the returned
+    /// [`WorkloadQuery`]. `None` before the first distinct query.
+    pub fn query(&self) -> Result<Option<WorkloadQuery<'_>>, Error> {
+        WorkloadQuery::over(self)
+    }
+
     /// Estimate how many history queries contain all the given features
     /// (the §6.2 mixture estimator; 0.0 for unknown features or before
     /// the first close).
+    #[deprecated(
+        since = "0.1.0",
+        note = "use `EngineSnapshot::query()` with a typed `analytics::Pred` — unknown \
+                features become typed errors instead of silent zeros"
+    )]
     pub fn estimate_count_features(&self, features: &[Feature]) -> Result<f64, Error> {
         match self.summary()? {
             Some(s) => Ok(s.estimate_count_features(&self.history, features)),
@@ -458,33 +515,43 @@ impl EngineSnapshot {
     /// The §2 index-advisor question, answered from the summary: every
     /// WHERE predicate whose estimated share of the workload is at least
     /// `min_share`, descending. The raw log is never consulted.
+    ///
+    /// Thin wrapper over [`crate::analytics::IndexAdvisor`] — the one
+    /// implementation this and [`Engine::advise`] share; run the advisor
+    /// directly (or [`crate::analytics::ViewAdvisor`] /
+    /// [`crate::analytics::QueryRecommender`]) for the full family.
+    /// `min_share` outside `[0, 1]` (NaN included) is [`Error::Config`].
     pub fn advise(&self, min_share: f64) -> Result<Vec<IndexAdvice>, Error> {
-        let Some(summary) = self.summary()? else { return Ok(Vec::new()) };
-        let total = self.history.total_queries() as f64;
-        if total == 0.0 {
-            return Ok(Vec::new());
-        }
-        let mut picks = Vec::new();
-        for (id, feature) in self.history.codebook().iter() {
-            if feature.class != FeatureClass::Where {
-                continue;
-            }
-            let estimated = summary.estimate_count(&QueryVector::new(vec![id]));
-            let share = estimated / total;
-            if share >= min_share {
-                picks.push(IndexAdvice { predicate: feature.text.clone(), estimated, share });
-            }
-        }
-        picks.sort_by(|a, b| {
-            b.estimated.total_cmp(&a.estimated).then(a.predicate.cmp(&b.predicate))
-        });
-        Ok(picks)
+        let picks = IndexAdvisor::new(min_share).advise(self)?;
+        Ok(picks
+            .into_iter()
+            .map(|a| IndexAdvice { predicate: a.subject, estimated: a.estimated, share: a.share })
+            .collect())
     }
 
     /// A self-contained portable artifact of the current summary (ship
     /// it, drop the log) — `None` before the first close.
     pub fn portable(&self) -> Result<Option<PortableSummary>, Error> {
         Ok(self.summary()?.map(|s| PortableSummary::from_summary(&s, &self.history)))
+    }
+}
+
+/// Every snapshot is a [`WorkloadView`], so any
+/// [`crate::analytics::Advisor`] (and [`WorkloadQuery`]) runs off reader
+/// threads concurrently with ingestion.
+impl WorkloadView for EngineSnapshot {
+    fn summary(&self) -> Result<Option<Arc<LogRSummary>>, Error> {
+        EngineSnapshot::summary(self)
+    }
+
+    fn codebook(&self) -> &Codebook {
+        self.history.codebook()
+    }
+
+    fn summarized_queries(&self) -> u64 {
+        // The summary covers absorbed history only — buffered queries of
+        // the open window are not in it (unlike `total_queries`).
+        self.history.total_queries()
     }
 }
 

@@ -26,10 +26,19 @@ pub enum Error {
     /// Portable-summary serialization failed.
     Portable(PortableError),
     /// The engine configuration is invalid (zero-sized window, slide
-    /// wider than the window, `k == 0`, …).
+    /// wider than the window, `k == 0`, an advisor threshold outside
+    /// `[0, 1]`, …).
     Config {
         /// What is wrong with it.
         detail: &'static str,
+    },
+    /// A typed workload predicate references a feature the workload's
+    /// codebook has never seen — the summary can say nothing about it
+    /// (the [`crate::analytics`] replacement for the legacy estimators'
+    /// silent zero).
+    UnknownFeature {
+        /// The unresolved feature.
+        feature: logr_feature::Feature,
     },
     /// [`crate::EngineBuilder::resume`] found no manifest: the directory
     /// is empty (or was never an engine store).
@@ -87,6 +96,9 @@ impl fmt::Display for Error {
             Error::Spill(e) => write!(f, "shard store error: {e}"),
             Error::Portable(e) => write!(f, "portable summary error: {e}"),
             Error::Config { detail } => write!(f, "invalid engine configuration: {detail}"),
+            Error::UnknownFeature { feature } => {
+                write!(f, "predicate references a feature unknown to this workload: {feature}")
+            }
             Error::MissingManifest { dir } => {
                 write!(f, "no engine manifest in {} (nothing to resume)", dir.display())
             }

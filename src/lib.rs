@@ -14,7 +14,8 @@
 //! stream — ingest everything, flush, read the summary:
 //!
 //! ```
-//! use logr::{Engine, feature::Feature};
+//! use logr::analytics::{Advisor, IndexAdvisor, Pred, QueryRecommender};
+//! use logr::Engine;
 //!
 //! let engine = Engine::builder().clusters(2).in_memory()?;
 //! for _ in 0..900 {
@@ -25,17 +26,20 @@
 //! }
 //! engine.flush()?;
 //!
-//! // Statistics come from the summary, never the raw log.
+//! // Statistics come from the summary, never the raw log: typed
+//! // predicates, composable with `and`/`or`.
 //! let snapshot = engine.snapshot()?;
-//! let est = snapshot.estimate_count_features(&[
-//!     Feature::from_table("messages"),
-//!     Feature::where_atom("status = ?"),
-//! ])?;
+//! let query = snapshot.query()?.expect("non-empty workload");
+//! let est = query.frequency(&Pred::table("messages").and(Pred::column_eq("status")))?;
 //! assert!((est - 900.0).abs() < 1.0);
 //!
-//! // The §2 index-advisor question, answered from the same summary.
-//! let advice = snapshot.advise(0.5)?;
-//! assert!(advice.iter().any(|a| a.predicate == "status = ?"));
+//! // The §2 index-advisor question — one of a family of advisors
+//! // ([`analytics::ViewAdvisor`], [`analytics::QueryRecommender`], …)
+//! // that all read the same snapshot, concurrently with ingestion.
+//! let advice = IndexAdvisor::new(0.5).advise(&*snapshot)?;
+//! assert!(advice.iter().any(|a| a.subject == "status = ?"));
+//! let next = QueryRecommender::new("SELECT id FROM messages", 0.5).advise(&*snapshot)?;
+//! assert!(next.iter().any(|a| a.subject == "status = ?"));
 //! # Ok::<(), logr::Error>(())
 //! ```
 //!
@@ -56,6 +60,7 @@
 //! | Module | Backing crate | Contents |
 //! |---|---|---|
 //! | crate root | `logr` | [`Engine`] session façade, [`Error`] (the one error type), store [`manifest`] |
+//! | [`analytics`] | `logr` | typed predicates ([`analytics::Pred`]), the [`analytics::WorkloadQuery`] evaluator, and the pluggable [`analytics::Advisor`] family ([`analytics::IndexAdvisor`], [`analytics::ViewAdvisor`], [`analytics::QueryRecommender`]) |
 //! | [`sql`] | `logr-sql` | lexer, parser, printer, conjunctive regularizer |
 //! | [`feature`] | `logr-feature` | Aligon features, codebook, vectors, [`feature::QueryLog`] |
 //! | [`cluster`] | `logr-cluster` | k-means, spectral, hierarchical clustering; sharded condensed matrices ([`cluster::ShardedPointSet`]) and the versioned spill store ([`cluster::spill`]) |
@@ -76,6 +81,7 @@ pub use logr_math as math;
 pub use logr_sql as sql;
 pub use logr_workload as workload;
 
+pub mod analytics;
 mod engine;
 mod error;
 pub mod manifest;

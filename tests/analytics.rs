@@ -1,0 +1,349 @@
+//! PR 5 acceptance: the unified analytics read surface.
+//!
+//! * `WorkloadQuery::frequency` over single-feature (and purely
+//!   conjunctive) predicates is **bit-identical** to the legacy
+//!   `estimate_count_features` path, property-tested over random streams.
+//! * Each shipped `Advisor` reproduces its example's former hand-rolled
+//!   computation on the same seeded workload (parity tests): the old
+//!   index-advisor loop, the view-advisor FROM-pair scan from
+//!   `examples/view_advisor.rs`, and the conditional-marginal ranking
+//!   from `examples/query_recommendation.rs`.
+//! * `min_share` (and every advisor probability threshold) is validated:
+//!   NaN or out-of-`[0,1]` is a typed `Error::Config`, on the engine and
+//!   snapshot paths alike — which are one implementation.
+
+use logr::analytics::{
+    Advisor, IndexAdvisor, Pred, QueryRecommender, SummaryView, ViewAdvisor, WorkloadQuery,
+};
+use logr::cluster::{cluster_log, ClusterMethod};
+use logr::core::{CompressionObjective, LogR, LogRConfig, LogRSummary, NaiveMixtureEncoding};
+use logr::feature::{Feature, FeatureClass, LogIngest, QueryVector};
+use logr::workload::{generate_pocketdata, generate_usbank, PocketDataConfig, UsBankConfig};
+use logr::{Engine, Error};
+use proptest::prelude::*;
+
+/// The recovery-suite statement pool: repeats, novel queries, garbage,
+/// and multi-branch (OR) statements.
+fn statement(i: u64) -> String {
+    match i % 7 {
+        0 => format!("SELECT c{}, c{} FROM t{} WHERE a{} = ?", i % 13, i % 11, i % 3, i % 7),
+        1 => format!("SELECT c{} FROM t{} WHERE a{} = ? AND b{} = ?", i % 17, i % 3, i % 7, i % 5),
+        2 => format!("SELECT c{}, c{} FROM t{}", i % 13, i % 17, i % 4),
+        3 => format!("SELECT c{} FROM t{} WHERE a{} > ?", i % 11, i % 4, i % 7),
+        4 => format!("SELECT c{} FROM t{} WHERE x{} = ? OR y{} = ?", i % 5, i % 3, i % 5, i % 3),
+        5 => "THIS IS NOT SQL @@@".to_string(),
+        _ => format!("SELECT balance FROM accounts WHERE owner{} = ?", i % 6),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// The acceptance property: for every feature the workload knows,
+    /// the typed predicate path estimates the same count as the legacy
+    /// slice path, to the bit — single features and conjunctions alike.
+    #[test]
+    fn frequency_is_bit_identical_to_estimate_count_features(
+        seeds in prop::collection::vec(0u64..60, 12..90),
+        counts in prop::collection::vec(1u64..4, 12..90),
+        window in 8u64..24,
+    ) {
+        let engine = Engine::builder().window(window).clusters(3).in_memory().unwrap();
+        for (s, c) in seeds.iter().zip(counts.iter().cycle()) {
+            engine.ingest_with_count(&statement(*s), *c).unwrap();
+        }
+        engine.flush().unwrap();
+        let snap = engine.snapshot().unwrap();
+        let Some(query) = snap.query().unwrap() else {
+            // Nothing parsed — both surfaces must agree on "nothing".
+            #[allow(deprecated)]
+            let legacy = snap.estimate_count_features(&[Feature::select("c1")]).unwrap();
+            prop_assert_eq!(legacy, 0.0);
+            return Ok(());
+        };
+
+        let features: Vec<Feature> =
+            snap.history().codebook().iter().map(|(_, f)| f.clone()).collect();
+        for f in &features {
+            #[allow(deprecated)]
+            let legacy = snap.estimate_count_features(std::slice::from_ref(f)).unwrap();
+            let typed = query.frequency(&Pred::feature(f.clone())).unwrap();
+            prop_assert_eq!(typed.to_bits(), legacy.to_bits(), "feature {}", f);
+        }
+        // Conjunctions resolve to the identical sorted pattern vector.
+        for pair in features.windows(2) {
+            #[allow(deprecated)]
+            let legacy = snap.estimate_count_features(pair).unwrap();
+            let typed = query.frequency(&Pred::all_of(pair.iter().cloned())).unwrap();
+            prop_assert_eq!(typed.to_bits(), legacy.to_bits());
+        }
+        // An unknown feature is a typed error on the new surface and a
+        // silent zero on the legacy one.
+        let unknown = Feature::from_table("no_such_table_anywhere");
+        #[allow(deprecated)]
+        let legacy = snap.estimate_count_features(std::slice::from_ref(&unknown)).unwrap();
+        prop_assert_eq!(legacy, 0.0);
+        prop_assert!(matches!(
+            query.frequency(&Pred::feature(unknown)),
+            Err(Error::UnknownFeature { .. })
+        ));
+    }
+}
+
+/// A small but diverse engine workload shared by the non-property tests.
+fn demo_engine() -> Engine {
+    let engine = Engine::builder().window(64).clusters(3).in_memory().unwrap();
+    for i in 0..400u64 {
+        engine.ingest(&statement(i)).unwrap();
+    }
+    engine.flush().unwrap();
+    engine
+}
+
+#[test]
+fn index_advisor_reproduces_the_legacy_advise_loop() {
+    let engine = demo_engine();
+    let snap = engine.snapshot().unwrap();
+    let summary = snap.summary().unwrap().expect("non-empty");
+    let total = snap.history().total_queries() as f64;
+
+    // The pre-redesign EngineSnapshot::advise body, verbatim.
+    let mut expected: Vec<(String, f64, f64)> = Vec::new();
+    for (id, feature) in snap.history().codebook().iter() {
+        if feature.class != FeatureClass::Where {
+            continue;
+        }
+        let estimated = summary.estimate_count(&QueryVector::new(vec![id]));
+        let share = estimated / total;
+        if share >= 0.01 {
+            expected.push((feature.text.clone(), estimated, share));
+        }
+    }
+    expected.sort_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
+
+    let advice = IndexAdvisor::new(0.01).advise(&*snap).unwrap();
+    assert_eq!(advice.len(), expected.len());
+    assert!(!advice.is_empty(), "workload has WHERE predicates");
+    for (a, (text, est, share)) in advice.iter().zip(&expected) {
+        assert_eq!(&a.subject, text);
+        assert_eq!(a.estimated.to_bits(), est.to_bits());
+        assert_eq!(a.share.to_bits(), share.to_bits());
+        assert_eq!(a.features, vec![Feature::where_atom(text.clone())]);
+    }
+
+    // Engine and snapshot paths are the same implementation.
+    let via_engine = engine.advise(0.01).unwrap();
+    let via_snapshot = snap.advise(0.01).unwrap();
+    assert_eq!(via_engine, via_snapshot);
+    assert_eq!(via_engine.len(), advice.len());
+    for (legacy, a) in via_engine.iter().zip(&advice) {
+        assert_eq!(legacy.predicate, a.subject);
+        assert_eq!(legacy.estimated.to_bits(), a.estimated.to_bits());
+        assert_eq!(legacy.share.to_bits(), a.share.to_bits());
+    }
+}
+
+#[test]
+fn view_advisor_reproduces_the_example_computation() {
+    // The former examples/view_advisor.rs pipeline on a (scaled) seeded
+    // US-bank workload: kmeans mixture, FROM-pair scan, est ≥ 1 floor,
+    // descending sort, ≥ 1% advisor cut.
+    let (log, _) = generate_usbank(&UsBankConfig::small(42)).ingest();
+    let clustering = cluster_log(&log, 16, ClusterMethod::KMeansEuclidean, 0);
+    let mixture = NaiveMixtureEncoding::build(&log, &clustering);
+    let total = log.total_queries() as f64;
+
+    let tables: Vec<_> = log
+        .codebook()
+        .iter()
+        .filter(|(_, f)| f.class == FeatureClass::From)
+        .map(|(id, f)| (id, f.text.clone()))
+        .collect();
+    let mut expected: Vec<(String, f64)> = Vec::new();
+    for (i, (ida, a)) in tables.iter().enumerate() {
+        for (idb, b) in &tables[i + 1..] {
+            let est = mixture.estimate_count(&QueryVector::new(vec![*ida, *idb]));
+            if est < 1.0 {
+                continue;
+            }
+            expected.push((format!("{a} ⋈ {b}"), est));
+        }
+    }
+    expected.sort_by(|x, y| y.1.total_cmp(&x.1));
+
+    // min_share 0: parity over the full candidate list (the example's
+    // ≥ 1% advisor cut is just a retain on `share`).
+    let summary = LogRSummary { clustering, mixture, refined: None };
+    let view = SummaryView::new(summary, &log);
+    let advice = ViewAdvisor::new(0.0).advise(&view).unwrap();
+
+    assert_eq!(advice.len(), expected.len());
+    assert!(!advice.is_empty(), "workload has co-occurring tables");
+    for (a, (subject, est)) in advice.iter().zip(&expected) {
+        assert_eq!(&a.subject, subject);
+        assert_eq!(a.estimated.to_bits(), est.to_bits());
+        assert_eq!(a.share.to_bits(), (est / total).to_bits());
+        assert_eq!(a.features.len(), 2);
+    }
+}
+
+#[test]
+fn query_recommender_reproduces_the_example_computation() {
+    // The former examples/query_recommendation.rs pipeline on the seeded
+    // PocketData workload: featurize the fragment, conditional-marginal
+    // rank every other feature, keep > 10%.
+    let (log, _) = generate_pocketdata(&PocketDataConfig::small(7)).ingest();
+    let summary =
+        LogR::new(LogRConfig { objective: CompressionObjective::FixedK(8), ..Default::default() })
+            .compress(&log);
+
+    let partial_sql = "SELECT sms_type FROM messages WHERE status = ?";
+    let mut probe = LogIngest::new();
+    probe.ingest(partial_sql);
+    let (probe_log, _) = probe.finish();
+    let mut partial_ids = Vec::new();
+    for (_, feature) in probe_log.codebook().iter() {
+        if let Some(id) = log.codebook().get(feature) {
+            partial_ids.push(id);
+        }
+    }
+    let partial: QueryVector = partial_ids.into_iter().collect();
+    let base = summary.estimate_count(&partial);
+    assert!(base > 0.0, "fragment must be known to the seeded workload");
+
+    let mut expected: Vec<(String, f64)> = Vec::new();
+    for (id, feature) in log.codebook().iter() {
+        if partial.contains(id) {
+            continue;
+        }
+        let mut extended_ids: Vec<_> = partial.iter().collect();
+        extended_ids.push(id);
+        let conditional = summary.estimate_count(&QueryVector::new(extended_ids)) / base;
+        if conditional > 0.10 {
+            expected.push((feature.text.clone(), conditional));
+        }
+    }
+    expected.sort_by(|a, b| b.1.total_cmp(&a.1));
+
+    let view = SummaryView::new(summary, &log);
+    let advice = QueryRecommender::new(partial_sql, 0.10).advise(&view).unwrap();
+
+    assert_eq!(advice.len(), expected.len());
+    assert!(!advice.is_empty(), "fragment has likely continuations");
+    for (a, (text, conditional)) in advice.iter().zip(&expected) {
+        assert_eq!(&a.subject, text);
+        assert_eq!(a.share.to_bits(), conditional.to_bits());
+        assert!((a.estimated - conditional * base).abs() < 1e-9);
+    }
+}
+
+#[test]
+fn advisor_thresholds_are_validated_as_probabilities() {
+    let engine = demo_engine();
+    let snap = engine.snapshot().unwrap();
+    for bad in [f64::NAN, -0.1, 1.5, f64::INFINITY, f64::NEG_INFINITY] {
+        assert!(
+            matches!(engine.advise(bad), Err(Error::Config { .. })),
+            "Engine::advise accepted {bad}"
+        );
+        assert!(
+            matches!(snap.advise(bad), Err(Error::Config { .. })),
+            "EngineSnapshot::advise accepted {bad}"
+        );
+        assert!(matches!(IndexAdvisor::new(bad).advise(&*snap), Err(Error::Config { .. })));
+        assert!(matches!(ViewAdvisor::new(bad).advise(&*snap), Err(Error::Config { .. })));
+        assert!(matches!(
+            QueryRecommender::new("SELECT balance FROM accounts", bad).advise(&*snap),
+            Err(Error::Config { .. })
+        ));
+    }
+    // The boundary values are legal.
+    assert!(engine.advise(0.0).is_ok());
+    assert!(engine.advise(1.0).is_ok());
+}
+
+#[test]
+fn advisors_are_empty_not_erroring_before_any_close() {
+    let engine = Engine::builder().window(1024).clusters(2).in_memory().unwrap();
+    engine.ingest("SELECT a FROM t WHERE b = ?").unwrap();
+    // No window closed yet: no summary, so every advisor yields nothing.
+    let snap = engine.snapshot().unwrap();
+    assert!(snap.query().unwrap().is_none());
+    assert!(IndexAdvisor::new(0.0).advise(&*snap).unwrap().is_empty());
+    assert!(ViewAdvisor::new(0.0).advise(&*snap).unwrap().is_empty());
+    assert!(QueryRecommender::new("SELECT a FROM t", 0.0).advise(&*snap).unwrap().is_empty());
+    assert!(snap.advise(0.0).unwrap().is_empty());
+    assert!(snap.multiresolution(&[1, 2]).unwrap().is_empty());
+    assert!(snap.summary_with(CompressionObjective::FixedK(2)).unwrap().is_none());
+}
+
+#[test]
+fn unknown_fragment_recommender_is_empty() {
+    let engine = demo_engine();
+    let snap = engine.snapshot().unwrap();
+    let advice =
+        QueryRecommender::new("SELECT zz9 FROM plural_z WHERE q9 = ?", 0.0).advise(&*snap).unwrap();
+    assert!(advice.is_empty());
+}
+
+#[test]
+fn snapshot_summary_with_and_multiresolution_agree_with_the_memoized_cut() {
+    let engine = demo_engine();
+    let snap = engine.snapshot().unwrap();
+    // The engine runs k = 3: the read-time FixedK(3) recompression and
+    // the multiresolution cut at 3 must both reproduce the memoized
+    // summary bit-for-bit (one dendrogram serves all three paths).
+    let memoized = snap.summary().unwrap().expect("non-empty");
+    let fixed = snap.summary_with(CompressionObjective::FixedK(3)).unwrap().expect("non-empty");
+    assert_eq!(fixed.clustering, memoized.clustering);
+    assert_eq!(fixed.error().to_bits(), memoized.error().to_bits());
+
+    let sweep = snap.multiresolution(&[1, 3, 8]).unwrap();
+    assert_eq!(sweep.len(), 3);
+    assert_eq!(sweep[1].clustering, memoized.clustering);
+    assert_eq!(sweep[1].error().to_bits(), memoized.error().to_bits());
+    // Finer cuts never increase verbosity ordering-wise.
+    assert!(sweep[0].total_verbosity() <= sweep[2].total_verbosity());
+}
+
+#[test]
+fn workload_query_composes_over_live_snapshots() {
+    let engine = demo_engine();
+    let snap = engine.snapshot().unwrap();
+    let query = snap.query().unwrap().expect("non-empty");
+    // Inclusion–exclusion sanity on a live snapshot: |A ∪ B| = |A| + |B| − |A ∩ B|.
+    let a = Pred::table("t0");
+    let b = Pred::table("accounts");
+    let union = query.frequency(&a.clone().or(b.clone())).unwrap();
+    let lhs = query.frequency(&a.clone()).unwrap() + query.frequency(&b.clone()).unwrap()
+        - query.frequency(&a.clone().and(b.clone())).unwrap();
+    assert!((union - lhs).abs() < 1e-9);
+    // Conditional agrees with its definition.
+    let c = query.conditional(&a, &b).unwrap();
+    let direct = query.frequency(&a.clone().and(b.clone())).unwrap() / query.frequency(&a).unwrap();
+    assert!((c - direct).abs() < 1e-12);
+    // top_k covers the workload's tables, descending.
+    let tables = query.top_k(FeatureClass::From, 64).unwrap();
+    assert!(!tables.is_empty());
+    for w in tables.windows(2) {
+        assert!(w[0].estimated >= w[1].estimated);
+    }
+}
+
+#[test]
+fn workload_query_over_a_batch_summary_matches_the_engine_path() {
+    // One workload, two roads to a WorkloadQuery: the engine snapshot and
+    // a hand-built batch summary over the same history log with the same
+    // compressor configuration — estimates agree bit-for-bit.
+    let engine = demo_engine();
+    let snap = engine.snapshot().unwrap();
+    let query = snap.query().unwrap().expect("non-empty");
+
+    let batch = snap.summary().unwrap().expect("non-empty");
+    let batch_query = WorkloadQuery::new(batch, snap.history());
+    for (_, f) in snap.history().codebook().iter().take(16) {
+        let a = query.frequency(&Pred::feature(f.clone())).unwrap();
+        let b = batch_query.frequency(&Pred::feature(f.clone())).unwrap();
+        assert_eq!(a.to_bits(), b.to_bits());
+    }
+}

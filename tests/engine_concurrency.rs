@@ -5,7 +5,7 @@
 //! with `LOGR_THREADS=4` so the clustering fan-out, the spill store, and
 //! the snapshot handoff race each other on every run.
 
-use logr::feature::{Feature, FeatureClass};
+use logr::feature::FeatureClass;
 use logr::{Engine, EngineSnapshot};
 use logr_cluster::testutil::TempStore;
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
@@ -55,9 +55,11 @@ fn check_snapshot(snap: &EngineSnapshot, last_seen_windows: usize) -> usize {
         // Estimates answer from the mixture alone and can never exceed
         // the absorbed total by more than estimator slack.
         let total = snap.history().total_queries() as f64;
+        let query = snap.query().expect("query").expect("non-empty history");
         for (_, feature) in snap.history().codebook().iter().take(8) {
-            let est =
-                snap.estimate_count_features(std::slice::from_ref(feature)).expect("estimate");
+            let est = query
+                .frequency(&logr::analytics::Pred::feature(feature.clone()))
+                .expect("known feature");
             assert!(est.is_finite() && est >= 0.0);
             assert!(est <= total * 1.5 + 1.0, "estimate {est} vs total {total}");
         }
@@ -118,7 +120,8 @@ fn stress(engine: Engine) {
         .iter()
         .any(|(_, f)| f.class == FeatureClass::Where && f.text == a.predicate)));
     // And a concrete estimate matches ground truth on a hot table.
-    let est = snap.estimate_count_features(&[Feature::from_table("accounts")]).unwrap();
+    let query = snap.query().unwrap().expect("non-empty history");
+    let est = query.frequency(&logr::analytics::Pred::table("accounts")).unwrap();
     assert!(est > 0.0);
 }
 

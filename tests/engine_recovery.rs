@@ -227,6 +227,33 @@ fn corrupt_stored_config_is_rejected_not_panicked() {
 // ---- recovery edge cases: each a distinct typed error, never a panic --
 
 /// A small persisted store to damage.
+#[test]
+fn resume_gc_spares_foreign_files_and_removes_orphaned_shards() {
+    let store = TempStore::new("engine-gc-scope");
+    let engine = Engine::builder().window(6).open(store.path()).unwrap();
+    for i in 0..30 {
+        engine.ingest(&statement(i)).unwrap();
+    }
+    engine.checkpoint().unwrap();
+    drop(engine);
+    // A store directory may hold files the engine does not own — even
+    // ones with a .bin extension. Only the spill store's own
+    // `shard-*.bin` namespace is the engine's to clean.
+    let foreign_bin = store.path().join("model.bin");
+    let foreign_txt = store.path().join("notes.txt");
+    let orphan_shard = store.path().join("shard-99999-1-deadbeef.bin");
+    std::fs::write(&foreign_bin, b"user data, not a shard").unwrap();
+    std::fs::write(&foreign_txt, b"user notes").unwrap();
+    std::fs::write(&orphan_shard, b"compaction leftover").unwrap();
+
+    let engine = Engine::open(store.path()).unwrap();
+    assert!(foreign_bin.exists(), "resume GC deleted a user file");
+    assert!(foreign_txt.exists(), "resume GC deleted a user file");
+    assert!(!orphan_shard.exists(), "unreferenced engine shard survived GC");
+    // The engine itself recovered fine alongside the foreign files.
+    assert!(engine.total_queries().unwrap() > 0);
+}
+
 fn damaged_store_fixture(tag: &str) -> (TempStore, Vec<std::path::PathBuf>) {
     let store = TempStore::new(tag);
     let engine = Engine::builder().window(6).open(store.path()).unwrap();
