@@ -53,6 +53,11 @@
 //! * [`spill`] — the versioned, checksummed on-disk shard format
 //!   (magic + header + condensed triangle + cross block + bit-packed
 //!   points + FNV-1a 64 checksum) with typed [`SpillError`] decoding;
+//! * [`vfs`] — the injectable storage layer every file operation goes
+//!   through: the [`Vfs`] trait, the [`RealFs`] passthrough, the
+//!   fault-injecting + trace-recording [`FaultFs`], the power-cut
+//!   crash-state simulator ([`vfs::durable_state`]), and the bounded
+//!   transient-IO retry policy ([`vfs::retry_io`]);
 //! * [`kmeans`] — weighted Lloyd iteration with k-means++ seeding (dense and
 //!   binary front ends, `*_pointset` variants for pre-converted data);
 //! * [`spectral`] — Ng–Jordan–Weiss spectral clustering over an RBF affinity
@@ -75,6 +80,7 @@ pub mod spectral;
 pub mod spill;
 #[doc(hidden)]
 pub mod testutil;
+pub mod vfs;
 
 pub use assign::Clustering;
 pub use distance::{distance_matrix, Distance};
@@ -89,3 +95,4 @@ pub use spectral::{
     spectral_cluster, spectral_cluster_condensed, spectral_cluster_pointset, SpectralConfig,
 };
 pub use spill::{ShardRecord, SpillError};
+pub use vfs::{FaultFs, RealFs, Vfs};

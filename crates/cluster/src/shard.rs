@@ -53,6 +53,7 @@ use crate::par;
 use crate::par::PARALLEL_MIN_POINTS;
 use crate::pointset::{condensed_row_start, CondensedMatrix};
 use crate::spill::{self, ShardRecord, SpillError};
+use crate::vfs::{self, Vfs};
 use logr_feature::{BitVec, QueryVector};
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -113,6 +114,9 @@ pub struct ShardedPointSet {
     shard_starts: Vec<usize>,
     shards: Vec<ShardSlot>,
     spill: Option<SpillConfig>,
+    /// Storage layer all spill reads/writes go through ([`crate::vfs`]);
+    /// [`vfs::RealFs`] unless a test injected a fault filesystem.
+    vfs: Arc<dyn Vfs>,
     cache: Mutex<ReloadCache>,
 }
 
@@ -123,6 +127,7 @@ impl Clone for ShardedPointSet {
             shard_starts: self.shard_starts.clone(),
             shards: self.shards.clone(),
             spill: self.spill.clone(),
+            vfs: self.vfs.clone(),
             cache: Mutex::new(ReloadCache {
                 entry: self.cache.lock().expect("reload cache poisoned").entry.clone(),
             }),
@@ -146,8 +151,21 @@ impl ShardedPointSet {
             shard_starts: vec![0],
             shards: Vec::new(),
             spill: None,
+            vfs: vfs::default_vfs(),
             cache: Mutex::new(ReloadCache::default()),
         }
+    }
+
+    /// Route every subsequent spill read/write through `vfs` — the
+    /// injection point fault tests build on. Production code never calls
+    /// this ([`vfs::RealFs`] is the default).
+    pub fn set_vfs(&mut self, vfs: Arc<dyn Vfs>) {
+        self.vfs = vfs;
+    }
+
+    /// The storage layer this set's spill I/O goes through.
+    pub fn vfs(&self) -> &Arc<dyn Vfs> {
+        &self.vfs
     }
 
     /// Rebuild a set from a directory of previously spilled shard files —
@@ -161,28 +179,39 @@ impl ShardedPointSet {
     ///
     /// Any invalid file surfaces as the [`SpillError`] the decoder
     /// reports (missing → `Io`, cut short → `Truncated`, rotted →
-    /// `ChecksumMismatch`, …); a chain inconsistency between valid files
-    /// is [`SpillError::Corrupt`]. Never panics.
+    /// `ChecksumMismatch`, …); a chain inconsistency between valid files —
+    /// including shard files whose payloads were swapped — is
+    /// [`SpillError::ChainMismatch`]. Never panics.
     pub fn from_spilled_files(
         config: SpillConfig,
         files: &[PathBuf],
     ) -> Result<ShardedPointSet, SpillError> {
-        std::fs::create_dir_all(&config.dir)?;
+        ShardedPointSet::from_spilled_files_with(vfs::default_vfs(), config, files)
+    }
+
+    /// [`ShardedPointSet::from_spilled_files`] with every file operation
+    /// routed through `vfs`.
+    pub fn from_spilled_files_with(
+        vfs: Arc<dyn Vfs>,
+        config: SpillConfig,
+        files: &[PathBuf],
+    ) -> Result<ShardedPointSet, SpillError> {
+        vfs.create_dir_all(&config.dir)?;
         let mut shard_starts = vec![0usize];
         let mut shards = Vec::with_capacity(files.len());
         let mut n_features = 0usize;
         let mut len = 0usize;
         for path in files {
-            let record = spill::read_file(path)?;
+            let record = spill::read_file_with(&*vfs, path)?;
             if record.start != len {
-                return Err(SpillError::Corrupt(
-                    "recovered shard chain has a start/length mismatch",
-                ));
+                return Err(SpillError::ChainMismatch {
+                    detail: "recovered shard chain has a start/length mismatch",
+                });
             }
             if record.n_features < n_features {
-                return Err(SpillError::Corrupt(
-                    "recovered shard chain shrinks the feature universe",
-                ));
+                return Err(SpillError::ChainMismatch {
+                    detail: "recovered shard chain shrinks the feature universe",
+                });
             }
             n_features = record.n_features;
             len += record.len();
@@ -198,6 +227,7 @@ impl ShardedPointSet {
             shard_starts,
             shards,
             spill: Some(config),
+            vfs,
             cache: Mutex::new(ReloadCache::default()),
         })
     }
@@ -235,7 +265,7 @@ impl ShardedPointSet {
     /// works identically afterwards — reads against spilled shards reload
     /// transparently.
     pub fn set_spill(&mut self, config: SpillConfig) -> Result<(), SpillError> {
-        std::fs::create_dir_all(&config.dir)?;
+        self.vfs.create_dir_all(&config.dir)?;
         self.spill = Some(config);
         self.enforce_budget()
     }
@@ -296,7 +326,7 @@ impl ShardedPointSet {
         // the same store (either would otherwise overwrite the
         // other's checksum-valid files).
         let path = dir.join(format!("shard-{s:05}-{}-{seq:08x}.bin", std::process::id()));
-        spill::write_file(&path, &data)?;
+        spill::write_file_with(&*self.vfs, &path, &data)?;
         self.shards[s].path = Some(path);
         Ok(())
     }
@@ -447,7 +477,7 @@ impl ShardedPointSet {
             }
         }
         let path = self.shards[s].path.as_ref().expect("a spilled shard always has a file");
-        let data = Arc::new(spill::read_file(path)?);
+        let data = Arc::new(spill::read_file_with(&*self.vfs, path)?);
         if populate_cache {
             cache.entry = Some((s, data.clone()));
         }
@@ -726,7 +756,7 @@ impl ShardedPointSet {
         if let Some(cfg) = &self.spill {
             let seq = SPILL_FILE_SEQ.fetch_add(1, Ordering::Relaxed);
             let p = cfg.dir.join(format!("shard-00000-{}-{seq:08x}.bin", std::process::id()));
-            spill::write_file(&p, &record)?;
+            spill::write_file_with(&*self.vfs, &p, &record)?;
             path = Some(p);
             keep_resident = bytes <= cfg.resident_budget;
         }
@@ -1304,7 +1334,7 @@ mod tests {
             &swapped,
         )
         .unwrap_err();
-        assert!(matches!(err, SpillError::Corrupt(_)), "{err}");
+        assert!(matches!(err, SpillError::ChainMismatch { .. }), "{err}");
         // A missing file is an I/O error.
         let mut missing = files.clone();
         missing[0] = store.join("gone.bin");

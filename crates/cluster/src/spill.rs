@@ -40,6 +40,7 @@
 //! corruption is a typed error, never a panic or a silently-wrong
 //! distance.
 
+use crate::vfs::{retry_io, RealFs, Vfs};
 use logr_feature::BitVec;
 use std::fmt;
 use std::path::Path;
@@ -75,6 +76,13 @@ pub enum SpillError {
     /// beyond its declared universe, or trailing bytes after the last
     /// payload).
     Corrupt(&'static str),
+    /// The file decodes cleanly but is not the shard that belongs at this
+    /// position in the store's chain — its start offset or feature
+    /// universe disagrees with the shards before it. The classic cause is
+    /// shard files whose payloads were swapped or restored from the wrong
+    /// store; the engine surfaces this as a store mismatch rather than
+    /// ever serving a distance from the wrong shard.
+    ChainMismatch { detail: &'static str },
 }
 
 impl fmt::Display for SpillError {
@@ -95,6 +103,9 @@ impl fmt::Display for SpillError {
                 "shard payload checksum mismatch: stored {stored:#018x}, computed {computed:#018x}"
             ),
             SpillError::Corrupt(what) => write!(f, "corrupt shard file: {what}"),
+            SpillError::ChainMismatch { detail } => {
+                write!(f, "shard file does not belong at this chain position: {detail}")
+            }
         }
     }
 }
@@ -296,29 +307,54 @@ pub fn decode(bytes: &[u8]) -> Result<ShardRecord, SpillError> {
     Ok(ShardRecord { n_features, start, intra, cross, bits })
 }
 
-/// Atomically write a shard record to `path`: encode, write to a
-/// `.tmp` sibling, then rename — a crash mid-write leaves no
-/// half-shard behind for a later load to trip over. Returns the file's
-/// byte length.
-pub fn write_file(path: &Path, record: &ShardRecord) -> Result<u64, SpillError> {
+/// Durably write a shard record to `path` through `vfs`: encode, write a
+/// `.tmp` sibling, **fsync it**, rename over `path`, then fsync the
+/// parent directory. The fsync before the rename is what makes the
+/// protocol crash-safe — without it a journaling filesystem may commit
+/// the rename before the data, leaving a durable name over unwritten
+/// pages (a zero-length or torn shard) after power loss. Transient
+/// errors (`EINTR`/`EAGAIN`) are retried with bounded backoff; anything
+/// else aborts with the `.tmp` swept so no partial file is orphaned.
+/// Returns the file's byte length.
+pub fn write_file_with(
+    vfs: &dyn Vfs,
+    path: &Path,
+    record: &ShardRecord,
+) -> Result<u64, SpillError> {
     let bytes = encode(record);
     let tmp = path.with_extension("tmp");
-    let write_then_rename = (|| {
-        std::fs::write(&tmp, &bytes)?;
-        std::fs::rename(&tmp, path)
+    let protocol = (|| {
+        retry_io(|| vfs.write(&tmp, &bytes))?;
+        retry_io(|| vfs.fsync(&tmp))?;
+        retry_io(|| vfs.rename(&tmp, path))?;
+        if let Some(parent) = path.parent() {
+            retry_io(|| vfs.sync_dir(parent))?;
+        }
+        Ok(())
     })();
-    if let Err(e) = write_then_rename {
+    if let Err(e) = protocol {
         // A retried eviction draws a fresh file name, so a partial .tmp
         // left here would be orphaned forever — sweep it now.
-        let _ = std::fs::remove_file(&tmp);
-        return Err(e.into());
+        let _: Result<(), _> = vfs.remove(&tmp);
+        return Err(SpillError::Io(e));
     }
     Ok(bytes.len() as u64)
 }
 
-/// Load and validate a shard record from `path`.
+/// [`write_file_with`] on the real filesystem.
+pub fn write_file(path: &Path, record: &ShardRecord) -> Result<u64, SpillError> {
+    write_file_with(&RealFs, path, record)
+}
+
+/// Load and validate a shard record from `path` through `vfs`, riding
+/// out transient read errors.
+pub fn read_file_with(vfs: &dyn Vfs, path: &Path) -> Result<ShardRecord, SpillError> {
+    decode(&retry_io(|| vfs.read(path))?)
+}
+
+/// [`read_file_with`] on the real filesystem.
 pub fn read_file(path: &Path) -> Result<ShardRecord, SpillError> {
-    decode(&std::fs::read(path)?)
+    read_file_with(&RealFs, path)
 }
 
 #[cfg(test)]
@@ -372,5 +408,55 @@ mod tests {
     fn missing_file_is_an_io_error() {
         let err = read_file(Path::new("/nonexistent/logr/shard.bin")).unwrap_err();
         assert!(matches!(err, SpillError::Io(_)), "{err}");
+    }
+
+    #[test]
+    fn write_protocol_fsyncs_tmp_then_renames_then_syncs_dir() {
+        use crate::vfs::{FaultFs, IoOp, Vfs as _};
+        let fs = FaultFs::new();
+        let dir = Path::new("/store");
+        fs.create_dir_all(dir).unwrap();
+        let path = dir.join("shard-00000.bin");
+        let tmp = dir.join("shard-00000.tmp");
+        let before = fs.trace_len();
+        write_file_with(&fs, &path, &sample_record()).unwrap();
+        let trace = fs.trace();
+        let ops = &trace[before..];
+        // The exact durable-replace sequence — the fsync of the tmp file
+        // BEFORE the rename is the regression this test pins (the
+        // unsynced-page hole: rename committed ahead of data).
+        assert_eq!(ops.len(), 4, "{ops:?}");
+        assert!(matches!(&ops[0], IoOp::Write { path: p, .. } if p == &tmp), "{ops:?}");
+        assert!(matches!(&ops[1], IoOp::Fsync { path: p } if p == &tmp), "{ops:?}");
+        assert!(
+            matches!(&ops[2], IoOp::Rename { from, to } if from == &tmp && to == &path),
+            "{ops:?}"
+        );
+        assert!(matches!(&ops[3], IoOp::SyncDir { dir: d } if d == dir), "{ops:?}");
+    }
+
+    #[test]
+    fn power_cut_during_shard_write_never_leaves_a_bad_durable_shard() {
+        use crate::vfs::{durable_state, FaultFs, LastOpVariant, Vfs as _};
+        let record = sample_record();
+        let fs = FaultFs::new();
+        let dir = Path::new("/store");
+        fs.create_dir_all(dir).unwrap();
+        let path = dir.join("shard-00000.bin");
+        write_file_with(&fs, &path, &record).unwrap();
+        let trace = fs.trace();
+        let expect = encode(&record);
+        for k in 0..=trace.len() {
+            for variant in [LastOpVariant::Lost, LastOpVariant::Applied, LastOpVariant::Torn] {
+                let (files, _) = durable_state(&trace[..k], variant);
+                // Under the shard's durable name there is either nothing
+                // (crash before the replace committed) or the complete
+                // record — never a zero-length or torn file, because the
+                // tmp content is fsynced before the rename.
+                if let Some(bytes) = files.get(&path) {
+                    assert_eq!(bytes, &expect, "prefix {k}, {variant:?}");
+                }
+            }
+        }
     }
 }

@@ -504,6 +504,19 @@ impl StreamSummarizer {
         self.shards.set_spill(SpillConfig { dir: dir.into(), resident_budget })
     }
 
+    /// [`StreamSummarizer::spill_to`] with shard I/O routed through `vfs`
+    /// (see [`logr_cluster::vfs`]) — the injection point the engine's
+    /// fault tests use.
+    pub fn spill_to_with(
+        &mut self,
+        vfs: std::sync::Arc<dyn logr_cluster::vfs::Vfs>,
+        dir: impl Into<PathBuf>,
+        resident_budget: usize,
+    ) -> Result<(), SpillError> {
+        self.shards.set_vfs(vfs);
+        self.spill_to(dir, resident_budget)
+    }
+
     /// Resident history-shard payload bytes (see
     /// [`ShardedPointSet::resident_bytes`]).
     pub fn resident_shard_bytes(&self) -> usize {

@@ -28,6 +28,7 @@
 use crate::analytics::{Advisor, IndexAdvisor, WorkloadQuery, WorkloadView};
 use crate::error::Error;
 use crate::manifest::{self, Manifest};
+use logr_cluster::vfs::{self, retry_io, Vfs};
 use logr_cluster::{Distance, ShardedPointSet, SpillConfig};
 use logr_core::PortableSummary;
 use logr_core::{
@@ -45,6 +46,10 @@ use std::sync::{Arc, Mutex, RwLock};
 pub struct EngineBuilder {
     stream: StreamConfig,
     resident_budget: Option<usize>,
+    /// Storage layer override ([`logr_cluster::vfs::RealFs`] when unset)
+    /// — the injection point every fault test builds on.
+    vfs: Option<Arc<dyn Vfs>>,
+    read_only: bool,
 }
 
 impl EngineBuilder {
@@ -119,6 +124,31 @@ impl EngineBuilder {
         self
     }
 
+    /// Route every file operation (shard spill/reload, manifest
+    /// write/read, lock acquisition, resume-time GC) through `vfs`
+    /// instead of the real filesystem. This is how the fault-injection
+    /// and power-cut-replay tests drive the engine against a
+    /// [`logr_cluster::vfs::FaultFs`]; production code leaves it unset.
+    pub fn vfs(mut self, vfs: Arc<dyn Vfs>) -> Self {
+        self.vfs = Some(vfs);
+        self
+    }
+
+    /// Open the store **read-only**: no write lock is taken, no
+    /// garbage collection runs, and no initial checkpoint is written —
+    /// the engine serves the full snapshot/analytics read surface off
+    /// the last durable manifest, even while another live process owns
+    /// the store for writing (safe because shard files are write-once
+    /// and the manifest is replaced atomically; writers never delete
+    /// files — only an exclusive writer's resume-time GC does). Write
+    /// entry points (ingest, flush, checkpoint, compact) return
+    /// [`Error::ReadOnly`]. The degraded-open mode for inspecting a
+    /// wedged or foreign-owned store.
+    pub fn read_only(mut self) -> Self {
+        self.read_only = true;
+        self
+    }
+
     /// Validate without panicking (the [`StreamSummarizer::new`] contract,
     /// as a typed error).
     fn validate(&self) -> Result<(), Error> {
@@ -130,7 +160,8 @@ impl EngineBuilder {
     /// everything else behaves identically to a durable engine.
     pub fn in_memory(self) -> Result<Engine, Error> {
         self.validate()?;
-        Ok(Engine::assemble(StreamSummarizer::new(self.stream), None, None, None))
+        let vfs = self.vfs.unwrap_or_else(vfs::default_vfs);
+        Ok(Engine::assemble(StreamSummarizer::new(self.stream), None, None, None, vfs, false))
     }
 
     /// Open-or-create a durable engine on `dir`: when the directory holds
@@ -142,16 +173,22 @@ impl EngineBuilder {
     /// dropped engine is already reopenable).
     pub fn open(self, dir: impl Into<PathBuf>) -> Result<Engine, Error> {
         let dir = dir.into();
-        if dir.join(manifest::FILE_NAME).exists() {
+        let vfs = self.vfs.clone().unwrap_or_else(vfs::default_vfs);
+        if vfs.exists(&dir.join(manifest::FILE_NAME)) {
             return self.resume(dir);
         }
+        if self.read_only {
+            // A read-only open cannot initialize a store — there is
+            // nothing durable to serve.
+            return Err(Error::MissingManifest { dir });
+        }
         self.validate()?;
-        std::fs::create_dir_all(&dir)?;
-        let lock = StoreLock::acquire(&dir)?;
+        retry_io(|| vfs.create_dir_all(&dir))?;
+        let lock = StoreLock::acquire(&dir, vfs.clone())?;
         let mut summarizer = StreamSummarizer::new(self.stream);
         let budget = self.resident_budget.unwrap_or(usize::MAX);
-        summarizer.spill_to(&dir, budget)?;
-        let engine = Engine::assemble(summarizer, Some(dir), None, Some(lock));
+        summarizer.spill_to_with(vfs.clone(), &dir, budget)?;
+        let engine = Engine::assemble(summarizer, Some(dir), None, Some(lock), vfs, false);
         engine.checkpoint()?;
         Ok(engine)
     }
@@ -177,16 +214,19 @@ impl EngineBuilder {
     /// taken over). Never a panic.
     pub fn resume(self, dir: impl Into<PathBuf>) -> Result<Engine, Error> {
         let dir = dir.into();
+        let vfs = self.vfs.clone().unwrap_or_else(vfs::default_vfs);
         let manifest_path = dir.join(manifest::FILE_NAME);
-        if !manifest_path.exists() {
+        if !vfs.exists(&manifest_path) {
             return Err(Error::MissingManifest { dir });
         }
         // Exclusive ownership before anything destructive: resume ends
         // with a garbage-collection pass over unreferenced shard files,
         // which must never run while another live engine (whose
-        // snapshots may read exactly those files) owns the store.
-        let lock = StoreLock::acquire(&dir)?;
-        let m = manifest::read_file(&manifest_path)?;
+        // snapshots may read exactly those files) owns the store. A
+        // read-only open skips both the lock and the GC — it deletes
+        // nothing and can safely coexist with a live writer.
+        let lock = if self.read_only { None } else { Some(StoreLock::acquire(&dir, vfs.clone())?) };
+        let m = manifest::read_file_with(&*vfs, &manifest_path)?;
         // A checksum-valid manifest can still carry a configuration the
         // summarizer would refuse (hand-edited store, foreign writer) —
         // recovery must reject it as data, never reach a panic.
@@ -200,12 +240,13 @@ impl EngineBuilder {
         let mut files = Vec::with_capacity(m.shard_files.len());
         for name in &m.shard_files {
             let path = dir.join(name);
-            if !path.exists() {
+            if !vfs.exists(&path) {
                 return Err(Error::MissingShard { path });
             }
             files.push(path);
         }
-        let shards = ShardedPointSet::from_spilled_files(
+        let shards = ShardedPointSet::from_spilled_files_with(
+            vfs.clone(),
             SpillConfig { dir: dir.clone(), resident_budget: budget },
             &files,
         )?;
@@ -244,20 +285,26 @@ impl EngineBuilder {
         // engine has not been assembled yet and any previous process's
         // snapshots died with it. Only files matching the spill store's
         // own `shard-*.bin` naming are touched — a store directory may
-        // hold unrelated user files the engine must never delete.
-        // Best-effort; a file that refuses to delete only costs disk.
-        if let Ok(entries) = std::fs::read_dir(&dir) {
-            for entry in entries.flatten() {
-                let path = entry.path();
-                let Some(name) = path.file_name().and_then(|n| n.to_str()) else { continue };
-                let engine_owned = name.starts_with("shard-") && name.ends_with(".bin");
-                let referenced = m.shard_files.iter().any(|f| f == name);
-                if engine_owned && !referenced {
-                    let _ = std::fs::remove_file(&path);
+        // hold unrelated user files the engine must never delete. Also
+        // swept: `.tmp` siblings a crashed writer's interrupted
+        // atomic-replace left behind. Best-effort; a file that refuses
+        // to delete only costs disk. Read-only opens hold no lock and
+        // therefore never delete anything.
+        if lock.is_some() {
+            if let Ok(paths) = vfs.list(&dir) {
+                for path in paths {
+                    let Some(name) = path.file_name().and_then(|n| n.to_str()) else { continue };
+                    let engine_owned = name.starts_with("shard-")
+                        && (name.ends_with(".bin") || name.ends_with(".tmp"));
+                    let referenced = m.shard_files.iter().any(|f| f == name);
+                    if engine_owned && !referenced {
+                        let _ = vfs.remove(&path);
+                    }
                 }
             }
         }
-        Ok(Engine::assemble(summarizer, Some(dir), None, Some(lock)))
+        let read_only = self.read_only;
+        Ok(Engine::assemble(summarizer, Some(dir), None, lock, vfs, read_only))
     }
 }
 
@@ -270,21 +317,33 @@ const LOCK_FILE: &str = "engine.lock";
 ///
 /// * an **in-process registry** — opening the same directory from two
 ///   `Engine`s in one process is refused outright;
-/// * a **pid lock file** — another live process holding the store is
-///   refused; a lock left by a dead process (crash) is stale and taken
-///   over. Liveness is probed via `/proc`; on systems without it the
-///   file degrades to advisory (cross-process opens are then the
-///   operator's contract, as with any file-based database).
+/// * a **pid lock file**, acquired with `O_CREAT | O_EXCL` — the
+///   creation either atomically succeeds or atomically loses, so two
+///   racing acquisitions can never both hold the file (the
+///   read-then-write protocol this replaced could interleave). A lock
+///   left by a dead process (crash) is stale; takeover **renames** it to
+///   a private name first, re-verifies the renamed file is still the
+///   stale lock probed (not a fresh one a racer created in the gap),
+///   deletes it, and retries the exclusive create — the rename is
+///   atomic, so two racers cannot both reclaim one stale lock. Liveness
+///   is probed via `/proc`; on systems without it a foreign lock is
+///   treated as live (never stolen) until the operator removes it.
 #[derive(Debug)]
 struct StoreLock {
     dir: PathBuf,
+    vfs: Arc<dyn Vfs>,
 }
 
 /// Store directories locked by engines in this process.
 static STORE_LOCKS: Mutex<Vec<PathBuf>> = Mutex::new(Vec::new());
 
+/// Bound on stale-takeover rounds before reporting the store locked —
+/// each round means a racer stole the stale lock first, and a handful of
+/// consecutive losses means live contention, not staleness.
+const LOCK_TAKEOVER_ROUNDS: usize = 8;
+
 impl StoreLock {
-    fn acquire(dir: &Path) -> Result<StoreLock, Error> {
+    fn acquire(dir: &Path, vfs: Arc<dyn Vfs>) -> Result<StoreLock, Error> {
         let key = dir.canonicalize().unwrap_or_else(|_| dir.to_path_buf());
         {
             let mut held = STORE_LOCKS.lock().map_err(|_| Error::Poisoned)?;
@@ -294,7 +353,7 @@ impl StoreLock {
             held.push(key.clone());
         }
         // In-process claim is ours; now contest the cross-process file.
-        // Until the write below succeeds the file is NOT ours, so error
+        // Until create_exclusive succeeds the file is NOT ours, so error
         // paths must release only the registry entry, never the file.
         let release_claim = |key: &PathBuf| {
             if let Ok(mut held) = STORE_LOCKS.lock() {
@@ -302,22 +361,60 @@ impl StoreLock {
             }
         };
         let path = key.join(LOCK_FILE);
-        let owner = std::fs::read_to_string(&path)
-            .ok()
-            .and_then(|contents| contents.trim().parse::<u32>().ok());
-        if let Some(pid) = owner {
-            // An unreadable or dead-pid lock is stale (crash leftover)
-            // and taken over; a live foreign pid refuses.
-            if pid != std::process::id() && process_alive(pid) {
-                release_claim(&key);
-                return Err(Error::StoreLocked { dir: dir.to_path_buf(), pid });
+        let payload = format!("{}\n", std::process::id());
+        let parse_pid = |bytes: Vec<u8>| -> Option<u32> {
+            std::str::from_utf8(&bytes).ok().and_then(|s| s.trim().parse::<u32>().ok())
+        };
+        for round in 0..LOCK_TAKEOVER_ROUNDS {
+            match retry_io(|| vfs.create_exclusive(&path, payload.as_bytes())) {
+                Ok(()) => return Ok(StoreLock { dir: key, vfs }),
+                Err(e) if e.kind() == std::io::ErrorKind::AlreadyExists => {
+                    // Contested. Probe the owner recorded in the file; a
+                    // vanished file means a racer's Drop just released it
+                    // — loop straight back to the exclusive create.
+                    let owner = match vfs.read(&path) {
+                        Ok(bytes) => parse_pid(bytes),
+                        Err(_) => continue,
+                    };
+                    if let Some(pid) = owner {
+                        if pid != std::process::id() && process_alive(pid) {
+                            release_claim(&key);
+                            return Err(Error::StoreLocked { dir: dir.to_path_buf(), pid });
+                        }
+                    }
+                    // Stale (dead pid, our own crash leftover, or
+                    // unparseable). Steal it atomically: rename to a name
+                    // only this acquisition knows, re-verify the stolen
+                    // file is the same stale lock (a racer may have
+                    // replaced it with a fresh one between read and
+                    // rename), then delete and retry. Losing the rename
+                    // means a racer reclaimed it first — just retry.
+                    let steal =
+                        key.join(format!("{LOCK_FILE}.{}-{round:02}.stale", std::process::id()));
+                    if vfs.rename(&path, &steal).is_ok() {
+                        let stolen = vfs.read(&steal).ok().and_then(parse_pid);
+                        if stolen == owner {
+                            let _ = vfs.remove(&steal);
+                        } else {
+                            // We stole a fresh lock — put it back and
+                            // report its owner.
+                            let _ = vfs.rename(&steal, &path);
+                            release_claim(&key);
+                            return Err(Error::StoreLocked {
+                                dir: dir.to_path_buf(),
+                                pid: stolen.unwrap_or(0),
+                            });
+                        }
+                    }
+                }
+                Err(e) => {
+                    release_claim(&key);
+                    return Err(e.into());
+                }
             }
         }
-        if let Err(e) = std::fs::write(&path, format!("{}\n", std::process::id())) {
-            release_claim(&key);
-            return Err(e.into());
-        }
-        Ok(StoreLock { dir: key })
+        release_claim(&key);
+        Err(Error::StoreLocked { dir: dir.to_path_buf(), pid: 0 })
     }
 }
 
@@ -326,7 +423,7 @@ impl Drop for StoreLock {
         if let Ok(mut held) = STORE_LOCKS.lock() {
             held.retain(|d| d != &self.dir);
         }
-        let _ = std::fs::remove_file(self.dir.join(LOCK_FILE));
+        let _ = self.vfs.remove(&self.dir.join(LOCK_FILE));
     }
 }
 
@@ -574,8 +671,14 @@ pub struct Engine {
     dir: Option<PathBuf>,
     state: Mutex<WriterState>,
     published: RwLock<Arc<EngineSnapshot>>,
+    /// Storage layer every manifest write/read goes through (shard I/O
+    /// carries its own handle inside the summarizer's shard store).
+    vfs: Arc<dyn Vfs>,
+    /// Opened via [`EngineBuilder::read_only`]: no lock is held and every
+    /// write entry point returns [`Error::ReadOnly`].
+    read_only: bool,
     /// Exclusive store ownership, released (registry entry + lock file)
-    /// when the engine drops. `None` for in-memory engines.
+    /// when the engine drops. `None` for in-memory and read-only engines.
     _lock: Option<StoreLock>,
 }
 
@@ -600,12 +703,16 @@ impl Engine {
         dir: Option<PathBuf>,
         last_window: Option<Arc<WindowSummary>>,
         lock: Option<StoreLock>,
+        vfs: Arc<dyn Vfs>,
+        read_only: bool,
     ) -> Engine {
         let snapshot = Arc::new(EngineSnapshot::capture(&summarizer, last_window.clone()));
         Engine {
             dir,
             state: Mutex::new(WriterState { summarizer, last_window }),
             published: RwLock::new(snapshot),
+            vfs,
+            read_only,
             _lock: lock,
         }
     }
@@ -613,6 +720,19 @@ impl Engine {
     /// The store directory (`None` for in-memory engines).
     pub fn dir(&self) -> Option<&Path> {
         self.dir.as_deref()
+    }
+
+    /// True when the engine was opened via [`EngineBuilder::read_only`].
+    pub fn is_read_only(&self) -> bool {
+        self.read_only
+    }
+
+    /// Refuse writes on a read-only engine.
+    fn check_writable(&self) -> Result<(), Error> {
+        if self.read_only {
+            return Err(Error::ReadOnly);
+        }
+        Ok(())
     }
 
     /// Ingest one statement (multiplicity 1). Returns the closed window's
@@ -642,6 +762,7 @@ impl Engine {
         sql: &str,
         count: u64,
     ) -> Result<Option<Arc<WindowSummary>>, Error> {
+        self.check_writable()?;
         let mut st = self.state.lock().map_err(|_| Error::Poisoned)?;
         let closed = st.summarizer.try_ingest_with_count(sql, count)?;
         self.after_ingest(&mut st, closed)
@@ -655,6 +776,7 @@ impl Engine {
         count: u64,
         ts_ms: u64,
     ) -> Result<Option<Arc<WindowSummary>>, Error> {
+        self.check_writable()?;
         let mut st = self.state.lock().map_err(|_| Error::Poisoned)?;
         let closed = st.summarizer.try_ingest_at_ms(sql, count, ts_ms)?;
         self.after_ingest(&mut st, closed)
@@ -663,6 +785,7 @@ impl Engine {
     /// Close a partial window (end of batch / forced boundary). `None`
     /// when nothing arrived since the last close.
     pub fn flush(&self) -> Result<Option<Arc<WindowSummary>>, Error> {
+        self.check_writable()?;
         let mut st = self.state.lock().map_err(|_| Error::Poisoned)?;
         let closed = st.summarizer.try_flush()?;
         self.after_ingest(&mut st, closed)
@@ -710,7 +833,7 @@ impl Engine {
             total_points: shards.len(),
             shard_files,
         };
-        manifest::write_file(&dir.join(manifest::FILE_NAME), &m)
+        manifest::write_file_with(&*self.vfs, &dir.join(manifest::FILE_NAME), &m)
     }
 
     /// Publish a fresh snapshot for readers.
@@ -762,6 +885,7 @@ impl Engine {
     /// exact point (ingestion between closes otherwise persists at window
     /// granularity). [`Error::NotDurable`] on in-memory engines.
     pub fn checkpoint(&self) -> Result<(), Error> {
+        self.check_writable()?;
         if self.dir.is_none() {
             return Err(Error::NotDurable);
         }
@@ -780,6 +904,7 @@ impl Engine {
     /// no snapshot can exist. Returns how many shards were merged
     /// (0 = nothing to do).
     pub fn compact(&self) -> Result<usize, Error> {
+        self.check_writable()?;
         let mut st = self.state.lock().map_err(|_| Error::Poisoned)?;
         let stats = st.summarizer.compact_shards()?;
         if stats.shards_merged == 0 {

@@ -80,6 +80,17 @@ pub enum Error {
         /// Process id recorded in the lock.
         pid: u32,
     },
+    /// The storage device is out of space (`ENOSPC`). Split from
+    /// [`Error::Io`] because it is the one I/O failure an operator fixes
+    /// without touching the store: free disk and retry — the engine
+    /// leaves the store openable at its previous durable checkpoint.
+    StorageExhausted {
+        /// The operation that hit the full disk.
+        detail: String,
+    },
+    /// A write operation (ingest, flush, checkpoint, compact) was asked
+    /// of an engine opened with [`crate::EngineBuilder::read_only`].
+    ReadOnly,
     /// A durable-only operation (checkpoint) was asked of an in-memory
     /// engine.
     NotDurable,
@@ -116,6 +127,12 @@ impl fmt::Display for Error {
             Error::StoreLocked { dir, pid } => {
                 write!(f, "engine store {} is locked by live process {pid}", dir.display())
             }
+            Error::StorageExhausted { detail } => {
+                write!(f, "storage exhausted (disk full): {detail}")
+            }
+            Error::ReadOnly => {
+                write!(f, "engine was opened read-only; writes are not available")
+            }
             Error::NotDurable => {
                 write!(f, "operation requires a durable engine (opened on a directory)")
             }
@@ -137,13 +154,29 @@ impl std::error::Error for Error {
 
 impl From<std::io::Error> for Error {
     fn from(e: std::io::Error) -> Self {
+        if e.kind() == std::io::ErrorKind::StorageFull {
+            return Error::StorageExhausted { detail: e.to_string() };
+        }
         Error::Io(e)
     }
 }
 
 impl From<SpillError> for Error {
     fn from(e: SpillError) -> Self {
-        Error::Spill(e)
+        match e {
+            // ENOSPC inside the shard store is the same operator
+            // condition as ENOSPC anywhere else — surface it uniformly.
+            SpillError::Io(io) if io.kind() == std::io::ErrorKind::StorageFull => {
+                Error::StorageExhausted { detail: format!("shard store: {io}") }
+            }
+            // Shard files that decode but belong to a different chain
+            // position (swapped payloads, foreign restores) are a store
+            // inconsistency, not file corruption.
+            SpillError::ChainMismatch { detail } => {
+                Error::StoreMismatch { detail: detail.to_string() }
+            }
+            other => Error::Spill(other),
+        }
     }
 }
 

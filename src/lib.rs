@@ -63,11 +63,51 @@
 //! | [`analytics`] | `logr` | typed predicates ([`analytics::Pred`]), the [`analytics::WorkloadQuery`] evaluator, and the pluggable [`analytics::Advisor`] family ([`analytics::IndexAdvisor`], [`analytics::ViewAdvisor`], [`analytics::QueryRecommender`]) |
 //! | [`sql`] | `logr-sql` | lexer, parser, printer, conjunctive regularizer |
 //! | [`feature`] | `logr-feature` | Aligon features, codebook, vectors, [`feature::QueryLog`] |
-//! | [`cluster`] | `logr-cluster` | k-means, spectral, hierarchical clustering; sharded condensed matrices ([`cluster::ShardedPointSet`]) and the versioned spill store ([`cluster::spill`]) |
+//! | [`cluster`] | `logr-cluster` | k-means, spectral, hierarchical clustering; sharded condensed matrices ([`cluster::ShardedPointSet`]), the versioned spill store ([`cluster::spill`]), and the injectable storage layer ([`cluster::vfs`]: [`cluster::vfs::RealFs`], the fault-injecting [`cluster::vfs::FaultFs`], and the power-cut simulator) |
 //! | [`core`] | `logr-core` | encodings, Reproduction Error, max-ent, mixtures, the [`core::LogR`] batch compressor, the [`core::StreamSummarizer`] streaming subsystem (windows, drift, novelty), portable summaries |
 //! | [`baselines`] | `logr-baselines` | Laserlight & MTV reimplementations + mixture generalizations |
 //! | [`workload`] | `logr-workload` | synthetic PocketData / US-bank / Mushroom / Income generators |
 //! | [`math`] | `logr-math` | matrices, eigensolvers, projections, entropies |
+//!
+//! ## Durability & crash-consistency guarantees
+//!
+//! Durable engines promise exactly this: **after a crash — including a
+//! power cut that loses every unsynced page — [`EngineBuilder::resume`]
+//! recovers the store bit-identically to the last durable checkpoint, or
+//! fails with one typed [`Error`]. Never a panic, never silently
+//! different data.** The guarantee is enforced mechanically: the test
+//! suite replays every prefix of the engine's real IO trace (plus torn-
+//! and unsynced-final-write variants) through a simulated power cut and
+//! asserts the property at each one (`tests/power_cut_replay.rs`).
+//!
+//! What is durable when:
+//!
+//! * **Window close** — persists automatically: shard files first, then
+//!   the manifest. A crash mid-persist leaves the *previous* manifest
+//!   pointing at its own (write-once, still present) files.
+//! * **[`Engine::checkpoint`]** — additionally captures the half-filled
+//!   window buffer; after it returns, a crash loses nothing at all.
+//! * **[`Engine::compact`]** — rewrites the manifest to the merged
+//!   shard; the replaced files persist until the next writable resume
+//!   garbage-collects them, so a crash at any point leaves one complete
+//!   referenced set.
+//! * **Between persists** — ingested-but-unflushed statements in the
+//!   window buffer since the last window close/checkpoint are lost, by
+//!   design (window granularity).
+//!
+//! Every file in the store is written by one protocol — write a `.tmp`
+//! sibling, `fsync` it, rename over the final name, `fsync` the
+//! directory — so a durable file name never holds partial content.
+//! Transient IO errors (`EINTR`/`EAGAIN`) are retried with bounded
+//! backoff; `ENOSPC` fails fast as [`Error::StorageExhausted`] and
+//! leaves the store openable at its previous checkpoint. One writable
+//! engine owns a store at a time ([`Error::StoreLocked`], `O_EXCL` lock
+//! files with verified-stale takeover); read-only opens
+//! ([`EngineBuilder::read_only`]) take no lock, delete nothing, and
+//! serve the full read surface beside a live writer — see
+//! `examples/degraded_read_only.rs`. All of it runs over an injectable
+//! [`cluster::vfs::Vfs`], which is how the fault-injection and
+//! power-cut suites drive the real engine through simulated disasters.
 //!
 //! Reproduction of every table and figure in the paper: see `DESIGN.md`
 //! (experiment index) and run `cargo run --release -p logr-bench --bin

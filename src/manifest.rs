@@ -40,6 +40,7 @@
 
 use crate::error::Error;
 use logr_cluster::spill::fnv1a64;
+use logr_cluster::vfs::{retry_io, RealFs, Vfs};
 use logr_cluster::Distance;
 use logr_core::{StreamConfig, StreamState, TimeWindows};
 use logr_feature::{Feature, FeatureClass, FeatureId, QueryLog, QueryVector};
@@ -222,26 +223,30 @@ pub fn decode(bytes: &[u8]) -> Result<Manifest, Error> {
 /// with delayed allocation, and with them a crash at any point leaves
 /// either the previous checkpoint or the new one.
 pub fn write_file(path: &Path, m: &Manifest) -> Result<(), Error> {
-    use std::io::Write as _;
+    write_file_with(&RealFs, path, m)
+}
+
+/// [`write_file`] with every file operation routed through `vfs`.
+/// Transient errors (`EINTR`/`EAGAIN`) are retried with bounded backoff
+/// at each step; any other failure — `ENOSPC` included — aborts with the
+/// `.tmp` sibling swept, leaving the previous manifest untouched (the
+/// store stays openable at its last durable checkpoint).
+pub fn write_file_with(vfs: &dyn Vfs, path: &Path, m: &Manifest) -> Result<(), Error> {
     let bytes = encode(m);
     let tmp = path.with_extension("tmp");
     let write_sync_rename = (|| {
-        let mut f = std::fs::File::create(&tmp)?;
-        f.write_all(&bytes)?;
-        f.sync_all()?;
-        std::fs::rename(&tmp, path)?;
-        // Persist the rename itself. Directory fsync is POSIX-only
-        // plumbing; where opening a directory is not supported the
-        // rename is still atomic, just not yet durable.
+        retry_io(|| vfs.write(&tmp, &bytes))?;
+        retry_io(|| vfs.fsync(&tmp))?;
+        retry_io(|| vfs.rename(&tmp, path))?;
+        // Persist the rename itself (see `Vfs::sync_dir` for the
+        // non-POSIX degradation).
         if let Some(dir) = path.parent() {
-            if let Ok(d) = std::fs::File::open(dir) {
-                let _ = d.sync_all();
-            }
+            retry_io(|| vfs.sync_dir(dir))?;
         }
         Ok::<(), std::io::Error>(())
     })();
     if let Err(e) = write_sync_rename {
-        let _ = std::fs::remove_file(&tmp);
+        let _: Result<(), _> = vfs.remove(&tmp);
         return Err(e.into());
     }
     Ok(())
@@ -249,7 +254,12 @@ pub fn write_file(path: &Path, m: &Manifest) -> Result<(), Error> {
 
 /// Load and validate a manifest from `path`.
 pub fn read_file(path: &Path) -> Result<Manifest, Error> {
-    decode(&std::fs::read(path)?)
+    read_file_with(&RealFs, path)
+}
+
+/// [`read_file`] through `vfs`, riding out transient read errors.
+pub fn read_file_with(vfs: &dyn Vfs, path: &Path) -> Result<Manifest, Error> {
+    decode(&retry_io(|| vfs.read(path))?)
 }
 
 fn corrupt(detail: impl Into<String>) -> Error {

@@ -365,6 +365,26 @@ fn truncated_shard_file_is_a_typed_spill_error() {
 }
 
 #[test]
+fn swapped_shard_payloads_are_a_store_mismatch_never_wrong_distances() {
+    // Every shard file is individually checksum-valid, but two of them
+    // have exchanged contents — the store as a whole no longer describes
+    // the manifest's checkpoint. Serving distances from it would be
+    // silently wrong; recovery must refuse with a typed StoreMismatch.
+    let (store, mut shards) = damaged_store_fixture("engine-payload-swap");
+    shards.sort(); // chain order (shard-00000… < shard-00001…)
+    let a = std::fs::read(&shards[0]).unwrap();
+    let b = std::fs::read(&shards[1]).unwrap();
+    std::fs::write(&shards[0], &b).unwrap();
+    std::fs::write(&shards[1], &a).unwrap();
+    match Engine::open(store.path()).unwrap_err() {
+        Error::StoreMismatch { detail } => {
+            assert!(detail.contains("chain"), "{detail}");
+        }
+        other => panic!("wrong error: {other}"),
+    }
+}
+
+#[test]
 fn swapped_in_foreign_shard_is_a_store_mismatch_or_chain_error() {
     // A checksum-valid shard file from a *different* store must not be
     // silently accepted: either the chain validation or the
