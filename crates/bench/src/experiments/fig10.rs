@@ -6,7 +6,8 @@
 //! ("invisible"), mirroring the paper's presentation.
 
 use crate::datasets::{self, Scale};
-use crate::report::results_dir;
+use crate::report::{emit, results_dir};
+use logr_cluster::vfs::default_vfs;
 use logr_cluster::{cluster_log, ClusterMethod, Distance};
 use logr_core::interpret::{render_mixture, render_patterns, RenderConfig};
 use logr_core::refine::{refine_mixture, RefineConfig};
@@ -40,11 +41,11 @@ pub fn run(scale: Scale) -> Result<(), String> {
         text.push_str(&render_patterns(&scored, pocket.codebook()));
     }
 
-    println!("\n== Figure 10: PocketData naive mixture encoding, {k} clusters ==");
-    println!("{text}");
+    emit(&format!("\n== Figure 10: PocketData naive mixture encoding, {k} clusters =="));
+    emit(&text);
 
     let path = results_dir().join("fig10.txt");
-    std::fs::write(&path, &text).map_err(|e| e.to_string())?;
-    println!("   → {}", path.display());
+    default_vfs().write(&path, text.as_bytes()).map_err(|e| e.to_string())?;
+    emit(&format!("   → {}", path.display()));
     Ok(())
 }

@@ -1,10 +1,32 @@
 //! Output plumbing: aligned text tables and CSV files under `results/`.
+//!
+//! Terminal output is the bench harness's contract, so it flows through
+//! explicit stdout/stderr handles ([`emit`]) rather than `println!`
+//! scattered through library code; files go through the workspace
+//! [`Vfs`](logr_cluster::vfs::Vfs) layer like every other write.
 
+use logr_cluster::vfs::default_vfs;
 use std::fmt::Display;
-use std::fs;
 use std::io::Write;
 use std::path::PathBuf;
 use std::time::Instant;
+
+/// Write one line to stdout through an explicit handle. Reporting is this
+/// crate's contract (it renders the paper's tables), so the write is
+/// deliberate — and a closed pipe (`bench | head`) is ignored, not a
+/// panic.
+pub fn emit(line: &str) {
+    let stdout = std::io::stdout();
+    let mut lock = stdout.lock();
+    let _ = writeln!(lock, "{line}");
+}
+
+/// Write one line to stderr (warnings), same contract as [`emit`].
+pub fn emit_warning(line: &str) {
+    let stderr = std::io::stderr();
+    let mut lock = stderr.lock();
+    let _ = writeln!(lock, "{line}");
+}
 
 /// A simple aligned text table that doubles as a CSV writer.
 #[derive(Debug, Clone)]
@@ -38,6 +60,14 @@ impl Table {
 
     /// Print to stdout with aligned columns.
     pub fn print(&self) {
+        let stdout = std::io::stdout();
+        let mut lock = stdout.lock();
+        let _ = self.write_text(&mut lock);
+    }
+
+    /// Render the aligned table to any writer ([`Table::print`] is this
+    /// over a stdout lock).
+    pub fn write_text(&self, out: &mut dyn Write) -> std::io::Result<()> {
         let mut widths: Vec<usize> = self.headers.iter().map(String::len).collect();
         for row in &self.rows {
             for (w, cell) in widths.iter_mut().zip(row) {
@@ -45,7 +75,6 @@ impl Table {
             }
         }
         let line_len: usize = widths.iter().sum::<usize>() + 3 * widths.len();
-        println!("\n== {} ==", self.title);
         let fmt_row = |cells: &[String]| {
             let mut line = String::new();
             for (cell, w) in cells.iter().zip(&widths) {
@@ -53,13 +82,13 @@ impl Table {
             }
             line.trim_end().to_string()
         };
-        println!("{}", fmt_row(&self.headers));
-        println!("{}", "-".repeat(line_len.min(160)));
-        let stdout = std::io::stdout();
-        let mut lock = stdout.lock();
+        writeln!(out, "\n== {} ==", self.title)?;
+        writeln!(out, "{}", fmt_row(&self.headers))?;
+        writeln!(out, "{}", "-".repeat(line_len.min(160)))?;
         for row in &self.rows {
-            writeln!(lock, "{}", fmt_row(row)).ok();
+            writeln!(out, "{}", fmt_row(row))?;
         }
+        Ok(())
     }
 
     /// Write as CSV under `results/<name>.csv`.
@@ -83,10 +112,10 @@ impl Table {
             out.push_str(&escaped.join(","));
             out.push('\n');
         }
-        if let Err(e) = fs::write(&path, out) {
-            eprintln!("warning: could not write {}: {e}", path.display());
+        if let Err(e) = default_vfs().write(&path, out.as_bytes()) {
+            emit_warning(&format!("warning: could not write {}: {e}", path.display()));
         } else {
-            println!("   → {}", path.display());
+            emit(&format!("   → {}", path.display()));
         }
     }
 }
@@ -94,7 +123,7 @@ impl Table {
 /// The `results/` directory (created on demand).
 pub fn results_dir() -> PathBuf {
     let dir = PathBuf::from("results");
-    let _ = fs::create_dir_all(&dir);
+    let _ = default_vfs().create_dir_all(&dir);
     dir
 }
 

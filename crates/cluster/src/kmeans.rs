@@ -158,6 +158,7 @@ pub fn kmeans_dense(
                         let db = dist2_dense(&points[b], row(&centroids, assignments[b], dims));
                         da.total_cmp(&db)
                     })
+                    // lint:allow(no-panic-paths): the constructor asserts a non-empty point set, so max_by over 0..n cannot be empty
                     .expect("non-empty points");
                 centroids[c * dims..(c + 1) * dims].copy_from_slice(&points[far]);
             }
@@ -217,6 +218,7 @@ pub fn kmeans_binary_pointset(
     let mut d2 = vec![f64::INFINITY; n];
     let mut scores = vec![0.0; n];
     while centroid_ids.len() < k {
+        // lint:allow(no-panic-paths): the first centroid is pushed before the loop, so the list is never empty here
         let latest = *centroid_ids.last().expect("non-empty");
         let chunk = n.div_ceil(seed_threads).max(1);
         let tasks: Vec<(usize, &mut [f64])> =

@@ -128,9 +128,7 @@ impl Clone for ShardedPointSet {
             shards: self.shards.clone(),
             spill: self.spill.clone(),
             vfs: self.vfs.clone(),
-            cache: Mutex::new(ReloadCache {
-                entry: self.cache.lock().expect("reload cache poisoned").entry.clone(),
-            }),
+            cache: Mutex::new(ReloadCache { entry: self.cache_lock().entry.clone() }),
         }
     }
 }
@@ -232,8 +230,16 @@ impl ShardedPointSet {
         })
     }
 
+    /// The single-slot reload cache, with poisoning folded to a panic in
+    /// one place.
+    fn cache_lock(&self) -> std::sync::MutexGuard<'_, ReloadCache> {
+        // lint:allow(no-panic-paths): the cache is pure redundancy (the spill file always exists), but a poisoned lock means another thread panicked mid-reload — propagating the abort is safer than serving a half-updated cache
+        self.cache.lock().expect("reload cache poisoned")
+    }
+
     /// Total number of points across all shards.
     pub fn len(&self) -> usize {
+        // lint:allow(no-panic-paths): shard_starts is initialized to [0] and only ever appended to; an empty vec is unreachable by construction
         *self.shard_starts.last().expect("shard_starts is never empty")
     }
 
@@ -280,7 +286,7 @@ impl ShardedPointSet {
     /// merge over spilled shards transiently adds at most one shard.
     pub fn resident_bytes(&self) -> usize {
         let slots: usize = self.shards.iter().filter(|s| s.data.is_some()).map(|s| s.bytes).sum();
-        let cached = match &self.cache.lock().expect("reload cache poisoned").entry {
+        let cached = match &self.cache_lock().entry {
             // A cache entry for a shard that is (still) resident would
             // double-count, but the cache only ever holds spilled shards.
             Some((s, _)) if self.shards[*s].data.is_none() => self.shards[*s].bytes,
@@ -314,10 +320,12 @@ impl ShardedPointSet {
         if self.shards[s].path.is_some() {
             return Ok(());
         }
+        // lint:allow(no-panic-paths): shards spill only through write_shard_file, so an unwritten shard still holds its payload — invariant, not input
         let data = self.shards[s].data.clone().expect("an unwritten shard is always resident");
         let dir = &self
             .spill
             .as_ref()
+            // lint:allow(no-panic-paths): documented "# Panics" contract — calling persist without set_spill is a caller bug, not a runtime condition
             .expect("configure a spill store (set_spill) before persisting shards")
             .dir;
         let seq = SPILL_FILE_SEQ.fetch_add(1, Ordering::Relaxed);
@@ -393,7 +401,7 @@ impl ShardedPointSet {
                 evicted += 1;
             }
         }
-        self.cache.lock().expect("reload cache poisoned").entry = None;
+        self.cache_lock().entry = None;
         Ok(evicted)
     }
 
@@ -409,7 +417,7 @@ impl ShardedPointSet {
             return Ok(());
         };
         if self.resident_bytes() > budget {
-            self.cache.lock().expect("reload cache poisoned").entry = None;
+            self.cache_lock().entry = None;
         }
         // One pass: track the remaining resident total and resume the
         // oldest-first scan where it left off, instead of recomputing
@@ -457,6 +465,7 @@ impl ShardedPointSet {
     /// files, so the shard index alone would not say which one to
     /// inspect or restore.
     fn reload_panic(&self, s: usize, e: SpillError) -> ! {
+        // lint:allow(no-panic-paths): the one deliberate bridge from pre-store infallible read signatures to store errors; fallible callers use try_with_shard instead
         panic!("reloading spilled shard {s} ({:?}) failed: {e}", self.shards[s].path)
     }
 
@@ -470,12 +479,13 @@ impl ShardedPointSet {
         if let Some(data) = &self.shards[s].data {
             return Ok(data.clone());
         }
-        let mut cache = self.cache.lock().expect("reload cache poisoned");
+        let mut cache = self.cache_lock();
         if let Some((cached, data)) = &cache.entry {
             if *cached == s {
                 return Ok(data.clone());
             }
         }
+        // lint:allow(no-panic-paths): spilling writes the file before dropping the payload, so a spilled shard without a path is unreachable by construction
         let path = self.shards[s].path.as_ref().expect("a spilled shard always has a file");
         let data = Arc::new(spill::read_file_with(&*self.vfs, path)?);
         if populate_cache {
@@ -511,6 +521,7 @@ impl ShardedPointSet {
         n_threads: usize,
     ) {
         self.try_push_shard_threads(vectors, n_features, n_threads)
+            // lint:allow(no-panic-paths): documented "# Panics" contract of the legacy infallible append; try_push_shard is the typed-error route
             .unwrap_or_else(|e| panic!("shard spill store failed during append: {e}"));
     }
 
@@ -765,7 +776,7 @@ impl ShardedPointSet {
         let data = keep_resident.then(|| Arc::new(record));
         self.shards = vec![ShardSlot { data, path, bytes }];
         self.shard_starts = vec![0, n];
-        self.cache.lock().expect("reload cache poisoned").entry = None;
+        self.cache_lock().entry = None;
         Ok(CompactionStats { shards_merged: n_shards_before, stale_files })
     }
 }
@@ -831,6 +842,7 @@ impl CondensedShards<'_> {
     /// error instead).
     pub fn to_condensed(&self) -> CondensedMatrix {
         self.try_to_condensed()
+            // lint:allow(no-panic-paths): documented "# Panics" contract of the infallible materializer; try_to_condensed is the typed-error route
             .unwrap_or_else(|e| panic!("materializing the merged condensed matrix failed: {e}"))
     }
 

@@ -214,7 +214,9 @@ pub fn encode(record: &ShardRecord) -> Vec<u8> {
 
 /// Read a little-endian `u64` at `offset` (caller guarantees bounds).
 fn read_u64(bytes: &[u8], offset: usize) -> u64 {
-    u64::from_le_bytes(bytes[offset..offset + 8].try_into().expect("8-byte slice"))
+    let mut le = [0u8; 8];
+    le.copy_from_slice(&bytes[offset..offset + 8]);
+    u64::from_le_bytes(le)
 }
 
 /// Decode and validate a shard's wire form. Checks, in order: minimum
@@ -233,7 +235,9 @@ pub fn decode(bytes: &[u8]) -> Result<ShardRecord, SpillError> {
         found.copy_from_slice(&bytes[..8]);
         return Err(SpillError::BadMagic { found });
     }
-    let version = u32::from_le_bytes(bytes[8..12].try_into().expect("4-byte slice"));
+    let mut version_le = [0u8; 4];
+    version_le.copy_from_slice(&bytes[8..12]);
+    let version = u32::from_le_bytes(version_le);
     if version != VERSION {
         return Err(SpillError::BadVersion { found: version });
     }
@@ -282,10 +286,7 @@ pub fn decode(bytes: &[u8]) -> Result<ShardRecord, SpillError> {
 
     let payload = &bytes[HEADER_LEN..bytes.len() - 8];
     let decode_u32s = |slice: &[u8]| -> Vec<u32> {
-        slice
-            .chunks_exact(4)
-            .map(|c| u32::from_le_bytes(c.try_into().expect("4-byte chunk")))
-            .collect()
+        slice.chunks_exact(4).map(|c| u32::from_le_bytes([c[0], c[1], c[2], c[3]])).collect()
     };
     let intra = decode_u32s(&payload[..intra_len * 4]);
     let cross = decode_u32s(&payload[intra_len * 4..counts_bytes]);

@@ -22,6 +22,7 @@ impl TempStore {
             std::process::id(),
             SEQ.fetch_add(1, Ordering::Relaxed)
         ));
+        // lint:allow(vfs-bypass, no-panic-paths): test-only scaffolding that manages the real TMPDIR around whatever Vfs is under test; a failed mkdir should abort the test
         std::fs::create_dir_all(&dir).expect("create temp store dir");
         TempStore(dir)
     }
@@ -39,6 +40,7 @@ impl TempStore {
 
 impl Drop for TempStore {
     fn drop(&mut self) {
+        // lint:allow(vfs-bypass): cleanup of the real TMPDIR this helper created; routing it through a Vfs under test would delete through the fault injector
         let _ = std::fs::remove_dir_all(&self.0);
     }
 }

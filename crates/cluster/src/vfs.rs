@@ -319,7 +319,7 @@ impl FaultFs {
     /// containing `path_contains`) fail with `error`. Rules stack; the
     /// first matching rule fires and is consumed once per op.
     pub fn inject(&self, kind: OpKind, path_contains: &str, error: io::ErrorKind, times: usize) {
-        self.state.lock().expect("FaultFs state poisoned").faults.push(FaultRule {
+        self.lock().faults.push(FaultRule {
             kind,
             path_contains: path_contains.to_string(),
             error,
@@ -329,29 +329,29 @@ impl FaultFs {
 
     /// Drop every pending fault rule.
     pub fn clear_faults(&self) {
-        self.state.lock().expect("FaultFs state poisoned").faults.clear();
+        self.lock().faults.clear();
     }
 
     /// The recorded mutating-op trace so far.
     pub fn trace(&self) -> Vec<IoOp> {
-        self.state.lock().expect("FaultFs state poisoned").trace.clone()
+        self.lock().trace.clone()
     }
 
     /// Number of mutating ops recorded so far.
     pub fn trace_len(&self) -> usize {
-        self.state.lock().expect("FaultFs state poisoned").trace.len()
+        self.lock().trace.len()
     }
 
     /// Snapshot of the **cache** view (what a running process sees) —
     /// after a clean shutdown with everything synced, this equals the
     /// durable state.
     pub fn files(&self) -> BTreeMap<PathBuf, Vec<u8>> {
-        self.state.lock().expect("FaultFs state poisoned").files.clone()
+        self.lock().files.clone()
     }
 
     /// Snapshot of the directory set.
     pub fn dirs(&self) -> BTreeSet<PathBuf> {
-        self.state.lock().expect("FaultFs state poisoned").dirs.clone()
+        self.lock().dirs.clone()
     }
 
     /// Fire the first matching fault rule, if any.
@@ -390,6 +390,7 @@ impl FaultFs {
     }
 
     fn lock(&self) -> std::sync::MutexGuard<'_, FaultState> {
+        // lint:allow(no-panic-paths): FaultFs is the fault-injection test double; a poisoned mutex means a prior test panicked mid-op, and aborting the test loudly beats limping on with torn state
         self.state.lock().expect("FaultFs state poisoned")
     }
 }

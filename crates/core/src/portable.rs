@@ -234,17 +234,33 @@ impl PortableSummary {
         Ok(PortableSummary { total_queries, codebook, components })
     }
 
-    /// Save to a file.
+    /// Save to a file on the default (real) filesystem.
     pub fn save(&self, path: impl AsRef<Path>) -> std::io::Result<()> {
-        let mut out = std::io::BufWriter::new(std::fs::File::create(path)?);
-        self.write_to(&mut out)?;
-        out.flush()
+        self.save_with(&*logr_cluster::vfs::default_vfs(), path.as_ref())
     }
 
-    /// Load from a file.
+    /// Save to a file through an explicit [`Vfs`] — the injection point
+    /// the fault suites drive; [`PortableSummary::save`] is this over the
+    /// real filesystem.
+    ///
+    /// [`Vfs`]: logr_cluster::vfs::Vfs
+    pub fn save_with(&self, vfs: &dyn logr_cluster::vfs::Vfs, path: &Path) -> std::io::Result<()> {
+        let mut out = Vec::new();
+        self.write_to(&mut out)?;
+        vfs.write(path, &out)
+    }
+
+    /// Load from a file on the default (real) filesystem.
     pub fn load(path: impl AsRef<Path>) -> Result<Self, PortableError> {
-        let file = std::fs::File::open(path)?;
-        PortableSummary::read_from(std::io::BufReader::new(file))
+        PortableSummary::load_with(&*logr_cluster::vfs::default_vfs(), path.as_ref())
+    }
+
+    /// Load from a file through an explicit [`Vfs`].
+    ///
+    /// [`Vfs`]: logr_cluster::vfs::Vfs
+    pub fn load_with(vfs: &dyn logr_cluster::vfs::Vfs, path: &Path) -> Result<Self, PortableError> {
+        let bytes = vfs.read(path)?;
+        PortableSummary::read_from(std::io::BufReader::new(bytes.as_slice()))
     }
 }
 

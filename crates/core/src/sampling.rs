@@ -67,6 +67,7 @@ pub fn quotient_distribution(
         .map(|(v, p)| {
             let class = cs
                 .class_index(cs.signature_of(&v))
+                // lint:allow(no-panic-paths): the vector was just projected onto the class system's universe, so its signature indexes an existing class by construction
                 .expect("projected log query must fall in a non-empty class");
             (class, p)
         })

@@ -369,6 +369,7 @@ impl StreamSummarizer {
     /// `k == 0`.
     pub fn new(config: StreamConfig) -> Self {
         if let Err(detail) = config.validate() {
+            // lint:allow(no-panic-paths): documented "# Panics" constructor contract — a zero window is a programming error caught at build time, not a runtime condition
             panic!("{detail}");
         }
         StreamSummarizer {
@@ -547,6 +548,7 @@ impl StreamSummarizer {
     /// typed error instead).
     pub fn ingest_with_count(&mut self, sql: &str, count: u64) -> Option<WindowSummary> {
         self.try_ingest_with_count(sql, count)
+            // lint:allow(no-panic-paths): documented "# Panics" contract of the legacy infallible ingest; try_ingest_with_count is the typed-error route the Engine uses
             .unwrap_or_else(|e| panic!("shard spill store failed during append: {e}"))
     }
 
@@ -568,6 +570,7 @@ impl StreamSummarizer {
     /// error instead).
     pub fn ingest_at_ms(&mut self, sql: &str, count: u64, ts_ms: u64) -> Option<WindowSummary> {
         self.try_ingest_at_ms(sql, count, ts_ms)
+            // lint:allow(no-panic-paths): documented "# Panics" contract of the legacy infallible ingest; try_ingest_at_ms is the typed-error route
             .unwrap_or_else(|e| panic!("shard spill store failed during append: {e}"))
     }
 
@@ -668,6 +671,7 @@ impl StreamSummarizer {
     /// ([`StreamSummarizer::try_flush`] reports that as a typed error
     /// instead).
     pub fn flush(&mut self) -> Option<WindowSummary> {
+        // lint:allow(no-panic-paths): documented "# Panics" contract of the legacy infallible flush; try_flush is the typed-error route
         self.try_flush().unwrap_or_else(|e| panic!("shard spill store failed during append: {e}"))
     }
 
@@ -706,6 +710,7 @@ impl StreamSummarizer {
     /// error instead).
     pub fn history_summary(&self) -> Option<LogRSummary> {
         self.try_history_summary()
+            // lint:allow(no-panic-paths): documented "# Panics" contract of the legacy infallible summary; try_history_summary is the typed-error route
             .unwrap_or_else(|e| panic!("history summary over the spill store failed: {e}"))
     }
 
@@ -825,12 +830,14 @@ impl StreamSummarizer {
                             break;
                         }
                         self.buffer_total -= front;
+                        // lint:allow(no-panic-paths): front() just returned Some on this same locked-out &mut self, so pop_front cannot miss
                         let (sql, _, _) = self.buffer.pop_front().expect("front exists");
                         self.cache_release(&sql);
                     }
                 }
                 Some(tw) => {
                     let horizon = boundary
+                        // lint:allow(no-panic-paths): close_window always passes Some in time mode (the only mode reaching this arm) — invariant of the one caller
                         .expect("time closes carry a boundary")
                         .saturating_sub(tw.window_ms);
                     while let Some(&(_, front, front_ts)) = self.buffer.front() {
@@ -838,6 +845,7 @@ impl StreamSummarizer {
                             break;
                         }
                         self.buffer_total -= front;
+                        // lint:allow(no-panic-paths): front() just returned Some on this same locked-out &mut self, so pop_front cannot miss
                         let (sql, _, _) = self.buffer.pop_front().expect("front exists");
                         self.cache_release(&sql);
                     }

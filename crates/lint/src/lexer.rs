@@ -1,0 +1,437 @@
+//! A small, correct-enough Rust lexer for line-oriented static analysis.
+//!
+//! The rules in this crate match **code**, never comments or literals, so
+//! the lexer's one job is to classify every byte of a source file as code
+//! or non-code. [`mask`] returns a copy of the source in which every byte
+//! of every comment, string literal, raw string literal, byte string, and
+//! character literal is replaced by a space — newlines are preserved, so
+//! byte offsets and line numbers in the masked text match the original —
+//! plus the list of line comments (for the `lint:allow` suppression
+//! syntax, which lives in comments by design).
+//!
+//! Handled: line comments (`//`, `///`, `//!`), **nested** block comments
+//! (`/* /* */ */`, `/** … */`, `/*! … */`), string literals with escapes,
+//! raw strings with any number of `#`s (`r"…"`, `r##"…"##`), byte and
+//! raw byte strings (`b"…"`, `br#"…"#`), char and byte-char literals
+//! including `'"'` and `'\''`, and the char-literal/lifetime ambiguity
+//! (`'static` stays code).
+
+/// One `//` comment: the line it starts on (1-based), the column of the
+/// first `/` (0-based byte offset within the line), and its full text
+/// including the leading `//`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LineComment {
+    /// 1-based source line.
+    pub line: usize,
+    /// 0-based byte column of the first `/`.
+    pub col: usize,
+    /// Comment text from `//` to end of line (newline excluded).
+    pub text: String,
+    /// True when only whitespace precedes the comment on its line (a
+    /// *standalone* comment, as opposed to one trailing code).
+    pub leading: bool,
+}
+
+/// The lexer's output: the masked source and the line comments found.
+#[derive(Debug, Clone)]
+pub struct Masked {
+    /// The source with every non-code byte replaced by a space
+    /// (newlines kept), byte-for-byte the same length as the input.
+    pub code: String,
+    /// Every `//` comment, in source order.
+    pub comments: Vec<LineComment>,
+}
+
+/// Classify every byte of `src` as code or non-code (see module docs).
+pub fn mask(src: &str) -> Masked {
+    let bytes = src.as_bytes();
+    let mut out = Vec::with_capacity(bytes.len());
+    let mut comments = Vec::new();
+    let mut line = 1usize;
+    let mut line_start = 0usize; // byte offset where the current line began
+    let mut line_has_code = false; // any non-whitespace byte yet this line?
+    let mut i = 0usize;
+
+    // Push `n` masked bytes, keeping newlines so positions survive.
+    let push_masked = |out: &mut Vec<u8>, bytes: &[u8], from: usize, to: usize| {
+        for &b in &bytes[from..to] {
+            out.push(if b == b'\n' { b'\n' } else { b' ' });
+        }
+    };
+
+    while i < bytes.len() {
+        let b = bytes[i];
+        match b {
+            b'\n' => {
+                out.push(b'\n');
+                line += 1;
+                i += 1;
+                line_start = i;
+                line_has_code = false;
+            }
+            b'/' if i + 1 < bytes.len() && bytes[i + 1] == b'/' => {
+                // Line comment (also doc `///` and `//!`): to end of line.
+                let start = i;
+                while i < bytes.len() && bytes[i] != b'\n' {
+                    i += 1;
+                }
+                comments.push(LineComment {
+                    line,
+                    col: start - line_start,
+                    text: src[start..i].to_string(),
+                    leading: !line_has_code,
+                });
+                push_masked(&mut out, bytes, start, i);
+            }
+            b'/' if i + 1 < bytes.len() && bytes[i + 1] == b'*' => {
+                // Block comment (doc or not) with nesting.
+                let start = i;
+                let mut depth = 1usize;
+                i += 2;
+                while i < bytes.len() && depth > 0 {
+                    if bytes[i] == b'/' && i + 1 < bytes.len() && bytes[i + 1] == b'*' {
+                        depth += 1;
+                        i += 2;
+                    } else if bytes[i] == b'*' && i + 1 < bytes.len() && bytes[i + 1] == b'/' {
+                        depth -= 1;
+                        i += 2;
+                    } else {
+                        if bytes[i] == b'\n' {
+                            line += 1;
+                            line_start = i + 1;
+                        }
+                        i += 1;
+                    }
+                }
+                push_masked(&mut out, bytes, start, i);
+            }
+            b'"' => {
+                let end = skip_string(bytes, i);
+                push_masked(&mut out, bytes, i, end);
+                line += count_newlines(bytes, i, end, &mut line_start);
+                i = end;
+                line_has_code = true;
+            }
+            b'\'' => {
+                // Char literal or lifetime. A char literal is `'` +
+                // (escape | one char) + `'`; anything else (`'static`,
+                // `'a`) is a lifetime and stays code.
+                if let Some(end) = char_literal_end(bytes, i) {
+                    push_masked(&mut out, bytes, i, end);
+                    i = end;
+                } else {
+                    out.push(b'\'');
+                    i += 1;
+                }
+                line_has_code = true;
+            }
+            _ if is_ident_start(b) => {
+                line_has_code = true;
+                // Consume the identifier; `r`/`b`/`br`/`rb` may prefix a
+                // literal.
+                let start = i;
+                while i < bytes.len() && is_ident_continue(bytes[i]) {
+                    i += 1;
+                }
+                let ident = &src[start..i];
+                let raw_prefix = matches!(ident, "r" | "br");
+                let byte_prefix = matches!(ident, "b" | "br");
+                if raw_prefix && i < bytes.len() && (bytes[i] == b'"' || bytes[i] == b'#') {
+                    // Raw (byte) string: r"…", r#"…"#, br##"…"##.
+                    if let Some(end) = skip_raw_string(bytes, i) {
+                        out.extend_from_slice(&bytes[start..i]); // keep the prefix as code
+                        push_masked(&mut out, bytes, i, end);
+                        line += count_newlines(bytes, i, end, &mut line_start);
+                        i = end;
+                        continue;
+                    }
+                }
+                if byte_prefix && i < bytes.len() && bytes[i] == b'"' {
+                    let end = skip_string(bytes, i);
+                    out.extend_from_slice(&bytes[start..i]);
+                    push_masked(&mut out, bytes, i, end);
+                    line += count_newlines(bytes, i, end, &mut line_start);
+                    i = end;
+                    continue;
+                }
+                if ident == "b" && i < bytes.len() && bytes[i] == b'\'' {
+                    if let Some(end) = char_literal_end(bytes, i) {
+                        out.extend_from_slice(&bytes[start..i]);
+                        push_masked(&mut out, bytes, i, end);
+                        i = end;
+                        continue;
+                    }
+                }
+                out.extend_from_slice(&bytes[start..i]);
+            }
+            _ => {
+                if !(b as char).is_whitespace() {
+                    line_has_code = true;
+                }
+                out.push(b);
+                i += 1;
+            }
+        }
+    }
+
+    // Only ASCII bytes were substituted, so the masked text is valid
+    // UTF-8 whenever the input was.
+    let code = String::from_utf8(out).unwrap_or_default();
+    Masked { code, comments }
+}
+
+fn is_ident_start(b: u8) -> bool {
+    b.is_ascii_alphabetic() || b == b'_'
+}
+
+fn is_ident_continue(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b == b'_'
+}
+
+/// Byte offset one past the closing `"` of the string starting at
+/// `bytes[start] == b'"'`, honoring `\"` and `\\` escapes. An unclosed
+/// string runs to end of input.
+fn skip_string(bytes: &[u8], start: usize) -> usize {
+    let mut i = start + 1;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'\\' => i += 2,
+            b'"' => return i + 1,
+            _ => i += 1,
+        }
+    }
+    bytes.len()
+}
+
+/// Byte offset one past a raw string starting at `bytes[start]`, which is
+/// either `"` or the first `#` of its hash fence (the `r`/`br` prefix has
+/// already been consumed). `None` when this is not a raw string after all
+/// (e.g. `r#foo`, a raw identifier).
+fn skip_raw_string(bytes: &[u8], start: usize) -> Option<usize> {
+    let mut i = start;
+    let mut hashes = 0usize;
+    while i < bytes.len() && bytes[i] == b'#' {
+        hashes += 1;
+        i += 1;
+    }
+    if i >= bytes.len() || bytes[i] != b'"' {
+        return None;
+    }
+    i += 1;
+    // Scan for `"` followed by `hashes` `#`s; no escapes in raw strings.
+    while i < bytes.len() {
+        if bytes[i] == b'"' {
+            let fence = &bytes[i + 1..];
+            if fence.len() >= hashes && fence[..hashes].iter().all(|&b| b == b'#') {
+                return Some(i + 1 + hashes);
+            }
+        }
+        i += 1;
+    }
+    Some(bytes.len())
+}
+
+/// Byte offset one past the char literal starting at `bytes[start] ==
+/// b'\''`, or `None` when this quote begins a lifetime instead.
+fn char_literal_end(bytes: &[u8], start: usize) -> Option<usize> {
+    let next = *bytes.get(start + 1)?;
+    if next == b'\\' {
+        // Escaped char: skip the escape payload to the closing quote.
+        let mut i = start + 2;
+        if i < bytes.len() {
+            i += 1; // the escaped character itself
+        }
+        // \x41 and \u{…} escapes have a longer payload.
+        while i < bytes.len() && bytes[i] != b'\'' && bytes[i] != b'\n' {
+            i += 1;
+        }
+        return if bytes.get(i) == Some(&b'\'') { Some(i + 1) } else { None };
+    }
+    if next == b'\'' {
+        return None; // `''` — not a literal
+    }
+    // Multi-byte UTF-8 scalar or single ASCII char, then a closing quote.
+    let width = utf8_width(next);
+    match bytes.get(start + 1 + width) {
+        Some(&b'\'') => Some(start + 2 + width),
+        _ => None, // `'static`, `'a` — a lifetime
+    }
+}
+
+fn utf8_width(b: u8) -> usize {
+    match b {
+        _ if b < 0x80 => 1,
+        _ if b >> 5 == 0b110 => 2,
+        _ if b >> 4 == 0b1110 => 3,
+        _ => 4,
+    }
+}
+
+fn count_newlines(bytes: &[u8], from: usize, to: usize, line_start: &mut usize) -> usize {
+    let mut n = 0;
+    for (off, &b) in bytes[from..to].iter().enumerate() {
+        if b == b'\n' {
+            n += 1;
+            *line_start = from + off + 1;
+        }
+    }
+    n
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn masked(src: &str) -> String {
+        mask(src).code
+    }
+
+    #[test]
+    fn line_comments_are_masked_and_recorded() {
+        let m = mask("let x = 1; // trailing note\n// full line\nlet y = 2;\n");
+        assert!(m.code.contains("let x = 1;"));
+        assert!(!m.code.contains("trailing"));
+        assert!(!m.code.contains("full line"));
+        assert_eq!(m.comments.len(), 2);
+        assert_eq!(m.comments[0].line, 1);
+        assert_eq!(m.comments[0].text, "// trailing note");
+        assert_eq!(m.comments[1].line, 2);
+        assert_eq!(m.comments[1].col, 0);
+    }
+
+    #[test]
+    fn doc_comments_are_comments() {
+        let src = "/// calls .unwrap() for fun\n//! and panic!()\nfn f() {}\n";
+        let code = masked(src);
+        assert!(!code.contains("unwrap"));
+        assert!(!code.contains("panic"));
+        assert!(code.contains("fn f() {}"));
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        let src = "a /* one /* two */ still comment */ b";
+        let code = masked(src);
+        assert!(code.contains('a'));
+        assert!(code.contains('b'));
+        assert!(!code.contains("one"));
+        assert!(!code.contains("still"));
+    }
+
+    #[test]
+    fn block_doc_comments_mask_across_lines() {
+        let src = "/** docs\nwith std::fs inside\n*/\nfn g() {}\n";
+        let code = masked(src);
+        assert!(!code.contains("std::fs"));
+        assert!(code.contains("fn g() {}"));
+        // Newlines survive, so line numbers line up.
+        assert_eq!(code.matches('\n').count(), src.matches('\n').count());
+    }
+
+    #[test]
+    fn strings_are_masked_including_comment_lookalikes() {
+        let src = r#"let s = "not // a comment"; let t = "std::fs";"#;
+        let code = masked(src);
+        assert!(!code.contains("comment"));
+        assert!(!code.contains("std::fs"));
+        assert!(code.contains("let s ="));
+        assert!(code.contains("let t ="));
+    }
+
+    #[test]
+    fn escaped_quotes_do_not_end_strings() {
+        let src = r#"let s = "he said \"hi\" // then left"; done();"#;
+        let code = masked(src);
+        assert!(!code.contains("hi"));
+        assert!(!code.contains("then left"));
+        assert!(code.contains("done();"));
+    }
+
+    #[test]
+    fn raw_strings_containing_comment_markers() {
+        let src = r###"let s = r#"// not a comment "quote" /* nor this */"#; after();"###;
+        let code = masked(src);
+        assert!(!code.contains("not a comment"));
+        assert!(!code.contains("nor this"));
+        assert!(code.contains("after();"));
+    }
+
+    #[test]
+    fn raw_strings_with_multiple_hashes_and_bytes() {
+        let src = r####"let a = r##"ends "# not yet"##; let b = br"..//.."; tail();"####;
+        let code = masked(src);
+        assert!(!code.contains("not yet"));
+        assert!(!code.contains("..//.."));
+        assert!(code.contains("tail();"));
+    }
+
+    #[test]
+    fn multiline_raw_string_preserves_line_count() {
+        let src = "let q = r#\"line one\n// line two\npanic!()\n\"#;\nreal();\n";
+        let m = mask(src);
+        assert_eq!(m.code.matches('\n').count(), src.matches('\n').count());
+        assert!(!m.code.contains("panic"));
+        assert!(m.code.contains("real();"));
+        assert!(m.comments.is_empty());
+    }
+
+    #[test]
+    fn char_literals_including_quote_and_slash() {
+        let src = "let a = '\"'; let b = '/'; let c = '\\''; let d = '\\\\'; end();";
+        let code = masked(src);
+        assert!(!code.contains('"'));
+        assert!(!code.contains("'/'"));
+        assert!(code.contains("end();"));
+    }
+
+    #[test]
+    fn char_slash_pair_is_not_a_comment() {
+        // Two adjacent char literals '/' must not fuse into `//`.
+        let src = "if c == '/' && d == '/' { tail(); }";
+        let code = masked(src);
+        assert!(code.contains("tail();"));
+    }
+
+    #[test]
+    fn lifetimes_are_not_char_literals() {
+        let src = "fn f<'a>(x: &'a str) -> &'static str { x } // done";
+        let code = masked(src);
+        assert!(code.contains("'a"));
+        assert!(code.contains("'static"));
+        assert!(!code.contains("done"));
+    }
+
+    #[test]
+    fn byte_literals() {
+        let src = "let a = b'x'; let s = b\"std::fs\"; let r = br#\"//\"#; go();";
+        let code = masked(src);
+        assert!(!code.contains("std::fs"));
+        assert!(code.contains("go();"));
+        // The prefixes survive as code, the payloads do not.
+        assert!(!code.contains("'x'"));
+    }
+
+    #[test]
+    fn raw_identifiers_are_not_raw_strings() {
+        let src = "let r#fn = 1; let r = 2; touch(r#fn, r);";
+        let code = masked(src);
+        assert!(code.contains("touch"));
+        assert!(code.contains("r#fn"));
+    }
+
+    #[test]
+    fn unicode_char_literal() {
+        let src = "let c = 'λ'; let d = '\\u{1F600}'; after();";
+        let code = masked(src);
+        assert!(!code.contains('λ'));
+        assert!(!code.contains("1F600"));
+        assert!(code.contains("after();"));
+    }
+
+    #[test]
+    fn masked_output_same_length_in_lines() {
+        let src = "fn main() {\n    let x = \"a\nb\"; /* c\nd */ // e\n}\n";
+        let m = mask(src);
+        assert_eq!(m.code.matches('\n').count(), src.matches('\n').count());
+    }
+}

@@ -1,0 +1,175 @@
+//! `logr-lint` — the workspace invariant checker.
+//!
+//! The logr workspace carries contracts that `rustc` and clippy cannot
+//! see: every file operation must flow through the injectable
+//! [`Vfs`] layer so fault-injection and power-cut replay cover it;
+//! durable replacement must follow the write→fsync→rename→sync_dir
+//! protocol; the durability-critical crates must not panic in library
+//! code; the facade's public surface speaks one typed error. Until this
+//! crate, those contracts were enforced by review only. `logr-lint`
+//! makes them machine-checked:
+//!
+//! ```text
+//! cargo run -p logr-lint -- --deny
+//! ```
+//!
+//! scans every `.rs` file in the workspace with a small purpose-built
+//! lexer ([`lexer::mask`]) that blanks comments and string/char
+//! literals while preserving byte offsets, classifies each file
+//! ([`regions::classify`]) and its `#[cfg(test)]` regions, runs the
+//! five rules ([`rules::RULE_NAMES`]), and applies inline suppressions
+//! of the form:
+//!
+//! ```text
+//! risky_call(); // lint:allow(<rule>): <justification>
+//! ```
+//!
+//! A bare allow with no justification is itself an error — see
+//! [`suppress`]. The binary exits non-zero under `--deny` when any
+//! finding survives, which is what gates CI.
+//!
+//! [`Vfs`]: ../logr_cluster/vfs/trait.Vfs.html
+
+pub mod lexer;
+pub mod regions;
+pub mod rules;
+pub mod suppress;
+
+use regions::{classify, FileClass};
+use rules::{FileContext, Finding, RULE_NAMES};
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// Lint one file's source. `class` overrides path-based classification
+/// when `Some` — the conformance suite uses this to lint fixture text as
+/// library code regardless of where the fixture lives on disk.
+pub fn lint_source(rel_path: &Path, class: Option<FileClass>, source: &str) -> Vec<Finding> {
+    let class = class.unwrap_or_else(|| classify(rel_path));
+    if class == FileClass::Vendored {
+        return Vec::new();
+    }
+    let masked = lexer::mask(source);
+    let ctx = FileContext::new(rel_path, class, source, &masked);
+    let (allows, problems) = suppress::collect(&masked.comments, RULE_NAMES);
+    let mut findings: Vec<Finding> = rules::run_rules(&ctx)
+        .into_iter()
+        .filter(|f| !suppress::is_allowed(&allows, f.rule, f.line))
+        .collect();
+    for p in problems {
+        let (line, rule, message) = match p {
+            suppress::AllowProblem::Bare { line } => (
+                line,
+                "bare-allow",
+                "lint:allow without a justification; write \
+                 `// lint:allow(<rule>): <why this exemption is sound>`"
+                    .to_string(),
+            ),
+            suppress::AllowProblem::UnknownRule { line, name } => (
+                line,
+                "unknown-rule",
+                format!(
+                    "lint:allow names unknown rule `{name}` (known: {}); a typo here would \
+                     silently suppress nothing",
+                    RULE_NAMES.join(", ")
+                ),
+            ),
+            suppress::AllowProblem::Malformed { line } => (
+                line,
+                "malformed-allow",
+                "unparsable lint:allow; the syntax is `// lint:allow(<rule>[, <rule>]): \
+                 <justification>`"
+                    .to_string(),
+            ),
+        };
+        findings.push(Finding {
+            path: ctx.rel_path.clone(),
+            line,
+            rule,
+            message,
+            snippet: source.lines().nth(line.saturating_sub(1)).unwrap_or("").trim().to_string(),
+        });
+    }
+    findings.sort_by(|a, b| a.line.cmp(&b.line).then_with(|| a.rule.cmp(b.rule)));
+    findings
+}
+
+/// Directories never descended into: build output, VCS metadata, and the
+/// linter's own conformance fixtures (deliberate violations).
+fn skip_dir(rel: &Path, name: &str) -> bool {
+    name.starts_with('.')
+        || name == "target"
+        || rel.to_string_lossy().replace('\\', "/").starts_with("crates/lint/tests/fixtures")
+}
+
+/// Walk `root` and lint every `.rs` file. Findings come back sorted by
+/// path then line, with paths relative to `root`.
+pub fn lint_workspace(root: &Path) -> io::Result<Vec<Finding>> {
+    let mut files = Vec::new();
+    walk(root, root, &mut files)?;
+    files.sort();
+    let mut findings = Vec::new();
+    for rel in files {
+        let source = std::fs::read_to_string(root.join(&rel))?;
+        findings.extend(lint_source(&rel, None, &source));
+    }
+    Ok(findings)
+}
+
+fn walk(root: &Path, dir: &Path, out: &mut Vec<PathBuf>) -> io::Result<()> {
+    for entry in std::fs::read_dir(dir)? {
+        let entry = entry?;
+        let path = entry.path();
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        let rel = path.strip_prefix(root).unwrap_or(&path).to_path_buf();
+        let ty = entry.file_type()?;
+        if ty.is_dir() {
+            if !skip_dir(&rel, &name) {
+                walk(root, &path, out)?;
+            }
+        } else if ty.is_file() && name.ends_with(".rs") {
+            out.push(rel);
+        }
+    }
+    Ok(())
+}
+
+/// Render one finding in the `path:line: [rule] message` shape that
+/// terminals and CI annotations both understand.
+pub fn render(f: &Finding) -> String {
+    format!("{}:{}: [{}] {}\n    {}", f.path, f.line, f.rule, f.message, f.snippet)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn vendored_files_are_never_linted() {
+        let src = "pub fn f() { x.unwrap(); std::fs::read(p); println!(\"x\"); }\n";
+        let findings = lint_source(Path::new("crates/compat/rand/src/lib.rs"), None, src);
+        assert!(findings.is_empty());
+    }
+
+    #[test]
+    fn allow_suppresses_but_bare_allow_surfaces() {
+        let src = "pub fn f() {\n    x.unwrap(); // lint:allow(no-panic-paths): invariant: x checked above\n    y.unwrap(); // lint:allow(no-panic-paths)\n}\n";
+        let findings = lint_source(Path::new("src/demo.rs"), None, src);
+        let rules: Vec<&str> = findings.iter().map(|f| f.rule).collect();
+        // Line 2 suppressed; line 3's violation stands AND the bare allow
+        // is its own finding.
+        assert!(rules.contains(&"bare-allow"), "{findings:?}");
+        assert!(rules.contains(&"no-panic-paths"), "{findings:?}");
+        assert_eq!(findings.iter().filter(|f| f.line == 2).count(), 0, "{findings:?}");
+    }
+
+    #[test]
+    fn findings_carry_path_line_and_snippet() {
+        let src = "pub fn f() {\n    let v = x.unwrap();\n}\n";
+        let findings = lint_source(Path::new("src/demo.rs"), None, src);
+        assert_eq!(findings.len(), 1);
+        assert_eq!(findings[0].path, "src/demo.rs");
+        assert_eq!(findings[0].line, 2);
+        assert_eq!(findings[0].snippet, "let v = x.unwrap();");
+    }
+}

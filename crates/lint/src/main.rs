@@ -1,0 +1,67 @@
+//! CLI for the workspace invariant checker.
+//!
+//! ```text
+//! logr-lint [ROOT] [--deny] [--list-rules]
+//! ```
+//!
+//! `ROOT` defaults to the current directory (cargo runs binaries from
+//! the workspace root, so `cargo run -p logr-lint -- --deny` scans the
+//! whole workspace). Without `--deny` the tool reports and exits 0 —
+//! useful while triaging; with it, any surviving finding exits 1, which
+//! is what CI gates on.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut deny = false;
+    let mut root: Option<PathBuf> = None;
+    for arg in std::env::args().skip(1) {
+        match arg.as_str() {
+            "--deny" => deny = true,
+            "--list-rules" => {
+                for r in logr_lint::rules::RULE_NAMES {
+                    println!("{r}");
+                }
+                return ExitCode::SUCCESS;
+            }
+            "--help" | "-h" => {
+                println!("usage: logr-lint [ROOT] [--deny] [--list-rules]");
+                return ExitCode::SUCCESS;
+            }
+            other if root.is_none() && !other.starts_with('-') => {
+                root = Some(PathBuf::from(other));
+            }
+            other => {
+                eprintln!("logr-lint: unrecognized argument `{other}`");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    let root = root.unwrap_or_else(|| PathBuf::from("."));
+    let findings = match logr_lint::lint_workspace(&root) {
+        Ok(f) => f,
+        Err(e) => {
+            eprintln!("logr-lint: failed to scan {}: {e}", root.display());
+            return ExitCode::FAILURE;
+        }
+    };
+    for f in &findings {
+        println!("{}", logr_lint::render(f));
+    }
+    if findings.is_empty() {
+        println!("logr-lint: workspace clean ({} rules)", logr_lint::rules::RULE_NAMES.len());
+        ExitCode::SUCCESS
+    } else {
+        println!(
+            "logr-lint: {} finding{} — fix or justify with `// lint:allow(<rule>): <why>`",
+            findings.len(),
+            if findings.len() == 1 { "" } else { "s" }
+        );
+        if deny {
+            ExitCode::FAILURE
+        } else {
+            ExitCode::SUCCESS
+        }
+    }
+}

@@ -1,0 +1,408 @@
+//! The workspace invariant rules.
+//!
+//! Each rule scans the **masked** source (comments and literals blanked
+//! by [`crate::lexer::mask`]) of files whose [`FileClass`] it covers,
+//! skipping `#[cfg(test)]` regions, and reports [`Finding`]s that the
+//! driver then filters through `lint:allow` suppressions. The rules are
+//! grounded in contracts earlier PRs established by review and test
+//! suite; see the crate docs for the full rationale of each.
+
+use crate::lexer::Masked;
+use crate::regions::{fn_spans, innermost_fn, test_spans, FileClass, Span};
+use std::path::Path;
+
+/// Names of every rule, in reporting order. `lint:allow` validates
+/// against this list.
+pub const RULE_NAMES: &[&str] =
+    &["vfs-bypass", "no-panic-paths", "sync-protocol", "typed-errors", "no-debug-output"];
+
+/// One rule violation at a source location.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Finding {
+    /// Workspace-relative path of the file.
+    pub path: String,
+    /// 1-based line number.
+    pub line: usize,
+    /// Rule that fired (one of [`RULE_NAMES`], or the meta rules
+    /// `bare-allow` / `unknown-rule` for malformed suppressions).
+    pub rule: &'static str,
+    /// Human-readable description of the violation.
+    pub message: String,
+    /// The offending source line, trimmed.
+    pub snippet: String,
+}
+
+/// Where (by byte offset) each line of the masked source starts —
+/// `line_of` turns offsets back into 1-based line numbers.
+pub struct LineIndex {
+    starts: Vec<usize>,
+}
+
+impl LineIndex {
+    /// Build the index for `text`.
+    pub fn new(text: &str) -> LineIndex {
+        let mut starts = vec![0usize];
+        for (i, b) in text.bytes().enumerate() {
+            if b == b'\n' {
+                starts.push(i + 1);
+            }
+        }
+        LineIndex { starts }
+    }
+
+    /// 1-based line containing byte `pos`.
+    pub fn line_of(&self, pos: usize) -> usize {
+        match self.starts.binary_search(&pos) {
+            Ok(i) => i + 1,
+            Err(i) => i,
+        }
+    }
+}
+
+/// Everything a rule needs about one file.
+pub struct FileContext<'a> {
+    /// Workspace-relative path (forward slashes).
+    pub rel_path: String,
+    /// The file's classification.
+    pub class: FileClass,
+    /// Original source (for snippets).
+    pub source: &'a str,
+    /// Masked source + comments.
+    pub masked: &'a Masked,
+    /// `#[cfg(test)]` spans in the masked source.
+    pub test_spans: Vec<Span>,
+    /// Line index over the masked source.
+    pub lines: LineIndex,
+}
+
+impl<'a> FileContext<'a> {
+    /// Assemble the context for one file.
+    pub fn new(rel_path: &Path, class: FileClass, source: &'a str, masked: &'a Masked) -> Self {
+        FileContext {
+            rel_path: rel_path.to_string_lossy().replace('\\', "/"),
+            class,
+            source,
+            masked,
+            test_spans: test_spans(masked),
+            lines: LineIndex::new(&masked.code),
+        }
+    }
+
+    fn in_test_region(&self, pos: usize) -> bool {
+        self.test_spans.iter().any(|s| s.contains(pos))
+    }
+
+    fn snippet_at(&self, line: usize) -> String {
+        self.source.lines().nth(line.saturating_sub(1)).unwrap_or("").trim().to_string()
+    }
+
+    fn finding(&self, pos: usize, rule: &'static str, message: String) -> Finding {
+        let line = self.lines.line_of(pos);
+        Finding { path: self.rel_path.clone(), line, rule, message, snippet: self.snippet_at(line) }
+    }
+}
+
+/// Run every rule applicable to the file. Suppressions are applied by the
+/// caller (`lib.rs`), which also reports malformed allows.
+pub fn run_rules(ctx: &FileContext<'_>) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    vfs_bypass(ctx, &mut findings);
+    no_panic_paths(ctx, &mut findings);
+    sync_protocol(ctx, &mut findings);
+    typed_errors(ctx, &mut findings);
+    no_debug_output(ctx, &mut findings);
+    findings.sort_by_key(|f| f.line);
+    findings
+}
+
+// ---- rule: vfs-bypass -------------------------------------------------
+
+/// Paths exempt from `vfs-bypass`: the storage layer itself (it *is* the
+/// `std::fs` boundary) and this linter (it reads source files by design
+/// and never touches an engine store).
+const VFS_EXEMPT: &[&str] = &["crates/cluster/src/vfs.rs", "crates/lint/"];
+
+/// Every file operation in library code must go through the
+/// `logr_cluster::vfs::Vfs` layer — the injection point the fault and
+/// power-cut suites drive. Direct `std::fs` / `File::` / `OpenOptions`
+/// use bypasses fault injection, IO retry, and the crash-replay trace.
+fn vfs_bypass(ctx: &FileContext<'_>, out: &mut Vec<Finding>) {
+    if !matches!(ctx.class, FileClass::Library | FileClass::Binary) {
+        return;
+    }
+    if VFS_EXEMPT.iter().any(|e| ctx.rel_path.starts_with(e)) {
+        return;
+    }
+    for (pos, pat) in find_all(&ctx.masked.code, &["std::fs", "OpenOptions", "File::"]) {
+        if ctx.in_test_region(pos) {
+            continue;
+        }
+        out.push(ctx.finding(
+            pos,
+            "vfs-bypass",
+            format!(
+                "direct filesystem access (`{pat}`) bypasses the injectable Vfs layer; route it \
+                 through `logr_cluster::vfs::Vfs` so fault injection and power-cut replay cover it"
+            ),
+        ));
+    }
+}
+
+// ---- rule: no-panic-paths ---------------------------------------------
+
+/// Crate roots whose library code must stay panic-free: the facade (its
+/// contract is "every entry point returns a typed `Error`, never a
+/// panic") and the two crates on the durable read/write path.
+const PANIC_FREE_ROOTS: &[&str] = &["src/", "crates/cluster/src/", "crates/core/src/"];
+
+/// No `.unwrap()` / `.expect(` / panicking macro in library code of the
+/// durability-critical crates — a panic mid-write is how stores get torn
+/// and how the "typed error, never a panic" recovery contract breaks.
+fn no_panic_paths(ctx: &FileContext<'_>, out: &mut Vec<Finding>) {
+    if ctx.class != FileClass::Library {
+        return;
+    }
+    if !PANIC_FREE_ROOTS.iter().any(|r| ctx.rel_path.starts_with(r)) {
+        return;
+    }
+    let patterns: &[&str] =
+        &[".unwrap()", ".expect(", "panic!", "unreachable!", "todo!", "unimplemented!"];
+    for (pos, pat) in find_all(&ctx.masked.code, patterns) {
+        if ctx.in_test_region(pos) {
+            continue;
+        }
+        out.push(ctx.finding(
+            pos,
+            "no-panic-paths",
+            format!(
+                "`{pat}` in durability-critical library code; return a typed error (see \
+                 `logr::Error`) or justify with a lint:allow"
+            ),
+        ));
+    }
+}
+
+// ---- rule: sync-protocol ----------------------------------------------
+
+/// A `rename` in library code must sit in a function that also `fsync`s
+/// the renamed file and `sync_dir`s the parent — the write-fsync-rename-
+/// syncdir protocol that makes replacement atomic **and durable**. A
+/// rename without the fsyncs can leave a durable name over unwritten
+/// pages after power loss (the exact hole PR 6 closed in the spill path).
+fn sync_protocol(ctx: &FileContext<'_>, out: &mut Vec<Finding>) {
+    if !matches!(ctx.class, FileClass::Library | FileClass::Binary) {
+        return;
+    }
+    if VFS_EXEMPT.iter().any(|e| ctx.rel_path.starts_with(e)) {
+        return;
+    }
+    let fns = fn_spans(ctx.masked);
+    for (pos, _) in find_all(&ctx.masked.code, &["rename"]) {
+        if ctx.in_test_region(pos) || !is_call(&ctx.masked.code, pos, "rename") {
+            continue;
+        }
+        let Some(span) = innermost_fn(&fns, pos) else {
+            out.push(
+                ctx.finding(
+                    pos,
+                    "sync-protocol",
+                    "`rename` call outside any function body; cannot verify the \
+                 fsync→rename→sync_dir protocol"
+                        .to_string(),
+                ),
+            );
+            continue;
+        };
+        let body = &ctx.masked.code[span.start..span.end];
+        let has_fsync = find_all(body, &["fsync"]).iter().any(|(p, _)| is_call(body, *p, "fsync"));
+        let has_sync_dir =
+            find_all(body, &["sync_dir"]).iter().any(|(p, _)| is_call(body, *p, "sync_dir"));
+        if !(has_fsync && has_sync_dir) {
+            let missing = match (has_fsync, has_sync_dir) {
+                (false, false) => "fsync and sync_dir",
+                (false, true) => "fsync",
+                (true, false) => "sync_dir",
+                _ => unreachable!("guarded above"),
+            };
+            out.push(ctx.finding(
+                pos,
+                "sync-protocol",
+                format!(
+                    "`rename` in a function that never calls {missing}: atomic replacement \
+                     without durability — follow the write→fsync→rename→sync_dir protocol or \
+                     justify with a lint:allow"
+                ),
+            ));
+        }
+    }
+}
+
+// ---- rule: typed-errors -----------------------------------------------
+
+/// Public functions of the facade crate must return the one crate-wide
+/// `logr::Error`, not `Box<dyn Error>` or a bare `io::Error` — callers
+/// match a single `#[non_exhaustive]` enum, and every lower-level failure
+/// arrives through `From` conversions.
+fn typed_errors(ctx: &FileContext<'_>, out: &mut Vec<Finding>) {
+    // The facade crate is the workspace root's `src/` tree.
+    if ctx.class != FileClass::Library || !ctx.rel_path.starts_with("src/") {
+        return;
+    }
+    let code = &ctx.masked.code;
+    let bytes = code.as_bytes();
+    for (pos, _) in find_all(code, &["pub fn ", "pub async fn "]) {
+        if ctx.in_test_region(pos) {
+            continue;
+        }
+        // Signature runs to the body `{` or a `;`.
+        let sig_end = bytes[pos..]
+            .iter()
+            .position(|&b| b == b'{' || b == b';')
+            .map(|off| pos + off)
+            .unwrap_or(code.len());
+        let sig = &code[pos..sig_end];
+        for bad in ["Box<dyn", "io::Error", "std::io::Error"] {
+            if let Some(off) = sig.find(bad) {
+                // `io::Error` must not match `voodoo::Error`-style names.
+                let at = pos + off;
+                if bad.starts_with("io") && at > 0 && is_word_byte(bytes[at - 1]) {
+                    continue;
+                }
+                out.push(ctx.finding(
+                    at,
+                    "typed-errors",
+                    format!(
+                        "public facade signature exposes `{bad}`; return the crate-wide \
+                         `logr::Error` (lower-level errors convert in via `From`)"
+                    ),
+                ));
+                break; // one finding per signature is enough
+            }
+        }
+    }
+}
+
+// ---- rule: no-debug-output --------------------------------------------
+
+/// No `println!` / `eprintln!` / `dbg!` in library code: a library's
+/// observable surface is its return values, not a stdout side channel.
+/// Binaries (`src/bin/`, `src/main.rs`) are exempt — their stdout *is*
+/// the interface; library code that legitimately reports (the bench
+/// table printer) writes through an explicit `io::Write` handle instead.
+fn no_debug_output(ctx: &FileContext<'_>, out: &mut Vec<Finding>) {
+    if ctx.class != FileClass::Library {
+        return;
+    }
+    for (pos, pat) in
+        find_all(&ctx.masked.code, &["println!", "eprintln!", "print!", "eprint!", "dbg!"])
+    {
+        if ctx.in_test_region(pos) {
+            continue;
+        }
+        out.push(ctx.finding(
+            pos,
+            "no-debug-output",
+            format!(
+                "`{pat}` in library code; write to an explicit `io::Write` handle if output is \
+                 the contract, or remove the debug print"
+            ),
+        ));
+    }
+}
+
+// ---- shared matching helpers ------------------------------------------
+
+fn is_word_byte(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b == b'_'
+}
+
+/// Every occurrence of any pattern in `code`, with word boundaries at
+/// both ends (a boundary is only required where the pattern edge is a
+/// word character — `.unwrap()` starts with `.`, which needs none).
+fn find_all<'p>(code: &str, patterns: &[&'p str]) -> Vec<(usize, &'p str)> {
+    let bytes = code.as_bytes();
+    let mut hits = Vec::new();
+    for &pat in patterns {
+        let pat_bytes = pat.as_bytes();
+        let first_is_word = is_word_byte(pat_bytes[0]);
+        let last_is_word = is_word_byte(pat_bytes[pat_bytes.len() - 1]);
+        let mut from = 0usize;
+        while let Some(off) = code[from..].find(pat) {
+            let at = from + off;
+            let end = at + pat.len();
+            let before_ok = !first_is_word || at == 0 || !is_word_byte(bytes[at - 1]);
+            let after_ok = !last_is_word || end == bytes.len() || !is_word_byte(bytes[end]);
+            if before_ok && after_ok {
+                hits.push((at, pat));
+            }
+            from = at + 1;
+        }
+    }
+    hits.sort_by_key(|&(p, _)| p);
+    hits
+}
+
+/// Is the identifier at `pos` used as a method/path call — preceded
+/// (ignoring whitespace) by `.` or `::` and followed (ignoring
+/// whitespace) by `(`? Filters out struct fields and unrelated idents
+/// named e.g. `rename`.
+fn is_call(code: &str, pos: usize, ident: &str) -> bool {
+    let bytes = code.as_bytes();
+    // Word boundary on the left (find_all guarantees it when asked, but
+    // callers pass raw positions too).
+    if pos > 0 && is_word_byte(bytes[pos - 1]) {
+        return false;
+    }
+    let mut before = pos;
+    while before > 0 && (bytes[before - 1] as char).is_whitespace() {
+        before -= 1;
+    }
+    let called_via = before >= 1 && bytes[before - 1] == b'.'
+        || before >= 2 && &bytes[before - 2..before] == b"::";
+    if !called_via {
+        return false;
+    }
+    let mut after = pos + ident.len();
+    while after < bytes.len() && (bytes[after] as char).is_whitespace() {
+        after += 1;
+    }
+    bytes.get(after) == Some(&b'(')
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::mask;
+    use std::path::PathBuf;
+
+    fn lint_as(path: &str, class: FileClass, src: &str) -> Vec<Finding> {
+        let masked = mask(src);
+        let ctx = FileContext::new(&PathBuf::from(path), class, src, &masked);
+        run_rules(&ctx)
+    }
+
+    #[test]
+    fn call_detection() {
+        let code = "vfs.rename(&a, &b); let rename = 1; s.rename; fs::rename(x, y);";
+        let hits = find_all(code, &["rename"]);
+        let calls: Vec<usize> =
+            hits.iter().filter(|(p, _)| is_call(code, *p, "rename")).map(|(p, _)| *p).collect();
+        assert_eq!(calls.len(), 2); // the method call and the path call
+    }
+
+    #[test]
+    fn test_region_hits_are_skipped() {
+        let src = "fn lib() { let _ = 1; }\n#[cfg(test)]\nmod tests {\n    fn t() { x.unwrap(); std::fs::read(p); println!(\"{}\", 1); }\n}\n";
+        let findings = lint_as("crates/core/src/x.rs", FileClass::Library, src);
+        assert!(findings.is_empty(), "{findings:?}");
+    }
+
+    #[test]
+    fn line_index_maps_positions() {
+        let idx = LineIndex::new("a\nbb\nccc\n");
+        assert_eq!(idx.line_of(0), 1);
+        assert_eq!(idx.line_of(2), 2);
+        assert_eq!(idx.line_of(3), 2);
+        assert_eq!(idx.line_of(5), 3);
+    }
+}

@@ -1,0 +1,224 @@
+//! The inline suppression syntax:
+//! `// lint:allow(<rule>): <justification>`.
+//!
+//! A trailing allow suppresses findings of the named rule(s) on **its own
+//! line**; an allow standing alone on a line suppresses them on the next
+//! line that is not itself a standalone allow (so several rules can be
+//! stacked above one statement). The justification is mandatory — a bare
+//! `// lint:allow(rule)` is itself a finding ([`AllowProblem::Bare`]),
+//! because an unexplained exemption is exactly the review-only
+//! enforcement this tool replaces. Unknown rule names are findings too
+//! ([`AllowProblem::UnknownRule`]): a typo must not silently disable
+//! nothing.
+
+use crate::lexer::LineComment;
+
+/// One parsed `lint:allow`, bound to the line it suppresses.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Allow {
+    /// Rule names inside the parentheses.
+    pub rules: Vec<String>,
+    /// The line the allow suppresses findings on.
+    pub target_line: usize,
+    /// The line the comment itself is on.
+    pub comment_line: usize,
+    /// The justification text after the closing `): `.
+    pub justification: String,
+}
+
+/// A malformed allow — reported as a finding by the driver.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AllowProblem {
+    /// No `:` + justification after the rule list (or an empty one).
+    Bare {
+        /// Line of the offending comment.
+        line: usize,
+    },
+    /// The rule list names a rule this linter does not have.
+    UnknownRule {
+        /// Line of the offending comment.
+        line: usize,
+        /// The unrecognized name.
+        name: String,
+    },
+    /// `lint:allow` appeared without a parsable `(rule)` list.
+    Malformed {
+        /// Line of the offending comment.
+        line: usize,
+    },
+}
+
+/// Scan line comments for `lint:allow` markers. `known_rules` validates
+/// the names. Returns the well-formed allows and every problem found.
+pub fn collect(comments: &[LineComment], known_rules: &[&str]) -> (Vec<Allow>, Vec<AllowProblem>) {
+    let mut allows = Vec::new();
+    let mut problems = Vec::new();
+    for c in comments {
+        // The marker only counts at the start of the comment's content
+        // (after doc-comment `/`/`!` markers and indentation) — prose that
+        // merely *mentions* `lint:allow` mid-sentence is not a suppression.
+        let content = c.text.trim_start_matches(['/', '!', ' ', '\t']);
+        if !content.starts_with("lint:allow") {
+            continue;
+        }
+        let rest = &content["lint:allow".len()..];
+        let Some(open_rel) = rest.find('(') else {
+            problems.push(AllowProblem::Malformed { line: c.line });
+            continue;
+        };
+        // Only whitespace may sit between `lint:allow` and `(`.
+        if !rest[..open_rel].trim().is_empty() {
+            problems.push(AllowProblem::Malformed { line: c.line });
+            continue;
+        }
+        let after_open = &rest[open_rel + 1..];
+        let Some(close_rel) = after_open.find(')') else {
+            problems.push(AllowProblem::Malformed { line: c.line });
+            continue;
+        };
+        let rules: Vec<String> = after_open[..close_rel]
+            .split(',')
+            .map(|r| r.trim().to_string())
+            .filter(|r| !r.is_empty())
+            .collect();
+        if rules.is_empty() {
+            problems.push(AllowProblem::Malformed { line: c.line });
+            continue;
+        }
+        let mut ok = true;
+        for r in &rules {
+            if !known_rules.contains(&r.as_str()) {
+                problems.push(AllowProblem::UnknownRule { line: c.line, name: r.clone() });
+                ok = false;
+            }
+        }
+        let tail = after_open[close_rel + 1..].trim();
+        let justification = match tail.strip_prefix(':') {
+            Some(j) if !j.trim().is_empty() => j.trim().to_string(),
+            _ => {
+                problems.push(AllowProblem::Bare { line: c.line });
+                continue;
+            }
+        };
+        if !ok {
+            continue; // unknown rule already reported; don't also bind it
+        }
+        // A standalone comment targets the next line; a trailing comment
+        // targets its own.
+        let target_line = if c.leading { c.line + 1 } else { c.line };
+        allows.push(Allow { rules, target_line, comment_line: c.line, justification });
+    }
+    // Stacked standalone allows all target the first following line that
+    // is not itself a standalone allow comment.
+    let standalone_lines: Vec<usize> = allows
+        .iter()
+        .filter(|a| a.target_line == a.comment_line + 1)
+        .map(|a| a.comment_line)
+        .collect();
+    for a in &mut allows {
+        if a.target_line == a.comment_line + 1 {
+            let mut t = a.target_line;
+            while standalone_lines.contains(&t) {
+                t += 1;
+            }
+            a.target_line = t;
+        }
+    }
+    (allows, problems)
+}
+
+/// Is a finding of `rule` on `line` suppressed by one of `allows`?
+pub fn is_allowed(allows: &[Allow], rule: &str, line: usize) -> bool {
+    allows.iter().any(|a| a.target_line == line && a.rules.iter().any(|r| r == rule))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::mask;
+
+    const RULES: &[&str] =
+        &["vfs-bypass", "no-panic-paths", "sync-protocol", "typed-errors", "no-debug-output"];
+
+    fn parse(src: &str) -> (Vec<Allow>, Vec<AllowProblem>) {
+        collect(&mask(src).comments, RULES)
+    }
+
+    #[test]
+    fn trailing_allow_targets_its_own_line() {
+        let (allows, problems) =
+            parse("let x = f().unwrap(); // lint:allow(no-panic-paths): fixture value\n");
+        assert!(problems.is_empty());
+        assert_eq!(allows.len(), 1);
+        assert_eq!(allows[0].target_line, 1);
+        assert_eq!(allows[0].rules, vec!["no-panic-paths"]);
+        assert_eq!(allows[0].justification, "fixture value");
+        assert!(is_allowed(&allows, "no-panic-paths", 1));
+        assert!(!is_allowed(&allows, "vfs-bypass", 1));
+    }
+
+    #[test]
+    fn standalone_allow_targets_next_line() {
+        let src = "// lint:allow(vfs-bypass): tempdir helper outside the store\nstd::fs::create_dir_all(&d);\n";
+        let (allows, problems) = parse(src);
+        assert!(problems.is_empty());
+        assert_eq!(allows[0].target_line, 2);
+        assert!(is_allowed(&allows, "vfs-bypass", 2));
+        assert!(!is_allowed(&allows, "vfs-bypass", 1));
+    }
+
+    #[test]
+    fn bare_allow_is_a_problem() {
+        let (allows, problems) = parse("x(); // lint:allow(no-panic-paths)\n");
+        assert!(allows.is_empty());
+        assert_eq!(problems, vec![AllowProblem::Bare { line: 1 }]);
+    }
+
+    #[test]
+    fn empty_justification_is_bare() {
+        let (allows, problems) = parse("x(); // lint:allow(no-panic-paths):   \n");
+        assert!(allows.is_empty());
+        assert_eq!(problems, vec![AllowProblem::Bare { line: 1 }]);
+    }
+
+    #[test]
+    fn unknown_rule_is_a_problem() {
+        let (allows, problems) = parse("x(); // lint:allow(no-panics): because\n");
+        assert!(allows.is_empty());
+        assert_eq!(problems, vec![AllowProblem::UnknownRule { line: 1, name: "no-panics".into() }]);
+    }
+
+    #[test]
+    fn multiple_rules_in_one_allow() {
+        let (allows, problems) =
+            parse("y(); // lint:allow(vfs-bypass, no-panic-paths): test scaffolding\n");
+        assert!(problems.is_empty());
+        assert!(is_allowed(&allows, "vfs-bypass", 1));
+        assert!(is_allowed(&allows, "no-panic-paths", 1));
+    }
+
+    #[test]
+    fn stacked_standalone_allows_share_a_target() {
+        let src = "// lint:allow(vfs-bypass): helper\n// lint:allow(no-panic-paths): helper\nstd::fs::read(p).unwrap();\n";
+        let (allows, problems) = parse(src);
+        assert!(problems.is_empty());
+        assert!(is_allowed(&allows, "vfs-bypass", 3));
+        assert!(is_allowed(&allows, "no-panic-paths", 3));
+    }
+
+    #[test]
+    fn malformed_allow_is_a_problem() {
+        let (_, problems) = parse("x(); // lint:allow no-panic-paths: because\n");
+        assert_eq!(problems, vec![AllowProblem::Malformed { line: 1 }]);
+    }
+
+    #[test]
+    fn allow_in_doc_comment_is_found() {
+        // Doc comments are line comments too; an allow there still counts
+        // (it reads naturally above the item it justifies).
+        let (allows, _) = parse(
+            "/// lint:allow(no-debug-output): CLI table printer\nfn p() { println!(\"x\"); }\n",
+        );
+        assert_eq!(allows.len(), 1);
+    }
+}

@@ -1,0 +1,194 @@
+//! Fixture-based conformance suite: every rule has at least one positive
+//! (the rule fires, at the expected lines) and one negative (clean code,
+//! plus the comment/literal/test-region text that must NOT count) case.
+//!
+//! Fixtures live in `tests/fixtures/` and are embedded at compile time;
+//! each is linted **as if** it sat at a library path inside the rule's
+//! scope (the `lint_source` path argument controls scoping, not the
+//! fixture's on-disk location, which the workspace walker skips).
+
+use logr_lint::lint_source;
+use logr_lint::rules::Finding;
+use std::path::Path;
+
+fn lint_at(path: &str, src: &str) -> Vec<Finding> {
+    lint_source(Path::new(path), None, src)
+}
+
+fn rules_fired(findings: &[Finding]) -> Vec<&str> {
+    let mut rules: Vec<&str> = findings.iter().map(|f| f.rule).collect();
+    rules.dedup();
+    rules
+}
+
+// ---- vfs-bypass --------------------------------------------------------
+
+#[test]
+fn vfs_bypass_positive() {
+    let findings =
+        lint_at("crates/core/src/fixture.rs", include_str!("fixtures/vfs_bypass/bad.rs"));
+    let hits: Vec<&Finding> = findings.iter().filter(|f| f.rule == "vfs-bypass").collect();
+    assert!(hits.len() >= 2, "expected std::fs and OpenOptions hits: {findings:?}");
+    assert!(hits.iter().any(|f| f.line == 6), "std::fs::write line: {hits:?}");
+    assert!(hits.iter().all(|f| !f.snippet.is_empty()));
+}
+
+#[test]
+fn vfs_bypass_negative() {
+    let findings =
+        lint_at("crates/core/src/fixture.rs", include_str!("fixtures/vfs_bypass/good.rs"));
+    assert!(
+        findings.iter().all(|f| f.rule != "vfs-bypass"),
+        "comments/strings/tests must not fire: {findings:?}"
+    );
+}
+
+#[test]
+fn vfs_bypass_does_not_apply_to_the_vfs_layer_itself() {
+    let findings = lint_at(
+        "crates/cluster/src/vfs.rs",
+        "pub fn passthrough(p: &std::path::Path) -> std::io::Result<Vec<u8>> { std::fs::read(p) }\n",
+    );
+    assert!(findings.iter().all(|f| f.rule != "vfs-bypass"), "{findings:?}");
+}
+
+// ---- no-panic-paths ----------------------------------------------------
+
+#[test]
+fn no_panic_paths_positive() {
+    let findings =
+        lint_at("crates/cluster/src/fixture.rs", include_str!("fixtures/no_panic_paths/bad.rs"));
+    let hits: Vec<usize> =
+        findings.iter().filter(|f| f.rule == "no-panic-paths").map(|f| f.line).collect();
+    assert_eq!(hits, vec![5, 9, 13], "unwrap, expect, todo lines: {findings:?}");
+}
+
+#[test]
+fn no_panic_paths_negative() {
+    let findings =
+        lint_at("crates/cluster/src/fixture.rs", include_str!("fixtures/no_panic_paths/good.rs"));
+    assert!(findings.is_empty(), "typed errors + test-only panics are clean: {findings:?}");
+}
+
+#[test]
+fn no_panic_paths_only_covers_durability_critical_crates() {
+    let src = include_str!("fixtures/no_panic_paths/bad.rs");
+    let findings = lint_at("crates/bench/src/fixture.rs", src);
+    assert!(findings.iter().all(|f| f.rule != "no-panic-paths"), "{findings:?}");
+}
+
+// ---- sync-protocol -----------------------------------------------------
+
+#[test]
+fn sync_protocol_positive() {
+    let findings =
+        lint_at("crates/cluster/src/fixture.rs", include_str!("fixtures/sync_protocol/bad.rs"));
+    let hits: Vec<&Finding> = findings.iter().filter(|f| f.rule == "sync-protocol").collect();
+    assert_eq!(hits.len(), 1, "{findings:?}");
+    assert_eq!(hits[0].line, 7);
+    assert!(hits[0].message.contains("fsync and sync_dir"), "{}", hits[0].message);
+}
+
+#[test]
+fn sync_protocol_negative() {
+    let findings =
+        lint_at("crates/cluster/src/fixture.rs", include_str!("fixtures/sync_protocol/good.rs"));
+    assert!(findings.is_empty(), "full protocol + justified allow are clean: {findings:?}");
+}
+
+// ---- typed-errors ------------------------------------------------------
+
+#[test]
+fn typed_errors_positive() {
+    let findings = lint_at("src/fixture.rs", include_str!("fixtures/typed_errors/bad.rs"));
+    let hits: Vec<usize> =
+        findings.iter().filter(|f| f.rule == "typed-errors").map(|f| f.line).collect();
+    assert_eq!(hits, vec![5, 9], "io::Error and Box<dyn lines: {findings:?}");
+}
+
+#[test]
+fn typed_errors_negative() {
+    let findings = lint_at("src/fixture.rs", include_str!("fixtures/typed_errors/good.rs"));
+    assert!(findings.is_empty(), "crate error + private io::Error helper: {findings:?}");
+}
+
+#[test]
+fn typed_errors_only_covers_the_facade() {
+    let src = include_str!("fixtures/typed_errors/bad.rs");
+    let findings = lint_at("crates/bench/src/fixture.rs", src);
+    assert!(findings.iter().all(|f| f.rule != "typed-errors"), "{findings:?}");
+}
+
+// ---- no-debug-output ---------------------------------------------------
+
+#[test]
+fn no_debug_output_positive() {
+    let findings =
+        lint_at("crates/bench/src/fixture.rs", include_str!("fixtures/no_debug_output/bad.rs"));
+    let hits: Vec<usize> =
+        findings.iter().filter(|f| f.rule == "no-debug-output").map(|f| f.line).collect();
+    assert_eq!(hits, vec![4, 5], "println and eprintln lines: {findings:?}");
+}
+
+#[test]
+fn no_debug_output_negative() {
+    let findings =
+        lint_at("crates/bench/src/fixture.rs", include_str!("fixtures/no_debug_output/good.rs"));
+    assert!(findings.is_empty(), "explicit handle + literal/test prints: {findings:?}");
+}
+
+#[test]
+fn no_debug_output_exempts_binaries() {
+    let src = include_str!("fixtures/no_debug_output/bad.rs");
+    let findings = lint_at("crates/bench/src/bin/fixture.rs", src);
+    assert!(findings.is_empty(), "a binary's stdout is its interface: {findings:?}");
+}
+
+// ---- suppression -------------------------------------------------------
+
+#[test]
+fn justified_allows_suppress() {
+    let findings =
+        lint_at("crates/cluster/src/fixture.rs", include_str!("fixtures/suppress/allowed.rs"));
+    assert!(findings.is_empty(), "trailing and standalone allows: {findings:?}");
+}
+
+#[test]
+fn bare_allow_is_reported_and_does_not_suppress() {
+    let findings =
+        lint_at("crates/cluster/src/fixture.rs", include_str!("fixtures/suppress/bare.rs"));
+    let fired = rules_fired(&findings);
+    assert!(fired.contains(&"bare-allow"), "{findings:?}");
+    assert!(fired.contains(&"no-panic-paths"), "unjustified allow must not suppress: {findings:?}");
+}
+
+#[test]
+fn unknown_rule_is_reported_and_does_not_suppress() {
+    let findings =
+        lint_at("crates/cluster/src/fixture.rs", include_str!("fixtures/suppress/unknown.rs"));
+    let fired = rules_fired(&findings);
+    assert!(fired.contains(&"unknown-rule"), "{findings:?}");
+    assert!(findings.iter().any(|f| f.rule == "unknown-rule" && f.message.contains("no-panics")));
+    assert!(fired.contains(&"no-panic-paths"), "typo'd allow must not suppress: {findings:?}");
+}
+
+// ---- lexer edge cases end to end --------------------------------------
+
+#[test]
+fn masking_edge_cases_produce_no_findings() {
+    let findings =
+        lint_at("crates/cluster/src/fixture.rs", include_str!("fixtures/masking/edge.rs"));
+    assert!(findings.is_empty(), "literal/comment text must never fire: {findings:?}");
+}
+
+// ---- the workspace itself ---------------------------------------------
+
+#[test]
+fn workspace_is_clean() {
+    // `cargo test` enforces the invariants too, not just the CI lint job:
+    // scan the real workspace from the lint crate's manifest dir.
+    let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+    let findings = logr_lint::lint_workspace(&root).expect("workspace scan");
+    let rendered: Vec<String> = findings.iter().map(logr_lint::render).collect();
+    assert!(findings.is_empty(), "workspace violations:\n{}", rendered.join("\n"));
+}

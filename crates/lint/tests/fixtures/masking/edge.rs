@@ -1,0 +1,20 @@
+//! Negative fixture: every lexer edge case that could fake a violation —
+//! the linter must see code, not comment or literal text.
+//! Doc text mentioning x.unwrap() stays doc text.
+
+pub fn edge_cases() -> usize {
+    let raw = r#"raw string with // not-a-comment and x.unwrap() inside"#;
+    let fenced = r##"nested fence: "# still inside "## ;
+    let byte_raw = br#"byte raw: std::fs::write"#;
+    /* block comment
+       /* nested block comment with println!("x") */
+       still commented: .expect("nope")
+    */
+    let quote_char = '"';
+    let escaped = '\'';
+    let newline = '\n';
+    let lifetime: &'static str = "tick 'a is a lifetime, not a char literal";
+    let s = "string with \" escape and .unwrap() text";
+    (raw.len() + fenced.len() + byte_raw.len() + s.len() + lifetime.len())
+        + (quote_char as usize + escaped as usize + newline as usize)
+}

@@ -1,0 +1,7 @@
+//! Positive fixture: stdout/stderr side channels in library code.
+
+pub fn compute(x: u32) -> u32 {
+    println!("debug {x}");
+    eprintln!("still here");
+    x + 1
+}

@@ -1,0 +1,17 @@
+//! Negative fixture: output through an explicit handle; `println!` in a
+//! string literal or test module does not count.
+
+use std::io::Write;
+
+pub fn report(out: &mut dyn Write, x: u32) -> std::io::Result<()> {
+    let tip = "use println!(..) only in binaries";
+    writeln!(out, "value {x} ({tip})")
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn tests_may_print() {
+        println!("debugging a test is fine");
+    }
+}

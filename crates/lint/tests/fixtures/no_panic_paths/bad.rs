@@ -1,0 +1,14 @@
+//! Positive fixture: panicking operators in durability-critical library
+//! code.
+
+pub fn parse(input: &str) -> u32 {
+    input.parse().unwrap()
+}
+
+pub fn header(bytes: &[u8]) -> u8 {
+    bytes.first().copied().expect("non-empty header")
+}
+
+pub fn later() {
+    todo!("write this")
+}

@@ -1,0 +1,27 @@
+//! Negative fixture: typed errors on the library path; panics stay in
+//! test code.
+
+pub fn parse(input: &str) -> Result<u32, Error> {
+    input.parse().map_err(|_| Error::BadInput)
+}
+
+pub fn header(bytes: &[u8]) -> Result<u8, Error> {
+    bytes.first().copied().ok_or(Error::Truncated)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses() {
+        assert_eq!(parse("7").unwrap(), 7);
+    }
+
+    mod nested {
+        #[test]
+        fn nested_test_modules_are_test_regions_too() {
+            "8".parse::<u32>().expect("parses");
+        }
+    }
+}

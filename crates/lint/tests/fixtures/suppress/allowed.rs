@@ -1,0 +1,11 @@
+//! Negative fixture: a justified allow (trailing and standalone forms)
+//! silences the named rule and nothing else.
+
+pub fn len(starts: &[usize]) -> usize {
+    *starts.last().expect("never empty") // lint:allow(no-panic-paths): seeded with one element at construction
+}
+
+pub fn first(starts: &[usize]) -> usize {
+    // lint:allow(no-panic-paths): same construction invariant as len()
+    *starts.first().expect("never empty")
+}

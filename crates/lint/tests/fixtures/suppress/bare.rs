@@ -1,0 +1,6 @@
+//! Positive fixture: an allow with no justification is itself a finding,
+//! and does not suppress the violation it sits on.
+
+pub fn len(starts: &[usize]) -> usize {
+    *starts.last().expect("never empty") // lint:allow(no-panic-paths)
+}

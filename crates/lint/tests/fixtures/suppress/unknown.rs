@@ -1,0 +1,6 @@
+//! Positive fixture: a typo'd rule name must not silently suppress
+//! nothing.
+
+pub fn len(starts: &[usize]) -> usize {
+    *starts.last().expect("never empty") // lint:allow(no-panics): misspelled rule
+}

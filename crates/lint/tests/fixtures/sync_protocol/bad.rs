@@ -1,0 +1,8 @@
+//! Positive fixture: rename without the fsync/sync_dir halves of the
+//! durable-replacement protocol.
+
+use std::path::Path;
+
+pub fn replace(vfs: &dyn Vfs, tmp: &Path, dst: &Path) -> std::io::Result<()> {
+    vfs.rename(tmp, dst)
+}

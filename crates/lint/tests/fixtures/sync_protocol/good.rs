@@ -1,0 +1,15 @@
+//! Negative fixture: the full write -> fsync -> rename -> sync_dir
+//! protocol, plus a justified allow for a non-durable rename.
+
+use std::path::Path;
+
+pub fn replace(vfs: &dyn Vfs, tmp: &Path, dst: &Path, dir: &Path) -> std::io::Result<()> {
+    vfs.fsync(tmp)?;
+    vfs.rename(tmp, dst)?;
+    vfs.sync_dir(dir)
+}
+
+pub fn shuffle_lock(vfs: &dyn Vfs, a: &Path, b: &Path) -> std::io::Result<()> {
+    // lint:allow(sync-protocol): advisory scratch file; losing it to power-off is harmless
+    vfs.rename(a, b)
+}

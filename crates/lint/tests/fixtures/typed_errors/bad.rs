@@ -1,0 +1,11 @@
+//! Positive fixture: public facade signatures leaking untyped errors.
+
+use std::path::Path;
+
+pub fn load(path: &Path) -> Result<Vec<u8>, std::io::Error> {
+    Ok(Vec::new())
+}
+
+pub fn run() -> Result<(), Box<dyn std::error::Error>> {
+    Ok(())
+}

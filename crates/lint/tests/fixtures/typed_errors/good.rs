@@ -1,0 +1,12 @@
+//! Negative fixture: the public surface speaks the crate error; private
+//! helpers may use io::Error internally.
+
+use std::path::Path;
+
+pub fn load(path: &Path) -> Result<Vec<u8>, Error> {
+    read_raw(path).map_err(Error::from)
+}
+
+fn read_raw(_path: &Path) -> Result<Vec<u8>, std::io::Error> {
+    Ok(Vec::new())
+}

@@ -1,0 +1,12 @@
+//! Positive fixture: raw std::fs access in library code.
+
+use std::path::Path;
+
+pub fn save(path: &Path, bytes: &[u8]) -> std::io::Result<()> {
+    std::fs::write(path, bytes)
+}
+
+pub fn open_options(path: &Path) -> std::io::Result<()> {
+    let _ = std::fs::OpenOptions::new().append(true).open(path)?;
+    Ok(())
+}

@@ -97,9 +97,9 @@ impl Pred {
     /// Conjunction of every feature in the iterator (the classic
     /// `&[Feature]` slice, as a predicate).
     pub fn all_of(features: impl IntoIterator<Item = Feature>) -> Pred {
-        let leaves: Vec<Pred> = features.into_iter().map(Pred::Feature).collect();
+        let mut leaves: Vec<Pred> = features.into_iter().map(Pred::Feature).collect();
         match leaves.len() {
-            1 => leaves.into_iter().next().expect("len checked"),
+            1 => leaves.swap_remove(0),
             _ => Pred::And(leaves),
         }
     }

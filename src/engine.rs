@@ -391,6 +391,7 @@ impl StoreLock {
                     // means a racer reclaimed it first — just retry.
                     let steal =
                         key.join(format!("{LOCK_FILE}.{}-{round:02}.stale", std::process::id()));
+                    // lint:allow(sync-protocol): advisory lock file — atomicity matters, durability does not; a lock lost to power-off is correctly stale
                     if vfs.rename(&path, &steal).is_ok() {
                         let stolen = vfs.read(&steal).ok().and_then(parse_pid);
                         if stolen == owner {
@@ -398,6 +399,7 @@ impl StoreLock {
                         } else {
                             // We stole a fresh lock — put it back and
                             // report its owner.
+                            // lint:allow(sync-protocol): restoring an advisory lock we stole by mistake; same non-durable contract as the steal above
                             let _ = vfs.rename(&steal, &path);
                             release_claim(&key);
                             return Err(Error::StoreLocked {
@@ -817,11 +819,13 @@ impl Engine {
         let shards = st.summarizer.shard_store();
         let mut shard_files = Vec::with_capacity(shards.n_shards());
         for s in 0..shards.n_shards() {
-            let path = shards.shard_file(s).expect("persist_shards wrote every shard");
-            let name = path
-                .file_name()
-                .and_then(|n| n.to_str())
-                .expect("spill files carry valid UTF-8 names");
+            let path = shards.shard_file(s).ok_or_else(|| Error::StoreMismatch {
+                detail: format!("persist_shards left shard {s} without a store file"),
+            })?;
+            let name =
+                path.file_name().and_then(|n| n.to_str()).ok_or_else(|| Error::StoreMismatch {
+                    detail: format!("spill file for shard {s} has a non-UTF-8 name: {path:?}"),
+                })?;
             shard_files.push(name.to_string());
         }
         let budget = shards.spill_config().map(|c| c.resident_budget).unwrap_or(usize::MAX);

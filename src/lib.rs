@@ -68,6 +68,7 @@
 //! | [`baselines`] | `logr-baselines` | Laserlight & MTV reimplementations + mixture generalizations |
 //! | [`workload`] | `logr-workload` | synthetic PocketData / US-bank / Mushroom / Income generators |
 //! | [`math`] | `logr-math` | matrices, eigensolvers, projections, entropies |
+//! | — | `logr-lint` | workspace invariant checker (`cargo run -p logr-lint -- --deny`): machine-enforces the contracts below — see *Workspace invariants* |
 //!
 //! ## Durability & crash-consistency guarantees
 //!
@@ -109,9 +110,54 @@
 //! [`cluster::vfs::Vfs`], which is how the fault-injection and
 //! power-cut suites drive the real engine through simulated disasters.
 //!
+//! ## Workspace invariants (machine-enforced)
+//!
+//! The guarantees above rest on coding contracts that `rustc` cannot
+//! check, so the workspace ships its own checker: `logr-lint`
+//! (`crates/lint`), run locally and in CI as
+//! `cargo run -p logr-lint -- --deny`. It lexes every source file
+//! (comments and string/char literals never count), skips test code
+//! (`#[cfg(test)]` regions, `tests/`, `benches/`, `examples/`), and
+//! enforces five rules:
+//!
+//! * **`vfs-bypass`** — no `std::fs` / `File::` / `OpenOptions` in
+//!   library code outside `cluster::vfs` itself. Every file operation
+//!   must flow through the injectable [`cluster::vfs::Vfs`], because
+//!   that is the seam the fault-injection and power-cut-replay suites
+//!   drive; a raw `std::fs` call is a write the crash tests can never
+//!   see.
+//! * **`no-panic-paths`** — no `.unwrap()` / `.expect(` / `panic!`-family
+//!   macros in library code of the durability-critical crates (this
+//!   facade, `logr-cluster`, `logr-core`). The recovery contract is "a
+//!   typed [`Error`], never a panic"; a panic mid-persist is how stores
+//!   tear.
+//! * **`sync-protocol`** — every `rename` call in library code must sit
+//!   in a function that also calls `fsync` and `sync_dir`: the
+//!   write→fsync→rename→sync_dir protocol documented above. Rename-only
+//!   replacement is atomic but *not durable* — after power loss the new
+//!   name can point at unwritten pages.
+//! * **`typed-errors`** — public functions of this facade must not
+//!   expose `Box<dyn Error>` or a bare `io::Error`; callers match the
+//!   one `#[non_exhaustive]` [`Error`] enum and lower-level failures
+//!   arrive through `From` conversions.
+//! * **`no-debug-output`** — no `println!` / `eprintln!` / `dbg!` in
+//!   library code; binaries are exempt (their stdout is the interface),
+//!   and library code whose output *is* the contract writes through an
+//!   explicit `io::Write` handle.
+//!
+//! Exemptions are inline, per line, and must be justified:
+//! `code(); // lint:allow(<rule>): <why this exemption is sound>` — a
+//! bare allow with no justification, a typo'd rule name, or malformed
+//! syntax is itself a finding. The linter's conformance suite
+//! (`crates/lint/tests/`) gives every rule positive and negative
+//! fixtures, and `cargo test` also re-scans the workspace, so the
+//! invariants hold on every green build, not just in CI.
+//!
 //! Reproduction of every table and figure in the paper: see `DESIGN.md`
 //! (experiment index) and run `cargo run --release -p logr-bench --bin
 //! repro -- all`.
+
+#![warn(missing_docs)]
 
 pub use logr_baselines as baselines;
 pub use logr_cluster as cluster;

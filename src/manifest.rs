@@ -127,11 +127,15 @@ pub fn decode(bytes: &[u8]) -> Result<Manifest, Error> {
     if bytes[..8] != MAGIC {
         return Err(corrupt("bad magic (not an engine manifest)"));
     }
-    let version = u32::from_le_bytes(bytes[8..12].try_into().expect("4-byte slice"));
+    let mut version_le = [0u8; 4];
+    version_le.copy_from_slice(&bytes[8..12]);
+    let version = u32::from_le_bytes(version_le);
     if version > VERSION {
         return Err(Error::ManifestVersion { found: version, supported: VERSION });
     }
-    let stored = u64::from_le_bytes(bytes[bytes.len() - 8..].try_into().expect("8-byte slice"));
+    let mut stored_le = [0u8; 8];
+    stored_le.copy_from_slice(&bytes[bytes.len() - 8..]);
+    let stored = u64::from_le_bytes(stored_le);
     let computed = fnv1a64(&bytes[8..bytes.len() - 8]);
     if stored != computed {
         return Err(Error::CorruptManifest {
@@ -363,11 +367,13 @@ impl Reader<'_> {
     }
 
     fn u32(&mut self, what: &str) -> Result<u32, Error> {
-        Ok(u32::from_le_bytes(self.take(4, what)?.try_into().expect("4-byte slice")))
+        let b = self.take(4, what)?;
+        Ok(u32::from_le_bytes([b[0], b[1], b[2], b[3]]))
     }
 
     fn u64(&mut self, what: &str) -> Result<u64, Error> {
-        Ok(u64::from_le_bytes(self.take(8, what)?.try_into().expect("8-byte slice")))
+        let b = self.take(8, what)?;
+        Ok(u64::from_le_bytes([b[0], b[1], b[2], b[3], b[4], b[5], b[6], b[7]]))
     }
 
     fn f64(&mut self, what: &str) -> Result<f64, Error> {
