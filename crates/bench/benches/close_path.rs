@@ -1,0 +1,130 @@
+//! Close-path persistence cost: what one window close writes, delta-log
+//! vs full-manifest-rewrite, as the distinct history grows.
+//!
+//! The delta manifest exists so a window close appends an `O(window)`
+//! record instead of re-encoding the whole `StreamState`; this bench
+//! pins both halves of that claim:
+//!
+//! * **Bytes per close** (deterministic, printed to stderr): a `FaultFs`
+//!   engine is warmed past 1024 distinct statements at window 64, then
+//!   one more window closes while the IO trace is watched — the
+//!   manifest bytes of that close (the delta append) are compared
+//!   against the full base rewrite a `checkpoint()` pays at the same
+//!   history. The acceptance bar is a ≥5× reduction.
+//! * **Time per close** (criterion): on a real store, `delta_close`
+//!   ingests one 64-statement window per iteration — the whole close
+//!   path end to end, featurization and clustering included — at 1k-
+//!   and 4k-distinct histories, while `full_rewrite` isolates the
+//!   `checkpoint()` fold (the full-manifest rewrite every close
+//!   *additionally* paid before the delta log existed, which grows with
+//!   the history while the delta append does not).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use logr::cluster::vfs::{FaultFs, IoOp};
+use logr::Engine;
+use std::path::PathBuf;
+use std::sync::Arc;
+
+/// Effectively unbounded distinct shapes: the combo space is ~8.8M, so
+/// every window of a multi-thousand-statement stream is mostly novel.
+fn statement(i: usize) -> String {
+    format!("SELECT c{}, c{} FROM t{} WHERE a{} = ?", i % 211, (i * 7) % 193, i % 17, i % 127)
+}
+
+fn bench_dir(tag: &str) -> PathBuf {
+    std::env::temp_dir().join(format!("logr-close-bench-{tag}-{}", std::process::id()))
+}
+
+/// Manifest-file bytes (base writes via `.tmp` + delta appends) in `ops`.
+fn manifest_bytes(ops: &[IoOp]) -> (u64, u64) {
+    let (mut base, mut delta) = (0u64, 0u64);
+    for op in ops {
+        match op {
+            IoOp::Write { path, bytes } => {
+                let name = path.file_name().and_then(|n| n.to_str()).unwrap_or("");
+                if name == "engine.tmp" {
+                    base += bytes.len() as u64;
+                } else if name == "engine.delta" {
+                    delta += bytes.len() as u64;
+                }
+            }
+            IoOp::Append { path, bytes }
+                if path.file_name().and_then(|n| n.to_str()) == Some("engine.delta") =>
+            {
+                delta += bytes.len() as u64;
+            }
+            _ => {}
+        }
+    }
+    (base, delta)
+}
+
+/// The deterministic byte count behind the acceptance criterion, printed
+/// once so a bench run records it alongside the timings.
+fn report_bytes_per_close() {
+    let fs = Arc::new(FaultFs::new());
+    let dir = PathBuf::from("/close-bytes");
+    let engine = Engine::builder().window(64).clusters(4).vfs(fs.clone()).open(&dir).expect("open");
+    // 17 windows × 64 mostly-novel statements: history > 1024 distinct.
+    for i in 0..17 * 64 {
+        engine.ingest(&statement(i)).expect("ingest");
+    }
+    let before = fs.trace_len();
+    for i in 17 * 64..18 * 64 {
+        engine.ingest(&statement(i)).expect("ingest");
+    }
+    let close_ops = &fs.trace()[before..];
+    let (close_base, close_delta) = manifest_bytes(close_ops);
+    let before = fs.trace_len();
+    engine.checkpoint().expect("checkpoint");
+    let fold_ops = &fs.trace()[before..];
+    let (full_base, _) = manifest_bytes(fold_ops);
+    eprintln!(
+        "close_path bytes at >1024-distinct history, window 64: \
+         delta close = {} manifest bytes ({} base + {} delta append), \
+         full rewrite = {} bytes, reduction = {:.1}x",
+        close_base + close_delta,
+        close_base,
+        close_delta,
+        full_base,
+        full_base as f64 / (close_base + close_delta).max(1) as f64,
+    );
+    assert!(close_base == 0, "a steady-state close must not rewrite the base manifest");
+    assert!(
+        full_base >= 5 * close_delta,
+        "delta close ({close_delta} bytes) must be >=5x smaller than the full rewrite \
+         ({full_base} bytes)"
+    );
+}
+
+fn close_path(c: &mut Criterion) {
+    report_bytes_per_close();
+    let mut group = c.benchmark_group("close_path");
+    for (label, windows) in [("history_1k", 16usize), ("history_4k", 64)] {
+        let dir = bench_dir(label);
+        let _ = std::fs::remove_dir_all(&dir);
+        let engine = Engine::builder().window(64).clusters(4).open(&dir).expect("open store");
+        let mut next = 0usize;
+        for _ in 0..windows * 64 {
+            engine.ingest(&statement(next)).expect("ingest");
+            next += 1;
+        }
+        group.bench_function(format!("delta_close/{label}"), |b| {
+            b.iter(|| {
+                for _ in 0..64 {
+                    engine.ingest(black_box(&statement(next))).expect("ingest");
+                    next += 1;
+                }
+            });
+        });
+        group.bench_function(format!("full_rewrite/{label}"), |b| {
+            b.iter(|| engine.checkpoint().expect("checkpoint"));
+        });
+        drop(engine);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+    group.finish();
+}
+
+criterion_group!(benches, close_path);
+criterion_main!(benches);

@@ -168,9 +168,12 @@ impl ShardedPointSet {
 
     /// Rebuild a set from a directory of previously spilled shard files —
     /// the recovery path behind `logr::Engine::open`. Every file is fully
-    /// decoded (length, magic, version, checksum, structure) and the chain
-    /// is validated — each record's `start` must equal the points before
-    /// it and the feature universe may only grow — then dropped again, so
+    /// decoded (length, magic, version, checksum, structure) — the
+    /// **once-per-open validation**; later reloads of these write-once
+    /// files skip the checksum pass ([`spill::decode_trusted`]) — and the
+    /// chain is validated — each record's `start` must equal the points
+    /// before it and the feature universe may only grow — then dropped
+    /// again, so
     /// the rebuilt set starts with **zero resident bytes** regardless of
     /// the budget and every read reloads transparently, exactly as after
     /// a long-running eviction.
@@ -487,7 +490,15 @@ impl ShardedPointSet {
         }
         // lint:allow(no-panic-paths): spilling writes the file before dropping the payload, so a spilled shard without a path is unreachable by construction
         let path = self.shards[s].path.as_ref().expect("a spilled shard always has a file");
-        let data = Arc::new(spill::read_file_with(&*self.vfs, path)?);
+        // Validate-once: every slot's file was checksummed in full exactly
+        // once in this process — `from_spilled_files_with` decodes every
+        // recovered file before admitting it, and every other path is a
+        // file this process encoded and wrote itself. Shard files are
+        // write-once, so reloads re-parse the (still structurally
+        // validated) payload without re-hashing it — a budget-bounded
+        // workload faults the same immutable files back in constantly,
+        // and the checksum pass was the dominant redundant cost.
+        let data = Arc::new(spill::read_file_trusted_with(&*self.vfs, path)?);
         if populate_cache {
             cache.entry = Some((s, data.clone()));
         }
@@ -1356,6 +1367,38 @@ mod tests {
         )
         .unwrap_err();
         assert!(matches!(err, SpillError::Io(_)), "{err}");
+    }
+
+    #[test]
+    fn reloads_skip_the_checksum_pass_after_first_open_validation() {
+        let store = TempStore::new("validate-once");
+        let vs = sample();
+        let refs: Vec<&QueryVector> = vs.iter().collect();
+        let mut sharded = ShardedPointSet::new();
+        sharded
+            .set_spill(SpillConfig { dir: store.path().to_path_buf(), resident_budget: 0 })
+            .unwrap();
+        sharded.push_shard(&refs[..4], 80);
+        sharded.push_shard(&refs[4..], 80); // spills shard 0
+        assert!(!sharded.shard_is_resident(0));
+        let before = sharded.mismatches(0, 1);
+        sharded.cache.lock().unwrap().entry = None;
+        // Flip a byte of the *stored checksum* (the payload is untouched):
+        // a first-open validation rejects the file, but reloads trust it —
+        // this process already checksummed these exact payload bytes once,
+        // and the file is write-once.
+        let path = sharded.shard_file(0).unwrap().to_path_buf();
+        let mut bytes = std::fs::read(&path).unwrap();
+        let last = bytes.len() - 1;
+        bytes[last] ^= 0xff;
+        std::fs::write(&path, &bytes).unwrap();
+        assert_eq!(sharded.mismatches(0, 1), before, "trusted reload must serve the payload");
+        let err = ShardedPointSet::from_spilled_files(
+            SpillConfig { dir: store.path().to_path_buf(), resident_budget: 0 },
+            &[path],
+        )
+        .unwrap_err();
+        assert!(matches!(err, SpillError::ChecksumMismatch { .. }), "{err}");
     }
 
     #[test]

@@ -227,6 +227,24 @@ fn read_u64(bytes: &[u8], offset: usize) -> u64 {
 /// [`SpillError`] variant and decoding never panics or over-allocates on
 /// hostile headers.
 pub fn decode(bytes: &[u8]) -> Result<ShardRecord, SpillError> {
+    decode_inner(bytes, true)
+}
+
+/// [`decode`] minus the checksum pass — for **re**-reads of a file this
+/// process already validated in full. The shard store verifies each
+/// spill file once, at first load; a budget-bounded workload then
+/// reloads the same immutable file every time the shard is evicted and
+/// faulted back in, and re-hashing the whole payload on every fault is
+/// pure overhead. Structural validation (length arithmetic, bitset
+/// widths) still runs — it is what makes parsing safe — so a file that
+/// changed shape underneath us still fails typed rather than panicking;
+/// only silent same-shape bit rot between reads goes undetected, which
+/// is exactly the window the first validated read already bounded.
+pub fn decode_trusted(bytes: &[u8]) -> Result<ShardRecord, SpillError> {
+    decode_inner(bytes, false)
+}
+
+fn decode_inner(bytes: &[u8], verify_checksum: bool) -> Result<ShardRecord, SpillError> {
     if bytes.len() < MIN_LEN {
         return Err(SpillError::Truncated { expected: MIN_LEN, found: bytes.len() });
     }
@@ -278,10 +296,12 @@ pub fn decode(bytes: &[u8]) -> Result<ShardRecord, SpillError> {
         return Err(SpillError::Corrupt("trailing bytes after the last point payload"));
     }
 
-    let stored = read_u64(bytes, bytes.len() - 8);
-    let computed = fnv1a64(&bytes[8..bytes.len() - 8]);
-    if stored != computed {
-        return Err(SpillError::ChecksumMismatch { stored, computed });
+    if verify_checksum {
+        let stored = read_u64(bytes, bytes.len() - 8);
+        let computed = fnv1a64(&bytes[8..bytes.len() - 8]);
+        if stored != computed {
+            return Err(SpillError::ChecksumMismatch { stored, computed });
+        }
     }
 
     let payload = &bytes[HEADER_LEN..bytes.len() - 8];
@@ -358,6 +378,12 @@ pub fn read_file(path: &Path) -> Result<ShardRecord, SpillError> {
     read_file_with(&RealFs, path)
 }
 
+/// [`read_file_with`] for a file already validated by this process —
+/// decodes via [`decode_trusted`], skipping the checksum pass.
+pub fn read_file_trusted_with(vfs: &dyn Vfs, path: &Path) -> Result<ShardRecord, SpillError> {
+    decode_trusted(&retry_io(|| vfs.read(path))?)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -384,6 +410,23 @@ mod tests {
         let record = sample_record();
         let bytes = encode(&record);
         assert_eq!(decode(&bytes).unwrap(), record);
+    }
+
+    #[test]
+    fn trusted_decode_skips_only_the_checksum_pass() {
+        let record = sample_record();
+        let mut bytes = encode(&record);
+        let n = bytes.len();
+        // Flip a checksummed payload byte: the validating decode reports
+        // the mismatch, the trusted re-read decode parses it (same-shape
+        // rot between reads is out of its contract).
+        bytes[HEADER_LEN] ^= 1;
+        assert!(matches!(decode(&bytes), Err(SpillError::ChecksumMismatch { .. })));
+        assert!(decode_trusted(&bytes).is_ok());
+        bytes[HEADER_LEN] ^= 1;
+        assert_eq!(decode_trusted(&bytes).unwrap(), record);
+        // Structural validation still runs under trust.
+        assert!(matches!(decode_trusted(&bytes[..n - 9]), Err(SpillError::Truncated { .. })));
     }
 
     #[test]

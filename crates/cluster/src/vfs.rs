@@ -21,6 +21,10 @@
 //! * a [`Vfs::write`] lands in cache only — after a crash the file's
 //!   *previous* durable content survives (or a zero-length file, if the
 //!   file was never fsynced under any name);
+//! * a [`Vfs::append`] extends the cache view only; after a crash the
+//!   previously durable content survives unchanged, and a torn final
+//!   append can leave half the suffix behind it — which is why the
+//!   delta-log framing checksums every record;
 //! * [`Vfs::fsync`] makes the file's current **content** durable, but not
 //!   the directory entry pointing at it;
 //! * [`Vfs::rename`] / [`Vfs::remove`] / file creation are **namespace**
@@ -56,6 +60,11 @@ pub trait Vfs: fmt::Debug + Send + Sync {
     /// implied — pair with [`Vfs::fsync`] (and, for the name itself,
     /// [`Vfs::sync_dir`]).
     fn write(&self, path: &Path, bytes: &[u8]) -> io::Result<()>;
+    /// Append `bytes` to `path`, creating it if missing. **No
+    /// durability** is implied — pair with [`Vfs::fsync`]. The one
+    /// sequential-growth primitive the delta log needs; everything else
+    /// in the store remains whole-file replacement.
+    fn append(&self, path: &Path, bytes: &[u8]) -> io::Result<()>;
     /// Flush a file's content to stable storage (`fsync`).
     fn fsync(&self, path: &Path) -> io::Result<()>;
     /// Atomically rename `from` to `to` (replacing `to`).
@@ -89,6 +98,12 @@ impl Vfs for RealFs {
 
     fn write(&self, path: &Path, bytes: &[u8]) -> io::Result<()> {
         std::fs::write(path, bytes)
+    }
+
+    fn append(&self, path: &Path, bytes: &[u8]) -> io::Result<()> {
+        use std::io::Write as _;
+        let mut f = std::fs::OpenOptions::new().append(true).create(true).open(path)?;
+        f.write_all(bytes)
     }
 
     fn fsync(&self, path: &Path) -> io::Result<()> {
@@ -195,6 +210,13 @@ pub enum IoOp {
         /// The full content written.
         bytes: Vec<u8>,
     },
+    /// Sequential extension of an existing (or fresh) file (cache only).
+    Append {
+        /// Target file.
+        path: PathBuf,
+        /// The bytes appended after the previous content.
+        bytes: Vec<u8>,
+    },
     /// Content flush of one file.
     Fsync {
         /// The flushed file.
@@ -238,6 +260,7 @@ impl IoOp {
     pub fn kind(&self) -> OpKind {
         match self {
             IoOp::Write { .. } => OpKind::Write,
+            IoOp::Append { .. } => OpKind::Append,
             IoOp::Fsync { .. } => OpKind::Fsync,
             IoOp::Rename { .. } => OpKind::Rename,
             IoOp::Remove { .. } => OpKind::Remove,
@@ -255,6 +278,8 @@ pub enum OpKind {
     Read,
     /// [`Vfs::write`].
     Write,
+    /// [`Vfs::append`].
+    Append,
     /// [`Vfs::fsync`].
     Fsync,
     /// [`Vfs::rename`].
@@ -410,6 +435,15 @@ impl Vfs for FaultFs {
         FaultFs::parent_exists(&state, path)?;
         state.files.insert(path.to_path_buf(), bytes.to_vec());
         state.trace.push(IoOp::Write { path: path.to_path_buf(), bytes: bytes.to_vec() });
+        Ok(())
+    }
+
+    fn append(&self, path: &Path, bytes: &[u8]) -> io::Result<()> {
+        let mut state = self.lock();
+        FaultFs::check_fault(&mut state, OpKind::Append, path)?;
+        FaultFs::parent_exists(&state, path)?;
+        state.files.entry(path.to_path_buf()).or_default().extend_from_slice(bytes);
+        state.trace.push(IoOp::Append { path: path.to_path_buf(), bytes: bytes.to_vec() });
         Ok(())
     }
 
@@ -575,6 +609,31 @@ pub fn durable_state(
                     }
                     LastOpVariant::Torn => {
                         inode.durable = Some(bytes[..bytes.len() / 2].to_vec());
+                        disk_ns.insert(path.clone(), id);
+                    }
+                }
+            }
+            IoOp::Append { path, bytes } => {
+                let id = *cache_ns.entry(path.clone()).or_insert_with(|| {
+                    next_id += 1;
+                    next_id
+                });
+                let inode = inodes.entry(id).or_default();
+                let prev_len = inode.cache.len();
+                inode.cache.extend_from_slice(bytes);
+                match variant {
+                    LastOpVariant::Lost => {}
+                    LastOpVariant::Applied => {
+                        inode.durable = Some(inode.cache.clone());
+                        disk_ns.insert(path.clone(), id);
+                    }
+                    LastOpVariant::Torn => {
+                        // Half the appended pages landed: the durable
+                        // content is the pre-append cache plus the first
+                        // half of the suffix — the torn-tail shape the
+                        // delta log's per-record checksums must absorb.
+                        let cut = prev_len + bytes.len() / 2;
+                        inode.durable = Some(inode.cache[..cut].to_vec());
                         disk_ns.insert(path.clone(), id);
                     }
                 }
@@ -796,6 +855,49 @@ mod tests {
         let (files, _) = durable_state(&fs.trace(), LastOpVariant::Applied);
         assert_eq!(files.get(&p("/d/final")).map(Vec::as_slice), Some(&b"data"[..]));
         assert!(!files.contains_key(&p("/d/tmp")));
+    }
+
+    #[test]
+    fn append_extends_the_cache_and_survives_only_after_fsync() {
+        let fs = FaultFs::new();
+        fs.create_dir_all(&p("/d")).unwrap();
+        fs.write(&p("/d/log"), b"head").unwrap();
+        fs.fsync(&p("/d/log")).unwrap();
+        fs.sync_dir(&p("/d")).unwrap();
+        fs.append(&p("/d/log"), b"+tail").unwrap();
+        assert_eq!(fs.read(&p("/d/log")).unwrap(), b"head+tail", "cache sees the extension");
+
+        // Unsynced append: the previously durable content is untouched.
+        let (files, _) = durable_state(&fs.trace(), LastOpVariant::Lost);
+        assert_eq!(files.get(&p("/d/log")).map(Vec::as_slice), Some(&b"head"[..]));
+
+        fs.fsync(&p("/d/log")).unwrap();
+        let (files, _) = durable_state(&fs.trace(), LastOpVariant::Lost);
+        assert_eq!(files.get(&p("/d/log")).map(Vec::as_slice), Some(&b"head+tail"[..]));
+    }
+
+    #[test]
+    fn append_creates_missing_files_under_an_existing_parent() {
+        let fs = FaultFs::new();
+        fs.create_dir_all(&p("/d")).unwrap();
+        fs.append(&p("/d/fresh"), b"abc").unwrap();
+        assert_eq!(fs.read(&p("/d/fresh")).unwrap(), b"abc");
+        let err = fs.append(&p("/nowhere/fresh"), b"abc").unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::NotFound);
+    }
+
+    #[test]
+    fn torn_final_append_keeps_the_head_plus_half_the_suffix() {
+        let fs = FaultFs::new();
+        fs.create_dir_all(&p("/d")).unwrap();
+        fs.write(&p("/d/log"), b"head").unwrap();
+        fs.fsync(&p("/d/log")).unwrap();
+        fs.sync_dir(&p("/d")).unwrap();
+        fs.append(&p("/d/log"), b"12345678").unwrap();
+        let (files, _) = durable_state(&fs.trace(), LastOpVariant::Torn);
+        assert_eq!(files.get(&p("/d/log")).map(Vec::as_slice), Some(&b"head1234"[..]));
+        let (files, _) = durable_state(&fs.trace(), LastOpVariant::Applied);
+        assert_eq!(files.get(&p("/d/log")).map(Vec::as_slice), Some(&b"head12345678"[..]));
     }
 
     #[test]

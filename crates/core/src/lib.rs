@@ -59,5 +59,8 @@ pub use mixture::NaiveMixtureEncoding;
 pub use portable::{PortableError, PortableSummary};
 pub use refine::{corr_rank, feature_correlation, RefineConfig, RefinedMixture};
 pub use sampling::{ambiguity_dimension, estimate_deviation, DeviationEstimate};
-pub use stream::{StreamConfig, StreamState, StreamSummarizer, TimeWindows, WindowSummary};
+pub use stream::{
+    rotate_baseline, CloseDelta, StreamConfig, StreamState, StreamSummarizer, TimeWindows,
+    WindowSummary,
+};
 pub use synthesis::{marginal_deviation, synthesis_error};

@@ -114,6 +114,7 @@ use logr_cluster::{
 use logr_feature::{anonymized_branches, ConjunctiveQuery, QueryLog, QueryVector};
 use std::collections::{HashMap, VecDeque};
 use std::path::PathBuf;
+use std::sync::Arc;
 
 /// Wall-clock window boundaries (milliseconds).
 #[derive(Debug, Clone, Copy)]
@@ -314,6 +315,86 @@ pub struct StreamState {
     pub history: QueryLog,
 }
 
+/// Everything one window close changed in the resumable state — the
+/// `O(window)` increment a delta-log persister appends instead of
+/// re-encoding the whole [`StreamState`]. Scalars and the window buffer
+/// are recorded **absolutely** (replay overwrites); the history is
+/// recorded as the close's `stride_log` (replay absorbs); the baseline
+/// rotation is recorded as its *inputs* — the same stride plus the
+/// weight and exclusion span the close fed it — and replay reruns the
+/// deterministic rotation ([`rotate_baseline`], the one function both
+/// sides call). Nothing in the record scales with the history or the
+/// rotation depth. Captured at the end of the ingest (or flush) call
+/// that closed the window — after a time-mode arrival has landed in the
+/// next window's buffer — so applying it to the pre-close state
+/// reproduces exactly what [`StreamSummarizer::export_state`] would
+/// emit.
+#[derive(Debug, Clone)]
+pub struct CloseDelta {
+    /// Post-close buffer: `(sql, multiplicity, arrival ms)`.
+    pub buffer: Vec<(String, u64, u64)>,
+    /// Post-close not-yet-absorbed statements (sliding windows).
+    pub pending: Vec<(String, u64)>,
+    /// Queries since this close (0, unless a time-mode arrival already
+    /// started the next window).
+    pub since_close: u64,
+    /// Next scheduled time boundary (time mode).
+    pub next_close_ms: Option<u64>,
+    /// Largest timestamp seen.
+    pub last_ts_ms: u64,
+    /// Windows closed, including this one.
+    pub windows_closed: usize,
+    /// Parse-counter reading after the close.
+    pub statements_parsed: u64,
+    /// The stride this close absorbed into the history and pushed into
+    /// the baseline rotation — the one non-scalar piece of the record.
+    pub stride_log: QueryLog,
+    /// Offered-query weight the rotation paired with `stride_log`.
+    pub window_queries: u64,
+    /// Exclusion span the rotation's skip walk used *at close time* (the
+    /// buffer total retained after the trim; 0 for tumbling). Recorded
+    /// rather than rederived because post-close arrivals change the live
+    /// buffer before the delta is captured.
+    pub overlap_span: u64,
+}
+
+/// One close's baseline rotation, factored out so the live close path
+/// and delta-log replay run **the same code** and cannot drift: push the
+/// stride (with its offered-query weight) into the rotation, skip the
+/// newest strides whose queries the retained buffer may still span
+/// (`overlap_span`, walked in offered-query counts — a stride straddling
+/// the boundary is excluded whole), trim the front to `baseline_windows`
+/// usable strides, and return the rebuilt baseline (the absorbed union
+/// of the usable prefix). See `close_window` for why the exclusion
+/// exists (a window's own queries must never sit in its baseline).
+pub fn rotate_baseline(
+    rotation: &mut VecDeque<(QueryLog, u64)>,
+    stride_log: QueryLog,
+    window_queries: u64,
+    overlap_span: u64,
+    baseline_windows: usize,
+) -> QueryLog {
+    rotation.push_back((stride_log, window_queries));
+    let mut skip = 0usize;
+    let mut covered = 0u64;
+    for (_, offered) in rotation.iter().rev() {
+        if covered >= overlap_span {
+            break;
+        }
+        covered += offered;
+        skip += 1;
+    }
+    while rotation.len() - skip > baseline_windows {
+        rotation.pop_front();
+    }
+    let usable = rotation.len() - skip;
+    let mut baseline = QueryLog::new();
+    for (log, _) in rotation.iter().take(usable) {
+        baseline.absorb(log);
+    }
+    baseline
+}
+
 /// Incremental summarizer over a stream of SQL statements.
 #[derive(Debug)]
 pub struct StreamSummarizer {
@@ -347,10 +428,23 @@ pub struct StreamSummarizer {
     /// offered-query count (parseable or not — exclusion spans are
     /// measured in offered queries).
     baseline_logs: VecDeque<(QueryLog, u64)>,
-    /// Absorbed union of `baseline_logs`.
-    baseline: QueryLog,
+    /// Absorbed union of `baseline_logs`. `Arc`-backed so snapshot
+    /// publication shares it instead of cloning; closes mutate through
+    /// [`Arc::make_mut`], which copies only while a reader still holds
+    /// the previous publication.
+    baseline: Arc<QueryLog>,
     /// Absorbed union of every closed window (global codebook).
-    history: QueryLog,
+    /// `Arc`-backed for the same reason — this is the `O(distinct)`
+    /// structure snapshot capture must not clone per close.
+    history: Arc<QueryLog>,
+    /// What the most recent window close changed (see [`CloseDelta`]);
+    /// taken by delta-log persisters via
+    /// [`StreamSummarizer::take_close_delta`].
+    last_close_delta: Option<Box<CloseDelta>>,
+    /// Exclusion span the most recent close's rotation used, staged here
+    /// because `note_close_delta` runs after a time-mode arrival may
+    /// have already grown the buffer past its at-close total.
+    last_overlap_span: u64,
     /// One shard per closed window: its never-seen-before distinct queries.
     shards: ShardedPointSet,
     /// Set when a window close failed against the spill store: the
@@ -384,8 +478,10 @@ impl StreamSummarizer {
             last_ts_ms: 0,
             windows_closed: 0,
             baseline_logs: VecDeque::new(),
-            baseline: QueryLog::new(),
-            history: QueryLog::new(),
+            baseline: Arc::new(QueryLog::new()),
+            history: Arc::new(QueryLog::new()),
+            last_close_delta: None,
+            last_overlap_span: 0,
             shards: ShardedPointSet::new(),
             wedged: false,
         }
@@ -404,8 +500,8 @@ impl StreamSummarizer {
             windows_closed: self.windows_closed,
             statements_parsed: self.parses,
             baseline_logs: self.baseline_logs.iter().cloned().collect(),
-            baseline: self.baseline.clone(),
-            history: self.history.clone(),
+            baseline: (*self.baseline).clone(),
+            history: (*self.history).clone(),
         }
     }
 
@@ -447,8 +543,8 @@ impl StreamSummarizer {
         s.windows_closed = state.windows_closed;
         s.parses = state.statements_parsed;
         s.baseline_logs = state.baseline_logs.into();
-        s.baseline = state.baseline;
-        s.history = state.history;
+        s.baseline = Arc::new(state.baseline);
+        s.history = Arc::new(state.history);
         s.shards = shards;
         s
     }
@@ -473,6 +569,31 @@ impl StreamSummarizer {
     /// points).
     pub fn history(&self) -> &QueryLog {
         &self.history
+    }
+
+    /// Shared handle to the history log — `O(1)`, no clone. The handle
+    /// is a point-in-time publication: the next window close copies the
+    /// log out from under it ([`Arc::make_mut`]) rather than mutating
+    /// what the holder sees.
+    pub fn history_arc(&self) -> Arc<QueryLog> {
+        Arc::clone(&self.history)
+    }
+
+    /// Shared handle to the drift baseline — same semantics as
+    /// [`StreamSummarizer::history_arc`].
+    pub fn baseline_arc(&self) -> Arc<QueryLog> {
+        Arc::clone(&self.baseline)
+    }
+
+    /// Take what the most recent window close changed (see
+    /// [`CloseDelta`]), or `None` when no window has closed since the
+    /// last take. Delta-log persisters call this once per close; leaving
+    /// deltas untaken is harmless (each close overwrites the last), but a
+    /// taker must then persist a **full** state export, because the
+    /// overwritten closes' stride absorptions are gone from the delta
+    /// stream.
+    pub fn take_close_delta(&mut self) -> Option<Box<CloseDelta>> {
+        self.last_close_delta.take()
     }
 
     /// The sharded history matrix (for store diagnostics; summaries go
@@ -656,8 +777,15 @@ impl StreamSummarizer {
                 Some(slide) => self.buffer_total >= self.config.window && self.since_close >= slide,
             };
             if due {
-                return Ok(Some(self.close_window(None)?));
+                let summary = self.close_window(None)?;
+                self.note_close_delta();
+                return Ok(Some(summary));
             }
+        }
+        if closed.is_some() {
+            // Time-mode close: captured only now, after the arriving
+            // statement joined the next window's buffer.
+            self.note_close_delta();
         }
         Ok(closed)
     }
@@ -680,7 +808,9 @@ impl StreamSummarizer {
         self.check_wedged()?;
         let boundary = self.config.time.map(|_| self.last_ts_ms.saturating_add(1));
         if self.since_close > 0 {
-            Ok(Some(self.close_window(boundary)?))
+            let summary = self.close_window(boundary)?;
+            self.note_close_delta();
+            Ok(Some(summary))
         } else {
             Ok(None)
         }
@@ -746,6 +876,31 @@ impl StreamSummarizer {
 
     fn compressor(&self) -> LogR {
         LogR::new(self.config.compressor_config())
+    }
+
+    /// Record what the close that just finished changed (see
+    /// [`CloseDelta`]). Called from the ingest/flush front ends — not
+    /// from `close_window` itself — so a time-mode arrival that lands in
+    /// the *next* window's buffer after the close is captured too.
+    fn note_close_delta(&mut self) {
+        let (stride_log, window_queries) = match self.baseline_logs.back() {
+            // The pair this close pushed into the rotation (only
+            // pop_front ever trims it, so back() is the newest).
+            Some((log, offered)) => (log.clone(), *offered),
+            None => (QueryLog::new(), 0),
+        };
+        self.last_close_delta = Some(Box::new(CloseDelta {
+            buffer: self.buffer.iter().cloned().collect(),
+            pending: self.pending.clone(),
+            since_close: self.since_close,
+            next_close_ms: self.next_close_ms,
+            last_ts_ms: self.last_ts_ms,
+            windows_closed: self.windows_closed,
+            statements_parsed: self.parses,
+            stride_log,
+            window_queries,
+            overlap_span: self.last_overlap_span,
+        }));
     }
 
     fn wall_clock_ms() -> u64 {
@@ -894,7 +1049,7 @@ impl StreamSummarizer {
             window_log.clone()
         };
         let prev_distinct = self.history.distinct_count();
-        self.history.absorb(&stride_log);
+        Arc::make_mut(&mut self.history).absorb(&stride_log);
         let new_entries: Vec<&QueryVector> =
             self.history.entries()[prev_distinct..].iter().map(|(v, _)| v).collect();
         let new_distinct = new_entries.len();
@@ -921,25 +1076,14 @@ impl StreamSummarizer {
         // walks stride *query* counts (flush closes variable-size strides;
         // a stride straddling the boundary is excluded whole).
         let overlap_span = if self.is_sliding() { self.buffer_total } else { 0 };
-        self.baseline_logs.push_back((stride_log, window_queries));
-        let mut skip = 0usize;
-        let mut covered = 0u64;
-        for (_, offered) in self.baseline_logs.iter().rev() {
-            if covered >= overlap_span {
-                break;
-            }
-            covered += offered;
-            skip += 1;
-        }
-        while self.baseline_logs.len() - skip > self.config.baseline_windows {
-            self.baseline_logs.pop_front();
-        }
-        let usable = self.baseline_logs.len() - skip;
-        let mut baseline = QueryLog::new();
-        for (log, _) in self.baseline_logs.iter().take(usable) {
-            baseline.absorb(log);
-        }
-        self.baseline = baseline;
+        self.last_overlap_span = overlap_span;
+        self.baseline = Arc::new(rotate_baseline(
+            &mut self.baseline_logs,
+            stride_log,
+            window_queries,
+            overlap_span,
+            self.config.baseline_windows,
+        ));
 
         // Advance the window (sliding keeps the overlap it just trimmed).
         if !self.is_sliding() {
@@ -1483,6 +1627,103 @@ mod tests {
         let (a, b) = (original.history_summary().unwrap(), restored.history_summary().unwrap());
         assert_eq!(a.clustering, b.clustering);
         assert_eq!(a.error().to_bits(), b.error().to_bits());
+    }
+
+    /// Structural log equality: entries in insertion order, codebook in
+    /// id order — everything the persisted encoding serializes. (Debug
+    /// equality would be too strong: the interning index is a `HashMap`,
+    /// whose print order differs between a log built by replay and the
+    /// live one.)
+    fn assert_log_eq(a: &QueryLog, b: &QueryLog, ctx: &str) {
+        assert_eq!(a.entries(), b.entries(), "{ctx}: entries");
+        assert_eq!(a.num_features(), b.num_features(), "{ctx}: universe");
+        assert_eq!(a.total_queries(), b.total_queries(), "{ctx}: total");
+        assert_eq!(a.codebook().len(), b.codebook().len(), "{ctx}: codebook");
+        for (id, f) in a.codebook().iter() {
+            assert_eq!(b.codebook().feature(id), f, "{ctx}: feature {id:?}");
+        }
+    }
+
+    fn assert_state_eq(a: &StreamState, b: &StreamState, ctx: &str) {
+        assert_eq!(a.buffer, b.buffer, "{ctx}: buffer");
+        assert_eq!(a.pending, b.pending, "{ctx}: pending");
+        assert_eq!(a.since_close, b.since_close, "{ctx}: since_close");
+        assert_eq!(a.next_close_ms, b.next_close_ms, "{ctx}: next_close_ms");
+        assert_eq!(a.last_ts_ms, b.last_ts_ms, "{ctx}: last_ts_ms");
+        assert_eq!(a.windows_closed, b.windows_closed, "{ctx}: windows_closed");
+        assert_eq!(a.statements_parsed, b.statements_parsed, "{ctx}: statements_parsed");
+        assert_eq!(a.baseline_logs.len(), b.baseline_logs.len(), "{ctx}: rotation depth");
+        for (i, ((la, wa), (lb, wb))) in a.baseline_logs.iter().zip(&b.baseline_logs).enumerate() {
+            assert_eq!(wa, wb, "{ctx}: rotation weight {i}");
+            assert_log_eq(la, lb, &format!("{ctx}: rotation log {i}"));
+        }
+        assert_log_eq(&a.baseline, &b.baseline, &format!("{ctx}: baseline"));
+        assert_log_eq(&a.history, &b.history, &format!("{ctx}: history"));
+    }
+
+    #[test]
+    fn close_delta_applied_to_the_preclose_state_matches_the_export() {
+        // The delta-capture contract behind the engine's append-log
+        // persistence: pre-close exported state + CloseDelta must equal
+        // the post-close exported state, with the history advanced by
+        // absorbing the stride and the baseline rotation rerun from the
+        // delta's recorded inputs — for count closes, sliding closes,
+        // and time-mode closes (where the closing arrival lands in the
+        // next window's buffer after the close).
+        let scenarios: Vec<(StreamConfig, bool)> = vec![
+            (StreamConfig { window: 7, k: 2, ..StreamConfig::default() }, false),
+            (StreamConfig { window: 12, slide: Some(5), k: 2, ..StreamConfig::default() }, false),
+            (
+                StreamConfig {
+                    time: Some(TimeWindows { window_ms: 40, slide_ms: None }),
+                    k: 2,
+                    ..StreamConfig::default()
+                },
+                true,
+            ),
+        ];
+        for (config, timed) in scenarios {
+            let mut s = StreamSummarizer::new(config);
+            let mut prev = s.export_state();
+            for i in 0..40u64 {
+                let sql = if i % 2 == 0 { messaging(i) } else { banking(i) };
+                let closed = if timed {
+                    s.ingest_at_ms(&sql, 1, i * 10).is_some()
+                } else {
+                    s.ingest(&sql).is_some()
+                };
+                let now = s.export_state();
+                if closed {
+                    let d = s.take_close_delta().expect("a close must record its delta");
+                    assert!(s.take_close_delta().is_none(), "the delta is taken exactly once");
+                    let mut rebuilt = prev.clone();
+                    rebuilt.buffer = d.buffer;
+                    rebuilt.pending = d.pending;
+                    rebuilt.since_close = d.since_close;
+                    rebuilt.next_close_ms = d.next_close_ms;
+                    rebuilt.last_ts_ms = d.last_ts_ms;
+                    rebuilt.windows_closed = d.windows_closed;
+                    rebuilt.statements_parsed = d.statements_parsed;
+                    // The rotation replays from its recorded inputs
+                    // through the same code the live close ran.
+                    let mut rotation: VecDeque<(QueryLog, u64)> =
+                        rebuilt.baseline_logs.into_iter().collect();
+                    rebuilt.baseline = rotate_baseline(
+                        &mut rotation,
+                        d.stride_log.clone(),
+                        d.window_queries,
+                        d.overlap_span,
+                        config.baseline_windows,
+                    );
+                    rebuilt.baseline_logs = rotation.into_iter().collect();
+                    rebuilt.history.absorb(&d.stride_log);
+                    assert_state_eq(&rebuilt, &now, &format!("delta replay at statement {i}"));
+                } else {
+                    assert!(s.take_close_delta().is_none(), "no close, no delta");
+                }
+                prev = now;
+            }
+        }
     }
 
     #[test]

@@ -7,12 +7,25 @@
 //! merge.
 
 use crate::codebook::FeatureId;
+use std::sync::Arc;
 
 /// A sorted, deduplicated set of feature ids — one query (or pattern) as a
 /// sparse binary vector.
-#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
+///
+/// The id storage is a shared `Arc<[FeatureId]>`: vectors are immutable
+/// once built, so cloning one (log absorption, baseline rebuilds,
+/// snapshot publication) bumps a reference count instead of copying the
+/// id list. Comparisons and hashing still see the id *contents* — two
+/// equal vectors compare equal whether or not they share storage.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct QueryVector {
-    ids: Vec<FeatureId>,
+    ids: Arc<[FeatureId]>,
+}
+
+impl Default for QueryVector {
+    fn default() -> Self {
+        QueryVector::empty()
+    }
 }
 
 impl QueryVector {
@@ -20,12 +33,12 @@ impl QueryVector {
     pub fn new(mut ids: Vec<FeatureId>) -> Self {
         ids.sort_unstable();
         ids.dedup();
-        QueryVector { ids }
+        QueryVector { ids: ids.into() }
     }
 
     /// The empty vector.
     pub fn empty() -> Self {
-        QueryVector { ids: Vec::new() }
+        QueryVector { ids: Arc::from(Vec::new()) }
     }
 
     /// Number of set features.
@@ -54,7 +67,7 @@ impl QueryVector {
             return false;
         }
         let mut it = self.ids.iter();
-        'outer: for needle in &other.ids {
+        'outer: for needle in other.ids.iter() {
             for id in it.by_ref() {
                 if id == needle {
                     continue 'outer;
@@ -119,7 +132,7 @@ impl QueryVector {
                 }
             }
         }
-        QueryVector { ids }
+        QueryVector { ids: ids.into() }
     }
 
     /// Iterate over set feature ids.

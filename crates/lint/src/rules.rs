@@ -189,6 +189,11 @@ fn no_panic_paths(ctx: &FileContext<'_>, out: &mut Vec<Finding>) {
 /// syncdir protocol that makes replacement atomic **and durable**. A
 /// rename without the fsyncs can leave a durable name over unwritten
 /// pages after power loss (the exact hole PR 6 closed in the spill path).
+///
+/// An `append` call must likewise pair with an `fsync` in the same
+/// function — the delta-log commit protocol: a record is committed only
+/// once its bytes are synced, and appending never changes the namespace,
+/// so no `sync_dir` is required.
 fn sync_protocol(ctx: &FileContext<'_>, out: &mut Vec<Finding>) {
     if !matches!(ctx.class, FileClass::Library | FileClass::Binary) {
         return;
@@ -232,6 +237,35 @@ fn sync_protocol(ctx: &FileContext<'_>, out: &mut Vec<Finding>) {
                      without durability — follow the write→fsync→rename→sync_dir protocol or \
                      justify with a lint:allow"
                 ),
+            ));
+        }
+    }
+    for (pos, _) in find_all(&ctx.masked.code, &["append"]) {
+        if ctx.in_test_region(pos) || !is_call(&ctx.masked.code, pos, "append") {
+            continue;
+        }
+        let Some(span) = innermost_fn(&fns, pos) else {
+            out.push(
+                ctx.finding(
+                    pos,
+                    "sync-protocol",
+                    "`append` call outside any function body; cannot verify the append→fsync \
+                 commit protocol"
+                        .to_string(),
+                ),
+            );
+            continue;
+        };
+        let body = &ctx.masked.code[span.start..span.end];
+        let has_fsync = find_all(body, &["fsync"]).iter().any(|(p, _)| is_call(body, *p, "fsync"));
+        if !has_fsync {
+            out.push(ctx.finding(
+                pos,
+                "sync-protocol",
+                "`append` in a function that never calls fsync: the appended record can vanish \
+                 after power loss while the caller believes it committed — follow the \
+                 append→fsync commit protocol or justify with a lint:allow"
+                    .to_string(),
             ));
         }
     }

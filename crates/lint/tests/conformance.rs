@@ -84,9 +84,11 @@ fn sync_protocol_positive() {
     let findings =
         lint_at("crates/cluster/src/fixture.rs", include_str!("fixtures/sync_protocol/bad.rs"));
     let hits: Vec<&Finding> = findings.iter().filter(|f| f.rule == "sync-protocol").collect();
-    assert_eq!(hits.len(), 1, "{findings:?}");
+    assert_eq!(hits.len(), 2, "{findings:?}");
     assert_eq!(hits[0].line, 7);
     assert!(hits[0].message.contains("fsync and sync_dir"), "{}", hits[0].message);
+    assert_eq!(hits[1].line, 11, "the unsynced log append: {findings:?}");
+    assert!(hits[1].message.contains("append→fsync"), "{}", hits[1].message);
 }
 
 #[test]

@@ -6,3 +6,7 @@ use std::path::Path;
 pub fn replace(vfs: &dyn Vfs, tmp: &Path, dst: &Path) -> std::io::Result<()> {
     vfs.rename(tmp, dst)
 }
+
+pub fn log_record(vfs: &dyn Vfs, log: &Path, frame: &[u8]) -> std::io::Result<()> {
+    vfs.append(log, frame)
+}

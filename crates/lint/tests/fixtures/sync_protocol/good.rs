@@ -13,3 +13,8 @@ pub fn shuffle_lock(vfs: &dyn Vfs, a: &Path, b: &Path) -> std::io::Result<()> {
     // lint:allow(sync-protocol): advisory scratch file; losing it to power-off is harmless
     vfs.rename(a, b)
 }
+
+pub fn commit_record(vfs: &dyn Vfs, log: &Path, frame: &[u8]) -> std::io::Result<()> {
+    vfs.append(log, frame)?;
+    vfs.fsync(log)
+}

@@ -27,7 +27,7 @@
 
 use crate::analytics::{Advisor, IndexAdvisor, WorkloadQuery, WorkloadView};
 use crate::error::Error;
-use crate::manifest::{self, Manifest};
+use crate::manifest::{self, DeltaLog, DeltaRecord, Manifest};
 use logr_cluster::vfs::{self, retry_io, Vfs};
 use logr_cluster::{Distance, ShardedPointSet, SpillConfig};
 use logr_core::PortableSummary;
@@ -226,7 +226,10 @@ impl EngineBuilder {
         // read-only open skips both the lock and the GC — it deletes
         // nothing and can safely coexist with a live writer.
         let lock = if self.read_only { None } else { Some(StoreLock::acquire(&dir, vfs.clone())?) };
-        let m = manifest::read_file_with(&*vfs, &manifest_path)?;
+        // Base manifest plus the delta log's acknowledged closes (a torn
+        // log tail replays its valid prefix; a log bound to a replaced
+        // base is ignored — see `crate::manifest`'s delta-log docs).
+        let (m, replay) = manifest::read_store_with(&*vfs, &dir)?;
         // A checksum-valid manifest can still carry a configuration the
         // summarizer would refuse (hand-edited store, foreign writer) —
         // recovery must reject it as data, never reach a panic.
@@ -283,28 +286,48 @@ impl EngineBuilder {
         // (left behind by compactions — see `Engine::compact`). Recovery
         // is the one moment no live snapshot can be holding them: the
         // engine has not been assembled yet and any previous process's
-        // snapshots died with it. Only files matching the spill store's
-        // own `shard-*.bin` naming are touched — a store directory may
-        // hold unrelated user files the engine must never delete. Also
-        // swept: `.tmp` siblings a crashed writer's interrupted
-        // atomic-replace left behind. Best-effort; a file that refuses
-        // to delete only costs disk. Read-only opens hold no lock and
-        // therefore never delete anything.
+        // snapshots died with it. Only files the engine itself owns are
+        // touched — a store directory may hold unrelated user files the
+        // engine must never delete. Swept alongside unreferenced shards:
+        // shard `.tmp` siblings AND the manifest's own `engine.tmp`,
+        // both left by a crash between an atomic-replace's write and
+        // rename, plus a delta log whose binding no longer matches the
+        // base (superseded by a later full persist). A *bound* delta log
+        // is never touched here: the fold below has not committed its
+        // new base yet, and deleting the log first would lose the
+        // acknowledged closes it carries if power fails mid-fold.
+        // Best-effort; a file that refuses to delete only costs disk.
+        // Read-only opens hold no lock and therefore never delete
+        // anything.
         if lock.is_some() {
+            let manifest_tmp = Path::new(manifest::FILE_NAME).with_extension("tmp");
             if let Ok(paths) = vfs.list(&dir) {
                 for path in paths {
                     let Some(name) = path.file_name().and_then(|n| n.to_str()) else { continue };
-                    let engine_owned = name.starts_with("shard-")
-                        && (name.ends_with(".bin") || name.ends_with(".tmp"));
-                    let referenced = m.shard_files.iter().any(|f| f == name);
-                    if engine_owned && !referenced {
+                    let orphaned_shard = name.starts_with("shard-")
+                        && (name.ends_with(".bin") || name.ends_with(".tmp"))
+                        && !m.shard_files.iter().any(|f| f == name);
+                    let orphaned_tmp = manifest_tmp.as_os_str() == name;
+                    let stale_delta = name == manifest::DELTA_FILE_NAME && !replay.log_bound;
+                    if orphaned_shard || orphaned_tmp || stale_delta {
                         let _ = vfs.remove(&path);
                     }
                 }
             }
         }
         let read_only = self.read_only;
-        Ok(Engine::assemble(summarizer, Some(dir), None, lock, vfs, read_only))
+        let engine =
+            Engine::assemble(summarizer, Some(dir.clone()), None, lock, vfs.clone(), read_only);
+        if !read_only && replay.records_applied > 0 {
+            // Fold the replayed delta records into a fresh base before
+            // serving writes, then retire the log: once the checkpoint's
+            // rename+sync_dir commits, every acknowledged close lives in
+            // the base. A crash in between leaves base' + a now-unbound
+            // log — ignored by replay and swept by the next resume's GC.
+            engine.checkpoint()?;
+            let _ = vfs.remove(&dir.join(manifest::DELTA_FILE_NAME));
+        }
+        Ok(engine)
     }
 }
 
@@ -483,8 +506,12 @@ impl EngineSnapshot {
             config: *s.config(),
             windows_closed: s.windows_closed(),
             buffered: s.buffered_queries(),
-            history: Arc::new(s.history().clone()),
-            baseline: Arc::new(s.baseline().clone()),
+            // O(1) publication: the logs are shared, not cloned — the
+            // summarizer's next close copies them out from under the
+            // snapshot (`Arc::make_mut`), so capture cost no longer
+            // grows with the distinct-query count.
+            history: s.history_arc(),
+            baseline: s.baseline_arc(),
             shards: Arc::new(s.shard_store().clone()),
             last_window,
             summary: Mutex::new(None),
@@ -661,7 +688,31 @@ struct WriterState {
     /// The newest closed window, carried across snapshots taken between
     /// closes.
     last_window: Option<Arc<WindowSummary>>,
+    /// The live delta-log session: the append log bound to the current
+    /// base manifest, plus the shard-file names the base and its records
+    /// have acknowledged so far. `None` until a full persist establishes
+    /// a base (and again after any append failure — the next persist
+    /// then rewrites the base instead of extending a log whose tail may
+    /// be torn).
+    delta: Option<DeltaSession>,
 }
+
+/// One base manifest's append-log session (see [`WriterState::delta`]).
+#[derive(Debug)]
+struct DeltaSession {
+    log: DeltaLog,
+    /// Shard-file names acknowledged by the base plus every appended
+    /// record, in manifest order — the prefix the next record's file
+    /// list must extend.
+    shard_files: Vec<String>,
+}
+
+/// Delta records accumulate until the log outgrows
+/// `max(DELTA_FOLD_MIN_BYTES, base manifest size)`, then the next close
+/// folds everything into a fresh base. Replay work at resume therefore
+/// stays proportional to one base rewrite, while small stores don't
+/// rewrite a tiny base every few closes.
+const DELTA_FOLD_MIN_BYTES: u64 = 64 * 1024;
 
 /// One durable, concurrent session over a query workload — see the
 /// module docs. Share it as `Arc<Engine>`: ingestion entry points take
@@ -711,7 +762,7 @@ impl Engine {
         let snapshot = Arc::new(EngineSnapshot::capture(&summarizer, last_window.clone()));
         Engine {
             dir,
-            state: Mutex::new(WriterState { summarizer, last_window }),
+            state: Mutex::new(WriterState { summarizer, last_window, delta: None }),
             published: RwLock::new(snapshot),
             vfs,
             read_only,
@@ -746,14 +797,18 @@ impl Engine {
     ///
     /// An [`Error::Spill`] means the window close itself failed and the
     /// stream is wedged (reopen from the store). Any *other* error from
-    /// an ingest entry point comes from the post-close checkpoint write:
-    /// **the statement was ingested and the window closed** — the new
-    /// snapshot is already published and the closed window's artifacts
-    /// are on it ([`EngineSnapshot::last_window`]) — only durability did
-    /// not advance. Do not re-ingest the statement (that would count it
-    /// twice); a later close or [`Engine::checkpoint`] retries
-    /// persistence, and recovery meanwhile resumes from the last good
-    /// checkpoint.
+    /// an ingest entry point arrives **after** the close took effect in
+    /// memory: the statement was ingested and the window closed — do not
+    /// re-ingest it (that would count it twice). Two failure stages
+    /// share that shape: a snapshot-publication failure
+    /// ([`Error::Poisoned`] — persistence is still attempted before the
+    /// error surfaces, so durability may well have advanced), and a
+    /// persistence failure (the new snapshot is already published with
+    /// the closed window's artifacts on it
+    /// ([`EngineSnapshot::last_window`]) — only durability did not
+    /// advance). Either way a later close or [`Engine::checkpoint`]
+    /// retries persistence, and recovery meanwhile resumes from the last
+    /// durable state.
     pub fn ingest(&self, sql: &str) -> Result<Option<Arc<WindowSummary>>, Error> {
         self.ingest_with_count(sql, 1)
     }
@@ -803,20 +858,22 @@ impl Engine {
         st.last_window = Some(w.clone());
         // Publish before persisting: the close already happened in
         // memory, so readers must see it (and its artifacts must not be
-        // lost) even when the checkpoint write below fails.
-        self.publish(st)?;
-        self.persist(st)?;
+        // lost) even when the checkpoint write below fails. Persistence
+        // is attempted even when publication fails (a poisoned reader
+        // lock must not cost durability — the ingest error contract
+        // promises the checkpoint was tried); the publish error wins the
+        // return because it reflects the earlier stage.
+        let published = self.publish(st);
+        let persisted = self.persist_close(st);
+        published?;
+        persisted?;
         Ok(Some(w))
     }
 
-    /// Persist the current state (durable engines; no-op in memory):
-    /// every history shard gets a store file, then the manifest is
-    /// atomically replaced. A crash between the two leaves the previous
-    /// manifest pointing at its own (still present, write-once) files.
-    fn persist(&self, st: &mut WriterState) -> Result<(), Error> {
-        let Some(dir) = &self.dir else { return Ok(()) };
-        st.summarizer.persist_shards()?;
-        let shards = st.summarizer.shard_store();
+    /// Every shard's store-file name, in shard order — the manifest's
+    /// `shard_files` list (and the prefix a delta record extends).
+    fn shard_file_names(summarizer: &StreamSummarizer) -> Result<Vec<String>, Error> {
+        let shards = summarizer.shard_store();
         let mut shard_files = Vec::with_capacity(shards.n_shards());
         for s in 0..shards.n_shards() {
             let path = shards.shard_file(s).ok_or_else(|| Error::StoreMismatch {
@@ -828,6 +885,26 @@ impl Engine {
                 })?;
             shard_files.push(name.to_string());
         }
+        Ok(shard_files)
+    }
+
+    /// Persist the **full** state (durable engines; no-op in memory):
+    /// every history shard gets a store file, then the base manifest is
+    /// atomically replaced and a fresh delta-log session starts. A crash
+    /// between the two leaves the previous manifest pointing at its own
+    /// (still present, write-once) files. A delta log extending the
+    /// replaced base is *not* deleted here — its binding checksum no
+    /// longer matches, so replay ignores it, and the next writable
+    /// resume's GC sweeps it (removal now would be an extra namespace op
+    /// on the hot path for a file that is already inert).
+    fn persist_full(&self, st: &mut WriterState) -> Result<(), Error> {
+        let Some(dir) = &self.dir else { return Ok(()) };
+        // Until the new base commits there is no log to extend: an error
+        // below must leave the next persist rewriting the base again.
+        st.delta = None;
+        st.summarizer.persist_shards()?;
+        let shard_files = Self::shard_file_names(&st.summarizer)?;
+        let shards = st.summarizer.shard_store();
         let budget = shards.spill_config().map(|c| c.resident_budget).unwrap_or(usize::MAX);
         let m = Manifest {
             config: *st.summarizer.config(),
@@ -835,9 +912,81 @@ impl Engine {
             state: st.summarizer.export_state(),
             n_features: shards.n_features(),
             total_points: shards.len(),
-            shard_files,
+            shard_files: shard_files.clone(),
         };
-        manifest::write_file_with(&*self.vfs, &dir.join(manifest::FILE_NAME), &m)
+        let log = manifest::write_base_with(&*self.vfs, &dir.join(manifest::FILE_NAME), &m)?;
+        st.delta = Some(DeltaSession { log, shard_files });
+        Ok(())
+    }
+
+    /// Persist one window close (durable engines; no-op in memory): the
+    /// `O(window)` path. When a delta-log session is live and the close
+    /// recorded its [`logr_core::CloseDelta`], one checksummed record is
+    /// appended and fsynced — the base manifest is untouched. Falls back
+    /// to [`Engine::persist_full`] when there is no session (first
+    /// persist, or a previous failure), no recorded close (forced
+    /// checkpoints take this route too), the log has outgrown its fold
+    /// threshold, or the shard-file list no longer extends the
+    /// acknowledged prefix (compaction renames the whole set).
+    fn persist_close(&self, st: &mut WriterState) -> Result<(), Error> {
+        let Some(dir) = self.dir.clone() else { return Ok(()) };
+        let close = st.summarizer.take_close_delta();
+        let fold_due = match (&st.delta, &close) {
+            (Some(session), Some(_)) => {
+                session.log.appended_bytes() >= DELTA_FOLD_MIN_BYTES.max(session.log.base_len())
+            }
+            _ => true,
+        };
+        if fold_due {
+            // The taken close (if any) is folded into the fresh base —
+            // persist_full re-exports the whole state, close included.
+            return self.persist_full(st);
+        }
+        st.summarizer.persist_shards()?;
+        let shard_files = Self::shard_file_names(&st.summarizer)?;
+        // `fold_due` covered both `None`s; these fallbacks exist so the
+        // write path can never panic.
+        let (Some(mut session), Some(close)) = (st.delta.take(), close) else {
+            return self.persist_full(st);
+        };
+        if shard_files.len() < session.shard_files.len()
+            || shard_files[..session.shard_files.len()] != session.shard_files[..]
+        {
+            // The store's file set was rewritten under the session
+            // (compaction without a close, store surgery): a record can
+            // only *extend* the acknowledged list, so rewrite the base.
+            return self.persist_full(st);
+        }
+        let shards = st.summarizer.shard_store();
+        let record = DeltaRecord {
+            seq: 0, // assigned by the log at append time
+            windows_closed: close.windows_closed,
+            since_close: close.since_close,
+            last_ts_ms: close.last_ts_ms,
+            next_close_ms: close.next_close_ms,
+            statements_parsed: close.statements_parsed,
+            buffer: close.buffer,
+            pending: close.pending,
+            stride_log: close.stride_log,
+            window_queries: close.window_queries,
+            overlap_span: close.overlap_span,
+            new_shard_files: shard_files[session.shard_files.len()..].to_vec(),
+            n_features: shards.n_features(),
+            total_points: shards.len(),
+        };
+        match session.log.append_with(&*self.vfs, &dir, &record) {
+            Ok(()) => {
+                session.shard_files = shard_files;
+                st.delta = Some(session);
+                Ok(())
+            }
+            // The log's tail may be torn mid-frame; replay tolerates
+            // that (the acknowledged prefix survives), but a second
+            // append would land misaligned bytes after it — the session
+            // stays abandoned (taken above), so the next persist
+            // rewrites the base.
+            Err(e) => Err(e),
+        }
     }
 
     /// Publish a fresh snapshot for readers.
@@ -887,14 +1036,17 @@ impl Engine {
     /// Persist everything **including the half-filled window buffer** to
     /// the store, so [`Engine::open`] resumes bit-identically from this
     /// exact point (ingestion between closes otherwise persists at window
-    /// granularity). [`Error::NotDurable`] on in-memory engines.
+    /// granularity). This is also the **fold** point of the delta log:
+    /// the accumulated per-close records collapse into a fresh base
+    /// manifest and a new, empty append session starts.
+    /// [`Error::NotDurable`] on in-memory engines.
     pub fn checkpoint(&self) -> Result<(), Error> {
         self.check_writable()?;
         if self.dir.is_none() {
             return Err(Error::NotDurable);
         }
         let mut st = self.state.lock().map_err(|_| Error::Poisoned)?;
-        self.persist(&mut st)?;
+        self.persist_full(&mut st)?;
         self.publish(&st)
     }
 
@@ -914,7 +1066,9 @@ impl Engine {
         if stats.shards_merged == 0 {
             return Ok(0);
         }
-        self.persist(&mut st)?;
+        // Compaction rewrites the shard-file set wholesale, which no
+        // delta record can express — fold into a fresh base.
+        self.persist_full(&mut st)?;
         self.publish(&st)?;
         Ok(stats.shards_merged)
     }

@@ -84,10 +84,17 @@
 //! What is durable when:
 //!
 //! * **Window close** — persists automatically: shard files first, then
-//!   the manifest. A crash mid-persist leaves the *previous* manifest
-//!   pointing at its own (write-once, still present) files.
+//!   an `O(window)` delta record appended (and fsynced) to the manifest's
+//!   checksummed append log (`engine.delta`), so per-close write cost
+//!   tracks the window, not the whole history. Recovery replays the
+//!   valid prefix of the log over the base manifest; a crash mid-append
+//!   costs at most the record being appended, and a torn tail is
+//!   detected per record and ignored.
 //! * **[`Engine::checkpoint`]** — additionally captures the half-filled
-//!   window buffer; after it returns, a crash loses nothing at all.
+//!   window buffer and **folds** the delta log back into a full base
+//!   manifest; after it returns, a crash loses nothing at all. The
+//!   engine folds automatically once the log outgrows its base (and on
+//!   every writable resume that replayed records).
 //! * **[`Engine::compact`]** — rewrites the manifest to the merged
 //!   shard; the replaced files persist until the next writable resume
 //!   garbage-collects them, so a crash at any point leaves one complete
@@ -96,9 +103,12 @@
 //!   window buffer since the last window close/checkpoint are lost, by
 //!   design (window granularity).
 //!
-//! Every file in the store is written by one protocol — write a `.tmp`
-//! sibling, `fsync` it, rename over the final name, `fsync` the
-//! directory — so a durable file name never holds partial content.
+//! Every whole file in the store is written by one protocol — write a
+//! `.tmp` sibling, `fsync` it, rename over the final name, `fsync` the
+//! directory — so a durable file name never holds partial content. The
+//! one sequential-growth file, the delta log, commits by append→fsync
+//! instead, and every record carries its own checksum so a torn tail is
+//! detected rather than replayed.
 //! Transient IO errors (`EINTR`/`EAGAIN`) are retried with bounded
 //! backoff; `ENOSPC` fails fast as [`Error::StorageExhausted`] and
 //! leaves the store openable at its previous checkpoint. One writable
@@ -135,7 +145,10 @@
 //!   in a function that also calls `fsync` and `sync_dir`: the
 //!   write→fsync→rename→sync_dir protocol documented above. Rename-only
 //!   replacement is atomic but *not durable* — after power loss the new
-//!   name can point at unwritten pages.
+//!   name can point at unwritten pages. Likewise every `append` call
+//!   must pair with an `fsync` in the same function (the delta-log
+//!   commit protocol; appends never change the namespace, so no
+//!   `sync_dir` is required).
 //! * **`typed-errors`** — public functions of this facade must not
 //!   expose `Box<dyn Error>` or a bare `io::Error`; callers match the
 //!   one `#[non_exhaustive]` [`Error`] enum and lower-level failures

@@ -1,17 +1,28 @@
-//! PR 6 acceptance, power-cut half: the replay harness.
+//! PR 6 acceptance, power-cut half: the replay harness — extended for
+//! the delta-manifest close path.
 //!
 //! A scripted engine run executes entirely against a `FaultFs`, which
-//! records the full mutating IO-op trace — every write, which of them
-//! were fsynced, every rename/remove, and every directory sync. For
-//! **every prefix** of that trace (a power cut at that exact op), and
-//! for the torn/unsynced-page variants of the prefix's final op, the
-//! harness materializes the surviving on-disk state
-//! (`vfs::durable_state`) and opens an engine on it. The property:
+//! records the full mutating IO-op trace — every write and append,
+//! which of them were fsynced, every rename/remove, and every
+//! directory sync. For **every prefix** of that trace (a power cut at
+//! that exact op), and for the torn/unsynced-page variants of the
+//! prefix's final op, the harness materializes the surviving on-disk
+//! state (`vfs::durable_state`) and opens an engine on it. The
+//! properties:
 //!
-//! * a crash state holding a durable manifest recovers **bit-identically
-//!   to the checkpoint that wrote it** — same windows closed, same total
-//!   queries, and re-checkpointing the recovered engine reproduces the
-//!   exact manifest bytes (decode → reconstruct → re-encode equality);
+//! * a crash state holding a durable base manifest recovers to **a
+//!   state the run actually reached**: the surviving base bytes are
+//!   ones the run wrote, and the recovered (windows closed, total
+//!   queries) pair appears in the run's step-by-step record — the
+//!   delta log can only land recovery on a step boundary, never on an
+//!   invented in-between state;
+//! * the delta log replays **bit-identically**: re-encoding the
+//!   replayed manifest equals, byte for byte, the base manifest the
+//!   recovered engine's own checkpoint writes (decode → replay the
+//!   surviving append-log prefix → reconstruct full stream state →
+//!   re-encode is the identity);
+//! * a writable resume leaves no `*.tmp` litter behind — crash-orphaned
+//!   shard temporaries and manifest temporaries are swept;
 //! * a crash state without a durable manifest is the typed
 //!   [`Error::MissingManifest`], nothing else;
 //! * **never** a panic, never silently different data.
@@ -19,14 +30,15 @@
 //! Exercised across tumbling/sliding/time windows, budget 0 and
 //! unbounded, with compaction and explicit checkpoints mid-trace —
 //! deterministic scenario tests plus a property test over random window
-//! shapes, budgets, and scripts.
+//! shapes, budgets, and scripts, plus an exhaustive record-prefix sweep
+//! of one multi-record delta log.
 
 use logr::cluster::vfs::{durable_state, FaultFs, IoOp, LastOpVariant};
 use logr::cluster::Clustering;
 use logr::core::TimeWindows;
 use logr::{Engine, EngineBuilder, Error};
 use proptest::prelude::*;
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 use std::path::{Path, PathBuf};
 use std::sync::Arc;
 
@@ -56,12 +68,14 @@ enum Step {
     Compact,
 }
 
-/// What the run left behind: the IO trace, every manifest the run wrote
-/// (bytes → the engine state that wrote it), and a fingerprint of the
-/// final history summary.
+/// What the run left behind: the IO trace, every base manifest the run
+/// wrote (bytes → the engine state that wrote it), the engine state
+/// after every step (every state a crash may legally recover to), and
+/// a fingerprint of the final history summary.
 struct Recorded {
     trace: Vec<IoOp>,
-    manifests: BTreeMap<Vec<u8>, CheckpointMeta>,
+    bases: BTreeMap<Vec<u8>, CheckpointMeta>,
+    states: Vec<CheckpointMeta>,
     final_summary: Option<(Clustering, u64)>,
 }
 
@@ -82,21 +96,24 @@ fn run_scripted(
     let fs = Arc::new(FaultFs::new());
     let manifest_path = dir.join(logr::manifest::FILE_NAME);
     let engine = build(Engine::builder()).vfs(fs.clone()).open(dir).expect("open on FaultFs");
-    let mut manifests: BTreeMap<Vec<u8>, CheckpointMeta> = BTreeMap::new();
+    let mut bases: BTreeMap<Vec<u8>, CheckpointMeta> = BTreeMap::new();
+    let mut states: Vec<CheckpointMeta> = Vec::new();
     let mut record = |engine: &Engine| {
-        // The manifest in the (cache view of the) store always reflects
-        // the run's most recent persist, and persists happen inside the
-        // engine call that advanced the state — so metadata captured
-        // right after a call matches the manifest seen right after it.
-        // `or_insert` keeps the first capture: later steps that do not
-        // persist leave the manifest bytes (and their meta) unchanged.
-        let files = fs.files();
-        if let Some(bytes) = files.get(&manifest_path) {
-            manifests.entry(bytes.clone()).or_insert_with(|| CheckpointMeta {
-                windows_closed: engine.windows_closed().expect("windows_closed"),
-                total_queries: engine.total_queries().expect("total_queries"),
-            });
+        // Persists happen inside the engine call that advanced the
+        // state, so metadata captured right after a call matches
+        // whatever that call made durable — a crash can only ever land
+        // recovery on one of these step-boundary states. `or_insert`
+        // keeps the first capture of each base manifest: under the
+        // delta log the base bytes stay put across window closes while
+        // the recoverable state advances through appended records.
+        let meta = CheckpointMeta {
+            windows_closed: engine.windows_closed().expect("windows_closed"),
+            total_queries: engine.total_queries().expect("total_queries"),
+        };
+        if let Some(bytes) = fs.files().get(&manifest_path) {
+            bases.entry(bytes.clone()).or_insert_with(|| meta.clone());
         }
+        states.push(meta);
     };
     record(&engine);
     for step in steps {
@@ -120,61 +137,80 @@ fn run_scripted(
     let final_summary =
         engine.summary().expect("summary").map(|s| (s.clustering.clone(), s.error().to_bits()));
     drop(engine);
-    Recorded { trace: fs.trace(), manifests, final_summary }
+    Recorded { trace: fs.trace(), bases, states, final_summary }
 }
 
 /// The acceptance property, checked at one crash point: recovery either
-/// reproduces a recorded checkpoint bit-identically or fails with the
-/// one typed error a manifest-less store permits.
+/// lands on a state the run actually reached — with the surviving
+/// delta-log prefix replaying bit-identically into the checkpoint the
+/// recovered engine folds — or fails with the one typed error a
+/// manifest-less store permits.
 fn check_crash_point(dir: &Path, rec: &Recorded, k: usize, variant: LastOpVariant) {
     let manifest_path = dir.join(logr::manifest::FILE_NAME);
     let (files, dirs) = durable_state(&rec.trace[..k], variant);
     let surviving = files.get(&manifest_path).cloned();
     let fs = Arc::new(FaultFs::from_files(files, dirs));
-    let result = EngineBuilder::new().vfs(fs.clone()).resume(dir);
-    match surviving {
-        None => match result {
+    let Some(bytes) = surviving else {
+        match EngineBuilder::new().vfs(fs).resume(dir) {
             Ok(_) => panic!("prefix {k} {variant:?}: resume succeeded without a durable manifest"),
-            Err(Error::MissingManifest { .. }) => {}
+            Err(Error::MissingManifest { .. }) => return,
             Err(other) => panic!("prefix {k} {variant:?}: wrong error: {other}"),
-        },
-        Some(bytes) => {
-            // The durable manifest must be one the run actually wrote —
-            // a torn or partially-synced manifest surviving under the
-            // final name would show up here as unrecognized bytes.
-            let meta = rec.manifests.get(&bytes).unwrap_or_else(|| {
-                panic!("prefix {k} {variant:?}: durable manifest is not any checkpoint of the run")
-            });
-            let engine = result.unwrap_or_else(|e| {
-                panic!("prefix {k} {variant:?}: durable checkpoint failed to recover: {e}")
-            });
-            assert_eq!(
-                engine.windows_closed().expect("windows_closed"),
-                meta.windows_closed,
-                "prefix {k} {variant:?}: windows diverged"
-            );
-            assert_eq!(
-                engine.total_queries().expect("total_queries"),
-                meta.total_queries,
-                "prefix {k} {variant:?}: query count diverged"
-            );
-            // Bit-identity, the strong form: the recovered engine's own
-            // re-checkpoint must reproduce the manifest byte for byte —
-            // decode → reconstruct full stream state → re-encode is the
-            // identity exactly when recovery was faithful.
-            engine
-                .checkpoint()
-                .unwrap_or_else(|e| panic!("prefix {k} {variant:?}: re-checkpoint failed: {e}"));
-            let rewritten =
-                fs.files().get(&manifest_path).cloned().unwrap_or_else(|| {
-                    panic!("prefix {k} {variant:?}: re-checkpoint wrote nothing")
-                });
-            assert_eq!(
-                rewritten, bytes,
-                "prefix {k} {variant:?}: recovered engine re-encodes a different checkpoint"
-            );
         }
+    };
+    // The durable base must be one the run actually wrote — a torn or
+    // partially-synced manifest surviving under the final name would
+    // show up here as unrecognized bytes.
+    let base_meta = rec.bases.get(&bytes).unwrap_or_else(|| {
+        panic!("prefix {k} {variant:?}: durable manifest is not any checkpoint of the run")
+    });
+    // Replay the surviving base + delta-log prefix directly and
+    // re-encode it: this is the exact byte image a faithful fold must
+    // produce from this crash state.
+    let (replayed, _) = logr::manifest::read_store_with(&*fs, dir)
+        .unwrap_or_else(|e| panic!("prefix {k} {variant:?}: durable store failed to replay: {e}"));
+    let expected = logr::manifest::encode(&replayed);
+    let engine = EngineBuilder::new().vfs(fs.clone()).resume(dir).unwrap_or_else(|e| {
+        panic!("prefix {k} {variant:?}: durable checkpoint failed to recover: {e}")
+    });
+    let meta = CheckpointMeta {
+        windows_closed: engine.windows_closed().expect("windows_closed"),
+        total_queries: engine.total_queries().expect("total_queries"),
+    };
+    assert!(
+        rec.states.contains(&meta),
+        "prefix {k} {variant:?}: recovered to {meta:?}, a state the run never reached"
+    );
+    assert!(
+        meta.windows_closed >= base_meta.windows_closed
+            && meta.total_queries >= base_meta.total_queries,
+        "prefix {k} {variant:?}: recovered {meta:?} behind its own base {base_meta:?}"
+    );
+    // A writable resume sweeps crash litter: no `*.tmp` — shard or
+    // manifest temporary — may survive it.
+    for path in fs.files().keys() {
+        let name = path.file_name().and_then(|n| n.to_str()).unwrap_or("");
+        assert!(
+            !name.ends_with(".tmp"),
+            "prefix {k} {variant:?}: {} survived a writable resume",
+            path.display()
+        );
     }
+    // Bit-identity, the strong form: the recovered engine's own
+    // checkpoint must write exactly the re-encoded replayed manifest —
+    // decode → replay the delta prefix → reconstruct full stream state
+    // → re-encode is the identity exactly when recovery was faithful.
+    engine
+        .checkpoint()
+        .unwrap_or_else(|e| panic!("prefix {k} {variant:?}: re-checkpoint failed: {e}"));
+    let rewritten = fs
+        .files()
+        .get(&manifest_path)
+        .cloned()
+        .unwrap_or_else(|| panic!("prefix {k} {variant:?}: re-checkpoint wrote nothing"));
+    assert_eq!(
+        rewritten, expected,
+        "prefix {k} {variant:?}: fold diverges from the replayed delta prefix"
+    );
 }
 
 /// Sweep every crash point of the recorded trace: each prefix with the
@@ -182,7 +218,7 @@ fn check_crash_point(dir: &Path, rec: &Recorded, k: usize, variant: LastOpVarian
 /// prefix's final op. Then confirm the full-trace (clean shutdown) state
 /// serves the original run's final history summary bit-identically.
 fn replay_everywhere(dir: &Path, rec: &Recorded) {
-    assert!(!rec.manifests.is_empty(), "run recorded no checkpoints — scenario bug");
+    assert!(!rec.bases.is_empty(), "run recorded no checkpoints — scenario bug");
     for k in 0..=rec.trace.len() {
         check_crash_point(dir, rec, k, LastOpVariant::Lost);
         if k > 0 {
@@ -242,6 +278,65 @@ fn power_cut_replay_time_windows_budget_zero() {
         &steps,
     );
     replay_everywhere(&dir, &rec);
+}
+
+/// The delta log replays bit-identically at **every** record prefix,
+/// not only the prefixes the crash sweep happens to produce: a run
+/// that appends several delta records is truncated at each frame
+/// boundary, and for every truncation the replayed manifest's
+/// re-encoding must equal, byte for byte, the base manifest a resumed
+/// engine's fold writes. Recovered window counts step monotonically
+/// toward the live engine's final count as records are restored.
+#[test]
+fn every_delta_log_prefix_folds_bit_identically() {
+    let dir = PathBuf::from("/vstore-delta-prefix");
+    let fs = Arc::new(FaultFs::new());
+    let engine = Engine::builder().window(4).clusters(2).vfs(fs.clone()).open(&dir).expect("open");
+    for i in 0..40 {
+        engine.ingest(&statement(i)).expect("ingest");
+    }
+    let final_windows = engine.windows_closed().expect("windows_closed");
+    drop(engine);
+    let files = fs.files();
+    let dirs: BTreeSet<PathBuf> = fs.dirs();
+    let delta_path = dir.join(logr::manifest::DELTA_FILE_NAME);
+    let delta = files.get(&delta_path).cloned().expect("run left a delta log");
+    // Frame boundaries: a 36-byte header, then [len u64][payload][fnv u64]
+    // per record. Walk them so each cut holds exactly `records` frames.
+    let mut cuts = vec![logr::manifest::DELTA_HEADER_LEN];
+    let mut at = logr::manifest::DELTA_HEADER_LEN;
+    while at < delta.len() {
+        let len = u64::from_le_bytes(delta[at..at + 8].try_into().unwrap()) as usize;
+        at += 8 + len + 8;
+        cuts.push(at);
+    }
+    assert_eq!(at, delta.len(), "frame walk must land exactly on the file end");
+    assert!(cuts.len() > 4, "scenario closed too few windows over the delta log");
+    let mut last_windows = None;
+    for (records, cut) in cuts.iter().enumerate() {
+        let mut truncated = files.clone();
+        truncated.insert(delta_path.clone(), delta[..*cut].to_vec());
+        let fs = Arc::new(FaultFs::from_files(truncated, dirs.clone()));
+        let (replayed, replay) =
+            logr::manifest::read_store_with(&*fs, &dir).expect("replay truncated store");
+        assert!(replay.log_bound, "prefix {records}: delta must bind to its base");
+        assert_eq!(replay.records_applied, records as u64, "prefix {records}: applied count");
+        let expected = logr::manifest::encode(&replayed);
+        let engine = EngineBuilder::new().vfs(fs.clone()).resume(&dir).expect("resume");
+        let recovered = engine.windows_closed().expect("windows_closed");
+        if let Some(prev) = last_windows {
+            assert!(recovered >= prev, "prefix {records}: windows went backwards");
+        }
+        last_windows = Some(recovered);
+        engine.checkpoint().expect("fold");
+        let folded = fs
+            .files()
+            .get(&dir.join(logr::manifest::FILE_NAME))
+            .cloned()
+            .expect("fold wrote a base");
+        assert_eq!(folded, expected, "prefix {records}: fold diverges from the replayed prefix");
+    }
+    assert_eq!(last_windows, Some(final_windows), "full prefix must recover every window");
 }
 
 proptest! {
