@@ -1,0 +1,248 @@
+//! Daemon throughput: mixed ingest/query traffic over loopback.
+//!
+//! An in-process loadgen drives a real [`logr_server::Server`] (real
+//! sockets, real store directory, group commit at a 2 ms interval) with
+//! the PR 9 acceptance mix — 70% window-sized ingest batches, 30% reads
+//! (frequency / top-k / stats) — and reports frames/sec, statements/sec,
+//! and p50/p99 frame latency at 1 and 4 worker threads. Connections are
+//! matched to worker threads (a worker owns a connection for its
+//! lifetime), so the 1-thread row is the per-core serial ceiling and the
+//! 4-thread row shows what thread-level overlap buys (nothing on a
+//! 1-core box — that is the honest curve recorded in `BENCH_pr9.json`).
+//!
+//! The deterministic report prints to stderr once; criterion then times
+//! the 1-thread mixed round trip for regression tracking.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use logr_server::json::{self, Json};
+use logr_server::{EngineProfile, Server, ServerConfig, ServerHandle};
+use std::io::{BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::path::PathBuf;
+use std::time::{Duration, Instant};
+
+const WINDOW: u64 = 8;
+
+/// A templated workload (the paper's setting): 273 distinct shapes per
+/// tenant, so window closes stay `O(window)` instead of growing a novel
+/// codebook forever — per-frame cost reflects the daemon, not an
+/// unboundedly hardening workload.
+fn statement(tenant: &str, i: u64) -> String {
+    format!("SELECT c{} FROM {tenant}_t{} WHERE a{} = ?", i % 13, i % 3, i % 7)
+}
+
+fn bench_dir(tag: &str) -> PathBuf {
+    std::env::temp_dir().join(format!("logr-server-bench-{tag}-{}", std::process::id()))
+}
+
+fn serve(tag: &str, threads: usize) -> (ServerHandle, PathBuf) {
+    let dir = bench_dir(tag);
+    let _ = std::fs::remove_dir_all(&dir);
+    let config = ServerConfig::new(&dir)
+        .profile(EngineProfile { window: WINDOW, clusters: 2, seed: 7 })
+        .threads(threads)
+        .commit_interval(Duration::from_millis(2));
+    let handle = Server::bind(config, "127.0.0.1:0").expect("bind").spawn();
+    (handle, dir)
+}
+
+struct Client {
+    stream: TcpStream,
+    reader: BufReader<TcpStream>,
+}
+
+impl Client {
+    fn connect(addr: SocketAddr) -> Client {
+        let stream = TcpStream::connect(addr).expect("connect");
+        stream.set_nodelay(true).expect("nodelay");
+        let reader = BufReader::new(stream.try_clone().expect("clone"));
+        Client { stream, reader }
+    }
+
+    fn call(&mut self, frame: &str) -> Json {
+        writeln!(self.stream, "{frame}").expect("send");
+        let mut line = String::new();
+        self.reader.read_line(&mut line).expect("recv");
+        let resp = json::parse(line.trim_end()).expect("response parses");
+        assert_eq!(resp.get("ok").and_then(Json::as_bool), Some(true), "frame failed: {line}");
+        resp
+    }
+}
+
+fn ingest_frame(tenant: &str, round: u64) -> String {
+    let stmts: Vec<String> =
+        (0..WINDOW).map(|i| format!("\"{}\"", statement(tenant, round * WINDOW + i))).collect();
+    format!("{{\"op\":\"ingest\",\"tenant\":\"{tenant}\",\"statements\":[{}]}}", stmts.join(","))
+}
+
+/// The acceptance mix, one frame per op: 7 of every 10 frames ingest a
+/// window-sized batch, the rest rotate over the read surface.
+fn mixed_frame(tenant: &str, op: u64) -> String {
+    if op % 10 < 7 {
+        ingest_frame(tenant, op)
+    } else {
+        match op % 3 {
+            0 => format!(
+                "{{\"op\":\"frequency\",\"tenant\":\"{tenant}\",\"pred\":{{\"table\":\"{tenant}_t0\"}}}}"
+            ),
+            1 => format!("{{\"op\":\"top_k\",\"tenant\":\"{tenant}\",\"class\":\"from\",\"k\":5}}"),
+            _ => format!("{{\"op\":\"stats\",\"tenant\":\"{tenant}\"}}"),
+        }
+    }
+}
+
+struct LoadReport {
+    frames: u64,
+    statements: u64,
+    elapsed: Duration,
+    p50_us: u64,
+    p99_us: u64,
+}
+
+struct Percentiles(Vec<u64>);
+
+impl Percentiles {
+    fn at(&self, p: f64) -> u64 {
+        self.0[((self.0.len() - 1) as f64 * p) as usize]
+    }
+}
+
+/// Drive `conns` connections (one tenant each) through two measured
+/// phases — `frames_per_conn` mixed frames (70% durable ingest, acks
+/// gated on group commit), then `frames_per_conn` pure read frames off
+/// the warmed snapshots — collecting per-frame round-trip latencies.
+/// Per-tenant work is identical at every thread count, so the rows
+/// compare thread-level overlap, not workload depth.
+fn run_load(
+    tag: &str,
+    threads: usize,
+    conns: usize,
+    frames_per_conn: u64,
+) -> (LoadReport, LoadReport) {
+    let (handle, dir) = serve(tag, threads);
+    let addr = handle.addr();
+    let workers: Vec<_> = (0..conns)
+        .map(|w| {
+            std::thread::spawn(move || {
+                let tenant = format!("t{w}");
+                let mut client = Client::connect(addr);
+                let mut mixed = Vec::with_capacity(frames_per_conn as usize);
+                let mut statements = 0u64;
+                for op in 0..frames_per_conn {
+                    let frame = mixed_frame(&tenant, op);
+                    let start = Instant::now();
+                    client.call(&frame);
+                    mixed.push(start.elapsed().as_micros() as u64);
+                    if op % 10 < 7 {
+                        statements += WINDOW;
+                    }
+                }
+                let mut reads = Vec::with_capacity(frames_per_conn as usize);
+                for op in 0..frames_per_conn {
+                    // Skew 7/10 of the frames onto ingest's read ops so
+                    // the phase mirrors the mixed rotation shape.
+                    let frame = mixed_frame(&tenant, 7 + 10 * op);
+                    let start = Instant::now();
+                    client.call(&frame);
+                    reads.push(start.elapsed().as_micros() as u64);
+                }
+                (mixed, reads, statements)
+            })
+        })
+        .collect();
+    let start = Instant::now();
+    let mut mixed = Vec::new();
+    let mut reads = Vec::new();
+    let mut statements = 0u64;
+    for w in workers {
+        let (m, r, stmts) = w.join().expect("loadgen thread");
+        mixed.extend(m);
+        reads.extend(r);
+        statements += stmts;
+    }
+    let total = start.elapsed();
+    handle.shutdown();
+    handle.join().expect("clean shutdown");
+    let _ = std::fs::remove_dir_all(&dir);
+
+    mixed.sort_unstable();
+    reads.sort_unstable();
+    let mixed_us: u64 = mixed.iter().sum();
+    let reads_us: u64 = reads.iter().sum();
+    // Wall split: apportion measured wall time by summed frame latency
+    // (workers interleave phases, so per-phase wall is not observable
+    // directly without a barrier that would distort the pipeline).
+    let mixed_wall = total.mul_f64(mixed_us as f64 / (mixed_us + reads_us).max(1) as f64);
+    let read_wall = total - mixed_wall;
+    let mixed_p = Percentiles(mixed);
+    let read_p = Percentiles(reads);
+    (
+        LoadReport {
+            frames: mixed_p.0.len() as u64,
+            statements,
+            elapsed: mixed_wall,
+            p50_us: mixed_p.at(0.50),
+            p99_us: mixed_p.at(0.99),
+        },
+        LoadReport {
+            frames: read_p.0.len() as u64,
+            statements: 0,
+            elapsed: read_wall,
+            p50_us: read_p.at(0.50),
+            p99_us: read_p.at(0.99),
+        },
+    )
+}
+
+fn report(threads: usize, conns: usize, frames_per_conn: u64) {
+    let (mixed, reads) = run_load(&format!("load{threads}"), threads, conns, frames_per_conn);
+    let secs = mixed.elapsed.as_secs_f64();
+    eprintln!(
+        "server mixed load, {threads} worker thread(s) x {conns} conn(s): \
+         {:.0} frames/s ({:.0} ingested statements/s), \
+         p50 {} us, p99 {} us over {} frames",
+        mixed.frames as f64 / secs,
+        mixed.statements as f64 / secs,
+        mixed.p50_us,
+        mixed.p99_us,
+        mixed.frames,
+    );
+    let secs = reads.elapsed.as_secs_f64();
+    eprintln!(
+        "server read-only load, {threads} worker thread(s) x {conns} conn(s): \
+         {:.0} frames/s, p50 {} us, p99 {} us over {} frames",
+        reads.frames as f64 / secs,
+        reads.p50_us,
+        reads.p99_us,
+        reads.frames,
+    );
+}
+
+fn server_bench(c: &mut Criterion) {
+    report(1, 1, 400);
+    report(4, 4, 400);
+
+    // Criterion regression hook: one mixed 10-frame round on a pinned
+    // 1-thread daemon (7 window ingests + 3 reads per iteration).
+    let (handle, dir) = serve("criterion", 1);
+    let addr = handle.addr();
+    let mut client = Client::connect(addr);
+    let mut round = 0u64;
+    let mut group = c.benchmark_group("server");
+    group.bench_function("mixed_10_frames/threads_1", |b| {
+        b.iter(|| {
+            for op in 0..10 {
+                client.call(black_box(&mixed_frame("bench", round * 10 + op)));
+            }
+            round += 1;
+        });
+    });
+    group.finish();
+    drop(client);
+    handle.shutdown();
+    handle.join().expect("clean shutdown");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+criterion_group!(benches, server_bench);
+criterion_main!(benches);

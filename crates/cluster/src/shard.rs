@@ -284,6 +284,20 @@ impl ShardedPointSet {
         self.spill.as_ref()
     }
 
+    /// Re-bound the resident budget of an already-attached spill store,
+    /// immediately enforcing the new bound (shrinking evicts oldest-first;
+    /// growing lets future reloads stay resident). No-op without a spill
+    /// store — a purely in-memory set has nowhere to evict to.
+    pub fn set_resident_budget(&mut self, bytes: usize) -> Result<(), SpillError> {
+        match self.spill.as_mut() {
+            Some(config) => {
+                config.resident_budget = bytes;
+                self.enforce_budget()
+            }
+            None => Ok(()),
+        }
+    }
+
     /// Bytes of shard payload currently resident (including the reload
     /// cache). The eviction budget bounds this between appends; a bulk
     /// merge over spilled shards transiently adds at most one shard.

@@ -639,6 +639,14 @@ impl StreamSummarizer {
         self.spill_to(dir, resident_budget)
     }
 
+    /// Re-bound the resident budget of an already-attached spill store
+    /// (see [`ShardedPointSet::set_resident_budget`]); no-op without one.
+    /// Summaries are unaffected — the budget only governs which shard
+    /// payloads stay resident in memory.
+    pub fn set_resident_budget(&mut self, bytes: usize) -> Result<(), SpillError> {
+        self.shards.set_resident_budget(bytes)
+    }
+
     /// Resident history-shard payload bytes (see
     /// [`ShardedPointSet::resident_bytes`]).
     pub fn resident_shard_bytes(&self) -> usize {

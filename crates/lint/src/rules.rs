@@ -152,8 +152,10 @@ fn vfs_bypass(ctx: &FileContext<'_>, out: &mut Vec<Finding>) {
 
 /// Crate roots whose library code must stay panic-free: the facade (its
 /// contract is "every entry point returns a typed `Error`, never a
-/// panic") and the two crates on the durable read/write path.
-const PANIC_FREE_ROOTS: &[&str] = &["src/", "crates/cluster/src/", "crates/core/src/"];
+/// panic"), the two crates on the durable read/write path, and the
+/// daemon (one tenant's panic must never take down the process).
+const PANIC_FREE_ROOTS: &[&str] =
+    &["src/", "crates/cluster/src/", "crates/core/src/", "crates/server/src/"];
 
 /// No `.unwrap()` / `.expect(` / panicking macro in library code of the
 /// durability-critical crates — a panic mid-write is how stores get torn
@@ -278,8 +280,11 @@ fn sync_protocol(ctx: &FileContext<'_>, out: &mut Vec<Finding>) {
 /// match a single `#[non_exhaustive]` enum, and every lower-level failure
 /// arrives through `From` conversions.
 fn typed_errors(ctx: &FileContext<'_>, out: &mut Vec<Finding>) {
-    // The facade crate is the workspace root's `src/` tree.
-    if ctx.class != FileClass::Library || !ctx.rel_path.starts_with("src/") {
+    // The facade crate is the workspace root's `src/` tree; the daemon
+    // crate holds the same line with its own `ServerError` wrapper.
+    if ctx.class != FileClass::Library
+        || !(ctx.rel_path.starts_with("src/") || ctx.rel_path.starts_with("crates/server/src/"))
+    {
         return;
     }
     let code = &ctx.masked.code;

@@ -1,0 +1,110 @@
+//! `logr-server` — a multi-tenant ingestion daemon and wire-level
+//! analytics surface over [`logr::Engine`].
+//!
+//! One daemon owns N tenant engines (per-tenant subdirectories under one
+//! root, lazily opened, exclusively locked through the engine's own store
+//! lock), ingests query-log statements with **group commit** — per-tenant
+//! write queues whose window-close delta fsyncs are coalesced across
+//! tenants within a configurable commit interval — and serves the whole
+//! `logr::analytics` read surface off lock-free snapshots. Built on
+//! `std::net` only: no runtime, no serialization dependency.
+//!
+//! ```no_run
+//! use logr_server::{Server, ServerConfig};
+//! let server = Server::bind(ServerConfig::new("/var/lib/logr"), "127.0.0.1:7878")?;
+//! server.run()?; // blocks until a shutdown frame
+//! # Ok::<(), logr_server::ServerError>(())
+//! ```
+//!
+//! # Protocol reference
+//!
+//! The wire protocol is **line-delimited JSON over TCP**: each request is
+//! one JSON object on one `\n`-terminated line (at most
+//! [`protocol::MAX_FRAME_BYTES`] bytes), answered in order by one
+//! response line on the same connection.
+//!
+//! ## Frame format
+//!
+//! Request: `{"id": <any>, "op": "<op>", "tenant": "<name>", ...}` — `id`
+//! is echoed verbatim in the response (defaults to `null`); `tenant`
+//! (1–64 bytes of `[A-Za-z0-9_-]`) is required for every tenant-scoped
+//! op. Success: `{"id": ..., "ok": true, "result": ...}`. Failure:
+//! `{"id": ..., "ok": false, "error": {"code": "...", "detail": "..."}}`.
+//!
+//! ## Operations
+//!
+//! | op | extra fields | result |
+//! |----|--------------|--------|
+//! | `ping` | — | `"pong"` |
+//! | `shutdown` | — | `{"stopping": true}`, then the daemon drains and exits |
+//! | `stats` | optional `tenant` | daemon-wide or per-tenant statistics |
+//! | `ingest` | `sql` *or* `statements` (≤ 4096) | `{"ingested", "closed", "windows_closed"}` |
+//! | `flush` | — | `{"closed": bool}` (closes a partial window) |
+//! | `checkpoint` | — | `{"durable": true}` (delta log folded into the base) |
+//! | `compact` | — | `{"merged": n}` (spilled shards merged) |
+//! | `close` | — | `{"closed": true}` (engine released, budget re-apportioned) |
+//! | `frequency` | `pred` | estimated matching queries (`null` before any summary) |
+//! | `share` | `pred` | workload share in `[0, 1]` |
+//! | `conditional` | `given`, `pred` | `p(pred | given)` |
+//! | `cooccurrence` | `class` | `[{"a", "b", "estimated"}, ...]` |
+//! | `top_k` | `class`, `k` | `[{"feature", "estimated"}, ...]` |
+//! | `advise` | `advisor` + thresholds | `[{"kind", "subject", "features", "estimated", "share"}, ...]` |
+//! | `drift` | optional `tolerance` | drift report or `null` |
+//!
+//! Predicates mirror the [`logr::analytics::Pred`] constructors:
+//! `{"table": "t"}`, `{"column": "c"}`, `{"column_eq": "c"}`,
+//! `{"where_atom": "a = 1"}`, `{"joins": ["a", "b"]}`,
+//! `{"and": [...]}`, `{"or": [...]}`. Feature classes are `"select"`,
+//! `"from"`, `"where"`, `"group_by"`, `"order_by"`. Advisors are
+//! `"index"` / `"view"` (with `min_share`), `"recommend"` (with
+//! `partial`, `min_conditional`), and `"drift"` (with `tolerance`).
+//!
+//! ## Error codes
+//!
+//! `error.code` is `"Protocol"` for wire-level failures (malformed JSON,
+//! unknown op, invalid tenant name, oversized frame) and otherwise the
+//! [`logr::Error`] variant name: `Io`, `Spill`, `Portable`, `Config`,
+//! `UnknownFeature`, `MissingManifest`, `ManifestVersion`,
+//! `CorruptManifest`, `MissingShard`, `StoreMismatch`, `StoreLocked`,
+//! `StorageExhausted`, `ReadOnly`, `NotDurable`, `Poisoned` (future
+//! variants degrade to `Engine`). Every failure is scoped to its request:
+//! a malformed frame or one tenant's `StorageExhausted` never takes down
+//! the connection, the daemon, or another tenant.
+//!
+//! ## Commit/ack semantics
+//!
+//! Writes (`ingest`, `flush`, `checkpoint`, `compact`) are executed by
+//! per-tenant writer workers in arrival order. When a write appends to
+//! the tenant's delta log (a window close), its fsync is **deferred**
+//! into the tenant's [`commit::GroupCommitVfs`] and the response is
+//! parked; the committer thread flushes each tenant once per
+//! [`server::ServerConfig::commit_interval`] and only then releases the
+//! parked responses — so one fsync covers every batch the interval
+//! accumulated, and **an acked window close has always been fsynced**.
+//! Statements buffered inside a still-open window are acked immediately
+//! and are durable only from the close that later covers them — the same
+//! contract a standalone [`logr::Engine`] gives `ingest()` callers. If a
+//! covering flush fails, every parked response it covered fails with the
+//! typed error and the tenant is rebased (full checkpoint through the
+//! untouched synchronous path) before its next ack.
+//!
+//! # Crate layout
+//!
+//! * [`json`] — dependency-free JSON tree, parser (depth-capped), writer.
+//! * [`protocol`] — frame parsing, [`ServerError`], response encoding.
+//! * [`commit`] — [`commit::GroupCommitVfs`]: the delta-fsync deferral.
+//! * [`tenant`] — lazy tenant registry + global budget apportionment.
+//! * [`server`] — accept loop, worker pools, committer, dispatch.
+
+#![warn(missing_docs)]
+
+pub mod commit;
+pub mod json;
+pub mod protocol;
+pub mod server;
+pub mod tenant;
+
+pub use commit::GroupCommitVfs;
+pub use protocol::ServerError;
+pub use server::{Server, ServerConfig, ServerHandle};
+pub use tenant::{EngineProfile, TenantRegistry};

@@ -35,6 +35,9 @@ pub enum AdviceKind {
     MaterializedView,
     /// Extend a partial query with a likely continuation.
     Recommendation,
+    /// A workload-drift alarm: the monitoring window diverged from the
+    /// baseline beyond tolerance.
+    Drift,
 }
 
 /// One ranked advisor pick, estimated entirely from the summary (the raw
@@ -268,6 +271,102 @@ impl Advisor for QueryRecommender {
                 }
             })
             .collect();
+        Ok(picks)
+    }
+}
+
+/// Drift alarms in advisor shape (paper §2 "Online Database Monitoring"):
+/// the window drift report every [`crate::Engine`] close already computes,
+/// surfaced through the same `advise()` contract as index and view advice
+/// so monitoring consumers (dashboards, the `logr-server` wire protocol)
+/// need exactly one advisory surface.
+///
+/// When the view's latest [`DriftReport`](logr_core::DriftReport) is
+/// stable at `tolerance` ([`logr_core::DriftReport::is_stable`]) — or the
+/// view has no drift at all, e.g. a batch summary — the advice is empty.
+/// Otherwise the picks are, in order:
+///
+/// 1. one **aggregate** alarm, subject `"workload drift"`, whose
+///    `estimated` is the report's mean per-feature JS divergence (nats);
+/// 2. one alarm per **new feature** (never seen in the baseline — the
+///    highest-signal injection events). Their divergence is not itemized
+///    in the report, so they carry the Bernoulli-divergence ceiling
+///    `ln 2`, ranking above any baseline feature;
+/// 3. one alarm per **baseline feature** whose itemized divergence
+///    exceeds `tolerance`, descending (the report's order).
+///
+/// For every drift pick, `estimated` is a JS divergence in nats (not a
+/// query count) and `share` is that divergence normalized by the `ln 2`
+/// ceiling into the usual `[0, 1]` ranking signal. Baseline feature ids
+/// resolve through [`WorkloadView::baseline_codebook`]; ids the current
+/// baseline no longer carries render as `"feature #<id>"` with empty
+/// `features`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DriftAdvisor {
+    /// Divergence tolerance in nats; alarms are raised only above it.
+    pub tolerance: f64,
+}
+
+impl DriftAdvisor {
+    /// Advisor alarming when drift exceeds `tolerance` (validated as a
+    /// finite non-negative divergence when [`Advisor::advise`] runs).
+    pub fn new(tolerance: f64) -> DriftAdvisor {
+        DriftAdvisor { tolerance }
+    }
+}
+
+impl Advisor for DriftAdvisor {
+    fn name(&self) -> &'static str {
+        "drift"
+    }
+
+    fn advise(&self, view: &dyn WorkloadView) -> Result<Vec<Advice>, Error> {
+        if !self.tolerance.is_finite() || self.tolerance < 0.0 {
+            return Err(Error::Config {
+                detail: "tolerance must be a finite non-negative divergence",
+            });
+        }
+        let Some(report) = view.drift() else { return Ok(Vec::new()) };
+        if report.is_stable(self.tolerance) {
+            return Ok(Vec::new());
+        }
+        let ceiling = std::f64::consts::LN_2;
+        let share_of = |js: f64| (js / ceiling).clamp(0.0, 1.0);
+        let mut picks = vec![Advice {
+            kind: AdviceKind::Drift,
+            subject: "workload drift".to_owned(),
+            features: Vec::new(),
+            estimated: report.overall,
+            share: share_of(report.overall),
+        }];
+        for text in &report.new_features {
+            picks.push(Advice {
+                kind: AdviceKind::Drift,
+                subject: text.clone(),
+                features: Vec::new(),
+                estimated: ceiling,
+                share: 1.0,
+            });
+        }
+        let baseline = view.baseline_codebook();
+        for &(id, js) in &report.per_feature {
+            if js <= self.tolerance {
+                // The report is sorted descending; everything after this
+                // is within tolerance too.
+                break;
+            }
+            let resolved =
+                baseline.filter(|cb| id.index() < cb.len()).map(|cb| cb.feature(id).clone());
+            picks.push(Advice {
+                kind: AdviceKind::Drift,
+                subject: resolved
+                    .as_ref()
+                    .map_or_else(|| format!("feature #{}", id.0), |f| f.to_string()),
+                features: resolved.into_iter().collect(),
+                estimated: js,
+                share: share_of(js),
+            });
+        }
         Ok(picks)
     }
 }

@@ -14,7 +14,7 @@
 //! * [`Advisor`] — the pluggable analytic family, consuming any
 //!   [`WorkloadView`] (an [`crate::EngineSnapshot`], or a batch
 //!   [`SummaryView`]). Shipped: [`IndexAdvisor`], [`ViewAdvisor`],
-//!   [`QueryRecommender`].
+//!   [`QueryRecommender`], [`DriftAdvisor`].
 //!
 //! ## Quickstart
 //!
@@ -50,5 +50,7 @@
 mod advisor;
 mod query;
 
-pub use advisor::{Advice, AdviceKind, Advisor, IndexAdvisor, QueryRecommender, ViewAdvisor};
+pub use advisor::{
+    Advice, AdviceKind, Advisor, DriftAdvisor, IndexAdvisor, QueryRecommender, ViewAdvisor,
+};
 pub use query::{CoOccurrence, Pred, RankedFeature, SummaryView, WorkloadQuery, WorkloadView};

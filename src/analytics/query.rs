@@ -21,7 +21,7 @@
 //!   the standalone [`SummaryView`] (batch summaries without an engine).
 
 use crate::error::Error;
-use logr_core::LogRSummary;
+use logr_core::{DriftReport, LogRSummary};
 use logr_feature::{Codebook, Feature, FeatureClass, FeatureId, QueryLog, QueryVector};
 use std::sync::Arc;
 
@@ -214,6 +214,24 @@ pub trait WorkloadView {
 
     /// Total queries (with multiplicities) the summary covers.
     fn summarized_queries(&self) -> u64;
+
+    /// The latest baseline-vs-window drift report, for views that monitor
+    /// a live stream. Defaults to `None` — batch views have no window
+    /// sequence to drift across. Overridden by [`crate::EngineSnapshot`],
+    /// which is what lets [`DriftAdvisor`](crate::analytics::DriftAdvisor)
+    /// raise drift alarms through the same `advise()` surface as index
+    /// and view advice.
+    fn drift(&self) -> Option<&DriftReport> {
+        None
+    }
+
+    /// The codebook the drift report's baseline feature ids resolve
+    /// against (**not** [`WorkloadView::codebook`] — the baseline rotates
+    /// independently of the history). `None` whenever [`WorkloadView::drift`]
+    /// is `None`.
+    fn baseline_codebook(&self) -> Option<&Codebook> {
+        None
+    }
 }
 
 /// [`WorkloadView`] over a standalone batch summary — run any advisor or

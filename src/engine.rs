@@ -353,8 +353,42 @@ const LOCK_FILE: &str = "engine.lock";
 ///   treated as live (never stolen) until the operator removes it.
 #[derive(Debug)]
 struct StoreLock {
-    dir: PathBuf,
+    /// Normalized registry key (see [`lock_key`]).
+    key: PathBuf,
+    /// The lock file, at the directory spelling the engine opened with —
+    /// virtual stores (FaultFs) only know that spelling.
+    lock_path: PathBuf,
     vfs: Arc<dyn Vfs>,
+}
+
+/// Registry key for a store directory: symlink-resolving canonicalization
+/// when the path exists on the real filesystem, else a lexical
+/// normalization — absolute-ized against the working directory with `.`
+/// and `..` components folded — so two spellings of one directory
+/// (`./store` vs `store`, `/a/../a/store` vs `/a/store`, a symlinked
+/// root) can never both pass the in-process exclusivity check.
+fn lock_key(dir: &Path) -> PathBuf {
+    if let Ok(real) = dir.canonicalize() {
+        return real;
+    }
+    let joined;
+    let dir = if dir.is_absolute() {
+        dir
+    } else {
+        joined = std::env::current_dir().unwrap_or_else(|_| PathBuf::from("/")).join(dir);
+        &joined
+    };
+    let mut out = PathBuf::new();
+    for comp in dir.components() {
+        match comp {
+            std::path::Component::CurDir => {}
+            std::path::Component::ParentDir => {
+                out.pop();
+            }
+            other => out.push(other),
+        }
+    }
+    out
 }
 
 /// Store directories locked by engines in this process.
@@ -367,7 +401,7 @@ const LOCK_TAKEOVER_ROUNDS: usize = 8;
 
 impl StoreLock {
     fn acquire(dir: &Path, vfs: Arc<dyn Vfs>) -> Result<StoreLock, Error> {
-        let key = dir.canonicalize().unwrap_or_else(|_| dir.to_path_buf());
+        let key = lock_key(dir);
         {
             let mut held = STORE_LOCKS.lock().map_err(|_| Error::Poisoned)?;
             if held.contains(&key) {
@@ -383,14 +417,14 @@ impl StoreLock {
                 held.retain(|d| d != key);
             }
         };
-        let path = key.join(LOCK_FILE);
+        let path = dir.join(LOCK_FILE);
         let payload = format!("{}\n", std::process::id());
         let parse_pid = |bytes: Vec<u8>| -> Option<u32> {
             std::str::from_utf8(&bytes).ok().and_then(|s| s.trim().parse::<u32>().ok())
         };
         for round in 0..LOCK_TAKEOVER_ROUNDS {
             match retry_io(|| vfs.create_exclusive(&path, payload.as_bytes())) {
-                Ok(()) => return Ok(StoreLock { dir: key, vfs }),
+                Ok(()) => return Ok(StoreLock { key, lock_path: path, vfs }),
                 Err(e) if e.kind() == std::io::ErrorKind::AlreadyExists => {
                     // Contested. Probe the owner recorded in the file; a
                     // vanished file means a racer's Drop just released it
@@ -413,7 +447,7 @@ impl StoreLock {
                     // rename), then delete and retry. Losing the rename
                     // means a racer reclaimed it first — just retry.
                     let steal =
-                        key.join(format!("{LOCK_FILE}.{}-{round:02}.stale", std::process::id()));
+                        dir.join(format!("{LOCK_FILE}.{}-{round:02}.stale", std::process::id()));
                     // lint:allow(sync-protocol): advisory lock file — atomicity matters, durability does not; a lock lost to power-off is correctly stale
                     if vfs.rename(&path, &steal).is_ok() {
                         let stolen = vfs.read(&steal).ok().and_then(parse_pid);
@@ -446,9 +480,9 @@ impl StoreLock {
 impl Drop for StoreLock {
     fn drop(&mut self) {
         if let Ok(mut held) = STORE_LOCKS.lock() {
-            held.retain(|d| d != &self.dir);
+            held.retain(|d| d != &self.key);
         }
-        let _ = self.vfs.remove(&self.dir.join(LOCK_FILE));
+        let _ = self.vfs.remove(&self.lock_path);
     }
 }
 
@@ -678,6 +712,14 @@ impl WorkloadView for EngineSnapshot {
         // The summary covers absorbed history only — buffered queries of
         // the open window are not in it (unlike `total_queries`).
         self.history.total_queries()
+    }
+
+    fn drift(&self) -> Option<&DriftReport> {
+        EngineSnapshot::drift(self)
+    }
+
+    fn baseline_codebook(&self) -> Option<&Codebook> {
+        Some(self.baseline.codebook())
     }
 }
 
@@ -1083,5 +1125,18 @@ impl Engine {
     pub fn resident_shard_bytes(&self) -> Result<usize, Error> {
         let st = self.state.lock().map_err(|_| Error::Poisoned)?;
         Ok(st.summarizer.resident_shard_bytes())
+    }
+
+    /// Re-bound the resident-byte budget of this engine's spill store,
+    /// enforcing the new bound immediately (shrinking evicts resident
+    /// shards oldest-first). No-op for in-memory engines, which have no
+    /// spill store. Summaries and on-disk contents are unaffected — the
+    /// budget governs only which shard payloads stay resident, which is
+    /// what lets a multi-tenant host re-apportion one global budget
+    /// across engines as tenants come and go.
+    pub fn set_resident_budget(&self, bytes: usize) -> Result<(), Error> {
+        let mut st = self.state.lock().map_err(|_| Error::Poisoned)?;
+        st.summarizer.set_resident_budget(bytes)?;
+        Ok(())
     }
 }

@@ -60,7 +60,7 @@
 //! | Module | Backing crate | Contents |
 //! |---|---|---|
 //! | crate root | `logr` | [`Engine`] session façade, [`Error`] (the one error type), store [`manifest`] |
-//! | [`analytics`] | `logr` | typed predicates ([`analytics::Pred`]), the [`analytics::WorkloadQuery`] evaluator, and the pluggable [`analytics::Advisor`] family ([`analytics::IndexAdvisor`], [`analytics::ViewAdvisor`], [`analytics::QueryRecommender`]) |
+//! | [`analytics`] | `logr` | typed predicates ([`analytics::Pred`]), the [`analytics::WorkloadQuery`] evaluator, and the pluggable [`analytics::Advisor`] family ([`analytics::IndexAdvisor`], [`analytics::ViewAdvisor`], [`analytics::QueryRecommender`], [`analytics::DriftAdvisor`]) |
 //! | [`sql`] | `logr-sql` | lexer, parser, printer, conjunctive regularizer |
 //! | [`feature`] | `logr-feature` | Aligon features, codebook, vectors, [`feature::QueryLog`] |
 //! | [`cluster`] | `logr-cluster` | k-means, spectral, hierarchical clustering; sharded condensed matrices ([`cluster::ShardedPointSet`]), the versioned spill store ([`cluster::spill`]), and the injectable storage layer ([`cluster::vfs`]: [`cluster::vfs::RealFs`], the fault-injecting [`cluster::vfs::FaultFs`], and the power-cut simulator) |
@@ -68,6 +68,7 @@
 //! | [`baselines`] | `logr-baselines` | Laserlight & MTV reimplementations + mixture generalizations |
 //! | [`workload`] | `logr-workload` | synthetic PocketData / US-bank / Mushroom / Income generators |
 //! | [`math`] | `logr-math` | matrices, eigensolvers, projections, entropies |
+//! | — | `logr-server` | multi-tenant ingestion daemon: line-delimited JSON protocol over TCP, per-tenant engines under one root, group-committed (fsync-coalesced) window closes, a global resident budget apportioned across tenants, and the whole analytics read surface as wire ops — see the `logr-server` crate docs for the protocol reference |
 //! | — | `logr-lint` | workspace invariant checker (`cargo run -p logr-lint -- --deny`): machine-enforces the contracts below — see *Workspace invariants* |
 //!
 //! ## Durability & crash-consistency guarantees
@@ -138,9 +139,10 @@
 //!   see.
 //! * **`no-panic-paths`** — no `.unwrap()` / `.expect(` / `panic!`-family
 //!   macros in library code of the durability-critical crates (this
-//!   facade, `logr-cluster`, `logr-core`). The recovery contract is "a
-//!   typed [`Error`], never a panic"; a panic mid-persist is how stores
-//!   tear.
+//!   facade, `logr-cluster`, `logr-core`, `logr-server`). The recovery
+//!   contract is "a typed [`Error`], never a panic"; a panic
+//!   mid-persist is how stores tear — and in the daemon, how one
+//!   tenant's bad frame would take down every other tenant.
 //! * **`sync-protocol`** — every `rename` call in library code must sit
 //!   in a function that also calls `fsync` and `sync_dir`: the
 //!   write→fsync→rename→sync_dir protocol documented above. Rename-only
@@ -149,9 +151,10 @@
 //!   must pair with an `fsync` in the same function (the delta-log
 //!   commit protocol; appends never change the namespace, so no
 //!   `sync_dir` is required).
-//! * **`typed-errors`** — public functions of this facade must not
-//!   expose `Box<dyn Error>` or a bare `io::Error`; callers match the
-//!   one `#[non_exhaustive]` [`Error`] enum and lower-level failures
+//! * **`typed-errors`** — public functions of this facade (and of
+//!   `logr-server`, whose `ServerError` wraps it) must not expose
+//!   `Box<dyn Error>` or a bare `io::Error`; callers match the one
+//!   `#[non_exhaustive]` [`Error`] enum and lower-level failures
 //!   arrive through `From` conversions.
 //! * **`no-debug-output`** — no `println!` / `eprintln!` / `dbg!` in
 //!   library code; binaries are exempt (their stdout is the interface),

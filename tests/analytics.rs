@@ -13,7 +13,8 @@
 //!   snapshot paths alike — which are one implementation.
 
 use logr::analytics::{
-    Advisor, IndexAdvisor, Pred, QueryRecommender, SummaryView, ViewAdvisor, WorkloadQuery,
+    AdviceKind, Advisor, DriftAdvisor, IndexAdvisor, Pred, QueryRecommender, SummaryView,
+    ViewAdvisor, WorkloadQuery,
 };
 use logr::cluster::{cluster_log, ClusterMethod};
 use logr::core::{CompressionObjective, LogR, LogRConfig, LogRSummary, NaiveMixtureEncoding};
@@ -346,4 +347,59 @@ fn workload_query_over_a_batch_summary_matches_the_engine_path() {
         let b = batch_query.frequency(&Pred::feature(f.clone())).unwrap();
         assert_eq!(a.to_bits(), b.to_bits());
     }
+}
+
+#[test]
+fn drift_advisor_mirrors_engine_drift() {
+    // PR 9 satellite: drift alarms flow through the Advisor trait with
+    // the exact numbers [`Engine::drift`] reports — same overall
+    // divergence, one alarm per new feature, one alarm per baseline
+    // feature whose per-feature divergence exceeds the tolerance.
+    let engine = Engine::builder().window(32).clusters(2).in_memory().unwrap();
+    for _ in 0..32 {
+        engine.ingest("SELECT id, body FROM messages WHERE status = ?").unwrap();
+    }
+    for _ in 0..32 {
+        engine.ingest("SELECT total FROM invoices WHERE region = ?").unwrap();
+    }
+    let report = engine.drift().unwrap().expect("second window reports drift");
+    assert!(!report.new_features.is_empty(), "workload swap must surface new features");
+
+    let snap = engine.snapshot().unwrap();
+    let advice = DriftAdvisor::new(0.0).advise(&*snap).unwrap();
+
+    // Leading aggregate alarm carries the report's overall divergence.
+    assert_eq!(advice[0].kind, AdviceKind::Drift);
+    assert_eq!(advice[0].subject, "workload drift");
+    assert!((advice[0].estimated - report.overall).abs() < 1e-12);
+    // Every alarm in the family is typed Drift.
+    assert!(advice.iter().all(|a| a.kind == AdviceKind::Drift));
+    // One alarm per new feature, rendered exactly as the report renders it.
+    for text in &report.new_features {
+        assert!(advice.iter().any(|a| &a.subject == text), "missing new-feature alarm: {text}");
+    }
+    // One alarm per baseline feature above tolerance, js carried through,
+    // subject resolved against the baseline codebook (never "feature #N").
+    let over: Vec<_> = report.per_feature.iter().filter(|(_, js)| *js > 0.0).collect();
+    for (id, js) in &over {
+        let feature = snap.baseline().codebook().feature(*id).to_string();
+        let alarm = advice
+            .iter()
+            .find(|a| a.subject == feature)
+            .unwrap_or_else(|| panic!("missing per-feature alarm: {feature}"));
+        assert!((alarm.estimated - js).abs() < 1e-12);
+    }
+    assert_eq!(advice.len(), 1 + report.new_features.len() + over.len());
+
+    // A stable workload (identical windows) raises no alarms.
+    let calm = Engine::builder().window(32).clusters(2).in_memory().unwrap();
+    for _ in 0..64 {
+        calm.ingest("SELECT id, body FROM messages WHERE status = ?").unwrap();
+    }
+    let calm_snap = calm.snapshot().unwrap();
+    assert!(DriftAdvisor::new(1e-6).advise(&*calm_snap).unwrap().is_empty());
+
+    // Thresholds are validated like every other advisor's.
+    assert!(matches!(DriftAdvisor::new(f64::NAN).advise(&*snap), Err(Error::Config { .. })));
+    assert!(matches!(DriftAdvisor::new(-0.5).advise(&*snap), Err(Error::Config { .. })));
 }

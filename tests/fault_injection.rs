@@ -289,3 +289,26 @@ fn two_writable_opens_of_one_store_never_both_succeed() {
     drop(first);
     Engine::builder().vfs(fs).open(&dir).expect("open succeeds once the first owner is gone");
 }
+
+#[test]
+fn aliased_store_path_spellings_share_one_lock() {
+    // PR 9 regression: `/vstore-canon`, `/vstore-canon/.` and
+    // `/vstore-canon/../vstore-canon` all name the same store. The
+    // in-process lock registry must normalize the path before the
+    // exclusivity check, so a second spelling can never acquire a
+    // second writable lock on a store that is already open.
+    let dir = PathBuf::from("/vstore-canon");
+    let (fs, first) = spilling_engine(&dir);
+    for alias in ["/vstore-canon/../vstore-canon", "/vstore-canon/."] {
+        match Engine::builder().vfs(fs.clone()).open(alias) {
+            Err(Error::StoreLocked { pid, .. }) => assert_eq!(pid, std::process::id()),
+            other => panic!("aliased open {alias:?} must refuse: {:?}", other.map(|_| ())),
+        }
+    }
+    drop(first);
+    // Released under one spelling, acquirable under another.
+    Engine::builder()
+        .vfs(fs)
+        .open("/vstore-canon/../vstore-canon")
+        .expect("open succeeds under an alias once the owner is gone");
+}
