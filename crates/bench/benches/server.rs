@@ -39,7 +39,7 @@ fn serve(tag: &str, threads: usize) -> (ServerHandle, PathBuf) {
     let dir = bench_dir(tag);
     let _ = std::fs::remove_dir_all(&dir);
     let config = ServerConfig::new(&dir)
-        .profile(EngineProfile { window: WINDOW, clusters: 2, seed: 7 })
+        .profile(EngineProfile { window: WINDOW, clusters: 2, seed: 7, ..EngineProfile::default() })
         .threads(threads)
         .commit_interval(Duration::from_millis(2));
     let handle = Server::bind(config, "127.0.0.1:0").expect("bind").spawn();

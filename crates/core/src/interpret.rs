@@ -56,6 +56,8 @@ pub fn render_component(
         (FeatureClass::Where, Vec::new()),
         (FeatureClass::GroupBy, Vec::new()),
         (FeatureClass::OrderBy, Vec::new()),
+        (FeatureClass::Template, Vec::new()),
+        (FeatureClass::Param, Vec::new()),
     ];
     for &f in encoding.support() {
         let p = encoding.marginal(f);
@@ -115,6 +117,14 @@ pub fn render_component(
     if let Some(s) = section("ORDER BY", &by_class[4].1, ", ") {
         lines.push(s);
     }
+    // Template-mode sections (mined service logs): the component's
+    // dominant message shapes and the parameter classes they carry.
+    if let Some(s) = section("TEMPLATES", &by_class[5].1, "\n          ") {
+        lines.push(s);
+    }
+    if let Some(s) = section("PARAMS", &by_class[6].1, ", ") {
+        lines.push(s);
+    }
     lines.join("\n")
 }
 
@@ -135,13 +145,30 @@ pub fn render_patterns(
         let mut select = Vec::new();
         let mut from = Vec::new();
         let mut where_ = Vec::new();
+        let mut templates = Vec::new();
+        let mut params = Vec::new();
         for f in pattern.iter() {
             let feature = codebook.feature(f);
             match feature.class {
                 FeatureClass::Select => select.push(feature.text.clone()),
                 FeatureClass::From => from.push(feature.text.clone()),
+                FeatureClass::Template => templates.push(feature.text.clone()),
+                FeatureClass::Param => params.push(feature.text.clone()),
                 _ => where_.push(feature.text.clone()),
             }
+        }
+        // Template-mode patterns print the mined message shape(s), not
+        // pseudo-SQL.
+        if !templates.is_empty() || !params.is_empty() {
+            let mut q = templates.join(" | ");
+            if q.is_empty() {
+                q.push('…');
+            }
+            if !params.is_empty() {
+                q.push_str(&format!(" ⟨{}⟩", params.join(", ")));
+            }
+            lines.push(format!("{} {q}  [{:.0}%]", shade(*freq), freq * 100.0));
+            continue;
         }
         let mut q = String::from("SELECT ");
         if select.is_empty() {
@@ -156,6 +183,30 @@ pub fn render_patterns(
             q.push_str(&format!(" WHERE {}", where_.join(" AND ")));
         }
         lines.push(format!("{} {q}  [{:.0}%]", shade(*freq), freq * 100.0));
+    }
+    lines.join("\n")
+}
+
+/// Render a ranked list of (text, share) pairs with the same shading and
+/// percentage annotations as mixture components — the building block
+/// behind `logr`'s advisor reports (`Advice::render`), so every
+/// DBA-facing surface annotates frequencies identically.
+pub fn render_ranked(items: &[(String, f64)], config: &RenderConfig) -> String {
+    let mut lines = Vec::with_capacity(items.len());
+    for (text, share) in items {
+        if *share < config.min_marginal {
+            continue;
+        }
+        let mut line = String::new();
+        if config.shading {
+            line.push_str(shade(*share));
+            line.push(' ');
+        }
+        line.push_str(text);
+        if config.show_percentages {
+            line.push_str(&format!("  [{:.1}%]", share * 100.0));
+        }
+        lines.push(line);
     }
     lines.join("\n")
 }
@@ -255,6 +306,55 @@ mod tests {
         let where_only = QueryVector::new(vec![tbl, atom]);
         let text2 = render_patterns(&[(where_only, 0.4)], &cb);
         assert!(text2.contains("SELECT …"), "{text2}");
+    }
+
+    #[test]
+    fn template_features_render_their_own_sections() {
+        use logr_feature::{Feature, QueryLog};
+        let mut log = QueryLog::new();
+        for _ in 0..10 {
+            log.add_features(
+                &[
+                    Feature::template("connection from <*> port <*> established"),
+                    Feature::param("ip"),
+                    Feature::param("num"),
+                ],
+                1,
+            );
+        }
+        let clustering = Clustering::new(1, vec![0]);
+        let mixture = NaiveMixtureEncoding::build(&log, &clustering);
+        let text = render_component(&mixture, 0, log.codebook(), &RenderConfig::default());
+        assert!(text.contains("TEMPLATES"), "{text}");
+        assert!(text.contains("connection from <*> port <*> established"), "{text}");
+        assert!(text.contains("PARAMS"), "{text}");
+        assert!(text.contains("ip"), "{text}");
+        assert!(!text.contains("SELECT"), "{text}");
+    }
+
+    #[test]
+    fn template_patterns_render_message_shapes() {
+        use logr_feature::{Codebook, Feature, QueryVector};
+        let mut cb = Codebook::new();
+        let t = cb.intern(Feature::template("worker <*> heartbeat ok"));
+        let p = cb.intern(Feature::param("num"));
+        let text = render_patterns(&[(QueryVector::new(vec![t, p]), 0.9)], &cb);
+        assert!(text.contains("worker <*> heartbeat ok"), "{text}");
+        assert!(text.contains("⟨num⟩"), "{text}");
+        assert!(!text.contains("SELECT"), "{text}");
+    }
+
+    #[test]
+    fn ranked_list_shades_and_annotates() {
+        let items = vec![
+            ("messages".to_string(), 0.96),
+            ("accounts".to_string(), 0.5),
+            ("rare_table".to_string(), 0.01),
+        ];
+        let text = render_ranked(&items, &RenderConfig::default());
+        assert!(text.contains("█ messages  [96.0%]"), "{text}");
+        assert!(text.contains("▒ accounts  [50.0%]"), "{text}");
+        assert!(!text.contains("rare_table"), "below min_marginal: {text}");
     }
 
     #[test]

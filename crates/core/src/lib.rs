@@ -63,4 +63,7 @@ pub use stream::{
     rotate_baseline, CloseDelta, StreamConfig, StreamState, StreamSummarizer, TimeWindows,
     WindowSummary,
 };
+// Source configuration re-exported so stream callers configure the
+// record → feature mapping without naming `logr-source` directly.
+pub use logr_source::{SourceConfig, TemplateConfig};
 pub use synthesis::{marginal_deviation, synthesis_error};

@@ -284,6 +284,8 @@ fn parse_class(label: &str) -> Option<FeatureClass> {
         "WHERE" => FeatureClass::Where,
         "GROUPBY" => FeatureClass::GroupBy,
         "ORDERBY" => FeatureClass::OrderBy,
+        "TEMPLATE" => FeatureClass::Template,
+        "PARAM" => FeatureClass::Param,
         _ => return None,
     })
 }

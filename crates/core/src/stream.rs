@@ -111,7 +111,8 @@ use crate::drift::{feature_drift, novelty_scores, DriftReport};
 use logr_cluster::{
     ClusterMethod, CompactionStats, Distance, PointSet, ShardedPointSet, SpillConfig, SpillError,
 };
-use logr_feature::{anonymized_branches, ConjunctiveQuery, QueryLog, QueryVector};
+use logr_feature::{QueryLog, QueryVector};
+use logr_source::{FeatureBranch, Featurizer, SourceConfig, SourceError};
 use std::collections::{HashMap, VecDeque};
 use std::path::PathBuf;
 use std::sync::Arc;
@@ -148,6 +149,10 @@ pub struct StreamConfig {
     pub drift_tolerance: f64,
     /// RNG seed threaded into clustering.
     pub seed: u64,
+    /// Which featurizer turns raw records into feature branches: the SQL
+    /// pipeline (the default) or the Drain-style template miner for
+    /// free-form service logs (see `logr-source`).
+    pub source: SourceConfig,
 }
 
 impl Default for StreamConfig {
@@ -161,6 +166,7 @@ impl Default for StreamConfig {
             metric: Distance::Hamming,
             drift_tolerance: 1e-3,
             seed: 0,
+            source: SourceConfig::Sql,
         }
     }
 }
@@ -207,6 +213,7 @@ impl StreamConfig {
         if self.k == 0 {
             return Err("k must be positive");
         }
+        self.source.validate()?;
         Ok(())
     }
 
@@ -266,12 +273,13 @@ impl WindowSummary {
     }
 }
 
-/// Cached featurization of one distinct statement: its anonymized
-/// conjunctive branches, parsed lazily at first summarization, plus a
-/// reference count of how many live buffer/pending entries carry it.
+/// Cached featurization of one distinct statement: its feature branches
+/// (from the configured [`Featurizer`]), computed lazily at first
+/// summarization, plus a reference count of how many live buffer/pending
+/// entries carry it.
 #[derive(Debug, Default)]
 struct CacheSlot {
-    branches: Option<Vec<ConjunctiveQuery>>,
+    branches: Option<Vec<FeatureBranch>>,
     refs: usize,
 }
 
@@ -313,6 +321,11 @@ pub struct StreamState {
     pub baseline: QueryLog,
     /// Absorbed union of every closed window.
     pub history: QueryLog,
+    /// The featurizer's exported journal ([`Featurizer::export_journal`];
+    /// empty for stateless sources). Replayed through the same mining
+    /// code on restore, so the rebuilt featurizer — and therefore every
+    /// later feature bit — matches the live one exactly.
+    pub source_state: Vec<u8>,
 }
 
 /// Everything one window close changed in the resumable state — the
@@ -356,6 +369,12 @@ pub struct CloseDelta {
     /// rather than rederived because post-close arrivals change the live
     /// buffer before the delta is captured.
     pub overlap_span: u64,
+    /// The featurizer's journal increment since the previous close
+    /// ([`Featurizer::drain_events`]; empty for stateless sources).
+    /// Concatenating every close's increment onto the base state's
+    /// journal reproduces the full journal, so replay appends these bytes
+    /// to [`StreamState::source_state`].
+    pub source_events: Vec<u8>,
 }
 
 /// One close's baseline rotation, factored out so the live close path
@@ -445,6 +464,9 @@ pub struct StreamSummarizer {
     /// because `note_close_delta` runs after a time-mode arrival may
     /// have already grown the buffer past its at-close total.
     last_overlap_span: u64,
+    /// Record → feature-branch mapping (SQL pipeline or template miner);
+    /// stateful miners journal through it for bit-identical recovery.
+    featurizer: Box<dyn Featurizer>,
     /// One shard per closed window: its never-seen-before distinct queries.
     shards: ShardedPointSet,
     /// Set when a window close failed against the spill store: the
@@ -482,6 +504,7 @@ impl StreamSummarizer {
             history: Arc::new(QueryLog::new()),
             last_close_delta: None,
             last_overlap_span: 0,
+            featurizer: config.source.featurizer(),
             shards: ShardedPointSet::new(),
             wedged: false,
         }
@@ -502,6 +525,7 @@ impl StreamSummarizer {
             baseline_logs: self.baseline_logs.iter().cloned().collect(),
             baseline: (*self.baseline).clone(),
             history: (*self.history).clone(),
+            source_state: self.featurizer.export_journal(),
         }
     }
 
@@ -512,11 +536,31 @@ impl StreamSummarizer {
     ///
     /// # Panics
     /// Panics on an invalid `config` (same contract as
-    /// [`StreamSummarizer::new`]) or when `shards` and `state.history`
-    /// disagree on point count or universe width — callers recovering
-    /// from untrusted storage (the engine) validate that consistency
-    /// first and report it as a typed error.
+    /// [`StreamSummarizer::new`]), when `shards` and `state.history`
+    /// disagree on point count or universe width, or when the featurizer
+    /// journal fails to replay — callers recovering from untrusted
+    /// storage (the engine) use [`StreamSummarizer::try_from_state`] and
+    /// report that as a typed error.
     pub fn from_state(config: StreamConfig, state: StreamState, shards: ShardedPointSet) -> Self {
+        Self::try_from_state(config, state, shards)
+            // lint:allow(no-panic-paths): documented "# Panics" contract of the legacy infallible restore; try_from_state is the typed-error route the Engine uses
+            .unwrap_or_else(|e| panic!("featurizer journal failed to replay: {e}"))
+    }
+
+    /// Fallible [`StreamSummarizer::from_state`]: an `Err` means the
+    /// featurizer journal in `state.source_state` is corrupt or belongs
+    /// to a different source kind. Shard/history consistency stays a
+    /// panic contract (callers validate it first).
+    pub fn try_from_state(
+        config: StreamConfig,
+        state: StreamState,
+        shards: ShardedPointSet,
+    ) -> Result<Self, SourceError> {
+        let mut s = StreamSummarizer::new(config);
+        // Journal replay runs first: a corrupt journal must surface as
+        // the typed error even when the caller's shard store is also
+        // suspect (the asserts below are a validated-input contract).
+        s.featurizer.replay(&state.source_state)?;
         assert_eq!(
             shards.len(),
             state.history.distinct_count(),
@@ -527,7 +571,6 @@ impl StreamSummarizer {
             state.history.num_features(),
             "shard store and history log disagree on the feature universe"
         );
-        let mut s = StreamSummarizer::new(config);
         for (sql, count, ts) in &state.buffer {
             s.cache_acquire(sql);
             s.buffer.push_back((sql.clone(), *count, *ts));
@@ -546,7 +589,7 @@ impl StreamSummarizer {
         s.baseline = Arc::new(state.baseline);
         s.history = Arc::new(state.history);
         s.shards = shards;
-        s
+        Ok(s)
     }
 
     /// The configuration in force.
@@ -718,6 +761,47 @@ impl StreamSummarizer {
     /// Fallible [`StreamSummarizer::ingest`].
     pub fn try_ingest(&mut self, sql: &str) -> Result<Option<WindowSummary>, SpillError> {
         self.try_ingest_with_count(sql, 1)
+    }
+
+    /// Ingest one raw record through the configured source. This is the
+    /// source-agnostic spelling of [`StreamSummarizer::ingest`]: the
+    /// record is a SQL statement under [`SourceConfig::Sql`] and a
+    /// free-form service-log line under [`SourceConfig::Template`] —
+    /// nothing on this path assumes SQL.
+    ///
+    /// # Panics
+    /// Panics on a spill-store failure during a window close
+    /// ([`StreamSummarizer::try_ingest_record`] reports that as a typed
+    /// error instead).
+    pub fn ingest_record(&mut self, text: &str) -> Option<WindowSummary> {
+        self.ingest(text)
+    }
+
+    /// [`StreamSummarizer::ingest_record`] with a multiplicity.
+    ///
+    /// # Panics
+    /// Same contract as [`StreamSummarizer::ingest_with_count`].
+    pub fn ingest_record_with_count(&mut self, text: &str, count: u64) -> Option<WindowSummary> {
+        self.ingest_with_count(text, count)
+    }
+
+    /// Fallible [`StreamSummarizer::ingest_record`].
+    pub fn try_ingest_record(&mut self, text: &str) -> Result<Option<WindowSummary>, SpillError> {
+        self.try_ingest_with_count(text, 1)
+    }
+
+    /// Fallible [`StreamSummarizer::ingest_record_with_count`].
+    pub fn try_ingest_record_with_count(
+        &mut self,
+        text: &str,
+        count: u64,
+    ) -> Result<Option<WindowSummary>, SpillError> {
+        self.try_ingest_with_count(text, count)
+    }
+
+    /// The featurizer in force (the SQL pipeline or the template miner).
+    pub fn featurizer(&self) -> &dyn Featurizer {
+        self.featurizer.as_ref()
     }
 
     /// Ingest one statement occurring `count` times at timestamp `ts_ms`
@@ -908,6 +992,7 @@ impl StreamSummarizer {
             stride_log,
             window_queries,
             overlap_span: self.last_overlap_span,
+            source_events: self.featurizer.drain_events(),
         }));
     }
 
@@ -942,33 +1027,35 @@ impl StreamSummarizer {
     }
 
     /// Featurize statements into a fresh log, replaying cached branches
-    /// and parsing (once) on miss — produces the log `LogIngest` would,
-    /// bit for bit (`logr_feature::anonymized_branches` is the factored
-    /// statement half of ingestion; equality is regression-tested).
+    /// and featurizing (once) on miss. With the SQL source this produces
+    /// the log `LogIngest` would, bit for bit (`branch_features` is the
+    /// factored statement half of ingestion, and `add_features` reruns
+    /// `add_conjunctive`'s interning; equality is regression-tested).
     fn cached_log<'a>(
         cache: &mut HashMap<String, CacheSlot>,
         parses: &mut u64,
+        featurizer: &mut dyn Featurizer,
         statements: impl Iterator<Item = (&'a str, u64)>,
     ) -> QueryLog {
         let mut log = QueryLog::new();
-        for (sql, count) in statements {
+        for (text, count) in statements {
             let fallback;
-            let branches: &[ConjunctiveQuery] = match cache.get_mut(sql) {
+            let branches: &[FeatureBranch] = match cache.get_mut(text) {
                 Some(slot) => slot.branches.get_or_insert_with(|| {
                     *parses += 1;
-                    anonymized_branches(sql)
+                    featurizer.featurize(text)
                 }),
                 // Unreachable from the summarizer (every summarized
-                // statement holds a cache reference), but harmless: parse
-                // without caching.
+                // statement holds a cache reference), but harmless:
+                // featurize without caching.
                 None => {
                     *parses += 1;
-                    fallback = anonymized_branches(sql);
+                    fallback = featurizer.featurize(text);
                     &fallback
                 }
             };
             for branch in branches {
-                log.add_conjunctive(branch, count);
+                log.add_features(&branch.features, count);
             }
         }
         log
@@ -1018,6 +1105,7 @@ impl StreamSummarizer {
         let window_log = Self::cached_log(
             &mut self.cache,
             &mut self.parses,
+            self.featurizer.as_mut(),
             self.buffer.iter().map(|(sql, count, _)| (sql.as_str(), *count)),
         );
 
@@ -1047,6 +1135,7 @@ impl StreamSummarizer {
             let log = Self::cached_log(
                 &mut self.cache,
                 &mut self.parses,
+                self.featurizer.as_mut(),
                 self.pending.iter().map(|(sql, count)| (sql.as_str(), *count)),
             );
             for (sql, _) in std::mem::take(&mut self.pending) {
@@ -1667,6 +1756,7 @@ mod tests {
         }
         assert_log_eq(&a.baseline, &b.baseline, &format!("{ctx}: baseline"));
         assert_log_eq(&a.history, &b.history, &format!("{ctx}: history"));
+        assert_eq!(a.source_state, b.source_state, "{ctx}: source_state");
     }
 
     #[test]
@@ -1681,6 +1771,17 @@ mod tests {
         let scenarios: Vec<(StreamConfig, bool)> = vec![
             (StreamConfig { window: 7, k: 2, ..StreamConfig::default() }, false),
             (StreamConfig { window: 12, slide: Some(5), k: 2, ..StreamConfig::default() }, false),
+            (
+                // Template source: source_events must concatenate onto
+                // the pre-close journal to reproduce the export.
+                StreamConfig {
+                    window: 7,
+                    k: 2,
+                    source: SourceConfig::template(),
+                    ..StreamConfig::default()
+                },
+                false,
+            ),
             (
                 StreamConfig {
                     time: Some(TimeWindows { window_ms: 40, slide_ms: None }),
@@ -1725,6 +1826,7 @@ mod tests {
                     );
                     rebuilt.baseline_logs = rotation.into_iter().collect();
                     rebuilt.history.absorb(&d.stride_log);
+                    rebuilt.source_state.extend_from_slice(&d.source_events);
                     assert_state_eq(&rebuilt, &now, &format!("delta replay at statement {i}"));
                 } else {
                     assert!(s.take_close_delta().is_none(), "no close, no delta");
@@ -1797,5 +1899,159 @@ mod tests {
         let (a, b) = (spilled.history_summary().unwrap(), resident.history_summary().unwrap());
         assert_eq!(a.clustering, b.clustering);
         assert_eq!(a.error().to_bits(), b.error().to_bits());
+    }
+
+    fn service_line(i: u64) -> String {
+        match i % 4 {
+            0 => format!("request {} served in {} ms", i % 7, i + 3),
+            1 => format!("connection from 10.0.{}.{} port {} established", i % 5, i % 9, 8000 + i),
+            2 => format!("cache flush completed after {} entries", i * 2),
+            _ => format!("worker {} heartbeat ok", i % 3),
+        }
+    }
+
+    #[test]
+    fn template_source_streams_service_logs_end_to_end() {
+        // Free-form records flow through windows, drift, and the sharded
+        // history with zero SQL on the path.
+        let mut s = StreamSummarizer::new(StreamConfig {
+            window: 16,
+            k: 2,
+            source: SourceConfig::template(),
+            ..StreamConfig::default()
+        });
+        let mut summaries = Vec::new();
+        for i in 0..48 {
+            if let Some(w) = s.ingest_record(&service_line(i)) {
+                summaries.push(w);
+            }
+        }
+        assert_eq!(summaries.len(), 3);
+        assert!(summaries[0].distinct > 0, "service lines must featurize");
+        assert!(summaries[1].drift.is_some());
+        // Every feature the stream mined is a TEMPLATE or PARAM — no SQL
+        // classes leak in.
+        for (_, f) in s.history().codebook().iter() {
+            assert!(
+                matches!(
+                    f.class,
+                    logr_feature::FeatureClass::Template | logr_feature::FeatureClass::Param
+                ),
+                "unexpected class on the template path: {f}"
+            );
+        }
+        let hist = s.history_summary().expect("history summary over mined features");
+        assert_eq!(hist.clustering.len(), s.history().distinct_count());
+    }
+
+    #[test]
+    fn template_source_detects_injected_drift() {
+        let mut s = StreamSummarizer::new(StreamConfig {
+            window: 20,
+            k: 2,
+            source: SourceConfig::template(),
+            ..StreamConfig::default()
+        });
+        let mut summaries = Vec::new();
+        for i in 0..40 {
+            if let Some(w) = s.ingest_record(&service_line(i)) {
+                summaries.push(w);
+            }
+        }
+        for i in 0..20 {
+            let line = if i % 5 == 4 {
+                format!("FATAL segfault at 0xdeadbeef core dumped pid {i}")
+            } else {
+                service_line(i)
+            };
+            if let Some(w) = s.ingest_record(&line) {
+                summaries.push(w);
+            }
+        }
+        assert_eq!(summaries.len(), 3);
+        let injected = &summaries[2];
+        assert!(!injected.stable, "injected crash lines must drift: {:?}", injected.drift);
+        assert!(injected.max_novelty() > 0.0);
+    }
+
+    #[test]
+    fn template_source_state_restores_bit_identically() {
+        // The recovery acceptance at the stream level: export mid-stream
+        // (sliding, so buffer/pending/rotation are live AND the miner has
+        // promoted wildcards), restore through the journal, and continue
+        // both — every later artifact must match to the bit.
+        let store = logr_cluster::testutil::TempStore::new("stream-template-state");
+        let config = StreamConfig {
+            window: 12,
+            slide: Some(5),
+            k: 2,
+            source: SourceConfig::template(),
+            ..StreamConfig::default()
+        };
+        let mut original = StreamSummarizer::new(config);
+        original.spill_to(store.path(), usize::MAX).unwrap();
+        for i in 0..31 {
+            original.ingest_record(&service_line(i));
+        }
+        original.persist_shards().unwrap();
+        let state = original.export_state();
+        assert!(!state.source_state.is_empty(), "the miner must have journaled");
+        let files: Vec<std::path::PathBuf> = (0..original.shard_store().n_shards())
+            .map(|s| original.shard_store().shard_file(s).unwrap().to_path_buf())
+            .collect();
+        let shards = ShardedPointSet::from_spilled_files(
+            SpillConfig { dir: store.path().to_path_buf(), resident_budget: usize::MAX },
+            &files,
+        )
+        .unwrap();
+        let mut restored = StreamSummarizer::try_from_state(config, state, shards).unwrap();
+        for i in 31..90 {
+            let (a, b) = (
+                original.ingest_record(&service_line(i)),
+                restored.ingest_record(&service_line(i)),
+            );
+            assert_eq!(a.is_some(), b.is_some(), "close parity at {i}");
+            if let (Some(a), Some(b)) = (a, b) {
+                assert_eq!(a.summary.clustering, b.summary.clustering);
+                assert_eq!(a.summary.error().to_bits(), b.summary.error().to_bits());
+                assert_eq!(a.new_distinct, b.new_distinct);
+                assert_eq!(a.stable, b.stable);
+                for (x, y) in a.novelty.iter().zip(&b.novelty) {
+                    assert_eq!(x.to_bits(), y.to_bits());
+                }
+            }
+        }
+        let a = original.export_state();
+        let mut b = restored.export_state();
+        // The parse counter legitimately runs ahead after a restore (the
+        // cache restarts cold) — it is instrumentation, never an output
+        // bit. Everything else must match exactly.
+        b.statements_parsed = a.statements_parsed;
+        assert_state_eq(&a, &b, "post-continue");
+    }
+
+    #[test]
+    fn corrupt_source_journal_is_a_typed_error() {
+        let config =
+            StreamConfig { window: 8, source: SourceConfig::template(), ..StreamConfig::default() };
+        let mut s = StreamSummarizer::new(config);
+        for i in 0..8 {
+            s.ingest_record(&service_line(i));
+        }
+        let mut state = s.export_state();
+        state.source_state.truncate(state.source_state.len() - 1);
+        assert!(StreamSummarizer::try_from_state(config, state, ShardedPointSet::new()).is_err());
+    }
+
+    #[test]
+    fn invalid_source_config_fails_validation() {
+        let config = StreamConfig {
+            source: SourceConfig::Template(logr_source::TemplateConfig {
+                similarity: 2.0,
+                ..logr_source::TemplateConfig::default()
+            }),
+            ..StreamConfig::default()
+        };
+        assert!(config.validate().is_err());
     }
 }

@@ -32,16 +32,15 @@ impl ExtractConfig {
     }
 }
 
-/// Extract and intern the features of one conjunctive query.
-///
-/// Returns the query's sparse feature vector; new features are appended to
-/// `codebook`.
-pub fn extract_features(
-    query: &ConjunctiveQuery,
-    codebook: &mut Codebook,
-    config: ExtractConfig,
-) -> QueryVector {
-    let mut ids =
+/// Extract the features of one conjunctive query **without interning** —
+/// the codebook-independent half of [`extract_features`], in the exact
+/// order that function interns them. Featurizer implementations (see
+/// `logr-source`) call this per branch and hand the result to
+/// `QueryLog::add_features`, which reproduces `add_conjunctive`'s
+/// interning order — and therefore every downstream bit — without the
+/// extractor ever touching a codebook.
+pub fn branch_features(query: &ConjunctiveQuery, config: ExtractConfig) -> Vec<Feature> {
+    let mut features =
         Vec::with_capacity(query.select.len() + query.tables.len() + query.conjuncts.len() + 4);
 
     for item in &query.select {
@@ -52,27 +51,37 @@ pub fn extract_features(
             // `a AS x` and `a AS y` featurize identically.
             SelectItem::Expr { expr, .. } => expr.to_string(),
         };
-        ids.push(codebook.intern(Feature::select(text)));
+        features.push(Feature::select(text));
     }
     for table in &query.tables {
-        ids.push(codebook.intern(Feature::from_table(table.clone())));
+        features.push(Feature::from_table(table.clone()));
     }
     for conjunct in &query.conjuncts {
-        ids.push(codebook.intern(Feature::where_atom(conjunct.to_string())));
+        features.push(Feature::where_atom(conjunct.to_string()));
     }
     if config.extensions {
         for g in &query.group_by {
-            ids.push(
-                codebook.intern(Feature::new(crate::feature::FeatureClass::GroupBy, g.to_string())),
-            );
+            features.push(Feature::new(crate::feature::FeatureClass::GroupBy, g.to_string()));
         }
         for o in &query.order_by {
-            ids.push(
-                codebook.intern(Feature::new(crate::feature::FeatureClass::OrderBy, o.to_string())),
-            );
+            features.push(Feature::new(crate::feature::FeatureClass::OrderBy, o.to_string()));
         }
     }
 
+    features
+}
+
+/// Extract and intern the features of one conjunctive query.
+///
+/// Returns the query's sparse feature vector; new features are appended to
+/// `codebook`.
+pub fn extract_features(
+    query: &ConjunctiveQuery,
+    codebook: &mut Codebook,
+    config: ExtractConfig,
+) -> QueryVector {
+    let ids: Vec<_> =
+        branch_features(query, config).into_iter().map(|f| codebook.intern(f)).collect();
     QueryVector::new(ids)
 }
 

@@ -21,6 +21,13 @@ pub enum FeatureClass {
     GroupBy,
     /// ORDER BY key (Makiyama-scheme extension, optional).
     OrderBy,
+    /// Mined log template (free-form service logs; `logr-source`'s
+    /// Drain-style miner — the structural skeleton of a record with
+    /// variable positions wildcarded).
+    Template,
+    /// Parameter class of a variable position in a mined template
+    /// (number, hex id, IP, path, …).
+    Param,
 }
 
 impl FeatureClass {
@@ -32,6 +39,8 @@ impl FeatureClass {
             FeatureClass::Where => "WHERE",
             FeatureClass::GroupBy => "GROUPBY",
             FeatureClass::OrderBy => "ORDERBY",
+            FeatureClass::Template => "TEMPLATE",
+            FeatureClass::Param => "PARAM",
         }
     }
 }
@@ -71,6 +80,16 @@ impl Feature {
     /// ⟨atom, WHERE⟩ convenience constructor.
     pub fn where_atom(text: impl Into<String>) -> Self {
         Feature::new(FeatureClass::Where, text)
+    }
+
+    /// ⟨template, TEMPLATE⟩ convenience constructor (mined log templates).
+    pub fn template(text: impl Into<String>) -> Self {
+        Feature::new(FeatureClass::Template, text)
+    }
+
+    /// ⟨class, PARAM⟩ convenience constructor (template parameter classes).
+    pub fn param(text: impl Into<String>) -> Self {
+        Feature::new(FeatureClass::Param, text)
     }
 }
 

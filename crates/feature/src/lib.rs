@@ -26,7 +26,7 @@ pub mod vector;
 
 pub use bitvec::BitVec;
 pub use codebook::{Codebook, FeatureId};
-pub use extract::{extract_features, ExtractConfig};
+pub use extract::{branch_features, extract_features, ExtractConfig};
 pub use feature::{Feature, FeatureClass};
 pub use labeled::{LabeledDataset, LabeledRow};
 pub use log::{anonymized_branches, IngestStats, LogIngest, QueryLog};

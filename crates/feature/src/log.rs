@@ -9,6 +9,7 @@
 
 use crate::codebook::{Codebook, FeatureId};
 use crate::extract::{extract_features, ExtractConfig};
+use crate::feature::Feature;
 use crate::vector::QueryVector;
 use logr_sql::{anonymize_statement, parse_select, regularize, ConjunctiveQuery, ParseError};
 use std::collections::HashMap;
@@ -58,6 +59,17 @@ impl QueryLog {
     pub fn add_conjunctive(&mut self, query: &ConjunctiveQuery, count: u64) {
         let v = extract_features(query, &mut self.codebook, self.config);
         self.add_vector(v, count);
+    }
+
+    /// Intern a pre-extracted feature list (in order) and add the
+    /// resulting vector with multiplicity `count` — the source-agnostic
+    /// twin of [`QueryLog::add_conjunctive`]: feeding it the features
+    /// [`crate::extract::branch_features`] yields for a branch interns
+    /// them in the same order `add_conjunctive` would, so the two paths
+    /// build bit-identical logs.
+    pub fn add_features(&mut self, features: &[Feature], count: u64) {
+        let ids: Vec<_> = features.iter().map(|f| self.codebook.intern(f.clone())).collect();
+        self.add_vector(QueryVector::new(ids), count);
     }
 
     /// The codebook mapping features to ids.

@@ -152,10 +152,17 @@ fn vfs_bypass(ctx: &FileContext<'_>, out: &mut Vec<Finding>) {
 
 /// Crate roots whose library code must stay panic-free: the facade (its
 /// contract is "every entry point returns a typed `Error`, never a
-/// panic"), the two crates on the durable read/write path, and the
-/// daemon (one tenant's panic must never take down the process).
-const PANIC_FREE_ROOTS: &[&str] =
-    &["src/", "crates/cluster/src/", "crates/core/src/", "crates/server/src/"];
+/// panic"), the two crates on the durable read/write path, the daemon
+/// (one tenant's panic must never take down the process), and the source
+/// crate (its featurizers sit on every ingest, and its journal replay on
+/// every recovery).
+const PANIC_FREE_ROOTS: &[&str] = &[
+    "src/",
+    "crates/cluster/src/",
+    "crates/core/src/",
+    "crates/server/src/",
+    "crates/source/src/",
+];
 
 /// No `.unwrap()` / `.expect(` / panicking macro in library code of the
 /// durability-critical crates — a panic mid-write is how stores get torn
@@ -281,9 +288,11 @@ fn sync_protocol(ctx: &FileContext<'_>, out: &mut Vec<Finding>) {
 /// arrives through `From` conversions.
 fn typed_errors(ctx: &FileContext<'_>, out: &mut Vec<Finding>) {
     // The facade crate is the workspace root's `src/` tree; the daemon
-    // crate holds the same line with its own `ServerError` wrapper.
+    // and source crates hold the same line with their own error types.
     if ctx.class != FileClass::Library
-        || !(ctx.rel_path.starts_with("src/") || ctx.rel_path.starts_with("crates/server/src/"))
+        || !(ctx.rel_path.starts_with("src/")
+            || ctx.rel_path.starts_with("crates/server/src/")
+            || ctx.rel_path.starts_with("crates/source/src/"))
     {
         return;
     }

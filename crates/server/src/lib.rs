@@ -31,6 +31,18 @@
 //! op. Success: `{"id": ..., "ok": true, "result": ...}`. Failure:
 //! `{"id": ..., "ok": false, "error": {"code": "...", "detail": "..."}}`.
 //!
+//! Every tenant-scoped frame may carry an optional `"source"` field
+//! naming the featurizer the tenant runs: `"sql"` (the default — parse →
+//! anonymize → regularize), `"template"` (Drain-style template mining
+//! for free-form service logs), or an object
+//! `{"kind": "template", "depth"?, "max_children"?, "similarity"?}`
+//! overriding the miner's knobs. The field takes effect on the frame
+//! that **creates** the tenant's store; afterwards the store's manifest
+//! pins the source forever (a resumed store ignores the server profile
+//! too), and a frame whose explicit `"source"` disagrees with the source
+//! in force fails with a `Protocol` error instead of being silently
+//! ignored.
+//!
 //! ## Operations
 //!
 //! | op | extra fields | result |
@@ -38,7 +50,7 @@
 //! | `ping` | — | `"pong"` |
 //! | `shutdown` | — | `{"stopping": true}`, then the daemon drains and exits |
 //! | `stats` | optional `tenant` | daemon-wide or per-tenant statistics |
-//! | `ingest` | `sql` *or* `statements` (≤ 4096) | `{"ingested", "closed", "windows_closed"}` |
+//! | `ingest` | `sql` / `record` *or* `statements` / `records` (≤ 4096) | `{"ingested", "closed", "windows_closed"}` |
 //! | `flush` | — | `{"closed": bool}` (closes a partial window) |
 //! | `checkpoint` | — | `{"durable": true}` (delta log folded into the base) |
 //! | `compact` | — | `{"merged": n}` (spilled shards merged) |
@@ -53,11 +65,14 @@
 //!
 //! Predicates mirror the [`logr::analytics::Pred`] constructors:
 //! `{"table": "t"}`, `{"column": "c"}`, `{"column_eq": "c"}`,
-//! `{"where_atom": "a = 1"}`, `{"joins": ["a", "b"]}`,
-//! `{"and": [...]}`, `{"or": [...]}`. Feature classes are `"select"`,
-//! `"from"`, `"where"`, `"group_by"`, `"order_by"`. Advisors are
-//! `"index"` / `"view"` (with `min_share`), `"recommend"` (with
-//! `partial`, `min_conditional`), and `"drift"` (with `tolerance`).
+//! `{"where_atom": "a = 1"}`, `{"template": "user <*> logged in"}`,
+//! `{"param": "ip"}`, `{"joins": ["a", "b"]}`, `{"and": [...]}`,
+//! `{"or": [...]}`, `{"not": p}` (negations evaluate as mixture
+//! complements). Feature classes are `"select"`, `"from"`, `"where"`,
+//! `"group_by"`, `"order_by"` for the SQL source and `"template"`,
+//! `"param"` for the template source. Advisors are `"index"` / `"view"`
+//! (with `min_share`), `"recommend"` (with `partial`,
+//! `min_conditional`), and `"drift"` (with `tolerance`).
 //!
 //! ## Error codes
 //!

@@ -10,6 +10,7 @@ use crate::json::{self, n, obj, s, Json};
 use logr::analytics::{Advice, AdviceKind, Pred};
 use logr::core::DriftReport;
 use logr::feature::{Codebook, Feature, FeatureClass};
+use logr::{SourceConfig, TemplateConfig};
 use std::fmt;
 
 /// Hard cap on one request line, in bytes. Longer frames are rejected with
@@ -124,6 +125,11 @@ pub enum Request {
     Tenant {
         /// Validated tenant name (see [`crate::tenant`] for the rules).
         name: String,
+        /// The frame's optional `"source"` field: which featurizer the
+        /// tenant runs. Takes effect when this request is the one that
+        /// creates the tenant's store; otherwise it is checked against
+        /// the source actually in force and mismatches are errors.
+        source: Option<SourceConfig>,
         /// The tenant-scoped operation.
         op: TenantOp,
     },
@@ -132,9 +138,12 @@ pub enum Request {
 /// A tenant-scoped operation.
 #[derive(Debug)]
 pub enum TenantOp {
-    /// Ingest a batch of statements; acked only after the covering fsync.
+    /// Ingest a batch of records; acked only after the covering fsync.
     Ingest {
-        /// The SQL statements, applied in order.
+        /// The raw records, applied in order — SQL statements for
+        /// SQL-source tenants, free-form log lines for template-source
+        /// ones (the wire accepts `sql`/`statements` and the
+        /// source-neutral synonyms `record`/`records` interchangeably).
         statements: Vec<String>,
     },
     /// Close any partially filled window.
@@ -258,14 +267,69 @@ fn decode_request(doc: &Json) -> Result<Request, ServerError> {
         "shutdown" => Ok(Request::Shutdown),
         "stats" => match tenant {
             None => Ok(Request::GlobalStats),
-            Some(name) => Ok(Request::Tenant { name: name.to_owned(), op: TenantOp::Stats }),
+            Some(name) => Ok(Request::Tenant {
+                name: name.to_owned(),
+                source: source_config(doc)?,
+                op: TenantOp::Stats,
+            }),
         },
         _ => {
             let name = tenant
                 .ok_or_else(|| protocol(format!("op \"{op}\" requires a \"tenant\"")))?
                 .to_owned();
-            Ok(Request::Tenant { name, op: decode_tenant_op(op, doc)? })
+            Ok(Request::Tenant {
+                name,
+                source: source_config(doc)?,
+                op: decode_tenant_op(op, doc)?,
+            })
         }
+    }
+}
+
+/// Decodes the optional `"source"` field: `"sql"`, `"template"`, or an
+/// object `{"kind": "template", "depth"?, "max_children"?, "similarity"?}`
+/// overriding the miner's default knobs.
+fn source_config(doc: &Json) -> Result<Option<SourceConfig>, ServerError> {
+    let Some(v) = doc.get("source") else { return Ok(None) };
+    let config = match v {
+        Json::Null => return Ok(None),
+        Json::Str(kind) => source_kind(kind)?,
+        Json::Obj(_) => {
+            let kind = v
+                .get("kind")
+                .and_then(Json::as_str)
+                .ok_or_else(|| protocol("\"source\" object requires a string \"kind\""))?;
+            match source_kind(kind)? {
+                SourceConfig::Sql => SourceConfig::Sql,
+                SourceConfig::Template(defaults) => {
+                    let usize_knob = |key: &str, default: usize| -> Result<usize, ServerError> {
+                        match v.get(key) {
+                            None | Some(Json::Null) => Ok(default),
+                            Some(knob) => knob
+                                .as_u64()
+                                .map(|x| x as usize)
+                                .ok_or_else(|| protocol(format!("\"{key}\" must be an integer"))),
+                        }
+                    };
+                    SourceConfig::Template(TemplateConfig {
+                        depth: usize_knob("depth", defaults.depth)?,
+                        max_children: usize_knob("max_children", defaults.max_children)?,
+                        similarity: optional_f64(v, "similarity", defaults.similarity)?,
+                    })
+                }
+            }
+        }
+        _ => return Err(protocol("\"source\" must be a string or an object")),
+    };
+    config.validate().map_err(protocol)?;
+    Ok(Some(config))
+}
+
+fn source_kind(kind: &str) -> Result<SourceConfig, ServerError> {
+    match kind {
+        "sql" => Ok(SourceConfig::Sql),
+        "template" => Ok(SourceConfig::template()),
+        _ => Err(protocol(format!("unknown source \"{kind}\" (expected \"sql\" or \"template\")"))),
     }
 }
 
@@ -303,20 +367,30 @@ fn decode_tenant_op(op: &str, doc: &Json) -> Result<TenantOp, ServerError> {
 }
 
 fn ingest_statements(doc: &Json) -> Result<Vec<String>, ServerError> {
-    if let Some(sql) = doc.get("sql") {
-        let sql = sql.as_str().ok_or_else(|| protocol("\"sql\" must be a string"))?;
-        return Ok(vec![sql.to_owned()]);
+    // `record`/`records` are source-neutral synonyms for `sql`/
+    // `statements`: template-source tenants ingest free-form log lines,
+    // not SQL, and their clients shouldn't have to pretend otherwise.
+    for single in ["sql", "record"] {
+        if let Some(v) = doc.get(single) {
+            let text =
+                v.as_str().ok_or_else(|| protocol(format!("\"{single}\" must be a string")))?;
+            return Ok(vec![text.to_owned()]);
+        }
     }
-    let items = doc
-        .get("statements")
-        .and_then(Json::as_arr)
-        .ok_or_else(|| protocol("ingest requires \"sql\" or \"statements\""))?;
+    let (key, items) = ["statements", "records"]
+        .into_iter()
+        .find_map(|key| Some((key, doc.get(key)?)))
+        .ok_or_else(|| {
+            protocol("ingest requires \"sql\", \"record\", \"statements\", or \"records\"")
+        })?;
+    let items =
+        items.as_arr().ok_or_else(|| protocol(format!("\"{key}\" must be an array of strings")))?;
     if items.is_empty() {
-        return Err(protocol("\"statements\" must not be empty"));
+        return Err(protocol(format!("\"{key}\" must not be empty")));
     }
     if items.len() > MAX_BATCH_STATEMENTS {
         return Err(protocol(format!(
-            "\"statements\" exceeds the {MAX_BATCH_STATEMENTS}-statement batch cap"
+            "\"{key}\" exceeds the {MAX_BATCH_STATEMENTS}-record batch cap"
         )));
     }
     items
@@ -324,7 +398,7 @@ fn ingest_statements(doc: &Json) -> Result<Vec<String>, ServerError> {
         .map(|item| {
             item.as_str()
                 .map(str::to_owned)
-                .ok_or_else(|| protocol("\"statements\" entries must be strings"))
+                .ok_or_else(|| protocol(format!("\"{key}\" entries must be strings")))
         })
         .collect()
 }
@@ -382,6 +456,8 @@ pub fn class_from_name(name: &str) -> Option<FeatureClass> {
         "where" => Some(FeatureClass::Where),
         "group_by" => Some(FeatureClass::GroupBy),
         "order_by" => Some(FeatureClass::OrderBy),
+        "template" => Some(FeatureClass::Template),
+        "param" => Some(FeatureClass::Param),
         _ => None,
     }
 }
@@ -394,6 +470,8 @@ pub fn class_name(class: FeatureClass) -> &'static str {
         FeatureClass::Where => "where",
         FeatureClass::GroupBy => "group_by",
         FeatureClass::OrderBy => "order_by",
+        FeatureClass::Template => "template",
+        FeatureClass::Param => "param",
     }
 }
 
@@ -406,8 +484,9 @@ fn required_pred(doc: &Json, key: &str) -> Result<Pred, ServerError> {
 ///
 /// The encoding mirrors the [`Pred`] constructors — an object with exactly
 /// one of: `{"table": "t"}`, `{"column": "c"}`, `{"column_eq": "c"}`,
-/// `{"where_atom": "a = 1"}`, `{"joins": ["a", "b"]}`,
-/// `{"and": [p, ...]}`, `{"or": [p, ...]}`.
+/// `{"where_atom": "a = 1"}`, `{"template": "user <*> logged in"}`,
+/// `{"param": "ip"}`, `{"joins": ["a", "b"]}`,
+/// `{"and": [p, ...]}`, `{"or": [p, ...]}`, `{"not": p}`.
 pub fn pred_from_json(v: &Json) -> Result<Pred, ServerError> {
     let pairs = match v {
         Json::Obj(pairs) => pairs,
@@ -427,6 +506,9 @@ pub fn pred_from_json(v: &Json) -> Result<Pred, ServerError> {
         "column" => text_leaf(Pred::column),
         "column_eq" => text_leaf(Pred::column_eq),
         "where_atom" => text_leaf(Pred::where_atom),
+        "template" => text_leaf(Pred::template),
+        "param" => text_leaf(Pred::param),
+        "not" => Ok(pred_from_json(val)?.not()),
         "joins" => match val.as_arr() {
             Some([a, b]) => match (a.as_str(), b.as_str()) {
                 (Some(a), Some(b)) => Ok(Pred::joins(a, b)),
@@ -548,7 +630,7 @@ mod tests {
 
         let f = parse_frame(r#"{"id":2,"op":"ingest","tenant":"a","sql":"SELECT x FROM t"}"#);
         match f.request {
-            Ok(Request::Tenant { name, op: TenantOp::Ingest { statements } }) => {
+            Ok(Request::Tenant { name, source: None, op: TenantOp::Ingest { statements } }) => {
                 assert_eq!(name, "a");
                 assert_eq!(statements, vec!["SELECT x FROM t".to_owned()]);
             }
@@ -581,6 +663,59 @@ mod tests {
     }
 
     #[test]
+    fn record_synonyms_and_source_field_decode() {
+        // `record`/`records` carry the same batch as `sql`/`statements`.
+        let f = parse_frame(r#"{"op":"ingest","tenant":"svc","records":["a b","c d"]}"#);
+        match f.request {
+            Ok(Request::Tenant { op: TenantOp::Ingest { statements }, .. }) => {
+                assert_eq!(statements, vec!["a b".to_owned(), "c d".to_owned()]);
+            }
+            other => panic!("unexpected: {other:?}"),
+        }
+        let f = parse_frame(r#"{"op":"ingest","tenant":"svc","record":"one line"}"#);
+        match f.request {
+            Ok(Request::Tenant { op: TenantOp::Ingest { statements }, .. }) => {
+                assert_eq!(statements, vec!["one line".to_owned()]);
+            }
+            other => panic!("unexpected: {other:?}"),
+        }
+
+        // String and object source spellings.
+        let f = parse_frame(r#"{"op":"flush","tenant":"svc","source":"template"}"#);
+        match f.request {
+            Ok(Request::Tenant { source, .. }) => {
+                assert_eq!(source, Some(SourceConfig::template()));
+            }
+            other => panic!("unexpected: {other:?}"),
+        }
+        let f = parse_frame(
+            r#"{"op":"flush","tenant":"svc","source":{"kind":"template","depth":3,"similarity":0.7}}"#,
+        );
+        match f.request {
+            Ok(Request::Tenant { source: Some(SourceConfig::Template(t)), .. }) => {
+                assert_eq!(t.depth, 3);
+                assert_eq!(t.max_children, TemplateConfig::default().max_children);
+                assert!((t.similarity - 0.7).abs() < 1e-12);
+            }
+            other => panic!("unexpected: {other:?}"),
+        }
+        let f = parse_frame(r#"{"op":"flush","tenant":"svc","source":"sql"}"#);
+        assert!(matches!(f.request, Ok(Request::Tenant { source: Some(SourceConfig::Sql), .. })));
+
+        // Bad sources are protocol errors: unknown kind, invalid knobs.
+        for bad in [
+            r#"{"op":"flush","tenant":"svc","source":"drain"}"#,
+            r#"{"op":"flush","tenant":"svc","source":7}"#,
+            r#"{"op":"flush","tenant":"svc","source":{"kind":"template","depth":0}}"#,
+            r#"{"op":"flush","tenant":"svc","source":{"kind":"template","similarity":2.0}}"#,
+            r#"{"op":"flush","tenant":"svc","source":{"depth":2}}"#,
+        ] {
+            let f = parse_frame(bad);
+            assert_eq!(f.request.unwrap_err().wire_code(), "Protocol", "accepted {bad}");
+        }
+    }
+
+    #[test]
     fn pred_wire_encoding_round_trips_through_constructors() {
         let v = json::parse(
             r#"{"and":[{"table":"orders"},{"or":[{"column":"o_id"},{"where_atom":"x = 1"}]}]}"#,
@@ -588,6 +723,12 @@ mod tests {
         .unwrap();
         let wire = pred_from_json(&v).unwrap();
         let built = Pred::table("orders").and(Pred::column("o_id").or(Pred::where_atom("x = 1")));
+        assert_eq!(format!("{wire:?}"), format!("{built:?}"));
+
+        let v =
+            json::parse(r#"{"not":{"and":[{"template":"user <*> in"},{"param":"ip"}]}}"#).unwrap();
+        let wire = pred_from_json(&v).unwrap();
+        let built = Pred::template("user <*> in").and(Pred::param("ip")).not();
         assert_eq!(format!("{wire:?}"), format!("{built:?}"));
 
         for bad in [

@@ -460,13 +460,13 @@ fn handle(shared: &Shared, request: Request) -> Result<Json, ServerError> {
         Request::Ping => Ok(s("pong")),
         Request::Shutdown => Ok(obj(vec![("stopping", Json::Bool(true))])),
         Request::GlobalStats => global_stats(shared),
-        Request::Tenant { name, op } => {
+        Request::Tenant { name, source, op } => {
             // Close must not lazily open a store just to close it.
             if matches!(op, TenantOp::Close) {
                 shared.registry.close(&name)?;
                 return Ok(obj(vec![("closed", Json::Bool(true))]));
             }
-            let tenant = shared.registry.get_or_open(&name)?;
+            let tenant = shared.registry.get_or_open(&name, source)?;
             match op {
                 TenantOp::Ingest { statements } => {
                     dispatch_write(shared, tenant, WriteKind::Ingest(statements))
@@ -611,11 +611,13 @@ fn execute_write(shared: &Shared, job: WriteJob) {
 
 fn run_write(tenant: &Tenant, kind: WriteKind) -> Result<Json, ServerError> {
     match kind {
-        WriteKind::Ingest(statements) => {
-            let count = statements.len();
+        WriteKind::Ingest(records) => {
+            let count = records.len();
             let mut closed = 0u64;
-            for sql in &statements {
-                if tenant.engine.ingest(sql)?.is_some() {
+            // The source-agnostic entry point: the tenant's configured
+            // featurizer decides whether a record is SQL or a log line.
+            for record in &records {
+                if tenant.engine.ingest_record(record)?.is_some() {
                     closed += 1;
                 }
             }

@@ -22,7 +22,7 @@
 use crate::commit::GroupCommitVfs;
 use crate::protocol::{protocol, ServerError};
 use logr::cluster::vfs::Vfs;
-use logr::Engine;
+use logr::{Engine, SourceConfig};
 use std::collections::BTreeMap;
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -55,11 +55,15 @@ pub struct EngineProfile {
     pub clusters: usize,
     /// Deterministic seed for clustering.
     pub seed: u64,
+    /// Default source (featurizer) for tenants that don't name one in
+    /// their first frame. A request's `"source"` field overrides this at
+    /// first open; a resumed store's manifest always wins over both.
+    pub source: SourceConfig,
 }
 
 impl Default for EngineProfile {
     fn default() -> EngineProfile {
-        EngineProfile { window: 64, clusters: 4, seed: 42 }
+        EngineProfile { window: 64, clusters: 4, seed: 42, source: SourceConfig::Sql }
     }
 }
 
@@ -137,12 +141,23 @@ impl TenantRegistry {
 
     /// The tenant's engine, opening (and locking) its store on first use.
     ///
+    /// `source` is the request's `"source"` field: it selects the
+    /// featurizer when this call **creates** the tenant's store. On an
+    /// already-open tenant — or a store resumed from disk, where the
+    /// manifest's stored source always wins — a mismatching explicit
+    /// `source` is a protocol error rather than a silent ignore.
+    ///
     /// Opening a new tenant re-apportions the global budget over the
     /// grown tenant set before returning.
-    pub fn get_or_open(&self, name: &str) -> Result<Arc<Tenant>, ServerError> {
+    pub fn get_or_open(
+        &self,
+        name: &str,
+        source: Option<SourceConfig>,
+    ) -> Result<Arc<Tenant>, ServerError> {
         validate_name(name)?;
         let mut tenants = self.lock_tenants()?;
         if let Some(t) = tenants.get(name) {
+            Self::check_source(name, t.engine.source()?, source)?;
             return Ok(t.clone());
         }
         let share = self.share_at(tenants.len() + 1);
@@ -151,9 +166,17 @@ impl TenantRegistry {
             .window(self.profile.window)
             .clusters(self.profile.clusters)
             .seed(self.profile.seed)
+            .source(source.unwrap_or(self.profile.source))
             .resident_budget(share)
             .vfs(commit.clone() as Arc<dyn Vfs>)
             .open(self.root.join(name))?;
+        // A resumed store keeps its manifest's source; dropping the
+        // engine here releases the store lock before we report the
+        // conflict.
+        if let Err(e) = Self::check_source(name, engine.source()?, source) {
+            drop(engine);
+            return Err(e);
+        }
         let tenant = Arc::new(Tenant {
             name: name.to_owned(),
             engine,
@@ -203,6 +226,21 @@ impl TenantRegistry {
     /// True when no tenant is open.
     pub fn is_empty(&self) -> Result<bool, ServerError> {
         Ok(self.lock_tenants()?.is_empty())
+    }
+
+    /// Errors when a request's explicit source disagrees with the source
+    /// the tenant's engine actually runs.
+    fn check_source(
+        name: &str,
+        actual: SourceConfig,
+        requested: Option<SourceConfig>,
+    ) -> Result<(), ServerError> {
+        match requested {
+            Some(requested) if requested != actual => Err(protocol(format!(
+                "tenant \"{name}\" runs source {actual:?} but the request asked for {requested:?}"
+            ))),
+            _ => Ok(()),
+        }
     }
 
     fn apportion(tenants: &BTreeMap<String, Arc<Tenant>>, share: usize) -> Result<(), ServerError> {

@@ -33,7 +33,7 @@ fn statement(tag: &str, i: u64) -> String {
 }
 
 fn profile() -> EngineProfile {
-    EngineProfile { window: WINDOW, clusters: 2, seed: 7 }
+    EngineProfile { window: WINDOW, clusters: 2, seed: 7, source: logr::SourceConfig::Sql }
 }
 
 fn serve(fs: Arc<FaultFs>, budget: usize, interval: Duration) -> ServerHandle {
@@ -385,6 +385,81 @@ fn served_stores_are_bit_identical_to_standalone_engines() {
             assert_eq!(Some(bytes), solo.get(name), "{tenant}: {} differs", name.display());
         }
     }
+}
+
+#[test]
+fn template_tenants_mine_free_form_logs_over_the_wire() {
+    let fs = Arc::new(FaultFs::new());
+    let handle = serve(fs, usize::MAX, Duration::from_millis(2));
+    let mut c = Client::connect(handle.addr());
+
+    // Two windows of free-form service-log lines — not a byte of SQL —
+    // through the source-neutral `records` field. The first frame's
+    // "source":"template" selects the miner at store creation.
+    for round in 0..2u64 {
+        let lines: Vec<String> = (0..WINDOW)
+            .map(|i| {
+                let n = round * WINDOW + i;
+                if n.is_multiple_of(2) {
+                    format!("\"user u{n} logged in from 10.0.0.{n}\"")
+                } else {
+                    format!("\"disk scan finished in {n} ms\"")
+                }
+            })
+            .collect();
+        let result = c.ok(&format!(
+            "{{\"op\":\"ingest\",\"tenant\":\"svc\",\"source\":\"template\",\"records\":[{}]}}",
+            lines.join(",")
+        ));
+        assert_eq!(field_u64(&result, "closed"), 1);
+    }
+
+    // The analytics surface speaks template/param classes and preds.
+    let top = c.ok("{\"op\":\"top_k\",\"tenant\":\"svc\",\"class\":\"template\",\"k\":4}");
+    let top = top.as_arr().expect("top_k is an array");
+    assert!(!top.is_empty(), "mined templates must rank");
+    let texts: Vec<&str> = top
+        .iter()
+        .filter_map(|r| r.get("feature").and_then(|f| f.get("text")).and_then(Json::as_str))
+        .collect();
+    assert!(texts.iter().any(|t| t.contains("logged in")), "login template missing from {texts:?}");
+
+    let ip_share = c
+        .ok("{\"op\":\"share\",\"tenant\":\"svc\",\"pred\":{\"param\":\"ip\"}}")
+        .as_f64()
+        .expect("share is a number");
+    assert!((ip_share - 0.5).abs() < 0.05, "half the lines carry an IP, got {ip_share}");
+
+    // Negated predicates evaluate as mixture complements on the wire.
+    let not_ip = c
+        .ok("{\"op\":\"share\",\"tenant\":\"svc\",\"pred\":{\"not\":{\"param\":\"ip\"}}}")
+        .as_f64()
+        .expect("share is a number");
+    assert!((not_ip - (1.0 - ip_share)).abs() < 1e-6, "¬ip must complement: {not_ip}");
+
+    // An explicit source that disagrees with the one in force is a typed
+    // protocol error, not a silent ignore.
+    assert_eq!(c.err("{\"op\":\"flush\",\"tenant\":\"svc\",\"source\":\"sql\"}"), "Protocol");
+
+    // Reopening the tenant replays the miner journal from the manifest:
+    // a frame with no source gets the stored template source back.
+    c.ok("{\"op\":\"close\",\"tenant\":\"svc\"}");
+    let top2 = c.ok("{\"op\":\"top_k\",\"tenant\":\"svc\",\"class\":\"template\",\"k\":4}");
+    let texts2: Vec<String> = top2
+        .as_arr()
+        .expect("top_k is an array")
+        .iter()
+        .filter_map(|r| r.get("feature").and_then(|f| f.get("text")).and_then(Json::as_str))
+        .map(str::to_owned)
+        .collect();
+    assert_eq!(
+        texts.iter().map(|t| t.to_owned()).collect::<Vec<_>>(),
+        texts2,
+        "reopened store must rank the same templates"
+    );
+
+    handle.shutdown();
+    handle.join().expect("clean shutdown");
 }
 
 #[test]

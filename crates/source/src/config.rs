@@ -1,0 +1,126 @@
+//! Source configuration: which featurizer a stream runs, and the template
+//! miner's tuning knobs. Everything here is `Copy` so the engine's
+//! `StreamConfig` stays `Copy` and manifests encode a fixed-size blob.
+
+use crate::sql::SqlFeaturizer;
+use crate::template::TemplateMiner;
+use crate::Featurizer;
+
+/// Tuning knobs for the Drain-style [`TemplateMiner`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TemplateConfig {
+    /// Number of token-prefix levels in the parse tree below the length
+    /// level. Deeper trees split leaf groups more aggressively.
+    pub depth: usize,
+    /// Maximum children per internal tree node; once full, unseen keys
+    /// route to the `<*>` fallback child.
+    pub max_children: usize,
+    /// Similarity threshold in (0, 1]: a record joins the leaf template
+    /// maximizing the fraction of exactly-equal tokens iff that fraction
+    /// reaches this threshold; otherwise it seeds a new template.
+    pub similarity: f64,
+}
+
+impl Default for TemplateConfig {
+    fn default() -> Self {
+        TemplateConfig { depth: 2, max_children: 16, similarity: 0.5 }
+    }
+}
+
+impl TemplateConfig {
+    /// Validate the knobs.
+    pub fn validate(&self) -> Result<(), &'static str> {
+        if self.depth == 0 {
+            return Err("template source: depth must be at least 1");
+        }
+        if self.depth > 8 {
+            return Err("template source: depth must be at most 8");
+        }
+        if self.max_children < 2 {
+            return Err("template source: max_children must be at least 2");
+        }
+        if !(self.similarity > 0.0 && self.similarity <= 1.0) {
+            return Err("template source: similarity must be in (0, 1]");
+        }
+        Ok(())
+    }
+}
+
+/// Which featurizer a stream runs. Stored in the engine manifest; on
+/// resume the stored configuration wins, so a summary built by the
+/// template miner can never be reopened through the SQL path.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub enum SourceConfig {
+    /// Parse → anonymize → regularize → Aligon features (the paper's
+    /// pipeline; the default).
+    #[default]
+    Sql,
+    /// Drain-style online template mining for free-form service logs.
+    Template(TemplateConfig),
+}
+
+impl SourceConfig {
+    /// Template source with default knobs.
+    pub fn template() -> Self {
+        SourceConfig::Template(TemplateConfig::default())
+    }
+
+    /// Stable identifier matching [`Featurizer::kind`].
+    pub fn kind(&self) -> &'static str {
+        match self {
+            SourceConfig::Sql => "sql",
+            SourceConfig::Template(_) => "template",
+        }
+    }
+
+    /// Validate the configuration.
+    pub fn validate(&self) -> Result<(), &'static str> {
+        match self {
+            SourceConfig::Sql => Ok(()),
+            SourceConfig::Template(t) => t.validate(),
+        }
+    }
+
+    /// Build a fresh featurizer for this configuration.
+    // lint:allow(typed-errors): `Box<dyn Featurizer>` is the pluggable-source trait object, not an error type
+    pub fn featurizer(&self) -> Box<dyn Featurizer> {
+        match self {
+            SourceConfig::Sql => Box::new(SqlFeaturizer::default()),
+            SourceConfig::Template(t) => Box::new(TemplateMiner::new(*t)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_validate() {
+        assert_eq!(SourceConfig::default(), SourceConfig::Sql);
+        assert!(SourceConfig::default().validate().is_ok());
+        assert!(SourceConfig::template().validate().is_ok());
+    }
+
+    #[test]
+    fn bad_knobs_rejected() {
+        let bad = [
+            TemplateConfig { depth: 0, ..TemplateConfig::default() },
+            TemplateConfig { depth: 9, ..TemplateConfig::default() },
+            TemplateConfig { max_children: 1, ..TemplateConfig::default() },
+            TemplateConfig { similarity: 0.0, ..TemplateConfig::default() },
+            TemplateConfig { similarity: 1.5, ..TemplateConfig::default() },
+            TemplateConfig { similarity: f64::NAN, ..TemplateConfig::default() },
+        ];
+        for cfg in bad {
+            assert!(SourceConfig::Template(cfg).validate().is_err(), "{cfg:?} must fail");
+        }
+    }
+
+    #[test]
+    fn kinds_match_featurizers() {
+        for cfg in [SourceConfig::Sql, SourceConfig::template()] {
+            assert_eq!(cfg.kind(), cfg.featurizer().kind());
+        }
+    }
+}

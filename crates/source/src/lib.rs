@@ -1,0 +1,222 @@
+//! Pluggable log sources for LogR.
+//!
+//! The paper's pipeline is *record → anonymized feature branches → bag of
+//! feature vectors*. Only the first hop is SQL-specific; everything
+//! downstream (windows, drift, clustering, spill, analytics) operates on
+//! feature vectors. This crate makes that first hop a trait so the same
+//! engine summarizes free-form service logs:
+//!
+//! * [`Featurizer`] — the record → feature-branch mapping, with journal
+//!   hooks so an online miner's state rides the engine's manifest and
+//!   delta log and recovery stays bit-identical;
+//! * [`SqlFeaturizer`] — the original path (parse → anonymize →
+//!   regularize → Aligon features), now one implementation among several;
+//! * [`TemplateMiner`] — a Drain-style fixed-depth parse tree that mines
+//!   message templates online and emits ⟨template, TEMPLATE⟩ plus
+//!   ⟨class, PARAM⟩ features for each record;
+//! * [`LogSource`] / [`Record`] — a pull interface for feeding records
+//!   from memory (files are read through the engine's VFS by callers).
+//!
+//! # Determinism contract
+//!
+//! A [`Featurizer`] must be a pure function of *(replayed journal, input
+//! text)*: after [`Featurizer::replay`] of an exported journal, every
+//! already-seen text must featurize exactly as it did live, and every new
+//! text must featurize as it would have on the uninterrupted run. The
+//! [`TemplateMiner`] achieves this by journaling first-seen texts and
+//! memoizing their full feature result; replay re-mines the journal
+//! through the same code path instead of deserializing derived state.
+
+pub mod config;
+mod journal;
+pub mod sql;
+pub mod template;
+
+use std::fmt;
+
+use logr_feature::Feature;
+
+pub use config::{SourceConfig, TemplateConfig};
+pub use sql::SqlFeaturizer;
+pub use template::TemplateMiner;
+
+/// Error raised when persisted featurizer state cannot be replayed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SourceError {
+    /// The journal bytes are structurally invalid (truncated frame,
+    /// non-UTF-8 text) or belong to a different featurizer kind.
+    CorruptJournal {
+        /// Human-readable description of the failure.
+        detail: String,
+    },
+}
+
+impl fmt::Display for SourceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SourceError::CorruptJournal { detail } => {
+                write!(f, "corrupt featurizer journal: {detail}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SourceError {}
+
+/// One featurization branch: the features of a single conjunctive branch
+/// of a record. SQL statements may regularize into several branches
+/// (UNION arms); mined service-log records always produce exactly one.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FeatureBranch {
+    /// Features in extraction order (interning order matters: the stream
+    /// layer interns them in sequence to reproduce historical codebooks).
+    pub features: Vec<Feature>,
+}
+
+impl FeatureBranch {
+    /// Construct a branch from features in extraction order.
+    pub fn new(features: Vec<Feature>) -> Self {
+        FeatureBranch { features }
+    }
+}
+
+/// Record → anonymized feature branches, with journaled state.
+///
+/// Stateless implementations (SQL) export an empty journal. Stateful
+/// miners journal whatever inputs are needed to reproduce their state by
+/// replay — see the crate docs for the determinism contract.
+pub trait Featurizer: fmt::Debug + Send {
+    /// Short stable identifier ("sql", "template") stored in the manifest
+    /// so resume can verify the configured source matches the state.
+    fn kind(&self) -> &'static str;
+
+    /// Featurize one raw record. Unparseable / empty records yield no
+    /// branches (the stream layer counts them as parse failures).
+    fn featurize(&mut self, text: &str) -> Vec<FeatureBranch>;
+
+    /// Export the full journal: replaying these bytes into a fresh
+    /// featurizer of the same kind reproduces `self` exactly.
+    fn export_journal(&self) -> Vec<u8>;
+
+    /// Drain the journal increment accrued since the previous drain (or
+    /// construction). Concatenating every drained increment, in order,
+    /// yields the full journal — this is what lets miner state ride the
+    /// engine's delta log with O(window) appends.
+    fn drain_events(&mut self) -> Vec<u8>;
+
+    /// Replay journal bytes (a full journal or a concatenation of drained
+    /// increments appended to the already-replayed prefix). Idempotent for
+    /// texts already seen.
+    fn replay(&mut self, bytes: &[u8]) -> Result<(), SourceError>;
+}
+
+/// A raw record pulled from a [`LogSource`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Record {
+    /// Raw record text (a SQL statement or a service-log line).
+    pub text: String,
+    /// Multiplicity (pre-aggregated sources may carry counts > 1).
+    pub count: u64,
+    /// Event timestamp in milliseconds, if the source has one.
+    pub ts_ms: Option<u64>,
+}
+
+impl Record {
+    /// A single occurrence with no timestamp.
+    pub fn new(text: impl Into<String>) -> Self {
+        Record { text: text.into(), count: 1, ts_ms: None }
+    }
+
+    /// Attach an event timestamp.
+    pub fn at(mut self, ts_ms: u64) -> Self {
+        self.ts_ms = Some(ts_ms);
+        self
+    }
+
+    /// Set the multiplicity.
+    pub fn times(mut self, count: u64) -> Self {
+        self.count = count;
+        self
+    }
+}
+
+/// A pull source of raw records. Object-safe so ingestion loops can hold
+/// heterogeneous sources behind `Box<dyn LogSource>`.
+pub trait LogSource: fmt::Debug {
+    /// Next record, or `None` when the source is exhausted.
+    fn next_record(&mut self) -> Option<Record>;
+}
+
+/// In-memory [`LogSource`] over a vector of records.
+#[derive(Debug, Clone, Default)]
+pub struct VecSource {
+    records: std::collections::VecDeque<Record>,
+}
+
+impl VecSource {
+    /// Source over pre-built records.
+    pub fn new(records: impl IntoIterator<Item = Record>) -> Self {
+        VecSource { records: records.into_iter().collect() }
+    }
+
+    /// Source over the non-blank lines of a text blob (one record per
+    /// line, count 1, no timestamp). Callers that want file-backed
+    /// sources read the bytes through the engine's VFS and pass the text
+    /// here — this crate never touches the filesystem.
+    pub fn from_lines(text: &str) -> Self {
+        VecSource {
+            records: text
+                .lines()
+                .map(str::trim)
+                .filter(|l| !l.is_empty())
+                .map(Record::new)
+                .collect(),
+        }
+    }
+
+    /// Remaining record count.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// True when no records remain.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+}
+
+impl LogSource for VecSource {
+    fn next_record(&mut self) -> Option<Record> {
+        self.records.pop_front()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn vec_source_yields_in_order() {
+        let mut s = VecSource::new([Record::new("a"), Record::new("b").times(3).at(7)]);
+        assert_eq!(s.len(), 2);
+        assert_eq!(s.next_record().unwrap().text, "a");
+        let b = s.next_record().unwrap();
+        assert_eq!((b.text.as_str(), b.count, b.ts_ms), ("b", 3, Some(7)));
+        assert!(s.next_record().is_none());
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn from_lines_skips_blanks() {
+        let mut s = VecSource::from_lines("one\n\n  \ntwo  \n");
+        assert_eq!(s.len(), 2);
+        assert_eq!(s.next_record().unwrap().text, "one");
+        assert_eq!(s.next_record().unwrap().text, "two");
+    }
+
+    #[test]
+    fn source_error_displays_detail() {
+        let e = SourceError::CorruptJournal { detail: "truncated frame".into() };
+        assert!(e.to_string().contains("truncated frame"));
+    }
+}

@@ -44,7 +44,7 @@ fn main() -> Result<(), ServerError> {
     // windows, 256 KiB of resident shard budget shared by all tenants,
     // fsyncs coalesced across tenants every 5 ms.
     let config = ServerConfig::new(&dir)
-        .profile(EngineProfile { window: 16, clusters: 2, seed: 42 })
+        .profile(EngineProfile { window: 16, clusters: 2, seed: 42, ..EngineProfile::default() })
         .global_budget(256 * 1024)
         .threads(2)
         .commit_interval(Duration::from_millis(5));

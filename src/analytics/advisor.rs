@@ -21,6 +21,7 @@
 
 use super::query::WorkloadView;
 use crate::error::Error;
+use logr_core::interpret::{render_ranked, RenderConfig};
 use logr_core::LogRSummary;
 use logr_feature::{Feature, FeatureClass, LogIngest, QueryVector};
 use std::sync::Arc;
@@ -62,6 +63,45 @@ pub struct Advice {
     /// index and view advice, conditional probability `p(f | partial)`
     /// for recommendations.
     pub share: f64,
+}
+
+impl Advice {
+    /// One DBA-facing report line, rendered through
+    /// [`logr_core::interpret::render_ranked`] so advisor reports share
+    /// the summary renderer's conventions exactly — the same quartile
+    /// shade glyph and `[NN.N%]` annotation Fig. 1-style summaries use.
+    /// The action verb comes from [`Advice::kind`]; the percentage is
+    /// [`Advice::share`] (for drift picks: divergence over the `ln 2`
+    /// ceiling).
+    pub fn render(&self) -> String {
+        let action = match self.kind {
+            AdviceKind::Index => format!("index {}", self.subject),
+            AdviceKind::MaterializedView => format!("materialize {}", self.subject),
+            AdviceKind::Recommendation => format!("extend with {}", self.subject),
+            AdviceKind::Drift => format!("drift: {}", self.subject),
+            // `AdviceKind` is non_exhaustive for wire evolution; an
+            // unmapped kind still renders its subject.
+            #[allow(unreachable_patterns)]
+            _ => self.subject.clone(),
+        };
+        // Advice already cleared its advisor's threshold: render every
+        // line (no second `min_marginal` cut here).
+        render_ranked(
+            &[(action, self.share)],
+            &RenderConfig { min_marginal: 0.0, ..RenderConfig::default() },
+        )
+    }
+}
+
+/// A whole advisor report as DBA-facing text: one [`Advice::render`]
+/// line per pick, in the advisor's ranking order. Empty advice renders
+/// the literal line `"(no advice)"` so piping a report somewhere never
+/// produces silent emptiness.
+pub fn render_report(advice: &[Advice]) -> String {
+    if advice.is_empty() {
+        return "(no advice)".to_owned();
+    }
+    advice.iter().map(|a| a.render()).collect::<Vec<_>>().join("\n")
 }
 
 /// A workload analytic over a compressed summary. Implementations are

@@ -6,15 +6,18 @@
 //! surface those consumers share:
 //!
 //! * [`Pred`] + [`WorkloadQuery`] — class-aware predicates
-//!   ([`Pred::table`], [`Pred::column_eq`], [`Pred::joins`], `and`/`or`)
-//!   evaluated against any summary: [`WorkloadQuery::frequency`],
-//!   [`WorkloadQuery::conditional`], [`WorkloadQuery::cooccurrence`],
-//!   [`WorkloadQuery::top_k`]. Unknown features are typed
-//!   [`crate::Error::UnknownFeature`] errors, never silent zeros.
+//!   ([`Pred::table`], [`Pred::column_eq`], [`Pred::joins`],
+//!   `and`/`or`/`not`) evaluated against any summary:
+//!   [`WorkloadQuery::frequency`], [`WorkloadQuery::conditional`],
+//!   [`WorkloadQuery::cooccurrence`], [`WorkloadQuery::top_k`]. Unknown
+//!   features are typed [`crate::Error::UnknownFeature`] errors, never
+//!   silent zeros; negations estimate complements through the mixture.
 //! * [`Advisor`] — the pluggable analytic family, consuming any
 //!   [`WorkloadView`] (an [`crate::EngineSnapshot`], or a batch
 //!   [`SummaryView`]). Shipped: [`IndexAdvisor`], [`ViewAdvisor`],
-//!   [`QueryRecommender`], [`DriftAdvisor`].
+//!   [`QueryRecommender`], [`DriftAdvisor`] — all emitting DBA-facing
+//!   report text via [`Advice::render`] / [`render_report`], through
+//!   the same `logr_core::interpret` renderer as summary output.
 //!
 //! ## Quickstart
 //!
@@ -51,6 +54,7 @@ mod advisor;
 mod query;
 
 pub use advisor::{
-    Advice, AdviceKind, Advisor, DriftAdvisor, IndexAdvisor, QueryRecommender, ViewAdvisor,
+    render_report, Advice, AdviceKind, Advisor, DriftAdvisor, IndexAdvisor, QueryRecommender,
+    ViewAdvisor,
 };
 pub use query::{CoOccurrence, Pred, RankedFeature, SummaryView, WorkloadQuery, WorkloadView};

@@ -7,8 +7,10 @@
 //!
 //! * [`Pred`] — a feature-class-aware predicate tree ([`Pred::table`],
 //!   [`Pred::column_eq`], [`Pred::joins`], …) with [`Pred::and`] /
-//!   [`Pred::or`] composition, resolved against the workload codebook with
-//!   typed [`Error::UnknownFeature`] errors instead of silent zeros;
+//!   [`Pred::or`] / [`Pred::not`] composition, resolved against the
+//!   workload codebook with typed [`Error::UnknownFeature`] errors
+//!   instead of silent zeros (negations evaluate as mixture
+//!   complements, parity-checked against `total − frequency`);
 //! * [`WorkloadQuery`] — the evaluator offering [`WorkloadQuery::frequency`]
 //!   (single-term predicates are **bit-identical** to the classic
 //!   `estimate_count_features` path; ORs resolve by inclusion–exclusion
@@ -36,13 +38,14 @@ const MAX_BRANCHES: usize = 12;
 /// whose FROM clause includes `accounts`, whatever else it touches).
 ///
 /// Build leaves with the class-aware constructors and compose with
-/// [`Pred::and`] / [`Pred::or`]:
+/// [`Pred::and`] / [`Pred::or`] / [`Pred::not`]:
 ///
 /// ```
 /// use logr::analytics::Pred;
 /// let hot = Pred::table("messages").and(Pred::column_eq("status"));
 /// let either = Pred::table("accounts").or(Pred::table("ledger"));
-/// # let _ = (hot, either);
+/// let cold = Pred::table("messages").not().and(Pred::table("accounts"));
+/// # let _ = (hot, either, cold);
 /// ```
 ///
 /// Predicates are resolved against a codebook only at evaluation time, so
@@ -56,6 +59,13 @@ pub enum Pred {
     And(Vec<Pred>),
     /// At least one branch holds.
     Or(Vec<Pred>),
+    /// The branch does not hold. Negation is pushed to the leaves at
+    /// resolution time (De Morgan), and each negated feature evaluates
+    /// as a complement *through the mixture*:
+    /// `est(P ∧ ¬n) = est(P) − est(P ∪ {n})`, generalized to any number
+    /// of negated features by signed (inclusion–exclusion) sums — never
+    /// by consulting the raw log.
+    Not(Box<Pred>),
 }
 
 impl Pred {
@@ -85,6 +95,21 @@ impl Pred {
     /// non-equality predicates, e.g. `"posted_at >= ?"`).
     pub fn where_atom(text: impl Into<String>) -> Pred {
         Pred::Feature(Feature::where_atom(text))
+    }
+
+    /// ⟨template, TEMPLATE⟩ leaf: the record matched this mined template
+    /// (the [`crate::SourceConfig::Template`] source's analogue of
+    /// [`Pred::table`] — `text` is the template's creation-time text,
+    /// e.g. `"user <*> logged in from <*>"`).
+    pub fn template(text: impl Into<String>) -> Pred {
+        Pred::Feature(Feature::template(text))
+    }
+
+    /// ⟨param-class, PARAM⟩ leaf: the record carried a parameter of this
+    /// class (`"num"`, `"ip"`, `"uuid"`, `"hex"`, `"path"`, `"id"`, or
+    /// `"str"`).
+    pub fn param(text: impl Into<String>) -> Pred {
+        Pred::Feature(Feature::param(text))
     }
 
     /// Join predicate: both tables appear in the FROM clause —
@@ -123,6 +148,24 @@ impl Pred {
         }
     }
 
+    /// `NOT self` — the complement predicate. Double negation is
+    /// collapsed immediately (`p.not().not() == p`), so chained calls
+    /// cannot grow the tree.
+    ///
+    /// ```
+    /// use logr::analytics::Pred;
+    /// let cold = Pred::table("messages").not();
+    /// assert_eq!(Pred::table("messages").not().not(), Pred::table("messages"));
+    /// # let _ = cold;
+    /// ```
+    #[allow(clippy::should_implement_trait)] // prose-reading builder, like `and`/`or`
+    pub fn not(self) -> Pred {
+        match self {
+            Pred::Not(inner) => *inner,
+            p => Pred::Not(Box::new(p)),
+        }
+    }
+
     /// `self OR other` (flattens nested ORs).
     pub fn or(self, other: Pred) -> Pred {
         match (self, other) {
@@ -143,54 +186,119 @@ impl Pred {
     }
 
     /// Resolve to disjunctive normal form over codebook ids: a union of
-    /// conjunctive feature patterns, each a [`QueryVector`]. A leaf
-    /// feature absent from the codebook is [`Error::UnknownFeature`]; a
-    /// tree whose DNF exceeds [`MAX_BRANCHES`] branches is
-    /// [`Error::Config`].
-    fn resolve(&self, codebook: &Codebook) -> Result<Vec<QueryVector>, Error> {
-        let dnf = match self {
-            Pred::Feature(f) => {
-                let id =
-                    codebook.get(f).ok_or_else(|| Error::UnknownFeature { feature: f.clone() })?;
-                vec![QueryVector::new(vec![id])]
-            }
-            Pred::And(branches) => {
-                let mut acc = vec![QueryVector::empty()];
-                for branch in branches {
-                    let terms = branch.resolve(codebook)?;
-                    let mut next = Vec::with_capacity(acc.len() * terms.len());
-                    for left in &acc {
-                        for term in &terms {
-                            next.push(left.union(term));
-                        }
-                    }
-                    if next.len() > MAX_BRANCHES {
-                        return Err(too_many_branches());
-                    }
-                    acc = next;
-                }
-                acc
-            }
-            Pred::Or(branches) => {
-                let mut acc = Vec::new();
-                for branch in branches {
-                    acc.extend(branch.resolve(codebook)?);
-                    if acc.len() > MAX_BRANCHES {
-                        return Err(too_many_branches());
-                    }
-                }
-                acc
-            }
-        };
-        // Identical conjunctions are redundant under union; drop them so
+    /// [`SignedBranch`]es, each a conjunction of required features plus
+    /// forbidden (negated) features. Negations are pushed to the leaves
+    /// by De Morgan on the way down, so the only negative literals are
+    /// single features. A leaf feature absent from the codebook is
+    /// [`Error::UnknownFeature`] (negated or not); a tree whose DNF
+    /// exceeds [`MAX_BRANCHES`] branches — or that negates more than
+    /// [`MAX_BRANCHES`] distinct features — is [`Error::Config`].
+    fn resolve(&self, codebook: &Codebook) -> Result<Vec<SignedBranch>, Error> {
+        let dnf = self.resolve_nnf(codebook, false)?;
+        // Identical branches are redundant under union; drop them so
         // inclusion–exclusion does not cancel a term against itself.
-        let mut deduped: Vec<QueryVector> = Vec::with_capacity(dnf.len());
+        let mut deduped: Vec<SignedBranch> = Vec::with_capacity(dnf.len());
         for term in dnf {
             if !deduped.contains(&term) {
                 deduped.push(term);
             }
         }
+        // The signed evaluation of one branch is 2^|neg| mixture calls;
+        // bound the *union* of negated features so no intersection of
+        // branches can exceed it either.
+        let mut negated: Vec<FeatureId> = Vec::new();
+        for branch in &deduped {
+            for &id in &branch.neg {
+                if !negated.contains(&id) {
+                    negated.push(id);
+                }
+            }
+        }
+        if negated.len() > MAX_BRANCHES {
+            return Err(Error::Config {
+                detail: "predicate negates too many distinct features (limit 12)",
+            });
+        }
         Ok(deduped)
+    }
+
+    /// [`Pred::resolve`]'s worker: negation-normal-form descent.
+    /// `negated` flips at every `Not` (De Morgan swaps And/Or under it).
+    fn resolve_nnf(&self, codebook: &Codebook, negated: bool) -> Result<Vec<SignedBranch>, Error> {
+        match self {
+            Pred::Feature(f) => {
+                let id =
+                    codebook.get(f).ok_or_else(|| Error::UnknownFeature { feature: f.clone() })?;
+                Ok(vec![if negated {
+                    SignedBranch { pos: QueryVector::empty(), neg: vec![id] }
+                } else {
+                    SignedBranch { pos: QueryVector::new(vec![id]), neg: Vec::new() }
+                }])
+            }
+            Pred::Not(inner) => inner.resolve_nnf(codebook, !negated),
+            // ¬(A ∧ B) = ¬A ∨ ¬B and ¬(A ∨ B) = ¬A ∧ ¬B: under
+            // negation the two connectives trade places.
+            Pred::And(branches) if !negated => Self::conjoin(branches, codebook, negated),
+            Pred::Or(branches) if negated => Self::conjoin(branches, codebook, negated),
+            Pred::And(branches) | Pred::Or(branches) => {
+                let mut acc = Vec::new();
+                for branch in branches {
+                    acc.extend(branch.resolve_nnf(codebook, negated)?);
+                    if acc.len() > MAX_BRANCHES {
+                        return Err(too_many_branches());
+                    }
+                }
+                Ok(acc)
+            }
+        }
+    }
+
+    /// Distribute a conjunction of sub-predicates over their DNFs.
+    fn conjoin(
+        branches: &[Pred],
+        codebook: &Codebook,
+        negated: bool,
+    ) -> Result<Vec<SignedBranch>, Error> {
+        let mut acc = vec![SignedBranch { pos: QueryVector::empty(), neg: Vec::new() }];
+        for branch in branches {
+            let terms = branch.resolve_nnf(codebook, negated)?;
+            let mut next = Vec::with_capacity(acc.len() * terms.len());
+            for left in &acc {
+                for term in &terms {
+                    next.push(left.intersect(term));
+                }
+            }
+            if next.len() > MAX_BRANCHES {
+                return Err(too_many_branches());
+            }
+            acc = next;
+        }
+        Ok(acc)
+    }
+}
+
+/// One conjunctive branch of a resolved predicate: the query must
+/// contain every feature in `pos` and none of the features in `neg`.
+/// A branch with a feature in both is unsatisfiable — its signed
+/// estimate cancels to exactly zero, so no special-casing is needed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct SignedBranch {
+    pos: QueryVector,
+    neg: Vec<FeatureId>,
+}
+
+impl SignedBranch {
+    /// The conjunction of two branches: required sets union, forbidden
+    /// sets union (kept sorted and deduplicated).
+    fn intersect(&self, other: &SignedBranch) -> SignedBranch {
+        let mut neg = self.neg.clone();
+        for &id in &other.neg {
+            if !neg.contains(&id) {
+                neg.push(id);
+            }
+        }
+        neg.sort_unstable();
+        SignedBranch { pos: self.pos.union(&other.pos), neg }
     }
 }
 
@@ -350,30 +458,61 @@ impl<'a> WorkloadQuery<'a> {
     /// Estimated number of workload queries satisfying `pred` (the §6.2
     /// mixture estimator). Purely conjunctive predicates evaluate as one
     /// pattern — for a single feature this is **bit-identical** to the
-    /// classic `estimate_count_features` path — and ORs resolve by
-    /// inclusion–exclusion over the predicate's conjunctive branches.
+    /// classic `estimate_count_features` path — ORs resolve by
+    /// inclusion–exclusion over the predicate's conjunctive branches,
+    /// and negations resolve as mixture complements
+    /// (`est(¬p) = est(⊤) − est(p)`, where the empty pattern estimates
+    /// the mixture's own total) via signed sums over each branch's
+    /// forbidden features.
     pub fn frequency(&self, pred: &Pred) -> Result<f64, Error> {
         let dnf = pred.resolve(self.codebook)?;
         match dnf.as_slice() {
             [] => Ok(0.0),
-            [term] => Ok(self.summary.estimate_count(term)),
-            terms => {
-                // est[⋃ terms] by inclusion–exclusion; a subset's
-                // intersection pattern is the union of its feature sets.
+            [branch] => Ok(self.signed_estimate(branch)),
+            branches => {
+                // est[⋃ branches] by inclusion–exclusion; a subset's
+                // intersection is the union of its required and
+                // forbidden feature sets.
                 let mut est = 0.0;
-                for mask in 1u32..(1 << terms.len()) {
-                    let mut pattern = QueryVector::empty();
-                    for (i, term) in terms.iter().enumerate() {
+                for mask in 1u32..(1 << branches.len()) {
+                    let mut pattern: Option<SignedBranch> = None;
+                    for (i, branch) in branches.iter().enumerate() {
                         if mask & (1 << i) != 0 {
-                            pattern = pattern.union(term);
+                            pattern = Some(match &pattern {
+                                None => branch.clone(),
+                                Some(p) => p.intersect(branch),
+                            });
                         }
                     }
                     let sign = if mask.count_ones() % 2 == 1 { 1.0 } else { -1.0 };
-                    est += sign * self.summary.estimate_count(&pattern);
+                    if let Some(p) = pattern {
+                        est += sign * self.signed_estimate(&p);
+                    }
                 }
                 Ok(est)
             }
         }
+    }
+
+    /// Mixture estimate of one signed branch:
+    /// `est(P ∧ ¬n₁ ∧ … ∧ ¬nₖ) = Σ_{S ⊆ N} (−1)^|S| · est(P ∪ S)` —
+    /// the inclusion–exclusion complement, evaluated entirely through
+    /// the mixture. The empty pattern estimates the mixture total (each
+    /// component contributes its whole weight), which is exactly the
+    /// `est(⊤)` the complement needs.
+    fn signed_estimate(&self, branch: &SignedBranch) -> f64 {
+        let mut est = 0.0;
+        for mask in 0u32..(1 << branch.neg.len()) {
+            let mut pattern = branch.pos.clone();
+            for (i, &id) in branch.neg.iter().enumerate() {
+                if mask & (1 << i) != 0 {
+                    pattern = pattern.union(&QueryVector::new(vec![id]));
+                }
+            }
+            let sign = if mask.count_ones() % 2 == 1 { -1.0 } else { 1.0 };
+            est += sign * self.summary.estimate_count(&pattern);
+        }
+        est
     }
 
     /// `frequency(pred) / total_queries` — the share of the workload
@@ -516,6 +655,64 @@ mod tests {
             Err(Error::Config { .. }) => {}
             other => panic!("expected Config error, got {other:?}"),
         }
+    }
+
+    #[test]
+    fn negation_matches_the_complement_estimate() {
+        // The satellite parity contract: for every single feature f,
+        // frequency(¬f) must equal total − frequency(f) — i.e. share(¬f)
+        // = 1 − share(f) — with the complement computed entirely through
+        // the mixture (est(∅) is the mixture total, never the raw log).
+        let log = demo_log();
+        let summary = LogR::with_clusters(2).compress(&log);
+        let q = WorkloadQuery::new(summary.clone(), &log);
+        let top = summary.estimate_count(&QueryVector::empty());
+        assert!((top - 40.0).abs() < 1e-9, "empty pattern must estimate the total, got {top}");
+        for (_, feature) in log.codebook().iter() {
+            let p = Pred::feature(feature.clone());
+            let f = q.frequency(&p).unwrap();
+            let not_f = q.frequency(&p.clone().not()).unwrap();
+            assert!(
+                (not_f - (top - f)).abs() < 1e-9,
+                "feature {feature}: ¬f = {not_f}, total − f = {}",
+                top - f
+            );
+            let parity = q.share(&p).unwrap() + q.share(&p.not()).unwrap();
+            assert!((parity - 1.0).abs() < 1e-9, "feature {feature}: shares sum to {parity}");
+        }
+    }
+
+    #[test]
+    fn negation_composes_through_and_or() {
+        let log = demo_log();
+        let summary = LogR::with_clusters(2).compress(&log);
+        let q = WorkloadQuery::new(summary, &log);
+        let messages = Pred::table("messages");
+        let accounts = Pred::table("accounts");
+        // The two tables partition the workload: accounts ∧ ¬messages is
+        // all of accounts, and messages ∧ ¬messages is a contradiction
+        // whose signed sum cancels to exactly zero.
+        let acc_only = q.frequency(&accounts.clone().and(messages.clone().not())).unwrap();
+        let acc = q.frequency(&accounts.clone()).unwrap();
+        assert!((acc_only - acc).abs() < 1e-9, "acc_only = {acc_only}, acc = {acc}");
+        let never = q.frequency(&messages.clone().and(messages.clone().not())).unwrap();
+        assert_eq!(never, 0.0);
+        // De Morgan: ¬(a ∨ b) = ¬a ∧ ¬b — both spellings resolve to the
+        // same branches, so the estimates agree exactly.
+        let neither = q.frequency(&messages.clone().or(accounts.clone()).not()).unwrap();
+        let de_morgan = q.frequency(&messages.clone().not().and(accounts.clone().not())).unwrap();
+        assert!((neither - de_morgan).abs() < 1e-12);
+        // ...and the two tables cover everything, so "neither" is empty.
+        assert!(neither.abs() < 1e-9, "neither = {neither}");
+        // Double negation is the identity, bit for bit.
+        let f = q.frequency(&messages.clone()).unwrap();
+        let ff = q.frequency(&messages.clone().not().not()).unwrap();
+        assert_eq!(f.to_bits(), ff.to_bits());
+        // A negated unknown feature is still a typed error, not zero.
+        assert!(matches!(
+            q.frequency(&Pred::table("nope").not()),
+            Err(Error::UnknownFeature { .. })
+        ));
     }
 
     #[test]

@@ -32,8 +32,8 @@ use logr_cluster::vfs::{self, retry_io, Vfs};
 use logr_cluster::{Distance, ShardedPointSet, SpillConfig};
 use logr_core::PortableSummary;
 use logr_core::{
-    CompressionObjective, DriftReport, LogR, LogRSummary, StreamConfig, StreamSummarizer,
-    TimeWindows, WindowSummary,
+    CompressionObjective, DriftReport, LogR, LogRSummary, SourceConfig, StreamConfig,
+    StreamSummarizer, TimeWindows, WindowSummary,
 };
 use logr_feature::{Codebook, Feature, QueryLog};
 use std::path::{Path, PathBuf};
@@ -106,6 +106,16 @@ impl EngineBuilder {
     /// RNG seed threaded into clustering.
     pub fn seed(mut self, seed: u64) -> Self {
         self.stream.seed = seed;
+        self
+    }
+
+    /// The record → feature source (see [`SourceConfig`]): SQL feature
+    /// extraction by default, or the Drain-style template miner for
+    /// free-form service logs. On [`EngineBuilder::resume`] the stored
+    /// source always wins — the manifest's featurizer journal only
+    /// replays through the configuration that wrote it.
+    pub fn source(mut self, source: SourceConfig) -> Self {
+        self.stream.source = source;
         self
     }
 
@@ -281,7 +291,15 @@ impl EngineBuilder {
                 ),
             });
         }
-        let summarizer = StreamSummarizer::from_state(m.config, m.state, shards);
+        // A checksum-valid manifest can still carry a featurizer journal
+        // the miner cannot replay (hand-edited store, foreign writer) —
+        // recovery rejects it as data, never a panic.
+        let summarizer =
+            StreamSummarizer::try_from_state(m.config, m.state, shards).map_err(|e| {
+                Error::CorruptManifest {
+                    detail: format!("stored featurizer journal failed to replay: {e}"),
+                }
+            })?;
         // Garbage-collect shard files the manifest no longer references
         // (left behind by compactions — see `Engine::compact`). Recovery
         // is the one moment no live snapshot can be holding them: the
@@ -555,6 +573,11 @@ impl EngineSnapshot {
     /// Windows closed when the snapshot was taken.
     pub fn windows_closed(&self) -> usize {
         self.windows_closed
+    }
+
+    /// The source (featurizer) configuration the engine runs.
+    pub fn source(&self) -> SourceConfig {
+        self.config.source
     }
 
     /// Total queries seen (absorbed history plus the open window's
@@ -867,6 +890,28 @@ impl Engine {
         self.after_ingest(&mut st, closed)
     }
 
+    /// Ingest one raw record through the engine's configured source
+    /// (multiplicity 1) — [`Engine::ingest`]'s source-agnostic twin. On
+    /// a template-source engine the record is a free-form service-log
+    /// line; on an SQL-source engine the two entry points are
+    /// interchangeable. Error semantics are those of [`Engine::ingest`].
+    pub fn ingest_record(&self, text: &str) -> Result<Option<Arc<WindowSummary>>, Error> {
+        self.ingest_record_with_count(text, 1)
+    }
+
+    /// Ingest one raw record occurring `count` times through the
+    /// engine's configured source.
+    pub fn ingest_record_with_count(
+        &self,
+        text: &str,
+        count: u64,
+    ) -> Result<Option<Arc<WindowSummary>>, Error> {
+        self.check_writable()?;
+        let mut st = self.state.lock().map_err(|_| Error::Poisoned)?;
+        let closed = st.summarizer.try_ingest_record_with_count(text, count)?;
+        self.after_ingest(&mut st, closed)
+    }
+
     /// Ingest one statement occurring `count` times at timestamp `ts_ms`
     /// (for time-based windows; see [`StreamSummarizer::ingest_at_ms`]).
     pub fn ingest_at_ms(
@@ -1015,6 +1060,7 @@ impl Engine {
             new_shard_files: shard_files[session.shard_files.len()..].to_vec(),
             n_features: shards.n_features(),
             total_points: shards.len(),
+            source_events: close.source_events,
         };
         match session.log.append_with(&*self.vfs, &dir, &record) {
             Ok(()) => {
@@ -1068,6 +1114,14 @@ impl Engine {
     /// Windows closed so far.
     pub fn windows_closed(&self) -> Result<usize, Error> {
         Ok(self.snapshot()?.windows_closed())
+    }
+
+    /// The source (featurizer) configuration the engine runs — the
+    /// builder's [`EngineBuilder::source`] on fresh stores, the
+    /// manifest's stored source after [`EngineBuilder::resume`].
+    pub fn source(&self) -> Result<SourceConfig, Error> {
+        let st = self.state.lock().map_err(|_| Error::Poisoned)?;
+        Ok(st.summarizer.config().source)
     }
 
     /// Total queries seen (absorbed plus buffered).

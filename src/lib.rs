@@ -55,6 +55,59 @@
 //! ([`core::StreamSummarizer`]) — and the engine is a thin, durable,
 //! lock-disciplined shell over exactly those pieces.
 //!
+//! ## Pluggable sources: beyond SQL
+//!
+//! The paper's pipeline — anonymize each record into feature sets,
+//! cluster, encode per-cluster naive mixtures — never actually requires
+//! SQL; SQL is just the featurizer the paper evaluates. The
+//! [`source`] crate (`logr-source`) makes that seam explicit: a
+//! [`source::Featurizer`] turns one raw record into anonymized feature
+//! branches, and everything downstream (windows, drift, spill,
+//! recovery, analytics) is source-agnostic. Two featurizers ship:
+//!
+//! * [`SourceConfig::Sql`] (default) — the paper's path: parse,
+//!   regularize, emit `⟨class, text⟩` features per conjunctive branch.
+//!   Byte-compatible with every pre-source store.
+//! * [`SourceConfig::Template`] — a Drain-style **template miner** for
+//!   free-form service logs: a fixed-depth parse tree buckets each line
+//!   by token count and leading tokens, matches it against leaf
+//!   templates by similarity, and promotes disagreeing positions to
+//!   `<*>` wildcards. Each line becomes one `⟨template⟩` feature plus a
+//!   `⟨class, param⟩` feature per wildcard (classes: `num`, `ip`,
+//!   `uuid`, `hex`, `path`, `id`, `str`), so "which message shapes
+//!   dominate, and what drifted" is answered by the same estimators
+//!   that answer "which predicates dominate".
+//!
+//! Select the source at build time and feed raw records through
+//! [`Engine::ingest_record`]:
+//!
+//! ```
+//! use logr::core::SourceConfig;
+//! use logr::Engine;
+//!
+//! let engine = Engine::builder()
+//!     .source(SourceConfig::template())
+//!     .window(4)
+//!     .clusters(2)
+//!     .in_memory()?;
+//! engine.ingest_record("request 9001 served in 35 ms")?;
+//! engine.ingest_record("request 9002 served in 41 ms")?;
+//! engine.ingest_record("connection from 10.0.0.7 port 6033 established")?;
+//! engine.ingest_record("request 9003 served in 9 ms")?;
+//! engine.flush()?;
+//! assert!(engine.snapshot()?.total_queries() >= 4);
+//! # Ok::<(), logr::Error>(())
+//! ```
+//!
+//! The miner's learned state (its journal of distinct first-seen lines)
+//! is part of the engine's durable state: full manifests carry the
+//! whole journal, delta records carry each close's increment, and
+//! recovery replays the journal through the same mining code — so a
+//! resumed engine assigns every future line the exact template and
+//! parameter features the original would have. SQL-source stores are
+//! unaffected: their journal is empty and version-2 manifests still
+//! open.
+//!
 //! ## Crate map
 //!
 //! | Module | Backing crate | Contents |
@@ -62,6 +115,7 @@
 //! | crate root | `logr` | [`Engine`] session façade, [`Error`] (the one error type), store [`manifest`] |
 //! | [`analytics`] | `logr` | typed predicates ([`analytics::Pred`]), the [`analytics::WorkloadQuery`] evaluator, and the pluggable [`analytics::Advisor`] family ([`analytics::IndexAdvisor`], [`analytics::ViewAdvisor`], [`analytics::QueryRecommender`], [`analytics::DriftAdvisor`]) |
 //! | [`sql`] | `logr-sql` | lexer, parser, printer, conjunctive regularizer |
+//! | [`source`] | `logr-source` | pluggable record → feature sources: the [`source::Featurizer`] trait, the SQL featurizer, and the Drain-style [`source::TemplateMiner`] for free-form service logs (see *Pluggable sources*) |
 //! | [`feature`] | `logr-feature` | Aligon features, codebook, vectors, [`feature::QueryLog`] |
 //! | [`cluster`] | `logr-cluster` | k-means, spectral, hierarchical clustering; sharded condensed matrices ([`cluster::ShardedPointSet`]), the versioned spill store ([`cluster::spill`]), and the injectable storage layer ([`cluster::vfs`]: [`cluster::vfs::RealFs`], the fault-injecting [`cluster::vfs::FaultFs`], and the power-cut simulator) |
 //! | [`core`] | `logr-core` | encodings, Reproduction Error, max-ent, mixtures, the [`core::LogR`] batch compressor, the [`core::StreamSummarizer`] streaming subsystem (windows, drift, novelty), portable summaries |
@@ -180,6 +234,7 @@ pub use logr_cluster as cluster;
 pub use logr_core as core;
 pub use logr_feature as feature;
 pub use logr_math as math;
+pub use logr_source as source;
 pub use logr_sql as sql;
 pub use logr_workload as workload;
 
@@ -190,3 +245,6 @@ pub mod manifest;
 
 pub use engine::{Engine, EngineBuilder, EngineSnapshot, IndexAdvice};
 pub use error::Error;
+// The source selector rides at the root so `.source(...)` call sites
+// need not name the backing crate.
+pub use logr_source::{SourceConfig, TemplateConfig};

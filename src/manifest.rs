@@ -12,26 +12,29 @@
 //! summarizer that continues **bit-identically** from where the persisted
 //! one stopped.
 //!
-//! # Format (version 2, all integers little-endian)
+//! # Format (version 3, all integers little-endian)
 //!
 //! ```text
 //! offset  size  field
 //! ──────  ────  ──────────────────────────────────────────────────────
 //!      0  8     magic  b"LOGRMNFT"
-//!      8  4     version (u32, = 2)
+//!      8  4     version (u32, = 3)
 //!     12  …     body (see below)
 //!  end−8  8     checksum: FNV-1a 64 over bytes [8, end−8)
 //! ```
 //!
-//! Body, in order: the stream configuration, the resident budget, the
-//! scalar stream state, the window buffer and pending statements (raw
-//! SQL), the baseline rotation and materialized baseline, the history
-//! log, and the shard chain (universe width, total points, ordered file
-//! names relative to the store directory). Strings are `u64` length +
-//! UTF-8; optional integers are a presence byte + value; query logs store
-//! their universe width, codebook (class tag + text, in id order) and
-//! entries (sorted id list + multiplicity, in insertion order) — enough
-//! to reproduce interning order, and therefore every downstream bit.
+//! Body, in order: the stream configuration (version 3 appends the
+//! source configuration — a tag byte, plus the template-miner knobs when
+//! the source is `Template`), the resident budget, the scalar stream
+//! state, the window buffer and pending statements (raw record text),
+//! the baseline rotation and materialized baseline, the history log, the
+//! featurizer journal (`u64` length + bytes; version 3 only), and the
+//! shard chain (universe width, total points, ordered file names
+//! relative to the store directory). Strings are `u64` length + UTF-8;
+//! optional integers are a presence byte + value; query logs store their
+//! universe width, codebook (class tag + text, in id order) and entries
+//! (sorted id list + multiplicity, in insertion order) — enough to
+//! reproduce interning order, and therefore every downstream bit.
 //!
 //! Readers validate in order — length floor, magic, **version** (a
 //! manifest from a newer build is refused before its bytes are
@@ -74,13 +77,21 @@
 //! Version 2 of the manifest is byte-compatible with version 1; the bump
 //! exists so builds that predate the delta log refuse stores that may
 //! carry one (opening the base alone would silently drop acknowledged
-//! closes).
+//! closes). Version 3 adds the pluggable-source fields — the source
+//! configuration at the end of the stream configuration and the
+//! featurizer journal after the history log — and readers still accept
+//! version 2 bytes (decoded as the SQL source with an empty journal,
+//! exactly what every version-2 store was). Delta-log version 2
+//! likewise appends the close's journal increment to each record;
+//! version-1 records decode with an empty increment.
 
 use crate::error::Error;
 use logr_cluster::spill::fnv1a64;
 use logr_cluster::vfs::{retry_io, RealFs, Vfs};
 use logr_cluster::Distance;
-use logr_core::{rotate_baseline, StreamConfig, StreamState, TimeWindows};
+use logr_core::{
+    rotate_baseline, SourceConfig, StreamConfig, StreamState, TemplateConfig, TimeWindows,
+};
 use logr_feature::{Feature, FeatureClass, FeatureId, QueryLog, QueryVector};
 use std::collections::VecDeque;
 use std::path::Path;
@@ -94,8 +105,11 @@ pub const MAGIC: [u8; 8] = *b"LOGRMNFT";
 /// Format version this build writes and the newest one it reads.
 /// Version 2 bodies are byte-identical to version 1; the bump gates
 /// stores that may carry an `engine.delta` log away from older builds
-/// that would silently ignore it (see the module docs).
-pub const VERSION: u32 = 2;
+/// that would silently ignore it. Version 3 adds the source
+/// configuration and the featurizer journal; version-2 bytes still
+/// decode (as the SQL source with an empty journal — see the module
+/// docs).
+pub const VERSION: u32 = 3;
 
 /// Everything needed to reopen an engine (see the module docs).
 #[derive(Debug, Clone)]
@@ -147,6 +161,7 @@ pub fn encode(m: &Manifest) -> Vec<u8> {
     }
     put_log(&mut out, &m.state.baseline);
     put_log(&mut out, &m.state.history);
+    put_bytes(&mut out, &m.state.source_state);
 
     put_u64(&mut out, m.n_features as u64);
     put_u64(&mut out, m.total_points as u64);
@@ -186,7 +201,7 @@ pub fn decode(bytes: &[u8]) -> Result<Manifest, Error> {
     }
 
     let mut r = Reader { bytes: &bytes[12..bytes.len() - 8] };
-    let config = get_config(&mut r)?;
+    let config = get_config(&mut r, version)?;
     let resident_budget = get_usize(&mut r, "resident budget")?;
 
     let windows_closed = get_usize(&mut r, "windows closed")?;
@@ -219,6 +234,10 @@ pub fn decode(bytes: &[u8]) -> Result<Manifest, Error> {
     }
     let baseline = get_log(&mut r)?;
     let history = get_log(&mut r)?;
+    // Version 2 predates pluggable sources: the featurizer was the SQL
+    // path, whose journal is always empty.
+    let source_state =
+        if version >= 3 { get_bytes(&mut r, "featurizer journal")? } else { Vec::new() };
 
     let n_features = get_usize(&mut r, "shard universe width")?;
     let total_points = get_usize(&mut r, "shard point total")?;
@@ -252,6 +271,7 @@ pub fn decode(bytes: &[u8]) -> Result<Manifest, Error> {
             baseline_logs,
             baseline,
             history,
+            source_state,
         },
         n_features,
         total_points,
@@ -333,8 +353,10 @@ pub const DELTA_FILE_NAME: &str = "engine.delta";
 pub const DELTA_MAGIC: [u8; 8] = *b"LOGRDLTA";
 
 /// Delta-log format version this build writes and the newest one it
-/// reads.
-pub const DELTA_VERSION: u32 = 1;
+/// reads. Version 2 appends the close's featurizer-journal increment to
+/// each record; version-1 records decode with an empty increment (the
+/// SQL source, the only one version 1 could carry, journals nothing).
+pub const DELTA_VERSION: u32 = 2;
 
 /// Bytes in a delta-log header: magic + version + base checksum + base
 /// length + header checksum.
@@ -382,6 +404,11 @@ pub struct DeltaRecord {
     pub n_features: usize,
     /// Post-close total points across the shard chain.
     pub total_points: usize,
+    /// The featurizer-journal increment since the previous record (from
+    /// [`logr_core::CloseDelta::source_events`]); replay appends it to
+    /// the base's journal, so concatenated increments rebuild the full
+    /// journal byte-for-byte. Empty for the SQL source.
+    pub source_events: Vec<u8>,
 }
 
 /// Writer side of one delta log, bound to the base manifest it extends.
@@ -564,7 +591,7 @@ pub fn replay_delta(
         if u64::from_le_bytes(frame_sum_le) != fnv1a64(payload) {
             break; // torn or unsynced tail — never acknowledged
         }
-        let rec = decode_record(payload)?;
+        let rec = decode_record(payload, version)?;
         if rec.seq != applied + 1 {
             return Err(corrupt(format!(
                 "delta record out of sequence: found {}, expected {}",
@@ -605,6 +632,7 @@ fn apply_record(m: &mut Manifest, rec: &DeltaRecord) {
     m.shard_files.extend(rec.new_shard_files.iter().cloned());
     m.n_features = rec.n_features;
     m.total_points = rec.total_points;
+    m.state.source_state.extend_from_slice(&rec.source_events);
 }
 
 fn encode_record_payload(rec: &DeltaRecord, seq: u64) -> Vec<u8> {
@@ -635,10 +663,11 @@ fn encode_record_payload(rec: &DeltaRecord, seq: u64) -> Vec<u8> {
     }
     put_u64(&mut out, rec.n_features as u64);
     put_u64(&mut out, rec.total_points as u64);
+    put_bytes(&mut out, &rec.source_events);
     out
 }
 
-fn decode_record(payload: &[u8]) -> Result<DeltaRecord, Error> {
+fn decode_record(payload: &[u8], version: u32) -> Result<DeltaRecord, Error> {
     let mut r = Reader { bytes: payload };
     let seq = r.u64("delta sequence number")?;
     let windows_closed = get_usize(&mut r, "delta windows closed")?;
@@ -675,6 +704,9 @@ fn decode_record(payload: &[u8]) -> Result<DeltaRecord, Error> {
     }
     let n_features = get_usize(&mut r, "delta shard universe width")?;
     let total_points = get_usize(&mut r, "delta shard point total")?;
+    // Version 1 predates pluggable sources: SQL journals nothing.
+    let source_events =
+        if version >= 2 { get_bytes(&mut r, "delta journal increment")? } else { Vec::new() };
     if !r.bytes.is_empty() {
         return Err(corrupt("trailing bytes after the delta record"));
     }
@@ -693,6 +725,7 @@ fn decode_record(payload: &[u8]) -> Result<DeltaRecord, Error> {
         new_shard_files,
         n_features,
         total_points,
+        source_events,
     })
 }
 
@@ -746,6 +779,22 @@ fn put_config(out: &mut Vec<u8>, c: &StreamConfig) {
     put_f64(out, p);
     put_f64(out, c.drift_tolerance);
     put_u64(out, c.seed);
+    // Version 3: the record → feature source. A tag byte keeps the SQL
+    // default one byte wide; the template miner's knobs follow its tag.
+    match c.source {
+        SourceConfig::Sql => out.push(0),
+        SourceConfig::Template(t) => {
+            out.push(1);
+            put_u64(out, t.depth as u64);
+            put_u64(out, t.max_children as u64);
+            put_f64(out, t.similarity);
+        }
+    }
+}
+
+fn put_bytes(out: &mut Vec<u8>, b: &[u8]) {
+    put_u64(out, b.len() as u64);
+    out.extend_from_slice(b);
 }
 
 fn put_log(out: &mut Vec<u8>, log: &QueryLog) {
@@ -758,6 +807,8 @@ fn put_log(out: &mut Vec<u8>, log: &QueryLog) {
             FeatureClass::Where => 2,
             FeatureClass::GroupBy => 3,
             FeatureClass::OrderBy => 4,
+            FeatureClass::Template => 5,
+            FeatureClass::Param => 6,
         };
         out.push(tag);
         put_str(out, &feature.text);
@@ -841,7 +892,7 @@ fn get_opt_u64(r: &mut Reader<'_>, what: &str) -> Result<Option<u64>, Error> {
     }
 }
 
-fn get_config(r: &mut Reader<'_>) -> Result<StreamConfig, Error> {
+fn get_config(r: &mut Reader<'_>, version: u32) -> Result<StreamConfig, Error> {
     let window = r.u64("window size")?;
     let slide = get_opt_u64(r, "slide")?;
     let time = match r.u8("time-window presence")? {
@@ -868,7 +919,37 @@ fn get_config(r: &mut Reader<'_>) -> Result<StreamConfig, Error> {
     };
     let drift_tolerance = r.f64("drift tolerance")?;
     let seed = r.u64("seed")?;
-    Ok(StreamConfig { window, slide, time, baseline_windows, k, metric, drift_tolerance, seed })
+    // Version 2 predates pluggable sources: every store was SQL-fed.
+    let source = if version >= 3 {
+        match r.u8("source tag")? {
+            0 => SourceConfig::Sql,
+            1 => {
+                let depth = get_usize(r, "template depth")?;
+                let max_children = get_usize(r, "template fan-out bound")?;
+                let similarity = r.f64("template similarity threshold")?;
+                SourceConfig::Template(TemplateConfig { depth, max_children, similarity })
+            }
+            tag => return Err(corrupt(format!("unknown source tag {tag}"))),
+        }
+    } else {
+        SourceConfig::Sql
+    };
+    Ok(StreamConfig {
+        window,
+        slide,
+        time,
+        baseline_windows,
+        k,
+        metric,
+        drift_tolerance,
+        seed,
+        source,
+    })
+}
+
+fn get_bytes(r: &mut Reader<'_>, what: &str) -> Result<Vec<u8>, Error> {
+    let len = get_len(r, what)?;
+    Ok(r.take(len, what)?.to_vec())
 }
 
 fn get_log(r: &mut Reader<'_>) -> Result<QueryLog, Error> {
@@ -883,6 +964,8 @@ fn get_log(r: &mut Reader<'_>) -> Result<QueryLog, Error> {
             2 => FeatureClass::Where,
             3 => FeatureClass::GroupBy,
             4 => FeatureClass::OrderBy,
+            5 => FeatureClass::Template,
+            6 => FeatureClass::Param,
             _ => return Err(corrupt(format!("unknown feature class tag {tag}"))),
         };
         let text = r.str("feature text")?;
@@ -943,6 +1026,7 @@ mod tests {
                 metric: Distance::Minkowski(4.0),
                 drift_tolerance: 1e-3,
                 seed: 42,
+                source: SourceConfig::Sql,
             },
             resident_budget: 65536,
             state: StreamState {
@@ -956,6 +1040,7 @@ mod tests {
                 baseline_logs: vec![(baseline.clone(), 40)],
                 baseline,
                 history,
+                source_state: Vec::new(),
             },
             n_features: 11,
             total_points: 4,
@@ -1101,6 +1186,126 @@ mod tests {
         assert!(matches!(decode(&encode(&m)), Err(Error::CorruptManifest { .. })));
     }
 
+    /// The frozen version-2 body layout — pre-source stores carry no
+    /// source tag in the config and no featurizer journal. Pinned here
+    /// so `decode`'s back-compat path is exercised against real v2
+    /// bytes, not bytes derived from the current writer.
+    fn encode_v2(m: &Manifest) -> Vec<u8> {
+        assert!(matches!(m.config.source, SourceConfig::Sql));
+        assert!(m.state.source_state.is_empty());
+        let mut out = Vec::new();
+        out.extend_from_slice(&MAGIC);
+        out.extend_from_slice(&2u32.to_le_bytes());
+        let c = &m.config;
+        put_u64(&mut out, c.window);
+        put_opt_u64(&mut out, c.slide);
+        match c.time {
+            None => out.push(0),
+            Some(tw) => {
+                out.push(1);
+                put_u64(&mut out, tw.window_ms);
+                put_opt_u64(&mut out, tw.slide_ms);
+            }
+        }
+        put_u64(&mut out, c.baseline_windows as u64);
+        put_u64(&mut out, c.k as u64);
+        let (tag, p) = match c.metric {
+            Distance::Euclidean => (0u8, 0.0),
+            Distance::Manhattan => (1, 0.0),
+            Distance::Minkowski(p) => (2, p),
+            Distance::Hamming => (3, 0.0),
+            Distance::Chebyshev => (4, 0.0),
+            Distance::Canberra => (5, 0.0),
+        };
+        out.push(tag);
+        put_f64(&mut out, p);
+        put_f64(&mut out, c.drift_tolerance);
+        put_u64(&mut out, c.seed);
+        put_u64(&mut out, m.resident_budget as u64);
+        put_u64(&mut out, m.state.windows_closed as u64);
+        put_u64(&mut out, m.state.since_close);
+        put_u64(&mut out, m.state.last_ts_ms);
+        put_opt_u64(&mut out, m.state.next_close_ms);
+        put_u64(&mut out, m.state.statements_parsed);
+        put_u64(&mut out, m.state.buffer.len() as u64);
+        for (sql, count, ts) in &m.state.buffer {
+            put_str(&mut out, sql);
+            put_u64(&mut out, *count);
+            put_u64(&mut out, *ts);
+        }
+        put_u64(&mut out, m.state.pending.len() as u64);
+        for (sql, count) in &m.state.pending {
+            put_str(&mut out, sql);
+            put_u64(&mut out, *count);
+        }
+        put_u64(&mut out, m.state.baseline_logs.len() as u64);
+        for (log, offered) in &m.state.baseline_logs {
+            put_log(&mut out, log);
+            put_u64(&mut out, *offered);
+        }
+        put_log(&mut out, &m.state.baseline);
+        put_log(&mut out, &m.state.history);
+        put_u64(&mut out, m.n_features as u64);
+        put_u64(&mut out, m.total_points as u64);
+        put_u64(&mut out, m.shard_files.len() as u64);
+        for name in &m.shard_files {
+            put_str(&mut out, name);
+        }
+        let checksum = fnv1a64(&out[8..]);
+        out.extend_from_slice(&checksum.to_le_bytes());
+        out
+    }
+
+    #[test]
+    fn version_2_stores_decode_as_the_sql_source() {
+        let m = sample_manifest();
+        let decoded = decode(&encode_v2(&m)).unwrap();
+        assert!(matches!(decoded.config.source, SourceConfig::Sql));
+        assert!(decoded.state.source_state.is_empty());
+        // Upgrading rewrites the same state in the version-3 layout.
+        assert_eq!(encode(&decoded), encode(&m));
+    }
+
+    #[test]
+    fn template_manifest_round_trips_with_its_journal() {
+        let mut m = sample_manifest();
+        m.config.source = SourceConfig::template();
+        m.state.source_state = vec![5, 0, 0, 0, b'h', b'e', b'l', b'l', b'o'];
+        let decoded = decode(&encode(&m)).unwrap();
+        match decoded.config.source {
+            SourceConfig::Template(t) => {
+                let d = TemplateConfig::default();
+                assert_eq!((t.depth, t.max_children), (d.depth, d.max_children));
+                assert_eq!(t.similarity.to_bits(), d.similarity.to_bits());
+            }
+            other => panic!("wrong source decoded: {other:?}"),
+        }
+        assert_eq!(decoded.state.source_state, m.state.source_state);
+        assert_eq!(encode(&decoded), encode(&m));
+    }
+
+    #[test]
+    fn unknown_source_tag_is_a_typed_error() {
+        // Locate the source tag without hard-coding offsets: the Sql and
+        // Template encodings of the same manifest first differ at it.
+        let m = sample_manifest();
+        let mut m2 = m.clone();
+        m2.config.source = SourceConfig::template();
+        let (a, b) = (encode(&m), encode(&m2));
+        let off = a.iter().zip(&b).position(|(x, y)| x != y).expect("sources differ");
+        let mut bytes = a;
+        bytes[off] = 9;
+        let total = bytes.len();
+        let checksum = fnv1a64(&bytes[8..total - 8]);
+        bytes[total - 8..].copy_from_slice(&checksum.to_le_bytes());
+        match decode(&bytes).unwrap_err() {
+            Error::CorruptManifest { detail } => {
+                assert!(detail.contains("source tag"), "{detail}")
+            }
+            other => panic!("wrong error: {other}"),
+        }
+    }
+
     // ---- delta log ----------------------------------------------------
 
     use logr_cluster::vfs::{FaultFs, IoOp, Vfs};
@@ -1124,6 +1329,7 @@ mod tests {
             new_shard_files: vec![format!("shard-0000{i}-1-0000000{i}.bin")],
             n_features: 11 + i as usize,
             total_points: 4 + i as usize,
+            source_events: format!("journal-increment-{i}").into_bytes(),
         }
     }
 
@@ -1182,6 +1388,13 @@ mod tests {
             expected_history.absorb(&sample_record(i).stride_log);
         }
         assert_log_eq(&m.state.history, &expected_history);
+        // Journal increments concatenate in record order onto the base's
+        // journal (empty here), rebuilding the full journal.
+        let mut expected_journal = base.state.source_state.clone();
+        for i in 0..3 {
+            expected_journal.extend_from_slice(&sample_record(i).source_events);
+        }
+        assert_eq!(m.state.source_state, expected_journal);
         // Replay is deterministic: a second read applies identically.
         let (m2, _) = read_store_with(&*fs, &dir).unwrap();
         assert_eq!(encode(&m2), encode(&m));
@@ -1300,5 +1513,19 @@ mod tests {
             }
             other => panic!("wrong error: {other}"),
         }
+    }
+
+    #[test]
+    fn version_1_delta_records_decode_with_an_empty_increment() {
+        let rec = sample_record(0);
+        let mut payload = encode_record_payload(&rec, 1);
+        // Version 1 ends at the shard point total: strip the appended
+        // journal increment (length prefix + bytes) to recover the
+        // frozen v1 payload bytes.
+        payload.truncate(payload.len() - 8 - rec.source_events.len());
+        let decoded = decode_record(&payload, 1).unwrap();
+        assert!(decoded.source_events.is_empty());
+        assert_eq!(decoded.windows_closed, rec.windows_closed);
+        assert_eq!(decoded.new_shard_files, rec.new_shard_files);
     }
 }

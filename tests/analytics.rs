@@ -350,6 +350,74 @@ fn workload_query_over_a_batch_summary_matches_the_engine_path() {
 }
 
 #[test]
+fn negated_predicates_complement_on_live_snapshots() {
+    // PR 10 satellite: Pred::not estimates complements through the
+    // mixture, in parity with 1 − frequency-share on the same snapshot.
+    let engine = demo_engine();
+    let snap = engine.snapshot().unwrap();
+    let query = snap.query().unwrap().expect("non-empty");
+    let top = query.summary().estimate_count(&QueryVector::empty());
+    for (_, f) in snap.history().codebook().iter().take(24) {
+        let p = Pred::feature(f.clone());
+        let yes = query.frequency(&p).unwrap();
+        let no = query.frequency(&p.clone().not()).unwrap();
+        assert!((no - (top - yes)).abs() < 1e-6, "feature {f}: {no} vs {}", top - yes);
+    }
+    // ¬a ∧ ¬b via De Morgan agrees with 1 − share(a ∨ b).
+    let a = Pred::table("t0");
+    let b = Pred::table("accounts");
+    let neither = query.frequency(&a.clone().or(b.clone()).not()).unwrap();
+    let direct = top - query.frequency(&a.clone().or(b.clone())).unwrap();
+    assert!((neither - direct).abs() < 1e-6);
+}
+
+#[test]
+fn all_four_advisors_render_dba_facing_text() {
+    // PR 10 satellite: every shipped advisor's picks render through the
+    // shared interpret renderer — shade glyph, subject, percentage.
+    let engine = demo_engine();
+    let snap = engine.snapshot().unwrap();
+    let drifty = Engine::builder().window(32).clusters(2).in_memory().unwrap();
+    for _ in 0..32 {
+        drifty.ingest("SELECT id FROM messages WHERE status = ?").unwrap();
+    }
+    for _ in 0..32 {
+        drifty.ingest("SELECT total FROM invoices WHERE region = ?").unwrap();
+    }
+    let drifty_snap = drifty.snapshot().unwrap();
+    let reports: Vec<(&str, Vec<logr::analytics::Advice>)> = vec![
+        ("index", IndexAdvisor::new(0.0).advise(&*snap).unwrap()),
+        ("view", ViewAdvisor::new(0.0).advise(&*snap).unwrap()),
+        (
+            "recommend",
+            QueryRecommender::new("SELECT balance FROM accounts", 0.0).advise(&*snap).unwrap(),
+        ),
+        ("drift", DriftAdvisor::new(0.0).advise(&*drifty_snap).unwrap()),
+    ];
+    for (name, advice) in &reports {
+        assert!(!advice.is_empty(), "{name} advisor produced no picks to render");
+        let text = logr::analytics::render_report(advice);
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), advice.len(), "{name}: one line per pick");
+        for (line, pick) in lines.iter().zip(advice) {
+            assert!(
+                line.contains(&pick.subject),
+                "{name}: line {line:?} must carry its subject {:?}",
+                pick.subject
+            );
+            assert!(line.contains('%'), "{name}: line {line:?} must annotate a percentage");
+            let glyph = line.chars().next().unwrap();
+            assert!(
+                ['█', '▓', '▒', '░'].contains(&glyph),
+                "{name}: line {line:?} must lead with a shade glyph"
+            );
+        }
+    }
+    // Empty advice renders a sentinel, never silence.
+    assert_eq!(logr::analytics::render_report(&[]), "(no advice)");
+}
+
+#[test]
 fn drift_advisor_mirrors_engine_drift() {
     // PR 9 satellite: drift alarms flow through the Advisor trait with
     // the exact numbers [`Engine::drift`] reports — same overall
